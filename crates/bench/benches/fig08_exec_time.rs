@@ -1,0 +1,30 @@
+//! Fig. 8: execution-time breakdown, 5 models x 5 configurations.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_sim::configs::SystemConfig;
+
+fn fig08(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_exec_time");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        for config in SystemConfig::evaluation_set() {
+            group.bench_function(format!("{}/{}", kind.name(), config.name()), |b| {
+                b.iter(|| {
+                    let r = run(&model, &config);
+                    assert!(r.is_well_formed());
+                    r.makespan
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

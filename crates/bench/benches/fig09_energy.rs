@@ -1,0 +1,30 @@
+//! Fig. 9: dynamic energy normalized to Hetero PIM.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_sim::configs::SystemConfig;
+
+fn fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_energy");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        let hetero = run(&model, &SystemConfig::hetero_pim());
+        for config in SystemConfig::evaluation_set() {
+            group.bench_function(format!("{}/{}", kind.name(), config.name()), |b| {
+                b.iter(|| {
+                    let r = run(&model, &config);
+                    r.dynamic_energy / hetero.dynamic_energy
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 10: the Neurocube comparison.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_sim::baselines::simulate_neurocube;
+use pim_sim::configs::SystemConfig;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_neurocube");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let nc = simulate_neurocube(&model, 2).unwrap();
+                let hetero = run(&model, &SystemConfig::hetero_pim());
+                let speedup = nc.makespan / hetero.makespan;
+                assert!(speedup >= 3.0);
+                speedup
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 11: PIM frequency scaling (1x/2x/4x) against the GPU.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_sim::configs::SystemConfig;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_freq_scaling");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        for mult in [1.0, 2.0, 4.0] {
+            let config = SystemConfig::hetero_pim_at_frequency(mult).unwrap();
+            group.bench_function(format!("{}/{}x", kind.name(), mult), |b| {
+                b.iter(|| run(&model, &config).makespan)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

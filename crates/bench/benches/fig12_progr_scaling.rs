@@ -1,0 +1,32 @@
+//! Fig. 12: programmable-PIM scaling (1P/4P/16P) at constant die area.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_hw::power::{progr_scaling_points, LogicDieBudget};
+use pim_models::ModelKind;
+use pim_runtime::engine::EngineConfig;
+use pim_sim::configs::SystemConfig;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_progr_scaling");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    let points = progr_scaling_points(&LogicDieBudget::paper_baseline()).unwrap();
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        for p in &points {
+            let config = SystemConfig::HeteroPim(
+                EngineConfig::hetero().with_pim_complement(p.arm_cores, p.ff_units),
+            );
+            group.bench_function(format!("{}/{}P", kind.name(), p.arm_cores), |b| {
+                b.iter(|| run(&model, &config).makespan)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

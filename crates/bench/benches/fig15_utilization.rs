@@ -1,0 +1,40 @@
+//! Fig. 15: fixed-function-PIM utilization with and without RC and OP.
+
+use bench::paper_model;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+
+fn fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_utilization");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        for cfg in [
+            EngineConfig::hetero_bare(),
+            EngineConfig::hetero_rc(),
+            EngineConfig::hetero(),
+        ] {
+            let label = format!("{}/{}", kind.name(), cfg.name);
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    Engine::new(cfg.clone())
+                        .run(&[WorkloadSpec {
+                            graph: model.graph(),
+                            steps: 3,
+                            cpu_progr_only: false,
+                        }])
+                        .unwrap()
+                        .ff_utilization
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 16: mixed-workload co-running vs sequential execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_sim::mixed::{corun, fig16_cases};
+
+fn fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_mixed");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for (cnn, other) in fig16_cases() {
+        group.bench_function(format!("{}+{}", cnn.name(), other.name()), |b| {
+            b.iter(|| {
+                let r = corun(cnn, other, 2).unwrap();
+                assert!(r.corun_seconds < r.sequential_seconds);
+                r.improvement()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

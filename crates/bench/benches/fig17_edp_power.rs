@@ -1,0 +1,30 @@
+//! Fig. 17: EDP and power across PIM frequencies.
+
+use bench::{paper_model, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_models::ModelKind;
+use pim_sim::configs::SystemConfig;
+
+fn fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_edp_power");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in ModelKind::CNNS {
+        let model = paper_model(kind);
+        for mult in [1.0, 2.0, 4.0] {
+            let config = SystemConfig::hetero_pim_at_frequency(mult).unwrap();
+            group.bench_function(format!("{}/{}x", kind.name(), mult), |b| {
+                b.iter(|| {
+                    let r = run(&model, &config);
+                    (r.edp_per_step(), r.average_power())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig17);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table I: the step-1 profiling pass over the three profiled models.
+
+use bench::paper_model;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_hw::cpu::CpuDevice;
+use pim_models::ModelKind;
+use pim_runtime::profiler::profile_step;
+
+fn table1(c: &mut Criterion) {
+    let cpu = CpuDevice::xeon_e5_2630_v3();
+    let mut group = c.benchmark_group("table1_profile");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(20);
+    for kind in [ModelKind::Vgg19, ModelKind::AlexNet, ModelKind::Dcgan] {
+        let model = paper_model(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let profile = profile_step(model.graph(), &cpu).unwrap();
+                assert!(!profile.by_name().is_empty());
+                profile
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

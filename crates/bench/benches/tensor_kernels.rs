@@ -1,0 +1,36 @@
+//! Microbenchmarks of the real numeric kernels (the substrate under the
+//! eager executor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pim_tensor::ops::conv::conv2d;
+use pim_tensor::ops::matmul::{matmul, Transpose};
+use pim_tensor::ops::pool::max_pool;
+use pim_tensor::{ConvGeometry, Shape, Tensor};
+
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let a = Tensor::from_fn(Shape::new(vec![64, 64]), |i| i as f32 * 1e-3);
+    let b = Tensor::from_fn(Shape::new(vec![64, 64]), |i| (i % 17) as f32 * 1e-2);
+    group.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| matmul(&a, &b, Transpose::NONE).unwrap())
+    });
+
+    let input = Tensor::from_fn(Shape::new(vec![1, 8, 32, 32]), |i| (i % 11) as f32);
+    let filter = Tensor::from_fn(Shape::new(vec![8, 8, 3, 3]), |i| (i % 5) as f32 * 0.1);
+    let geom = ConvGeometry::square(3, 1, 1);
+    group.bench_function("conv2d_8x32x32_3x3", |bch| {
+        bch.iter(|| conv2d(&input, &filter, geom).unwrap())
+    });
+
+    let pool_geom = ConvGeometry::square(2, 2, 0);
+    group.bench_function("max_pool_8x32x32", |bch| {
+        bch.iter(|| max_pool(&input, pool_geom).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

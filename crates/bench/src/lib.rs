@@ -1,0 +1,20 @@
+//! Shared setup for the figure/table benchmarks.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation under Criterion timing (the *simulation* is what is being
+//! benchmarked; the simulated results themselves are recorded in
+//! EXPERIMENTS.md via the `repro` binary).
+
+use pim_models::{Model, ModelKind};
+use pim_runtime::stats::ExecutionReport;
+use pim_sim::configs::{simulate, SystemConfig};
+
+/// Builds the paper-configuration model for a workload.
+pub fn paper_model(kind: ModelKind) -> Model {
+    Model::build(kind).expect("model builds")
+}
+
+/// Simulates a model under a configuration for the standard 2 steps.
+pub fn run(model: &Model, config: &SystemConfig) -> ExecutionReport {
+    simulate(model, config, 2).expect("simulation succeeds")
+}

@@ -1,0 +1,71 @@
+//! Memory access patterns.
+//!
+//! The pattern of an operation's address stream is part of its cost
+//! characterization (produced by `pim-tensor`) and is consumed by the memory
+//! models (in `pim-mem`) to derate achievable bandwidth. It lives here so
+//! that neither crate needs to depend on the other.
+
+use serde::{Deserialize, Serialize};
+
+/// How a stream of memory accesses is laid out in the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Unit-stride streaming (dense tensor sweeps, im2col reads).
+    Sequential,
+    /// Constant non-unit stride in elements (e.g. strided convolutions).
+    Strided,
+    /// Data-dependent addressing (embedding gathers in Word2vec/LSTM).
+    Random,
+}
+
+impl Default for AccessPattern {
+    fn default() -> Self {
+        AccessPattern::Sequential
+    }
+}
+
+impl AccessPattern {
+    /// The "worse" (lower-bandwidth) of two patterns, used when merging the
+    /// read and write streams of one operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_common::access::AccessPattern;
+    /// let merged = AccessPattern::Sequential.worst(AccessPattern::Random);
+    /// assert_eq!(merged, AccessPattern::Random);
+    /// ```
+    pub fn worst(self, other: Self) -> Self {
+        fn rank(p: AccessPattern) -> u8 {
+            match p {
+                AccessPattern::Sequential => 0,
+                AccessPattern::Strided => 1,
+                AccessPattern::Random => 2,
+            }
+        }
+        if rank(self) >= rank(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_prefers_random() {
+        use AccessPattern::*;
+        assert_eq!(Sequential.worst(Sequential), Sequential);
+        assert_eq!(Sequential.worst(Strided), Strided);
+        assert_eq!(Strided.worst(Random), Random);
+        assert_eq!(Random.worst(Sequential), Random);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(AccessPattern::default(), AccessPattern::Sequential);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared foundation types for the `hetero-pim` workspace.
+//!
+//! This crate holds the vocabulary used by every other crate in the
+//! reproduction of *Processing-in-Memory for Energy-efficient Neural Network
+//! Training: A Heterogeneous Approach* (MICRO 2018):
+//!
+//! * strongly typed identifiers ([`ids`]),
+//! * physical units with unit-safe arithmetic ([`units`]),
+//! * the common error type ([`error`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_common::units::{Seconds, Joules};
+//!
+//! let t = Seconds::new(2.0);
+//! let e = Joules::new(10.0);
+//! let power = e / t;
+//! assert_eq!(power.watts(), 5.0);
+//! ```
+
+pub mod access;
+pub mod error;
+pub mod ids;
+pub mod units;
+
+pub use error::{PimError, Result};

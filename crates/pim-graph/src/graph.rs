@@ -1,0 +1,351 @@
+//! The dataflow graph of one training step.
+
+use crate::node::{OpKind, OpNode, TensorInfo, TensorRole};
+use pim_common::ids::{OpId, TensorId};
+use pim_common::{PimError, Result};
+use pim_tensor::Shape;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A directed acyclic graph of operations over tensors, representing one
+/// training step of a model.
+///
+/// Operation dependencies are implied by tensor production/consumption, the
+/// same convention TensorFlow uses and the paper relies on for its
+/// scheduling principle 3 ("scheduling needs to respect data dependency
+/// across operations ... each operation has explicit input and output data
+/// objects").
+///
+/// # Examples
+///
+/// ```
+/// use pim_graph::graph::Graph;
+/// use pim_graph::node::{OpKind, TensorRole};
+/// use pim_tensor::Shape;
+///
+/// # fn main() -> pim_common::Result<()> {
+/// let mut g = Graph::new();
+/// let x = g.add_tensor(Shape::new(vec![4, 8]), TensorRole::Input, "x");
+/// let y = g.add_tensor(Shape::new(vec![4, 8]), TensorRole::Activation, "y");
+/// g.add_op(OpKind::Activation(pim_tensor::ops::activation::Activation::Relu), vec![x], vec![y])?;
+/// assert_eq!(g.topo_order()?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    tensors: Vec<TensorInfo>,
+    ops: Vec<OpNode>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Registers a tensor and returns its id.
+    pub fn add_tensor(
+        &mut self,
+        shape: Shape,
+        role: TensorRole,
+        name: impl Into<String>,
+    ) -> TensorId {
+        let id = TensorId::new(self.tensors.len());
+        self.tensors.push(TensorInfo {
+            id,
+            shape,
+            role,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Registers an operation consuming `inputs` and producing `outputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] when any referenced tensor does not
+    /// exist, and [`PimError::InvalidArgument`] when an output tensor
+    /// already has a producer (tensors are single-assignment).
+    pub fn add_op(
+        &mut self,
+        kind: OpKind,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> Result<OpId> {
+        for &tid in inputs.iter().chain(&outputs) {
+            if tid.index() >= self.tensors.len() {
+                return Err(PimError::UnknownId {
+                    kind: "tensor",
+                    index: tid.index(),
+                });
+            }
+        }
+        for &out in &outputs {
+            if self.ops.iter().any(|op| op.outputs.contains(&out)) {
+                return Err(PimError::invalid(
+                    "Graph::add_op",
+                    format!("tensor {out} already has a producer"),
+                ));
+            }
+        }
+        let id = OpId::new(self.ops.len());
+        self.ops.push(OpNode {
+            id,
+            kind,
+            inputs,
+            outputs,
+        });
+        Ok(id)
+    }
+
+    /// All tensors in id order.
+    pub fn tensors(&self) -> &[TensorInfo] {
+        &self.tensors
+    }
+
+    /// All operations in insertion order.
+    pub fn ops(&self) -> &[OpNode] {
+        &self.ops
+    }
+
+    /// Looks up a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for unknown ids.
+    pub fn tensor(&self, id: TensorId) -> Result<&TensorInfo> {
+        self.tensors.get(id.index()).ok_or(PimError::UnknownId {
+            kind: "tensor",
+            index: id.index(),
+        })
+    }
+
+    /// Looks up an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for unknown ids.
+    pub fn op(&self, id: OpId) -> Result<&OpNode> {
+        self.ops.get(id.index()).ok_or(PimError::UnknownId {
+            kind: "op",
+            index: id.index(),
+        })
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Map from tensor to the op that produces it.
+    pub fn producers(&self) -> HashMap<TensorId, OpId> {
+        let mut map = HashMap::new();
+        for op in &self.ops {
+            for &out in &op.outputs {
+                map.insert(out, op.id);
+            }
+        }
+        map
+    }
+
+    /// The ops whose outputs this op consumes — its dependencies.
+    pub fn dependencies(&self, id: OpId) -> Result<Vec<OpId>> {
+        let producers = self.producers();
+        let op = self.op(id)?;
+        let mut deps: Vec<OpId> = op
+            .inputs
+            .iter()
+            .filter_map(|tid| producers.get(tid).copied())
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        Ok(deps)
+    }
+
+    /// Adjacency: for each op, the ops that consume its outputs.
+    pub fn consumers(&self) -> HashMap<OpId, Vec<OpId>> {
+        let producers = self.producers();
+        let mut map: HashMap<OpId, Vec<OpId>> = HashMap::new();
+        for op in &self.ops {
+            for tid in &op.inputs {
+                if let Some(&producer) = producers.get(tid) {
+                    map.entry(producer).or_default().push(op.id);
+                }
+            }
+        }
+        for list in map.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        map
+    }
+
+    /// Kahn topological sort of the operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::GraphCycle`] when the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<OpId>> {
+        let mut in_degree = vec![0usize; self.ops.len()];
+        let consumers = self.consumers();
+        for (producer, users) in &consumers {
+            let _ = producer;
+            for user in users {
+                in_degree[user.index()] += 1;
+            }
+        }
+        let mut queue: VecDeque<OpId> = self
+            .ops
+            .iter()
+            .filter(|op| in_degree[op.id.index()] == 0)
+            .map(|op| op.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.ops.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            if let Some(users) = consumers.get(&id) {
+                for &user in users {
+                    in_degree[user.index()] -= 1;
+                    if in_degree[user.index()] == 0 {
+                        queue.push_back(user);
+                    }
+                }
+            }
+        }
+        if order.len() != self.ops.len() {
+            let members = (0..self.ops.len())
+                .filter(|&i| in_degree[i] > 0)
+                .collect();
+            return Err(PimError::GraphCycle { members });
+        }
+        Ok(order)
+    }
+
+    /// Validates the whole graph: referenced ids exist, output tensors have
+    /// unique producers (enforced at insertion), and the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// Total bytes of parameter tensors (a rough model size).
+    pub fn parameter_bytes(&self) -> usize {
+        self.tensors
+            .iter()
+            .filter(|t| t.role == TensorRole::Parameter)
+            .map(|t| t.shape.size_bytes())
+            .sum()
+    }
+
+    /// Counts op instances by TF name, for the invocation-count columns of
+    /// Table I.
+    pub fn invocation_counts(&self) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for op in &self.ops {
+            *counts.entry(op.kind.tf_name()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_tensor::ops::activation::Activation;
+
+    fn relu() -> OpKind {
+        OpKind::Activation(Activation::Relu)
+    }
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.add_tensor(Shape::new(vec![4]), TensorRole::Input, "t0");
+        for i in 0..n {
+            let next = g.add_tensor(
+                Shape::new(vec![4]),
+                TensorRole::Activation,
+                format!("t{}", i + 1),
+            );
+            g.add_op(relu(), vec![prev], vec![next]).unwrap();
+            prev = next;
+        }
+        g
+    }
+
+    #[test]
+    fn topo_order_respects_chain() {
+        let g = chain(5);
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 5);
+        for (pos, id) in order.iter().enumerate() {
+            assert_eq!(id.index(), pos);
+        }
+    }
+
+    #[test]
+    fn unknown_tensor_is_rejected() {
+        let mut g = Graph::new();
+        let err = g.add_op(relu(), vec![TensorId::new(9)], vec![]);
+        assert!(matches!(err, Err(PimError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn double_producer_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_tensor(Shape::new(vec![1]), TensorRole::Input, "a");
+        let b = g.add_tensor(Shape::new(vec![1]), TensorRole::Activation, "b");
+        g.add_op(relu(), vec![a], vec![b]).unwrap();
+        assert!(g.add_op(relu(), vec![a], vec![b]).is_err());
+    }
+
+    #[test]
+    fn dependencies_follow_tensor_flow() {
+        let g = chain(3);
+        assert!(g.dependencies(OpId::new(0)).unwrap().is_empty());
+        assert_eq!(g.dependencies(OpId::new(2)).unwrap(), vec![OpId::new(1)]);
+    }
+
+    #[test]
+    fn diamond_topology_sorts() {
+        // a -> (b, c) -> d
+        let mut g = Graph::new();
+        let t_in = g.add_tensor(Shape::new(vec![4]), TensorRole::Input, "in");
+        let t_a = g.add_tensor(Shape::new(vec![4]), TensorRole::Activation, "a");
+        let t_b = g.add_tensor(Shape::new(vec![4]), TensorRole::Activation, "b");
+        let t_c = g.add_tensor(Shape::new(vec![4]), TensorRole::Activation, "c");
+        let t_d = g.add_tensor(Shape::new(vec![4]), TensorRole::Activation, "d");
+        let a = g.add_op(relu(), vec![t_in], vec![t_a]).unwrap();
+        let b = g.add_op(relu(), vec![t_a], vec![t_b]).unwrap();
+        let c = g.add_op(relu(), vec![t_a], vec![t_c]).unwrap();
+        let d = g
+            .add_op(
+                OpKind::Binary(pim_tensor::ops::elementwise::BinaryOp::Add),
+                vec![t_b, t_c],
+                vec![t_d],
+            )
+            .unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |id: OpId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+        assert_eq!(g.dependencies(d).unwrap(), vec![b, c]);
+    }
+
+    #[test]
+    fn invocation_counts_group_by_name() {
+        let g = chain(4);
+        assert_eq!(g.invocation_counts()["Relu"], 4);
+    }
+
+    #[test]
+    fn validate_passes_for_dag() {
+        assert!(chain(10).validate().is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! The programmable PIM: an ARM Cortex-A9 class processor on the logic die
+//! (§IV-D: four in-order cores at 2 GHz; only one programmable PIM is
+//! provisioned).
+
+use crate::params::{estimate, ComputeEstimate, DeviceParams};
+use pim_common::units::{Seconds, Watts};
+use pim_mem::energy::MemoryPath;
+use pim_mem::stack::StackConfig;
+use pim_tensor::cost::CostProfile;
+use serde::Serialize;
+
+/// The programmable PIM device.
+///
+/// # Examples
+///
+/// ```
+/// use pim_hw::arm::ProgrammablePim;
+/// use pim_mem::stack::StackConfig;
+///
+/// let pim = ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4);
+/// assert_eq!(pim.cores(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgrammablePim {
+    params: DeviceParams,
+    cores: usize,
+}
+
+impl ProgrammablePim {
+    /// Per-core multiply/add rate at the 2 GHz ARM clock: dual-issue
+    /// in-order with NEON, 2 flops/cycle sustained.
+    const FLOPS_PER_CORE: f64 = 4e9;
+
+    /// Dynamic power per active core (Cortex-A9 class at 10 nm).
+    const WATTS_PER_CORE: f64 = 0.6;
+
+    /// Builds the programmable PIM with `cores` ARM cores, attached to the
+    /// stack's internal TSV bandwidth. The ARM clock is independent of the
+    /// memory clock, but the paper's §VI-D frequency study scales both PIM
+    /// kinds together, so the stack's multiplier applies here too.
+    pub fn cortex_a9(stack: &StackConfig, cores: usize) -> Self {
+        let mult = stack.frequency_multiplier();
+        let ma = Self::FLOPS_PER_CORE * cores as f64 * mult;
+        ProgrammablePim {
+            params: DeviceParams {
+                name: "Progr PIM",
+                ma_throughput: ma,
+                other_throughput: ma,
+                control_throughput: ma * 2.0,
+                // The programmable PIM streams through the TSVs; it cannot
+                // saturate the full aggregate on its own four cores.
+                bandwidth: stack.internal_bandwidth() * 0.9,
+                dispatch_overhead: Seconds::new(0.5e-6),
+                dynamic_power: Watts::new(Self::WATTS_PER_CORE * cores as f64 * mult),
+                memory_path: MemoryPath::StackInternal,
+            },
+            cores,
+        }
+    }
+
+    /// Number of ARM cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Estimates one operation executed on the programmable PIM.
+    pub fn estimate_op(&self, cost: &CostProfile) -> ComputeEstimate {
+        estimate(&self.params, cost, 1.0)
+    }
+}
+
+/// The "Progr PIM" *baseline configuration* of §VI: "executes all
+/// operations on as many ARM-based programmable cores as needed by
+/// workloads". Modeled as a large pool of A9 cores on the logic die whose
+/// aggregate compute is only modestly above the host CPU (the paper's §VI-B:
+/// "the speed of Progr PIM is only slightly faster than that of CPU, yet
+/// the dynamic power ... is higher ... due to the additional processing
+/// units"), while enjoying the internal-bandwidth advantage.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgrammablePool {
+    params: DeviceParams,
+}
+
+impl ProgrammablePool {
+    /// The as-many-cores-as-needed pool (72 A9 cores).
+    pub fn unlimited(stack: &StackConfig) -> Self {
+        let cores = 72.0;
+        let mult = stack.frequency_multiplier();
+        let ma = ProgrammablePim::FLOPS_PER_CORE * cores * mult;
+        ProgrammablePool {
+            params: DeviceParams {
+                name: "Progr PIM pool",
+                ma_throughput: ma,
+                other_throughput: ma,
+                control_throughput: ma * 2.0,
+                bandwidth: stack.internal_bandwidth() * 0.9,
+                dispatch_overhead: Seconds::new(0.5e-6),
+                dynamic_power: Watts::new(ProgrammablePim::WATTS_PER_CORE * cores * 2.2 * mult),
+                memory_path: MemoryPath::StackInternal,
+            },
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Estimates one operation executed on the pool.
+    pub fn estimate_op(&self, cost: &CostProfile) -> ComputeEstimate {
+        estimate(&self.params, cost, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuDevice;
+    use pim_common::units::Bytes;
+    use pim_tensor::cost::OffloadClass;
+
+    fn memory_bound_cost() -> CostProfile {
+        CostProfile::compute(
+            1e6,
+            1e6,
+            0.0,
+            Bytes::new(1e9),
+            Bytes::new(1e9),
+            OffloadClass::FullyMulAdd,
+            16,
+        )
+    }
+
+    #[test]
+    fn internal_bandwidth_beats_cpu_on_memory_bound_ops() {
+        let stack = StackConfig::hmc2();
+        let arm = ProgrammablePim::cortex_a9(&stack, 4);
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let cost = memory_bound_cost();
+        assert!(arm.estimate_op(&cost).time < cpu.estimate_op(&cost).time);
+    }
+
+    #[test]
+    fn frequency_multiplier_speeds_up_the_pim() {
+        let base = ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4);
+        let fast = ProgrammablePim::cortex_a9(
+            &StackConfig::hmc2().with_frequency_multiplier(4.0).unwrap(),
+            4,
+        );
+        let cost = memory_bound_cost();
+        assert!(fast.estimate_op(&cost).time < base.estimate_op(&cost).time);
+    }
+
+    #[test]
+    fn pool_is_faster_but_hungrier_than_cpu() {
+        let stack = StackConfig::hmc2();
+        let pool = ProgrammablePool::unlimited(&stack);
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        assert!(pool.params().ma_throughput > cpu.params().ma_throughput);
+        assert!(pool.params().dynamic_power > cpu.params().dynamic_power);
+    }
+
+    #[test]
+    fn four_cores_are_weak_at_compute() {
+        let arm = ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4);
+        assert!((arm.params().ma_throughput - 16e9).abs() < 1.0);
+    }
+}

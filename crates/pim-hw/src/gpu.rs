@@ -1,0 +1,196 @@
+//! The GPU baseline device model (Table IV: NVIDIA GTX 1080 Ti, CUDA 8 +
+//! cuDNN 6).
+//!
+//! Per-op timing follows the common roofline formula at the model-specific
+//! average utilization the paper measured (§V-D). Step-level effects the
+//! paper discusses are modeled explicitly:
+//!
+//! * kernel-launch overhead per operation (GPUs "fuse and organize
+//!   computation kernels into NN layers" precisely because fine-grained
+//!   launches are costly — §II-D),
+//! * minibatch staging over PCIe, partially overlapped with compute
+//!   (§VI-A), and
+//! * working-set spill over PCIe when a model's training footprint exceeds
+//!   device memory — the reason "Hetero PIM leads to better performance
+//!   than GPU with ResNet" (§VI-A).
+
+use crate::params::{ComputeEstimate, DeviceParams};
+use pim_common::units::{Bytes, Joules, Seconds, Watts};
+use pim_mem::energy::MemoryPath;
+use pim_mem::planar::{Gddr5xConfig, PCIE3_X16_BYTES_PER_SEC};
+use pim_mem::traffic::bandwidth_efficiency;
+use pim_tensor::cost::CostProfile;
+use serde::Serialize;
+
+/// The GPU device.
+///
+/// # Examples
+///
+/// ```
+/// use pim_hw::gpu::GpuDevice;
+/// let gpu = GpuDevice::gtx_1080_ti();
+/// assert!(gpu.peak_flops() > 1e13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuDevice {
+    /// Peak fp32 throughput, flops/second.
+    peak_flops: f64,
+    /// GDDR5X bandwidth, bytes/second.
+    bandwidth: f64,
+    /// Per-kernel launch latency.
+    launch_overhead: Seconds,
+    /// Board dynamic power while training.
+    dynamic_power: Watts,
+    /// Device memory capacity, bytes.
+    capacity: Bytes,
+}
+
+impl GpuDevice {
+    /// The paper's GTX 1080 Ti (28 SMs x 128 cores x 1.5 GHz x 2 flops).
+    pub fn gtx_1080_ti() -> Self {
+        let gddr = Gddr5xConfig::gtx_1080_ti();
+        GpuDevice {
+            peak_flops: 10.75e12,
+            bandwidth: gddr.config().peak_bytes_per_sec,
+            launch_overhead: Seconds::new(3e-6),
+            dynamic_power: Watts::new(220.0),
+            capacity: gddr.config().capacity,
+        }
+    }
+
+    /// Peak fp32 throughput in flops/second.
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// Board dynamic power while training.
+    pub fn dynamic_power(&self) -> Watts {
+        self.dynamic_power
+    }
+
+    /// Device memory capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Estimates one operation at the given average utilization (the
+    /// paper's per-model TensorFlow utilizations, §V-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `utilization` is outside `(0, 1]`.
+    pub fn estimate_op(&self, cost: &CostProfile, utilization: f64) -> ComputeEstimate {
+        debug_assert!(utilization > 0.0 && utilization <= 1.0);
+        let effective = self.peak_flops * utilization;
+        let compute_time = Seconds::new(cost.total_flops() / effective);
+        let memory_time = Seconds::new(
+            cost.total_bytes().bytes() / (self.bandwidth * bandwidth_efficiency(cost.pattern)),
+        );
+        let busy = compute_time.max(memory_time);
+        let time = busy + self.launch_overhead;
+        let energy = self.dynamic_power * time
+            + MemoryPath::GpuGddr5x.transfer_energy(cost.total_bytes());
+        ComputeEstimate {
+            time,
+            compute_time,
+            memory_time,
+            dispatch_time: self.launch_overhead,
+            energy,
+        }
+    }
+
+    /// Unhidden PCIe staging time for one step's minibatch: TensorFlow
+    /// overlaps prefetch with compute, hiding most but not all of it.
+    pub fn staging_time(&self, minibatch: Bytes) -> Seconds {
+        let hidden_fraction = 0.8;
+        Seconds::new(minibatch.bytes() * (1.0 - hidden_fraction) / PCIE3_X16_BYTES_PER_SEC)
+    }
+
+    /// Spill time when the training working set exceeds device memory:
+    /// the excess pages cross PCIe twice per step (out and back).
+    pub fn spill_time(&self, working_set: Bytes) -> Seconds {
+        let excess = (working_set.bytes() - self.capacity.bytes()).max(0.0);
+        Seconds::new(2.0 * excess / PCIE3_X16_BYTES_PER_SEC)
+    }
+
+    /// Energy of PCIe transfers (staging + spill) at DDR-class pJ/bit.
+    pub fn transfer_energy(&self, volume: Bytes) -> Joules {
+        MemoryPath::HostDdr4.transfer_energy(volume)
+    }
+
+    /// Device-parameter view (for reports).
+    pub fn as_device_params(&self, utilization: f64) -> DeviceParams {
+        DeviceParams {
+            name: "GPU",
+            ma_throughput: self.peak_flops * utilization,
+            other_throughput: self.peak_flops * utilization * 0.5,
+            control_throughput: self.peak_flops * utilization,
+            bandwidth: self.bandwidth,
+            dispatch_overhead: self.launch_overhead,
+            dynamic_power: self.dynamic_power,
+            memory_path: MemoryPath::GpuGddr5x,
+        }
+    }
+}
+
+impl Default for GpuDevice {
+    fn default() -> Self {
+        GpuDevice::gtx_1080_ti()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_tensor::cost::OffloadClass;
+
+    fn conv_cost() -> CostProfile {
+        CostProfile::compute(
+            1e10,
+            1e10,
+            0.0,
+            Bytes::new(1e8),
+            Bytes::new(1e8),
+            OffloadClass::FullyMulAdd,
+            241,
+        )
+    }
+
+    #[test]
+    fn utilization_derates_throughput() {
+        let gpu = GpuDevice::gtx_1080_ti();
+        let busy = gpu.estimate_op(&conv_cost(), 0.63);
+        let idle = gpu.estimate_op(&conv_cost(), 0.28);
+        assert!(idle.time > busy.time);
+    }
+
+    #[test]
+    fn no_spill_when_working_set_fits() {
+        let gpu = GpuDevice::gtx_1080_ti();
+        assert_eq!(gpu.spill_time(Bytes::new(1e9)), Seconds::ZERO);
+        assert!(gpu.spill_time(Bytes::new(20e9)).seconds() > 0.0);
+    }
+
+    #[test]
+    fn staging_is_mostly_hidden() {
+        let gpu = GpuDevice::gtx_1080_ti();
+        let full = Seconds::new(1e8 / PCIE3_X16_BYTES_PER_SEC);
+        assert!(gpu.staging_time(Bytes::new(1e8)) < full);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_ops() {
+        let gpu = GpuDevice::gtx_1080_ti();
+        let tiny = CostProfile::compute(
+            1e3,
+            1e3,
+            0.0,
+            Bytes::new(4e3),
+            Bytes::new(4e3),
+            OffloadClass::FullyMulAdd,
+            8,
+        );
+        let est = gpu.estimate_op(&tiny, 0.63);
+        assert!(est.dispatch_time > est.compute_time.max(est.memory_time));
+    }
+}

@@ -1,0 +1,99 @@
+//! The Neurocube comparison baseline (Kim et al., ISCA'16).
+//!
+//! Neurocube integrates one programmable processing engine per vault of a
+//! 3D stack — 16 MAC-pipeline PEs with local routers — but no
+//! fixed-function complement and no dynamic runtime scheduling. §VI-C
+//! attributes Hetero PIM's advantage to exactly those two missing pieces.
+
+use crate::params::{estimate, ComputeEstimate, DeviceParams};
+use pim_common::units::{Seconds, Watts};
+use pim_mem::energy::MemoryPath;
+use pim_mem::stack::StackConfig;
+use pim_tensor::cost::CostProfile;
+use serde::Serialize;
+
+/// The Neurocube device: 16 programmable vault PEs.
+///
+/// # Examples
+///
+/// ```
+/// use pim_hw::neurocube::Neurocube;
+/// use pim_mem::stack::StackConfig;
+///
+/// let nc = Neurocube::isca16(&StackConfig::hmc2());
+/// assert_eq!(nc.params().name, "Neurocube");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Neurocube {
+    params: DeviceParams,
+}
+
+impl Neurocube {
+    /// The published configuration scaled to the same stack: 16 vault PEs,
+    /// each a 64-lane MAC pipeline at the memory clock (matching the
+    /// row-buffer-wide operand buffering our fixed-function units use, so
+    /// the comparison isolates heterogeneity + scheduling, not SIMD width).
+    pub fn isca16(stack: &StackConfig) -> Self {
+        let pes = 16.0;
+        let lanes = 64.0;
+        let ma = pes * lanes * 2.0 * stack.frequency_hz();
+        Neurocube {
+            params: DeviceParams {
+                name: "Neurocube",
+                ma_throughput: ma,
+                // Programmable PEs run non-mul/add work at half rate.
+                other_throughput: ma * 0.5,
+                control_throughput: ma,
+                bandwidth: stack.internal_bandwidth() * 0.8,
+                dispatch_overhead: Seconds::new(1e-6),
+                dynamic_power: Watts::new(9.0),
+                memory_path: MemoryPath::StackInternal,
+            },
+        }
+    }
+
+    /// The device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Estimates one operation on the Neurocube PEs.
+    pub fn estimate_op(&self, cost: &CostProfile) -> ComputeEstimate {
+        estimate(&self.params, cost, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{FixedFunctionPool, FixedPoolConfig};
+    use pim_common::units::Bytes;
+    use pim_tensor::cost::OffloadClass;
+
+    #[test]
+    fn hetero_fixed_pool_out_computes_neurocube() {
+        let stack = StackConfig::hmc2();
+        let nc = Neurocube::isca16(&stack);
+        let pool = FixedFunctionPool::new(FixedPoolConfig::paper_default(&stack));
+        let cost = CostProfile::compute(
+            1e10,
+            1e10,
+            0.0,
+            Bytes::new(1e8),
+            Bytes::new(1e8),
+            OffloadClass::FullyMulAdd,
+            241,
+        );
+        let nc_est = nc.estimate_op(&cost);
+        let pool_est = pool.estimate_ma(&cost, 241, true);
+        // The paper reports >= 3x advantage even for the weakest model.
+        assert!(nc_est.time.seconds() / pool_est.time.seconds() > 3.0);
+    }
+
+    #[test]
+    fn neurocube_still_beats_host_bandwidth() {
+        let stack = StackConfig::hmc2();
+        let nc = Neurocube::isca16(&stack);
+        assert!(nc.params().bandwidth > 100e9);
+    }
+}

@@ -1,0 +1,145 @@
+//! McPAT-lite area/power model and the logic-die design-space exploration.
+//!
+//! The paper sizes its PIM complement with McPAT + Synopsys DC/PrimeTime +
+//! HotSpot (§IV-D, §V-B): "the total number of allowed fixed-function PIMs
+//! is limited by the area of the logic die. With our baseline 3D DRAM
+//! configuration, we can distribute 444 fixed-function PIMs across the 32
+//! banks." This module reproduces that outcome analytically at the paper's
+//! 10 nm logic node.
+
+use pim_common::units::Watts;
+use pim_common::{PimError, Result};
+use serde::Serialize;
+
+/// Area budget of the logic die available to PIM logic, and the unit areas
+/// of the two PIM kinds at 10 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LogicDieBudget {
+    /// Area available for compute after the vault controllers, SerDes, and
+    /// interconnect, in square millimeters.
+    pub compute_area_mm2: f64,
+    /// Area of one fixed-function multiplier+adder pair with its operand
+    /// buffers.
+    pub ff_unit_mm2: f64,
+    /// Area of one ARM Cortex-A9-class core with its L1 caches.
+    pub arm_core_mm2: f64,
+    /// Power ceiling of the logic die, limited by the stack's thermal
+    /// envelope.
+    pub power_ceiling: Watts,
+}
+
+impl LogicDieBudget {
+    /// The paper's baseline: calibrated so four ARM cores plus 444
+    /// fixed-function units exactly fill the budget.
+    pub fn paper_baseline() -> Self {
+        LogicDieBudget {
+            compute_area_mm2: 5.712,
+            ff_unit_mm2: 0.012,
+            arm_core_mm2: 0.096,
+            power_ceiling: Watts::new(20.0),
+        }
+    }
+
+    /// Maximum fixed-function units that fit alongside `arm_cores` ARM
+    /// cores — the §VI-D programmable-PIM-scaling trade-off ("using more
+    /// Progr PIMs loses more Fixed PIMs, given the constant area").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::ResourceExhausted`] when the cores alone exceed
+    /// the budget.
+    pub fn max_ff_units(&self, arm_cores: usize) -> Result<usize> {
+        let core_area = arm_cores as f64 * self.arm_core_mm2;
+        if core_area > self.compute_area_mm2 {
+            return Err(PimError::ResourceExhausted {
+                resource: "logic-die area",
+                requested: core_area,
+                available: self.compute_area_mm2,
+            });
+        }
+        Ok(((self.compute_area_mm2 - core_area) / self.ff_unit_mm2 + 1e-9).floor() as usize)
+    }
+
+    /// Total compute power of a configuration (per-unit powers from the
+    /// device models).
+    pub fn config_power(&self, arm_cores: usize, ff_units: usize) -> Watts {
+        Watts::new(arm_cores as f64 * 0.6 + ff_units as f64 * 0.027)
+    }
+
+    /// True when a configuration respects both the area and power ceilings.
+    pub fn admits(&self, arm_cores: usize, ff_units: usize) -> bool {
+        let area =
+            arm_cores as f64 * self.arm_core_mm2 + ff_units as f64 * self.ff_unit_mm2;
+        area <= self.compute_area_mm2 + 1e-9
+            && self.config_power(arm_cores, ff_units) <= self.power_ceiling
+    }
+}
+
+impl Default for LogicDieBudget {
+    fn default() -> Self {
+        LogicDieBudget::paper_baseline()
+    }
+}
+
+/// One point of the programmable-PIM scaling study (Fig. 12's 1P/4P/16P).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScalingPoint {
+    /// ARM cores provisioned.
+    pub arm_cores: usize,
+    /// Fixed-function units the remaining area fits.
+    pub ff_units: usize,
+}
+
+/// Enumerates the Fig. 12 design points at constant die area.
+///
+/// # Errors
+///
+/// Propagates budget violations (none for the paper's points).
+pub fn progr_scaling_points(budget: &LogicDieBudget) -> Result<Vec<ScalingPoint>> {
+    [1usize, 4, 16]
+        .into_iter()
+        .map(|arm_cores| {
+            Ok(ScalingPoint {
+                arm_cores,
+                ff_units: budget.max_ff_units(arm_cores)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_fits_exactly_444_units_with_4_cores() {
+        let b = LogicDieBudget::paper_baseline();
+        assert_eq!(b.max_ff_units(4).unwrap(), 444);
+    }
+
+    #[test]
+    fn scaling_points_trade_cores_for_units() {
+        let pts = progr_scaling_points(&LogicDieBudget::paper_baseline()).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].arm_cores, 1);
+        assert_eq!(pts[2].arm_cores, 16);
+        assert!(pts[0].ff_units > pts[1].ff_units);
+        assert!(pts[1].ff_units > pts[2].ff_units);
+        // 16P still keeps a substantial pool (Fig. 12's small perf delta).
+        assert!(pts[2].ff_units > 300);
+    }
+
+    #[test]
+    fn power_ceiling_is_respected_by_paper_points() {
+        let b = LogicDieBudget::paper_baseline();
+        for p in progr_scaling_points(&b).unwrap() {
+            assert!(b.admits(p.arm_cores, p.ff_units), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_core_count_is_rejected() {
+        let b = LogicDieBudget::paper_baseline();
+        assert!(b.max_ff_units(100).is_err());
+    }
+}

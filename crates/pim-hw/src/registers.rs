@@ -1,0 +1,114 @@
+//! The hardware status registers of Fig. 7.
+//!
+//! "We employ a set of registers ... Each register indicates the idling of
+//! either a bank of fixed-function PIMs or the programmable PIM. The
+//! registers allow our software runtime scheduler to query the completion
+//! of any computation and decide the idleness of processing units."
+
+use pim_common::ids::BankId;
+use pim_common::{PimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The busy/idle register file on the logic die.
+///
+/// # Examples
+///
+/// ```
+/// use pim_hw::registers::StatusRegisters;
+/// use pim_common::ids::BankId;
+///
+/// let mut regs = StatusRegisters::new(32);
+/// assert!(regs.all_banks_idle());
+/// regs.set_bank_busy(BankId::new(3), true).unwrap();
+/// assert!(!regs.all_banks_idle());
+/// assert!(regs.bank_busy(BankId::new(3)).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusRegisters {
+    bank_busy: Vec<bool>,
+    progr_busy: bool,
+}
+
+impl StatusRegisters {
+    /// A register file for `banks` fixed-function banks plus the
+    /// programmable PIM, all idle.
+    pub fn new(banks: usize) -> Self {
+        StatusRegisters {
+            bank_busy: vec![false; banks],
+            progr_busy: false,
+        }
+    }
+
+    fn check(&self, bank: BankId) -> Result<usize> {
+        let i = bank.index();
+        if i >= self.bank_busy.len() {
+            return Err(PimError::UnknownId {
+                kind: "bank register",
+                index: i,
+            });
+        }
+        Ok(i)
+    }
+
+    /// Reads one bank's busy bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for an out-of-range bank.
+    pub fn bank_busy(&self, bank: BankId) -> Result<bool> {
+        Ok(self.bank_busy[self.check(bank)?])
+    }
+
+    /// Writes one bank's busy bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for an out-of-range bank.
+    pub fn set_bank_busy(&mut self, bank: BankId, busy: bool) -> Result<()> {
+        let i = self.check(bank)?;
+        self.bank_busy[i] = busy;
+        Ok(())
+    }
+
+    /// Reads the programmable PIM's busy bit.
+    pub fn progr_busy(&self) -> bool {
+        self.progr_busy
+    }
+
+    /// Writes the programmable PIM's busy bit.
+    pub fn set_progr_busy(&mut self, busy: bool) {
+        self.progr_busy = busy;
+    }
+
+    /// True when every fixed-function bank is idle.
+    pub fn all_banks_idle(&self) -> bool {
+        self.bank_busy.iter().all(|&b| !b)
+    }
+
+    /// Number of idle fixed-function banks.
+    pub fn idle_bank_count(&self) -> usize {
+        self.bank_busy.iter().filter(|&&b| !b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_bank_is_rejected() {
+        let regs = StatusRegisters::new(4);
+        assert!(regs.bank_busy(BankId::new(4)).is_err());
+    }
+
+    #[test]
+    fn busy_bits_toggle_independently() {
+        let mut regs = StatusRegisters::new(8);
+        regs.set_bank_busy(BankId::new(1), true).unwrap();
+        regs.set_progr_busy(true);
+        assert_eq!(regs.idle_bank_count(), 7);
+        assert!(regs.progr_busy());
+        regs.set_bank_busy(BankId::new(1), false).unwrap();
+        assert!(regs.all_banks_idle());
+    }
+}

@@ -1,0 +1,146 @@
+//! Planar DRAM models for the host and GPU baselines.
+//!
+//! The paper's Table IV: the CPU baseline owns 16 GB DDR4; the GPU baseline
+//! (GTX 1080 Ti) owns 11 GB GDDR5X behind 8 memory controllers on a 352-bit
+//! bus.
+
+use crate::traffic::{transfer_time, AccessPattern};
+use pim_common::units::{Bytes, Seconds};
+use serde::Serialize;
+
+/// A planar DRAM channel group (DDR4 or GDDR5X).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanarDramConfig {
+    /// Human-readable technology name.
+    pub technology: &'static str,
+    /// Peak bandwidth in bytes/second.
+    pub peak_bytes_per_sec: f64,
+    /// Idle-to-data latency for one access.
+    pub access_latency: Seconds,
+    /// Capacity in bytes.
+    pub capacity: Bytes,
+}
+
+impl PlanarDramConfig {
+    /// Time to move `volume` at the given access pattern.
+    pub fn transfer_time(&self, volume: Bytes, pattern: AccessPattern) -> Seconds {
+        transfer_time(volume, self.peak_bytes_per_sec, pattern)
+    }
+}
+
+/// DDR4 host memory (Table IV: 16 GB DDR4 behind a Xeon E5-2630 v3).
+///
+/// # Examples
+///
+/// ```
+/// use pim_mem::planar::Ddr4Config;
+/// let ddr = Ddr4Config::xeon_host();
+/// assert!(ddr.config().peak_bytes_per_sec > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Ddr4Config(PlanarDramConfig);
+
+impl Ddr4Config {
+    /// The quad-channel DDR4-1866 configuration of the paper's host.
+    pub fn xeon_host() -> Self {
+        Ddr4Config(PlanarDramConfig {
+            technology: "DDR4",
+            // 4 channels x 14.9 GB/s
+            peak_bytes_per_sec: 59.7e9,
+            access_latency: Seconds::new(75e-9),
+            capacity: Bytes::new(16.0 * (1u64 << 30) as f64),
+        })
+    }
+
+    /// The underlying channel parameters.
+    pub fn config(&self) -> &PlanarDramConfig {
+        &self.0
+    }
+
+    /// Time to move `volume` at the given access pattern.
+    pub fn transfer_time(&self, volume: Bytes, pattern: AccessPattern) -> Seconds {
+        self.0.transfer_time(volume, pattern)
+    }
+}
+
+impl Default for Ddr4Config {
+    fn default() -> Self {
+        Ddr4Config::xeon_host()
+    }
+}
+
+/// GDDR5X device memory (Table IV: GTX 1080 Ti, 11 GB, 352-bit bus).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Gddr5xConfig(PlanarDramConfig);
+
+impl Gddr5xConfig {
+    /// The GTX 1080 Ti configuration of the paper's GPU baseline.
+    pub fn gtx_1080_ti() -> Self {
+        Gddr5xConfig(PlanarDramConfig {
+            technology: "GDDR5X",
+            peak_bytes_per_sec: 484e9,
+            access_latency: Seconds::new(220e-9),
+            capacity: Bytes::new(11.0 * (1u64 << 30) as f64),
+        })
+    }
+
+    /// The underlying channel parameters.
+    pub fn config(&self) -> &PlanarDramConfig {
+        &self.0
+    }
+
+    /// Time to move `volume` at the given access pattern.
+    pub fn transfer_time(&self, volume: Bytes, pattern: AccessPattern) -> Seconds {
+        self.0.transfer_time(volume, pattern)
+    }
+}
+
+impl Default for Gddr5xConfig {
+    fn default() -> Self {
+        Gddr5xConfig::gtx_1080_ti()
+    }
+}
+
+/// PCIe 3.0 x16 host↔GPU interconnect bandwidth in bytes/second.
+///
+/// Used by the GPU device model for minibatch staging; the paper notes part
+/// of this traffic overlaps with computation.
+pub const PCIE3_X16_BYTES_PER_SEC: f64 = 15.75e9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gddr_is_faster_than_ddr() {
+        let ddr = Ddr4Config::xeon_host();
+        let gddr = Gddr5xConfig::gtx_1080_ti();
+        let v = Bytes::new(1e9);
+        assert!(
+            gddr.transfer_time(v, AccessPattern::Sequential)
+                < ddr.transfer_time(v, AccessPattern::Sequential)
+        );
+    }
+
+    #[test]
+    fn capacities_match_table_iv() {
+        assert_eq!(
+            Ddr4Config::xeon_host().config().capacity.bytes(),
+            16.0 * (1u64 << 30) as f64
+        );
+        assert_eq!(
+            Gddr5xConfig::gtx_1080_ti().config().capacity.bytes(),
+            11.0 * (1u64 << 30) as f64
+        );
+    }
+
+    #[test]
+    fn pattern_derates_bandwidth() {
+        let ddr = Ddr4Config::xeon_host();
+        let v = Bytes::new(1e8);
+        assert!(
+            ddr.transfer_time(v, AccessPattern::Random)
+                > ddr.transfer_time(v, AccessPattern::Sequential)
+        );
+    }
+}

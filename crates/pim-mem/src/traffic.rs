@@ -1,0 +1,91 @@
+//! Transfer-time math shared by all memory models.
+
+pub use pim_common::access::AccessPattern;
+use pim_common::units::{Bytes, Seconds};
+
+/// Fraction of peak bandwidth a pattern achieves on a row-buffer DRAM.
+///
+/// The constants follow the usual DRAM rule of thumb: streaming reaches ~90%
+/// of peak, strided roughly half, random a small fraction dominated by
+/// row-activate latency.
+///
+/// # Examples
+///
+/// ```
+/// use pim_mem::traffic::{bandwidth_efficiency, AccessPattern};
+/// assert!(bandwidth_efficiency(AccessPattern::Sequential)
+///     > bandwidth_efficiency(AccessPattern::Random));
+/// ```
+pub fn bandwidth_efficiency(pattern: AccessPattern) -> f64 {
+    match pattern {
+        AccessPattern::Sequential => 0.90,
+        AccessPattern::Strided => 0.50,
+        AccessPattern::Random => 0.12,
+    }
+}
+
+/// Time to move `volume` over a channel with `peak` bytes/second, derated by
+/// the pattern's efficiency.
+///
+/// # Examples
+///
+/// ```
+/// use pim_mem::traffic::{transfer_time, AccessPattern};
+/// use pim_common::units::Bytes;
+///
+/// let t = transfer_time(Bytes::new(9e8), 1e9, AccessPattern::Sequential);
+/// assert!((t.seconds() - 1.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `peak_bytes_per_sec` is not positive.
+pub fn transfer_time(volume: Bytes, peak_bytes_per_sec: f64, pattern: AccessPattern) -> Seconds {
+    debug_assert!(peak_bytes_per_sec > 0.0, "peak bandwidth must be positive");
+    let effective = peak_bytes_per_sec * bandwidth_efficiency(pattern);
+    Seconds::new(volume.bytes() / effective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequential_is_fastest() {
+        let v = Bytes::new(1e6);
+        let seq = transfer_time(v, 1e9, AccessPattern::Sequential);
+        let strided = transfer_time(v, 1e9, AccessPattern::Strided);
+        let random = transfer_time(v, 1e9, AccessPattern::Random);
+        assert!(seq < strided);
+        assert!(strided < random);
+    }
+
+    #[test]
+    fn zero_volume_is_free() {
+        let t = transfer_time(Bytes::ZERO, 1e9, AccessPattern::Random);
+        assert_eq!(t, Seconds::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn time_scales_linearly_with_volume(
+            bytes in 1.0f64..1e12,
+            bw in 1e6f64..1e12,
+        ) {
+            let t1 = transfer_time(Bytes::new(bytes), bw, AccessPattern::Sequential);
+            let t2 = transfer_time(Bytes::new(2.0 * bytes), bw, AccessPattern::Sequential);
+            prop_assert!((t2.seconds() / t1.seconds() - 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn more_bandwidth_never_slower(
+            bytes in 1.0f64..1e12,
+            bw in 1e6f64..1e12,
+        ) {
+            let slow = transfer_time(Bytes::new(bytes), bw, AccessPattern::Sequential);
+            let fast = transfer_time(Bytes::new(bytes), bw * 2.0, AccessPattern::Sequential);
+            prop_assert!(fast <= slow);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! AlexNet training-step graph (Krizhevsky et al., NIPS'12).
+
+use pim_common::Result;
+use pim_graph::{Graph, NetBuilder, OptimizerKind};
+
+/// Builds the AlexNet training step for a given minibatch size.
+///
+/// Five convolutions (11x11/4, 5x5 pad 2, then three 3x3 pad 1) with LRN
+/// after the first two, max-pools after conv1/conv2/conv5, and three fully
+/// connected layers with dropout.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(batch: usize) -> Result<Graph> {
+    let mut net = NetBuilder::new("alexnet");
+    let mut x = net.input(batch, 3, 227, 227);
+
+    x = net.conv2d(x, 96, 11, 4, 0)?; // 55x55
+    x = net.bias(x)?;
+    x = net.relu(x)?;
+    x = net.lrn(x)?;
+    x = net.max_pool(x, 3, 2, 0)?; // 27x27
+
+    x = net.conv2d(x, 256, 5, 1, 2)?;
+    x = net.bias(x)?;
+    x = net.relu(x)?;
+    x = net.lrn(x)?;
+    x = net.max_pool(x, 3, 2, 0)?; // 13x13
+
+    x = net.conv2d(x, 384, 3, 1, 1)?;
+    x = net.bias(x)?;
+    x = net.relu(x)?;
+
+    x = net.conv2d(x, 384, 3, 1, 1)?;
+    x = net.bias(x)?;
+    x = net.relu(x)?;
+
+    x = net.conv2d(x, 256, 3, 1, 1)?;
+    x = net.bias(x)?;
+    x = net.relu(x)?;
+    x = net.max_pool(x, 3, 2, 0)?; // 6x6
+
+    x = net.flatten(x)?;
+    x = net.dense(x, 4096)?;
+    x = net.relu(x)?;
+    x = net.dropout(x)?;
+    x = net.dense(x, 4096)?;
+    x = net.relu(x)?;
+    x = net.dropout(x)?;
+    x = net.dense(x, 1000)?;
+    net.finish_classifier(x, OptimizerKind::Adam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_counts_match_table_i() {
+        let g = build(2).unwrap();
+        let counts = g.invocation_counts();
+        assert_eq!(counts["Conv2D"], 5);
+        assert_eq!(counts["Conv2DBackpropFilter"], 5);
+        // First conv has no input gradient: 4, as in the paper.
+        assert_eq!(counts["Conv2DBackpropInput"], 4);
+        assert_eq!(counts["LRN"], 2);
+        assert_eq!(counts["MaxPool"], 3);
+    }
+
+    #[test]
+    fn parameter_count_is_alexnet_scale() {
+        let g = build(1).unwrap();
+        // AlexNet has ~61M parameters.
+        let params = g.parameter_bytes() / 4;
+        assert!((50_000_000..70_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn spatial_pipeline_shrinks_to_6x6() {
+        let g = build(1).unwrap();
+        // The flatten output must be 256 * 6 * 6 wide.
+        let flat = g
+            .tensors()
+            .iter()
+            .find(|t| t.name.contains("flatten"))
+            .unwrap();
+        assert_eq!(flat.shape.dims()[1], 256 * 6 * 6);
+    }
+}

@@ -1,0 +1,123 @@
+//! DCGAN training-step graph (Radford et al., ICLR'16) on MNIST-shaped data.
+//!
+//! One combined adversarial step: a latent batch flows through the
+//! generator (dense + two transposed convolutions) into the discriminator
+//! (two strided convolutions), ending in a real/fake classification loss
+//! whose gradient trains both networks. GAN training additionally executes
+//! a tail of small loss-arithmetic operations (`Mul`, `Sub`, `Slice`) that
+//! Table I shows dominating DCGAN's long per-step op list; a representative
+//! metric tail is emitted after the loss.
+
+use pim_common::ids::TensorId;
+use pim_common::Result;
+use pim_graph::node::{OpKind, TensorRole};
+use pim_graph::{Graph, NetBuilder, OptimizerKind};
+use pim_tensor::ops::elementwise::BinaryOp;
+use pim_tensor::Shape;
+
+/// Emits the small elementwise metric operations that follow the GAN loss
+/// (generator/discriminator loss bookkeeping, gradient-penalty style terms).
+fn emit_metric_tail(net: &mut NetBuilder, logits: TensorId, batch: usize) -> Result<()> {
+    let g = net.graph_mut();
+    let mut cursor = logits;
+    for i in 0..12 {
+        // Alternate Slice and Mul/Sub chains over the logits, as the TF
+        // graph does for the two player losses and summary statistics.
+        if i % 3 == 0 {
+            let len = batch.max(2) / 2;
+            let out = g.add_tensor(
+                Shape::new(vec![len]),
+                TensorRole::Activation,
+                format!("dcgan/metric{i}/slice"),
+            );
+            g.add_op(OpKind::Slice { start: 0, len }, vec![cursor], vec![out])?;
+            cursor = out;
+        } else {
+            let shape = g.tensor(cursor)?.shape.clone();
+            let out = g.add_tensor(
+                shape,
+                TensorRole::Activation,
+                format!("dcgan/metric{i}/ew"),
+            );
+            let op = if i % 3 == 1 {
+                BinaryOp::Mul
+            } else {
+                BinaryOp::Sub
+            };
+            g.add_op(OpKind::Binary(op), vec![cursor, cursor], vec![out])?;
+            cursor = out;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the DCGAN training step for a given minibatch size.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(batch: usize) -> Result<Graph> {
+    let mut net = NetBuilder::new("dcgan");
+
+    // Generator: z[batch, 100] -> 7x7x128 -> 14x14x64 -> 28x28x1.
+    let z = net.input_matrix(batch, 100);
+    let mut x = net.dense(z, 128 * 7 * 7)?;
+    let x4 = net.reshape(x, vec![batch, 128, 7, 7])?;
+    let mut img = net.batch_norm(x4)?;
+    img = net.relu(img)?;
+    img = net.conv2d_transpose(img, 64, 4, 2, 1)?; // 14x14
+    img = net.batch_norm(img)?;
+    img = net.relu(img)?;
+    img = net.conv2d_transpose(img, 1, 4, 2, 1)?; // 28x28
+    img = net.tanh(img)?;
+
+    // Discriminator on the generated batch.
+    let mut d = net.conv2d(img, 64, 4, 2, 1)?; // 14x14
+    d = net.leaky_relu(d)?;
+    d = net.conv2d(d, 128, 4, 2, 1)?; // 7x7
+    d = net.leaky_relu(d)?;
+    d = net.flatten(d)?;
+    x = net.dense(d, 2)?;
+
+    emit_metric_tail(&mut net, x, batch)?;
+    net.finish_classifier(x, OptimizerKind::Adam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_generator_and_discriminator_ops() {
+        let g = build(4).unwrap();
+        let counts = g.invocation_counts();
+        assert_eq!(counts["Conv2DTranspose"], 2);
+        assert_eq!(counts["Conv2D"], 2);
+        assert_eq!(counts["FusedBatchNorm"], 2);
+        assert!(counts["Mul"] >= 4);
+        assert!(counts["Slice"] >= 4);
+    }
+
+    #[test]
+    fn backward_reaches_the_generator() {
+        let g = build(4).unwrap();
+        let counts = g.invocation_counts();
+        // Both discriminator convs and both generator deconvs produce
+        // filter gradients.
+        assert_eq!(counts["Conv2DBackpropFilter"], 4);
+        assert_eq!(counts["FusedBatchNormGrad"], 2);
+    }
+
+    #[test]
+    fn graph_is_valid_dag() {
+        build(8).unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn model_is_small_compared_to_cnns() {
+        // DCGAN "has smaller model and working set than others" (§VI-A).
+        let dcgan = build(1).unwrap().parameter_bytes();
+        let alex = crate::alexnet::build(1).unwrap().parameter_bytes();
+        assert!(dcgan < alex / 10);
+    }
+}

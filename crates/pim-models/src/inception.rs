@@ -1,0 +1,163 @@
+//! Inception-v3 training-step graph (Szegedy et al., CVPR'16).
+//!
+//! Stem + 3 Inception-A + reduction + 4 Inception-B (1x7/7x1 factorized) +
+//! reduction + 2 Inception-C blocks, global average pool, classifier.
+
+use pim_common::ids::TensorId;
+use pim_common::Result;
+use pim_graph::{Graph, NetBuilder, OptimizerKind};
+
+fn conv_bn(
+    net: &mut NetBuilder,
+    x: TensorId,
+    c: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) -> Result<TensorId> {
+    let y = net.conv2d(x, c, k, s, p)?;
+    let y = net.batch_norm(y)?;
+    net.relu(y)
+}
+
+fn conv_bn_rect(
+    net: &mut NetBuilder,
+    x: TensorId,
+    c: usize,
+    kh: usize,
+    kw: usize,
+) -> Result<TensorId> {
+    let y = net.conv2d_rect(x, c, kh, kw, 1, kh / 2, kw / 2)?;
+    let y = net.batch_norm(y)?;
+    net.relu(y)
+}
+
+/// Inception-A block at 35x35 resolution.
+fn block_a(net: &mut NetBuilder, x: TensorId, pool_c: usize) -> Result<TensorId> {
+    let b1 = conv_bn(net, x, 64, 1, 1, 0)?;
+    let b5 = conv_bn(net, x, 48, 1, 1, 0)?;
+    let b5 = conv_bn(net, b5, 64, 5, 1, 2)?;
+    let b3 = conv_bn(net, x, 64, 1, 1, 0)?;
+    let b3 = conv_bn(net, b3, 96, 3, 1, 1)?;
+    let b3 = conv_bn(net, b3, 96, 3, 1, 1)?;
+    let bp = net.avg_pool(x, 3, 1, 1)?;
+    let bp = conv_bn(net, bp, pool_c, 1, 1, 0)?;
+    net.concat_channels(&[b1, b5, b3, bp])
+}
+
+/// Inception-B block at 17x17 resolution with 1x7/7x1 factorization.
+fn block_b(net: &mut NetBuilder, x: TensorId, mid: usize) -> Result<TensorId> {
+    let b1 = conv_bn(net, x, 192, 1, 1, 0)?;
+    let b7 = conv_bn(net, x, mid, 1, 1, 0)?;
+    let b7 = conv_bn_rect(net, b7, mid, 1, 7)?;
+    let b7 = conv_bn_rect(net, b7, 192, 7, 1)?;
+    let d7 = conv_bn(net, x, mid, 1, 1, 0)?;
+    let d7 = conv_bn_rect(net, d7, mid, 7, 1)?;
+    let d7 = conv_bn_rect(net, d7, mid, 1, 7)?;
+    let d7 = conv_bn_rect(net, d7, mid, 7, 1)?;
+    let d7 = conv_bn_rect(net, d7, 192, 1, 7)?;
+    let bp = net.avg_pool(x, 3, 1, 1)?;
+    let bp = conv_bn(net, bp, 192, 1, 1, 0)?;
+    net.concat_channels(&[b1, b7, d7, bp])
+}
+
+/// Inception-C block at 8x8 resolution.
+fn block_c(net: &mut NetBuilder, x: TensorId) -> Result<TensorId> {
+    let b1 = conv_bn(net, x, 320, 1, 1, 0)?;
+    let b3 = conv_bn(net, x, 384, 1, 1, 0)?;
+    let b3a = conv_bn_rect(net, b3, 384, 1, 3)?;
+    let b3b = conv_bn_rect(net, b3, 384, 3, 1)?;
+    let d3 = conv_bn(net, x, 448, 1, 1, 0)?;
+    let d3 = conv_bn(net, d3, 384, 3, 1, 1)?;
+    let d3a = conv_bn_rect(net, d3, 384, 1, 3)?;
+    let d3b = conv_bn_rect(net, d3, 384, 3, 1)?;
+    let bp = net.avg_pool(x, 3, 1, 1)?;
+    let bp = conv_bn(net, bp, 192, 1, 1, 0)?;
+    net.concat_channels(&[b1, b3a, b3b, d3a, d3b, bp])
+}
+
+/// Builds the Inception-v3 training step for a given minibatch size.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(batch: usize) -> Result<Graph> {
+    let mut net = NetBuilder::new("inception_v3");
+    let mut x = net.input(batch, 3, 299, 299);
+
+    // Stem: 299 -> 149 -> 147 -> 147 -> 73 -> 73 -> 71 -> 35.
+    x = conv_bn(&mut net, x, 32, 3, 2, 0)?;
+    x = conv_bn(&mut net, x, 32, 3, 1, 0)?;
+    x = conv_bn(&mut net, x, 64, 3, 1, 1)?;
+    x = net.max_pool(x, 3, 2, 0)?;
+    x = conv_bn(&mut net, x, 80, 1, 1, 0)?;
+    x = conv_bn(&mut net, x, 192, 3, 1, 0)?;
+    x = net.max_pool(x, 3, 2, 0)?;
+
+    // 3x Inception-A at 35x35.
+    x = block_a(&mut net, x, 32)?;
+    x = block_a(&mut net, x, 64)?;
+    x = block_a(&mut net, x, 64)?;
+
+    // Reduction-A: 35 -> 17.
+    let r3 = conv_bn(&mut net, x, 384, 3, 2, 0)?;
+    let rd = conv_bn(&mut net, x, 64, 1, 1, 0)?;
+    let rd = conv_bn(&mut net, rd, 96, 3, 1, 1)?;
+    let rd = conv_bn(&mut net, rd, 96, 3, 2, 0)?;
+    let rp = net.max_pool(x, 3, 2, 0)?;
+    x = net.concat_channels(&[r3, rd, rp])?;
+
+    // 4x Inception-B at 17x17.
+    x = block_b(&mut net, x, 128)?;
+    x = block_b(&mut net, x, 160)?;
+    x = block_b(&mut net, x, 160)?;
+    x = block_b(&mut net, x, 192)?;
+
+    // Reduction-B: 17 -> 8.
+    let r1 = conv_bn(&mut net, x, 192, 1, 1, 0)?;
+    let r1 = conv_bn(&mut net, r1, 320, 3, 2, 0)?;
+    let r7 = conv_bn(&mut net, x, 192, 1, 1, 0)?;
+    let r7 = conv_bn_rect(&mut net, r7, 192, 1, 7)?;
+    let r7 = conv_bn_rect(&mut net, r7, 192, 7, 1)?;
+    let r7 = conv_bn(&mut net, r7, 192, 3, 2, 0)?;
+    let rp = net.max_pool(x, 3, 2, 0)?;
+    x = net.concat_channels(&[r1, r7, rp])?;
+
+    // 2x Inception-C at 8x8.
+    x = block_c(&mut net, x)?;
+    x = block_c(&mut net, x)?;
+
+    x = net.avg_pool(x, 8, 1, 0)?;
+    x = net.flatten(x)?;
+    x = net.dense(x, 1000)?;
+    net.finish_classifier(x, OptimizerKind::Adam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_deep_multi_branch_network() {
+        let g = build(1).unwrap();
+        let counts = g.invocation_counts();
+        // ~90 conv layers in this configuration.
+        assert!(counts["Conv2D"] > 80, "convs = {}", counts["Conv2D"]);
+        assert!(counts["ConcatV2"] >= 11);
+        // Concat backward emits slices for every tower.
+        assert!(counts["Slice"] > 30);
+    }
+
+    #[test]
+    fn parameter_count_is_inception_scale() {
+        let g = build(1).unwrap();
+        // ~24M parameters (torchvision: 23.8M).
+        let params = g.parameter_bytes() / 4;
+        assert!((18_000_000..30_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn graph_is_valid_dag() {
+        build(2).unwrap().validate().unwrap();
+    }
+}

@@ -1,0 +1,43 @@
+//! The model zoo: training-step graphs for the paper's seven workloads.
+//!
+//! Each module builds a complete forward + backward + optimizer graph with
+//! the layer configurations of the original networks, at the batch sizes
+//! the paper adopts (§V-C):
+//!
+//! | Model | Module | Batch |
+//! |---|---|---|
+//! | VGG-19 | [`vgg`] | 32 |
+//! | AlexNet | [`alexnet`] | 32 |
+//! | DCGAN | [`dcgan`] | 64 |
+//! | ResNet-50 | [`resnet`] | 128 |
+//! | Inception-v3 | [`inception`] | 32 |
+//! | LSTM (PTB) | [`lstm`] | 20 |
+//! | Word2vec | [`word2vec`] | 128 |
+//!
+//! [`dataset`] provides deterministic synthetic batches with the same
+//! shapes as the paper's datasets.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_models::{Model, ModelKind};
+//!
+//! # fn main() -> pim_common::Result<()> {
+//! let vgg = Model::build_with_batch(ModelKind::Vgg19, 4)?;
+//! let counts = vgg.graph().invocation_counts();
+//! assert_eq!(counts["Conv2DBackpropFilter"], 16); // Table I
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alexnet;
+pub mod dataset;
+pub mod dcgan;
+pub mod inception;
+pub mod lstm;
+pub mod resnet;
+pub mod vgg;
+pub mod word2vec;
+pub mod zoo;
+
+pub use zoo::{Model, ModelKind};

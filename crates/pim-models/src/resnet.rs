@@ -1,0 +1,103 @@
+//! ResNet-50 training-step graph (He et al., CVPR'16).
+//!
+//! Bottleneck residual blocks in a [3, 4, 6, 3] stage plan. ResNet-50 is
+//! the paper's "large training model with large working sets" where Hetero
+//! PIM beats even the GPU (§VI-A).
+
+use pim_common::ids::TensorId;
+use pim_common::Result;
+use pim_graph::{Graph, NetBuilder, OptimizerKind};
+
+/// One bottleneck block: 1x1 reduce, 3x3, 1x1 expand, with a projection
+/// shortcut when the shape changes.
+fn bottleneck(
+    net: &mut NetBuilder,
+    x: TensorId,
+    mid: usize,
+    out_channels: usize,
+    stride: usize,
+    project: bool,
+) -> Result<TensorId> {
+    let mut y = net.conv2d(x, mid, 1, 1, 0)?;
+    y = net.batch_norm(y)?;
+    y = net.relu(y)?;
+    y = net.conv2d(y, mid, 3, stride, 1)?;
+    y = net.batch_norm(y)?;
+    y = net.relu(y)?;
+    y = net.conv2d(y, out_channels, 1, 1, 0)?;
+    y = net.batch_norm(y)?;
+    let shortcut = if project {
+        let s = net.conv2d(x, out_channels, 1, stride, 0)?;
+        net.batch_norm(s)?
+    } else {
+        x
+    };
+    let merged = net.add(shortcut, y)?;
+    net.relu(merged)
+}
+
+/// Builds the ResNet-50 training step for a given minibatch size.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(batch: usize) -> Result<Graph> {
+    let mut net = NetBuilder::new("resnet50");
+    let mut x = net.input(batch, 3, 224, 224);
+    x = net.conv2d(x, 64, 7, 2, 3)?; // 112x112
+    x = net.batch_norm(x)?;
+    x = net.relu(x)?;
+    x = net.max_pool(x, 3, 2, 1)?; // 56x56
+
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for (blocks, mid, out_c, first_stride) in stages {
+        x = bottleneck(&mut net, x, mid, out_c, first_stride, true)?;
+        for _ in 1..blocks {
+            x = bottleneck(&mut net, x, mid, out_c, 1, false)?;
+        }
+    }
+
+    x = net.avg_pool(x, 7, 1, 0)?; // global average pool to 1x1
+    x = net.flatten(x)?;
+    x = net.dense(x, 1000)?;
+    net.finish_classifier(x, OptimizerKind::Adam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_convolutions() {
+        // 1 stem + 16 blocks x 3 + 4 projection shortcuts = 53.
+        let g = build(1).unwrap();
+        assert_eq!(g.invocation_counts()["Conv2D"], 53);
+    }
+
+    #[test]
+    fn parameter_count_is_resnet50_scale() {
+        let g = build(1).unwrap();
+        // ~25.5M parameters.
+        let params = g.parameter_bytes() / 4;
+        assert!((20_000_000..30_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn residual_adds_match_block_count() {
+        let g = build(1).unwrap();
+        let counts = g.invocation_counts();
+        // 16 forward residual adds; backward accumulation emits more Adds.
+        assert!(counts["Add"] >= 16);
+        assert_eq!(counts["FusedBatchNormGrad"], counts["FusedBatchNorm"]);
+    }
+
+    #[test]
+    fn graph_is_valid_dag() {
+        build(2).unwrap().validate().unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! VGG-19 training-step graph (Simonyan & Zisserman, ICLR'15).
+//!
+//! 16 convolutional layers in five blocks separated by max-pools, followed
+//! by three fully connected layers — the configuration behind Table I's
+//! VGG-19 column (16 `Conv2DBackpropFilter`, 15 `Conv2DBackpropInput`
+//! invocations).
+
+use pim_common::Result;
+use pim_graph::{Graph, NetBuilder, OptimizerKind};
+
+/// Channel plan of the five convolutional blocks.
+const BLOCKS: [(usize, usize); 5] = [(2, 64), (2, 128), (4, 256), (4, 512), (4, 512)];
+
+/// Builds the VGG-19 training step for a given minibatch size.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(batch: usize) -> Result<Graph> {
+    let mut net = NetBuilder::new("vgg19");
+    let mut x = net.input(batch, 3, 224, 224);
+    for (convs, channels) in BLOCKS {
+        for _ in 0..convs {
+            x = net.conv2d(x, channels, 3, 1, 1)?;
+            x = net.bias(x)?;
+            x = net.relu(x)?;
+        }
+        x = net.max_pool(x, 2, 2, 0)?;
+    }
+    x = net.flatten(x)?;
+    x = net.dense(x, 4096)?;
+    x = net.relu(x)?;
+    x = net.dropout(x)?;
+    x = net.dense(x, 4096)?;
+    x = net.relu(x)?;
+    x = net.dropout(x)?;
+    x = net.dense(x, 1000)?;
+    net.finish_classifier(x, OptimizerKind::Adam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_counts_match_table_i() {
+        let g = build(2).unwrap();
+        let counts = g.invocation_counts();
+        assert_eq!(counts["Conv2D"], 16);
+        assert_eq!(counts["Conv2DBackpropFilter"], 16);
+        // First conv has no input gradient: 15, as in the paper.
+        assert_eq!(counts["Conv2DBackpropInput"], 15);
+        assert_eq!(counts["BiasAddGrad"], 16);
+        assert_eq!(counts["MaxPoolGrad"], 5);
+    }
+
+    #[test]
+    fn parameter_count_is_vgg19_scale() {
+        let g = build(1).unwrap();
+        // VGG-19 has ~143M parameters (we omit FC biases).
+        let params = g.parameter_bytes() / 4;
+        assert!(
+            (120_000_000..160_000_000).contains(&params),
+            "got {params}"
+        );
+    }
+
+    #[test]
+    fn graph_is_valid_dag() {
+        build(4).unwrap().validate().unwrap();
+    }
+}

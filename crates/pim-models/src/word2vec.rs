@@ -1,0 +1,186 @@
+//! Word2vec skip-gram training step (Mikolov et al.) with sampled softmax.
+//!
+//! A short, gather/scatter-dominated op list — the second non-CNN workload
+//! of the paper's mixed-workload study (§VI-F), trained on the TensorFlow
+//! "questions-words" dataset.
+
+use pim_common::Result;
+use pim_graph::node::{OpKind, TensorRole};
+use pim_graph::Graph;
+use pim_tensor::ops::matmul::Transpose;
+use pim_tensor::Shape;
+
+/// Skip-gram hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Word2vecConfig {
+    /// Minibatch size (the paper uses 128).
+    pub batch: usize,
+    /// Embedding width.
+    pub dim: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of sampled (negative) classes per batch.
+    pub sampled: usize,
+}
+
+impl Default for Word2vecConfig {
+    fn default() -> Self {
+        Word2vecConfig {
+            batch: 128,
+            dim: 128,
+            vocab: 50_000,
+            sampled: 64,
+        }
+    }
+}
+
+/// Builds the Word2vec training step.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures (none expected for valid sizes).
+pub fn build(cfg: Word2vecConfig) -> Result<Graph> {
+    let mut g = Graph::new();
+    let (b, d, v, s) = (cfg.batch, cfg.dim, cfg.vocab, cfg.sampled);
+    let classes = b + s; // true classes + negative samples
+
+    let embedding = g.add_tensor(
+        Shape::new(vec![v, d]),
+        TensorRole::Parameter,
+        "w2v/embedding",
+    );
+    let nce_weights = g.add_tensor(
+        Shape::new(vec![v, d]),
+        TensorRole::Parameter,
+        "w2v/nce_weights",
+    );
+    let centers = g.add_tensor(Shape::new(vec![b]), TensorRole::Labels, "w2v/centers");
+    let sampled_ids = g.add_tensor(
+        Shape::new(vec![classes]),
+        TensorRole::Labels,
+        "w2v/sampled_ids",
+    );
+    let labels = g.add_tensor(Shape::new(vec![b]), TensorRole::Labels, "w2v/labels");
+
+    let center_vecs = g.add_tensor(
+        Shape::new(vec![b, d]),
+        TensorRole::Activation,
+        "w2v/center_vecs",
+    );
+    g.add_op(
+        OpKind::EmbeddingLookup,
+        vec![embedding, centers],
+        vec![center_vecs],
+    )?;
+
+    let class_vecs = g.add_tensor(
+        Shape::new(vec![classes, d]),
+        TensorRole::Activation,
+        "w2v/class_vecs",
+    );
+    g.add_op(
+        OpKind::EmbeddingLookup,
+        vec![nce_weights, sampled_ids],
+        vec![class_vecs],
+    )?;
+
+    let logits = g.add_tensor(
+        Shape::new(vec![b, classes]),
+        TensorRole::Activation,
+        "w2v/logits",
+    );
+    g.add_op(
+        OpKind::MatMul(Transpose { a: false, b: true }),
+        vec![center_vecs, class_vecs],
+        vec![logits],
+    )?;
+
+    let loss = g.add_tensor(Shape::scalar(), TensorRole::Scalar, "w2v/loss");
+    let grad_logits = g.add_tensor(
+        Shape::new(vec![b, classes]),
+        TensorRole::Activation,
+        "w2v/grad_logits",
+    );
+    g.add_op(
+        OpKind::SoftmaxXent,
+        vec![logits, labels],
+        vec![loss, grad_logits],
+    )?;
+
+    let grad_centers = g.add_tensor(
+        Shape::new(vec![b, d]),
+        TensorRole::Activation,
+        "w2v/grad_centers",
+    );
+    g.add_op(
+        OpKind::MatMul(Transpose::NONE),
+        vec![grad_logits, class_vecs],
+        vec![grad_centers],
+    )?;
+    let grad_classes = g.add_tensor(
+        Shape::new(vec![classes, d]),
+        TensorRole::Activation,
+        "w2v/grad_classes",
+    );
+    g.add_op(
+        OpKind::MatMul(Transpose { a: true, b: false }),
+        vec![grad_logits, center_vecs],
+        vec![grad_classes],
+    )?;
+
+    // Embedding updates are *sparse* in TensorFlow (IndexedSlices): the
+    // scatter-add applies the gathered-row gradients directly into the
+    // table. Modeled as one ScatterAdd per table; the dense `[v, d]`
+    // gradient never materializes. The "done" scalar only carries the
+    // dependency edge.
+    let _ = (embedding, nce_weights);
+    for (grad_rows, indices, name) in [
+        (grad_centers, centers, "embedding"),
+        (grad_classes, sampled_ids, "nce_weights"),
+    ] {
+        let done = g.add_tensor(
+            Shape::scalar(),
+            TensorRole::Scalar,
+            format!("w2v/update/{name}"),
+        );
+        g.add_op(OpKind::EmbeddingGrad, vec![grad_rows, indices], vec![done])?;
+    }
+
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_graph_is_small_and_valid() {
+        let g = build(Word2vecConfig::default()).unwrap();
+        g.validate().unwrap();
+        assert!(g.op_count() < 15);
+    }
+
+    #[test]
+    fn op_mix_is_gather_dominated() {
+        let g = build(Word2vecConfig::default()).unwrap();
+        let counts = g.invocation_counts();
+        assert_eq!(counts["GatherV2"], 2);
+        assert_eq!(counts["ScatterAdd"], 2);
+        assert_eq!(counts["MatMul"], 3);
+    }
+
+    #[test]
+    fn most_traffic_is_random_pattern() {
+        use pim_common::access::AccessPattern;
+        let g = build(Word2vecConfig::default()).unwrap();
+        let costs = pim_graph::cost::graph_costs(&g).unwrap();
+        let random: f64 = costs
+            .iter()
+            .filter(|c| c.pattern == AccessPattern::Random)
+            .map(|c| c.total_bytes().bytes())
+            .sum();
+        let total: f64 = costs.iter().map(|c| c.total_bytes().bytes()).sum();
+        assert!(random / total > 0.3, "random fraction {}", random / total);
+    }
+}

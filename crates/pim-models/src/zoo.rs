@@ -1,0 +1,214 @@
+//! The model zoo: one entry per evaluated workload.
+
+use crate::{alexnet, dcgan, inception, lstm, resnet, vgg, word2vec};
+use pim_common::Result;
+use pim_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven training workloads of the paper's evaluation (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// VGG-19 on ImageNet-shaped data, batch 32.
+    Vgg19,
+    /// AlexNet on ImageNet-shaped data, batch 32.
+    AlexNet,
+    /// DCGAN on MNIST-shaped data, batch 64.
+    Dcgan,
+    /// ResNet-50 on ImageNet-shaped data, batch 128.
+    ResNet50,
+    /// Inception-v3 on ImageNet-shaped data, batch 32.
+    InceptionV3,
+    /// LSTM language model on PTB-shaped data, batch 20.
+    Lstm,
+    /// Word2vec skip-gram on questions-words-shaped data, batch 128.
+    Word2vec,
+}
+
+impl ModelKind {
+    /// All workloads in the paper's presentation order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::Vgg19,
+        ModelKind::AlexNet,
+        ModelKind::Dcgan,
+        ModelKind::ResNet50,
+        ModelKind::InceptionV3,
+        ModelKind::Lstm,
+        ModelKind::Word2vec,
+    ];
+
+    /// The five CNN models of Figures 8-15.
+    pub const CNNS: [ModelKind; 5] = [
+        ModelKind::Vgg19,
+        ModelKind::AlexNet,
+        ModelKind::Dcgan,
+        ModelKind::ResNet50,
+        ModelKind::InceptionV3,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Vgg19 => "VGG-19",
+            ModelKind::AlexNet => "AlexNet",
+            ModelKind::Dcgan => "DCGAN",
+            ModelKind::ResNet50 => "ResNet-50",
+            ModelKind::InceptionV3 => "Inception-v3",
+            ModelKind::Lstm => "LSTM",
+            ModelKind::Word2vec => "Word2vec",
+        }
+    }
+
+    /// The default TensorFlow batch size the paper adopts (§V-C).
+    pub fn paper_batch_size(self) -> usize {
+        match self {
+            ModelKind::Vgg19 | ModelKind::AlexNet | ModelKind::InceptionV3 => 32,
+            ModelKind::Dcgan => 64,
+            ModelKind::ResNet50 | ModelKind::Word2vec => 128,
+            ModelKind::Lstm => 20,
+        }
+    }
+
+    /// Average GPU utilization the paper measured for this model in
+    /// TensorFlow on a GTX 1080 Ti (§V-D); `None` for the non-CNN models,
+    /// which were not run on the GPU.
+    pub fn gpu_utilization(self) -> Option<f64> {
+        match self {
+            ModelKind::InceptionV3 => Some(0.62),
+            ModelKind::ResNet50 => Some(0.44),
+            ModelKind::AlexNet => Some(0.30),
+            ModelKind::Vgg19 => Some(0.63),
+            ModelKind::Dcgan => Some(0.28),
+            ModelKind::Lstm | ModelKind::Word2vec => None,
+        }
+    }
+
+    /// True for the CNN workloads evaluated in Figures 8-15.
+    pub fn is_cnn(self) -> bool {
+        !matches!(self, ModelKind::Lstm | ModelKind::Word2vec)
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload: its kind, batch size, and one training-step graph.
+#[derive(Debug, Clone)]
+pub struct Model {
+    kind: ModelKind,
+    batch: usize,
+    graph: Graph,
+}
+
+impl Model {
+    /// Builds the workload at the paper's batch size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_models::{Model, ModelKind};
+    /// # fn main() -> pim_common::Result<()> {
+    /// let m = Model::build(ModelKind::AlexNet)?;
+    /// assert_eq!(m.batch(), 32);
+    /// assert!(m.graph().op_count() > 30);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures.
+    pub fn build(kind: ModelKind) -> Result<Self> {
+        Model::build_with_batch(kind, kind.paper_batch_size())
+    }
+
+    /// Builds the workload with a custom batch size (tests and scaled
+    /// examples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures.
+    pub fn build_with_batch(kind: ModelKind, batch: usize) -> Result<Self> {
+        let graph = match kind {
+            ModelKind::Vgg19 => vgg::build(batch)?,
+            ModelKind::AlexNet => alexnet::build(batch)?,
+            ModelKind::Dcgan => dcgan::build(batch)?,
+            ModelKind::ResNet50 => resnet::build(batch)?,
+            ModelKind::InceptionV3 => inception::build(batch)?,
+            ModelKind::Lstm => lstm::build(lstm::LstmConfig {
+                batch,
+                ..Default::default()
+            })?,
+            ModelKind::Word2vec => word2vec::build(word2vec::Word2vecConfig {
+                batch,
+                ..Default::default()
+            })?,
+        };
+        Ok(Model { kind, batch, graph })
+    }
+
+    /// Which workload this is.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The minibatch size the graph was built with.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The training-step graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_at_small_batch() {
+        for kind in ModelKind::ALL {
+            let m = Model::build_with_batch(kind, 2).unwrap();
+            m.graph().validate().unwrap();
+            assert!(m.graph().op_count() > 5, "{kind} too small");
+        }
+    }
+
+    #[test]
+    fn paper_batch_sizes_match_section_v() {
+        assert_eq!(ModelKind::Vgg19.paper_batch_size(), 32);
+        assert_eq!(ModelKind::AlexNet.paper_batch_size(), 32);
+        assert_eq!(ModelKind::InceptionV3.paper_batch_size(), 32);
+        assert_eq!(ModelKind::Word2vec.paper_batch_size(), 128);
+        assert_eq!(ModelKind::ResNet50.paper_batch_size(), 128);
+        assert_eq!(ModelKind::Dcgan.paper_batch_size(), 64);
+        assert_eq!(ModelKind::Lstm.paper_batch_size(), 20);
+    }
+
+    #[test]
+    fn cnn_partition_is_consistent() {
+        for kind in ModelKind::CNNS {
+            assert!(kind.is_cnn());
+            assert!(kind.gpu_utilization().is_some());
+        }
+        assert!(!ModelKind::Lstm.is_cnn());
+        assert!(ModelKind::Word2vec.gpu_utilization().is_none());
+    }
+
+    #[test]
+    fn every_op_in_every_model_has_a_cost() {
+        for kind in ModelKind::ALL {
+            let m = Model::build_with_batch(kind, 2).unwrap();
+            let costs = pim_graph::cost::graph_costs(m.graph()).unwrap();
+            assert!(
+                costs.iter().all(|c| c.is_well_formed()),
+                "{kind} has malformed costs"
+            );
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The low-level PIM API of Table III.
+//!
+//! "(1) offloading a specific operation into specific PIM(s); (2) tracking
+//! the status of PIMs, including examining whether a PIM is busy or not;
+//! (3) querying the completion of a specific operation; (4) querying the
+//! computation location (i.e., which PIM) and input/output data location
+//! (i.e., which DRAM banks) for a specific operation." (§IV-A)
+
+use pim_common::ids::{BankId, OpId};
+use pim_common::{PimError, Result};
+use pim_hw::registers::StatusRegisters;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Where an operation's computation was placed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ComputePlacement {
+    /// On fixed-function PIMs of the listed banks, occupying `units` pairs.
+    FixedFunction {
+        /// Banks whose units participate.
+        banks: Vec<BankId>,
+        /// Total multiplier/adder pairs granted.
+        units: usize,
+    },
+    /// On the programmable PIM.
+    Programmable,
+    /// On the host CPU (not offloaded).
+    Host,
+}
+
+/// Full placement record for one offloaded operation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OpPlacement {
+    /// Where the computation ran.
+    pub compute: ComputePlacement,
+    /// Banks holding the operation's input/output tensors.
+    pub data_banks: Vec<BankId>,
+}
+
+/// The low-level runtime API over the Fig. 7 status registers.
+///
+/// # Examples
+///
+/// ```
+/// use pim_opencl::api::{ComputePlacement, LowLevelApi, OpPlacement};
+/// use pim_common::ids::{BankId, OpId};
+///
+/// let mut api = LowLevelApi::new(32);
+/// api.pim_offload(OpId::new(0), OpPlacement {
+///     compute: ComputePlacement::FixedFunction {
+///         banks: vec![BankId::new(0)],
+///         units: 24,
+///     },
+///     data_banks: vec![BankId::new(0)],
+/// }).unwrap();
+/// assert!(api.pim_is_busy(BankId::new(0)).unwrap());
+/// assert!(!api.pim_query_completion(OpId::new(0)));
+/// api.pim_complete(OpId::new(0)).unwrap();
+/// assert!(api.pim_query_completion(OpId::new(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LowLevelApi {
+    registers: StatusRegisters,
+    placements: HashMap<OpId, OpPlacement>,
+    completed: HashMap<OpId, bool>,
+}
+
+impl LowLevelApi {
+    /// An API instance over a `banks`-bank register file.
+    pub fn new(banks: usize) -> Self {
+        LowLevelApi {
+            registers: StatusRegisters::new(banks),
+            placements: HashMap::new(),
+            completed: HashMap::new(),
+        }
+    }
+
+    /// Table III function 1: offload an operation to specific PIM(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] if the op is already in
+    /// flight, or register errors for unknown banks.
+    pub fn pim_offload(&mut self, op: OpId, placement: OpPlacement) -> Result<()> {
+        if matches!(self.completed.get(&op), Some(false)) {
+            return Err(PimError::invalid(
+                "pim_offload",
+                format!("{op} is already in flight"),
+            ));
+        }
+        match &placement.compute {
+            ComputePlacement::FixedFunction { banks, .. } => {
+                for &bank in banks {
+                    self.registers.set_bank_busy(bank, true)?;
+                }
+            }
+            ComputePlacement::Programmable => self.registers.set_progr_busy(true),
+            ComputePlacement::Host => {}
+        }
+        self.placements.insert(op, placement);
+        self.completed.insert(op, false);
+        Ok(())
+    }
+
+    /// Table III function 2: is a fixed-function bank busy?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for unknown banks.
+    pub fn pim_is_busy(&self, bank: BankId) -> Result<bool> {
+        self.registers.bank_busy(bank)
+    }
+
+    /// Is the programmable PIM busy?
+    pub fn progr_is_busy(&self) -> bool {
+        self.registers.progr_busy()
+    }
+
+    /// Table III function 3: has the operation completed?
+    pub fn pim_query_completion(&self, op: OpId) -> bool {
+        self.completed.get(&op).copied().unwrap_or(false)
+    }
+
+    /// Table III function 4: where did the operation compute and where is
+    /// its data?
+    pub fn pim_query_location(&self, op: OpId) -> Option<&OpPlacement> {
+        self.placements.get(&op)
+    }
+
+    /// Marks an operation complete, freeing its busy registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for operations never offloaded.
+    pub fn pim_complete(&mut self, op: OpId) -> Result<()> {
+        let placement = self.placements.get(&op).ok_or(PimError::UnknownId {
+            kind: "op placement",
+            index: op.index(),
+        })?;
+        match &placement.compute {
+            ComputePlacement::FixedFunction { banks, .. } => {
+                let banks = banks.clone();
+                for bank in banks {
+                    self.registers.set_bank_busy(bank, false)?;
+                }
+            }
+            ComputePlacement::Programmable => self.registers.set_progr_busy(false),
+            ComputePlacement::Host => {}
+        }
+        self.completed.insert(op, true);
+        Ok(())
+    }
+
+    /// View of the underlying registers (for the scheduler's idleness
+    /// decisions).
+    pub fn registers(&self) -> &StatusRegisters {
+        &self.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ff_placement(bank: usize) -> OpPlacement {
+        OpPlacement {
+            compute: ComputePlacement::FixedFunction {
+                banks: vec![BankId::new(bank)],
+                units: 8,
+            },
+            data_banks: vec![BankId::new(bank)],
+        }
+    }
+
+    #[test]
+    fn offload_complete_cycle_updates_registers() {
+        let mut api = LowLevelApi::new(4);
+        api.pim_offload(OpId::new(1), ff_placement(2)).unwrap();
+        assert!(api.pim_is_busy(BankId::new(2)).unwrap());
+        api.pim_complete(OpId::new(1)).unwrap();
+        assert!(!api.pim_is_busy(BankId::new(2)).unwrap());
+    }
+
+    #[test]
+    fn double_offload_is_rejected() {
+        let mut api = LowLevelApi::new(4);
+        api.pim_offload(OpId::new(1), ff_placement(0)).unwrap();
+        assert!(api.pim_offload(OpId::new(1), ff_placement(1)).is_err());
+    }
+
+    #[test]
+    fn reoffload_after_completion_is_allowed() {
+        // The operation pipeline re-runs the same op id in the next step.
+        let mut api = LowLevelApi::new(4);
+        api.pim_offload(OpId::new(1), ff_placement(0)).unwrap();
+        api.pim_complete(OpId::new(1)).unwrap();
+        assert!(api.pim_offload(OpId::new(1), ff_placement(1)).is_ok());
+    }
+
+    #[test]
+    fn programmable_offload_toggles_progr_register() {
+        let mut api = LowLevelApi::new(4);
+        api.pim_offload(
+            OpId::new(9),
+            OpPlacement {
+                compute: ComputePlacement::Programmable,
+                data_banks: vec![],
+            },
+        )
+        .unwrap();
+        assert!(api.progr_is_busy());
+        api.pim_complete(OpId::new(9)).unwrap();
+        assert!(!api.progr_is_busy());
+    }
+
+    #[test]
+    fn location_query_returns_data_banks() {
+        let mut api = LowLevelApi::new(4);
+        api.pim_offload(OpId::new(3), ff_placement(1)).unwrap();
+        let loc = api.pim_query_location(OpId::new(3)).unwrap();
+        assert_eq!(loc.data_banks, vec![BankId::new(1)]);
+    }
+
+    #[test]
+    fn completing_unknown_op_fails() {
+        let mut api = LowLevelApi::new(4);
+        assert!(api.pim_complete(OpId::new(5)).is_err());
+    }
+}

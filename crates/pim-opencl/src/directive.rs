@@ -1,0 +1,245 @@
+//! A directive-style kernel frontend (the OpenACC role of §III-B).
+//!
+//! "To write OpenCL code for operations, one can use OpenACC directives and
+//! compilers to automatically transform the original code into OpenCL
+//! code." This module provides that higher-level path: a loop nest is
+//! described with parallel/sequential directives and statement bodies, and
+//! lowering produces the same [`KernelSource`] IR the binary-generation
+//! pass consumes — so a directive-annotated operation compiles into the
+//! full four-binary set without the author touching the IR.
+
+use crate::kir::{KernelSource, Region};
+use pim_common::{PimError, Result};
+use serde::{Deserialize, Serialize};
+
+/// What a loop-body statement computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `acc += a * b` — a fused multiply-accumulate.
+    MultiplyAccumulate,
+    /// `out = a * b`.
+    Multiply,
+    /// `out = a + b`.
+    Add,
+    /// A comparison/select (max, relu-style conditional).
+    CompareSelect,
+    /// A transcendental (exp, tanh, sqrt, division).
+    Transcendental,
+    /// A pure copy (gather/scatter/slice).
+    Copy,
+}
+
+/// How a loop is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopDirective {
+    /// `#pragma acc parallel` — iterations are independent.
+    Parallel,
+    /// `#pragma acc seq` — iterations carry a dependency.
+    Sequential,
+}
+
+/// One loop of the nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Loop {
+    /// Trip count.
+    pub trip_count: u64,
+    /// Scheduling directive.
+    pub directive: LoopDirective,
+}
+
+/// A directive-annotated loop nest: loops outermost-first, plus the
+/// statements of the innermost body.
+///
+/// # Examples
+///
+/// A 3x3 convolution window accumulation, parallel over outputs and
+/// sequential over the window:
+///
+/// ```
+/// use pim_opencl::directive::{DirectiveKernel, Loop, LoopDirective, Statement};
+///
+/// # fn main() -> pim_common::Result<()> {
+/// let kernel = DirectiveKernel::new("conv_window")
+///     .with_loop(Loop { trip_count: 1024, directive: LoopDirective::Parallel })
+///     .with_loop(Loop { trip_count: 9, directive: LoopDirective::Sequential })
+///     .with_statement(Statement::MultiplyAccumulate)
+///     .lower()?;
+/// assert!(kernel.is_pure_mul_add());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectiveKernel {
+    name: String,
+    loops: Vec<Loop>,
+    body: Vec<Statement>,
+}
+
+impl DirectiveKernel {
+    /// Starts a kernel description.
+    pub fn new(name: impl Into<String>) -> Self {
+        DirectiveKernel {
+            name: name.into(),
+            loops: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends a loop (outermost first).
+    #[must_use]
+    pub fn with_loop(mut self, l: Loop) -> Self {
+        self.loops.push(l);
+        self
+    }
+
+    /// Appends a body statement.
+    #[must_use]
+    pub fn with_statement(mut self, s: Statement) -> Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Total innermost-body executions.
+    fn iterations(&self) -> f64 {
+        self.loops.iter().map(|l| l.trip_count as f64).product()
+    }
+
+    /// The parallelism the directives expose: the product of parallel trip
+    /// counts (what the fixed-function pool can exploit at once).
+    pub fn exposed_parallelism(&self) -> u64 {
+        self.loops
+            .iter()
+            .filter(|l| l.directive == LoopDirective::Parallel)
+            .map(|l| l.trip_count)
+            .product::<u64>()
+            .max(1)
+    }
+
+    /// Lowers the directives into kernel IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] for empty bodies or zero trip
+    /// counts.
+    pub fn lower(&self) -> Result<KernelSource> {
+        if self.body.is_empty() {
+            return Err(PimError::invalid("DirectiveKernel::lower", "empty body"));
+        }
+        if self.loops.iter().any(|l| l.trip_count == 0) {
+            return Err(PimError::invalid(
+                "DirectiveKernel::lower",
+                "zero trip count",
+            ));
+        }
+        let iters = self.iterations();
+        let (mut muls, mut adds, mut other, mut copies) = (0.0f64, 0.0, 0.0, 0.0);
+        for s in &self.body {
+            match s {
+                Statement::MultiplyAccumulate => {
+                    muls += iters;
+                    adds += iters;
+                }
+                Statement::Multiply => muls += iters,
+                Statement::Add => adds += iters,
+                Statement::CompareSelect => other += iters,
+                Statement::Transcendental => other += 4.0 * iters,
+                Statement::Copy => copies += iters,
+            }
+        }
+        let parallelism = usize::try_from(self.exposed_parallelism()).unwrap_or(usize::MAX);
+        let mut body = Vec::new();
+        // Loop bookkeeping: one control op per iteration of each loop level.
+        let control: f64 = self
+            .loops
+            .iter()
+            .scan(1.0f64, |outer, l| {
+                *outer *= l.trip_count as f64;
+                Some(*outer)
+            })
+            .sum();
+        body.push(Region::Control {
+            ops: control + copies,
+        });
+        if muls + adds > 0.0 {
+            body.push(Region::MulAdd {
+                muls,
+                adds,
+                parallelism,
+            });
+        }
+        if other > 0.0 {
+            body.push(Region::OtherArithmetic { flops: other });
+        }
+        Ok(KernelSource {
+            name: self.name.clone(),
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::BinarySet;
+
+    fn mac_nest() -> DirectiveKernel {
+        DirectiveKernel::new("gemm_tile")
+            .with_loop(Loop {
+                trip_count: 64,
+                directive: LoopDirective::Parallel,
+            })
+            .with_loop(Loop {
+                trip_count: 64,
+                directive: LoopDirective::Parallel,
+            })
+            .with_loop(Loop {
+                trip_count: 32,
+                directive: LoopDirective::Sequential,
+            })
+            .with_statement(Statement::MultiplyAccumulate)
+    }
+
+    #[test]
+    fn mac_nest_lowers_to_pure_mul_add() {
+        let kernel = mac_nest().lower().unwrap();
+        assert!(kernel.is_pure_mul_add());
+        assert_eq!(kernel.mul_add_flops(), 2.0 * 64.0 * 64.0 * 32.0);
+    }
+
+    #[test]
+    fn lowered_kernels_feed_binary_generation() {
+        let set = BinarySet::generate(mac_nest().lower().unwrap());
+        assert!(set.runs_whole_on_fixed());
+        assert!(set.supports_recursive_kernel());
+    }
+
+    #[test]
+    fn relu_nest_is_not_offloadable() {
+        let kernel = DirectiveKernel::new("relu")
+            .with_loop(Loop {
+                trip_count: 4096,
+                directive: LoopDirective::Parallel,
+            })
+            .with_statement(Statement::CompareSelect)
+            .lower()
+            .unwrap();
+        assert!(!kernel.has_mul_add_region());
+    }
+
+    #[test]
+    fn parallel_loops_expose_parallelism() {
+        assert_eq!(mac_nest().exposed_parallelism(), 64 * 64);
+    }
+
+    #[test]
+    fn invalid_nests_are_rejected() {
+        assert!(DirectiveKernel::new("empty").lower().is_err());
+        let zero = DirectiveKernel::new("zero")
+            .with_loop(Loop {
+                trip_count: 0,
+                directive: LoopDirective::Parallel,
+            })
+            .with_statement(Statement::Add);
+        assert!(zero.lower().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! A miniature kernel IR.
+//!
+//! Binary generation (Fig. 4) is a real code transformation here: an
+//! OpenCL-style kernel is a sequence of [`Region`]s — multiply/add loops,
+//! other-arithmetic loops, control sections — and the splitter extracts the
+//! multiply/add regions into small fixed-function kernels, replacing them
+//! with [`Region::CallFixed`] sites in the programmable-PIM binary.
+
+use pim_tensor::cost::{CostProfile, OffloadClass};
+use serde::{Deserialize, Serialize};
+
+/// One structured region of a kernel body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// A loop nest of pure multiply/add work (offloadable to
+    /// fixed-function PIMs).
+    MulAdd {
+        /// Multiplications in the region.
+        muls: f64,
+        /// Additions in the region.
+        adds: f64,
+        /// Fixed-function units the region can occupy at once.
+        parallelism: usize,
+    },
+    /// Arithmetic that fixed-function units cannot express (compares,
+    /// transcendentals, divisions).
+    OtherArithmetic {
+        /// Operation count.
+        flops: f64,
+    },
+    /// Loop/branch/address bookkeeping.
+    Control {
+        /// Instruction count.
+        ops: f64,
+    },
+    /// A call site to an extracted fixed-function kernel (present only in
+    /// generated programmable-PIM binaries).
+    CallFixed {
+        /// Index into the companion list of extracted kernels.
+        kernel_index: usize,
+    },
+}
+
+impl Region {
+    /// True for regions a fixed-function PIM can execute.
+    pub fn is_mul_add(&self) -> bool {
+        matches!(self, Region::MulAdd { .. })
+    }
+}
+
+/// An OpenCL-style kernel: name plus structured body.
+///
+/// # Examples
+///
+/// ```
+/// use pim_opencl::kir::KernelSource;
+/// use pim_tensor::cost::{CostProfile, OffloadClass};
+/// use pim_common::units::Bytes;
+///
+/// let cost = CostProfile::compute(
+///     100.0, 99.0, 10.0, Bytes::new(800.0), Bytes::new(400.0),
+///     OffloadClass::PartiallyMulAdd { ma_fraction: 0.95 }, 9,
+/// );
+/// let kernel = KernelSource::from_cost("Conv2DBackpropFilter", &cost);
+/// assert!(kernel.has_mul_add_region());
+/// assert!(!kernel.is_pure_mul_add());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSource {
+    /// Kernel name (the TensorFlow op name).
+    pub name: String,
+    /// Structured body.
+    pub body: Vec<Region>,
+}
+
+impl KernelSource {
+    /// Synthesizes the kernel structure implied by an operation's cost
+    /// profile: its multiply/add core (if any), its other-arithmetic
+    /// phases, and its control scaffolding.
+    pub fn from_cost(name: impl Into<String>, cost: &CostProfile) -> Self {
+        let mut body = Vec::new();
+        // Control prologue (index setup — Fig. 6's "computation phase 1").
+        if cost.control_ops > 0.0 {
+            body.push(Region::Control {
+                ops: cost.control_ops / 2.0,
+            });
+        }
+        match cost.class {
+            OffloadClass::FullyMulAdd => {
+                body.push(Region::MulAdd {
+                    muls: cost.muls,
+                    adds: cost.adds,
+                    parallelism: cost.ff_parallelism,
+                });
+            }
+            OffloadClass::PartiallyMulAdd { .. } => {
+                // Interleaved other-arithmetic and multiply/add phases, the
+                // Conv2DBackpropFilter shape of Fig. 6.
+                body.push(Region::OtherArithmetic {
+                    flops: cost.other_flops / 2.0,
+                });
+                body.push(Region::MulAdd {
+                    muls: cost.muls,
+                    adds: cost.adds,
+                    parallelism: cost.ff_parallelism,
+                });
+                body.push(Region::OtherArithmetic {
+                    flops: cost.other_flops / 2.0,
+                });
+            }
+            OffloadClass::NonMulAdd => {
+                body.push(Region::OtherArithmetic {
+                    flops: cost.other_flops + cost.ma_flops(),
+                });
+            }
+            OffloadClass::DataMovement => {}
+        }
+        // Control epilogue (write-back bookkeeping).
+        if cost.control_ops > 0.0 {
+            body.push(Region::Control {
+                ops: cost.control_ops / 2.0,
+            });
+        }
+        KernelSource {
+            name: name.into(),
+            body,
+        }
+    }
+
+    /// True when at least one region is offloadable to fixed-function PIMs.
+    pub fn has_mul_add_region(&self) -> bool {
+        self.body.iter().any(Region::is_mul_add)
+    }
+
+    /// True when *every* region is multiply/add (the whole kernel can run
+    /// on fixed-function PIMs without the programmable PIM).
+    pub fn is_pure_mul_add(&self) -> bool {
+        self.body.iter().all(|r| {
+            matches!(
+                r,
+                Region::MulAdd { .. } | Region::Control { .. }
+            )
+        }) && self.has_mul_add_region()
+    }
+
+    /// Total multiply/add flops across regions.
+    pub fn mul_add_flops(&self) -> f64 {
+        self.body
+            .iter()
+            .map(|r| match r {
+                Region::MulAdd { muls, adds, .. } => muls + adds,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_common::units::Bytes;
+
+    fn cost(class: OffloadClass) -> CostProfile {
+        CostProfile::compute(
+            50.0,
+            50.0,
+            20.0,
+            Bytes::new(640.0),
+            Bytes::new(64.0),
+            class,
+            7,
+        )
+    }
+
+    #[test]
+    fn fully_mul_add_kernels_are_pure() {
+        let k = KernelSource::from_cost("MatMul", &cost(OffloadClass::FullyMulAdd));
+        assert!(k.is_pure_mul_add());
+        assert_eq!(k.mul_add_flops(), 100.0);
+    }
+
+    #[test]
+    fn partially_mul_add_kernels_interleave_phases() {
+        let k = KernelSource::from_cost(
+            "Conv2DBackpropFilter",
+            &cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.8 }),
+        );
+        assert!(k.has_mul_add_region());
+        assert!(!k.is_pure_mul_add());
+        // phase-1 other / MA / phase-2 other ordering, inside control.
+        let kinds: Vec<bool> = k.body.iter().map(Region::is_mul_add).collect();
+        assert_eq!(kinds, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn non_mul_add_kernels_have_no_offloadable_region() {
+        let k = KernelSource::from_cost("Relu", &cost(OffloadClass::NonMulAdd));
+        assert!(!k.has_mul_add_region());
+    }
+
+    #[test]
+    fn data_movement_kernels_are_control_only() {
+        let k = KernelSource::from_cost("Slice", &CostProfile::movement(
+            Bytes::new(256.0),
+            Bytes::new(256.0),
+            pim_common::access::AccessPattern::Sequential,
+        ));
+        assert!(!k.has_mul_add_region());
+        assert!(!k.body.is_empty()); // control scaffolding remains
+    }
+}

@@ -1,0 +1,48 @@
+//! The extended OpenCL programming model for heterogeneous PIM (Table II).
+//!
+//! * [`platform`] — the platform mapping of Fig. 5(b): fixed-function PIMs
+//!   per bank form compute units of one device; the programmable PIM is a
+//!   second device,
+//! * [`kir`] — a miniature kernel IR so binary generation is a real code
+//!   transformation,
+//! * [`binary`] — the four-binary compilation pass of Fig. 4, including the
+//!   extraction that powers recursive PIM kernels,
+//! * [`directive`] — the OpenACC-style loop-nest frontend that lowers into
+//!   the same IR (the §III-B program-maintenance path),
+//! * [`queue`] — command queues with accelerator-to-accelerator submission
+//!   and explicit CPU-PIM synchronization,
+//! * [`memory`] — the single shared global memory with bank-aware placement
+//!   and relaxed consistency,
+//! * [`api`] — the low-level PIM control API of Table III.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_opencl::binary::BinarySet;
+//! use pim_opencl::kir::KernelSource;
+//! use pim_tensor::cost::{CostProfile, OffloadClass};
+//! use pim_common::units::Bytes;
+//!
+//! // Compile a MatMul-like kernel: pure multiply/add, so all four
+//! // binaries of Fig. 4 exist.
+//! let cost = CostProfile::compute(
+//!     1e6, 1e6, 0.0, Bytes::new(1e4), Bytes::new(1e4),
+//!     OffloadClass::FullyMulAdd, 63,
+//! );
+//! let set = BinarySet::generate(KernelSource::from_cost("MatMul", &cost));
+//! assert!(set.runs_whole_on_fixed());
+//! assert!(set.supports_recursive_kernel());
+//! ```
+
+pub mod api;
+pub mod directive;
+pub mod binary;
+pub mod kir;
+pub mod memory;
+pub mod platform;
+pub mod queue;
+
+pub use api::{ComputePlacement, LowLevelApi, OpPlacement};
+pub use binary::BinarySet;
+pub use kir::KernelSource;
+pub use platform::{DeviceKind, Platform};

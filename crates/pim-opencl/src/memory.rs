@@ -1,0 +1,187 @@
+//! The extended memory model (Table II): a single shared global memory
+//! with explicit synchronization and relaxed consistency.
+//!
+//! "On a heterogeneous PIM system, only a single global memory (i.e., the
+//! main memory) exists ... shared between CPU and PIMs, and addressed
+//! within a unified physical address space." Tensor placement across banks
+//! feeds the locality rule of §IV-D (fixed-function PIMs operate on data in
+//! their own bank), and the visibility rules encode the paper's relaxed
+//! consistency: updates by fixed-function PIMs become globally visible at
+//! kernel-call boundaries.
+
+use pim_common::ids::{BankId, TensorId};
+use pim_common::{PimError, Result};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Where a tensor lives: the banks its pages are striped over.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TensorPlacement {
+    /// Banks holding the tensor's pages, in stripe order.
+    pub banks: Vec<BankId>,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// The single shared global memory with bank-aware allocation.
+///
+/// # Examples
+///
+/// ```
+/// use pim_opencl::memory::SharedGlobalMemory;
+/// use pim_common::ids::TensorId;
+///
+/// let mut mem = SharedGlobalMemory::new(32, 4096);
+/// mem.allocate(TensorId::new(0), 10_000).unwrap();
+/// let placement = mem.placement(TensorId::new(0)).unwrap();
+/// assert_eq!(placement.banks.len(), 3); // ceil(10_000 / 4096) pages
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedGlobalMemory {
+    banks: usize,
+    page_bytes: usize,
+    bank_load: Vec<usize>,
+    placements: HashMap<TensorId, TensorPlacement>,
+}
+
+impl SharedGlobalMemory {
+    /// A memory with `banks` banks and `page_bytes` allocation granularity.
+    pub fn new(banks: usize, page_bytes: usize) -> Self {
+        SharedGlobalMemory {
+            banks,
+            page_bytes,
+            bank_load: vec![0; banks],
+            placements: HashMap::new(),
+        }
+    }
+
+    /// Allocates a tensor, striping its pages over the least-loaded banks
+    /// (balancing bank-local fixed-function work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] for zero-sized tensors or
+    /// duplicate ids.
+    pub fn allocate(&mut self, tensor: TensorId, bytes: usize) -> Result<()> {
+        if bytes == 0 {
+            return Err(PimError::invalid("SharedGlobalMemory::allocate", "zero bytes"));
+        }
+        if self.placements.contains_key(&tensor) {
+            return Err(PimError::invalid(
+                "SharedGlobalMemory::allocate",
+                format!("tensor {tensor} already allocated"),
+            ));
+        }
+        let pages = bytes.div_ceil(self.page_bytes);
+        let mut banks = Vec::with_capacity(pages);
+        for _ in 0..pages {
+            let bank = self
+                .bank_load
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &load)| load)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.bank_load[bank] += self.page_bytes;
+            banks.push(BankId::new(bank));
+        }
+        self.placements
+            .insert(tensor, TensorPlacement { banks, bytes });
+        Ok(())
+    }
+
+    /// The placement of a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for unallocated tensors.
+    pub fn placement(&self, tensor: TensorId) -> Result<&TensorPlacement> {
+        self.placements.get(&tensor).ok_or(PimError::UnknownId {
+            kind: "tensor placement",
+            index: tensor.index(),
+        })
+    }
+
+    /// The bank holding the first page — where bank-local fixed-function
+    /// work on this tensor is anchored (§IV-D locality rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for unallocated tensors.
+    pub fn home_bank(&self, tensor: TensorId) -> Result<BankId> {
+        Ok(self.placement(tensor)?.banks[0])
+    }
+
+    /// Bytes allocated on each bank.
+    pub fn bank_load(&self) -> &[usize] {
+        &self.bank_load
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+}
+
+/// Visibility of a write under the paper's relaxed consistency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Visibility {
+    /// Visible only to the writing PIM (kernel still in flight).
+    WriterLocal,
+    /// Visible to every device (the writer's kernel call has completed).
+    Global,
+}
+
+/// Applies the Table II consistency rule: "updates to memory locations by
+/// the entire set of fixed-function PIMs are not visible until the end of
+/// the kernel call."
+pub fn write_visibility(kernel_completed: bool) -> Visibility {
+    if kernel_completed {
+        Visibility::Global
+    } else {
+        Visibility::WriterLocal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_balances_banks() {
+        let mut mem = SharedGlobalMemory::new(4, 64);
+        for i in 0..8 {
+            mem.allocate(TensorId::new(i), 64).unwrap();
+        }
+        // 8 single-page tensors over 4 banks: 2 pages each.
+        assert!(mem.bank_load().iter().all(|&l| l == 128));
+    }
+
+    #[test]
+    fn zero_and_duplicate_allocations_fail() {
+        let mut mem = SharedGlobalMemory::new(2, 64);
+        assert!(mem.allocate(TensorId::new(0), 0).is_err());
+        mem.allocate(TensorId::new(0), 10).unwrap();
+        assert!(mem.allocate(TensorId::new(0), 10).is_err());
+    }
+
+    #[test]
+    fn home_bank_is_first_stripe() {
+        let mut mem = SharedGlobalMemory::new(2, 64);
+        mem.allocate(TensorId::new(0), 200).unwrap();
+        let home = mem.home_bank(TensorId::new(0)).unwrap();
+        assert_eq!(home, mem.placement(TensorId::new(0)).unwrap().banks[0]);
+    }
+
+    #[test]
+    fn relaxed_consistency_hides_in_flight_writes() {
+        assert_eq!(write_visibility(false), Visibility::WriterLocal);
+        assert_eq!(write_visibility(true), Visibility::Global);
+    }
+
+    #[test]
+    fn unknown_tensor_is_an_error() {
+        let mem = SharedGlobalMemory::new(2, 64);
+        assert!(mem.placement(TensorId::new(7)).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Command queues, events, and synchronization (Table II execution model).
+//!
+//! The extension beyond native OpenCL: accelerators may submit work to
+//! accelerators (recursive kernel invocation), and synchronization between
+//! CPU and PIMs is explicit — the programmable PIM drives completion
+//! signaling so the CPU is not interrupted per kernel (§III-B).
+
+use pim_common::ids::{DeviceId, KernelId, OpId};
+use pim_common::{PimError, Result};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Who submitted a command — native OpenCL only allows `Host`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Submitter {
+    /// The host program (native OpenCL path).
+    Host,
+    /// The programmable PIM (the recursive-kernel extension).
+    ProgrammablePim,
+}
+
+/// One enqueued kernel invocation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Command {
+    /// The kernel being launched.
+    pub kernel: KernelId,
+    /// The operation it implements.
+    pub op: OpId,
+    /// Who enqueued it.
+    pub submitter: Submitter,
+}
+
+/// A completion event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Event {
+    /// The operation whose completion this event signals.
+    pub op: OpId,
+}
+
+/// An in-order command queue attached to one compute device.
+///
+/// # Examples
+///
+/// ```
+/// use pim_opencl::queue::{CommandQueue, Submitter};
+/// use pim_common::ids::{DeviceId, KernelId, OpId};
+///
+/// let mut q = CommandQueue::new(DeviceId::new(1));
+/// q.enqueue(KernelId::new(0), OpId::new(0), Submitter::Host);
+/// q.enqueue(KernelId::new(1), OpId::new(1), Submitter::ProgrammablePim);
+/// assert_eq!(q.len(), 2);
+/// let first = q.dequeue().unwrap();
+/// assert_eq!(first.op, OpId::new(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandQueue {
+    device: DeviceId,
+    pending: VecDeque<Command>,
+    completed: Vec<Event>,
+}
+
+impl CommandQueue {
+    /// An empty queue for `device`.
+    pub fn new(device: DeviceId) -> Self {
+        CommandQueue {
+            device,
+            pending: VecDeque::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The attached device.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Appends a command (host path or recursive-PIM path).
+    pub fn enqueue(&mut self, kernel: KernelId, op: OpId, submitter: Submitter) {
+        self.pending.push_back(Command {
+            kernel,
+            op,
+            submitter,
+        });
+    }
+
+    /// Pops the next command in order.
+    pub fn dequeue(&mut self) -> Option<Command> {
+        self.pending.pop_front()
+    }
+
+    /// Records completion of an operation; the programmable PIM "checks the
+    /// completion of operations offloaded to PIMs and sends the completion
+    /// information to CPU" (§III-B).
+    pub fn signal_completion(&mut self, op: OpId) {
+        self.completed.push(Event { op });
+    }
+
+    /// True when `op` has completed on this queue.
+    pub fn is_complete(&self, op: OpId) -> bool {
+        self.completed.iter().any(|e| e.op == op)
+    }
+
+    /// Pending command count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no commands are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Blocks (logically) until every enqueued command has been dequeued
+    /// and signaled — the explicit CPU–PIM barrier of the extended memory
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Internal`] when commands are still pending —
+    /// the caller (the runtime engine) must drain the queue first.
+    pub fn barrier(&self) -> Result<()> {
+        if !self.pending.is_empty() {
+            return Err(PimError::internal(format!(
+                "barrier on queue {} with {} pending commands",
+                self.device,
+                self.pending.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A global lock variable in shared memory, usable from CPU and PIM sides
+/// (the synchronization-point mechanism of the extended memory model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct GlobalLock {
+    holder: Option<Submitter>,
+}
+
+impl GlobalLock {
+    /// An unheld lock.
+    pub fn new() -> Self {
+        GlobalLock::default()
+    }
+
+    /// Attempts to take the lock; returns whether it was acquired.
+    pub fn try_acquire(&mut self, who: Submitter) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(who);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] when released by a non-holder.
+    pub fn release(&mut self, who: Submitter) -> Result<()> {
+        match self.holder {
+            Some(h) if h == who => {
+                self.holder = None;
+                Ok(())
+            }
+            _ => Err(PimError::invalid(
+                "GlobalLock::release",
+                "released by non-holder",
+            )),
+        }
+    }
+
+    /// The current holder, if any.
+    pub fn holder(&self) -> Option<Submitter> {
+        self.holder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut q = CommandQueue::new(DeviceId::new(0));
+        for i in 0..3 {
+            q.enqueue(KernelId::new(i), OpId::new(i), Submitter::Host);
+        }
+        assert_eq!(q.dequeue().unwrap().op, OpId::new(0));
+        assert_eq!(q.dequeue().unwrap().op, OpId::new(1));
+    }
+
+    #[test]
+    fn recursive_submission_is_first_class() {
+        let mut q = CommandQueue::new(DeviceId::new(1));
+        q.enqueue(KernelId::new(0), OpId::new(0), Submitter::ProgrammablePim);
+        assert_eq!(q.dequeue().unwrap().submitter, Submitter::ProgrammablePim);
+    }
+
+    #[test]
+    fn barrier_requires_drained_queue() {
+        let mut q = CommandQueue::new(DeviceId::new(0));
+        q.enqueue(KernelId::new(0), OpId::new(0), Submitter::Host);
+        assert!(q.barrier().is_err());
+        q.dequeue();
+        q.signal_completion(OpId::new(0));
+        assert!(q.barrier().is_ok());
+        assert!(q.is_complete(OpId::new(0)));
+    }
+
+    #[test]
+    fn lock_is_mutually_exclusive() {
+        let mut lock = GlobalLock::new();
+        assert!(lock.try_acquire(Submitter::Host));
+        assert!(!lock.try_acquire(Submitter::ProgrammablePim));
+        assert!(lock.release(Submitter::ProgrammablePim).is_err());
+        lock.release(Submitter::Host).unwrap();
+        assert!(lock.try_acquire(Submitter::ProgrammablePim));
+    }
+}

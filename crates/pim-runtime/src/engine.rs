@@ -1,0 +1,1276 @@
+//! The runtime engine: placement policy + discrete-event simulation.
+//!
+//! Implements the §III-C scheduler — profiling-based candidate selection,
+//! the three scheduling principles, recursive PIM kernels (RC), and the
+//! operation pipeline (OP) — over the device models of `pim-hw`. The five
+//! system configurations of §VI map onto [`EngineConfig`] constructors
+//! (the GPU baseline is analytic and lives in `pim-sim`).
+
+use crate::profiler::profile_step;
+use crate::select::{select_candidates, CandidateSet};
+use crate::stats::{ExecutionReport, BASE_SYSTEM_POWER};
+use pim_common::units::Watts;
+use crate::sync::{
+    kernel_calls, HOST_CALL, HOST_FF_SYNC, HOST_PROGR_SYNC, PIM_CALL, PIM_INTERNAL_SYNC,
+    STEP_BARRIER,
+};
+use pim_common::units::{Joules, Seconds};
+
+/// Idle power of the host package while PIMs execute (uncore + cores in
+/// shallow sleep, still running the framework runtime).
+const HOST_IDLE_POWER: Watts = Watts::new(40.0);
+
+/// CPU-side runtime cost of one scheduling decision (querying the busy
+/// registers, picking a device, enqueueing) — the price of the dynamic
+/// scheduler itself, paid only by the heterogeneous configuration.
+const PLACEMENT_DECISION: Seconds = Seconds::new(25e-6);
+use pim_common::{PimError, Result};
+use pim_graph::cost::graph_costs;
+use pim_graph::Graph;
+use pim_hw::arm::{ProgrammablePim, ProgrammablePool};
+use pim_hw::cpu::CpuDevice;
+use pim_hw::fixed::{FixedFunctionPool, FixedPoolConfig};
+use pim_mem::stack::StackConfig;
+use pim_tensor::cost::{CostProfile, OffloadClass};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Which compute complement the simulated system has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SystemMode {
+    /// Everything on the host CPU.
+    CpuOnly,
+    /// Everything on the programmable-PIM pool ("Progr PIM" baseline).
+    ProgrOnly,
+    /// Fixed-function PIMs driven by the host; the rest on CPU
+    /// ("Fixed PIM" baseline).
+    FixedHost,
+    /// The full heterogeneous PIM (fixed-function pool + one programmable
+    /// PIM + CPU).
+    Hetero,
+}
+
+/// Engine configuration: system complement plus runtime-technique toggles.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineConfig {
+    /// Display name for reports.
+    pub name: String,
+    /// Compute complement.
+    pub mode: SystemMode,
+    /// Recursive PIM kernels enabled (§III-B).
+    pub recursive_kernels: bool,
+    /// Operation pipeline enabled (§III-C); when off, execution is
+    /// serialized as in the baselines "without runtime scheduling".
+    pub operation_pipeline: bool,
+    /// Steps allowed in flight simultaneously under the pipeline.
+    pub pipeline_depth: usize,
+    /// Candidate-selection coverage (the paper's x = 90%).
+    pub coverage: f64,
+    /// The 3D memory stack (carries the frequency multiplier of §VI-D).
+    pub stack: StackConfig,
+    /// ARM cores of the programmable PIM.
+    pub arm_cores: usize,
+    /// Fixed-function units on the logic die.
+    pub ff_units: usize,
+}
+
+impl EngineConfig {
+    fn base(name: &str, mode: SystemMode) -> Self {
+        EngineConfig {
+            name: name.to_string(),
+            mode,
+            recursive_kernels: false,
+            operation_pipeline: false,
+            pipeline_depth: 4,
+            coverage: 0.90,
+            stack: StackConfig::hmc2(),
+            arm_cores: 4,
+            ff_units: pim_hw::fixed::DEFAULT_UNITS,
+        }
+    }
+
+    /// The "CPU" configuration of §VI.
+    pub fn cpu_only() -> Self {
+        EngineConfig::base("CPU", SystemMode::CpuOnly)
+    }
+
+    /// The "Progr PIM" configuration: programmable PIMs only, no runtime
+    /// scheduling.
+    pub fn progr_only() -> Self {
+        EngineConfig::base("Progr PIM", SystemMode::ProgrOnly)
+    }
+
+    /// The "Fixed PIM" configuration: fixed-function PIMs plus CPU, no
+    /// runtime scheduling.
+    pub fn fixed_host() -> Self {
+        EngineConfig::base("Fixed PIM", SystemMode::FixedHost)
+    }
+
+    /// The full "Hetero PIM" configuration with RC and OP.
+    pub fn hetero() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM", SystemMode::Hetero);
+        cfg.recursive_kernels = true;
+        cfg.operation_pipeline = true;
+        cfg
+    }
+
+    /// Hetero hardware without either runtime technique (Fig. 13's
+    /// "Hetero PIM" ablation bar).
+    pub fn hetero_bare() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM (no RC/OP)", SystemMode::Hetero);
+        cfg.recursive_kernels = false;
+        cfg.operation_pipeline = false;
+        cfg
+    }
+
+    /// Hetero hardware with recursive kernels but no operation pipeline
+    /// (Fig. 13's "+RC" bar).
+    pub fn hetero_rc() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM +RC", SystemMode::Hetero);
+        cfg.recursive_kernels = true;
+        cfg.operation_pipeline = false;
+        cfg
+    }
+
+    /// Returns a copy with a different stack (frequency-scaling studies).
+    pub fn with_stack(mut self, stack: StackConfig) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Returns a copy with a different PIM complement (Fig. 12 scaling).
+    pub fn with_pim_complement(mut self, arm_cores: usize, ff_units: usize) -> Self {
+        self.arm_cores = arm_cores;
+        self.ff_units = ff_units;
+        self
+    }
+}
+
+/// One workload participating in a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec<'g> {
+    /// The training-step graph.
+    pub graph: &'g Graph,
+    /// Steps to simulate.
+    pub steps: usize,
+    /// Restrict to CPU + programmable PIM (the §VI-F non-CNN co-runner
+    /// rule: "the non-CNN model executes on CPU or the programmable PIM,
+    /// when they are idle").
+    pub cpu_progr_only: bool,
+}
+
+/// Where an operation is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanKind {
+    Cpu,
+    ProgrPool,
+    Progr,
+    FixedWhole { rc_runtime: bool, units: usize },
+    HostSplit { units: usize },
+    Recursive { units: usize },
+}
+
+/// Fully costed placement of one op instance.
+#[derive(Debug, Clone, Copy)]
+struct PlannedOp {
+    duration: Seconds,
+    op_part: Seconds,
+    dm_part: Seconds,
+    sync_part: Seconds,
+    energy: Joules,
+    ff_units: usize,
+    /// Time the granted fixed-function units actually compute (utilization
+    /// accounting counts useful busy time, not reservation time).
+    ff_busy: Seconds,
+    uses_cpu: bool,
+    uses_progr: bool,
+}
+
+/// Splits a cost profile into its multiply/add core and the remainder.
+fn split_cost(cost: &CostProfile) -> (CostProfile, CostProfile) {
+    let total = cost.total_flops().max(1.0);
+    let ma_frac = cost.ma_flops() / total;
+    let ma = CostProfile {
+        muls: cost.muls,
+        adds: cost.adds,
+        other_flops: 0.0,
+        control_ops: cost.control_ops * ma_frac,
+        bytes_read: cost.bytes_read * ma_frac,
+        bytes_written: cost.bytes_written * ma_frac,
+        pattern: cost.pattern,
+        ff_parallelism: cost.ff_parallelism,
+        class: OffloadClass::FullyMulAdd,
+    };
+    let rest = CostProfile {
+        muls: 0.0,
+        adds: 0.0,
+        other_flops: cost.other_flops,
+        control_ops: cost.control_ops * (1.0 - ma_frac),
+        bytes_read: cost.bytes_read * (1.0 - ma_frac),
+        bytes_written: cost.bytes_written * (1.0 - ma_frac),
+        pattern: cost.pattern,
+        ff_parallelism: 0,
+        class: OffloadClass::NonMulAdd,
+    };
+    (ma, rest)
+}
+
+/// Normalizes raw part sums so `op + dm + sync == duration` exactly.
+fn normalized_parts(
+    duration: Seconds,
+    op_raw: Seconds,
+    dm_raw: Seconds,
+    sync_raw: Seconds,
+) -> (Seconds, Seconds, Seconds) {
+    let total = (op_raw + dm_raw + sync_raw).seconds();
+    if total <= 0.0 {
+        return (duration, Seconds::ZERO, Seconds::ZERO);
+    }
+    let scale = duration.seconds() / total;
+    let op = op_raw * scale;
+    let dm = dm_raw * scale;
+    (op, dm, duration - op - dm)
+}
+
+/// The engine: devices + policy for one configuration.
+pub struct Engine {
+    cfg: EngineConfig,
+    cpu: CpuDevice,
+    progr: ProgrammablePim,
+    /// Core pair used per kernel in scheduled mode: the programmable-PIM
+    /// runtime dedicates two cores to each in-flight kernel so two
+    /// recursive kernels can proceed concurrently.
+    progr_pair: ProgrammablePim,
+    progr_pool: ProgrammablePool,
+    pool_cfg: FixedPoolConfig,
+}
+
+impl Engine {
+    /// Builds the engine for a configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let progr = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores);
+        let progr_pair = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores.div_ceil(2).max(1));
+        let progr_pool = ProgrammablePool::unlimited(&cfg.stack);
+        let pool_cfg = FixedPoolConfig::with_units(&cfg.stack, cfg.ff_units);
+        Engine {
+            cfg,
+            cpu,
+            progr,
+            progr_pair,
+            progr_pool,
+            pool_cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The ARM device serving one kernel: the whole processor when
+    /// execution is serialized, a core pair when the scheduler runs two
+    /// kernels concurrently.
+    fn arm_device(&self) -> &ProgrammablePim {
+        if self.cfg.operation_pipeline {
+            &self.progr_pair
+        } else {
+            &self.progr
+        }
+    }
+
+    /// Host-side kernel calls are cheaper on the hetero hardware even
+    /// without recursive kernels: the programmable PIM drives completion
+    /// synchronization, avoiding frequent interrupts to the CPU (§III-B).
+    fn host_call_factor(&self) -> f64 {
+        if self.cfg.mode == SystemMode::Hetero {
+            0.75
+        } else {
+            1.0
+        }
+    }
+
+    fn plan_cost(&self, kind: PlanKind, cost: &CostProfile) -> PlannedOp {
+        match kind {
+            PlanKind::Cpu => {
+                let est = self.cpu.estimate_op(cost);
+                let busy = est.compute_time.max(est.memory_time);
+                let (op, dm, sync) = normalized_parts(
+                    busy + est.dispatch_time,
+                    est.compute_time,
+                    busy - est.compute_time,
+                    est.dispatch_time,
+                );
+                PlannedOp {
+                    duration: busy + est.dispatch_time,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy,
+                    ff_units: 0,
+                    ff_busy: Seconds::ZERO,
+                    uses_cpu: true,
+                    uses_progr: false,
+                }
+            }
+            PlanKind::ProgrPool | PlanKind::Progr => {
+                let est = if kind == PlanKind::ProgrPool {
+                    self.progr_pool.estimate_op(cost)
+                } else {
+                    self.arm_device().estimate_op(cost)
+                };
+                let busy = est.compute_time.max(est.memory_time);
+                let sync_raw = est.dispatch_time + HOST_PROGR_SYNC;
+                let duration = busy + sync_raw;
+                let (op, dm, sync) =
+                    normalized_parts(duration, est.compute_time, busy - est.compute_time, sync_raw);
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy,
+                    ff_units: 0,
+                    ff_busy: Seconds::ZERO,
+                    uses_cpu: false,
+                    uses_progr: true,
+                }
+            }
+            PlanKind::FixedWhole { rc_runtime, units } => {
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let est = pool.estimate_ma(cost, units, !rc_runtime);
+                let busy = est.compute_time.max(est.memory_time);
+                let calls = kernel_calls(cost.ma_flops()) as f64;
+                let (duration, sync_raw, host_energy) = if rc_runtime {
+                    let call_time = PIM_CALL * calls;
+                    let duration = busy.max(call_time) + PIM_INTERNAL_SYNC;
+                    (duration, duration - busy, Joules::ZERO)
+                } else {
+                    let call_time = HOST_CALL * self.host_call_factor() * calls + HOST_FF_SYNC;
+                    // The host orchestrates synchronously: its cycles are
+                    // burned, and the op extends by the full call time.
+                    let duration = busy + call_time;
+                    (
+                        duration,
+                        call_time,
+                        self.cpu.params().dynamic_power * call_time,
+                    )
+                };
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    est.compute_time,
+                    busy - est.compute_time,
+                    sync_raw,
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy + host_energy,
+                    ff_units: units,
+                    ff_busy: busy,
+                    uses_cpu: false,
+                    // Dispatch through the progr runtime only enqueues the
+                    // kernel; it does not occupy an ARM core pair.
+                    uses_progr: false,
+                }
+            }
+            PlanKind::HostSplit { units } => {
+                let (ma, rest) = split_cost(cost);
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let ff = pool.estimate_ma(&ma, units, true);
+                let host = self.cpu.estimate_op(&rest);
+                let ff_busy = ff.compute_time.max(ff.memory_time);
+                let host_busy = host.compute_time.max(host.memory_time);
+                let call_time = HOST_CALL * self.host_call_factor()
+                    * kernel_calls(ma.ma_flops()) as f64
+                    + HOST_FF_SYNC;
+                let duration = ff_busy + host_busy + call_time;
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    ff.compute_time + host.compute_time,
+                    (ff_busy - ff.compute_time) + (host_busy - host.compute_time),
+                    call_time,
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: ff.energy
+                        + host.energy
+                        + self.cpu.params().dynamic_power * call_time,
+                    ff_units: units,
+                    ff_busy,
+                    uses_cpu: true,
+                    uses_progr: false,
+                }
+            }
+            PlanKind::Recursive { units } => {
+                let (ma, rest) = split_cost(cost);
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let ff = pool.estimate_ma(&ma, units, false);
+                let arm = self.arm_device().estimate_op(&rest);
+                let ff_busy = ff.compute_time.max(ff.memory_time);
+                let arm_busy =
+                    arm.compute_time.max(arm.memory_time) + PIM_CALL * kernel_calls(ma.ma_flops()) as f64;
+                // Phases and fixed-function sub-kernels overlap inside the
+                // single recursive kernel (Fig. 6).
+                let duration = ff_busy.max(arm_busy) + PIM_INTERNAL_SYNC;
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    ff.compute_time + arm.compute_time,
+                    (ff_busy - ff.compute_time)
+                        + (arm.compute_time.max(arm.memory_time) - arm.compute_time),
+                    duration - ff_busy.max(arm_busy),
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: ff.energy + arm.energy,
+                    ff_units: units,
+                    ff_busy,
+                    uses_cpu: false,
+                    uses_progr: true,
+                }
+            }
+        }
+    }
+
+    /// Grant size for a fixed-function request under dynamic availability.
+    fn ff_grant(parallelism: usize, free: usize) -> Option<usize> {
+        let want = parallelism.max(1);
+        let floor = want.min(64);
+        if free >= floor {
+            Some(want.min(free))
+        } else {
+            None
+        }
+    }
+
+    /// Chooses a placement under the three scheduling principles, given
+    /// current availability. `None` means "wait for resources".
+    #[allow(clippy::too_many_arguments)]
+    fn choose(
+        &self,
+        cost: &CostProfile,
+        is_candidate: bool,
+        restricted: bool,
+        cpu_free: bool,
+        progr_free: bool,
+        ff_free: usize,
+    ) -> Option<PlanKind> {
+        if restricted {
+            // Mixed-workload non-CNN rule: CPU or programmable PIM only.
+            if cpu_free {
+                return Some(PlanKind::Cpu);
+            }
+            if progr_free {
+                return Some(PlanKind::Progr);
+            }
+            return None;
+        }
+        match self.cfg.mode {
+            SystemMode::CpuOnly => cpu_free.then_some(PlanKind::Cpu),
+            SystemMode::ProgrOnly => progr_free.then_some(PlanKind::ProgrPool),
+            SystemMode::FixedHost => match cost.class {
+                OffloadClass::FullyMulAdd => {
+                    if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                        if cpu_free {
+                            // Host-driven dispatch occupies the CPU.
+                            return Some(PlanKind::FixedWhole {
+                                rc_runtime: false,
+                                units,
+                            });
+                        }
+                    }
+                    cpu_free.then_some(PlanKind::Cpu)
+                }
+                OffloadClass::PartiallyMulAdd { .. } => {
+                    if cpu_free {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            return Some(PlanKind::HostSplit { units });
+                        }
+                        return Some(PlanKind::Cpu);
+                    }
+                    None
+                }
+                _ => cpu_free.then_some(PlanKind::Cpu),
+            },
+            SystemMode::Hetero => {
+                // Principle 3 (dependencies) is enforced by the event loop;
+                // principles 1 and 2 order the preferences here.
+                // Non-mul/add and data-movement ops belong to the
+                // programmable PIM whenever it is idle, candidate or not
+                // (principle 2: prefer PIMs over CPU).
+                if matches!(
+                    cost.class,
+                    OffloadClass::NonMulAdd | OffloadClass::DataMovement
+                ) {
+                    if progr_free {
+                        return Some(PlanKind::Progr);
+                    }
+                    return cpu_free.then_some(PlanKind::Cpu);
+                }
+                if !is_candidate {
+                    // Class-1 ops (compute-intensive, not memory-intensive)
+                    // "do not have to be offloaded to PIMs, but we can
+                    // offload them when there are idling hardware units"
+                    // (§II-A).
+                    if cost.class == OffloadClass::FullyMulAdd {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            if self.cfg.recursive_kernels {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: true,
+                                    units,
+                                });
+                            }
+                            if cpu_free {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: false,
+                                    units,
+                                });
+                            }
+                        }
+                    }
+                    return cpu_free.then_some(PlanKind::Cpu);
+                }
+                // Heavy candidate ops with a fixed-function core wait for
+                // the pool rather than falling back to the slow CPU: under
+                // the operation pipeline another step's work keeps the CPU
+                // and programmable PIM fed meanwhile. (Fallback to CPU only
+                // when no fixed-function complement could ever serve them.)
+                match cost.class {
+                    OffloadClass::FullyMulAdd => {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            if self.cfg.recursive_kernels {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: true,
+                                    units,
+                                });
+                            }
+                            if cpu_free {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: false,
+                                    units,
+                                });
+                            }
+                        }
+                        if self.cfg.operation_pipeline {
+                            None // wait for pool capacity
+                        } else {
+                            cpu_free.then_some(PlanKind::Cpu)
+                        }
+                    }
+                    OffloadClass::PartiallyMulAdd { .. } => {
+                        if self.cfg.recursive_kernels {
+                            if progr_free {
+                                if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free)
+                                {
+                                    return Some(PlanKind::Recursive { units });
+                                }
+                            }
+                        } else if cpu_free {
+                            if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                                return Some(PlanKind::HostSplit { units });
+                            }
+                        }
+                        if self.cfg.operation_pipeline {
+                            None // wait for the programmable PIM + pool
+                        } else {
+                            cpu_free.then_some(PlanKind::Cpu)
+                        }
+                    }
+                    OffloadClass::NonMulAdd | OffloadClass::DataMovement => {
+                        if progr_free {
+                            return Some(PlanKind::Progr);
+                        }
+                        cpu_free.then_some(PlanKind::Cpu)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulates the workloads and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost/profiling failures, or an internal error if the
+    /// scheduler wedges (a bug, guarded explicitly).
+    pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
+        Ok(self.run_detailed(workloads)?.0)
+    }
+
+    /// Like [`Engine::run`], additionally returning the per-instance
+    /// execution timeline (start/end/resource of every scheduled op) for
+    /// inspection and invariant checking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Engine::run`].
+    pub fn run_detailed(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+    ) -> Result<(ExecutionReport, Vec<TimelineEntry>)> {
+        let mut prepared = Vec::with_capacity(workloads.len());
+        for wl in workloads {
+            let costs = graph_costs(wl.graph)?;
+            let profile = profile_step(wl.graph, &self.cpu)?;
+            let candidates = select_candidates(&profile, self.cfg.coverage);
+            let deps: Vec<Vec<usize>> = wl
+                .graph
+                .ops()
+                .iter()
+                .map(|op| {
+                    wl.graph
+                        .dependencies(op.id)
+                        .map(|v| v.into_iter().map(|d| d.index()).collect())
+                        .unwrap_or_default()
+                })
+                .collect();
+            let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); wl.graph.op_count()];
+            for (op, ds) in deps.iter().enumerate() {
+                for &d in ds {
+                    consumers[d].push(op);
+                }
+            }
+            let topo = wl.graph.topo_order()?;
+            let mut rank = vec![0usize; wl.graph.op_count()];
+            for (r, id) in topo.iter().enumerate() {
+                rank[id.index()] = r;
+            }
+            prepared.push(Prepared {
+                spec: *wl,
+                costs,
+                candidates,
+                deps,
+                consumers,
+                topo: topo.iter().map(|id| id.index()).collect(),
+                rank,
+            });
+        }
+        if self.cfg.operation_pipeline {
+            self.run_scheduled(&prepared)
+        } else {
+            self.run_serialized(&prepared)
+        }
+    }
+
+
+    /// Previews the placement decision for every op of a graph under this
+    /// configuration, with all resources free (no contention) — the
+    /// explainability view of the scheduler (C-INTERMEDIATE: expose the
+    /// intermediate results the simulation is built from).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/cost failures.
+    pub fn plan_preview(&self, graph: &Graph) -> Result<Vec<PlanRow>> {
+        let costs = graph_costs(graph)?;
+        let profile = profile_step(graph, &self.cpu)?;
+        let candidates = select_candidates(&profile, self.cfg.coverage);
+        let mut rows = Vec::with_capacity(graph.op_count());
+        for node in graph.ops() {
+            let cost = &costs[node.id.index()];
+            let candidate = candidates.contains(node.id);
+            let kind = self
+                .choose(cost, candidate, false, true, true, self.cfg.ff_units)
+                .ok_or_else(|| PimError::internal("uncontended placement must exist"))?;
+            let planned = self.plan_cost(kind, cost);
+            let placement = match kind {
+                PlanKind::Cpu => "CPU".to_string(),
+                PlanKind::ProgrPool => "Progr PIM pool".to_string(),
+                PlanKind::Progr => "Progr PIM".to_string(),
+                PlanKind::FixedWhole { rc_runtime, units } => {
+                    format!(
+                        "Fixed PIM ({}, {units} units)",
+                        if rc_runtime { "rc" } else { "host" }
+                    )
+                }
+                PlanKind::HostSplit { units } => format!("CPU + Fixed PIM ({units} units)"),
+                PlanKind::Recursive { units } => {
+                    format!("Recursive: Progr PIM + Fixed PIM ({units} units)")
+                }
+            };
+            rows.push(PlanRow {
+                op: node.id,
+                name: node.kind.tf_name(),
+                placement,
+                candidate,
+                seconds: planned.duration.seconds(),
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Sequential execution: one op at a time in topological order per
+    /// step — the "without runtime scheduling" baselines.
+    fn run_serialized(
+        &self,
+        prepared: &[Prepared<'_>],
+    ) -> Result<(ExecutionReport, Vec<TimelineEntry>)> {
+        let mut acc = Accumulator::default();
+        let mut timeline = Vec::new();
+        let mut makespan = Seconds::ZERO;
+        for (w, wl) in prepared.iter().enumerate() {
+            for step in 0..wl.spec.steps {
+                for &op in &wl.topo {
+                    let cost = &wl.costs[op];
+                    let is_candidate =
+                        wl.candidates.contains(pim_common::ids::OpId::new(op));
+                    let kind = self
+                        .choose(
+                            cost,
+                            is_candidate,
+                            wl.spec.cpu_progr_only,
+                            true,
+                            true,
+                            self.cfg.ff_units,
+                        )
+                        .ok_or_else(|| {
+                            PimError::internal("serialized placement found no device")
+                        })?;
+                    let planned = self.plan_cost(kind, cost);
+                    acc.add(&planned, makespan);
+                    timeline.push(TimelineEntry {
+                        workload: w,
+                        step,
+                        op,
+                        start: makespan,
+                        end: makespan + planned.duration,
+                        resource: resource_class(&planned),
+                    });
+                    makespan += planned.duration;
+                    if self.cfg.mode == SystemMode::Hetero {
+                        makespan += PLACEMENT_DECISION;
+                        acc.sync_raw += PLACEMENT_DECISION;
+                    }
+                }
+                makespan += STEP_BARRIER;
+                acc.sync_raw += STEP_BARRIER;
+            }
+        }
+        Ok((acc.into_report(&self.cfg, prepared, makespan), timeline))
+    }
+
+    /// Event-driven execution with the operation pipeline.
+    fn run_scheduled(
+        &self,
+        prepared: &[Prepared<'_>],
+    ) -> Result<(ExecutionReport, Vec<TimelineEntry>)> {
+        let mut timeline = Vec::new();
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct Key {
+            step: usize,
+            rank: usize,
+            wl: usize,
+            op: usize,
+        }
+        // Per-instance remaining dependency counts.
+        let mut remaining: Vec<Vec<Vec<usize>>> = prepared
+            .iter()
+            .map(|wl| {
+                (0..wl.spec.steps)
+                    .map(|step| {
+                        wl.deps
+                            .iter()
+                            .map(|d| d.len() + usize::from(step > 0))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut step_left: Vec<Vec<usize>> = prepared
+            .iter()
+            .map(|wl| vec![wl.topo.len(); wl.spec.steps])
+            .collect();
+        let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
+
+        let mut ready: BTreeSet<Key> = BTreeSet::new();
+        for (w, wl) in prepared.iter().enumerate() {
+            for (op, deps) in wl.deps.iter().enumerate() {
+                if deps.is_empty() && wl.spec.steps > 0 {
+                    ready.insert(Key {
+                        step: 0,
+                        rank: wl.rank[op],
+                        wl: w,
+                        op,
+                    });
+                }
+            }
+        }
+
+        let mut pool = FixedFunctionPool::new(self.pool_cfg.clone());
+        let mut cpu_free = true;
+        // Two concurrent programmable-PIM kernels (a core pair each).
+        let mut progr_slots: usize = 2;
+
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        struct Done {
+            wl: usize,
+            step: usize,
+            op: usize,
+            units: usize,
+            uses_cpu: bool,
+            uses_progr: bool,
+        }
+        // Min-heap of (completion time in femtoseconds, sequence, payload).
+        let mut events: BinaryHeap<Reverse<(u128, u64, usize)>> = BinaryHeap::new();
+        let mut payloads: Vec<Done> = Vec::new();
+        let mut seq = 0u64;
+        let mut now = Seconds::ZERO;
+        let mut acc = Accumulator::default();
+        let total_instances: usize = prepared
+            .iter()
+            .map(|wl| wl.spec.steps * wl.topo.len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        let mut completed = 0usize;
+
+        let to_fs = |t: Seconds| (t.seconds() * 1e15) as u128;
+
+        while completed < total_instances {
+            // Schedule everything that fits right now.
+            let mut scheduled_any = true;
+            while scheduled_any {
+                scheduled_any = false;
+                let keys: Vec<Key> = ready.iter().copied().collect();
+                for key in keys {
+                    let wl = &prepared[key.wl];
+                    if key.step >= min_incomplete[key.wl] + self.cfg.pipeline_depth {
+                        continue; // pipeline window closed for this step
+                    }
+                    let cost = &wl.costs[key.op];
+                    let is_candidate = wl
+                        .candidates
+                        .contains(pim_common::ids::OpId::new(key.op));
+                    let Some(kind) = self.choose(
+                        cost,
+                        is_candidate,
+                        wl.spec.cpu_progr_only,
+                        cpu_free,
+                        progr_slots > 0,
+                        pool.free_units(),
+                    ) else {
+                        continue;
+                    };
+                    // Reserve resources.
+                    let units = match kind {
+                        PlanKind::FixedWhole { units, .. }
+                        | PlanKind::HostSplit { units }
+                        | PlanKind::Recursive { units } => {
+                            pool.grant(units)?;
+                            units
+                        }
+                        _ => 0,
+                    };
+                    let planned = self.plan_cost(kind, cost);
+                    if planned.uses_cpu {
+                        cpu_free = false;
+                    }
+                    if planned.uses_progr {
+                        progr_slots -= 1;
+                    }
+                    acc.add(&planned, now);
+                    // Record the end at the same femtosecond quantization
+                    // the event heap uses, so timeline intervals match the
+                    // actual resource hold times exactly.
+                    let end_fs = to_fs(now + planned.duration);
+                    timeline.push(TimelineEntry {
+                        workload: key.wl,
+                        step: key.step,
+                        op: key.op,
+                        start: now,
+                        end: Seconds::new(end_fs as f64 / 1e15),
+                        resource: resource_class(&planned),
+                    });
+                    ready.remove(&key);
+                    payloads.push(Done {
+                        wl: key.wl,
+                        step: key.step,
+                        op: key.op,
+                        units,
+                        uses_cpu: planned.uses_cpu,
+                        uses_progr: planned.uses_progr,
+                    });
+                    events.push(Reverse((
+                        to_fs(now + planned.duration),
+                        seq,
+                        payloads.len() - 1,
+                    )));
+                    seq += 1;
+                    scheduled_any = true;
+                }
+            }
+
+            let Some(Reverse((t_fs, _, payload_idx))) = events.pop() else {
+                if completed < total_instances {
+                    return Err(PimError::internal(format!(
+                        "scheduler wedged with {} of {total_instances} instances done",
+                        completed
+                    )));
+                }
+                break;
+            };
+            now = Seconds::new(t_fs as f64 / 1e15);
+            let done = payloads[payload_idx];
+            if done.units > 0 {
+                pool.release(done.units);
+            }
+            if done.uses_cpu {
+                cpu_free = true;
+            }
+            if done.uses_progr {
+                progr_slots += 1;
+            }
+            completed += 1;
+
+            let wl = &prepared[done.wl];
+            // Intra-step consumers.
+            for &c in &wl.consumers[done.op] {
+                let r = &mut remaining[done.wl][done.step][c];
+                *r -= 1;
+                if *r == 0 {
+                    ready.insert(Key {
+                        step: done.step,
+                        rank: wl.rank[c],
+                        wl: done.wl,
+                        op: c,
+                    });
+                }
+            }
+            // Cross-step successor: the same op in the next step.
+            if done.step + 1 < wl.spec.steps {
+                let r = &mut remaining[done.wl][done.step + 1][done.op];
+                *r -= 1;
+                if *r == 0 {
+                    ready.insert(Key {
+                        step: done.step + 1,
+                        rank: wl.rank[done.op],
+                        wl: done.wl,
+                        op: done.op,
+                    });
+                }
+            }
+            // Step-completion bookkeeping for the pipeline window.
+            step_left[done.wl][done.step] -= 1;
+            while min_incomplete[done.wl] < wl.spec.steps
+                && step_left[done.wl][min_incomplete[done.wl]] == 0
+            {
+                min_incomplete[done.wl] += 1;
+            }
+        }
+        let barrier_total: Seconds = prepared
+            .iter()
+            .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
+            .sum();
+        // The CPU-side runtime makes one placement decision per op instance
+        // (register queries through the Table III APIs); this serial work is
+        // not hidden by the pipeline.
+        let decisions: Seconds = if self.cfg.mode == SystemMode::Hetero {
+            PLACEMENT_DECISION * total_instances as f64
+        } else {
+            Seconds::ZERO
+        };
+        acc.sync_raw += barrier_total + decisions;
+        let makespan = now + barrier_total + decisions;
+        Ok((acc.into_report(&self.cfg, prepared, makespan), timeline))
+    }
+}
+
+/// Which exclusive resource class an op instance occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ResourceClass {
+    /// The host CPU slot.
+    Cpu,
+    /// A programmable-PIM kernel slot.
+    Progr,
+    /// Fixed-function units only.
+    Fixed,
+    /// CPU + fixed-function units (host-driven split).
+    CpuAndFixed,
+    /// Programmable PIM + fixed-function units (recursive kernel).
+    ProgrAndFixed,
+}
+
+/// One scheduled op instance on the execution timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TimelineEntry {
+    /// Workload index.
+    pub workload: usize,
+    /// Training step.
+    pub step: usize,
+    /// Operation index within the graph.
+    pub op: usize,
+    /// Start time.
+    pub start: Seconds,
+    /// Completion time.
+    pub end: Seconds,
+    /// Resource class occupied.
+    pub resource: ResourceClass,
+}
+
+fn resource_class(planned: &PlannedOp) -> ResourceClass {
+    match (planned.uses_cpu, planned.uses_progr, planned.ff_units > 0) {
+        (true, _, true) => ResourceClass::CpuAndFixed,
+        (true, _, false) => ResourceClass::Cpu,
+        (false, true, true) => ResourceClass::ProgrAndFixed,
+        (false, true, false) => ResourceClass::Progr,
+        _ => ResourceClass::Fixed,
+    }
+}
+
+/// One row of [`Engine::plan_preview`]: where an op would run, uncontended.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlanRow {
+    /// The operation.
+    pub op: pim_common::ids::OpId,
+    /// Its TensorFlow display name.
+    pub name: &'static str,
+    /// Placement description ("Fixed PIM (rc, 444 units)", "CPU", ...).
+    pub placement: String,
+    /// Whether the op was an offload candidate.
+    pub candidate: bool,
+    /// Estimated uncontended duration in seconds.
+    pub seconds: f64,
+}
+
+/// Prepared per-workload state.
+struct Prepared<'g> {
+    spec: WorkloadSpec<'g>,
+    costs: Vec<CostProfile>,
+    candidates: CandidateSet,
+    deps: Vec<Vec<usize>>,
+    consumers: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+    rank: Vec<usize>,
+}
+
+/// Statistic accumulator shared by both execution modes.
+#[derive(Debug, Default)]
+struct Accumulator {
+    op_raw: Seconds,
+    dm_raw: Seconds,
+    sync_raw: Seconds,
+    energy: Joules,
+    cpu_busy: Seconds,
+    progr_busy: Seconds,
+    ff_unit_seconds: f64,
+}
+
+impl Accumulator {
+    fn add(&mut self, planned: &PlannedOp, _now: Seconds) {
+        self.op_raw += planned.op_part;
+        self.dm_raw += planned.dm_part;
+        self.sync_raw += planned.sync_part;
+        self.energy += planned.energy;
+        if planned.uses_cpu {
+            self.cpu_busy += planned.duration;
+        }
+        if planned.uses_progr {
+            self.progr_busy += planned.duration;
+        }
+        self.ff_unit_seconds += planned.ff_units as f64 * planned.ff_busy.seconds();
+    }
+
+    fn into_report(
+        self,
+        cfg: &EngineConfig,
+        prepared: &[Prepared<'_>],
+        makespan: Seconds,
+    ) -> ExecutionReport {
+        let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+        let (op, dm, sync) = normalized_parts(makespan, self.op_raw, self.dm_raw, self.sync_raw);
+        let mut device_busy = BTreeMap::new();
+        device_busy.insert("CPU".to_string(), self.cpu_busy);
+        device_busy.insert("Progr PIM".to_string(), self.progr_busy);
+        device_busy.insert(
+            "Fixed PIM".to_string(),
+            Seconds::new(self.ff_unit_seconds / cfg.ff_units.max(1) as f64),
+        );
+        let ff_utilization = if makespan.seconds() > 0.0 && cfg.mode != SystemMode::CpuOnly {
+            (self.ff_unit_seconds / (cfg.ff_units as f64 * makespan.seconds())).min(1.0)
+        } else {
+            0.0
+        };
+        // PIM configurations keep the host package powered (it hosts the
+        // TensorFlow runtime and the OpenCL host program) even while PIMs
+        // compute; CPU-only runs already bill the CPU per op.
+        let host_idle = if cfg.mode == SystemMode::CpuOnly {
+            Joules::ZERO
+        } else {
+            HOST_IDLE_POWER * makespan
+        };
+        ExecutionReport {
+            system: cfg.name.clone(),
+            steps,
+            makespan,
+            op_time: op,
+            data_movement_time: dm,
+            sync_time: sync,
+            dynamic_energy: self.energy + BASE_SYSTEM_POWER * makespan + host_idle,
+            ff_utilization,
+            device_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_models::{Model, ModelKind};
+
+    fn run(cfg: EngineConfig, kind: ModelKind, steps: usize) -> ExecutionReport {
+        let model = Model::build_with_batch(kind, 16).unwrap();
+        let engine = Engine::new(cfg);
+        engine
+            .run(&[WorkloadSpec {
+                graph: model.graph(),
+                steps,
+                cpu_progr_only: false,
+            }])
+            .unwrap()
+    }
+
+    #[test]
+    fn cpu_config_runs_and_is_well_formed() {
+        let r = run(EngineConfig::cpu_only(), ModelKind::AlexNet, 2);
+        assert!(r.is_well_formed());
+        assert!(r.makespan.seconds() > 0.0);
+        assert_eq!(r.ff_utilization, 0.0);
+    }
+
+    #[test]
+    fn hetero_beats_cpu_substantially() {
+        let cpu = run(EngineConfig::cpu_only(), ModelKind::AlexNet, 2);
+        let hetero = run(EngineConfig::hetero(), ModelKind::AlexNet, 2);
+        let speedup = cpu.makespan / hetero.makespan;
+        assert!(speedup > 3.0, "speedup = {speedup}");
+        assert!(hetero.is_well_formed());
+    }
+
+    #[test]
+    fn hetero_beats_fixed_and_progr_baselines() {
+        let kind = ModelKind::AlexNet;
+        let hetero = run(EngineConfig::hetero(), kind, 2);
+        let fixed = run(EngineConfig::fixed_host(), kind, 2);
+        let progr = run(EngineConfig::progr_only(), kind, 2);
+        assert!(fixed.makespan > hetero.makespan);
+        assert!(progr.makespan > hetero.makespan);
+    }
+
+    #[test]
+    fn rc_and_op_improve_over_bare_hetero() {
+        // At the paper's batch size; OP's benefit needs enough in-flight
+        // work to pipeline.
+        let model = Model::build(ModelKind::AlexNet).unwrap();
+        let run_cfg = |cfg: EngineConfig| {
+            Engine::new(cfg)
+                .run(&[WorkloadSpec {
+                    graph: model.graph(),
+                    steps: 3,
+                    cpu_progr_only: false,
+                }])
+                .unwrap()
+        };
+        let bare = run_cfg(EngineConfig::hetero_bare());
+        let rc = run_cfg(EngineConfig::hetero_rc());
+        let full = run_cfg(EngineConfig::hetero());
+        assert!(rc.makespan < bare.makespan, "RC must help");
+        assert!(full.makespan < rc.makespan, "OP must help further");
+    }
+
+    #[test]
+    fn rc_and_op_raise_fixed_pim_utilization() {
+        let kind = ModelKind::Vgg19;
+        let bare = run(EngineConfig::hetero_bare(), kind, 1);
+        let full = run(EngineConfig::hetero(), kind, 2);
+        assert!(
+            full.ff_utilization > bare.ff_utilization,
+            "bare {} vs full {}",
+            bare.ff_utilization,
+            full.ff_utilization
+        );
+    }
+
+    #[test]
+    fn frequency_scaling_speeds_up_hetero() {
+        let kind = ModelKind::AlexNet;
+        let base = run(EngineConfig::hetero(), kind, 2);
+        let fast = run(
+            EngineConfig::hetero().with_stack(
+                StackConfig::hmc2().with_frequency_multiplier(4.0).unwrap(),
+            ),
+            kind,
+            2,
+        );
+        assert!(fast.makespan < base.makespan);
+    }
+
+    #[test]
+    fn pipeline_respects_dependencies() {
+        // A deliberately serial chain cannot finish faster than the sum of
+        // its op times divided by available parallelism — sanity-check by
+        // ensuring 2 steps take less than 2x one step (pipelining) but
+        // more than 1x (dependencies preserved).
+        let kind = ModelKind::AlexNet;
+        let one = run(EngineConfig::hetero(), kind, 1);
+        let two = run(EngineConfig::hetero(), kind, 2);
+        assert!(two.makespan > one.makespan);
+        assert!(two.makespan < one.makespan * 2.0);
+    }
+
+    #[test]
+    fn mixed_restricted_workload_avoids_fixed_pim() {
+        let model = Model::build_with_batch(ModelKind::Word2vec, 8).unwrap();
+        let engine = Engine::new(EngineConfig::hetero());
+        let r = engine
+            .run(&[WorkloadSpec {
+                graph: model.graph(),
+                steps: 2,
+                cpu_progr_only: true,
+            }])
+            .unwrap();
+        assert_eq!(r.ff_utilization, 0.0);
+        assert!(r.is_well_formed());
+    }
+}
+
+#[cfg(test)]
+mod preview_tests {
+    use super::*;
+    use pim_models::{Model, ModelKind};
+
+    #[test]
+    fn preview_places_conv_backprops_on_recursive_kernels() {
+        let model = Model::build(ModelKind::Vgg19).unwrap();
+        let engine = Engine::new(EngineConfig::hetero());
+        let rows = engine.plan_preview(model.graph()).unwrap();
+        assert_eq!(rows.len(), model.graph().op_count());
+        let bpf = rows
+            .iter()
+            .find(|r| r.name == "Conv2DBackpropFilter")
+            .unwrap();
+        assert!(bpf.candidate);
+        assert!(bpf.placement.starts_with("Recursive"), "{}", bpf.placement);
+        let conv = rows.iter().find(|r| r.name == "Conv2D").unwrap();
+        assert!(conv.placement.starts_with("Fixed PIM"), "{}", conv.placement);
+        let relu = rows.iter().find(|r| r.name == "Relu").unwrap();
+        assert_eq!(relu.placement, "Progr PIM");
+    }
+
+    #[test]
+    fn cpu_only_preview_places_everything_on_cpu() {
+        let model = Model::build_with_batch(ModelKind::Dcgan, 4).unwrap();
+        let engine = Engine::new(EngineConfig::cpu_only());
+        let rows = engine.plan_preview(model.graph()).unwrap();
+        assert!(rows.iter().all(|r| r.placement == "CPU"));
+        assert!(rows.iter().all(|r| r.seconds >= 0.0));
+    }
+}

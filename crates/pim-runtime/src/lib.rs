@@ -1,0 +1,43 @@
+//! The heterogeneous-PIM runtime system (§III-C, §IV).
+//!
+//! * [`profiler`] — step-1 profiling on the CPU device model,
+//! * [`select`] — the global-index candidate-selection algorithm (x = 90%)
+//!   and the Fig. 2 four-quadrant classification,
+//! * [`engine`] — the placement policy (three scheduling principles) and
+//!   the discrete-event simulator, with recursive-kernel (RC) and
+//!   operation-pipeline (OP) toggles,
+//! * [`recursive`] — the programmable-PIM-side progress tracker for
+//!   recursive kernels (§IV-C),
+//! * [`sync`] — synchronization-cost constants and kernel-call granularity,
+//! * [`stats`] — execution reports (time breakdown, energy, utilization),
+//! * [`session`] — the TensorFlow-runtime-extension facade: profile step 1,
+//!   schedule the rest.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+//! use pim_models::{Model, ModelKind};
+//!
+//! # fn main() -> pim_common::Result<()> {
+//! let model = Model::build_with_batch(ModelKind::AlexNet, 2)?;
+//! let workload = WorkloadSpec { graph: model.graph(), steps: 2, cpu_progr_only: false };
+//!
+//! let hetero = Engine::new(EngineConfig::hetero()).run(&[workload])?;
+//! let cpu = Engine::new(EngineConfig::cpu_only()).run(&[workload])?;
+//! assert!(hetero.makespan < cpu.makespan);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod profiler;
+pub mod recursive;
+pub mod select;
+pub mod session;
+pub mod stats;
+pub mod sync;
+
+pub use engine::{Engine, EngineConfig, PlanRow, ResourceClass, SystemMode, TimelineEntry, WorkloadSpec};
+pub use session::TrainingSession;
+pub use stats::ExecutionReport;

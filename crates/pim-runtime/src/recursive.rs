@@ -1,0 +1,200 @@
+//! Recursive-kernel progress tracking (§IV-C).
+//!
+//! "In order to keep track of the dynamic utilization of fixed-function
+//! PIMs, our runtime on the programmable PIM records the numbers of
+//! additions and multiplications already completed in each operation
+//! offloaded to the programmable PIM, as well as the remaining additions
+//! and multiplications."
+
+use pim_common::ids::OpId;
+use pim_common::{PimError, Result};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Progress record for one operation executing as a recursive kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RecursiveProgress {
+    /// Multiplications completed so far.
+    pub muls_done: f64,
+    /// Additions completed so far.
+    pub adds_done: f64,
+    /// Multiplications remaining.
+    pub muls_remaining: f64,
+    /// Additions remaining.
+    pub adds_remaining: f64,
+}
+
+impl RecursiveProgress {
+    /// Fraction of the multiply/add work completed.
+    pub fn fraction_done(&self) -> f64 {
+        let done = self.muls_done + self.adds_done;
+        let total = done + self.muls_remaining + self.adds_remaining;
+        if total == 0.0 {
+            1.0
+        } else {
+            done / total
+        }
+    }
+
+    /// True when no multiply/add work remains.
+    pub fn is_complete(&self) -> bool {
+        self.muls_remaining == 0.0 && self.adds_remaining == 0.0
+    }
+}
+
+/// The programmable-PIM-side tracker for in-flight recursive kernels.
+///
+/// # Examples
+///
+/// ```
+/// use pim_runtime::recursive::RecursiveTracker;
+/// use pim_common::ids::OpId;
+///
+/// let mut tracker = RecursiveTracker::new();
+/// tracker.begin(OpId::new(0), 100.0, 99.0).unwrap();
+/// tracker.advance(OpId::new(0), 40.0, 40.0).unwrap();
+/// let p = tracker.progress(OpId::new(0)).unwrap();
+/// assert!((p.fraction_done() - 80.0 / 199.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecursiveTracker {
+    in_flight: HashMap<OpId, RecursiveProgress>,
+}
+
+impl RecursiveTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        RecursiveTracker::default()
+    }
+
+    /// Registers an operation with its total multiply/add work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] when the op is already
+    /// tracked.
+    pub fn begin(&mut self, op: OpId, muls: f64, adds: f64) -> Result<()> {
+        if self.in_flight.contains_key(&op) {
+            return Err(PimError::invalid(
+                "RecursiveTracker::begin",
+                format!("{op} already tracked"),
+            ));
+        }
+        self.in_flight.insert(
+            op,
+            RecursiveProgress {
+                muls_done: 0.0,
+                adds_done: 0.0,
+                muls_remaining: muls,
+                adds_remaining: adds,
+            },
+        );
+        Ok(())
+    }
+
+    /// Records completion of one fixed-function sub-kernel's work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for untracked ops.
+    pub fn advance(&mut self, op: OpId, muls: f64, adds: f64) -> Result<()> {
+        let p = self.in_flight.get_mut(&op).ok_or(PimError::UnknownId {
+            kind: "recursive op",
+            index: op.index(),
+        })?;
+        let m = muls.min(p.muls_remaining);
+        let a = adds.min(p.adds_remaining);
+        p.muls_done += m;
+        p.adds_done += a;
+        p.muls_remaining -= m;
+        p.adds_remaining -= a;
+        Ok(())
+    }
+
+    /// Current progress of an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for untracked ops.
+    pub fn progress(&self, op: OpId) -> Result<RecursiveProgress> {
+        self.in_flight.get(&op).copied().ok_or(PimError::UnknownId {
+            kind: "recursive op",
+            index: op.index(),
+        })
+    }
+
+    /// Removes a completed operation, returning its final record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownId`] for untracked ops, or
+    /// [`PimError::Internal`] when work remains.
+    pub fn finish(&mut self, op: OpId) -> Result<RecursiveProgress> {
+        let p = self.progress(op)?;
+        if !p.is_complete() {
+            return Err(PimError::internal(format!(
+                "{op} finished with work remaining ({:.0} muls, {:.0} adds)",
+                p.muls_remaining, p.adds_remaining
+            )));
+        }
+        self.in_flight.remove(&op);
+        Ok(p)
+    }
+
+    /// Number of recursive kernels currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifecycle_begin_advance_finish() {
+        let mut t = RecursiveTracker::new();
+        let op = OpId::new(3);
+        t.begin(op, 10.0, 9.0).unwrap();
+        assert!(t.finish(op).is_err()); // work remains
+        t.advance(op, 10.0, 9.0).unwrap();
+        let p = t.finish(op).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(t.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn double_begin_is_rejected() {
+        let mut t = RecursiveTracker::new();
+        t.begin(OpId::new(0), 1.0, 1.0).unwrap();
+        assert!(t.begin(OpId::new(0), 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn advance_clamps_to_remaining() {
+        let mut t = RecursiveTracker::new();
+        let op = OpId::new(1);
+        t.begin(op, 5.0, 5.0).unwrap();
+        t.advance(op, 100.0, 100.0).unwrap();
+        assert!(t.progress(op).unwrap().is_complete());
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_is_monotone(chunks in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+            let mut t = RecursiveTracker::new();
+            let op = OpId::new(0);
+            let total: f64 = chunks.iter().sum::<f64>().max(1.0);
+            t.begin(op, total, total).unwrap();
+            let mut last = 0.0;
+            for c in chunks {
+                t.advance(op, c, c).unwrap();
+                let f = t.progress(op).unwrap().fraction_done();
+                prop_assert!(f >= last - 1e-12);
+                prop_assert!(f <= 1.0 + 1e-12);
+                last = f;
+            }
+        }
+    }
+}

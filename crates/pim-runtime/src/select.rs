@@ -1,0 +1,221 @@
+//! Candidate selection: the global-index algorithm of §III-C.
+//!
+//! "The runtime sorts operations into two lists (in descending order) based
+//! on execution time and the number of main memory accesses ... With each
+//! operation, the runtime calculates a global index by adding these two
+//! indexes. Based on the global indexes, the runtime sorts operations into
+//! a global list. The runtime chooses top operations in the global list to
+//! offload to PIMs. Those top operations account for x% of total execution
+//! time of one step (x = 90 in our evaluation)."
+
+use crate::profiler::StepProfile;
+use pim_common::ids::OpId;
+use pim_common::units::Seconds;
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// The paper's coverage parameter `x` (percent of step time the candidate
+/// set must account for).
+pub const DEFAULT_COVERAGE: f64 = 0.90;
+
+/// The candidate set chosen for offloading.
+#[derive(Debug, Clone, Serialize)]
+pub struct CandidateSet {
+    /// Ops selected for offloading, in global-index order (best first).
+    pub ranked: Vec<OpId>,
+    /// Fast membership test.
+    pub members: HashSet<OpId>,
+    /// Fraction of step time the set covers.
+    pub time_coverage: f64,
+}
+
+impl CandidateSet {
+    /// True when `op` was selected for offloading.
+    pub fn contains(&self, op: OpId) -> bool {
+        self.members.contains(&op)
+    }
+}
+
+/// Runs the global-index selection over a step profile.
+///
+/// # Examples
+///
+/// ```
+/// use pim_runtime::profiler::profile_step;
+/// use pim_runtime::select::{select_candidates, DEFAULT_COVERAGE};
+/// use pim_hw::cpu::CpuDevice;
+/// use pim_models::{Model, ModelKind};
+///
+/// # fn main() -> pim_common::Result<()> {
+/// let model = Model::build_with_batch(ModelKind::AlexNet, 2)?;
+/// let profile = profile_step(model.graph(), &CpuDevice::xeon_e5_2630_v3())?;
+/// let candidates = select_candidates(&profile, DEFAULT_COVERAGE);
+/// assert!(candidates.time_coverage >= 0.90);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_candidates(profile: &StepProfile, coverage: f64) -> CandidateSet {
+    // Operations are selected at *type* granularity, matching the per-type
+    // profiling of Table I (each type "can be invoked up to tens of times"
+    // per step; the profile aggregates them).
+    let rows = profile.by_name();
+    let n = rows.len();
+    // Rank types by execution time, descending (rows are pre-sorted so the
+    // time rank is the row index).
+    let mut by_mem: Vec<usize> = (0..n).collect();
+    by_mem.sort_by(|&a, &b| rows[b].memory_accesses.cmp(&rows[a].memory_accesses));
+    let mut mem_rank = vec![0usize; n];
+    for (rank, &i) in by_mem.iter().enumerate() {
+        mem_rank[i] = rank;
+    }
+    // Global index = sum of the two ranks; smaller is better.
+    let mut global: Vec<usize> = (0..n).collect();
+    global.sort_by_key(|&i| i + mem_rank[i]);
+
+    let total_time = profile.total_time();
+    let mut selected_names = HashSet::new();
+    let mut covered = Seconds::ZERO;
+    for &i in &global {
+        if total_time.seconds() > 0.0 && covered / total_time >= coverage {
+            break;
+        }
+        selected_names.insert(rows[i].name);
+        covered += rows[i].time;
+    }
+    let mut ranked = Vec::new();
+    let mut members = HashSet::new();
+    // Emit member ops in global-index order of their types.
+    for &i in &global {
+        if !selected_names.contains(rows[i].name) {
+            continue;
+        }
+        for p in &profile.ops {
+            if p.name == rows[i].name {
+                ranked.push(p.op);
+                members.insert(p.op);
+            }
+        }
+    }
+    CandidateSet {
+        ranked,
+        members,
+        time_coverage: if total_time.seconds() > 0.0 {
+            covered / total_time
+        } else {
+            1.0
+        },
+    }
+}
+
+/// The four operation classes of Fig. 2 (compute intensity x memory
+/// intensity quadrants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum OpClass {
+    /// Compute-intensive and memory-intensive: the offload target.
+    ComputeAndMemoryIntensive,
+    /// Memory-intensive only: also offloaded (data movement dominates).
+    MemoryIntensiveOnly,
+    /// Compute-intensive only: "does not have to be offloaded ... but we
+    /// can offload them when there are idling hardware units".
+    ComputeIntensiveOnly,
+    /// Neither: "does not have big performance impact".
+    Neither,
+}
+
+/// Classifies every op against the median time and median memory-access
+/// thresholds of the profiled step.
+pub fn classify(profile: &StepProfile) -> Vec<(OpId, OpClass)> {
+    let mut times: Vec<f64> = profile.ops.iter().map(|p| p.cpu_time.seconds()).collect();
+    let mut mems: Vec<u64> = profile.ops.iter().map(|p| p.memory_accesses).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    mems.sort_unstable();
+    // "Intensive" means well above the median op: the threshold sits at the
+    // 75th percentile, separating the heavy tail the paper's tables show.
+    let t_thresh = times[(times.len() * 3) / 4];
+    let m_thresh = mems[(mems.len() * 3) / 4];
+    profile
+        .ops
+        .iter()
+        .map(|p| {
+            let ci = p.cpu_time.seconds() >= t_thresh && t_thresh > 0.0;
+            let mi = p.memory_accesses >= m_thresh && m_thresh > 0;
+            let class = match (ci, mi) {
+                (true, true) => OpClass::ComputeAndMemoryIntensive,
+                (false, true) => OpClass::MemoryIntensiveOnly,
+                (true, false) => OpClass::ComputeIntensiveOnly,
+                (false, false) => OpClass::Neither,
+            };
+            (p.op, class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_step;
+    use pim_hw::cpu::CpuDevice;
+    use pim_models::{Model, ModelKind};
+
+    fn profile(kind: ModelKind) -> StepProfile {
+        let model = Model::build_with_batch(kind, 16).unwrap();
+        profile_step(model.graph(), &CpuDevice::xeon_e5_2630_v3()).unwrap()
+    }
+
+    #[test]
+    fn selection_reaches_requested_coverage() {
+        let p = profile(ModelKind::Vgg19);
+        let c = select_candidates(&p, 0.90);
+        assert!(c.time_coverage >= 0.90);
+        assert!(c.ranked.len() < p.ops.len());
+    }
+
+    #[test]
+    fn higher_coverage_selects_more_ops() {
+        let p = profile(ModelKind::AlexNet);
+        let c90 = select_candidates(&p, 0.90);
+        let c99 = select_candidates(&p, 0.99);
+        assert!(c99.ranked.len() >= c90.ranked.len());
+    }
+
+    #[test]
+    fn heavy_conv_ops_are_selected_first() {
+        let p = profile(ModelKind::Vgg19);
+        let c = select_candidates(&p, 0.90);
+        let first = c.ranked[0];
+        let name = p.ops[first.index()].name;
+        assert!(
+            name.starts_with("Conv2D"),
+            "top candidate was {name}"
+        );
+    }
+
+    #[test]
+    fn members_match_ranked_list() {
+        let p = profile(ModelKind::Dcgan);
+        let c = select_candidates(&p, 0.90);
+        assert_eq!(c.ranked.len(), c.members.len());
+        assert!(c.ranked.iter().all(|op| c.contains(*op)));
+    }
+
+    #[test]
+    fn classification_produces_all_target_ops() {
+        let p = profile(ModelKind::Vgg19);
+        let classes = classify(&p);
+        let target = classes
+            .iter()
+            .filter(|(_, c)| *c == OpClass::ComputeAndMemoryIntensive)
+            .count();
+        assert!(target > 0);
+        // The heavy backprop convs land in the offload-target quadrant
+        // (early layers; the smallest instances can fall below threshold).
+        let bpf_in_target = classes
+            .iter()
+            .zip(&p.ops)
+            .any(|((_, c), op)| {
+                op.name == "Conv2DBackpropFilter"
+                    && *c == OpClass::ComputeAndMemoryIntensive
+            });
+        assert!(bpf_in_target);
+    }
+}

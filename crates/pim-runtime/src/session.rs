@@ -1,0 +1,114 @@
+//! The framework-facing training session (the TensorFlow-runtime
+//! extension of §IV-C).
+//!
+//! "Our runtime scheduler profiles the first step of training to obtain
+//! operation characterization. It then performs dynamic scheduling of
+//! operations across CPU, programmable PIM, and fixed-function PIMs in the
+//! rest of the training steps."
+
+use crate::engine::{Engine, EngineConfig, WorkloadSpec};
+use crate::profiler::{profile_step, StepProfile};
+use crate::select::{select_candidates, CandidateSet};
+use crate::stats::ExecutionReport;
+use pim_common::Result;
+use pim_graph::Graph;
+use pim_hw::cpu::CpuDevice;
+
+/// A training session bound to one model graph and one system
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pim_runtime::engine::EngineConfig;
+/// use pim_runtime::session::TrainingSession;
+/// use pim_models::{Model, ModelKind};
+///
+/// # fn main() -> pim_common::Result<()> {
+/// let model = Model::build_with_batch(ModelKind::AlexNet, 2)?;
+/// let session = TrainingSession::new(model.graph(), EngineConfig::hetero())?;
+/// // The first step profiled; candidates chosen by the global index.
+/// assert!(session.candidates().time_coverage >= 0.90);
+/// let report = session.train(3)?;
+/// assert!(report.is_well_formed());
+/// # Ok(())
+/// # }
+/// ```
+pub struct TrainingSession<'g> {
+    graph: &'g Graph,
+    engine: Engine,
+    profile: StepProfile,
+    candidates: CandidateSet,
+}
+
+impl<'g> TrainingSession<'g> {
+    /// Creates a session: runs the step-1 profile on the CPU device and
+    /// selects offload candidates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling failures.
+    pub fn new(graph: &'g Graph, config: EngineConfig) -> Result<Self> {
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let profile = profile_step(graph, &cpu)?;
+        let coverage = config.coverage;
+        let candidates = select_candidates(&profile, coverage);
+        Ok(TrainingSession {
+            graph,
+            engine: Engine::new(config),
+            profile,
+            candidates,
+        })
+    }
+
+    /// The step-1 profile.
+    pub fn profile(&self) -> &StepProfile {
+        &self.profile
+    }
+
+    /// The selected offload candidates.
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// Simulates `steps` training steps under the session's configuration
+    /// (the profiling step is charged as one extra CPU-serialized step's
+    /// worth of time in the paper but is negligible against thousands of
+    /// steps; it is excluded here as the paper's figures do).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn train(&self, steps: usize) -> Result<ExecutionReport> {
+        self.engine.run(&[WorkloadSpec {
+            graph: self.graph,
+            steps,
+            cpu_progr_only: false,
+        }])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_models::{Model, ModelKind};
+
+    #[test]
+    fn session_profiles_once_and_trains() {
+        let model = Model::build_with_batch(ModelKind::Dcgan, 4).unwrap();
+        let session = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        assert_eq!(session.profile().ops.len(), model.graph().op_count());
+        let r2 = session.train(2).unwrap();
+        let r4 = session.train(4).unwrap();
+        assert!(r4.makespan > r2.makespan);
+    }
+
+    #[test]
+    fn candidate_set_is_reused_across_training_calls() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 2).unwrap();
+        let session = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        let before = session.candidates().ranked.clone();
+        session.train(1).unwrap();
+        assert_eq!(before, session.candidates().ranked);
+    }
+}

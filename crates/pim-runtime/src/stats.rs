@@ -1,0 +1,143 @@
+//! Execution reports: the observables every figure of the evaluation reads.
+
+use pim_common::units::{edp, Joules, Seconds, Watts};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Baseline full-system power outside the compute devices (uncore, VRM,
+/// fans, DRAM refresh) charged over the whole makespan of every
+/// configuration — the paper evaluates full-system power (§V-B).
+pub const BASE_SYSTEM_POWER: Watts = Watts::new(30.0);
+
+/// Result of simulating a training run on one system configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionReport {
+    /// Configuration name ("CPU", "GPU", "Progr PIM", "Fixed PIM",
+    /// "Hetero PIM", ...).
+    pub system: String,
+    /// Training steps simulated.
+    pub steps: usize,
+    /// End-to-end simulated time.
+    pub makespan: Seconds,
+    /// Breakdown: pure computation share of the makespan.
+    pub op_time: Seconds,
+    /// Breakdown: data-movement-bound share of the makespan.
+    pub data_movement_time: Seconds,
+    /// Breakdown: synchronization/dispatch share of the makespan.
+    pub sync_time: Seconds,
+    /// Dynamic energy including the base system power.
+    pub dynamic_energy: Joules,
+    /// Average utilization of the fixed-function pool over the makespan
+    /// (0 when the configuration has none).
+    pub ff_utilization: f64,
+    /// Busy time per device.
+    pub device_busy: BTreeMap<String, Seconds>,
+}
+
+impl ExecutionReport {
+    /// Average time per training step.
+    pub fn per_step_time(&self) -> Seconds {
+        if self.steps == 0 {
+            Seconds::ZERO
+        } else {
+            self.makespan / self.steps as f64
+        }
+    }
+
+    /// Average full-system power over the run.
+    pub fn average_power(&self) -> Watts {
+        if self.makespan.seconds() > 0.0 {
+            self.dynamic_energy / self.makespan
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// Energy-delay product (§VI-G's efficiency metric), per step.
+    pub fn edp_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        edp(
+            self.dynamic_energy / self.steps as f64,
+            self.per_step_time(),
+        )
+    }
+
+    /// Total time of this report relative to another (speedup of `other`
+    /// over `self` when > 1).
+    pub fn slowdown_vs(&self, other: &ExecutionReport) -> f64 {
+        self.makespan / other.makespan
+    }
+
+    /// Breakdown fractions `(op, data movement, sync)` summing to 1.
+    pub fn breakdown_fractions(&self) -> (f64, f64, f64) {
+        let total =
+            self.op_time + self.data_movement_time + self.sync_time;
+        if total.seconds() == 0.0 {
+            return (1.0, 0.0, 0.0);
+        }
+        (
+            self.op_time / total,
+            self.data_movement_time / total,
+            self.sync_time / total,
+        )
+    }
+
+    /// True when every invariant a report must satisfy holds (used by
+    /// property tests): non-negative quantities, utilization in `[0, 1]`,
+    /// breakdown parts summing to the makespan within tolerance.
+    pub fn is_well_formed(&self) -> bool {
+        let parts = self.op_time + self.data_movement_time + self.sync_time;
+        self.makespan.is_valid()
+            && self.dynamic_energy.is_valid()
+            && self.op_time.is_valid()
+            && self.data_movement_time.is_valid()
+            && self.sync_time.is_valid()
+            && (0.0..=1.0 + 1e-9).contains(&self.ff_utilization)
+            && (parts.seconds() - self.makespan.seconds()).abs()
+                <= 1e-6 * self.makespan.seconds().max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            system: "test".into(),
+            steps: 4,
+            makespan: Seconds::new(8.0),
+            op_time: Seconds::new(5.0),
+            data_movement_time: Seconds::new(2.0),
+            sync_time: Seconds::new(1.0),
+            dynamic_energy: Joules::new(400.0),
+            ff_utilization: 0.75,
+            device_busy: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics_are_consistent() {
+        let r = report();
+        assert_eq!(r.per_step_time(), Seconds::new(2.0));
+        assert_eq!(r.average_power(), Watts::new(50.0));
+        assert_eq!(r.edp_per_step(), 100.0 * 2.0);
+        assert!(r.is_well_formed());
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let (a, b, c) = report().breakdown_fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-12);
+        assert!((a - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ill_formed_reports_are_caught() {
+        let mut r = report();
+        r.op_time = Seconds::new(100.0);
+        assert!(!r.is_well_formed());
+    }
+}

@@ -1,0 +1,65 @@
+//! Synchronization-cost constants and kernel-call granularity.
+//!
+//! These model the paper's §II-C trade-off: "fixed-function PIMs can impose
+//! high performance overhead by (i) frequent operation-spawning and
+//! (ii) host-PIM synchronization. Programmable PIMs typically execute
+//! coarse-grained code blocks with less frequent host-PIM synchronization."
+
+use pim_common::units::Seconds;
+
+/// Multiply/add flops covered by one fixed-function kernel call (one tile).
+/// An operation's MA work spawns `ceil(ma_flops / this)` kernel calls; who
+/// pays for those calls — the host (expensive) or the programmable PIM's
+/// runtime (cheap, overlapped) — is the crux of the recursive-kernel
+/// mechanism.
+pub const CALL_GRANULARITY_FLOPS: f64 = 6e6;
+
+/// Host-side cost of spawning one fixed-function kernel call.
+pub const HOST_CALL: Seconds = Seconds::new(4e-6);
+
+/// Programmable-PIM-side cost of spawning one fixed-function kernel call
+/// (the recursive-kernel path).
+pub const PIM_CALL: Seconds = Seconds::new(0.1e-6);
+
+/// Completion synchronization between host and a fixed-function offload.
+pub const HOST_FF_SYNC: Seconds = Seconds::new(3e-6);
+
+/// Completion synchronization between host and the programmable PIM.
+pub const HOST_PROGR_SYNC: Seconds = Seconds::new(20e-6);
+
+/// Synchronization between the programmable PIM and fixed-function PIMs
+/// through global variables in main memory (§III-B memory model).
+pub const PIM_INTERNAL_SYNC: Seconds = Seconds::new(1e-6);
+
+/// End-of-step barrier across CPU and all PIMs.
+pub const STEP_BARRIER: Seconds = Seconds::new(10e-6);
+
+/// Number of fixed-function kernel calls an amount of MA work spawns.
+///
+/// # Examples
+///
+/// ```
+/// use pim_runtime::sync::{kernel_calls, CALL_GRANULARITY_FLOPS};
+/// assert_eq!(kernel_calls(0.0), 0);
+/// assert_eq!(kernel_calls(CALL_GRANULARITY_FLOPS * 2.5), 3);
+/// ```
+pub fn kernel_calls(ma_flops: f64) -> u64 {
+    (ma_flops / CALL_GRANULARITY_FLOPS).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_calls_are_an_order_cheaper_than_host_calls() {
+        assert!(PIM_CALL.seconds() * 10.0 <= HOST_CALL.seconds());
+    }
+
+    #[test]
+    fn call_count_rounds_up() {
+        assert_eq!(kernel_calls(1.0), 1);
+        assert_eq!(kernel_calls(CALL_GRANULARITY_FLOPS), 1);
+        assert_eq!(kernel_calls(CALL_GRANULARITY_FLOPS + 1.0), 2);
+    }
+}

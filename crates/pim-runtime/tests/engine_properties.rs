@@ -1,0 +1,242 @@
+//! Property tests of the scheduler over randomly generated dataflow DAGs:
+//! whatever the graph shape, the engine must respect dependencies, never
+//! beat the critical path, never lose to the serial schedule, and produce
+//! internally consistent reports.
+
+use pim_common::units::Seconds;
+use pim_graph::graph::Graph;
+use pim_graph::node::{OpKind, TensorRole};
+use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_tensor::ops::activation::Activation;
+use pim_tensor::ops::elementwise::BinaryOp;
+use pim_tensor::ops::matmul::Transpose;
+use pim_tensor::Shape;
+use proptest::prelude::*;
+
+/// Builds a random layered DAG: `layers` ranks of ops, each consuming 1-2
+/// tensors from earlier ranks, mixing op kinds across all offload classes.
+fn random_dag(layers: usize, width: usize, seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let mut frontier: Vec<_> = (0..width)
+        .map(|i| {
+            g.add_tensor(
+                Shape::new(vec![8, 8]),
+                TensorRole::Input,
+                format!("in{i}"),
+            )
+        })
+        .collect();
+    let mut state = seed | 1;
+    let mut next = move |m: usize| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % m as u64) as usize
+    };
+    for layer in 0..layers {
+        let mut new_frontier = Vec::new();
+        for slot in 0..width {
+            let out = g.add_tensor(
+                Shape::new(vec![8, 8]),
+                TensorRole::Activation,
+                format!("t{layer}_{slot}"),
+            );
+            let a = frontier[next(frontier.len())];
+            match next(4) {
+                0 => {
+                    let b = frontier[next(frontier.len())];
+                    if a == b {
+                        g.add_op(OpKind::Activation(Activation::Relu), vec![a], vec![out])
+                            .unwrap();
+                    } else {
+                        g.add_op(OpKind::Binary(BinaryOp::Add), vec![a, b], vec![out])
+                            .unwrap();
+                    }
+                }
+                1 => {
+                    let b = frontier[next(frontier.len())];
+                    g.add_op(OpKind::MatMul(Transpose::NONE), vec![a, b], vec![out])
+                        .unwrap();
+                }
+                2 => {
+                    g.add_op(OpKind::Activation(Activation::Tanh), vec![a], vec![out])
+                        .unwrap();
+                }
+                _ => {
+                    g.add_op(OpKind::Reshape, vec![a], vec![out]).unwrap();
+                }
+            }
+            new_frontier.push(out);
+        }
+        frontier = new_frontier;
+    }
+    g
+}
+
+fn run(graph: &Graph, cfg: EngineConfig, steps: usize) -> pim_runtime::ExecutionReport {
+    Engine::new(cfg)
+        .run(&[WorkloadSpec {
+            graph,
+            steps,
+            cpu_progr_only: false,
+        }])
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reports are well-formed and the pipelined schedule never loses to
+    /// the serialized one by more than scheduling noise, for any DAG.
+    #[test]
+    fn scheduled_never_much_worse_than_serialized(
+        layers in 1usize..6,
+        width in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let graph = random_dag(layers, width, seed);
+        graph.validate().unwrap();
+        let scheduled = run(&graph, EngineConfig::hetero(), 2);
+        let serialized = run(&graph, EngineConfig::hetero_rc(), 2);
+        prop_assert!(scheduled.is_well_formed());
+        prop_assert!(serialized.is_well_formed());
+        // The pipeline overlaps work; tiny graphs may pay small constant
+        // overheads, so allow 25% slack.
+        prop_assert!(
+            scheduled.makespan.seconds() <= serialized.makespan.seconds() * 1.25,
+            "scheduled {} vs serialized {}",
+            scheduled.makespan.seconds(),
+            serialized.makespan.seconds()
+        );
+    }
+
+    /// More steps never take less time, and never more than proportionally
+    /// plus fill overhead.
+    #[test]
+    fn makespan_is_monotone_and_subadditive_in_steps(
+        layers in 1usize..5,
+        width in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let graph = random_dag(layers, width, seed);
+        let one = run(&graph, EngineConfig::hetero(), 1).makespan;
+        let three = run(&graph, EngineConfig::hetero(), 3).makespan;
+        prop_assert!(three >= one);
+        prop_assert!(three.seconds() <= 3.0 * one.seconds() + 1e-9);
+    }
+
+    /// Every configuration completes every DAG (no wedges, no panics) with
+    /// a strictly positive makespan.
+    #[test]
+    fn all_configurations_complete_random_dags(
+        layers in 1usize..5,
+        width in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let graph = random_dag(layers, width, seed);
+        for cfg in [
+            EngineConfig::cpu_only(),
+            EngineConfig::progr_only(),
+            EngineConfig::fixed_host(),
+            EngineConfig::hetero_bare(),
+            EngineConfig::hetero(),
+        ] {
+            let r = run(&graph, cfg, 1);
+            prop_assert!(r.makespan > Seconds::ZERO);
+            prop_assert!(r.is_well_formed());
+        }
+    }
+
+    /// Restricting a workload to CPU + programmable PIM never uses the
+    /// fixed-function pool.
+    #[test]
+    fn restricted_workloads_never_touch_the_pool(
+        layers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let graph = random_dag(layers, 2, seed);
+        let r = Engine::new(EngineConfig::hetero())
+            .run(&[WorkloadSpec { graph: &graph, steps: 2, cpu_progr_only: true }])
+            .unwrap();
+        prop_assert_eq!(r.ff_utilization, 0.0);
+    }
+}
+
+/// A deterministic deep-chain case: the pipeline cannot reorder a pure
+/// dependency chain, so two steps must cost at least ~1.6x one step even
+/// with overlap (same-op cross-step ordering).
+#[test]
+fn dependency_chains_bound_the_pipeline() {
+    let graph = random_dag(12, 1, 7);
+    let one = run(&graph, EngineConfig::hetero(), 1).makespan;
+    let two = run(&graph, EngineConfig::hetero(), 2).makespan;
+    assert!(two.seconds() >= one.seconds() * 1.2);
+}
+
+/// Timeline invariants: exclusive resources never host two overlapping op
+/// instances (CPU has one slot; the programmable PIM has two kernel slots).
+#[test]
+fn timeline_respects_resource_exclusivity() {
+    use pim_runtime::engine::ResourceClass;
+    let graph = random_dag(6, 3, 42);
+    let engine = Engine::new(EngineConfig::hetero());
+    let (report, timeline) = engine
+        .run_detailed(&[WorkloadSpec {
+            graph: &graph,
+            steps: 3,
+            cpu_progr_only: false,
+        }])
+        .unwrap();
+    assert!(!timeline.is_empty());
+    assert!(timeline.iter().all(|e| e.end >= e.start));
+    assert!(timeline
+        .iter()
+        .all(|e| e.end.seconds() <= report.makespan.seconds() + 1e-9));
+
+    // True instantaneous concurrency via an event sweep (ends processed
+    // before starts at equal timestamps, so back-to-back reuse is legal).
+    let overlaps = |class: fn(ResourceClass) -> bool| -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for e in timeline.iter().filter(|e| class(e.resource)) {
+            events.push((e.start.seconds(), 1));
+            events.push((e.end.seconds(), -1));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let (mut live, mut peak) = (0i32, 0i32);
+        for (_, delta) in events {
+            live += delta;
+            peak = peak.max(live);
+        }
+        peak.max(0) as usize
+    };
+    let uses_cpu = |r: ResourceClass| {
+        matches!(r, ResourceClass::Cpu | ResourceClass::CpuAndFixed)
+    };
+    let uses_progr = |r: ResourceClass| {
+        matches!(r, ResourceClass::Progr | ResourceClass::ProgrAndFixed)
+    };
+    assert!(overlaps(uses_cpu) <= 1, "CPU slot double-booked");
+    assert!(overlaps(uses_progr) <= 2, "progr slots over-subscribed");
+}
+
+/// The serialized timeline is strictly sequential: entries never overlap
+/// at all.
+#[test]
+fn serialized_timeline_is_sequential() {
+    let graph = random_dag(5, 2, 9);
+    let engine = Engine::new(EngineConfig::hetero_rc());
+    let (_, timeline) = engine
+        .run_detailed(&[WorkloadSpec {
+            graph: &graph,
+            steps: 2,
+            cpu_progr_only: false,
+        }])
+        .unwrap();
+    for pair in timeline.windows(2) {
+        assert!(pair[1].start.seconds() >= pair[0].end.seconds() - 1e-12);
+    }
+}

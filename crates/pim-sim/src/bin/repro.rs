@@ -1,0 +1,73 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `repro [table1|fig2|fig8|fig10|fig11|fig12|fig13|fig16|ablations|config|csv|all]`
+//! or `repro schedule <model>` for a placement preview.
+//! (fig8 covers fig9; fig11 covers fig17; fig13 covers fig14/fig15).
+
+use pim_sim::configs::table_iv_rows;
+use pim_sim::experiments;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run = |name: &str, f: fn() -> pim_common::Result<String>| {
+        if which == name || which == "all" {
+            match f() {
+                Ok(text) => println!("{text}"),
+                Err(e) => eprintln!("{name} failed: {e}"),
+            }
+        }
+    };
+    run("table1", experiments::table1);
+    run("fig2", experiments::fig2);
+    run("fig8", experiments::fig8_fig9);
+    run("fig10", experiments::fig10);
+    run("fig11", experiments::fig11_fig17);
+    run("fig12", experiments::fig12);
+    run("fig13", experiments::fig13_fig14_fig15);
+    run("fig16", experiments::fig16);
+    run("ablations", experiments::ablations);
+    if which == "schedule" {
+        // Placement preview for one model: `repro schedule [vgg|alex|...]`.
+        use pim_models::{Model, ModelKind};
+        use pim_runtime::engine::{Engine, EngineConfig};
+        let kind = match std::env::args().nth(2).as_deref() {
+            Some("vgg") => ModelKind::Vgg19,
+            Some("dcgan") => ModelKind::Dcgan,
+            Some("resnet") => ModelKind::ResNet50,
+            Some("inception") => ModelKind::InceptionV3,
+            Some("lstm") => ModelKind::Lstm,
+            Some("w2v") => ModelKind::Word2vec,
+            _ => ModelKind::AlexNet,
+        };
+        let model = Model::build(kind).expect("model builds");
+        let engine = Engine::new(EngineConfig::hetero());
+        match engine.plan_preview(model.graph()) {
+            Ok(rows) => {
+                println!("placement preview for {kind} (uncontended):");
+                for r in rows {
+                    println!(
+                        "  {:>6} {:28} {:9.6}s {} {}",
+                        r.op.to_string(),
+                        r.name,
+                        r.seconds,
+                        if r.candidate { "[candidate]" } else { "           " },
+                        r.placement,
+                    );
+                }
+            }
+            Err(e) => eprintln!("schedule failed: {e}"),
+        }
+    }
+    if which == "csv" {
+        match pim_sim::report::evaluation_grid(3) {
+            Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
+            Err(e) => eprintln!("csv failed: {e}"),
+        }
+    }
+    if which == "config" || which == "all" {
+        println!("Table IV: system configurations");
+        for (k, v) in table_iv_rows() {
+            println!("  {k:18} {v}");
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation. Each returns the printable rows the `repro` binary emits and
+//! EXPERIMENTS.md records.
+
+use crate::ablations::{batch_sweep, coverage_sweep, cube_scaling, gpu_attached};
+use crate::baselines::simulate_neurocube;
+use crate::configs::{simulate, SystemConfig};
+use crate::mixed::{corun, fig16_cases, CoRunResult};
+use pim_common::units::edp;
+use pim_common::Result;
+use pim_hw::power::{progr_scaling_points, LogicDieBudget};
+use pim_models::{Model, ModelKind};
+use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::profiler::profile_step;
+use pim_runtime::select::{classify, OpClass};
+use pim_runtime::stats::ExecutionReport;
+use std::fmt::Write as _;
+
+/// Steps simulated per figure (enough to amortize pipeline fill).
+const STEPS: usize = 3;
+
+fn run_model(kind: ModelKind, config: &SystemConfig, steps: usize) -> Result<ExecutionReport> {
+    let model = Model::build(kind)?;
+    simulate(&model, config, steps)
+}
+
+/// Table I: top-5 compute-intensive and memory-intensive op types for
+/// VGG-19, AlexNet, and DCGAN.
+///
+/// # Errors
+///
+/// Propagates profiling failures.
+pub fn table1() -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "Table I: operation profiling (one training step)").ok();
+    for kind in [ModelKind::Vgg19, ModelKind::AlexNet, ModelKind::Dcgan] {
+        let model = Model::build(kind)?;
+        let profile = profile_step(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
+        let total_t = profile.total_time();
+        let total_m = profile.total_memory_accesses() as f64;
+        let rows = profile.by_name();
+        writeln!(out, "\n== {kind} ==").ok();
+        writeln!(out, "Top 5 CI ops                    Time%   #Inv").ok();
+        for r in rows.iter().take(5) {
+            writeln!(
+                out,
+                "  {:28} {:6.2}  {:5}",
+                r.name,
+                100.0 * (r.time / total_t),
+                r.invocations
+            )
+            .ok();
+        }
+        let mut by_mem = rows.clone();
+        by_mem.sort_by(|a, b| b.memory_accesses.cmp(&a.memory_accesses));
+        writeln!(out, "Top 5 MI ops                    Mem%    #Inv").ok();
+        for r in by_mem.iter().take(5) {
+            writeln!(
+                out,
+                "  {:28} {:6.2}  {:5}",
+                r.name,
+                100.0 * r.memory_accesses as f64 / total_m,
+                r.invocations
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 2: the four-quadrant classification census per model.
+///
+/// # Errors
+///
+/// Propagates profiling failures.
+pub fn fig2() -> Result<String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 2: op classification (CI&MI / MI-only / CI-only / neither)"
+    )
+    .ok();
+    for kind in ModelKind::CNNS {
+        let model = Model::build(kind)?;
+        let profile = profile_step(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
+        let classes = classify(&profile);
+        let count = |c: OpClass| classes.iter().filter(|(_, x)| *x == c).count();
+        writeln!(
+            out,
+            "  {:14} {:4} / {:4} / {:4} / {:4}",
+            kind.name(),
+            count(OpClass::ComputeAndMemoryIntensive),
+            count(OpClass::MemoryIntensiveOnly),
+            count(OpClass::ComputeIntensiveOnly),
+            count(OpClass::Neither),
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// Fig. 8 + Fig. 9: execution-time breakdown and normalized dynamic energy
+/// for the 5 models x 5 configurations.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig8_fig9() -> Result<String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 8/9: per-step time breakdown and energy (energy normalized to Hetero PIM)"
+    )
+    .ok();
+    for kind in ModelKind::CNNS {
+        writeln!(out, "\n== {} (batch {}) ==", kind, kind.paper_batch_size()).ok();
+        let hetero = run_model(kind, &SystemConfig::hetero_pim(), STEPS)?;
+        for config in SystemConfig::evaluation_set() {
+            let r = run_model(kind, &config, STEPS)?;
+            let (op, dm, sync) = r.breakdown_fractions();
+            writeln!(
+                out,
+                "  {:10} step={:>9.4}s  op/dm/sync = {:4.2}/{:4.2}/{:4.2}  E_norm={:6.2}  util={:4.2}",
+                config.name(),
+                r.per_step_time().seconds(),
+                op,
+                dm,
+                sync,
+                r.dynamic_energy / hetero.dynamic_energy,
+                r.ff_utilization,
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 10: performance and energy versus Neurocube (normalized to
+/// Hetero PIM = 1).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig10() -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "Fig. 10: Neurocube / Hetero PIM (time and energy ratios)").ok();
+    for kind in ModelKind::CNNS {
+        let model = Model::build(kind)?;
+        let hetero = simulate(&model, &SystemConfig::hetero_pim(), STEPS)?;
+        let nc = simulate_neurocube(&model, STEPS)?;
+        writeln!(
+            out,
+            "  {:14} time x{:6.1}   energy x{:6.1}",
+            kind.name(),
+            nc.makespan / hetero.makespan,
+            nc.dynamic_energy / hetero.dynamic_energy,
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// Fig. 11 + Fig. 17: frequency scaling (1x/2x/4x) — execution time
+/// against the GPU, EDP, and power.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig11_fig17() -> Result<String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 11/17: 3D-memory frequency scaling (time vs GPU, EDP/step, avg power)"
+    )
+    .ok();
+    for kind in ModelKind::CNNS {
+        let gpu = run_model(kind, &SystemConfig::Gpu, STEPS)?;
+        writeln!(
+            out,
+            "\n== {} ==   GPU: step={:.4}s power={:.0}W",
+            kind.name(),
+            gpu.per_step_time().seconds(),
+            gpu.average_power().watts(),
+        )
+        .ok();
+        for mult in [1.0, 2.0, 4.0] {
+            let cfg = SystemConfig::hetero_pim_at_frequency(mult)?;
+            let r = run_model(kind, &cfg, STEPS)?;
+            writeln!(
+                out,
+                "  {}x: step={:>8.4}s ({:+5.1}% vs GPU)  EDP/step={:9.3e}  power={:5.0}W",
+                mult,
+                r.per_step_time().seconds(),
+                100.0 * (gpu.per_step_time() / r.per_step_time() - 1.0),
+                edp(
+                    r.dynamic_energy / STEPS as f64,
+                    r.per_step_time()
+                ),
+                r.average_power().watts(),
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 12: programmable-PIM scaling (1P/4P/16P) at constant die area.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig12() -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "Fig. 12: Progr-PIM scaling at constant logic-die area").ok();
+    let points = progr_scaling_points(&LogicDieBudget::paper_baseline())?;
+    for kind in ModelKind::CNNS {
+        let model = Model::build(kind)?;
+        write!(out, "  {:14}", kind.name()).ok();
+        for p in &points {
+            let cfg = SystemConfig::HeteroPim(
+                EngineConfig::hetero().with_pim_complement(p.arm_cores, p.ff_units),
+            );
+            let r = simulate(&model, &cfg, STEPS)?;
+            write!(
+                out,
+                "  {}P({} FF)={:.4}s",
+                p.arm_cores,
+                p.ff_units,
+                r.per_step_time().seconds()
+            )
+            .ok();
+        }
+        writeln!(out).ok();
+    }
+    Ok(out)
+}
+
+/// Fig. 13/14/15: the software-technique ablation — execution time, energy
+/// (normalized to Hetero+RC+OP) and fixed-function utilization for
+/// Progr/Fixed/Hetero-bare/+RC/+RC+OP.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig13_fig14_fig15() -> Result<String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fig. 13/14/15: RC and OP ablation (time, energy normalized to full, utilization)"
+    )
+    .ok();
+    for kind in ModelKind::CNNS {
+        let model = Model::build(kind)?;
+        let workload = |steps| WorkloadSpec {
+            graph: model.graph(),
+            steps,
+            cpu_progr_only: false,
+        };
+        let full = Engine::new(EngineConfig::hetero()).run(&[workload(STEPS)])?;
+        writeln!(out, "\n== {} ==", kind.name()).ok();
+        for cfg in [
+            EngineConfig::progr_only(),
+            EngineConfig::fixed_host(),
+            EngineConfig::hetero_bare(),
+            EngineConfig::hetero_rc(),
+            EngineConfig::hetero(),
+        ] {
+            let name = cfg.name.clone();
+            let r = Engine::new(cfg).run(&[workload(STEPS)])?;
+            writeln!(
+                out,
+                "  {:22} time={:>9.4}s ({:5.2}x full)  E_norm={:6.2}  util={:4.2}",
+                name,
+                r.per_step_time().seconds(),
+                r.makespan / full.makespan,
+                r.dynamic_energy / full.dynamic_energy,
+                r.ff_utilization,
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 16: mixed-workload co-running.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig16() -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "Fig. 16: CNN + non-CNN co-run vs sequential execution").ok();
+    for (cnn, other) in fig16_cases() {
+        let r: CoRunResult = corun(cnn, other, 2)?;
+        writeln!(
+            out,
+            "  {:14}+{:9}  seq={:>8.4}s  co-run={:>8.4}s  improvement={:5.1}%",
+            r.cnn.name(),
+            r.other.name(),
+            r.sequential_seconds,
+            r.corun_seconds,
+            100.0 * r.improvement(),
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+/// Ablations beyond the paper's figures: the x-coverage sweep, multi-cube
+/// scaling, and the §II-D GPU-attached estimate.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablations() -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "Ablations (design choices and §II-D discussion)").ok();
+
+    let model = Model::build(ModelKind::Vgg19)?;
+    writeln!(out, "\nCandidate-selection coverage sweep (VGG-19):").ok();
+    for p in coverage_sweep(&model, &[0.5, 0.7, 0.9, 0.99], STEPS)? {
+        writeln!(out, "  x={:4.2}: {:.4} s/step", p.coverage, p.step_seconds).ok();
+    }
+
+    writeln!(out, "\nMulti-cube fixed-function scaling (VGG-19):").ok();
+    for p in cube_scaling(&model, STEPS)? {
+        writeln!(
+            out,
+            "  {} cube(s), {} units: {:.4} s/step",
+            p.cubes, p.ff_units, p.step_seconds
+        )
+        .ok();
+    }
+
+    writeln!(out, "\nBatch-size sweep (AlexNet, Hetero PIM):").ok();
+    for p in batch_sweep(ModelKind::AlexNet, &[8, 16, 32, 64], STEPS)? {
+        writeln!(
+            out,
+            "  batch {:>3}: {:.4} s/step = {:.2} ms/sample",
+            p.batch,
+            p.hetero_step_seconds,
+            1e3 * p.hetero_sample_seconds
+        )
+        .ok();
+    }
+
+    writeln!(out, "\nGPU-attached heterogeneous PIM estimate (per step):").ok();
+    let gpu = pim_hw::gpu::GpuDevice::gtx_1080_ti();
+    for kind in ModelKind::CNNS {
+        let m = Model::build(kind)?;
+        let est = gpu_attached(&m, &gpu)?;
+        writeln!(
+            out,
+            "  {:14} GPU {:.4}s -> GPU+PIM {:.4}s ({:.2}x)",
+            kind.name(),
+            est.gpu_seconds,
+            est.gpu_pim_seconds,
+            est.gpu_seconds / est.gpu_pim_seconds
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Headline-shape tests run at reduced batch through the public
+    // simulate() API elsewhere; here we verify the harness functions
+    // produce the expected row structure on the real configurations.
+
+    #[test]
+    fn table1_lists_three_models() {
+        let t = table1().unwrap();
+        assert!(t.contains("VGG-19"));
+        assert!(t.contains("AlexNet"));
+        assert!(t.contains("DCGAN"));
+        assert!(t.contains("Conv2DBackpropFilter"));
+    }
+
+    #[test]
+    fn fig2_counts_every_quadrant() {
+        let t = fig2().unwrap();
+        assert_eq!(t.lines().count(), 1 + ModelKind::CNNS.len());
+    }
+
+    #[test]
+    fn fig12_prints_three_design_points() {
+        let t = fig12().unwrap();
+        assert!(t.contains("1P(468 FF)"));
+        assert!(t.contains("4P(444 FF)"));
+        assert!(t.contains("16P(348 FF)"));
+    }
+}

@@ -1,0 +1,43 @@
+//! System configurations, trace generation, baselines, and the experiment
+//! harness regenerating every table and figure of the paper's evaluation.
+//!
+//! * [`configs`] — the five evaluated system configurations (§VI) and the
+//!   [`simulate`] entry point,
+//! * [`gpu`] — the GPU baseline step simulation (utilization, PCIe staging,
+//!   working-set spill),
+//! * [`baselines`] — the Neurocube comparison point (Fig. 10),
+//! * [`ablations`] — coverage-parameter sweep, multi-cube scaling, and the
+//!   §II-D GPU-attached-PIM estimate,
+//! * [`trace`] / [`tracegen`] — the Pin-substitute trace format and
+//!   generator (§V-A),
+//! * [`mixed`] — CNN + non-CNN co-running (§VI-F),
+//! * [`report`] — CSV emission of the evaluation grid,
+//! * [`experiments`] — one function per table/figure; the `repro` binary
+//!   prints them.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_sim::configs::{simulate, SystemConfig};
+//! use pim_models::{Model, ModelKind};
+//!
+//! # fn main() -> pim_common::Result<()> {
+//! let model = Model::build_with_batch(ModelKind::Dcgan, 8)?;
+//! let hetero = simulate(&model, &SystemConfig::hetero_pim(), 2)?;
+//! let cpu = simulate(&model, &SystemConfig::Cpu, 2)?;
+//! assert!(hetero.makespan < cpu.makespan);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ablations;
+pub mod baselines;
+pub mod configs;
+pub mod experiments;
+pub mod gpu;
+pub mod mixed;
+pub mod report;
+pub mod trace;
+pub mod tracegen;
+
+pub use configs::{simulate, SystemConfig};

@@ -1,0 +1,224 @@
+//! The instruction/memory trace format (the Pin-substitute's output).
+//!
+//! §V-A: "We employ a trace generator developed on Pin to collect
+//! instruction trace, when running our OpenCL kernel binaries on CPU. We
+//! develop a ... trace-driven simulation framework based on our design."
+//! The trace carries, per operation instance, exactly the counters the
+//! simulator consumes; [`tracegen`](crate::tracegen) produces it and the
+//! driver replays it.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pim_common::access::AccessPattern;
+use pim_common::units::Bytes as ByteVolume;
+use pim_common::{PimError, Result};
+use pim_tensor::cost::{CostProfile, OffloadClass};
+
+/// One traced operation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Index of the op in its graph.
+    pub op_index: u32,
+    /// TensorFlow op name.
+    pub name: String,
+    /// Multiply instructions.
+    pub muls: f64,
+    /// Add instructions.
+    pub adds: f64,
+    /// Other arithmetic instructions.
+    pub other: f64,
+    /// Control instructions.
+    pub control: f64,
+    /// Bytes read from main memory.
+    pub bytes_read: f64,
+    /// Bytes written to main memory.
+    pub bytes_written: f64,
+    /// Dominant access pattern (0 sequential, 1 strided, 2 random).
+    pub pattern: u8,
+    /// Mul/add fraction in per-mille (0..=1000).
+    pub ma_permille: u16,
+    /// Fixed-function parallelism.
+    pub parallelism: u32,
+}
+
+impl TraceRecord {
+    /// Builds a record from an analytic cost profile.
+    pub fn from_cost(op_index: u32, name: &str, cost: &CostProfile) -> Self {
+        TraceRecord {
+            op_index,
+            name: name.to_string(),
+            muls: cost.muls,
+            adds: cost.adds,
+            other: cost.other_flops,
+            control: cost.control_ops,
+            bytes_read: cost.bytes_read.bytes(),
+            bytes_written: cost.bytes_written.bytes(),
+            pattern: match cost.pattern {
+                AccessPattern::Sequential => 0,
+                AccessPattern::Strided => 1,
+                AccessPattern::Random => 2,
+            },
+            ma_permille: (cost.class.ma_fraction() * 1000.0).round() as u16,
+            parallelism: cost.ff_parallelism as u32,
+        }
+    }
+
+    /// Reconstructs the cost profile the simulator consumes.
+    pub fn to_cost(&self) -> CostProfile {
+        let pattern = match self.pattern {
+            0 => AccessPattern::Sequential,
+            1 => AccessPattern::Strided,
+            _ => AccessPattern::Random,
+        };
+        let ma_fraction = f64::from(self.ma_permille) / 1000.0;
+        let class = if self.muls + self.adds + self.other == 0.0 {
+            OffloadClass::DataMovement
+        } else if ma_fraction >= 0.9995 {
+            OffloadClass::FullyMulAdd
+        } else if ma_fraction <= 0.0005 {
+            OffloadClass::NonMulAdd
+        } else {
+            OffloadClass::PartiallyMulAdd { ma_fraction }
+        };
+        CostProfile {
+            muls: self.muls,
+            adds: self.adds,
+            other_flops: self.other,
+            control_ops: self.control,
+            bytes_read: ByteVolume::new(self.bytes_read),
+            bytes_written: ByteVolume::new(self.bytes_written),
+            pattern,
+            ff_parallelism: self.parallelism as usize,
+            class,
+        }
+    }
+}
+
+/// A complete trace of one training step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Records in execution order.
+    pub records: Vec<TraceRecord>,
+}
+
+const MAGIC: u32 = 0x5049_4d54; // "PIMT"
+
+impl Trace {
+    /// Serializes the trace to a compact binary buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 * self.records.len() + 16);
+        buf.put_u32(MAGIC);
+        buf.put_u32(self.records.len() as u32);
+        for r in &self.records {
+            buf.put_u32(r.op_index);
+            let name = r.name.as_bytes();
+            buf.put_u16(name.len() as u16);
+            buf.put_slice(name);
+            buf.put_f64(r.muls);
+            buf.put_f64(r.adds);
+            buf.put_f64(r.other);
+            buf.put_f64(r.control);
+            buf.put_f64(r.bytes_read);
+            buf.put_f64(r.bytes_written);
+            buf.put_u8(r.pattern);
+            buf.put_u16(r.ma_permille);
+            buf.put_u32(r.parallelism);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a trace buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidArgument`] for truncated or foreign data.
+    pub fn decode(mut buf: Bytes) -> Result<Self> {
+        let fail = |what: &str| PimError::invalid("Trace::decode", what.to_string());
+        if buf.remaining() < 8 {
+            return Err(fail("buffer too small"));
+        }
+        if buf.get_u32() != MAGIC {
+            return Err(fail("bad magic"));
+        }
+        let count = buf.get_u32() as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 6 {
+                return Err(fail("truncated record header"));
+            }
+            let op_index = buf.get_u32();
+            let name_len = buf.get_u16() as usize;
+            if buf.remaining() < name_len + 6 * 8 + 1 + 2 + 4 {
+                return Err(fail("truncated record body"));
+            }
+            let name_bytes = buf.copy_to_bytes(name_len);
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| fail("non-utf8 op name"))?;
+            records.push(TraceRecord {
+                op_index,
+                name,
+                muls: buf.get_f64(),
+                adds: buf.get_f64(),
+                other: buf.get_f64(),
+                control: buf.get_f64(),
+                bytes_read: buf.get_f64(),
+                bytes_written: buf.get_f64(),
+                pattern: buf.get_u8(),
+                ma_permille: buf.get_u16(),
+                parallelism: buf.get_u32(),
+            });
+        }
+        Ok(Trace { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_common::units::Bytes as BV;
+
+    fn sample_cost() -> CostProfile {
+        CostProfile::compute(
+            100.0,
+            90.0,
+            10.0,
+            BV::new(640.0),
+            BV::new(320.0),
+            OffloadClass::PartiallyMulAdd { ma_fraction: 0.95 },
+            17,
+        )
+    }
+
+    #[test]
+    fn record_roundtrips_through_cost() {
+        let cost = sample_cost();
+        let rec = TraceRecord::from_cost(3, "Conv2D", &cost);
+        let back = rec.to_cost();
+        assert_eq!(back.muls, cost.muls);
+        assert_eq!(back.bytes_read, cost.bytes_read);
+        assert_eq!(back.ff_parallelism, cost.ff_parallelism);
+        assert!((back.class.ma_fraction() - cost.class.ma_fraction()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trace_roundtrips_through_binary() {
+        let trace = Trace {
+            records: (0..5)
+                .map(|i| TraceRecord::from_cost(i, "MatMul", &sample_cost()))
+                .collect(),
+        };
+        let encoded = trace.encode();
+        let decoded = Trace::decode(encoded).unwrap();
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Trace::decode(Bytes::from_static(b"nonsense")).is_err());
+        assert!(Trace::decode(Bytes::from_static(b"")).is_err());
+        // Right magic, truncated body.
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u32(5);
+        assert!(Trace::decode(buf.freeze()).is_err());
+    }
+}

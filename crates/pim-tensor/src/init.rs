@@ -1,0 +1,65 @@
+//! Weight initializers.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform(shape: Shape, limit: f32, rng: &mut impl RngExt) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.random_range(-limit..=limit))
+}
+
+/// Glorot/Xavier uniform initialization for a layer with the given fan-in
+/// and fan-out.
+///
+/// # Examples
+///
+/// ```
+/// use pim_tensor::init::{glorot_uniform, seeded_rng};
+/// use pim_tensor::Shape;
+///
+/// let mut rng = seeded_rng(42);
+/// let w = glorot_uniform(Shape::new(vec![64, 32]), 32, 64, &mut rng);
+/// assert!(w.data().iter().all(|v| v.abs() <= 0.25 + 1e-6));
+/// ```
+pub fn glorot_uniform(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut impl RngExt) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, limit, rng)
+}
+
+/// A deterministic RNG for reproducible examples and tests.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(7);
+        let mut b = seeded_rng(7);
+        let ta = uniform(Shape::new(vec![16]), 1.0, &mut a);
+        let tb = uniform(Shape::new(vec![16]), 1.0, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = seeded_rng(1);
+        let t = uniform(Shape::new(vec![256]), 0.5, &mut rng);
+        assert!(t.data().iter().all(|v| v.abs() <= 0.5));
+        // And actually spreads out.
+        assert!(t.data().iter().any(|v| v.abs() > 0.25));
+    }
+
+    #[test]
+    fn glorot_limit_shrinks_with_fan() {
+        let mut rng = seeded_rng(2);
+        let wide = glorot_uniform(Shape::new(vec![4096]), 4096, 4096, &mut rng);
+        let max = wide.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max < 0.05);
+    }
+}

@@ -1,0 +1,44 @@
+//! Tensor library with NN training operations and analytic cost models.
+//!
+//! This crate is the numerical substrate of the hetero-pim reproduction. It
+//! provides:
+//!
+//! * [`tensor::Tensor`] — a dense `f32` tensor (NCHW for images),
+//! * [`ops`] — every training operation the paper profiles, each with a real
+//!   numeric kernel *and* an analytic [`cost::CostProfile`] derived from
+//!   shapes,
+//! * [`cost`] — the cost vocabulary consumed by the device models,
+//! * [`init`] — reproducible weight initialization.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_tensor::ops::conv::{conv2d, conv2d_cost};
+//! use pim_tensor::shape::{ConvGeometry, Shape};
+//! use pim_tensor::Tensor;
+//!
+//! # fn main() -> pim_common::Result<()> {
+//! let geom = ConvGeometry::square(3, 1, 1);
+//! let input = Tensor::full(Shape::new(vec![1, 3, 8, 8]), 1.0);
+//! let filter = Tensor::full(Shape::new(vec![4, 3, 3, 3]), 0.1);
+//!
+//! // Real math:
+//! let out = conv2d(&input, &filter, geom)?;
+//! assert_eq!(out.shape().dims(), &[1, 4, 8, 8]);
+//!
+//! // Analytic characterization (what the runtime scheduler consumes):
+//! let cost = conv2d_cost(input.shape(), filter.shape(), geom)?;
+//! assert!(cost.ma_flops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cost;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use cost::{CostProfile, OffloadClass};
+pub use shape::{ConvGeometry, Shape};
+pub use tensor::Tensor;

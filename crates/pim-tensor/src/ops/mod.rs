@@ -1,0 +1,23 @@
+//! NN training operations: numeric kernels and analytic cost models.
+//!
+//! Every operation the paper profiles (Table I) has two faces here:
+//!
+//! * an **execute** function that performs the real `f32` math (used by the
+//!   eager executor in `pim-graph` for functional training), and
+//! * a **cost** function that derives a [`crate::cost::CostProfile`] purely
+//!   from shapes (used by the device models and the trace generator).
+//!
+//! Property tests in each module cross-check the analytic counts against
+//! instrumented naive executions on small shapes.
+
+pub mod activation;
+pub mod bias;
+pub mod conv;
+pub mod elementwise;
+pub mod embedding;
+pub mod im2col;
+pub mod matmul;
+pub mod norm;
+pub mod optimizer;
+pub mod pool;
+pub mod softmax;
