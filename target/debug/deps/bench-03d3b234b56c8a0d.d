@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-03d3b234b56c8a0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-03d3b234b56c8a0d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-38fef846e2a66412.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-38fef846e2a66412.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-38fef846e2a66412.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

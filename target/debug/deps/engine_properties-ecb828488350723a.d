@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-ecb828488350723a.d: crates/pim-runtime/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-ecb828488350723a: crates/pim-runtime/tests/engine_properties.rs
+
+crates/pim-runtime/tests/engine_properties.rs:

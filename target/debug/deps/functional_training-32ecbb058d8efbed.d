@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_training-32ecbb058d8efbed.d: tests/functional_training.rs
+
+/root/repo/target/debug/deps/functional_training-32ecbb058d8efbed: tests/functional_training.rs
+
+tests/functional_training.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetero_pim-4cc6138475e111fe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhetero_pim-4cc6138475e111fe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhetero_pim-4cc6138475e111fe.rmeta: src/lib.rs
+
+src/lib.rs:

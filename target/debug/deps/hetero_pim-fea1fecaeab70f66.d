@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_pim-fea1fecaeab70f66.d: src/lib.rs
+
+/root/repo/target/debug/deps/hetero_pim-fea1fecaeab70f66: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ffab3a3f589736bb.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ffab3a3f589736bb: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pim_common-9c81c751db032df2.d: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+/root/repo/target/debug/deps/pim_common-9c81c751db032df2: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+crates/pim-common/src/lib.rs:
+crates/pim-common/src/access.rs:
+crates/pim-common/src/error.rs:
+crates/pim-common/src/ids.rs:
+crates/pim-common/src/units.rs:

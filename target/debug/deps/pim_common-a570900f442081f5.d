@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pim_common-a570900f442081f5.d: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+/root/repo/target/debug/deps/libpim_common-a570900f442081f5.rlib: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+/root/repo/target/debug/deps/libpim_common-a570900f442081f5.rmeta: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+crates/pim-common/src/lib.rs:
+crates/pim-common/src/access.rs:
+crates/pim-common/src/error.rs:
+crates/pim-common/src/ids.rs:
+crates/pim-common/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pim_graph-16003212c9d59147.d: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+/root/repo/target/debug/deps/libpim_graph-16003212c9d59147.rlib: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+/root/repo/target/debug/deps/libpim_graph-16003212c9d59147.rmeta: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+crates/pim-graph/src/lib.rs:
+crates/pim-graph/src/builder.rs:
+crates/pim-graph/src/export.rs:
+crates/pim-graph/src/liveness.rs:
+crates/pim-graph/src/cost.rs:
+crates/pim-graph/src/executor.rs:
+crates/pim-graph/src/graph.rs:
+crates/pim-graph/src/node.rs:

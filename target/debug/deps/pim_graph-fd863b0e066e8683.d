@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pim_graph-fd863b0e066e8683.d: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+/root/repo/target/debug/deps/pim_graph-fd863b0e066e8683: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+crates/pim-graph/src/lib.rs:
+crates/pim-graph/src/builder.rs:
+crates/pim-graph/src/export.rs:
+crates/pim-graph/src/liveness.rs:
+crates/pim-graph/src/cost.rs:
+crates/pim-graph/src/executor.rs:
+crates/pim-graph/src/graph.rs:
+crates/pim-graph/src/node.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pim_hw-9166751a1d611607.d: crates/pim-hw/src/lib.rs crates/pim-hw/src/arm.rs crates/pim-hw/src/cpu.rs crates/pim-hw/src/fixed.rs crates/pim-hw/src/gpu.rs crates/pim-hw/src/neurocube.rs crates/pim-hw/src/params.rs crates/pim-hw/src/placement.rs crates/pim-hw/src/power.rs crates/pim-hw/src/registers.rs crates/pim-hw/src/thermal.rs
+
+/root/repo/target/debug/deps/pim_hw-9166751a1d611607: crates/pim-hw/src/lib.rs crates/pim-hw/src/arm.rs crates/pim-hw/src/cpu.rs crates/pim-hw/src/fixed.rs crates/pim-hw/src/gpu.rs crates/pim-hw/src/neurocube.rs crates/pim-hw/src/params.rs crates/pim-hw/src/placement.rs crates/pim-hw/src/power.rs crates/pim-hw/src/registers.rs crates/pim-hw/src/thermal.rs
+
+crates/pim-hw/src/lib.rs:
+crates/pim-hw/src/arm.rs:
+crates/pim-hw/src/cpu.rs:
+crates/pim-hw/src/fixed.rs:
+crates/pim-hw/src/gpu.rs:
+crates/pim-hw/src/neurocube.rs:
+crates/pim-hw/src/params.rs:
+crates/pim-hw/src/placement.rs:
+crates/pim-hw/src/power.rs:
+crates/pim-hw/src/registers.rs:
+crates/pim-hw/src/thermal.rs:

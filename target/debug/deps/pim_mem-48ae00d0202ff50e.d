@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pim_mem-48ae00d0202ff50e.d: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+/root/repo/target/debug/deps/libpim_mem-48ae00d0202ff50e.rlib: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+/root/repo/target/debug/deps/libpim_mem-48ae00d0202ff50e.rmeta: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+crates/pim-mem/src/lib.rs:
+crates/pim-mem/src/bank.rs:
+crates/pim-mem/src/controller.rs:
+crates/pim-mem/src/energy.rs:
+crates/pim-mem/src/planar.rs:
+crates/pim-mem/src/stack.rs:
+crates/pim-mem/src/traffic.rs:

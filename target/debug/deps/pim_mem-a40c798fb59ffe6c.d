@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pim_mem-a40c798fb59ffe6c.d: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+/root/repo/target/debug/deps/pim_mem-a40c798fb59ffe6c: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+crates/pim-mem/src/lib.rs:
+crates/pim-mem/src/bank.rs:
+crates/pim-mem/src/controller.rs:
+crates/pim-mem/src/energy.rs:
+crates/pim-mem/src/planar.rs:
+crates/pim-mem/src/stack.rs:
+crates/pim-mem/src/traffic.rs:

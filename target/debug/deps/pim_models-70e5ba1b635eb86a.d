@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pim_models-70e5ba1b635eb86a.d: crates/pim-models/src/lib.rs crates/pim-models/src/alexnet.rs crates/pim-models/src/dataset.rs crates/pim-models/src/dcgan.rs crates/pim-models/src/inception.rs crates/pim-models/src/lstm.rs crates/pim-models/src/resnet.rs crates/pim-models/src/vgg.rs crates/pim-models/src/word2vec.rs crates/pim-models/src/zoo.rs
+
+/root/repo/target/debug/deps/pim_models-70e5ba1b635eb86a: crates/pim-models/src/lib.rs crates/pim-models/src/alexnet.rs crates/pim-models/src/dataset.rs crates/pim-models/src/dcgan.rs crates/pim-models/src/inception.rs crates/pim-models/src/lstm.rs crates/pim-models/src/resnet.rs crates/pim-models/src/vgg.rs crates/pim-models/src/word2vec.rs crates/pim-models/src/zoo.rs
+
+crates/pim-models/src/lib.rs:
+crates/pim-models/src/alexnet.rs:
+crates/pim-models/src/dataset.rs:
+crates/pim-models/src/dcgan.rs:
+crates/pim-models/src/inception.rs:
+crates/pim-models/src/lstm.rs:
+crates/pim-models/src/resnet.rs:
+crates/pim-models/src/vgg.rs:
+crates/pim-models/src/word2vec.rs:
+crates/pim-models/src/zoo.rs:

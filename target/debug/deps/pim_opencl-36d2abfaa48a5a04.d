@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pim_opencl-36d2abfaa48a5a04.d: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+/root/repo/target/debug/deps/pim_opencl-36d2abfaa48a5a04: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+crates/pim-opencl/src/lib.rs:
+crates/pim-opencl/src/api.rs:
+crates/pim-opencl/src/directive.rs:
+crates/pim-opencl/src/binary.rs:
+crates/pim-opencl/src/kir.rs:
+crates/pim-opencl/src/memory.rs:
+crates/pim-opencl/src/platform.rs:
+crates/pim-opencl/src/queue.rs:

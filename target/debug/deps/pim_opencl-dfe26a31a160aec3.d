@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pim_opencl-dfe26a31a160aec3.d: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+/root/repo/target/debug/deps/libpim_opencl-dfe26a31a160aec3.rlib: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+/root/repo/target/debug/deps/libpim_opencl-dfe26a31a160aec3.rmeta: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+crates/pim-opencl/src/lib.rs:
+crates/pim-opencl/src/api.rs:
+crates/pim-opencl/src/directive.rs:
+crates/pim-opencl/src/binary.rs:
+crates/pim-opencl/src/kir.rs:
+crates/pim-opencl/src/memory.rs:
+crates/pim-opencl/src/platform.rs:
+crates/pim-opencl/src/queue.rs:

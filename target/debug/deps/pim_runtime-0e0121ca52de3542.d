@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pim_runtime-0e0121ca52de3542.d: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+/root/repo/target/debug/deps/pim_runtime-0e0121ca52de3542: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+crates/pim-runtime/src/lib.rs:
+crates/pim-runtime/src/engine.rs:
+crates/pim-runtime/src/profiler.rs:
+crates/pim-runtime/src/recursive.rs:
+crates/pim-runtime/src/select.rs:
+crates/pim-runtime/src/session.rs:
+crates/pim-runtime/src/stats.rs:
+crates/pim-runtime/src/sync.rs:

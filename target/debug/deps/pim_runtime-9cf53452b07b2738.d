@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pim_runtime-9cf53452b07b2738.d: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+/root/repo/target/debug/deps/libpim_runtime-9cf53452b07b2738.rlib: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+/root/repo/target/debug/deps/libpim_runtime-9cf53452b07b2738.rmeta: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+crates/pim-runtime/src/lib.rs:
+crates/pim-runtime/src/engine.rs:
+crates/pim-runtime/src/profiler.rs:
+crates/pim-runtime/src/recursive.rs:
+crates/pim-runtime/src/select.rs:
+crates/pim-runtime/src/session.rs:
+crates/pim-runtime/src/stats.rs:
+crates/pim-runtime/src/sync.rs:

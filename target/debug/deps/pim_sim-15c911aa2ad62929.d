@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pim_sim-15c911aa2ad62929.d: crates/pim-sim/src/lib.rs crates/pim-sim/src/ablations.rs crates/pim-sim/src/baselines.rs crates/pim-sim/src/configs.rs crates/pim-sim/src/experiments.rs crates/pim-sim/src/gpu.rs crates/pim-sim/src/mixed.rs crates/pim-sim/src/report.rs crates/pim-sim/src/trace.rs crates/pim-sim/src/tracegen.rs
+
+/root/repo/target/debug/deps/pim_sim-15c911aa2ad62929: crates/pim-sim/src/lib.rs crates/pim-sim/src/ablations.rs crates/pim-sim/src/baselines.rs crates/pim-sim/src/configs.rs crates/pim-sim/src/experiments.rs crates/pim-sim/src/gpu.rs crates/pim-sim/src/mixed.rs crates/pim-sim/src/report.rs crates/pim-sim/src/trace.rs crates/pim-sim/src/tracegen.rs
+
+crates/pim-sim/src/lib.rs:
+crates/pim-sim/src/ablations.rs:
+crates/pim-sim/src/baselines.rs:
+crates/pim-sim/src/configs.rs:
+crates/pim-sim/src/experiments.rs:
+crates/pim-sim/src/gpu.rs:
+crates/pim-sim/src/mixed.rs:
+crates/pim-sim/src/report.rs:
+crates/pim-sim/src/trace.rs:
+crates/pim-sim/src/tracegen.rs:

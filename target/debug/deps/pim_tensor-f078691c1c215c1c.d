@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pim_tensor-f078691c1c215c1c.d: crates/pim-tensor/src/lib.rs crates/pim-tensor/src/cost.rs crates/pim-tensor/src/init.rs crates/pim-tensor/src/ops/mod.rs crates/pim-tensor/src/ops/activation.rs crates/pim-tensor/src/ops/bias.rs crates/pim-tensor/src/ops/conv.rs crates/pim-tensor/src/ops/elementwise.rs crates/pim-tensor/src/ops/embedding.rs crates/pim-tensor/src/ops/im2col.rs crates/pim-tensor/src/ops/matmul.rs crates/pim-tensor/src/ops/norm.rs crates/pim-tensor/src/ops/optimizer.rs crates/pim-tensor/src/ops/pool.rs crates/pim-tensor/src/ops/softmax.rs crates/pim-tensor/src/shape.rs crates/pim-tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/pim_tensor-f078691c1c215c1c: crates/pim-tensor/src/lib.rs crates/pim-tensor/src/cost.rs crates/pim-tensor/src/init.rs crates/pim-tensor/src/ops/mod.rs crates/pim-tensor/src/ops/activation.rs crates/pim-tensor/src/ops/bias.rs crates/pim-tensor/src/ops/conv.rs crates/pim-tensor/src/ops/elementwise.rs crates/pim-tensor/src/ops/embedding.rs crates/pim-tensor/src/ops/im2col.rs crates/pim-tensor/src/ops/matmul.rs crates/pim-tensor/src/ops/norm.rs crates/pim-tensor/src/ops/optimizer.rs crates/pim-tensor/src/ops/pool.rs crates/pim-tensor/src/ops/softmax.rs crates/pim-tensor/src/shape.rs crates/pim-tensor/src/tensor.rs
+
+crates/pim-tensor/src/lib.rs:
+crates/pim-tensor/src/cost.rs:
+crates/pim-tensor/src/init.rs:
+crates/pim-tensor/src/ops/mod.rs:
+crates/pim-tensor/src/ops/activation.rs:
+crates/pim-tensor/src/ops/bias.rs:
+crates/pim-tensor/src/ops/conv.rs:
+crates/pim-tensor/src/ops/elementwise.rs:
+crates/pim-tensor/src/ops/embedding.rs:
+crates/pim-tensor/src/ops/im2col.rs:
+crates/pim-tensor/src/ops/matmul.rs:
+crates/pim-tensor/src/ops/norm.rs:
+crates/pim-tensor/src/ops/optimizer.rs:
+crates/pim-tensor/src/ops/pool.rs:
+crates/pim-tensor/src/ops/softmax.rs:
+crates/pim-tensor/src/shape.rs:
+crates/pim-tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-21cae4022ccff309.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-21cae4022ccff309: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

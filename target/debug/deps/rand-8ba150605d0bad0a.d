@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8ba150605d0bad0a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8ba150605d0bad0a.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8ba150605d0bad0a.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4fcaf58eebbcd36b.d: crates/pim-sim/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4fcaf58eebbcd36b: crates/pim-sim/src/bin/repro.rs
+
+crates/pim-sim/src/bin/repro.rs:

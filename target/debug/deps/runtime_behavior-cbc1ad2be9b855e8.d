@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_behavior-cbc1ad2be9b855e8.d: tests/runtime_behavior.rs
+
+/root/repo/target/debug/deps/runtime_behavior-cbc1ad2be9b855e8: tests/runtime_behavior.rs
+
+tests/runtime_behavior.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5ad7bbd9593a455e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5ad7bbd9593a455e.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5ad7bbd9593a455e.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

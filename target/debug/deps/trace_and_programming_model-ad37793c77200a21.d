@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_and_programming_model-ad37793c77200a21.d: tests/trace_and_programming_model.rs
+
+/root/repo/target/debug/deps/trace_and_programming_model-ad37793c77200a21: tests/trace_and_programming_model.rs
+
+tests/trace_and_programming_model.rs:

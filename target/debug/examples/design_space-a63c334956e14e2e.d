@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-a63c334956e14e2e.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-a63c334956e14e2e: examples/design_space.rs
+
+examples/design_space.rs:

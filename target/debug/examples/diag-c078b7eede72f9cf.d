@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diag-c078b7eede72f9cf.d: crates/pim-runtime/examples/diag.rs
+
+/root/repo/target/debug/examples/diag-c078b7eede72f9cf: crates/pim-runtime/examples/diag.rs
+
+crates/pim-runtime/examples/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_workloads-008499b855374c7b.d: examples/mixed_workloads.rs
+
+/root/repo/target/debug/examples/mixed_workloads-008499b855374c7b: examples/mixed_workloads.rs
+
+examples/mixed_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b94937e78eff76fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b94937e78eff76fe: examples/quickstart.rs
+
+examples/quickstart.rs:

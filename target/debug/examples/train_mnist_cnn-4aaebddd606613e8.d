@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mnist_cnn-4aaebddd606613e8.d: examples/train_mnist_cnn.rs
+
+/root/repo/target/debug/examples/train_mnist_cnn-4aaebddd606613e8: examples/train_mnist_cnn.rs
+
+examples/train_mnist_cnn.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-31f98fc28978887e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-31f98fc28978887e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-31f98fc28978887e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetero_pim-b2e86466588e7fc9.d: src/lib.rs
+
+/root/repo/target/release/deps/libhetero_pim-b2e86466588e7fc9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhetero_pim-b2e86466588e7fc9.rmeta: src/lib.rs
+
+src/lib.rs:

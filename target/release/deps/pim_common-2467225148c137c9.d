@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pim_common-2467225148c137c9.d: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+/root/repo/target/release/deps/libpim_common-2467225148c137c9.rlib: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+/root/repo/target/release/deps/libpim_common-2467225148c137c9.rmeta: crates/pim-common/src/lib.rs crates/pim-common/src/access.rs crates/pim-common/src/error.rs crates/pim-common/src/ids.rs crates/pim-common/src/units.rs
+
+crates/pim-common/src/lib.rs:
+crates/pim-common/src/access.rs:
+crates/pim-common/src/error.rs:
+crates/pim-common/src/ids.rs:
+crates/pim-common/src/units.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pim_graph-06807149422013da.d: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+/root/repo/target/release/deps/libpim_graph-06807149422013da.rlib: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+/root/repo/target/release/deps/libpim_graph-06807149422013da.rmeta: crates/pim-graph/src/lib.rs crates/pim-graph/src/builder.rs crates/pim-graph/src/export.rs crates/pim-graph/src/liveness.rs crates/pim-graph/src/cost.rs crates/pim-graph/src/executor.rs crates/pim-graph/src/graph.rs crates/pim-graph/src/node.rs
+
+crates/pim-graph/src/lib.rs:
+crates/pim-graph/src/builder.rs:
+crates/pim-graph/src/export.rs:
+crates/pim-graph/src/liveness.rs:
+crates/pim-graph/src/cost.rs:
+crates/pim-graph/src/executor.rs:
+crates/pim-graph/src/graph.rs:
+crates/pim-graph/src/node.rs:

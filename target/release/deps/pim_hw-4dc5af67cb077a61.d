@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pim_hw-4dc5af67cb077a61.d: crates/pim-hw/src/lib.rs crates/pim-hw/src/arm.rs crates/pim-hw/src/cpu.rs crates/pim-hw/src/fixed.rs crates/pim-hw/src/gpu.rs crates/pim-hw/src/neurocube.rs crates/pim-hw/src/params.rs crates/pim-hw/src/placement.rs crates/pim-hw/src/power.rs crates/pim-hw/src/registers.rs crates/pim-hw/src/thermal.rs
+
+/root/repo/target/release/deps/libpim_hw-4dc5af67cb077a61.rlib: crates/pim-hw/src/lib.rs crates/pim-hw/src/arm.rs crates/pim-hw/src/cpu.rs crates/pim-hw/src/fixed.rs crates/pim-hw/src/gpu.rs crates/pim-hw/src/neurocube.rs crates/pim-hw/src/params.rs crates/pim-hw/src/placement.rs crates/pim-hw/src/power.rs crates/pim-hw/src/registers.rs crates/pim-hw/src/thermal.rs
+
+/root/repo/target/release/deps/libpim_hw-4dc5af67cb077a61.rmeta: crates/pim-hw/src/lib.rs crates/pim-hw/src/arm.rs crates/pim-hw/src/cpu.rs crates/pim-hw/src/fixed.rs crates/pim-hw/src/gpu.rs crates/pim-hw/src/neurocube.rs crates/pim-hw/src/params.rs crates/pim-hw/src/placement.rs crates/pim-hw/src/power.rs crates/pim-hw/src/registers.rs crates/pim-hw/src/thermal.rs
+
+crates/pim-hw/src/lib.rs:
+crates/pim-hw/src/arm.rs:
+crates/pim-hw/src/cpu.rs:
+crates/pim-hw/src/fixed.rs:
+crates/pim-hw/src/gpu.rs:
+crates/pim-hw/src/neurocube.rs:
+crates/pim-hw/src/params.rs:
+crates/pim-hw/src/placement.rs:
+crates/pim-hw/src/power.rs:
+crates/pim-hw/src/registers.rs:
+crates/pim-hw/src/thermal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pim_mem-10fd3191d3beda94.d: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+/root/repo/target/release/deps/libpim_mem-10fd3191d3beda94.rlib: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+/root/repo/target/release/deps/libpim_mem-10fd3191d3beda94.rmeta: crates/pim-mem/src/lib.rs crates/pim-mem/src/bank.rs crates/pim-mem/src/controller.rs crates/pim-mem/src/energy.rs crates/pim-mem/src/planar.rs crates/pim-mem/src/stack.rs crates/pim-mem/src/traffic.rs
+
+crates/pim-mem/src/lib.rs:
+crates/pim-mem/src/bank.rs:
+crates/pim-mem/src/controller.rs:
+crates/pim-mem/src/energy.rs:
+crates/pim-mem/src/planar.rs:
+crates/pim-mem/src/stack.rs:
+crates/pim-mem/src/traffic.rs:

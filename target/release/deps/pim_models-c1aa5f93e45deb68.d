@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pim_models-c1aa5f93e45deb68.d: crates/pim-models/src/lib.rs crates/pim-models/src/alexnet.rs crates/pim-models/src/dataset.rs crates/pim-models/src/dcgan.rs crates/pim-models/src/inception.rs crates/pim-models/src/lstm.rs crates/pim-models/src/resnet.rs crates/pim-models/src/vgg.rs crates/pim-models/src/word2vec.rs crates/pim-models/src/zoo.rs
+
+/root/repo/target/release/deps/libpim_models-c1aa5f93e45deb68.rlib: crates/pim-models/src/lib.rs crates/pim-models/src/alexnet.rs crates/pim-models/src/dataset.rs crates/pim-models/src/dcgan.rs crates/pim-models/src/inception.rs crates/pim-models/src/lstm.rs crates/pim-models/src/resnet.rs crates/pim-models/src/vgg.rs crates/pim-models/src/word2vec.rs crates/pim-models/src/zoo.rs
+
+/root/repo/target/release/deps/libpim_models-c1aa5f93e45deb68.rmeta: crates/pim-models/src/lib.rs crates/pim-models/src/alexnet.rs crates/pim-models/src/dataset.rs crates/pim-models/src/dcgan.rs crates/pim-models/src/inception.rs crates/pim-models/src/lstm.rs crates/pim-models/src/resnet.rs crates/pim-models/src/vgg.rs crates/pim-models/src/word2vec.rs crates/pim-models/src/zoo.rs
+
+crates/pim-models/src/lib.rs:
+crates/pim-models/src/alexnet.rs:
+crates/pim-models/src/dataset.rs:
+crates/pim-models/src/dcgan.rs:
+crates/pim-models/src/inception.rs:
+crates/pim-models/src/lstm.rs:
+crates/pim-models/src/resnet.rs:
+crates/pim-models/src/vgg.rs:
+crates/pim-models/src/word2vec.rs:
+crates/pim-models/src/zoo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pim_opencl-621f703b42d86ef7.d: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+/root/repo/target/release/deps/libpim_opencl-621f703b42d86ef7.rlib: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+/root/repo/target/release/deps/libpim_opencl-621f703b42d86ef7.rmeta: crates/pim-opencl/src/lib.rs crates/pim-opencl/src/api.rs crates/pim-opencl/src/directive.rs crates/pim-opencl/src/binary.rs crates/pim-opencl/src/kir.rs crates/pim-opencl/src/memory.rs crates/pim-opencl/src/platform.rs crates/pim-opencl/src/queue.rs
+
+crates/pim-opencl/src/lib.rs:
+crates/pim-opencl/src/api.rs:
+crates/pim-opencl/src/directive.rs:
+crates/pim-opencl/src/binary.rs:
+crates/pim-opencl/src/kir.rs:
+crates/pim-opencl/src/memory.rs:
+crates/pim-opencl/src/platform.rs:
+crates/pim-opencl/src/queue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pim_runtime-fd4baa1addaf69ef.d: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+/root/repo/target/release/deps/libpim_runtime-fd4baa1addaf69ef.rlib: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+/root/repo/target/release/deps/libpim_runtime-fd4baa1addaf69ef.rmeta: crates/pim-runtime/src/lib.rs crates/pim-runtime/src/engine.rs crates/pim-runtime/src/profiler.rs crates/pim-runtime/src/recursive.rs crates/pim-runtime/src/select.rs crates/pim-runtime/src/session.rs crates/pim-runtime/src/stats.rs crates/pim-runtime/src/sync.rs
+
+crates/pim-runtime/src/lib.rs:
+crates/pim-runtime/src/engine.rs:
+crates/pim-runtime/src/profiler.rs:
+crates/pim-runtime/src/recursive.rs:
+crates/pim-runtime/src/select.rs:
+crates/pim-runtime/src/session.rs:
+crates/pim-runtime/src/stats.rs:
+crates/pim-runtime/src/sync.rs:

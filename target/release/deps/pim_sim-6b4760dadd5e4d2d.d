@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pim_sim-6b4760dadd5e4d2d.d: crates/pim-sim/src/lib.rs crates/pim-sim/src/ablations.rs crates/pim-sim/src/baselines.rs crates/pim-sim/src/configs.rs crates/pim-sim/src/experiments.rs crates/pim-sim/src/gpu.rs crates/pim-sim/src/mixed.rs crates/pim-sim/src/report.rs crates/pim-sim/src/trace.rs crates/pim-sim/src/tracegen.rs
+
+/root/repo/target/release/deps/libpim_sim-6b4760dadd5e4d2d.rlib: crates/pim-sim/src/lib.rs crates/pim-sim/src/ablations.rs crates/pim-sim/src/baselines.rs crates/pim-sim/src/configs.rs crates/pim-sim/src/experiments.rs crates/pim-sim/src/gpu.rs crates/pim-sim/src/mixed.rs crates/pim-sim/src/report.rs crates/pim-sim/src/trace.rs crates/pim-sim/src/tracegen.rs
+
+/root/repo/target/release/deps/libpim_sim-6b4760dadd5e4d2d.rmeta: crates/pim-sim/src/lib.rs crates/pim-sim/src/ablations.rs crates/pim-sim/src/baselines.rs crates/pim-sim/src/configs.rs crates/pim-sim/src/experiments.rs crates/pim-sim/src/gpu.rs crates/pim-sim/src/mixed.rs crates/pim-sim/src/report.rs crates/pim-sim/src/trace.rs crates/pim-sim/src/tracegen.rs
+
+crates/pim-sim/src/lib.rs:
+crates/pim-sim/src/ablations.rs:
+crates/pim-sim/src/baselines.rs:
+crates/pim-sim/src/configs.rs:
+crates/pim-sim/src/experiments.rs:
+crates/pim-sim/src/gpu.rs:
+crates/pim-sim/src/mixed.rs:
+crates/pim-sim/src/report.rs:
+crates/pim-sim/src/trace.rs:
+crates/pim-sim/src/tracegen.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/pim_tensor-7b52291f6f3114d5.d: crates/pim-tensor/src/lib.rs crates/pim-tensor/src/cost.rs crates/pim-tensor/src/init.rs crates/pim-tensor/src/ops/mod.rs crates/pim-tensor/src/ops/activation.rs crates/pim-tensor/src/ops/bias.rs crates/pim-tensor/src/ops/conv.rs crates/pim-tensor/src/ops/elementwise.rs crates/pim-tensor/src/ops/embedding.rs crates/pim-tensor/src/ops/im2col.rs crates/pim-tensor/src/ops/matmul.rs crates/pim-tensor/src/ops/norm.rs crates/pim-tensor/src/ops/optimizer.rs crates/pim-tensor/src/ops/pool.rs crates/pim-tensor/src/ops/softmax.rs crates/pim-tensor/src/shape.rs crates/pim-tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libpim_tensor-7b52291f6f3114d5.rlib: crates/pim-tensor/src/lib.rs crates/pim-tensor/src/cost.rs crates/pim-tensor/src/init.rs crates/pim-tensor/src/ops/mod.rs crates/pim-tensor/src/ops/activation.rs crates/pim-tensor/src/ops/bias.rs crates/pim-tensor/src/ops/conv.rs crates/pim-tensor/src/ops/elementwise.rs crates/pim-tensor/src/ops/embedding.rs crates/pim-tensor/src/ops/im2col.rs crates/pim-tensor/src/ops/matmul.rs crates/pim-tensor/src/ops/norm.rs crates/pim-tensor/src/ops/optimizer.rs crates/pim-tensor/src/ops/pool.rs crates/pim-tensor/src/ops/softmax.rs crates/pim-tensor/src/shape.rs crates/pim-tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libpim_tensor-7b52291f6f3114d5.rmeta: crates/pim-tensor/src/lib.rs crates/pim-tensor/src/cost.rs crates/pim-tensor/src/init.rs crates/pim-tensor/src/ops/mod.rs crates/pim-tensor/src/ops/activation.rs crates/pim-tensor/src/ops/bias.rs crates/pim-tensor/src/ops/conv.rs crates/pim-tensor/src/ops/elementwise.rs crates/pim-tensor/src/ops/embedding.rs crates/pim-tensor/src/ops/im2col.rs crates/pim-tensor/src/ops/matmul.rs crates/pim-tensor/src/ops/norm.rs crates/pim-tensor/src/ops/optimizer.rs crates/pim-tensor/src/ops/pool.rs crates/pim-tensor/src/ops/softmax.rs crates/pim-tensor/src/shape.rs crates/pim-tensor/src/tensor.rs
+
+crates/pim-tensor/src/lib.rs:
+crates/pim-tensor/src/cost.rs:
+crates/pim-tensor/src/init.rs:
+crates/pim-tensor/src/ops/mod.rs:
+crates/pim-tensor/src/ops/activation.rs:
+crates/pim-tensor/src/ops/bias.rs:
+crates/pim-tensor/src/ops/conv.rs:
+crates/pim-tensor/src/ops/elementwise.rs:
+crates/pim-tensor/src/ops/embedding.rs:
+crates/pim-tensor/src/ops/im2col.rs:
+crates/pim-tensor/src/ops/matmul.rs:
+crates/pim-tensor/src/ops/norm.rs:
+crates/pim-tensor/src/ops/optimizer.rs:
+crates/pim-tensor/src/ops/pool.rs:
+crates/pim-tensor/src/ops/softmax.rs:
+crates/pim-tensor/src/shape.rs:
+crates/pim-tensor/src/tensor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4bcb536f631ffc46.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4bcb536f631ffc46.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4bcb536f631ffc46.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f4458905433c3542.d: crates/pim-sim/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f4458905433c3542: crates/pim-sim/src/bin/repro.rs
+
+crates/pim-sim/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-485e8d2e5c0378ab.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-485e8d2e5c0378ab.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-485e8d2e5c0378ab.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

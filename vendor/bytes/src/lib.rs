@@ -1,0 +1,183 @@
+//! Offline stand-in for `bytes` (see `vendor/README.md`).
+//!
+//! Implements the subset `pim-sim::trace` uses: `BytesMut` as an
+//! append-only builder, `Bytes` as a consuming reader, and the
+//! big-endian `Buf`/`BufMut` accessors (upstream `bytes` is big-endian
+//! by default, which this preserves so encoded traces stay portable).
+
+/// An immutable byte buffer with a read cursor, mirroring `bytes::Bytes`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: bytes.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.pos + n <= self.data.len(),
+            "advance past end of buffer"
+        );
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        slice
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// A growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Read access to a byte buffer (big-endian), mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+    /// Splits off the next `len` bytes as an owned buffer.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        Bytes {
+            data: self.take(len).to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+/// Write access to a byte buffer (big-endian), mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_lossless_and_big_endian() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u16(0x0102);
+        buf.put_u8(7);
+        buf.put_f64(-1.25);
+        buf.put_slice(b"ok");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 4 + 2 + 1 + 8 + 2);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u16(), 0x0102);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_f64(), -1.25);
+        assert_eq!(bytes.copy_to_bytes(2).to_vec(), b"ok");
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn reading_past_end_panics() {
+        let mut bytes = Bytes::from_static(b"ab");
+        let _ = bytes.get_u32();
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` as a
+//! forward-compatibility marker — nothing serializes through them yet —
+//! so the traits carry no methods and the derives expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! the workspace uses the traits purely as markers, so no impl is needed
+//! for the annotated types to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
