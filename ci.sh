@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the test suite.
+# Run from the repository root before pushing.
+set -euo pipefail
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q
+cargo test --workspace -q

@@ -2,9 +2,9 @@
 
 use bench::{paper_model, run};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_models::ModelKind;
 use pim_sim::configs::SystemConfig;
+use std::time::Duration;
 
 fn fig08(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_exec_time");

@@ -2,10 +2,10 @@
 
 use bench::{paper_model, run};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_models::ModelKind;
 use pim_sim::baselines::simulate_neurocube;
 use pim_sim::configs::SystemConfig;
+use std::time::Duration;
 
 fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_neurocube");

@@ -2,11 +2,11 @@
 
 use bench::{paper_model, run};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_hw::power::{progr_scaling_points, LogicDieBudget};
 use pim_models::ModelKind;
 use pim_runtime::engine::EngineConfig;
 use pim_sim::configs::SystemConfig;
+use std::time::Duration;
 
 fn fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_progr_scaling");

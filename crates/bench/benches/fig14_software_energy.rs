@@ -2,9 +2,9 @@
 
 use bench::paper_model;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_models::ModelKind;
 use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use std::time::Duration;
 
 fn fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_software_energy");
@@ -18,7 +18,9 @@ fn fig14(c: &mut Criterion) {
             steps: 2,
             cpu_progr_only: false,
         };
-        let full = Engine::new(EngineConfig::hetero()).run(&[workload]).unwrap();
+        let full = Engine::new(EngineConfig::hetero())
+            .run(&[workload])
+            .unwrap();
         for cfg in [EngineConfig::hetero_bare(), EngineConfig::hetero_rc()] {
             let label = format!("{}/{}", kind.name(), cfg.name);
             group.bench_function(label, |b| {

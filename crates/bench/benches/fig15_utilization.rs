@@ -2,9 +2,9 @@
 
 use bench::paper_model;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_models::ModelKind;
 use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use std::time::Duration;
 
 fn fig15(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_utilization");

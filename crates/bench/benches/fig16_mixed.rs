@@ -1,8 +1,8 @@
 //! Fig. 16: mixed-workload co-running vs sequential execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_sim::mixed::{corun, fig16_cases};
+use std::time::Duration;
 
 fn fig16(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_mixed");

@@ -2,10 +2,10 @@
 
 use bench::paper_model;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_hw::cpu::CpuDevice;
 use pim_models::ModelKind;
 use pim_runtime::profiler::profile_step;
+use std::time::Duration;
 
 fn table1(c: &mut Criterion) {
     let cpu = CpuDevice::xeon_e5_2630_v3();

@@ -2,11 +2,11 @@
 //! eager executor).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pim_tensor::ops::conv::conv2d;
 use pim_tensor::ops::matmul::{matmul, Transpose};
 use pim_tensor::ops::pool::max_pool;
 use pim_tensor::{ConvGeometry, Shape, Tensor};
+use std::time::Duration;
 
 fn kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor_kernels");

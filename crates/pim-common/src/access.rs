@@ -8,20 +8,15 @@
 use serde::{Deserialize, Serialize};
 
 /// How a stream of memory accesses is laid out in the address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccessPattern {
     /// Unit-stride streaming (dense tensor sweeps, im2col reads).
+    #[default]
     Sequential,
     /// Constant non-unit stride in elements (e.g. strided convolutions).
     Strided,
     /// Data-dependent addressing (embedding gathers in Word2vec/LSTM).
     Random,
-}
-
-impl Default for AccessPattern {
-    fn default() -> Self {
-        AccessPattern::Sequential
-    }
 }
 
 impl AccessPattern {

@@ -306,9 +306,9 @@ impl NetBuilder {
     /// Propagates shape errors from the input tensor.
     pub fn bias(&mut self, x: TensorId) -> Result<TensorId> {
         let shape = self.shape_of(x)?;
-        let channels = match shape.dims() {
-            &[_, c, _, _] => c,
-            &[_, c] => c,
+        let channels = match *shape.dims() {
+            [_, c, _, _] => c,
+            [_, c] => c,
             _ => {
                 return Err(PimError::ShapeMismatch {
                     context: "NetBuilder::bias",
@@ -322,9 +322,9 @@ impl NetBuilder {
             TensorRole::Parameter,
             self.name("bias", "b"),
         );
-        let output =
-            self.graph
-                .add_tensor(shape, TensorRole::Activation, self.name("bias", "out"));
+        let output = self
+            .graph
+            .add_tensor(shape, TensorRole::Activation, self.name("bias", "out"));
         self.graph
             .add_op(OpKind::BiasAdd, vec![x, bias], vec![output])?;
         self.layers.push(Layer::Bias {
@@ -337,9 +337,9 @@ impl NetBuilder {
 
     fn activation(&mut self, x: TensorId, kind: Activation) -> Result<TensorId> {
         let shape = self.shape_of(x)?;
-        let output =
-            self.graph
-                .add_tensor(shape, TensorRole::Activation, self.name("act", "out"));
+        let output = self
+            .graph
+            .add_tensor(shape, TensorRole::Activation, self.name("act", "out"));
         self.graph
             .add_op(OpKind::Activation(kind), vec![x], vec![output])?;
         self.layers.push(Layer::Activation {
@@ -531,9 +531,9 @@ impl NetBuilder {
     pub fn batch_norm(&mut self, x: TensorId) -> Result<TensorId> {
         let shape = self.shape_of(x)?;
         let (_, c, _, _) = shape.as_nchw()?;
-        let output =
-            self.graph
-                .add_tensor(shape, TensorRole::Activation, self.name("bn", "out"));
+        let output = self
+            .graph
+            .add_tensor(shape, TensorRole::Activation, self.name("bn", "out"));
         let mean = self.graph.add_tensor(
             Shape::new(vec![c]),
             TensorRole::Activation,
@@ -557,9 +557,9 @@ impl NetBuilder {
     /// Propagates shape errors from the input tensor.
     pub fn lrn(&mut self, x: TensorId) -> Result<TensorId> {
         let shape = self.shape_of(x)?;
-        let output =
-            self.graph
-                .add_tensor(shape, TensorRole::Activation, self.name("lrn", "out"));
+        let output = self
+            .graph
+            .add_tensor(shape, TensorRole::Activation, self.name("lrn", "out"));
         self.graph.add_op(OpKind::Lrn, vec![x], vec![output])?;
         self.layers.push(Layer::Lrn { input: x, output });
         Ok(output)
@@ -624,9 +624,9 @@ impl NetBuilder {
                 actual: sb.dims().to_vec(),
             });
         }
-        let output = self
-            .graph
-            .add_tensor(sa, TensorRole::Activation, self.name("residual", "out"));
+        let output =
+            self.graph
+                .add_tensor(sa, TensorRole::Activation, self.name("residual", "out"));
         self.graph
             .add_op(OpKind::Binary(BinaryOp::Add), vec![a, b], vec![output])?;
         self.layers.push(Layer::Add { a, b, output });
@@ -739,16 +739,13 @@ impl NetBuilder {
     /// Sums a list of gradient contributions, emitting `Add` ops as needed.
     fn sum_grads(&mut self, like: TensorId, contributions: Vec<TensorId>) -> Result<TensorId> {
         let mut iter = contributions.into_iter();
-        let mut acc = iter.next().ok_or_else(|| {
-            PimError::internal("sum_grads called with no contributions")
-        })?;
+        let mut acc = iter
+            .next()
+            .ok_or_else(|| PimError::internal("sum_grads called with no contributions"))?;
         for next in iter {
             let out = self.grad_tensor(like, "accum")?;
-            self.graph.add_op(
-                OpKind::Binary(BinaryOp::Add),
-                vec![acc, next],
-                vec![out],
-            )?;
+            self.graph
+                .add_op(OpKind::Binary(BinaryOp::Add), vec![acc, next], vec![out])?;
             acc = out;
         }
         Ok(acc)
@@ -908,8 +905,11 @@ impl NetBuilder {
             Layer::AvgPool { geom, input, .. } => {
                 if self.wants_grad(input)? {
                     let grad_input = self.grad_tensor(input, "avgpool")?;
-                    self.graph
-                        .add_op(OpKind::AvgPoolGrad(geom), vec![grad_out], vec![grad_input])?;
+                    self.graph.add_op(
+                        OpKind::AvgPoolGrad(geom),
+                        vec![grad_out],
+                        vec![grad_input],
+                    )?;
                     self.contribute(grads, input, grad_input)?;
                 }
             }

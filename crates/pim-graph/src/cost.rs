@@ -173,21 +173,14 @@ mod tests {
     fn backprop_filter_cost_from_implied_shapes() {
         let geom = ConvGeometry::square(3, 1, 1);
         let mut g = Graph::new();
-        let input = g.add_tensor(
-            Shape::new(vec![8, 16, 28, 28]),
-            TensorRole::Activation,
-            "x",
-        );
+        let input = g.add_tensor(Shape::new(vec![8, 16, 28, 28]), TensorRole::Activation, "x");
         let grad_out = g.add_tensor(
             Shape::new(vec![8, 32, 28, 28]),
             TensorRole::Activation,
             "dy",
         );
-        let grad_filter = g.add_tensor(
-            Shape::new(vec![32, 16, 3, 3]),
-            TensorRole::Activation,
-            "dw",
-        );
+        let grad_filter =
+            g.add_tensor(Shape::new(vec![32, 16, 3, 3]), TensorRole::Activation, "dw");
         let id = g
             .add_op(
                 OpKind::Conv2DBackpropFilter(geom),

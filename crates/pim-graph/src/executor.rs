@@ -11,7 +11,9 @@ use pim_common::ids::TensorId;
 use pim_common::{PimError, Result};
 use pim_tensor::init::{glorot_uniform, seeded_rng};
 use pim_tensor::ops::optimizer::{apply_adam, apply_sgd, AdamParams, AdamState};
-use pim_tensor::ops::{activation, bias, conv, elementwise, embedding, matmul, norm, pool, softmax};
+use pim_tensor::ops::{
+    activation, bias, conv, elementwise, embedding, matmul, norm, pool, softmax,
+};
 use pim_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 
@@ -381,7 +383,8 @@ impl Executor {
                 Self::store(env, op, 0, Value::Tensor(out))
             }
             OpKind::BatchNorm => {
-                let (out, mean, var) = norm::batch_norm(Self::fetch(env, op, 0)?.as_tensor()?, 1e-5)?;
+                let (out, mean, var) =
+                    norm::batch_norm(Self::fetch(env, op, 0)?.as_tensor()?, 1e-5)?;
                 Self::store(env, op, 0, Value::Tensor(out))?;
                 let c = mean.len();
                 Self::store(
@@ -439,7 +442,10 @@ impl Executor {
             }
             OpKind::Reshape => {
                 let shape = Self::output_shape(graph, op, 0)?;
-                let out = Self::fetch(env, op, 0)?.as_tensor()?.clone().reshaped(shape)?;
+                let out = Self::fetch(env, op, 0)?
+                    .as_tensor()?
+                    .clone()
+                    .reshaped(shape)?;
                 Self::store(env, op, 0, Value::Tensor(out))
             }
         }

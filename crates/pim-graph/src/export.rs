@@ -145,7 +145,10 @@ mod tests {
     fn dot_lists_every_op_once() {
         let g = tiny();
         let dot = to_dot(&g).unwrap();
-        let boxes = dot.lines().filter(|l| l.contains("[label=") && !l.contains("->")).count();
+        let boxes = dot
+            .lines()
+            .filter(|l| l.contains("[label=") && !l.contains("->"))
+            .count();
         assert_eq!(boxes, g.op_count());
         assert!(dot.contains("Conv2D"));
         assert!(dot.ends_with("}\n"));

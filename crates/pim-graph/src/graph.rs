@@ -215,9 +215,7 @@ impl Graph {
             }
         }
         if order.len() != self.ops.len() {
-            let members = (0..self.ops.len())
-                .filter(|&i| in_degree[i] > 0)
-                .collect();
+            let members = (0..self.ops.len()).filter(|&i| in_degree[i] > 0).collect();
             return Err(PimError::GraphCycle { members });
         }
         Ok(order)

@@ -38,11 +38,11 @@
 //! ```
 
 pub mod builder;
-pub mod export;
-pub mod liveness;
 pub mod cost;
 pub mod executor;
+pub mod export;
 pub mod graph;
+pub mod liveness;
 pub mod node;
 
 pub use builder::{NetBuilder, OptimizerKind};

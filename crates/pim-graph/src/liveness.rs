@@ -163,10 +163,7 @@ mod tests {
         let shallow = analyze(&cnn(2)).unwrap();
         let deep = analyze(&cnn(10)).unwrap();
         assert!(deep.reuse_fraction() > shallow.reuse_fraction());
-        assert!(
-            (deep.peak_activation_bytes as f64)
-                < shallow.peak_activation_bytes as f64 * 5.0
-        );
+        assert!((deep.peak_activation_bytes as f64) < shallow.peak_activation_bytes as f64 * 5.0);
     }
 
     #[test]

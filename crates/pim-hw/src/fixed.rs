@@ -159,7 +159,12 @@ impl FixedFunctionPool {
     /// Estimates the multiply/add portion of a cost profile on `units`
     /// granted units. `from_host` selects the expensive host-spawn path or
     /// the cheap recursive-kernel path.
-    pub fn estimate_ma(&self, cost: &CostProfile, units: usize, from_host: bool) -> ComputeEstimate {
+    pub fn estimate_ma(
+        &self,
+        cost: &CostProfile,
+        units: usize,
+        from_host: bool,
+    ) -> ComputeEstimate {
         let dispatch = if from_host {
             self.config.host_dispatch
         } else {

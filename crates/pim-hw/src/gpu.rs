@@ -88,8 +88,8 @@ impl GpuDevice {
         );
         let busy = compute_time.max(memory_time);
         let time = busy + self.launch_overhead;
-        let energy = self.dynamic_power * time
-            + MemoryPath::GpuGddr5x.transfer_energy(cost.total_bytes());
+        let energy =
+            self.dynamic_power * time + MemoryPath::GpuGddr5x.transfer_energy(cost.total_bytes());
         ComputeEstimate {
             time,
             compute_time,

@@ -19,6 +19,7 @@
 
 pub mod arm;
 pub mod cpu;
+pub mod device;
 pub mod fixed;
 pub mod gpu;
 pub mod neurocube;
@@ -30,6 +31,7 @@ pub mod thermal;
 
 pub use arm::{ProgrammablePim, ProgrammablePool};
 pub use cpu::CpuDevice;
+pub use device::{AnalyticGpu, Device, RegisterClass};
 pub use fixed::{FixedFunctionPool, FixedPoolConfig};
 pub use gpu::GpuDevice;
 pub use params::{ComputeEstimate, DeviceParams};

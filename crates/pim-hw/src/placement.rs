@@ -40,7 +40,7 @@ impl BankPosition {
 /// Floorplan grid dimensions for a bank count (8x4 for the 32-bank stack).
 fn grid_dims(banks: usize) -> (usize, usize) {
     let mut cols = (banks as f64).sqrt().ceil() as usize;
-    while banks % cols != 0 {
+    while !banks.is_multiple_of(cols) {
         cols += 1;
     }
     (banks / cols, cols)
@@ -102,9 +102,7 @@ pub fn thermal_aware_placement(units: usize, banks: usize) -> Vec<usize> {
 pub fn uniform_placement(units: usize, banks: usize) -> Vec<usize> {
     let base = units / banks;
     let extra = units % banks;
-    (0..banks)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..banks).map(|i| base + usize::from(i < extra)).collect()
 }
 
 #[cfg(test)]

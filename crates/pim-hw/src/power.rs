@@ -68,8 +68,7 @@ impl LogicDieBudget {
 
     /// True when a configuration respects both the area and power ceilings.
     pub fn admits(&self, arm_cores: usize, ff_units: usize) -> bool {
-        let area =
-            arm_cores as f64 * self.arm_core_mm2 + ff_units as f64 * self.ff_unit_mm2;
+        let area = arm_cores as f64 * self.arm_core_mm2 + ff_units as f64 * self.ff_unit_mm2;
         area <= self.compute_area_mm2 + 1e-9
             && self.config_power(arm_cores, ff_units) <= self.power_ceiling
     }

@@ -35,13 +35,16 @@ pub fn bank_temperatures(placement: &[usize], watts_per_unit: f64) -> Vec<f64> {
     let cols = {
         // Match the grid used by `bank_positions`.
         let mut c = (banks as f64).sqrt().ceil() as usize;
-        while banks % c != 0 {
+        while !banks.is_multiple_of(c) {
             c += 1;
         }
         c
     };
     let rows = banks / cols;
-    let power: Vec<f64> = placement.iter().map(|&u| u as f64 * watts_per_unit).collect();
+    let power: Vec<f64> = placement
+        .iter()
+        .map(|&u| u as f64 * watts_per_unit)
+        .collect();
     (0..banks)
         .map(|i| {
             let (r, c) = (i / cols, i % cols);

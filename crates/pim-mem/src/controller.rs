@@ -53,10 +53,7 @@ impl MemoryController {
     /// A controller over all banks of a stack.
     pub fn new(config: &StackConfig) -> Self {
         MemoryController {
-            banks: config
-                .bank_ids()
-                .map(|id| Bank::new(id, config))
-                .collect(),
+            banks: config.bank_ids().map(|id| Bank::new(id, config)).collect(),
             line_bytes: 64,
             all_hit_latency: config.row_hit_latency(),
         }

@@ -152,20 +152,12 @@ impl StackConfig {
 
     /// Time for PIM logic to stream `volume` through the TSVs.
     pub fn internal_transfer_time(&self, volume: Bytes) -> Seconds {
-        transfer_time(
-            volume,
-            self.internal_bandwidth(),
-            AccessPattern::Sequential,
-        )
+        transfer_time(volume, self.internal_bandwidth(), AccessPattern::Sequential)
     }
 
     /// Time for the host to move `volume` over the external link.
     pub fn external_transfer_time(&self, volume: Bytes) -> Seconds {
-        transfer_time(
-            volume,
-            self.external_bandwidth(),
-            AccessPattern::Sequential,
-        )
+        transfer_time(volume, self.external_bandwidth(), AccessPattern::Sequential)
     }
 
     /// Background (standby + refresh) power of the whole cube.

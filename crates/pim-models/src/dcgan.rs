@@ -34,11 +34,7 @@ fn emit_metric_tail(net: &mut NetBuilder, logits: TensorId, batch: usize) -> Res
             cursor = out;
         } else {
             let shape = g.tensor(cursor)?.shape.clone();
-            let out = g.add_tensor(
-                shape,
-                TensorRole::Activation,
-                format!("dcgan/metric{i}/ew"),
-            );
+            let out = g.add_tensor(shape, TensorRole::Activation, format!("dcgan/metric{i}/ew"));
             let op = if i % 3 == 1 {
                 BinaryOp::Mul
             } else {

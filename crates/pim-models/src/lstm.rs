@@ -71,7 +71,8 @@ impl Emitter<'_> {
     fn activate(&mut self, x: TensorId, kind: Activation, name: String) -> Result<TensorId> {
         let shape = self.g.tensor(x)?.shape.clone();
         let out = self.act(shape, name);
-        self.g.add_op(OpKind::Activation(kind), vec![x], vec![out])?;
+        self.g
+            .add_op(OpKind::Activation(kind), vec![x], vec![out])?;
         Ok(out)
     }
 
@@ -107,25 +108,26 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
         TensorRole::Parameter,
         "lstm/b_gates",
     );
-    let w_out = graph.add_tensor(
-        Shape::new(vec![h, v]),
-        TensorRole::Parameter,
-        "lstm/w_out",
-    );
+    let w_out = graph.add_tensor(Shape::new(vec![h, v]), TensorRole::Parameter, "lstm/w_out");
     let h0 = graph.add_tensor(Shape::new(vec![b, h]), TensorRole::Input, "lstm/h0");
     let c0 = graph.add_tensor(Shape::new(vec![b, h]), TensorRole::Input, "lstm/c0");
     let labels = graph.add_tensor(Shape::new(vec![b]), TensorRole::Labels, "lstm/labels");
 
-    let mut em = Emitter {
-        g: &mut graph,
-        cfg,
-    };
+    let mut em = Emitter { g: &mut graph, cfg };
 
     let mut h_prev = h0;
     let mut c_prev = c0;
-    // Per-timestep forward state retained for the backward pass.
-    let mut tape: Vec<(TensorId, TensorId, [TensorId; 4], [TensorId; 4], TensorId, TensorId)> =
-        Vec::new();
+    // Per-timestep forward state retained for the backward pass:
+    // (concat, gates, pre-activations, gate outputs, cell state, tanh(c)).
+    type TapeEntry = (
+        TensorId,
+        TensorId,
+        [TensorId; 4],
+        [TensorId; 4],
+        TensorId,
+        TensorId,
+    );
+    let mut tape: Vec<TapeEntry> = Vec::new();
 
     for t in 0..seq {
         let tokens = em.g.add_tensor(
@@ -134,8 +136,7 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
             format!("lstm/t{t}/tokens"),
         );
         let x_t = em.mat(b, h, format!("lstm/t{t}/x"));
-        em.g
-            .add_op(OpKind::EmbeddingLookup, vec![embedding, tokens], vec![x_t])?;
+        em.g.add_op(OpKind::EmbeddingLookup, vec![embedding, tokens], vec![x_t])?;
 
         let concat = em.mat(b, 2 * h, format!("lstm/t{t}/concat"));
         em.g.add_op(OpKind::Concat, vec![x_t, h_prev], vec![concat])?;
@@ -147,8 +148,7 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
             vec![gates_mm],
         )?;
         let gates = em.mat(b, 4 * h, format!("lstm/t{t}/gates"));
-        em.g
-            .add_op(OpKind::BiasAdd, vec![gates_mm, b_gates], vec![gates])?;
+        em.g.add_op(OpKind::BiasAdd, vec![gates_mm, b_gates], vec![gates])?;
 
         let pre: [TensorId; 4] = [
             em.slice_gate(gates, 0, format!("lstm/t{t}/pre_i"))?,
@@ -187,8 +187,7 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
         "lstm/dropout/mask",
     );
     let h_dropped = em.mat(b, h, "lstm/h_dropped".into());
-    em.g
-        .add_op(OpKind::Dropout, vec![h_prev, drop_mask], vec![h_dropped])?;
+    em.g.add_op(OpKind::Dropout, vec![h_prev, drop_mask], vec![h_dropped])?;
     let h_prev = h_dropped;
     let logits = em.mat(b, v, "lstm/logits".into());
     em.g.add_op(
@@ -196,9 +195,8 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
         vec![h_prev, w_out],
         vec![logits],
     )?;
-    let loss = em
-        .g
-        .add_tensor(Shape::scalar(), TensorRole::Scalar, "lstm/loss");
+    let loss =
+        em.g.add_tensor(Shape::scalar(), TensorRole::Scalar, "lstm/loss");
     let grad_logits = em.mat(b, v, "lstm/grad_logits".into());
     em.g.add_op(
         OpKind::SoftmaxXent,
@@ -232,7 +230,12 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
         let _ = gates;
         // dL/do and dL/dc via the output gate and tanh(c).
         let grad_o = em.binary(grad_h, c_tanh, BinaryOp::Mul, format!("lstm/bt{t}/grad_o"))?;
-        let grad_ct_in = em.binary(grad_h, gate_out[2], BinaryOp::Mul, format!("lstm/bt{t}/gc_in"))?;
+        let grad_ct_in = em.binary(
+            grad_h,
+            gate_out[2],
+            BinaryOp::Mul,
+            format!("lstm/bt{t}/gc_in"),
+        )?;
         let grad_c = {
             let shape = em.g.tensor(grad_ct_in)?.shape.clone();
             let out = em.act(shape, format!("lstm/bt{t}/grad_c"));
@@ -244,9 +247,19 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
             out
         };
         // Gate pre-activation gradients.
-        let grad_i = em.binary(grad_c, gate_out[3], BinaryOp::Mul, format!("lstm/bt{t}/grad_i"))?;
+        let grad_i = em.binary(
+            grad_c,
+            gate_out[3],
+            BinaryOp::Mul,
+            format!("lstm/bt{t}/grad_i"),
+        )?;
         let grad_f = em.binary(grad_c, c_t, BinaryOp::Mul, format!("lstm/bt{t}/grad_f"))?;
-        let grad_g = em.binary(grad_c, gate_out[0], BinaryOp::Mul, format!("lstm/bt{t}/grad_g"))?;
+        let grad_g = em.binary(
+            grad_c,
+            gate_out[0],
+            BinaryOp::Mul,
+            format!("lstm/bt{t}/grad_g"),
+        )?;
         let acts = [
             Activation::Sigmoid,
             Activation::Sigmoid,
@@ -266,13 +279,11 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
             pre_grads[k] = out;
         }
         let grad_gates = em.mat(b, 4 * h, format!("lstm/bt{t}/grad_gates"));
-        em.g
-            .add_op(OpKind::Concat, pre_grads.to_vec(), vec![grad_gates])?;
+        em.g.add_op(OpKind::Concat, pre_grads.to_vec(), vec![grad_gates])?;
 
         // Bias gradient with accumulation across timesteps.
         let gb = em.act(Shape::new(vec![4 * h]), format!("lstm/bt{t}/grad_b"));
-        em.g
-            .add_op(OpKind::BiasAddGrad, vec![grad_gates], vec![gb])?;
+        em.g.add_op(OpKind::BiasAddGrad, vec![grad_gates], vec![gb])?;
         grad_b_acc = Some(match grad_b_acc {
             None => gb,
             Some(acc) => em.binary(acc, gb, BinaryOp::Add, format!("lstm/bt{t}/grad_b_acc"))?,
@@ -300,7 +311,10 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
         // to the previous timestep.
         let grad_x = em.mat(b, h, format!("lstm/bt{t}/grad_x"));
         em.g.add_op(
-            OpKind::Slice { start: 0, len: b * h },
+            OpKind::Slice {
+                start: 0,
+                len: b * h,
+            },
             vec![grad_concat],
             vec![grad_x],
         )?;
@@ -310,8 +324,7 @@ pub fn build(cfg: LstmConfig) -> Result<Graph> {
             TensorRole::Labels,
             format!("lstm/bt{t}/tokens"),
         );
-        em.g
-            .add_op(OpKind::EmbeddingGrad, vec![grad_x, tokens], vec![ge])?;
+        em.g.add_op(OpKind::EmbeddingGrad, vec![grad_x, tokens], vec![ge])?;
         grad_emb_acc = Some(match grad_emb_acc {
             None => ge,
             Some(acc) => em.binary(acc, ge, BinaryOp::Add, format!("lstm/bt{t}/grad_emb_acc"))?,

@@ -59,10 +59,7 @@ mod tests {
         let g = build(1).unwrap();
         // VGG-19 has ~143M parameters (we omit FC biases).
         let params = g.parameter_bytes() / 4;
-        assert!(
-            (120_000_000..160_000_000).contains(&params),
-            "got {params}"
-        );
+        assert!((120_000_000..160_000_000).contains(&params), "got {params}");
     }
 
     #[test]

@@ -165,9 +165,7 @@ mod tests {
 
     #[test]
     fn call_sites_reference_extracted_kernels() {
-        let set = BinarySet::generate(kernel(OffloadClass::PartiallyMulAdd {
-            ma_fraction: 0.89,
-        }));
+        let set = BinarySet::generate(kernel(OffloadClass::PartiallyMulAdd { ma_fraction: 0.89 }));
         for region in &set.progr.body {
             if let Region::CallFixed { kernel_index } = region {
                 assert!(*kernel_index < set.fixed_kernels.len());

@@ -135,12 +135,10 @@ impl KernelSource {
     /// True when *every* region is multiply/add (the whole kernel can run
     /// on fixed-function PIMs without the programmable PIM).
     pub fn is_pure_mul_add(&self) -> bool {
-        self.body.iter().all(|r| {
-            matches!(
-                r,
-                Region::MulAdd { .. } | Region::Control { .. }
-            )
-        }) && self.has_mul_add_region()
+        self.body
+            .iter()
+            .all(|r| matches!(r, Region::MulAdd { .. } | Region::Control { .. }))
+            && self.has_mul_add_region()
     }
 
     /// Total multiply/add flops across regions.
@@ -200,11 +198,14 @@ mod tests {
 
     #[test]
     fn data_movement_kernels_are_control_only() {
-        let k = KernelSource::from_cost("Slice", &CostProfile::movement(
-            Bytes::new(256.0),
-            Bytes::new(256.0),
-            pim_common::access::AccessPattern::Sequential,
-        ));
+        let k = KernelSource::from_cost(
+            "Slice",
+            &CostProfile::movement(
+                Bytes::new(256.0),
+                Bytes::new(256.0),
+                pim_common::access::AccessPattern::Sequential,
+            ),
+        );
         assert!(!k.has_mul_add_region());
         assert!(!k.body.is_empty()); // control scaffolding remains
     }

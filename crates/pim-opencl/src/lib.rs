@@ -35,8 +35,8 @@
 //! ```
 
 pub mod api;
-pub mod directive;
 pub mod binary;
+pub mod directive;
 pub mod kir;
 pub mod memory;
 pub mod platform;

@@ -64,7 +64,10 @@ impl SharedGlobalMemory {
     /// duplicate ids.
     pub fn allocate(&mut self, tensor: TensorId, bytes: usize) -> Result<()> {
         if bytes == 0 {
-            return Err(PimError::invalid("SharedGlobalMemory::allocate", "zero bytes"));
+            return Err(PimError::invalid(
+                "SharedGlobalMemory::allocate",
+                "zero bytes",
+            ));
         }
         if self.placements.contains_key(&tensor) {
             return Err(PimError::invalid(

@@ -109,11 +109,7 @@ mod tests {
     use pim_mem::stack::StackConfig;
 
     fn platform() -> Platform {
-        Platform::hetero_pim(
-            8,
-            &FixedPoolConfig::paper_default(&StackConfig::hmc2()),
-            4,
-        )
+        Platform::hetero_pim(8, &FixedPoolConfig::paper_default(&StackConfig::hmc2()), 4)
     }
 
     #[test]

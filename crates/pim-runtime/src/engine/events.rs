@@ -1,0 +1,752 @@
+//! The shared event core: clock, event heap, resource state, tracing, and
+//! the execution drivers every configuration runs through.
+//!
+//! Three drivers cover the whole evaluation:
+//!
+//! * [`run_serialized`] — one op at a time in topological order (the
+//!   "without runtime scheduling" configurations),
+//! * [`run_scheduled`] — the event-driven operation pipeline (§III-C),
+//! * [`run_device_serial`] — a single [`Device`] executing the step stream
+//!   back-to-back (the analytic GPU and Neurocube baselines in `pim-sim`).
+//!
+//! All three account time and energy through the same [`Accumulator`] and
+//! build their result exclusively via [`ReportBuilder`], and all three emit
+//! per-op [`TimelineEntry`] records to a pluggable [`TraceSink`].
+
+use super::placement::{
+    resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
+};
+use super::{Prepared, SystemMode};
+use crate::stats::{ExecutionReport, ReportBuilder};
+use crate::sync::STEP_BARRIER;
+use pim_common::ids::{BankId, OpId};
+use pim_common::units::{Joules, Seconds};
+use pim_common::{PimError, Result};
+use pim_hw::device::Device;
+use pim_hw::fixed::FixedFunctionPool;
+use pim_hw::registers::StatusRegisters;
+use pim_tensor::cost::CostProfile;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Which exclusive resource class an op instance occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ResourceClass {
+    /// The host CPU slot.
+    Cpu,
+    /// A programmable-PIM kernel slot.
+    Progr,
+    /// Fixed-function units only.
+    Fixed,
+    /// CPU + fixed-function units (host-driven split).
+    CpuAndFixed,
+    /// Programmable PIM + fixed-function units (recursive kernel).
+    ProgrAndFixed,
+    /// A standalone baseline device (GPU, Neurocube) outside the
+    /// heterogeneous stack.
+    Baseline,
+}
+
+/// One scheduled op instance on the execution timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TimelineEntry {
+    /// Workload index.
+    pub workload: usize,
+    /// Training step.
+    pub step: usize,
+    /// Operation index within the graph.
+    pub op: usize,
+    /// Start time.
+    pub start: Seconds,
+    /// Completion time.
+    pub end: Seconds,
+    /// Resource class occupied.
+    pub resource: ResourceClass,
+}
+
+/// Receives one [`TimelineEntry`] per executed op instance.
+///
+/// The drivers emit entries as they commit ops to the clock; a sink can
+/// collect them ([`VecSink`]), stream them elsewhere, or drop them
+/// ([`NullSink`]) when only the report matters.
+pub trait TraceSink {
+    /// Records one committed op instance.
+    fn record(&mut self, entry: TimelineEntry);
+}
+
+/// Discards every entry — tracing disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _entry: TimelineEntry) {}
+}
+
+/// Collects the full timeline in memory.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    entries: Vec<TimelineEntry>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, entry: TimelineEntry) {
+        self.entries.push(entry);
+    }
+}
+
+impl VecSink {
+    /// The collected timeline, in commit order.
+    pub fn into_entries(self) -> Vec<TimelineEntry> {
+        self.entries
+    }
+}
+
+/// The simulation clock.
+///
+/// Event-driven execution quantizes completion times to integer
+/// femtoseconds so heap ordering, timeline intervals, and resource hold
+/// times agree exactly; sequential execution just accumulates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Clock {
+    now: Seconds,
+}
+
+impl Clock {
+    pub fn new() -> Self {
+        Clock { now: Seconds::ZERO }
+    }
+
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Advances by a duration (sequential drivers).
+    pub fn advance(&mut self, d: Seconds) {
+        self.now += d;
+    }
+
+    /// Jumps to a quantized event time (event-driven driver).
+    pub fn jump_to_fs(&mut self, fs: u128) {
+        self.now = Self::from_fs(fs);
+    }
+
+    pub fn to_fs(t: Seconds) -> u128 {
+        (t.seconds() * 1e15) as u128
+    }
+
+    pub fn from_fs(fs: u128) -> Seconds {
+        Seconds::new(fs as f64 / 1e15)
+    }
+}
+
+/// Min-heap of completion events, FIFO-ordered among simultaneous ones.
+#[derive(Debug)]
+pub(crate) struct EventHeap<T> {
+    heap: BinaryHeap<Reverse<(u128, u64, usize)>>,
+    payloads: Vec<T>,
+    seq: u64,
+}
+
+impl<T: Copy> EventHeap<T> {
+    pub fn new() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to complete at `end`; returns the quantized
+    /// completion time so callers can mirror it (e.g. in the timeline).
+    pub fn push(&mut self, end: Seconds, payload: T) -> u128 {
+        let fs = Clock::to_fs(end);
+        self.payloads.push(payload);
+        self.heap
+            .push(Reverse((fs, self.seq, self.payloads.len() - 1)));
+        self.seq += 1;
+        fs
+    }
+
+    /// Pops the earliest completion.
+    pub fn pop(&mut self) -> Option<(u128, T)> {
+        self.heap
+            .pop()
+            .map(|Reverse((fs, _, idx))| (fs, self.payloads[idx]))
+    }
+}
+
+/// Concurrent programmable-PIM kernels: the runtime dedicates a core pair
+/// to each in-flight kernel.
+pub(crate) const PROGR_KERNEL_SLOTS: usize = 2;
+
+/// Exclusive-resource occupancy during event-driven execution, mirrored
+/// into the Fig. 7 busy/idle register file the software scheduler queries.
+#[derive(Debug)]
+pub(crate) struct ResourceState {
+    cpu_free: bool,
+    progr_slots: usize,
+    pool: FixedFunctionPool,
+    registers: StatusRegisters,
+}
+
+impl ResourceState {
+    pub fn new(planner: &Planner) -> Self {
+        let pool = FixedFunctionPool::new(planner.pool_cfg().clone());
+        let registers = StatusRegisters::new(pool.total_units());
+        ResourceState {
+            cpu_free: true,
+            progr_slots: PROGR_KERNEL_SLOTS,
+            pool,
+            registers,
+        }
+    }
+
+    /// Free resources right now, as the placement policy sees them — read
+    /// from the Fig. 7 register file, exactly like the software scheduler
+    /// does through the Table III query APIs.
+    pub fn availability(&self) -> Availability {
+        Availability {
+            cpu_free: self.cpu_free,
+            progr_free: !self.registers.progr_busy(),
+            ff_free: self.registers.idle_bank_count(),
+        }
+    }
+
+    /// Reserves the resources a chosen placement needs; returns the
+    /// fixed-function units held (0 for CPU/programmable placements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a pool-grant failure (a scheduler bug: [`Planner::choose`]
+    /// only proposes grants that fit).
+    pub fn acquire(&mut self, kind: PlanKind, planned: &PlannedOp) -> Result<usize> {
+        let units = match kind {
+            PlanKind::FixedWhole { units, .. }
+            | PlanKind::HostSplit { units }
+            | PlanKind::Recursive { units } => {
+                self.pool.grant(units)?;
+                units
+            }
+            _ => 0,
+        };
+        if planned.uses_cpu {
+            self.cpu_free = false;
+        }
+        if planned.uses_progr {
+            self.progr_slots -= 1;
+        }
+        self.mirror_registers();
+        Ok(units)
+    }
+
+    /// Returns a completed op's resources.
+    pub fn release(&mut self, units: usize, uses_cpu: bool, uses_progr: bool) {
+        if units > 0 {
+            self.pool.release(units);
+        }
+        if uses_cpu {
+            self.cpu_free = true;
+        }
+        if uses_progr {
+            self.progr_slots += 1;
+        }
+        self.mirror_registers();
+    }
+
+    /// Busy units fill bank registers from index 0 upward; the programmable
+    /// PIM's single bit is busy when no kernel slot is free.
+    fn mirror_registers(&mut self) {
+        let busy = self.pool.total_units() - self.pool.free_units();
+        for i in 0..self.pool.total_units() {
+            let _ = self.registers.set_bank_busy(BankId::new(i), i < busy);
+        }
+        self.registers.set_progr_busy(self.progr_slots == 0);
+    }
+}
+
+/// Statistic accumulator shared by every execution driver.
+#[derive(Debug, Default)]
+pub(crate) struct Accumulator {
+    op_raw: Seconds,
+    dm_raw: Seconds,
+    pub sync_raw: Seconds,
+    energy: Joules,
+    cpu_busy: Seconds,
+    progr_busy: Seconds,
+    ff_unit_seconds: f64,
+}
+
+impl Accumulator {
+    pub fn add(&mut self, planned: &PlannedOp) {
+        self.op_raw += planned.op_part;
+        self.dm_raw += planned.dm_part;
+        self.sync_raw += planned.sync_part;
+        self.energy += planned.energy;
+        if planned.uses_cpu {
+            self.cpu_busy += planned.duration;
+        }
+        if planned.uses_progr {
+            self.progr_busy += planned.duration;
+        }
+        self.ff_unit_seconds += planned.ff_units as f64 * planned.ff_busy.seconds();
+    }
+
+    pub fn into_report(
+        self,
+        planner: &Planner,
+        steps: usize,
+        makespan: Seconds,
+    ) -> ExecutionReport {
+        let cfg = &planner.cfg;
+        let ff_utilization = if makespan.seconds() > 0.0 && cfg.mode != SystemMode::CpuOnly {
+            (self.ff_unit_seconds / (cfg.ff_units as f64 * makespan.seconds())).min(1.0)
+        } else {
+            0.0
+        };
+        let mut builder = ReportBuilder::new(cfg.name.clone(), steps)
+            .makespan(makespan)
+            .raw_parts(self.op_raw, self.dm_raw, self.sync_raw)
+            .device_energy(self.energy)
+            .ff_utilization(ff_utilization)
+            .device_busy("CPU", self.cpu_busy)
+            .device_busy("Progr PIM", self.progr_busy)
+            .device_busy(
+                "Fixed PIM",
+                Seconds::new(self.ff_unit_seconds / cfg.ff_units.max(1) as f64),
+            );
+        // PIM configurations keep the host package powered (it hosts the
+        // TensorFlow runtime and the OpenCL host program) even while PIMs
+        // compute; CPU-only runs already bill the CPU per op.
+        if cfg.mode != SystemMode::CpuOnly {
+            builder = builder.charge_host_idle();
+        }
+        builder.build()
+    }
+}
+
+/// Sequential execution: one op at a time in topological order per step —
+/// the "without runtime scheduling" configurations.
+pub(crate) fn run_serialized(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    sink: &mut dyn TraceSink,
+) -> Result<ExecutionReport> {
+    let mut acc = Accumulator::default();
+    let mut clock = Clock::new();
+    for (w, wl) in prepared.iter().enumerate() {
+        for step in 0..wl.spec.steps {
+            for &op in &wl.topo {
+                let cost = &wl.costs[op];
+                let is_candidate = wl.candidates.contains(OpId::new(op));
+                let kind = planner
+                    .choose(
+                        cost,
+                        is_candidate,
+                        wl.spec.cpu_progr_only,
+                        Availability::all_free(planner.cfg.ff_units),
+                    )
+                    .ok_or_else(|| PimError::internal("serialized placement found no device"))?;
+                let planned = planner.plan_cost(kind, cost);
+                acc.add(&planned);
+                sink.record(TimelineEntry {
+                    workload: w,
+                    step,
+                    op,
+                    start: clock.now(),
+                    end: clock.now() + planned.duration,
+                    resource: resource_class(&planned),
+                });
+                clock.advance(planned.duration);
+                if planner.cfg.mode == SystemMode::Hetero {
+                    clock.advance(PLACEMENT_DECISION);
+                    acc.sync_raw += PLACEMENT_DECISION;
+                }
+            }
+            clock.advance(STEP_BARRIER);
+            acc.sync_raw += STEP_BARRIER;
+        }
+    }
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, clock.now()))
+}
+
+/// Event-driven execution with the operation pipeline.
+pub(crate) fn run_scheduled(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    sink: &mut dyn TraceSink,
+) -> Result<ExecutionReport> {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Key {
+        step: usize,
+        rank: usize,
+        wl: usize,
+        op: usize,
+    }
+    // Per-instance remaining dependency counts.
+    let mut remaining: Vec<Vec<Vec<usize>>> = prepared
+        .iter()
+        .map(|wl| {
+            (0..wl.spec.steps)
+                .map(|step| {
+                    wl.deps
+                        .iter()
+                        .map(|d| d.len() + usize::from(step > 0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut step_left: Vec<Vec<usize>> = prepared
+        .iter()
+        .map(|wl| vec![wl.topo.len(); wl.spec.steps])
+        .collect();
+    let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
+
+    let mut ready: BTreeSet<Key> = BTreeSet::new();
+    for (w, wl) in prepared.iter().enumerate() {
+        for (op, deps) in wl.deps.iter().enumerate() {
+            if deps.is_empty() && wl.spec.steps > 0 {
+                ready.insert(Key {
+                    step: 0,
+                    rank: wl.rank[op],
+                    wl: w,
+                    op,
+                });
+            }
+        }
+    }
+
+    let mut state = ResourceState::new(planner);
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Done {
+        wl: usize,
+        step: usize,
+        op: usize,
+        units: usize,
+        uses_cpu: bool,
+        uses_progr: bool,
+    }
+    let mut events: EventHeap<Done> = EventHeap::new();
+    let mut clock = Clock::new();
+    let mut acc = Accumulator::default();
+    let total_instances: usize = prepared
+        .iter()
+        .map(|wl| wl.spec.steps * wl.topo.len())
+        .sum();
+    let mut completed = 0usize;
+
+    while completed < total_instances {
+        // Schedule everything that fits right now.
+        let mut scheduled_any = true;
+        while scheduled_any {
+            scheduled_any = false;
+            let keys: Vec<Key> = ready.iter().copied().collect();
+            for key in keys {
+                let wl = &prepared[key.wl];
+                if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                    continue; // pipeline window closed for this step
+                }
+                let cost = &wl.costs[key.op];
+                let is_candidate = wl.candidates.contains(OpId::new(key.op));
+                let Some(kind) = planner.choose(
+                    cost,
+                    is_candidate,
+                    wl.spec.cpu_progr_only,
+                    state.availability(),
+                ) else {
+                    continue;
+                };
+                let planned = planner.plan_cost(kind, cost);
+                let units = state.acquire(kind, &planned)?;
+                acc.add(&planned);
+                ready.remove(&key);
+                // Record the end at the same femtosecond quantization the
+                // event heap uses, so timeline intervals match the actual
+                // resource hold times exactly.
+                let end_fs = events.push(
+                    clock.now() + planned.duration,
+                    Done {
+                        wl: key.wl,
+                        step: key.step,
+                        op: key.op,
+                        units,
+                        uses_cpu: planned.uses_cpu,
+                        uses_progr: planned.uses_progr,
+                    },
+                );
+                sink.record(TimelineEntry {
+                    workload: key.wl,
+                    step: key.step,
+                    op: key.op,
+                    start: clock.now(),
+                    end: Clock::from_fs(end_fs),
+                    resource: resource_class(&planned),
+                });
+                scheduled_any = true;
+            }
+        }
+
+        let Some((t_fs, done)) = events.pop() else {
+            if completed < total_instances {
+                return Err(PimError::internal(format!(
+                    "scheduler wedged with {completed} of {total_instances} instances done"
+                )));
+            }
+            break;
+        };
+        clock.jump_to_fs(t_fs);
+        state.release(done.units, done.uses_cpu, done.uses_progr);
+        completed += 1;
+
+        let wl = &prepared[done.wl];
+        // Intra-step consumers.
+        for &c in &wl.consumers[done.op] {
+            let r = &mut remaining[done.wl][done.step][c];
+            *r -= 1;
+            if *r == 0 {
+                ready.insert(Key {
+                    step: done.step,
+                    rank: wl.rank[c],
+                    wl: done.wl,
+                    op: c,
+                });
+            }
+        }
+        // Cross-step successor: the same op in the next step.
+        if done.step + 1 < wl.spec.steps {
+            let r = &mut remaining[done.wl][done.step + 1][done.op];
+            *r -= 1;
+            if *r == 0 {
+                ready.insert(Key {
+                    step: done.step + 1,
+                    rank: wl.rank[done.op],
+                    wl: done.wl,
+                    op: done.op,
+                });
+            }
+        }
+        // Step-completion bookkeeping for the pipeline window.
+        step_left[done.wl][done.step] -= 1;
+        while min_incomplete[done.wl] < wl.spec.steps
+            && step_left[done.wl][min_incomplete[done.wl]] == 0
+        {
+            min_incomplete[done.wl] += 1;
+        }
+    }
+    let barrier_total: Seconds = prepared
+        .iter()
+        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
+        .sum();
+    // The CPU-side runtime makes one placement decision per op instance
+    // (register queries through the Table III APIs); this serial work is
+    // not hidden by the pipeline.
+    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
+        PLACEMENT_DECISION * total_instances as f64
+    } else {
+        Seconds::ZERO
+    };
+    acc.sync_raw += barrier_total + decisions;
+    let makespan = clock.now() + barrier_total + decisions;
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, makespan))
+}
+
+/// One standalone device executing a step stream back-to-back — the
+/// analytic baselines (GPU, Neurocube) driven through the same event core
+/// and report path as the engine configurations.
+pub struct DeviceRun<'a> {
+    /// Configuration name for the report.
+    pub system: &'a str,
+    /// The device executing every op.
+    pub device: &'a dyn Device,
+    /// Per-op cost profiles in execution order.
+    pub costs: &'a [CostProfile],
+    /// Training steps.
+    pub steps: usize,
+    /// Extra data-movement time appended to each step (e.g. the GPU's
+    /// unhidden PCIe staging and working-set spill).
+    pub step_epilogue_dm: Seconds,
+    /// Extra energy charged per step (e.g. PCIe transfer energy).
+    pub step_epilogue_energy: Joules,
+}
+
+/// Runs one device serially over `steps` repetitions of its op stream.
+///
+/// Per op: `op = compute time`, `dm = memory-bound excess`,
+/// `sync = dispatch`, with the device's own estimate deciding each split;
+/// the step epilogue is accounted as data movement. Host idle power is
+/// always charged — a standalone accelerator leaves the host package
+/// powered but out of the compute path.
+pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TraceSink) -> ExecutionReport {
+    let mut clock = Clock::new();
+    let mut op_raw = Seconds::ZERO;
+    let mut dm_raw = Seconds::ZERO;
+    let mut sync_raw = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    for step in 0..run.steps {
+        for (op, cost) in run.costs.iter().enumerate() {
+            debug_assert!(run.device.accepts(cost), "device rejects op {op}");
+            let est = run.device.estimate(cost);
+            let busy = est.compute_time.max(est.memory_time);
+            let duration = busy + est.dispatch_time;
+            op_raw += est.compute_time;
+            dm_raw += busy - est.compute_time;
+            sync_raw += est.dispatch_time;
+            energy += est.energy;
+            sink.record(TimelineEntry {
+                workload: 0,
+                step,
+                op,
+                start: clock.now(),
+                end: clock.now() + duration,
+                resource: ResourceClass::Baseline,
+            });
+            clock.advance(duration);
+        }
+        clock.advance(run.step_epilogue_dm);
+        dm_raw += run.step_epilogue_dm;
+        energy += run.step_epilogue_energy;
+    }
+    let makespan = clock.now();
+    ReportBuilder::new(run.system, run.steps)
+        .makespan(makespan)
+        .raw_parts(op_raw, dm_raw, sync_raw)
+        .device_energy(energy)
+        .charge_host_idle()
+        .device_busy(run.device.name(), makespan)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use pim_common::units::Bytes;
+    use pim_hw::cpu::CpuDevice;
+    use pim_tensor::cost::OffloadClass;
+
+    #[test]
+    fn event_heap_orders_by_time_then_fifo() {
+        let mut heap: EventHeap<usize> = EventHeap::new();
+        heap.push(Seconds::new(2e-6), 0);
+        heap.push(Seconds::new(1e-6), 1);
+        heap.push(Seconds::new(1e-6), 2);
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn clock_quantization_round_trips() {
+        let t = Seconds::new(1.2345e-3);
+        let fs = Clock::to_fs(t);
+        assert!((Clock::from_fs(fs).seconds() - t.seconds()).abs() < 1e-15);
+        let mut clock = Clock::new();
+        clock.advance(Seconds::new(1.0));
+        clock.jump_to_fs(Clock::to_fs(Seconds::new(2.0)));
+        assert_eq!(clock.now(), Seconds::new(2.0));
+    }
+
+    #[test]
+    fn resource_state_mirrors_the_fig7_registers() {
+        let planner = Planner::new(EngineConfig::hetero());
+        let mut state = ResourceState::new(&planner);
+        assert!(state.registers.all_banks_idle());
+        assert!(!state.registers.progr_busy());
+
+        let cost = CostProfile::compute(
+            1e9,
+            1e9,
+            0.0,
+            Bytes::new(1e7),
+            Bytes::new(1e7),
+            OffloadClass::FullyMulAdd,
+            128,
+        );
+        let kind = PlanKind::FixedWhole {
+            rc_runtime: true,
+            units: 128,
+        };
+        let planned = planner.plan_cost(kind, &cost);
+        let units = state.acquire(kind, &planned).unwrap();
+        assert_eq!(units, 128);
+        assert_eq!(
+            state.registers.idle_bank_count(),
+            planner.pool_cfg().total_units - 128
+        );
+        assert_eq!(
+            state.availability().ff_free,
+            planner.pool_cfg().total_units - 128
+        );
+
+        state.release(units, false, false);
+        assert!(state.registers.all_banks_idle());
+    }
+
+    #[test]
+    fn progr_slots_saturate_the_busy_bit() {
+        let planner = Planner::new(EngineConfig::hetero());
+        let mut state = ResourceState::new(&planner);
+        let cost = CostProfile::compute(
+            0.0,
+            0.0,
+            1e8,
+            Bytes::new(1e6),
+            Bytes::new(1e6),
+            OffloadClass::NonMulAdd,
+            0,
+        );
+        let planned = planner.plan_cost(PlanKind::Progr, &cost);
+        for _ in 0..PROGR_KERNEL_SLOTS {
+            assert!(state.availability().progr_free);
+            state.acquire(PlanKind::Progr, &planned).unwrap();
+        }
+        assert!(!state.availability().progr_free);
+        assert!(state.registers.progr_busy());
+        state.release(0, false, true);
+        assert!(state.availability().progr_free);
+        assert!(!state.registers.progr_busy());
+    }
+
+    #[test]
+    fn device_serial_run_traces_and_balances() {
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let costs = vec![
+            CostProfile::compute(
+                1e9,
+                1e9,
+                0.0,
+                Bytes::new(1e7),
+                Bytes::new(1e7),
+                OffloadClass::FullyMulAdd,
+                64,
+            );
+            3
+        ];
+        let run = DeviceRun {
+            system: "test-baseline",
+            device: &cpu,
+            costs: &costs,
+            steps: 2,
+            step_epilogue_dm: Seconds::new(1e-3),
+            step_epilogue_energy: Joules::new(0.5),
+        };
+        let mut sink = VecSink::default();
+        let report = run_device_serial(&run, &mut sink);
+        let timeline = sink.into_entries();
+        assert_eq!(timeline.len(), 6);
+        assert!(timeline
+            .iter()
+            .all(|e| e.resource == ResourceClass::Baseline));
+        // Contiguous, non-overlapping execution within each step.
+        for pair in timeline.windows(2) {
+            assert!(pair[1].start >= pair[0].end);
+        }
+        assert!(report.is_well_formed());
+        // The per-step epilogue is billed as data movement.
+        assert!(report.data_movement_time >= Seconds::new(2e-3));
+        assert_eq!(report.device_busy[cpu.params().name], report.makespan);
+    }
+}

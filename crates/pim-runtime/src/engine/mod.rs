@@ -1,0 +1,349 @@
+//! The runtime engine: configuration, workload preparation, and the public
+//! simulation API.
+//!
+//! Implements the §III-C scheduler — profiling-based candidate selection,
+//! the three scheduling principles, recursive PIM kernels (RC), and the
+//! operation pipeline (OP) — over the device models of `pim-hw`. The five
+//! system configurations of §VI map onto [`EngineConfig`] constructors
+//! (the GPU baseline is analytic and lives in `pim-sim`).
+//!
+//! The engine is a thin facade over two submodules:
+//!
+//! * `placement` — the placement policy (`Planner`): the three scheduling
+//!   principles costed through the `pim-hw` `Device` trait,
+//! * `events` — the shared event core (clock, event heap, resource state,
+//!   trace sinks) and the execution drivers, including
+//!   [`run_device_serial`] which the `pim-sim` baselines use.
+
+mod events;
+mod placement;
+#[cfg(test)]
+mod tests;
+
+pub use events::{
+    run_device_serial, DeviceRun, NullSink, ResourceClass, TimelineEntry, TraceSink, VecSink,
+};
+
+use crate::profiler::profile_step;
+use crate::select::{select_candidates, CandidateSet};
+use crate::stats::ExecutionReport;
+use pim_common::{PimError, Result};
+use pim_graph::cost::graph_costs;
+use pim_graph::Graph;
+use pim_mem::stack::StackConfig;
+use pim_tensor::cost::CostProfile;
+use placement::{Availability, PlanKind, Planner};
+use serde::Serialize;
+
+/// Which compute complement the simulated system has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SystemMode {
+    /// Everything on the host CPU.
+    CpuOnly,
+    /// Everything on the programmable-PIM pool ("Progr PIM" baseline).
+    ProgrOnly,
+    /// Fixed-function PIMs driven by the host; the rest on CPU
+    /// ("Fixed PIM" baseline).
+    FixedHost,
+    /// The full heterogeneous PIM (fixed-function pool + one programmable
+    /// PIM + CPU).
+    Hetero,
+}
+
+/// Engine configuration: system complement plus runtime-technique toggles.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineConfig {
+    /// Display name for reports.
+    pub name: String,
+    /// Compute complement.
+    pub mode: SystemMode,
+    /// Recursive PIM kernels enabled (§III-B).
+    pub recursive_kernels: bool,
+    /// Operation pipeline enabled (§III-C); when off, execution is
+    /// serialized as in the baselines "without runtime scheduling".
+    pub operation_pipeline: bool,
+    /// Steps allowed in flight simultaneously under the pipeline.
+    pub pipeline_depth: usize,
+    /// Candidate-selection coverage (the paper's x = 90%).
+    pub coverage: f64,
+    /// The 3D memory stack (carries the frequency multiplier of §VI-D).
+    pub stack: StackConfig,
+    /// ARM cores of the programmable PIM.
+    pub arm_cores: usize,
+    /// Fixed-function units on the logic die.
+    pub ff_units: usize,
+}
+
+impl EngineConfig {
+    fn base(name: &str, mode: SystemMode) -> Self {
+        EngineConfig {
+            name: name.to_string(),
+            mode,
+            recursive_kernels: false,
+            operation_pipeline: false,
+            pipeline_depth: 4,
+            coverage: 0.90,
+            stack: StackConfig::hmc2(),
+            arm_cores: 4,
+            ff_units: pim_hw::fixed::DEFAULT_UNITS,
+        }
+    }
+
+    /// The "CPU" configuration of §VI.
+    pub fn cpu_only() -> Self {
+        EngineConfig::base("CPU", SystemMode::CpuOnly)
+    }
+
+    /// The "Progr PIM" configuration: programmable PIMs only, no runtime
+    /// scheduling.
+    pub fn progr_only() -> Self {
+        EngineConfig::base("Progr PIM", SystemMode::ProgrOnly)
+    }
+
+    /// The "Fixed PIM" configuration: fixed-function PIMs plus CPU, no
+    /// runtime scheduling.
+    pub fn fixed_host() -> Self {
+        EngineConfig::base("Fixed PIM", SystemMode::FixedHost)
+    }
+
+    /// The full "Hetero PIM" configuration with RC and OP.
+    pub fn hetero() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM", SystemMode::Hetero);
+        cfg.recursive_kernels = true;
+        cfg.operation_pipeline = true;
+        cfg
+    }
+
+    /// Hetero hardware without either runtime technique (Fig. 13's
+    /// "Hetero PIM" ablation bar).
+    pub fn hetero_bare() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM (no RC/OP)", SystemMode::Hetero);
+        cfg.recursive_kernels = false;
+        cfg.operation_pipeline = false;
+        cfg
+    }
+
+    /// Hetero hardware with recursive kernels but no operation pipeline
+    /// (Fig. 13's "+RC" bar).
+    pub fn hetero_rc() -> Self {
+        let mut cfg = EngineConfig::base("Hetero PIM +RC", SystemMode::Hetero);
+        cfg.recursive_kernels = true;
+        cfg.operation_pipeline = false;
+        cfg
+    }
+
+    /// Returns a copy with a different stack (frequency-scaling studies).
+    pub fn with_stack(mut self, stack: StackConfig) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Returns a copy with a different PIM complement (Fig. 12 scaling).
+    pub fn with_pim_complement(mut self, arm_cores: usize, ff_units: usize) -> Self {
+        self.arm_cores = arm_cores;
+        self.ff_units = ff_units;
+        self
+    }
+}
+
+/// One workload participating in a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec<'g> {
+    /// The training-step graph.
+    pub graph: &'g Graph,
+    /// Steps to simulate.
+    pub steps: usize,
+    /// Restrict to CPU + programmable PIM (the §VI-F non-CNN co-runner
+    /// rule: "the non-CNN model executes on CPU or the programmable PIM,
+    /// when they are idle").
+    pub cpu_progr_only: bool,
+}
+
+/// One row of [`Engine::plan_preview`]: where an op would run, uncontended.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlanRow {
+    /// The operation.
+    pub op: pim_common::ids::OpId,
+    /// Its TensorFlow display name.
+    pub name: &'static str,
+    /// Placement description ("Fixed PIM (rc, 444 units)", "CPU", ...).
+    pub placement: String,
+    /// Whether the op was an offload candidate.
+    pub candidate: bool,
+    /// Estimated uncontended duration in seconds.
+    pub seconds: f64,
+}
+
+/// Prepared per-workload state the execution drivers consume.
+pub(crate) struct Prepared<'g> {
+    pub spec: WorkloadSpec<'g>,
+    pub costs: Vec<CostProfile>,
+    pub candidates: CandidateSet,
+    pub deps: Vec<Vec<usize>>,
+    pub consumers: Vec<Vec<usize>>,
+    pub topo: Vec<usize>,
+    pub rank: Vec<usize>,
+}
+
+/// The engine: devices + policy for one configuration.
+pub struct Engine {
+    planner: Planner,
+}
+
+impl Engine {
+    /// Builds the engine for a configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            planner: Planner::new(cfg),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.planner.cfg
+    }
+
+    /// Profiles, classifies, and indexes every workload for the drivers.
+    fn prepare<'g>(&self, workloads: &[WorkloadSpec<'g>]) -> Result<Vec<Prepared<'g>>> {
+        let mut prepared = Vec::with_capacity(workloads.len());
+        for wl in workloads {
+            let costs = graph_costs(wl.graph)?;
+            let profile = profile_step(wl.graph, self.planner.cpu())?;
+            let candidates = select_candidates(&profile, self.planner.cfg.coverage);
+            let deps: Vec<Vec<usize>> = wl
+                .graph
+                .ops()
+                .iter()
+                .map(|op| {
+                    wl.graph
+                        .dependencies(op.id)
+                        .map(|v| v.into_iter().map(|d| d.index()).collect())
+                        .unwrap_or_default()
+                })
+                .collect();
+            let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); wl.graph.op_count()];
+            for (op, ds) in deps.iter().enumerate() {
+                for &d in ds {
+                    consumers[d].push(op);
+                }
+            }
+            let topo = wl.graph.topo_order()?;
+            let mut rank = vec![0usize; wl.graph.op_count()];
+            for (r, id) in topo.iter().enumerate() {
+                rank[id.index()] = r;
+            }
+            prepared.push(Prepared {
+                spec: *wl,
+                costs,
+                candidates,
+                deps,
+                consumers,
+                topo: topo.iter().map(|id| id.index()).collect(),
+                rank,
+            });
+        }
+        Ok(prepared)
+    }
+
+    /// Simulates the workloads and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost/profiling failures, or an internal error if the
+    /// scheduler wedges (a bug, guarded explicitly).
+    pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
+        let prepared = self.prepare(workloads)?;
+        let mut sink = NullSink;
+        if self.planner.cfg.operation_pipeline {
+            events::run_scheduled(&self.planner, &prepared, &mut sink)
+        } else {
+            events::run_serialized(&self.planner, &prepared, &mut sink)
+        }
+    }
+
+    /// Like [`Engine::run`], additionally returning the per-instance
+    /// execution timeline (start/end/resource of every scheduled op) for
+    /// inspection and invariant checking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Engine::run`].
+    pub fn run_detailed(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+    ) -> Result<(ExecutionReport, Vec<TimelineEntry>)> {
+        let prepared = self.prepare(workloads)?;
+        let mut sink = VecSink::default();
+        let report = if self.planner.cfg.operation_pipeline {
+            events::run_scheduled(&self.planner, &prepared, &mut sink)?
+        } else {
+            events::run_serialized(&self.planner, &prepared, &mut sink)?
+        };
+        Ok((report, sink.into_entries()))
+    }
+
+    /// Runs each workload as its own independent simulation, across
+    /// threads when the `parallel` feature is enabled (the default).
+    /// Results keep the input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure among the runs, in input order.
+    pub fn run_many(&self, workloads: &[WorkloadSpec<'_>]) -> Result<Vec<ExecutionReport>> {
+        crate::par::par_map(workloads, |wl| self.run(&[*wl]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Previews the placement decision for every op of a graph under this
+    /// configuration, with all resources free (no contention) — the
+    /// explainability view of the scheduler (C-INTERMEDIATE: expose the
+    /// intermediate results the simulation is built from).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/cost failures.
+    pub fn plan_preview(&self, graph: &Graph) -> Result<Vec<PlanRow>> {
+        let costs = graph_costs(graph)?;
+        let profile = profile_step(graph, self.planner.cpu())?;
+        let candidates = select_candidates(&profile, self.planner.cfg.coverage);
+        let mut rows = Vec::with_capacity(graph.op_count());
+        for node in graph.ops() {
+            let cost = &costs[node.id.index()];
+            let candidate = candidates.contains(node.id);
+            let kind = self
+                .planner
+                .choose(
+                    cost,
+                    candidate,
+                    false,
+                    Availability::all_free(self.planner.cfg.ff_units),
+                )
+                .ok_or_else(|| PimError::internal("uncontended placement must exist"))?;
+            let planned = self.planner.plan_cost(kind, cost);
+            let placement = match kind {
+                PlanKind::Cpu => "CPU".to_string(),
+                PlanKind::ProgrPool => "Progr PIM pool".to_string(),
+                PlanKind::Progr => "Progr PIM".to_string(),
+                PlanKind::FixedWhole { rc_runtime, units } => {
+                    format!(
+                        "Fixed PIM ({}, {units} units)",
+                        if rc_runtime { "rc" } else { "host" }
+                    )
+                }
+                PlanKind::HostSplit { units } => format!("CPU + Fixed PIM ({units} units)"),
+                PlanKind::Recursive { units } => {
+                    format!("Recursive: Progr PIM + Fixed PIM ({units} units)")
+                }
+            };
+            rows.push(PlanRow {
+                op: node.id,
+                name: node.kind.tf_name(),
+                placement,
+                candidate,
+                seconds: planned.duration.seconds(),
+            });
+        }
+        Ok(rows)
+    }
+}

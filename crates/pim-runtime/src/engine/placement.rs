@@ -1,0 +1,652 @@
+//! Placement policy: the §III-C scheduling principles over the [`Device`]
+//! abstraction.
+//!
+//! The [`Planner`] owns the device models of one system configuration and
+//! answers two questions for the event core:
+//!
+//! * [`Planner::choose`] — *where* an op runs given current availability
+//!   (the three scheduling principles, plus the RC and OP toggles), and
+//! * [`Planner::plan_cost`] — *what it costs* there: duration, op/dm/sync
+//!   decomposition, energy, and the resources it holds.
+//!
+//! Device timing always flows through [`Device::estimate`]; the one
+//! exception is the fixed-function pool's partial-grant path
+//! ([`FixedFunctionPool::estimate_ma`]), which needs the granted unit
+//! count.
+
+use super::events::ResourceClass;
+use super::{EngineConfig, SystemMode};
+use crate::stats::normalized_parts;
+use crate::sync::{
+    kernel_calls, HOST_CALL, HOST_FF_SYNC, HOST_PROGR_SYNC, PIM_CALL, PIM_INTERNAL_SYNC,
+};
+use pim_common::units::{Joules, Seconds};
+use pim_hw::arm::{ProgrammablePim, ProgrammablePool};
+use pim_hw::cpu::CpuDevice;
+use pim_hw::device::Device;
+use pim_hw::fixed::{FixedFunctionPool, FixedPoolConfig};
+use pim_tensor::cost::{CostProfile, OffloadClass};
+
+/// CPU-side runtime cost of one scheduling decision (querying the busy
+/// registers, picking a device, enqueueing) — the price of the dynamic
+/// scheduler itself, paid only by the heterogeneous configuration.
+pub(crate) const PLACEMENT_DECISION: Seconds = Seconds::new(25e-6);
+
+/// Where an operation is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanKind {
+    Cpu,
+    ProgrPool,
+    Progr,
+    FixedWhole { rc_runtime: bool, units: usize },
+    HostSplit { units: usize },
+    Recursive { units: usize },
+}
+
+/// Fully costed placement of one op instance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlannedOp {
+    pub duration: Seconds,
+    pub op_part: Seconds,
+    pub dm_part: Seconds,
+    pub sync_part: Seconds,
+    pub energy: Joules,
+    pub ff_units: usize,
+    /// Time the granted fixed-function units actually compute (utilization
+    /// accounting counts useful busy time, not reservation time).
+    pub ff_busy: Seconds,
+    pub uses_cpu: bool,
+    pub uses_progr: bool,
+}
+
+/// Which exclusive resource class a planned op occupies.
+pub(crate) fn resource_class(planned: &PlannedOp) -> ResourceClass {
+    match (planned.uses_cpu, planned.uses_progr, planned.ff_units > 0) {
+        (true, _, true) => ResourceClass::CpuAndFixed,
+        (true, _, false) => ResourceClass::Cpu,
+        (false, true, true) => ResourceClass::ProgrAndFixed,
+        (false, true, false) => ResourceClass::Progr,
+        _ => ResourceClass::Fixed,
+    }
+}
+
+/// Snapshot of free resources at a scheduling decision.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Availability {
+    pub cpu_free: bool,
+    pub progr_free: bool,
+    pub ff_free: usize,
+}
+
+impl Availability {
+    /// Everything free (uncontended previews and serialized execution).
+    pub fn all_free(ff_units: usize) -> Self {
+        Availability {
+            cpu_free: true,
+            progr_free: true,
+            ff_free: ff_units,
+        }
+    }
+}
+
+/// Splits a cost profile into its multiply/add core and the remainder.
+fn split_cost(cost: &CostProfile) -> (CostProfile, CostProfile) {
+    let total = cost.total_flops().max(1.0);
+    let ma_frac = cost.ma_flops() / total;
+    let ma = CostProfile {
+        muls: cost.muls,
+        adds: cost.adds,
+        other_flops: 0.0,
+        control_ops: cost.control_ops * ma_frac,
+        bytes_read: cost.bytes_read * ma_frac,
+        bytes_written: cost.bytes_written * ma_frac,
+        pattern: cost.pattern,
+        ff_parallelism: cost.ff_parallelism,
+        class: OffloadClass::FullyMulAdd,
+    };
+    let rest = CostProfile {
+        muls: 0.0,
+        adds: 0.0,
+        other_flops: cost.other_flops,
+        control_ops: cost.control_ops * (1.0 - ma_frac),
+        bytes_read: cost.bytes_read * (1.0 - ma_frac),
+        bytes_written: cost.bytes_written * (1.0 - ma_frac),
+        pattern: cost.pattern,
+        ff_parallelism: 0,
+        class: OffloadClass::NonMulAdd,
+    };
+    (ma, rest)
+}
+
+/// The placement policy plus the device models it schedules onto.
+pub(crate) struct Planner {
+    pub cfg: EngineConfig,
+    cpu: CpuDevice,
+    progr: ProgrammablePim,
+    /// Core pair used per kernel in scheduled mode: the programmable-PIM
+    /// runtime dedicates two cores to each in-flight kernel so two
+    /// recursive kernels can proceed concurrently.
+    progr_pair: ProgrammablePim,
+    progr_pool: ProgrammablePool,
+    pool_cfg: FixedPoolConfig,
+}
+
+impl Planner {
+    /// Builds the device complement for a configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let progr = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores);
+        let progr_pair = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores.div_ceil(2).max(1));
+        let progr_pool = ProgrammablePool::unlimited(&cfg.stack);
+        let pool_cfg = FixedPoolConfig::with_units(&cfg.stack, cfg.ff_units);
+        Planner {
+            cfg,
+            cpu,
+            progr,
+            progr_pair,
+            progr_pool,
+            pool_cfg,
+        }
+    }
+
+    /// The host CPU device (profiling runs against it).
+    pub fn cpu(&self) -> &CpuDevice {
+        &self.cpu
+    }
+
+    /// The fixed-function pool configuration of this complement.
+    pub fn pool_cfg(&self) -> &FixedPoolConfig {
+        &self.pool_cfg
+    }
+
+    /// The ARM device serving one kernel: the whole processor when
+    /// execution is serialized, a core pair when the scheduler runs two
+    /// kernels concurrently.
+    fn arm_device(&self) -> &ProgrammablePim {
+        if self.cfg.operation_pipeline {
+            &self.progr_pair
+        } else {
+            &self.progr
+        }
+    }
+
+    /// Host-side kernel calls are cheaper on the hetero hardware even
+    /// without recursive kernels: the programmable PIM drives completion
+    /// synchronization, avoiding frequent interrupts to the CPU (§III-B).
+    fn host_call_factor(&self) -> f64 {
+        if self.cfg.mode == SystemMode::Hetero {
+            0.75
+        } else {
+            1.0
+        }
+    }
+
+    /// Costs a placement fully: duration, breakdown, energy, holds.
+    pub fn plan_cost(&self, kind: PlanKind, cost: &CostProfile) -> PlannedOp {
+        match kind {
+            PlanKind::Cpu => {
+                let est = self.cpu.estimate(cost);
+                let busy = est.compute_time.max(est.memory_time);
+                let (op, dm, sync) = normalized_parts(
+                    busy + est.dispatch_time,
+                    est.compute_time,
+                    busy - est.compute_time,
+                    est.dispatch_time,
+                );
+                PlannedOp {
+                    duration: busy + est.dispatch_time,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy,
+                    ff_units: 0,
+                    ff_busy: Seconds::ZERO,
+                    uses_cpu: true,
+                    uses_progr: false,
+                }
+            }
+            PlanKind::ProgrPool | PlanKind::Progr => {
+                let est = if kind == PlanKind::ProgrPool {
+                    self.progr_pool.estimate(cost)
+                } else {
+                    self.arm_device().estimate(cost)
+                };
+                let busy = est.compute_time.max(est.memory_time);
+                let sync_raw = est.dispatch_time + HOST_PROGR_SYNC;
+                let duration = busy + sync_raw;
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    est.compute_time,
+                    busy - est.compute_time,
+                    sync_raw,
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy,
+                    ff_units: 0,
+                    ff_busy: Seconds::ZERO,
+                    uses_cpu: false,
+                    uses_progr: true,
+                }
+            }
+            PlanKind::FixedWhole { rc_runtime, units } => {
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let est = pool.estimate_ma(cost, units, !rc_runtime);
+                let busy = est.compute_time.max(est.memory_time);
+                let calls = kernel_calls(cost.ma_flops()) as f64;
+                let (duration, sync_raw, host_energy) = if rc_runtime {
+                    let call_time = PIM_CALL * calls;
+                    let duration = busy.max(call_time) + PIM_INTERNAL_SYNC;
+                    (duration, duration - busy, Joules::ZERO)
+                } else {
+                    let call_time = HOST_CALL * self.host_call_factor() * calls + HOST_FF_SYNC;
+                    // The host orchestrates synchronously: its cycles are
+                    // burned, and the op extends by the full call time.
+                    let duration = busy + call_time;
+                    (duration, call_time, self.cpu.dynamic_power() * call_time)
+                };
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    est.compute_time,
+                    busy - est.compute_time,
+                    sync_raw,
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: est.energy + host_energy,
+                    ff_units: units,
+                    ff_busy: busy,
+                    uses_cpu: false,
+                    // Dispatch through the progr runtime only enqueues the
+                    // kernel; it does not occupy an ARM core pair.
+                    uses_progr: false,
+                }
+            }
+            PlanKind::HostSplit { units } => {
+                let (ma, rest) = split_cost(cost);
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let ff = pool.estimate_ma(&ma, units, true);
+                let host = self.cpu.estimate(&rest);
+                let ff_busy = ff.compute_time.max(ff.memory_time);
+                let host_busy = host.compute_time.max(host.memory_time);
+                let call_time =
+                    HOST_CALL * self.host_call_factor() * kernel_calls(ma.ma_flops()) as f64
+                        + HOST_FF_SYNC;
+                let duration = ff_busy + host_busy + call_time;
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    ff.compute_time + host.compute_time,
+                    (ff_busy - ff.compute_time) + (host_busy - host.compute_time),
+                    call_time,
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: ff.energy + host.energy + self.cpu.dynamic_power() * call_time,
+                    ff_units: units,
+                    ff_busy,
+                    uses_cpu: true,
+                    uses_progr: false,
+                }
+            }
+            PlanKind::Recursive { units } => {
+                let (ma, rest) = split_cost(cost);
+                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
+                let ff = pool.estimate_ma(&ma, units, false);
+                let arm = self.arm_device().estimate(&rest);
+                let ff_busy = ff.compute_time.max(ff.memory_time);
+                let arm_busy = arm.compute_time.max(arm.memory_time)
+                    + PIM_CALL * kernel_calls(ma.ma_flops()) as f64;
+                // Phases and fixed-function sub-kernels overlap inside the
+                // single recursive kernel (Fig. 6).
+                let duration = ff_busy.max(arm_busy) + PIM_INTERNAL_SYNC;
+                let (op, dm, sync) = normalized_parts(
+                    duration,
+                    ff.compute_time + arm.compute_time,
+                    (ff_busy - ff.compute_time)
+                        + (arm.compute_time.max(arm.memory_time) - arm.compute_time),
+                    duration - ff_busy.max(arm_busy),
+                );
+                PlannedOp {
+                    duration,
+                    op_part: op,
+                    dm_part: dm,
+                    sync_part: sync,
+                    energy: ff.energy + arm.energy,
+                    ff_units: units,
+                    ff_busy,
+                    uses_cpu: false,
+                    uses_progr: true,
+                }
+            }
+        }
+    }
+
+    /// Grant size for a fixed-function request under dynamic availability.
+    fn ff_grant(parallelism: usize, free: usize) -> Option<usize> {
+        let want = parallelism.max(1);
+        let floor = want.min(64);
+        if free >= floor {
+            Some(want.min(free))
+        } else {
+            None
+        }
+    }
+
+    /// Chooses a placement under the three scheduling principles, given
+    /// current availability. `None` means "wait for resources".
+    pub fn choose(
+        &self,
+        cost: &CostProfile,
+        is_candidate: bool,
+        restricted: bool,
+        avail: Availability,
+    ) -> Option<PlanKind> {
+        let Availability {
+            cpu_free,
+            progr_free,
+            ff_free,
+        } = avail;
+        if restricted {
+            // Mixed-workload non-CNN rule: CPU or programmable PIM only.
+            if cpu_free {
+                return Some(PlanKind::Cpu);
+            }
+            if progr_free {
+                return Some(PlanKind::Progr);
+            }
+            return None;
+        }
+        match self.cfg.mode {
+            SystemMode::CpuOnly => cpu_free.then_some(PlanKind::Cpu),
+            SystemMode::ProgrOnly => progr_free.then_some(PlanKind::ProgrPool),
+            SystemMode::FixedHost => match cost.class {
+                OffloadClass::FullyMulAdd => {
+                    if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                        if cpu_free {
+                            // Host-driven dispatch occupies the CPU.
+                            return Some(PlanKind::FixedWhole {
+                                rc_runtime: false,
+                                units,
+                            });
+                        }
+                    }
+                    cpu_free.then_some(PlanKind::Cpu)
+                }
+                OffloadClass::PartiallyMulAdd { .. } => {
+                    if cpu_free {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            return Some(PlanKind::HostSplit { units });
+                        }
+                        return Some(PlanKind::Cpu);
+                    }
+                    None
+                }
+                _ => cpu_free.then_some(PlanKind::Cpu),
+            },
+            SystemMode::Hetero => {
+                // Principle 3 (dependencies) is enforced by the event loop;
+                // principles 1 and 2 order the preferences here.
+                // Non-mul/add and data-movement ops belong to the
+                // programmable PIM whenever it is idle, candidate or not
+                // (principle 2: prefer PIMs over CPU).
+                if matches!(
+                    cost.class,
+                    OffloadClass::NonMulAdd | OffloadClass::DataMovement
+                ) {
+                    if progr_free {
+                        return Some(PlanKind::Progr);
+                    }
+                    return cpu_free.then_some(PlanKind::Cpu);
+                }
+                if !is_candidate {
+                    // Class-1 ops (compute-intensive, not memory-intensive)
+                    // "do not have to be offloaded to PIMs, but we can
+                    // offload them when there are idling hardware units"
+                    // (§II-A).
+                    if cost.class == OffloadClass::FullyMulAdd {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            if self.cfg.recursive_kernels {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: true,
+                                    units,
+                                });
+                            }
+                            if cpu_free {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: false,
+                                    units,
+                                });
+                            }
+                        }
+                    }
+                    return cpu_free.then_some(PlanKind::Cpu);
+                }
+                // Heavy candidate ops with a fixed-function core wait for
+                // the pool rather than falling back to the slow CPU: under
+                // the operation pipeline another step's work keeps the CPU
+                // and programmable PIM fed meanwhile. (Fallback to CPU only
+                // when no fixed-function complement could ever serve them.)
+                match cost.class {
+                    OffloadClass::FullyMulAdd => {
+                        if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                            if self.cfg.recursive_kernels {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: true,
+                                    units,
+                                });
+                            }
+                            if cpu_free {
+                                return Some(PlanKind::FixedWhole {
+                                    rc_runtime: false,
+                                    units,
+                                });
+                            }
+                        }
+                        if self.cfg.operation_pipeline {
+                            None // wait for pool capacity
+                        } else {
+                            cpu_free.then_some(PlanKind::Cpu)
+                        }
+                    }
+                    OffloadClass::PartiallyMulAdd { .. } => {
+                        if self.cfg.recursive_kernels {
+                            if progr_free {
+                                if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                                    return Some(PlanKind::Recursive { units });
+                                }
+                            }
+                        } else if cpu_free {
+                            if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                                return Some(PlanKind::HostSplit { units });
+                            }
+                        }
+                        if self.cfg.operation_pipeline {
+                            None // wait for the programmable PIM + pool
+                        } else {
+                            cpu_free.then_some(PlanKind::Cpu)
+                        }
+                    }
+                    OffloadClass::NonMulAdd | OffloadClass::DataMovement => {
+                        if progr_free {
+                            return Some(PlanKind::Progr);
+                        }
+                        cpu_free.then_some(PlanKind::Cpu)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_common::units::Bytes;
+
+    fn planner(cfg: EngineConfig) -> Planner {
+        Planner::new(cfg)
+    }
+
+    fn cost(class: OffloadClass, parallelism: usize) -> CostProfile {
+        CostProfile::compute(
+            1e9,
+            1e9,
+            if matches!(class, OffloadClass::FullyMulAdd) {
+                0.0
+            } else {
+                1e8
+            },
+            Bytes::new(1e7),
+            Bytes::new(1e7),
+            class,
+            parallelism,
+        )
+    }
+
+    #[test]
+    fn split_cost_partitions_work_and_bytes() {
+        let c = cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 }, 64);
+        let (ma, rest) = split_cost(&c);
+        assert_eq!(ma.class, OffloadClass::FullyMulAdd);
+        assert_eq!(rest.class, OffloadClass::NonMulAdd);
+        assert_eq!(ma.ma_flops(), c.ma_flops());
+        assert_eq!(rest.other_flops, c.other_flops);
+        let total = c.bytes_read + c.bytes_written;
+        let split_total = ma.bytes_read + ma.bytes_written + rest.bytes_read + rest.bytes_written;
+        assert!((split_total.bytes() - total.bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn ff_grant_honors_floor_and_capacity() {
+        // Plenty free: get exactly what is wanted.
+        assert_eq!(Planner::ff_grant(100, 444), Some(100));
+        // Partially free above the 64-unit floor: get the remainder.
+        assert_eq!(Planner::ff_grant(100, 80), Some(80));
+        // Below the floor: wait.
+        assert_eq!(Planner::ff_grant(100, 63), None);
+        // Small requests floor at their own size.
+        assert_eq!(Planner::ff_grant(8, 8), Some(8));
+        assert_eq!(Planner::ff_grant(0, 1), Some(1));
+    }
+
+    #[test]
+    fn choose_follows_the_mode_restrictions() {
+        let all = Availability::all_free(444);
+        let ma = cost(OffloadClass::FullyMulAdd, 128);
+        let cpu_only = planner(EngineConfig::cpu_only());
+        assert_eq!(cpu_only.choose(&ma, true, false, all), Some(PlanKind::Cpu));
+        let progr = planner(EngineConfig::progr_only());
+        assert_eq!(
+            progr.choose(&ma, true, false, all),
+            Some(PlanKind::ProgrPool)
+        );
+        let hetero = planner(EngineConfig::hetero());
+        assert_eq!(
+            hetero.choose(&ma, true, false, all),
+            Some(PlanKind::FixedWhole {
+                rc_runtime: true,
+                units: 128
+            })
+        );
+    }
+
+    #[test]
+    fn restricted_workloads_stay_off_the_fixed_pool() {
+        let hetero = planner(EngineConfig::hetero());
+        let ma = cost(OffloadClass::FullyMulAdd, 128);
+        assert_eq!(
+            hetero.choose(&ma, true, true, Availability::all_free(444)),
+            Some(PlanKind::Cpu)
+        );
+        let no_cpu = Availability {
+            cpu_free: false,
+            progr_free: true,
+            ff_free: 444,
+        };
+        assert_eq!(
+            hetero.choose(&ma, true, true, no_cpu),
+            Some(PlanKind::Progr)
+        );
+        let nothing = Availability {
+            cpu_free: false,
+            progr_free: false,
+            ff_free: 444,
+        };
+        assert_eq!(hetero.choose(&ma, true, true, nothing), None);
+    }
+
+    #[test]
+    fn hetero_candidates_wait_for_the_pool_under_op() {
+        let hetero = planner(EngineConfig::hetero());
+        let ma = cost(OffloadClass::FullyMulAdd, 128);
+        let pool_busy = Availability {
+            cpu_free: true,
+            progr_free: true,
+            ff_free: 0,
+        };
+        // Under the operation pipeline a heavy candidate waits instead of
+        // falling back to the CPU.
+        assert_eq!(hetero.choose(&ma, true, false, pool_busy), None);
+        let mut serial_cfg = EngineConfig::hetero();
+        serial_cfg.operation_pipeline = false;
+        let serial = planner(serial_cfg);
+        assert_eq!(
+            serial.choose(&ma, true, false, pool_busy),
+            Some(PlanKind::Cpu)
+        );
+    }
+
+    #[test]
+    fn plan_cost_breakdown_partitions_the_duration() {
+        let hetero = planner(EngineConfig::hetero());
+        for kind in [
+            PlanKind::Cpu,
+            PlanKind::Progr,
+            PlanKind::ProgrPool,
+            PlanKind::FixedWhole {
+                rc_runtime: true,
+                units: 128,
+            },
+            PlanKind::FixedWhole {
+                rc_runtime: false,
+                units: 128,
+            },
+            PlanKind::HostSplit { units: 128 },
+            PlanKind::Recursive { units: 128 },
+        ] {
+            let c = cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 }, 128);
+            let p = hetero.plan_cost(kind, &c);
+            let parts = p.op_part + p.dm_part + p.sync_part;
+            assert!(
+                (parts.seconds() - p.duration.seconds()).abs() <= 1e-9 * p.duration.seconds(),
+                "{kind:?}: {} vs {}",
+                parts.seconds(),
+                p.duration.seconds()
+            );
+            assert!(p.energy.joules() > 0.0, "{kind:?} has zero energy");
+        }
+    }
+
+    #[test]
+    fn recursive_kernel_holds_progr_but_not_cpu() {
+        let hetero = planner(EngineConfig::hetero());
+        let c = cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 }, 128);
+        let p = hetero.plan_cost(PlanKind::Recursive { units: 128 }, &c);
+        assert!(p.uses_progr);
+        assert!(!p.uses_cpu);
+        assert_eq!(p.ff_units, 128);
+        assert_eq!(resource_class(&p), ResourceClass::ProgrAndFixed);
+        let host = hetero.plan_cost(PlanKind::HostSplit { units: 128 }, &c);
+        assert!(host.uses_cpu);
+        assert_eq!(resource_class(&host), ResourceClass::CpuAndFixed);
+    }
+}

@@ -5,7 +5,10 @@
 //!   and the Fig. 2 four-quadrant classification,
 //! * [`engine`] — the placement policy (three scheduling principles) and
 //!   the discrete-event simulator, with recursive-kernel (RC) and
-//!   operation-pipeline (OP) toggles,
+//!   operation-pipeline (OP) toggles; its event core also drives the
+//!   `pim-sim` baselines,
+//! * [`par`] — fork-join helper behind the default-on `parallel` feature
+//!   (independent simulations across threads, deterministic order),
 //! * [`recursive`] — the programmable-PIM-side progress tracker for
 //!   recursive kernels (§IV-C),
 //! * [`sync`] — synchronization-cost constants and kernel-call granularity,
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod engine;
+pub mod par;
 pub mod profiler;
 pub mod recursive;
 pub mod select;
@@ -38,6 +42,8 @@ pub mod session;
 pub mod stats;
 pub mod sync;
 
-pub use engine::{Engine, EngineConfig, PlanRow, ResourceClass, SystemMode, TimelineEntry, WorkloadSpec};
+pub use engine::{
+    Engine, EngineConfig, PlanRow, ResourceClass, SystemMode, TimelineEntry, WorkloadSpec,
+};
 pub use session::TrainingSession;
 pub use stats::ExecutionReport;

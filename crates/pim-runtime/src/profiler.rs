@@ -56,21 +56,32 @@ impl StepProfile {
     /// invocations)`, sorted by time share descending — the rows of
     /// Table I.
     pub fn by_name(&self) -> Vec<NameAggregate> {
-        let mut map: std::collections::HashMap<&'static str, NameAggregate> =
+        // Aggregate in first-appearance (op-stream) order so the stable
+        // sort below resolves time ties deterministically, instead of by
+        // hash-map iteration order — candidate ranking and figure output
+        // must not vary run to run.
+        let mut index: std::collections::HashMap<&'static str, usize> =
             std::collections::HashMap::new();
+        let mut rows: Vec<NameAggregate> = Vec::new();
         for p in &self.ops {
-            let entry = map.entry(p.name).or_insert(NameAggregate {
-                name: p.name,
-                time: Seconds::ZERO,
-                memory_accesses: 0,
-                invocations: 0,
+            let i = *index.entry(p.name).or_insert_with(|| {
+                rows.push(NameAggregate {
+                    name: p.name,
+                    time: Seconds::ZERO,
+                    memory_accesses: 0,
+                    invocations: 0,
+                });
+                rows.len() - 1
             });
-            entry.time += p.cpu_time;
-            entry.memory_accesses += p.memory_accesses;
-            entry.invocations += 1;
+            rows[i].time += p.cpu_time;
+            rows[i].memory_accesses += p.memory_accesses;
+            rows[i].invocations += 1;
         }
-        let mut rows: Vec<_> = map.into_values().collect();
-        rows.sort_by(|a, b| b.time.partial_cmp(&a.time).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| {
+            b.time
+                .partial_cmp(&a.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         rows
     }
 }
@@ -156,7 +167,7 @@ mod tests {
         assert_eq!(rows[0].name, "Conv2DBackpropFilter");
         let by_mem = {
             let mut r = rows.clone();
-            r.sort_by(|a, b| b.memory_accesses.cmp(&a.memory_accesses));
+            r.sort_by_key(|x| std::cmp::Reverse(x.memory_accesses));
             r
         };
         assert_eq!(by_mem[0].name, "Conv2DBackpropFilter");
@@ -179,7 +190,7 @@ mod tests {
         let rows = profile.by_name();
         let top5_mem: u64 = {
             let mut r = rows.clone();
-            r.sort_by(|a, b| b.memory_accesses.cmp(&a.memory_accesses));
+            r.sort_by_key(|x| std::cmp::Reverse(x.memory_accesses));
             r.iter().take(5).map(|x| x.memory_accesses).sum()
         };
         let share = top5_mem as f64 / profile.total_memory_accesses() as f64;

@@ -184,10 +184,7 @@ mod tests {
         let c = select_candidates(&p, 0.90);
         let first = c.ranked[0];
         let name = p.ops[first.index()].name;
-        assert!(
-            name.starts_with("Conv2D"),
-            "top candidate was {name}"
-        );
+        assert!(name.starts_with("Conv2D"), "top candidate was {name}");
     }
 
     #[test]
@@ -209,13 +206,9 @@ mod tests {
         assert!(target > 0);
         // The heavy backprop convs land in the offload-target quadrant
         // (early layers; the smallest instances can fall below threshold).
-        let bpf_in_target = classes
-            .iter()
-            .zip(&p.ops)
-            .any(|((_, c), op)| {
-                op.name == "Conv2DBackpropFilter"
-                    && *c == OpClass::ComputeAndMemoryIntensive
-            });
+        let bpf_in_target = classes.iter().zip(&p.ops).any(|((_, c), op)| {
+            op.name == "Conv2DBackpropFilter" && *c == OpClass::ComputeAndMemoryIntensive
+        });
         assert!(bpf_in_target);
     }
 }

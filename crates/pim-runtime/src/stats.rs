@@ -9,6 +9,135 @@ use std::collections::BTreeMap;
 /// configuration — the paper evaluates full-system power (§V-B).
 pub const BASE_SYSTEM_POWER: Watts = Watts::new(30.0);
 
+/// Idle power of the host package while an accelerator executes (uncore +
+/// cores in shallow sleep, still running the framework runtime). Charged by
+/// every configuration that keeps the host out of the compute path —
+/// CPU-only runs bill the CPU per op instead.
+pub const HOST_IDLE_POWER: Watts = Watts::new(40.0);
+
+/// Normalizes raw breakdown sums so `op + dm + sync == makespan` exactly.
+///
+/// Raw per-op part sums generally overcount the makespan whenever execution
+/// overlaps ops; rescaling preserves their ratios while making the
+/// breakdown partition the measured wall-clock.
+pub fn normalized_parts(
+    makespan: Seconds,
+    op_raw: Seconds,
+    dm_raw: Seconds,
+    sync_raw: Seconds,
+) -> (Seconds, Seconds, Seconds) {
+    let total = (op_raw + dm_raw + sync_raw).seconds();
+    if total <= 0.0 {
+        return (makespan, Seconds::ZERO, Seconds::ZERO);
+    }
+    let scale = makespan.seconds() / total;
+    let op = op_raw * scale;
+    let dm = dm_raw * scale;
+    (op, dm, makespan - op - dm)
+}
+
+/// The single constructor of [`ExecutionReport`].
+///
+/// Every simulation path — the engine's event core and the analytic
+/// GPU/Neurocube baselines — builds its report here, so the full-system
+/// energy accounting ([`BASE_SYSTEM_POWER`], [`HOST_IDLE_POWER`]) and the
+/// breakdown normalization are applied uniformly and exactly once.
+#[derive(Debug, Clone)]
+pub struct ReportBuilder {
+    system: String,
+    steps: usize,
+    makespan: Seconds,
+    op_raw: Seconds,
+    dm_raw: Seconds,
+    sync_raw: Seconds,
+    energy: Joules,
+    charge_host_idle: bool,
+    ff_utilization: f64,
+    device_busy: BTreeMap<String, Seconds>,
+}
+
+impl ReportBuilder {
+    /// Starts a report for one system configuration.
+    pub fn new(system: impl Into<String>, steps: usize) -> Self {
+        ReportBuilder {
+            system: system.into(),
+            steps,
+            makespan: Seconds::ZERO,
+            op_raw: Seconds::ZERO,
+            dm_raw: Seconds::ZERO,
+            sync_raw: Seconds::ZERO,
+            energy: Joules::ZERO,
+            charge_host_idle: false,
+            ff_utilization: 0.0,
+            device_busy: BTreeMap::new(),
+        }
+    }
+
+    /// End-to-end simulated time.
+    pub fn makespan(mut self, makespan: Seconds) -> Self {
+        self.makespan = makespan;
+        self
+    }
+
+    /// Raw (pre-normalization) breakdown sums; [`Self::build`] rescales
+    /// them so they partition the makespan exactly.
+    pub fn raw_parts(mut self, op: Seconds, dm: Seconds, sync: Seconds) -> Self {
+        self.op_raw = op;
+        self.dm_raw = dm;
+        self.sync_raw = sync;
+        self
+    }
+
+    /// Dynamic energy of the compute devices and memory paths alone; base
+    /// system power and host idle power are added by [`Self::build`].
+    pub fn device_energy(mut self, energy: Joules) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Charges [`HOST_IDLE_POWER`] over the makespan (configurations whose
+    /// host package idles while an accelerator computes).
+    pub fn charge_host_idle(mut self) -> Self {
+        self.charge_host_idle = true;
+        self
+    }
+
+    /// Average fixed-function pool utilization over the makespan.
+    pub fn ff_utilization(mut self, utilization: f64) -> Self {
+        self.ff_utilization = utilization;
+        self
+    }
+
+    /// Records one device's busy time.
+    pub fn device_busy(mut self, name: impl Into<String>, busy: Seconds) -> Self {
+        self.device_busy.insert(name.into(), busy);
+        self
+    }
+
+    /// Finalizes the report: normalizes the breakdown and applies the
+    /// full-system energy accounting.
+    pub fn build(self) -> ExecutionReport {
+        let (op, dm, sync) =
+            normalized_parts(self.makespan, self.op_raw, self.dm_raw, self.sync_raw);
+        let host_idle = if self.charge_host_idle {
+            HOST_IDLE_POWER * self.makespan
+        } else {
+            Joules::ZERO
+        };
+        ExecutionReport {
+            system: self.system,
+            steps: self.steps,
+            makespan: self.makespan,
+            op_time: op,
+            data_movement_time: dm,
+            sync_time: sync,
+            dynamic_energy: self.energy + BASE_SYSTEM_POWER * self.makespan + host_idle,
+            ff_utilization: self.ff_utilization,
+            device_busy: self.device_busy,
+        }
+    }
+}
+
 /// Result of simulating a training run on one system configuration.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExecutionReport {
@@ -72,8 +201,7 @@ impl ExecutionReport {
 
     /// Breakdown fractions `(op, data movement, sync)` summing to 1.
     pub fn breakdown_fractions(&self) -> (f64, f64, f64) {
-        let total =
-            self.op_time + self.data_movement_time + self.sync_time;
+        let total = self.op_time + self.data_movement_time + self.sync_time;
         if total.seconds() == 0.0 {
             return (1.0, 0.0, 0.0);
         }
@@ -139,5 +267,47 @@ mod tests {
         let mut r = report();
         r.op_time = Seconds::new(100.0);
         assert!(!r.is_well_formed());
+    }
+
+    #[test]
+    fn normalized_parts_partition_the_makespan_exactly() {
+        let (op, dm, sync) = normalized_parts(
+            Seconds::new(10.0),
+            Seconds::new(6.0),
+            Seconds::new(3.0),
+            Seconds::new(3.0),
+        );
+        assert_eq!((op + dm + sync).seconds(), 10.0);
+        assert!((op.seconds() - 5.0).abs() < 1e-12);
+        // Degenerate raw sums collapse to pure op time.
+        let (op, dm, sync) = normalized_parts(
+            Seconds::new(2.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+            Seconds::ZERO,
+        );
+        assert_eq!(op, Seconds::new(2.0));
+        assert_eq!(dm + sync, Seconds::ZERO);
+    }
+
+    #[test]
+    fn builder_applies_full_system_energy_accounting() {
+        let r = ReportBuilder::new("test", 2)
+            .makespan(Seconds::new(4.0))
+            .raw_parts(Seconds::new(2.0), Seconds::new(1.0), Seconds::new(1.0))
+            .device_energy(Joules::new(100.0))
+            .charge_host_idle()
+            .ff_utilization(0.5)
+            .device_busy("Dev", Seconds::new(4.0))
+            .build();
+        assert!(r.is_well_formed());
+        // 100 J device + (30 W + 40 W) * 4 s full-system overhead.
+        assert_eq!(r.dynamic_energy, Joules::new(100.0 + 70.0 * 4.0));
+        assert_eq!(r.device_busy["Dev"], Seconds::new(4.0));
+        let without_idle = ReportBuilder::new("test", 2)
+            .makespan(Seconds::new(4.0))
+            .device_energy(Joules::new(100.0))
+            .build();
+        assert_eq!(without_idle.dynamic_energy, Joules::new(100.0 + 30.0 * 4.0));
     }
 }

@@ -18,13 +18,7 @@ use proptest::prelude::*;
 fn random_dag(layers: usize, width: usize, seed: u64) -> Graph {
     let mut g = Graph::new();
     let mut frontier: Vec<_> = (0..width)
-        .map(|i| {
-            g.add_tensor(
-                Shape::new(vec![8, 8]),
-                TensorRole::Input,
-                format!("in{i}"),
-            )
-        })
+        .map(|i| g.add_tensor(Shape::new(vec![8, 8]), TensorRole::Input, format!("in{i}")))
         .collect();
     let mut state = seed | 1;
     let mut next = move |m: usize| {
@@ -213,12 +207,9 @@ fn timeline_respects_resource_exclusivity() {
         }
         peak.max(0) as usize
     };
-    let uses_cpu = |r: ResourceClass| {
-        matches!(r, ResourceClass::Cpu | ResourceClass::CpuAndFixed)
-    };
-    let uses_progr = |r: ResourceClass| {
-        matches!(r, ResourceClass::Progr | ResourceClass::ProgrAndFixed)
-    };
+    let uses_cpu = |r: ResourceClass| matches!(r, ResourceClass::Cpu | ResourceClass::CpuAndFixed);
+    let uses_progr =
+        |r: ResourceClass| matches!(r, ResourceClass::Progr | ResourceClass::ProgrAndFixed);
     assert!(overlaps(uses_cpu) <= 1, "CPU slot double-booked");
     assert!(overlaps(uses_progr) <= 2, "progr slots over-subscribed");
 }

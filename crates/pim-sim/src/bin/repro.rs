@@ -7,25 +7,37 @@
 use pim_sim::configs::table_iv_rows;
 use pim_sim::experiments;
 
+type Section = (&'static str, fn() -> pim_common::Result<String>);
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let run = |name: &str, f: fn() -> pim_common::Result<String>| {
-        if which == name || which == "all" {
-            match f() {
-                Ok(text) => println!("{text}"),
-                Err(e) => eprintln!("{name} failed: {e}"),
-            }
+    let sections: [Section; 9] = [
+        ("table1", experiments::table1),
+        ("fig2", experiments::fig2),
+        ("fig8", experiments::fig8_fig9),
+        ("fig10", experiments::fig10),
+        ("fig11", experiments::fig11_fig17),
+        ("fig12", experiments::fig12),
+        ("fig13", experiments::fig13_fig14_fig15),
+        ("fig16", experiments::fig16),
+        ("ablations", experiments::ablations),
+    ];
+    let selected: Vec<_> = sections
+        .iter()
+        .filter(|(name, _)| which == *name || which == "all")
+        .collect();
+    // The figures are independent simulations: sweep them across threads
+    // (pim-runtime's `parallel` feature; serial without it) and print in
+    // the fixed section order so the output stays deterministic.
+    for ((name, _), result) in selected
+        .iter()
+        .zip(pim_runtime::par::par_map(&selected, |(_, f)| f()))
+    {
+        match result {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("{name} failed: {e}"),
         }
-    };
-    run("table1", experiments::table1);
-    run("fig2", experiments::fig2);
-    run("fig8", experiments::fig8_fig9);
-    run("fig10", experiments::fig10);
-    run("fig11", experiments::fig11_fig17);
-    run("fig12", experiments::fig12);
-    run("fig13", experiments::fig13_fig14_fig15);
-    run("fig16", experiments::fig16);
-    run("ablations", experiments::ablations);
+    }
     if which == "schedule" {
         // Placement preview for one model: `repro schedule [vgg|alex|...]`.
         use pim_models::{Model, ModelKind};
@@ -50,7 +62,11 @@ fn main() {
                         r.op.to_string(),
                         r.name,
                         r.seconds,
-                        if r.candidate { "[candidate]" } else { "           " },
+                        if r.candidate {
+                            "[candidate]"
+                        } else {
+                            "           "
+                        },
                         r.placement,
                     );
                 }

@@ -108,10 +108,7 @@ pub fn simulate(model: &Model, config: &SystemConfig, steps: usize) -> Result<Ex
 /// # Errors
 ///
 /// Propagates engine failures.
-pub fn simulate_graph_hetero(
-    graph: &pim_graph::Graph,
-    steps: usize,
-) -> Result<ExecutionReport> {
+pub fn simulate_graph_hetero(graph: &pim_graph::Graph, steps: usize) -> Result<ExecutionReport> {
     Engine::new(EngineConfig::hetero()).run(&[WorkloadSpec {
         graph,
         steps,
@@ -129,7 +126,10 @@ pub fn table_iv_rows() -> Vec<(&'static str, &'static str)> {
         ("GPU cores", "28 SMs, 128 CUDA cores per SM, 1.5GHz"),
         ("L1 cache", "24KB per SM"),
         ("L2 cache", "4096KB"),
-        ("Memory interface", "8 memory controllers, 352-bit bus width"),
+        (
+            "Memory interface",
+            "8 memory controllers, 352-bit bus width",
+        ),
         ("GPU main memory", "11GB GDDR5X"),
     ]
 }
@@ -153,7 +153,11 @@ mod tests {
     fn hetero_is_fastest_pim_configuration() {
         let model = Model::build_with_batch(ModelKind::AlexNet, 8).unwrap();
         let hetero = simulate(&model, &SystemConfig::hetero_pim(), 2).unwrap();
-        for config in [SystemConfig::Cpu, SystemConfig::ProgrPim, SystemConfig::FixedPim] {
+        for config in [
+            SystemConfig::Cpu,
+            SystemConfig::ProgrPim,
+            SystemConfig::FixedPim,
+        ] {
             let r = simulate(&model, &config, 2).unwrap();
             assert!(
                 r.makespan > hetero.makespan,

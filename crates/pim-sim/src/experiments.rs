@@ -52,7 +52,7 @@ pub fn table1() -> Result<String> {
             .ok();
         }
         let mut by_mem = rows.clone();
-        by_mem.sort_by(|a, b| b.memory_accesses.cmp(&a.memory_accesses));
+        by_mem.sort_by_key(|r| std::cmp::Reverse(r.memory_accesses));
         writeln!(out, "Top 5 MI ops                    Mem%    #Inv").ok();
         for r in by_mem.iter().take(5) {
             writeln!(
@@ -143,7 +143,11 @@ pub fn fig8_fig9() -> Result<String> {
 /// Propagates simulation failures.
 pub fn fig10() -> Result<String> {
     let mut out = String::new();
-    writeln!(out, "Fig. 10: Neurocube / Hetero PIM (time and energy ratios)").ok();
+    writeln!(
+        out,
+        "Fig. 10: Neurocube / Hetero PIM (time and energy ratios)"
+    )
+    .ok();
     for kind in ModelKind::CNNS {
         let model = Model::build(kind)?;
         let hetero = simulate(&model, &SystemConfig::hetero_pim(), STEPS)?;
@@ -192,10 +196,7 @@ pub fn fig11_fig17() -> Result<String> {
                 mult,
                 r.per_step_time().seconds(),
                 100.0 * (gpu.per_step_time() / r.per_step_time() - 1.0),
-                edp(
-                    r.dynamic_energy / STEPS as f64,
-                    r.per_step_time()
-                ),
+                edp(r.dynamic_energy / STEPS as f64, r.per_step_time()),
                 r.average_power().watts(),
             )
             .ok();

@@ -4,20 +4,20 @@
 //! model-specific average utilization the paper measured, plus the
 //! step-level effects it discusses: unhidden minibatch staging over PCIe
 //! and working-set spill when the training footprint exceeds device memory
-//! (the ResNet-50 case).
+//! (the ResNet-50 case). The kernel stream itself runs through the shared
+//! event core (`run_device_serial`) via the [`AnalyticGpu`] device, so the
+//! GPU's report comes from the same measurement path as every other
+//! configuration.
 
-use pim_common::units::{Bytes, Joules, Seconds};
+use pim_common::units::Bytes;
 use pim_common::Result;
 use pim_graph::cost::graph_costs;
 use pim_graph::{Graph, TensorRole};
+use pim_hw::device::AnalyticGpu;
 use pim_hw::gpu::GpuDevice;
 use pim_models::Model;
-use pim_runtime::stats::{ExecutionReport, BASE_SYSTEM_POWER};
-use std::collections::BTreeMap;
-
-/// Host idle power while the GPU trains (mirrors the PIM configurations'
-/// full-system accounting).
-const HOST_IDLE_POWER: pim_common::units::Watts = pim_common::units::Watts::new(40.0);
+use pim_runtime::engine::{run_device_serial, DeviceRun, NullSink};
+use pim_runtime::stats::ExecutionReport;
 
 /// Fraction of per-tensor activation footprint that TensorFlow's buffer
 /// reuse eliminates from the live working set.
@@ -56,46 +56,27 @@ pub fn simulate_gpu(model: &Model, gpu: &GpuDevice, steps: usize) -> Result<Exec
     let graph = model.graph();
     let utilization = model.kind().gpu_utilization().unwrap_or(0.5);
     let costs = graph_costs(graph)?;
+    let device = AnalyticGpu::new(gpu.clone(), utilization);
 
-    let mut compute = Seconds::ZERO;
-    let mut memory_excess = Seconds::ZERO;
-    let mut launch = Seconds::ZERO;
-    let mut energy = Joules::ZERO;
-    for cost in &costs {
-        let est = gpu.estimate_op(cost, utilization);
-        compute += est.compute_time;
-        memory_excess += (est.memory_time - est.compute_time).max(Seconds::ZERO);
-        launch += est.dispatch_time;
-        energy += est.energy;
-    }
+    // Step-level PCIe effects outside the kernel stream: minibatch staging,
+    // working-set spill (billed as data movement), and the transfer energy
+    // for everything crossing the link (spilled bytes cross twice).
     let staging = gpu.staging_time(minibatch_bytes(graph));
     let spill = gpu.spill_time(working_set(graph));
     let pcie_volume = minibatch_bytes(graph)
         + Bytes::new((working_set(graph).bytes() - gpu.capacity().bytes()).max(0.0) * 2.0);
 
-    let per_step = compute + memory_excess + launch + staging + spill;
-    let makespan = per_step * steps as f64;
-    let op_time = compute * steps as f64;
-    let dm = (memory_excess + staging + spill) * steps as f64;
-    let sync = launch * steps as f64;
-    let transfer_energy = gpu.transfer_energy(pcie_volume) * steps as f64;
-
-    let mut device_busy = BTreeMap::new();
-    device_busy.insert("GPU".to_string(), makespan);
-    Ok(ExecutionReport {
-        system: "GPU".to_string(),
-        steps,
-        makespan,
-        op_time,
-        data_movement_time: dm,
-        sync_time: sync,
-        dynamic_energy: energy * steps as f64
-            + transfer_energy
-            + BASE_SYSTEM_POWER * makespan
-            + HOST_IDLE_POWER * makespan,
-        ff_utilization: 0.0,
-        device_busy,
-    })
+    Ok(run_device_serial(
+        &DeviceRun {
+            system: "GPU",
+            device: &device,
+            costs: &costs,
+            steps,
+            step_epilogue_dm: staging + spill,
+            step_epilogue_energy: gpu.transfer_energy(pcie_volume),
+        },
+        &mut NullSink,
+    ))
 }
 
 #[cfg(test)]

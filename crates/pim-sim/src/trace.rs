@@ -151,8 +151,8 @@ impl Trace {
                 return Err(fail("truncated record body"));
             }
             let name_bytes = buf.copy_to_bytes(name_len);
-            let name = String::from_utf8(name_bytes.to_vec())
-                .map_err(|_| fail("non-utf8 op name"))?;
+            let name =
+                String::from_utf8(name_bytes.to_vec()).map_err(|_| fail("non-utf8 op name"))?;
             records.push(TraceRecord {
                 op_index,
                 name,

@@ -303,11 +303,7 @@ mod tests {
 
     #[test]
     fn merge_degrades_pattern() {
-        let mut a = CostProfile::movement(
-            Bytes::new(64.0),
-            Bytes::ZERO,
-            AccessPattern::Sequential,
-        );
+        let mut a = CostProfile::movement(Bytes::new(64.0), Bytes::ZERO, AccessPattern::Sequential);
         let b = CostProfile::movement(Bytes::new(64.0), Bytes::ZERO, AccessPattern::Random);
         a.merge(&b);
         assert_eq!(a.pattern, AccessPattern::Random);

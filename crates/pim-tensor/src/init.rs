@@ -23,7 +23,12 @@ pub fn uniform(shape: Shape, limit: f32, rng: &mut impl RngExt) -> Tensor {
 /// let w = glorot_uniform(Shape::new(vec![64, 32]), 32, 64, &mut rng);
 /// assert!(w.data().iter().all(|v| v.abs() <= 0.25 + 1e-6));
 /// ```
-pub fn glorot_uniform(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut impl RngExt) -> Tensor {
+pub fn glorot_uniform(
+    shape: Shape,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl RngExt,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, limit, rng)
 }

@@ -13,9 +13,9 @@ use pim_common::{PimError, Result};
 /// Number of channel positions and the per-channel extent for a tensor:
 /// channels are axis 1 for NCHW, the last axis for matrices.
 fn channel_layout(shape: &Shape) -> Result<(usize, usize, bool)> {
-    match shape.dims() {
-        &[_, c, _, _] => Ok((c, shape.numel() / c, true)),
-        &[_, c] => Ok((c, shape.numel() / c, false)),
+    match *shape.dims() {
+        [_, c, _, _] => Ok((c, shape.numel() / c, true)),
+        [_, c] => Ok((c, shape.numel() / c, false)),
         _ => Err(PimError::ShapeMismatch {
             context: "bias channel layout",
             expected: vec![2, 4],
@@ -185,11 +185,7 @@ mod tests {
 
     #[test]
     fn grad_sums_over_batch() {
-        let g = Tensor::from_vec(
-            Shape::new(vec![2, 2]),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let g = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let gb = bias_add_grad(&g).unwrap();
         assert_eq!(gb.data(), &[4.0, 6.0]);
     }

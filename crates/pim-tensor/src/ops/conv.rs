@@ -303,17 +303,17 @@ pub fn conv2d_backprop_filter_cost(
     let macs = conv_macs(n, c, f, oh, ow, geom);
     let muls = macs;
     let adds = macs; // scatter accumulation adds once per MAC
-    // Phases 1-2 of the paper's Fig. 6: per-tile index transforms and
-    // boundary setup, amortized over the window (not per MAC) — the
-    // non-mul/add reason this op needs the recursive-kernel mechanism.
+                     // Phases 1-2 of the paper's Fig. 6: per-tile index transforms and
+                     // boundary setup, amortized over the window (not per MAC) — the
+                     // non-mul/add reason this op needs the recursive-kernel mechanism.
     let other = 0.0015 * macs;
     let out_grad_elems = n as f64 * f as f64 * oh as f64 * ow as f64;
     // The filter gradient re-reads the im2col-lowered input *and* the
     // output gradient across the accumulation, and the partial filter sums
     // spill: traffic exceeds even the forward pass, matching this op's top
     // memory-intensity rank in Table I.
-    let reads = input.numel() as f64 * 4.0 * (IM2COL_AMPLIFICATION + 1.0)
-        + out_grad_elems * 4.0 * 2.0;
+    let reads =
+        input.numel() as f64 * 4.0 * (IM2COL_AMPLIFICATION + 1.0) + out_grad_elems * 4.0 * 2.0;
     let writes = filter.numel() as f64 * 4.0 * 2.0 + out_grad_elems * 4.0 * 0.5;
     let ma = muls + adds;
     Ok(CostProfile::compute(
@@ -345,8 +345,7 @@ pub fn conv2d_backprop_input_cost(
     let adds = macs;
     let other = 0.001 * macs;
     let out_grad_elems = n as f64 * f as f64 * oh as f64 * ow as f64;
-    let reads =
-        filter.numel() as f64 * 4.0 + out_grad_elems * 4.0 * IM2COL_AMPLIFICATION;
+    let reads = filter.numel() as f64 * 4.0 + out_grad_elems * 4.0 * IM2COL_AMPLIFICATION;
     let writes = input.numel() as f64 * 4.0 * 1.5;
     let ma = muls + adds;
     Ok(CostProfile::compute(
@@ -423,8 +422,7 @@ mod tests {
         // Loss = sum of outputs, so grad_output = ones.
         let out = conv2d(&input, &filter, geom).unwrap();
         let grad_out = Tensor::full(out.shape().clone(), 1.0);
-        let analytic =
-            conv2d_backprop_filter(&input, &grad_out, filter.shape(), geom).unwrap();
+        let analytic = conv2d_backprop_filter(&input, &grad_out, filter.shape(), geom).unwrap();
 
         let eps = 1e-2f32;
         for idx in 0..filter.numel() {
@@ -450,8 +448,7 @@ mod tests {
         let filter = Tensor::from_fn(Shape::new(vec![2, 1, 2, 2]), |i| (i % 5) as f32 * 0.1);
         let out = conv2d(&input, &filter, geom).unwrap();
         let grad_out = Tensor::full(out.shape().clone(), 1.0);
-        let analytic =
-            conv2d_backprop_input(input.shape(), &filter, &grad_out, geom).unwrap();
+        let analytic = conv2d_backprop_input(input.shape(), &filter, &grad_out, geom).unwrap();
 
         let eps = 1e-2f32;
         for idx in 0..input.numel() {

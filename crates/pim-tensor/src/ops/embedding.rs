@@ -90,11 +90,7 @@ pub fn embedding_grad(
 /// Analytic cost of the lookup: random-pattern reads of the selected rows.
 pub fn embedding_lookup_cost(dim: usize, batch: usize) -> CostProfile {
     let moved = (dim * batch) as f64 * 4.0;
-    CostProfile::movement(
-        Bytes::new(moved),
-        Bytes::new(moved),
-        AccessPattern::Random,
-    )
+    CostProfile::movement(Bytes::new(moved), Bytes::new(moved), AccessPattern::Random)
 }
 
 /// Analytic cost of the scatter gradient: random-pattern read-modify-write

@@ -77,9 +77,7 @@ pub fn conv2d_gemm(input: &Tensor, filter: &Tensor, geom: ConvGeometry) -> Resul
     let (oh, ow) = geom.output_hw(h, w);
     let unfolded = im2col(input, geom)?;
     // Filters flatten to [f, c*kh*kw]; GEMM gives [f, n*oh*ow].
-    let filter_mat = filter
-        .clone()
-        .reshaped(Shape::new(vec![f, fc * kh * kw]))?;
+    let filter_mat = filter.clone().reshaped(Shape::new(vec![f, fc * kh * kw]))?;
     let gemm = matmul(&filter_mat, &unfolded, Transpose::NONE)?;
     // Rearrange [f, n*oh*ow] -> [n, f, oh, ow].
     let mut out = Tensor::zeros(Shape::new(vec![n, f, oh, ow]));
@@ -120,7 +118,9 @@ mod tests {
     #[test]
     fn gemm_path_matches_direct_convolution() {
         let geom = ConvGeometry::square(3, 1, 1);
-        let input = Tensor::from_fn(Shape::new(vec![2, 3, 6, 6]), |i| ((i * 7) % 13) as f32 * 0.1);
+        let input = Tensor::from_fn(Shape::new(vec![2, 3, 6, 6]), |i| {
+            ((i * 7) % 13) as f32 * 0.1
+        });
         let filter = Tensor::from_fn(Shape::new(vec![4, 3, 3, 3]), |i| ((i * 5) % 9) as f32 * 0.2);
         let direct = conv2d(&input, &filter, geom).unwrap();
         let gemm = conv2d_gemm(&input, &filter, geom).unwrap();

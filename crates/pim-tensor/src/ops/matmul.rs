@@ -7,7 +7,9 @@ use pim_common::units::Bytes;
 use pim_common::{PimError, Result};
 
 /// Whether an operand is used transposed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Transpose {
     /// Transpose the left operand.
     pub a: bool,
@@ -141,13 +143,16 @@ mod tests {
     #[test]
     fn identity_is_neutral() {
         let a = Tensor::from_fn(Shape::new(vec![3, 3]), |i| i as f32);
-        let id = Tensor::from_fn(Shape::new(vec![3, 3]), |i| {
-            if i % 4 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let id = Tensor::from_fn(
+            Shape::new(vec![3, 3]),
+            |i| {
+                if i % 4 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let c = matmul(&a, &id, Transpose::NONE).unwrap();
         assert_eq!(c, a);
     }

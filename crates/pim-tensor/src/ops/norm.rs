@@ -62,7 +62,13 @@ pub fn batch_norm(input: &Tensor, epsilon: f32) -> Result<(Tensor, Vec<f32>, Vec
             let inv_std = 1.0 / (var[ci] + epsilon).sqrt();
             for hi in 0..h {
                 for wi in 0..w {
-                    out.set4(ni, ci, hi, wi, (input.at4(ni, ci, hi, wi) - mean[ci]) * inv_std);
+                    out.set4(
+                        ni,
+                        ci,
+                        hi,
+                        wi,
+                        (input.at4(ni, ci, hi, wi) - mean[ci]) * inv_std,
+                    );
                 }
             }
         }

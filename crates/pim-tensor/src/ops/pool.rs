@@ -243,11 +243,8 @@ mod tests {
 
     #[test]
     fn avg_pool_averages() {
-        let input = Tensor::from_vec(
-            Shape::new(vec![1, 1, 2, 2]),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(Shape::new(vec![1, 1, 2, 2]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = avg_pool(&input, ConvGeometry::square(2, 2, 0)).unwrap();
         assert_eq!(out.data(), &[2.5]);
     }

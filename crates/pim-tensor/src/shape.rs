@@ -163,8 +163,14 @@ impl ConvGeometry {
     ///
     /// Panics in debug builds if the kernel does not fit in the padded input.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        debug_assert!(h + 2 * self.pad_h >= self.kernel_h, "kernel taller than input");
-        debug_assert!(w + 2 * self.pad_w >= self.kernel_w, "kernel wider than input");
+        debug_assert!(
+            h + 2 * self.pad_h >= self.kernel_h,
+            "kernel taller than input"
+        );
+        debug_assert!(
+            w + 2 * self.pad_w >= self.kernel_w,
+            "kernel wider than input"
+        );
         (
             (h + 2 * self.pad_h - self.kernel_h) / self.stride_h + 1,
             (w + 2 * self.pad_w - self.kernel_w) / self.stride_w + 1,
@@ -214,7 +220,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(Shape::new(vec![32, 3, 224, 224]).to_string(), "[32x3x224x224]");
+        assert_eq!(
+            Shape::new(vec![32, 3, 224, 224]).to_string(),
+            "[32x3x224x224]"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use hetero_pim::runtime::engine::{Engine, EngineConfig, WorkloadSpec};
 fn main() -> pim_common::Result<()> {
     // 1. Area: how many fixed-function units fit beside the ARM cores?
     let budget = LogicDieBudget::paper_baseline();
-    println!("logic-die design space ({} mm2 for compute):", budget.compute_area_mm2);
+    println!(
+        "logic-die design space ({} mm2 for compute):",
+        budget.compute_area_mm2
+    );
     for cores in [1usize, 4, 16] {
         let units = budget.max_ff_units(cores)?;
         println!(

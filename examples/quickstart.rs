@@ -15,7 +15,10 @@ fn main() -> pim_common::Result<()> {
         model.graph().parameter_bytes() as f64 / 4e6,
     );
 
-    println!("{:<12} {:>12} {:>12} {:>10}", "system", "s/step", "J/step", "FF util");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "system", "s/step", "J/step", "FF util"
+    );
     let mut hetero_step = None;
     for config in SystemConfig::evaluation_set() {
         let report = simulate(&model, &config, 3)?;

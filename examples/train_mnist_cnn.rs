@@ -45,7 +45,10 @@ fn main() -> pim_common::Result<()> {
         ..AdamParams::default()
     });
 
-    println!("training a {}-op graph with the eager executor:", graph.op_count());
+    println!(
+        "training a {}-op graph with the eager executor:",
+        graph.op_count()
+    );
     let mut first = None;
     let mut last = 0.0;
     for step in 0..60 {
@@ -62,7 +65,10 @@ fn main() -> pim_common::Result<()> {
         last = loss;
     }
     let first = first.unwrap();
-    println!("loss {first:.4} -> {last:.4} ({:.0}% reduction)\n", 100.0 * (1.0 - last / first));
+    println!(
+        "loss {first:.4} -> {last:.4} ({:.0}% reduction)\n",
+        100.0 * (1.0 - last / first)
+    );
     assert!(last < first * 0.5, "training must reduce the loss");
 
     // Now hand the very same training-step graph to the PIM simulator.

@@ -123,7 +123,11 @@ fn neurocube_comparison_matches_figure_10() {
         // Energy: >=3x everywhere except ResNet-50, whose huge batch keeps
         // Neurocube's memory-side energy competitive in our model (2.2x;
         // recorded in EXPERIMENTS.md).
-        let floor = if kind == ModelKind::ResNet50 { 2.0 } else { 3.0 };
+        let floor = if kind == ModelKind::ResNet50 {
+            2.0
+        } else {
+            3.0
+        };
         assert!(
             nc.dynamic_energy / hetero.dynamic_energy >= floor,
             "{kind} energy"
@@ -140,7 +144,10 @@ fn frequency_scaling_matches_figure_11() {
         let base = step_seconds(kind, &SystemConfig::hetero_pim());
         let x2 = step_seconds(kind, &SystemConfig::hetero_pim_at_frequency(2.0).unwrap());
         let x4 = step_seconds(kind, &SystemConfig::hetero_pim_at_frequency(4.0).unwrap());
-        assert!(x2 < base && x4 < x2, "{kind}: scaling must monotonically help");
+        assert!(
+            x2 < base && x4 < x2,
+            "{kind}: scaling must monotonically help"
+        );
         assert!(x2 < gpu, "{kind}: 2x must beat the GPU");
         assert!(x4 < gpu, "{kind}: 4x must beat the GPU");
     }

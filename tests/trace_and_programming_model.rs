@@ -26,10 +26,7 @@ fn traces_roundtrip_for_every_model() {
         let decoded = Trace::decode(trace.encode()).unwrap();
         assert_eq!(decoded, trace, "{kind}");
         for rec in &decoded.records {
-            let node = model
-                .graph()
-                .op(OpId::new(rec.op_index as usize))
-                .unwrap();
+            let node = model.graph().op(OpId::new(rec.op_index as usize)).unwrap();
             let direct = op_cost(model.graph(), node).unwrap();
             let replayed = rec.to_cost();
             assert_eq!(replayed.memory_accesses(), direct.memory_accesses());

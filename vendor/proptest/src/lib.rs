@@ -285,8 +285,9 @@ mod tests {
     #[test]
     fn failing_case_panics_with_message() {
         let result = std::panic::catch_unwind(|| {
+            // No `#[test]` on the inner fn: attributes pass through the
+            // macro, and test attributes are not allowed on inner items.
             proptest! {
-                #[test]
                 fn always_fails(x in 0usize..4) {
                     prop_assert!(x > 100, "x was only {}", x);
                 }
