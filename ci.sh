@@ -1,9 +1,25 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the test suite.
+# Local CI gate: formatting, lints, docs, tests, static verification, and
+# a determinism check on the paper-reproduction sweep.
 # Run from the repository root before pushing.
 set -euo pipefail
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 cargo test -q
 cargo test --workspace -q
+
+# Static checker: every model graph, binary set, schedule, and report must
+# come back with zero error-severity diagnostics (exit code gates).
+cargo run --release -q -p pim-verify -- --all-models --format json > /dev/null
+
+# Determinism: the full reproduction sweep must be byte-identical across
+# runs (the simulator owns all its randomness).
+repro_a=$(mktemp) repro_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b"' EXIT
+cargo run --release -q -p pim-sim --bin repro -- all > "$repro_a"
+cargo run --release -q -p pim-sim --bin repro -- all > "$repro_b"
+diff "$repro_a" "$repro_b"
+
+echo "ci: all checks passed"

@@ -66,6 +66,17 @@ pub enum PimError {
         /// Amount available.
         available: f64,
     },
+    /// A generated binary referenced a fixed-function kernel index that
+    /// does not exist in its companion kernel list — caught at
+    /// binary-generation time instead of faulting at execution.
+    KernelIndexOutOfBounds {
+        /// The kernel whose body holds the bad call site.
+        kernel: String,
+        /// The out-of-bounds index.
+        index: usize,
+        /// Number of extracted fixed-function kernels actually available.
+        available: usize,
+    },
     /// The simulator reached an inconsistent state (a bug, not user error).
     Internal {
         /// Description of the invariant that failed.
@@ -103,6 +114,15 @@ impl fmt::Display for PimError {
             } => write!(
                 f,
                 "resource {resource} exhausted: requested {requested}, available {available}"
+            ),
+            PimError::KernelIndexOutOfBounds {
+                kernel,
+                index,
+                available,
+            } => write!(
+                f,
+                "kernel {kernel} calls fixed-function kernel {index}, \
+                 but only {available} were extracted"
             ),
             PimError::Internal { message } => write!(f, "internal error: {message}"),
         }
@@ -151,6 +171,19 @@ mod tests {
     fn debug_is_nonempty() {
         let err = PimError::internal("boom");
         assert!(!format!("{err:?}").is_empty());
+    }
+
+    #[test]
+    fn kernel_index_display_names_kernel_and_bounds() {
+        let err = PimError::KernelIndexOutOfBounds {
+            kernel: "Conv2D_progr".to_string(),
+            index: 3,
+            available: 1,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Conv2D_progr"));
+        assert!(text.contains('3'));
+        assert!(text.contains("only 1"));
     }
 
     #[test]

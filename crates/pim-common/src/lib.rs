@@ -6,7 +6,8 @@
 //!
 //! * strongly typed identifiers ([`ids`]),
 //! * physical units with unit-safe arithmetic ([`units`]),
-//! * the common error type ([`error`]).
+//! * the common error type ([`error`]),
+//! * structured analysis diagnostics ([`diag`]).
 //!
 //! # Examples
 //!
@@ -20,8 +21,10 @@
 //! ```
 
 pub mod access;
+pub mod diag;
 pub mod error;
 pub mod ids;
 pub mod units;
 
+pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::{PimError, Result};

@@ -122,7 +122,17 @@ pub struct Executor {
 impl Executor {
     /// Creates an executor for `graph`, initializing every parameter tensor
     /// with Glorot-uniform values from a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds — or with the `verify` feature enabled — panics if
+    /// the graph fails [`Graph::validate`]: an ill-formed graph would
+    /// otherwise only surface as a confusing mid-step execution error.
     pub fn new(graph: &Graph, seed: u64) -> Self {
+        #[cfg(any(debug_assertions, feature = "verify"))]
+        if let Err(err) = graph.validate() {
+            panic!("executor given an ill-formed graph: {err}");
+        }
         let mut rng = seeded_rng(seed);
         let mut params = HashMap::new();
         for info in graph.tensors() {

@@ -7,6 +7,7 @@
 //! execute on the programmable PIM." (§IV-B)
 
 use crate::kir::{KernelSource, Region};
+use pim_common::{PimError, Result};
 use serde::{Deserialize, Serialize};
 
 /// An extracted fixed-function sub-kernel (one entry of binary #3).
@@ -48,16 +49,26 @@ impl BinarySet {
     /// use pim_tensor::cost::{CostProfile, OffloadClass};
     /// use pim_common::units::Bytes;
     ///
+    /// # fn main() -> pim_common::Result<()> {
     /// let cost = CostProfile::compute(
     ///     1000.0, 990.0, 50.0, Bytes::new(8e3), Bytes::new(4e3),
     ///     OffloadClass::PartiallyMulAdd { ma_fraction: 0.97 }, 241,
     /// );
-    /// let set = BinarySet::generate(KernelSource::from_cost("Conv2DBackpropFilter", &cost));
+    /// let set = BinarySet::generate(KernelSource::from_cost("Conv2DBackpropFilter", &cost))?;
     /// assert!(set.fixed_whole.is_none());       // not pure mul/add
     /// assert_eq!(set.fixed_kernels.len(), 1);   // one extracted conv core
     /// assert!(set.supports_recursive_kernel());
+    /// # Ok(())
+    /// # }
     /// ```
-    pub fn generate(kernel: KernelSource) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::KernelIndexOutOfBounds`] when the input kernel
+    /// already contains a [`Region::CallFixed`] site whose index does not
+    /// resolve against the extracted kernel list — the silent
+    /// out-of-bounds that would otherwise only fault at execution time.
+    pub fn generate(kernel: KernelSource) -> Result<Self> {
         let mut fixed_kernels = Vec::new();
         let mut progr_body = Vec::with_capacity(kernel.body.len());
         for region in &kernel.body {
@@ -78,12 +89,26 @@ impl BinarySet {
                 ref other => progr_body.push(other.clone()),
             }
         }
+        // Pre-existing call sites (a kernel that was already split once)
+        // pass through extraction unchanged; validate them against the
+        // final kernel list instead of letting execution index past it.
+        for region in &progr_body {
+            if let Region::CallFixed { kernel_index } = *region {
+                if kernel_index >= fixed_kernels.len() {
+                    return Err(PimError::KernelIndexOutOfBounds {
+                        kernel: kernel.name.clone(),
+                        index: kernel_index,
+                        available: fixed_kernels.len(),
+                    });
+                }
+            }
+        }
         let fixed_whole = if kernel.is_pure_mul_add() {
             Some(kernel.clone())
         } else {
             None
         };
-        BinarySet {
+        Ok(BinarySet {
             name: kernel.name.clone(),
             progr: KernelSource {
                 name: format!("{}_progr", kernel.name),
@@ -92,7 +117,7 @@ impl BinarySet {
             cpu: kernel,
             fixed_whole,
             fixed_kernels,
-        }
+        })
     }
 
     /// True when the programmable binary invokes fixed-function kernels —
@@ -139,7 +164,7 @@ mod tests {
 
     #[test]
     fn pure_mul_add_gets_all_four_binaries() {
-        let set = BinarySet::generate(kernel(OffloadClass::FullyMulAdd));
+        let set = BinarySet::generate(kernel(OffloadClass::FullyMulAdd)).unwrap();
         assert!(set.runs_whole_on_fixed());
         assert!(set.supports_recursive_kernel());
         assert_eq!(set.extracted_flops(), 128.0);
@@ -147,7 +172,7 @@ mod tests {
 
     #[test]
     fn non_mul_add_gets_no_fixed_binaries() {
-        let set = BinarySet::generate(kernel(OffloadClass::NonMulAdd));
+        let set = BinarySet::generate(kernel(OffloadClass::NonMulAdd)).unwrap();
         assert!(!set.runs_whole_on_fixed());
         assert!(!set.supports_recursive_kernel());
         assert!(set.fixed_kernels.is_empty());
@@ -157,7 +182,7 @@ mod tests {
     fn extraction_preserves_total_mul_add_work() {
         let src = kernel(OffloadClass::PartiallyMulAdd { ma_fraction: 0.89 });
         let total = src.mul_add_flops();
-        let set = BinarySet::generate(src);
+        let set = BinarySet::generate(src).unwrap();
         assert_eq!(set.extracted_flops(), total);
         // The programmable binary keeps no MulAdd regions.
         assert!(!set.progr.has_mul_add_region());
@@ -165,7 +190,8 @@ mod tests {
 
     #[test]
     fn call_sites_reference_extracted_kernels() {
-        let set = BinarySet::generate(kernel(OffloadClass::PartiallyMulAdd { ma_fraction: 0.89 }));
+        let set = BinarySet::generate(kernel(OffloadClass::PartiallyMulAdd { ma_fraction: 0.89 }))
+            .unwrap();
         for region in &set.progr.body {
             if let Region::CallFixed { kernel_index } = region {
                 assert!(*kernel_index < set.fixed_kernels.len());
@@ -176,7 +202,7 @@ mod tests {
     #[test]
     fn cpu_binary_is_the_original_kernel() {
         let src = kernel(OffloadClass::PartiallyMulAdd { ma_fraction: 0.89 });
-        let set = BinarySet::generate(src.clone());
+        let set = BinarySet::generate(src.clone()).unwrap();
         assert_eq!(set.cpu, src);
     }
 }

@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn lowered_kernels_feed_binary_generation() {
-        let set = BinarySet::generate(mac_nest().lower().unwrap());
+        let set = BinarySet::generate(mac_nest().lower().unwrap()).unwrap();
         assert!(set.runs_whole_on_fixed());
         assert!(set.supports_recursive_kernel());
     }

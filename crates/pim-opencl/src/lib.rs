@@ -23,15 +23,18 @@
 //! use pim_tensor::cost::{CostProfile, OffloadClass};
 //! use pim_common::units::Bytes;
 //!
+//! # fn main() -> pim_common::Result<()> {
 //! // Compile a MatMul-like kernel: pure multiply/add, so all four
 //! // binaries of Fig. 4 exist.
 //! let cost = CostProfile::compute(
 //!     1e6, 1e6, 0.0, Bytes::new(1e4), Bytes::new(1e4),
 //!     OffloadClass::FullyMulAdd, 63,
 //! );
-//! let set = BinarySet::generate(KernelSource::from_cost("MatMul", &cost));
+//! let set = BinarySet::generate(KernelSource::from_cost("MatMul", &cost))?;
 //! assert!(set.runs_whole_on_fixed());
 //! assert!(set.supports_recursive_kernel());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod api;

@@ -63,6 +63,9 @@ pub struct TimelineEntry {
     pub end: Seconds,
     /// Resource class occupied.
     pub resource: ResourceClass,
+    /// Fixed-function units held for the whole interval (0 for pure
+    /// CPU/programmable placements and baseline devices).
+    pub ff_units: usize,
 }
 
 /// Receives one [`TimelineEntry`] per executed op instance.
@@ -178,7 +181,7 @@ impl<T: Copy> EventHeap<T> {
 
 /// Concurrent programmable-PIM kernels: the runtime dedicates a core pair
 /// to each in-flight kernel.
-pub(crate) const PROGR_KERNEL_SLOTS: usize = 2;
+pub const PROGR_KERNEL_SLOTS: usize = 2;
 
 /// Exclusive-resource occupancy during event-driven execution, mirrored
 /// into the Fig. 7 busy/idle register file the software scheduler queries.
@@ -356,6 +359,7 @@ pub(crate) fn run_serialized(
                     start: clock.now(),
                     end: clock.now() + planned.duration,
                     resource: resource_class(&planned),
+                    ff_units: planned.ff_units,
                 });
                 clock.advance(planned.duration);
                 if planner.cfg.mode == SystemMode::Hetero {
@@ -484,6 +488,7 @@ pub(crate) fn run_scheduled(
                     start: clock.now(),
                     end: Clock::from_fs(end_fs),
                     resource: resource_class(&planned),
+                    ff_units: units,
                 });
                 scheduled_any = true;
             }
@@ -603,6 +608,7 @@ pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TraceSink) -> Execu
                 start: clock.now(),
                 end: clock.now() + duration,
                 resource: ResourceClass::Baseline,
+                ff_units: 0,
             });
             clock.advance(duration);
         }

@@ -22,14 +22,17 @@ mod tests;
 
 pub use events::{
     run_device_serial, DeviceRun, NullSink, ResourceClass, TimelineEntry, TraceSink, VecSink,
+    PROGR_KERNEL_SLOTS,
 };
 
 use crate::profiler::profile_step;
 use crate::select::{select_candidates, CandidateSet};
 use crate::stats::ExecutionReport;
-use pim_common::{PimError, Result};
+use crate::verify::{ResourceLimits, WorkloadFacts};
+use pim_common::{Diagnostics, PimError, Result};
 use pim_graph::cost::graph_costs;
 use pim_graph::Graph;
+use pim_hw::fixed::FixedFunctionPool;
 use pim_mem::stack::StackConfig;
 use pim_tensor::cost::CostProfile;
 use placement::{Availability, PlanKind, Planner};
@@ -247,18 +250,97 @@ impl Engine {
 
     /// Simulates the workloads and produces the report.
     ///
+    /// In debug builds — or with the `verify` feature enabled — every run
+    /// additionally replays its timeline through the `schedule` legality
+    /// pass ([`Engine::verify_timeline`]) and panics on any violation, so
+    /// a scheduler bug surfaces at the run that produced it.
+    ///
     /// # Errors
     ///
     /// Propagates cost/profiling failures, or an internal error if the
     /// scheduler wedges (a bug, guarded explicitly).
     pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
-        let prepared = self.prepare(workloads)?;
-        let mut sink = NullSink;
-        if self.planner.cfg.operation_pipeline {
-            events::run_scheduled(&self.planner, &prepared, &mut sink)
-        } else {
-            events::run_serialized(&self.planner, &prepared, &mut sink)
+        #[cfg(any(debug_assertions, feature = "verify"))]
+        {
+            let prepared = self.prepare(workloads)?;
+            let mut sink = VecSink::default();
+            let report = self.drive(&prepared, &mut sink)?;
+            let diags = self.check_prepared(&prepared, &sink.into_entries());
+            assert!(
+                diags.is_clean(),
+                "schedule verification failed for `{}`:\n{}",
+                self.planner.cfg.name,
+                diags.render_text()
+            );
+            Ok(report)
         }
+        #[cfg(not(any(debug_assertions, feature = "verify")))]
+        {
+            let prepared = self.prepare(workloads)?;
+            let mut sink = NullSink;
+            self.drive(&prepared, &mut sink)
+        }
+    }
+
+    /// Dispatches prepared workloads to the configured execution driver.
+    fn drive(
+        &self,
+        prepared: &[Prepared<'_>],
+        sink: &mut dyn TraceSink,
+    ) -> Result<ExecutionReport> {
+        if self.planner.cfg.operation_pipeline {
+            events::run_scheduled(&self.planner, prepared, sink)
+        } else {
+            events::run_serialized(&self.planner, prepared, sink)
+        }
+    }
+
+    /// Replays a recorded timeline against this configuration's devices
+    /// and the workloads' dependency structure, reporting every legality
+    /// violation as a `schedule`-pass diagnostic (see [`crate::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost/profiling failures while re-preparing the
+    /// workloads; the timeline itself never errors — problems become
+    /// diagnostics.
+    pub fn verify_timeline(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        timeline: &[TimelineEntry],
+    ) -> Result<Diagnostics> {
+        let prepared = self.prepare(workloads)?;
+        Ok(self.check_prepared(&prepared, timeline))
+    }
+
+    /// Builds the legality facts for prepared workloads and runs the
+    /// schedule checker over a timeline.
+    fn check_prepared(&self, prepared: &[Prepared<'_>], timeline: &[TimelineEntry]) -> Diagnostics {
+        let facts: Vec<WorkloadFacts> = prepared
+            .iter()
+            .map(|wl| WorkloadFacts {
+                deps: wl.deps.clone(),
+                steps: wl.spec.steps,
+                restricted: wl.spec.cpu_progr_only,
+                costs: wl.costs.clone(),
+                names: wl
+                    .spec
+                    .graph
+                    .ops()
+                    .iter()
+                    .map(|op| op.kind.tf_name())
+                    .collect(),
+            })
+            .collect();
+        let cfg = &self.planner.cfg;
+        let limits = ResourceLimits {
+            cpu_slots: 1,
+            progr_slots: events::PROGR_KERNEL_SLOTS,
+            ff_units: cfg.ff_units,
+            pipeline_depth: cfg.operation_pipeline.then_some(cfg.pipeline_depth),
+        };
+        let pool = FixedFunctionPool::new(self.planner.pool_cfg().clone());
+        crate::verify::check_timeline(&facts, timeline, &limits, &pool)
     }
 
     /// Like [`Engine::run`], additionally returning the per-instance

@@ -12,6 +12,8 @@
 //! * [`recursive`] — the programmable-PIM-side progress tracker for
 //!   recursive kernels (§IV-C),
 //! * [`sync`] — synchronization-cost constants and kernel-call granularity,
+//! * [`verify`] — schedule-legality replay over recorded timelines; backs
+//!   the engine's debug-mode assertions and the `pim-verify` checker,
 //! * [`stats`] — execution reports (time breakdown, energy, utilization),
 //! * [`session`] — the TensorFlow-runtime-extension facade: profile step 1,
 //!   schedule the rest.
@@ -41,6 +43,7 @@ pub mod select;
 pub mod session;
 pub mod stats;
 pub mod sync;
+pub mod verify;
 
 pub use engine::{
     Engine, EngineConfig, PlanRow, ResourceClass, SystemMode, TimelineEntry, WorkloadSpec,

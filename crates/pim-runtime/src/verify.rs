@@ -1,0 +1,506 @@
+//! Schedule-legality checking: replay an execution timeline against the
+//! dependency structure, device capabilities, and the Fig. 7 exclusivity
+//! rules.
+//!
+//! The checker is pure: it consumes per-workload facts plus the recorded
+//! [`TimelineEntry`] list and reports every violation as a `schedule`-pass
+//! [`Diagnostic`](pim_common::Diagnostic). It backs two consumers:
+//!
+//! * the engine's own run-time assertions (default-on in debug builds, or
+//!   with the `verify` feature) through [`Engine::verify_timeline`],
+//! * the `pim-verify` static-analysis CLI, which replays every model under
+//!   every configuration.
+//!
+//! [`Engine::verify_timeline`]: crate::engine::Engine::verify_timeline
+
+use crate::engine::{ResourceClass, TimelineEntry};
+use pim_common::Diagnostics;
+use pim_hw::device::Device;
+use pim_tensor::cost::CostProfile;
+
+/// The pass name stamped on every diagnostic this module emits.
+pub const PASS: &str = "schedule";
+
+/// Absolute + relative slack for time comparisons.
+///
+/// The event-driven driver quantizes completion times to integer
+/// femtoseconds; converting back to `f64` seconds loses at most a few
+/// ulps, far below this tolerance, while any real ordering violation spans
+/// an op duration (microseconds and up).
+fn eps_for(seconds: f64) -> f64 {
+    5e-12 + 1e-9 * seconds.abs()
+}
+
+/// Dependency and capability facts for one workload in a simulation.
+#[derive(Debug, Clone)]
+pub struct WorkloadFacts {
+    /// Per-op dependency lists (graph predecessors), indexed by op.
+    pub deps: Vec<Vec<usize>>,
+    /// Training steps simulated.
+    pub steps: usize,
+    /// The §VI-F non-CNN co-runner rule: only CPU and programmable-PIM
+    /// placements are legal for this workload.
+    pub restricted: bool,
+    /// Per-op cost profiles, indexed by op.
+    pub costs: Vec<CostProfile>,
+    /// Per-op display names, indexed by op.
+    pub names: Vec<&'static str>,
+}
+
+/// Exclusive-resource budgets the timeline must respect.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceLimits {
+    /// Concurrent host-CPU ops (the engine models one host slot).
+    pub cpu_slots: usize,
+    /// Concurrent programmable-PIM kernels.
+    pub progr_slots: usize,
+    /// Total fixed-function units on the logic die.
+    pub ff_units: usize,
+    /// Operation-pipeline window: `Some(depth)` means an op of step `s`
+    /// may only start once every step `<= s - depth` has fully completed.
+    pub pipeline_depth: Option<usize>,
+}
+
+/// Shrink applied to each interval end before the exclusivity sweep, in
+/// femtoseconds, absorbing the one-quantum rounding of the clock's
+/// seconds↔femtoseconds conversion. Real double-bookings overlap by whole
+/// op durations and survive the shrink.
+const SWEEP_SHRINK_FS: u128 = 2;
+
+fn to_fs(seconds: f64) -> u128 {
+    (seconds * 1e15).max(0.0) as u128
+}
+
+fn subject(facts: &[WorkloadFacts], e: &TimelineEntry) -> String {
+    let name = facts
+        .get(e.workload)
+        .and_then(|f| f.names.get(e.op).copied())
+        .unwrap_or("?");
+    format!("wl{}/step{}/op{} ({})", e.workload, e.step, e.op, name)
+}
+
+fn holds_cpu(class: ResourceClass) -> bool {
+    matches!(class, ResourceClass::Cpu | ResourceClass::CpuAndFixed)
+}
+
+fn holds_progr(class: ResourceClass) -> bool {
+    matches!(class, ResourceClass::Progr | ResourceClass::ProgrAndFixed)
+}
+
+fn needs_fixed_part(class: ResourceClass) -> bool {
+    matches!(
+        class,
+        ResourceClass::Fixed | ResourceClass::CpuAndFixed | ResourceClass::ProgrAndFixed
+    )
+}
+
+/// Checks one recorded timeline against the workload facts, resource
+/// budgets, and the fixed-function pool's capability rule.
+///
+/// `fixed` is the device model answering [`Device::accepts`] for
+/// whole-kernel fixed-function placements ([`ResourceClass::Fixed`]);
+/// split placements only require the cost to have a multiply/add part.
+/// [`ResourceClass::Baseline`] entries belong to standalone devices
+/// outside the heterogeneous stack and are checked for time validity only.
+pub fn check_timeline(
+    facts: &[WorkloadFacts],
+    timeline: &[TimelineEntry],
+    limits: &ResourceLimits,
+    fixed: &dyn Device,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    // -- per-entry validity, bounds, capability ------------------------
+    let mut valid: Vec<&TimelineEntry> = Vec::with_capacity(timeline.len());
+    for e in timeline {
+        let subj = subject(facts, e);
+        let (s, t) = (e.start.seconds(), e.end.seconds());
+        if !s.is_finite() || !t.is_finite() || s < 0.0 {
+            diags.error(
+                PASS,
+                subj,
+                format!("non-finite or negative times [{s}, {t}]"),
+            );
+            continue;
+        }
+        if t < s {
+            diags.error(
+                PASS,
+                subj,
+                format!("entry ends before it starts [{s}, {t}]"),
+            );
+            continue;
+        }
+        if e.resource == ResourceClass::Baseline {
+            continue; // standalone device: no graph/resource mapping
+        }
+        let Some(f) = facts.get(e.workload) else {
+            diags.error(PASS, subj, "workload index out of bounds");
+            continue;
+        };
+        if e.op >= f.deps.len() || e.op >= f.costs.len() {
+            diags.error(PASS, subj, "op index out of bounds for its workload");
+            continue;
+        }
+        if e.step >= f.steps {
+            diags.error(
+                PASS,
+                subj,
+                format!("step index out of bounds (workload has {} steps)", f.steps),
+            );
+            continue;
+        }
+        let cost = &f.costs[e.op];
+        if f.restricted && !matches!(e.resource, ResourceClass::Cpu | ResourceClass::Progr) {
+            diags.error(
+                PASS,
+                subj.clone(),
+                format!(
+                    "restricted workload placed on {:?}; only CPU and Progr are legal",
+                    e.resource
+                ),
+            );
+        }
+        if needs_fixed_part(e.resource) && e.ff_units == 0 {
+            diags.error(
+                PASS,
+                subj.clone(),
+                format!("{:?} placement holds zero fixed-function units", e.resource),
+            );
+        }
+        if e.ff_units > limits.ff_units {
+            diags.error(
+                PASS,
+                subj.clone(),
+                format!(
+                    "entry holds {} fixed-function units; the pool has {}",
+                    e.ff_units, limits.ff_units
+                ),
+            );
+        }
+        match e.resource {
+            ResourceClass::Fixed if !fixed.accepts(cost) => {
+                diags.error(
+                    PASS,
+                    subj.clone(),
+                    format!(
+                        "whole-kernel fixed-function placement, but {} rejects class {:?}",
+                        fixed.name(),
+                        cost.class
+                    ),
+                );
+            }
+            ResourceClass::CpuAndFixed | ResourceClass::ProgrAndFixed
+                if !cost.class.has_fixed_function_part() =>
+            {
+                diags.error(
+                    PASS,
+                    subj.clone(),
+                    format!(
+                        "split placement {:?}, but class {:?} has no multiply/add part",
+                        e.resource, cost.class
+                    ),
+                );
+            }
+            _ => {}
+        }
+        valid.push(e);
+    }
+
+    // -- completeness: each (workload, step, op) exactly once ----------
+    // instance index = step * op_count + op
+    let mut seen: Vec<Vec<Option<(f64, f64)>>> = facts
+        .iter()
+        .map(|f| vec![None; f.steps * f.deps.len()])
+        .collect();
+    for e in &valid {
+        let f = &facts[e.workload];
+        let idx = e.step * f.deps.len() + e.op;
+        if seen[e.workload][idx].is_some() {
+            diags.error(PASS, subject(facts, e), "instance scheduled more than once");
+        } else {
+            seen[e.workload][idx] = Some((e.start.seconds(), e.end.seconds()));
+        }
+    }
+    for (w, f) in facts.iter().enumerate() {
+        let ops = f.deps.len();
+        for (idx, slot) in seen[w].iter().enumerate() {
+            if slot.is_none() {
+                let (step, op) = (idx / ops, idx % ops);
+                let name = f.names.get(op).copied().unwrap_or("?");
+                diags.error(
+                    PASS,
+                    format!("wl{w}/step{step}/op{op} ({name})"),
+                    "instance never scheduled",
+                );
+            }
+        }
+    }
+
+    // -- dependency order (intra-step edges and the cross-step chain) --
+    for e in &valid {
+        let f = &facts[e.workload];
+        let ops = f.deps.len();
+        let start = e.start.seconds();
+        let mut require_after = |dep_step: usize, dep_op: usize, what: &str| {
+            if let Some((_, dep_end)) = seen[e.workload][dep_step * ops + dep_op] {
+                if start + eps_for(start) < dep_end {
+                    diags.error(
+                        PASS,
+                        subject(facts, e),
+                        format!(
+                            "starts at {start:.3e} s before {what} op{dep_op} of step \
+                             {dep_step} ends at {dep_end:.3e} s"
+                        ),
+                    );
+                }
+            }
+        };
+        for &d in &f.deps[e.op] {
+            require_after(e.step, d, "dependency");
+        }
+        if e.step > 0 {
+            require_after(e.step - 1, e.op, "previous instance of");
+        }
+    }
+
+    // -- operation-pipeline window -------------------------------------
+    if let Some(depth) = limits.pipeline_depth {
+        for (w, f) in facts.iter().enumerate() {
+            let ops = f.deps.len();
+            if ops == 0 || f.steps == 0 {
+                continue;
+            }
+            // Latest completion per step, then running prefix max: the
+            // window rule compares against *all* steps at or before the
+            // horizon.
+            let mut step_end = vec![0.0f64; f.steps];
+            for (idx, slot) in seen[w].iter().enumerate() {
+                if let Some((_, end)) = slot {
+                    let step = idx / ops;
+                    step_end[step] = step_end[step].max(*end);
+                }
+            }
+            let mut prefix = step_end.clone();
+            for s in 1..f.steps {
+                prefix[s] = prefix[s].max(prefix[s - 1]);
+            }
+            for e in valid.iter().filter(|e| e.workload == w) {
+                if e.step >= depth {
+                    let horizon = prefix[e.step - depth];
+                    let start = e.start.seconds();
+                    if start + eps_for(start) < horizon {
+                        diags.error(
+                            PASS,
+                            subject(facts, e),
+                            format!(
+                                "starts at {start:.3e} s inside the pipeline window: step \
+                                 {} only completes at {horizon:.3e} s (depth {depth})",
+                                e.step - depth
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // -- exclusivity sweep (Fig. 7 busy/idle registers) ----------------
+    // Events at (femtosecond, acquire?) with releases applied first, so
+    // back-to-back intervals sharing an instant never report contention.
+    let mut events: Vec<(u128, bool, usize)> = Vec::new();
+    for (i, e) in valid.iter().enumerate() {
+        let (a, b) = (to_fs(e.start.seconds()), to_fs(e.end.seconds()));
+        if b <= a + 2 * SWEEP_SHRINK_FS {
+            continue; // effectively instantaneous: cannot double-book
+        }
+        events.push((a + SWEEP_SHRINK_FS, true, i));
+        events.push((b - SWEEP_SHRINK_FS, false, i));
+    }
+    events.sort_unstable_by_key(|&(t, acquire, _)| (t, acquire));
+    let (mut cpu_used, mut progr_used, mut ff_used) = (0i64, 0i64, 0i64);
+    for (_, acquire, i) in events {
+        let e = valid[i];
+        let delta = if acquire { 1 } else { -1 };
+        if holds_cpu(e.resource) {
+            cpu_used += delta;
+            if acquire && cpu_used > limits.cpu_slots as i64 {
+                diags.error(
+                    PASS,
+                    subject(facts, e),
+                    format!(
+                        "double-books the CPU: {cpu_used} concurrent host ops (limit {})",
+                        limits.cpu_slots
+                    ),
+                );
+            }
+        }
+        if holds_progr(e.resource) {
+            progr_used += delta;
+            if acquire && progr_used > limits.progr_slots as i64 {
+                diags.error(
+                    PASS,
+                    subject(facts, e),
+                    format!(
+                        "over-subscribes the programmable PIM: {progr_used} concurrent \
+                         kernels (limit {})",
+                        limits.progr_slots
+                    ),
+                );
+            }
+        }
+        if e.ff_units > 0 {
+            ff_used += delta * e.ff_units as i64;
+            if acquire && ff_used > limits.ff_units as i64 {
+                diags.error(
+                    PASS,
+                    subject(facts, e),
+                    format!(
+                        "over-subscribes the fixed-function pool: {ff_used} units held \
+                         (limit {})",
+                        limits.ff_units
+                    ),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_common::units::{Bytes, Seconds};
+    use pim_hw::fixed::{FixedFunctionPool, FixedPoolConfig};
+    use pim_mem::stack::StackConfig;
+    use pim_tensor::cost::{CostProfile, OffloadClass};
+
+    fn cost(class: OffloadClass) -> CostProfile {
+        CostProfile::compute(1e6, 1e6, 0.0, Bytes::new(1e4), Bytes::new(1e4), class, 64)
+    }
+
+    fn facts() -> Vec<WorkloadFacts> {
+        vec![WorkloadFacts {
+            deps: vec![vec![], vec![0]],
+            steps: 1,
+            restricted: false,
+            costs: vec![
+                cost(OffloadClass::FullyMulAdd),
+                cost(OffloadClass::NonMulAdd),
+            ],
+            names: vec!["MatMul", "Relu"],
+        }]
+    }
+
+    fn limits() -> ResourceLimits {
+        ResourceLimits {
+            cpu_slots: 1,
+            progr_slots: 2,
+            ff_units: 128,
+            pipeline_depth: None,
+        }
+    }
+
+    fn pool() -> FixedFunctionPool {
+        FixedFunctionPool::new(FixedPoolConfig::with_units(&StackConfig::hmc2(), 128))
+    }
+
+    fn entry(op: usize, start: f64, end: f64, resource: ResourceClass) -> TimelineEntry {
+        TimelineEntry {
+            workload: 0,
+            step: 0,
+            op,
+            start: Seconds::new(start),
+            end: Seconds::new(end),
+            resource,
+            ff_units: match resource {
+                ResourceClass::Fixed
+                | ResourceClass::CpuAndFixed
+                | ResourceClass::ProgrAndFixed => 64,
+                _ => 0,
+            },
+        }
+    }
+
+    #[test]
+    fn legal_serial_timeline_is_clean() {
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline(&facts(), &timeline, &limits(), &pool());
+        assert!(diags.is_clean(), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn dependency_violation_is_reported() {
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 0.5, 1.5, ResourceClass::Cpu), // starts before its dep ends
+        ];
+        let diags = check_timeline(&facts(), &timeline, &limits(), &pool());
+        assert_eq!(diags.error_count(), 1);
+        assert!(diags.render_text().contains("before dependency op0"));
+    }
+
+    #[test]
+    fn double_booked_cpu_is_reported() {
+        let mut facts = facts();
+        facts[0].deps[1].clear(); // make the ops independent
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Cpu),
+            entry(1, 0.5, 1.5, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline(&facts, &timeline, &limits(), &pool());
+        assert_eq!(diags.error_count(), 1);
+        assert!(diags.render_text().contains("double-books the CPU"));
+    }
+
+    #[test]
+    fn missing_and_duplicate_instances_are_reported() {
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(0, 1.0, 2.0, ResourceClass::Fixed),
+        ];
+        let diags = check_timeline(&facts(), &timeline, &limits(), &pool());
+        let text = diags.render_text();
+        assert!(text.contains("more than once"), "{text}");
+        assert!(text.contains("never scheduled"), "{text}");
+    }
+
+    #[test]
+    fn fixed_placement_of_non_mul_add_is_rejected() {
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Fixed), // Relu on the pool
+        ];
+        let diags = check_timeline(&facts(), &timeline, &limits(), &pool());
+        assert_eq!(diags.error_count(), 1);
+        assert!(diags.render_text().contains("rejects class"));
+    }
+
+    #[test]
+    fn restricted_workload_must_stay_on_cpu_and_progr() {
+        let mut facts = facts();
+        facts[0].restricted = true;
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline(&facts, &timeline, &limits(), &pool());
+        assert!(diags.render_text().contains("restricted workload"));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_double_book() {
+        let mut facts = facts();
+        facts[0].deps[1].clear();
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Cpu),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline(&facts, &timeline, &limits(), &pool());
+        assert!(diags.is_clean(), "{}", diags.render_text());
+    }
+}

@@ -41,7 +41,7 @@ pub fn generate_trace(graph: &Graph) -> Result<Trace> {
         // Compile the kernel the CPU would execute; the binary pass is the
         // same one the runtime uses for PIM offloading (Fig. 4).
         let kernel = KernelSource::from_cost(node.kind.tf_name(), &cost);
-        let binaries = BinarySet::generate(kernel);
+        let binaries = BinarySet::generate(kernel)?;
         debug_assert_eq!(
             binaries.supports_recursive_kernel(),
             cost.class.has_fixed_function_part(),

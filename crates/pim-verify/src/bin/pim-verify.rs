@@ -1,0 +1,132 @@
+//! `pim-verify` — run the static checker over model graphs and schedules.
+//!
+//! ```text
+//! pim-verify [--all-models | --model NAME] [--steps N] [--format text|json]
+//! ```
+//!
+//! Runs the graph, KIR, schedule, and report passes and prints every
+//! finding. Exits 1 when any finding has error severity (or the arguments
+//! are invalid), 0 otherwise — warnings do not fail the run.
+
+use std::process::ExitCode;
+
+use pim_models::ModelKind;
+use pim_verify::verify_model;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    models: Vec<ModelKind>,
+    steps: usize,
+    format: Format,
+}
+
+const USAGE: &str =
+    "usage: pim-verify [--all-models | --model NAME] [--steps N] [--format text|json]
+
+Runs the graph, KIR, schedule, and report verification passes.
+
+options:
+  --all-models       check every evaluated workload (default)
+  --model NAME       check one workload (vgg19, alexnet, dcgan, resnet50,
+                     inception_v3, lstm, word2vec)
+  --steps N          training steps per schedule replay (default 2)
+  --format FMT       output format: text (default) or json
+  --help             print this message";
+
+fn parse_model(name: &str) -> Option<ModelKind> {
+    let wanted = name.to_ascii_lowercase().replace(['-', '_'], "");
+    ModelKind::ALL
+        .into_iter()
+        .find(|kind| kind.name().to_ascii_lowercase().replace(['-', '_'], "") == wanted)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut models: Option<Vec<ModelKind>> = None;
+    let mut steps = 2usize;
+    let mut format = Format::Text;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all-models" => models = Some(ModelKind::ALL.to_vec()),
+            "--model" => {
+                let name = it.next().ok_or("--model requires a name")?;
+                let kind = parse_model(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+                models.get_or_insert_with(Vec::new).push(kind);
+            }
+            "--steps" => {
+                let n = it.next().ok_or("--steps requires a count")?;
+                steps = n.parse().map_err(|_| format!("invalid step count `{n}`"))?;
+                if steps == 0 {
+                    return Err("--steps must be at least 1".into());
+                }
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+                None => return Err("--format requires text or json".into()),
+            },
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        models: models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
+        steps,
+        format,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("pim-verify: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut diags = pim_common::Diagnostics::new();
+    for kind in &args.models {
+        match verify_model(*kind, kind.paper_batch_size(), args.steps) {
+            Ok(model_diags) => {
+                if args.format == Format::Text {
+                    eprintln!(
+                        "pim-verify: {} — {} finding(s), {} error(s)",
+                        kind.name(),
+                        model_diags.items().len(),
+                        model_diags.error_count()
+                    );
+                }
+                diags.extend(model_diags);
+            }
+            Err(err) => {
+                diags.error(
+                    "graph",
+                    kind.name(),
+                    format!("model construction failed: {err}"),
+                );
+            }
+        }
+    }
+
+    match args.format {
+        Format::Text => print!("{}", diags.render_text()),
+        Format::Json => println!("{}", diags.to_json()),
+    }
+    if diags.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,283 @@
+//! Pass 1 — graph well-formedness.
+//!
+//! Checks a training-step [`Graph`] for structural soundness: identifier
+//! consistency, dangling references, cycles, producer/consumer shape
+//! agreement for the op families whose shape law is exact, and liveness
+//! anomalies (a step-local tensor consumed before anything produces it, or
+//! produced and never used).
+
+use pim_common::ids::TensorId;
+use pim_common::{Diagnostics, Severity};
+use pim_graph::cost::op_cost;
+use pim_graph::liveness;
+use pim_graph::node::{OpKind, OpNode, TensorRole};
+use pim_graph::Graph;
+
+/// The pass name stamped on every diagnostic this module emits.
+pub const PASS: &str = "graph";
+
+fn op_subject(model: &str, op: &OpNode) -> String {
+    format!("{model}/op{} ({})", op.id.index(), op.kind.tf_name())
+}
+
+/// Runs the graph pass. `model` labels the diagnostics' subjects.
+pub fn verify_graph(model: &str, graph: &Graph) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    // -- identifier self-consistency -----------------------------------
+    for (i, t) in graph.tensors().iter().enumerate() {
+        if t.id.index() != i {
+            diags.error(
+                PASS,
+                format!("{model}/tensor{i}"),
+                format!("tensor stored at index {i} carries id {}", t.id.index()),
+            );
+        }
+    }
+    for (i, op) in graph.ops().iter().enumerate() {
+        if op.id.index() != i {
+            diags.error(
+                PASS,
+                format!("{model}/op{i}"),
+                format!("op stored at index {i} carries id {}", op.id.index()),
+            );
+        }
+    }
+
+    // -- dangling references and duplicate producers -------------------
+    let tensor_count = graph.tensors().len();
+    let mut producer_of: Vec<Option<usize>> = vec![None; tensor_count];
+    let mut consumed: Vec<bool> = vec![false; tensor_count];
+    let mut dangling = false;
+    for op in graph.ops() {
+        for &tid in op.inputs.iter().chain(&op.outputs) {
+            if tid.index() >= tensor_count {
+                diags.error(
+                    PASS,
+                    op_subject(model, op),
+                    format!("references tensor {} out of {tensor_count}", tid.index()),
+                );
+                dangling = true;
+            }
+        }
+        for &tid in &op.inputs {
+            if let Some(slot) = consumed.get_mut(tid.index()) {
+                *slot = true;
+            }
+        }
+        for &tid in &op.outputs {
+            if let Some(slot) = producer_of.get_mut(tid.index()) {
+                if let Some(first) = slot {
+                    diags.error(
+                        PASS,
+                        op_subject(model, op),
+                        format!(
+                            "tensor {} already produced by op{first}; tensors are \
+                             single-assignment",
+                            tid.index()
+                        ),
+                    );
+                } else {
+                    *slot = Some(op.id.index());
+                }
+            }
+        }
+    }
+    if dangling {
+        return diags; // shape and liveness sweeps would index out of bounds
+    }
+
+    // -- cycles --------------------------------------------------------
+    if let Err(err) = graph.topo_order() {
+        diags.error(PASS, model.to_string(), err.to_string());
+        return diags; // liveness needs a topological order
+    }
+
+    // -- shape agreement and cost-model acceptance ---------------------
+    for op in graph.ops() {
+        check_shapes(model, graph, op, &mut diags);
+        if let Err(err) = op_cost(graph, op) {
+            diags.error(
+                PASS,
+                op_subject(model, op),
+                format!("cost model rejects the node: {err}"),
+            );
+        }
+    }
+
+    // -- liveness anomalies --------------------------------------------
+    for t in graph.tensors() {
+        let step_local = matches!(
+            t.role,
+            TensorRole::Activation | TensorRole::Scalar | TensorRole::Indices
+        );
+        let produced = producer_of[t.id.index()].is_some();
+        if step_local && consumed[t.id.index()] && !produced {
+            diags.error(
+                PASS,
+                format!("{model}/{}", t.name),
+                format!(
+                    "step-local {:?} tensor is consumed but never produced (use \
+                     before definition)",
+                    t.role
+                ),
+            );
+        }
+        if t.role == TensorRole::Activation && produced && !consumed[t.id.index()] {
+            diags.warning(
+                PASS,
+                format!("{model}/{}", t.name),
+                "activation is produced but never consumed (dead value)",
+            );
+        }
+    }
+    match liveness::analyze(graph) {
+        Ok(report) => {
+            if report.peak_activation_bytes > report.total_activation_bytes {
+                diags.error(
+                    PASS,
+                    model.to_string(),
+                    format!(
+                        "liveness peak {} exceeds the no-reuse total {}",
+                        report.peak_activation_bytes, report.total_activation_bytes
+                    ),
+                );
+            }
+        }
+        Err(err) => diags.error(
+            PASS,
+            model.to_string(),
+            format!("liveness analysis failed: {err}"),
+        ),
+    }
+
+    diags
+}
+
+fn numel(graph: &Graph, tid: TensorId) -> usize {
+    graph.tensors()[tid.index()].shape.numel()
+}
+
+/// Element-count (and where exact, dimension) agreement for the op
+/// families whose shape law is unambiguous. Conv/pool geometry is checked
+/// by the cost model above; re-deriving it here would duplicate the law.
+fn check_shapes(model: &str, graph: &Graph, op: &OpNode, diags: &mut Diagnostics) {
+    let mut same_numel = |ids: &[TensorId], what: &str| {
+        let mut it = ids.iter();
+        let Some(&first) = it.next() else { return };
+        let n0 = numel(graph, first);
+        for &tid in it {
+            let n = numel(graph, tid);
+            if n != n0 {
+                diags.push(
+                    Severity::Error,
+                    PASS,
+                    op_subject(model, op),
+                    format!(
+                        "{what} element counts disagree: tensor {} has {n0}, tensor {} \
+                         has {n}",
+                        first.index(),
+                        tid.index()
+                    ),
+                );
+                return;
+            }
+        }
+    };
+    match op.kind {
+        OpKind::Activation(_) | OpKind::Reshape => {
+            if let (&[input], &[output]) = (&op.inputs[..], &op.outputs[..]) {
+                same_numel(&[input, output], "input/output");
+            }
+        }
+        OpKind::ActivationGrad(_) => {
+            let mut ids = op.inputs.clone();
+            ids.extend(&op.outputs);
+            same_numel(&ids, "gradient/input/output");
+        }
+        OpKind::Binary(_) => {
+            let mut ids = op.inputs.clone();
+            ids.extend(&op.outputs);
+            same_numel(&ids, "operand/result");
+        }
+        OpKind::Dropout => {
+            let mut ids = op.inputs.clone();
+            ids.extend(&op.outputs);
+            same_numel(&ids, "input/mask/output");
+        }
+        OpKind::Concat => {
+            if let &[output] = &op.outputs[..] {
+                let parts: usize = op.inputs.iter().map(|&t| numel(graph, t)).sum();
+                let out = numel(graph, output);
+                if parts != out {
+                    diags.error(
+                        PASS,
+                        op_subject(model, op),
+                        format!("concatenates {parts} elements into an output of {out}"),
+                    );
+                }
+            }
+        }
+        OpKind::Slice { start, len } => {
+            if let (&[input], &[output]) = (&op.inputs[..], &op.outputs[..]) {
+                let n = numel(graph, input);
+                if start + len > n {
+                    diags.error(
+                        PASS,
+                        op_subject(model, op),
+                        format!(
+                            "slice [{start}, {}) exceeds the input's {n} elements",
+                            start + len
+                        ),
+                    );
+                }
+                if numel(graph, output) != len {
+                    diags.error(
+                        PASS,
+                        op_subject(model, op),
+                        format!(
+                            "slice of {len} elements lands in an output of {}",
+                            numel(graph, output)
+                        ),
+                    );
+                }
+            }
+        }
+        OpKind::MatMul(t) => {
+            if let (&[a, b], &[out]) = (&op.inputs[..], &op.outputs[..]) {
+                let (sa, sb, so) = (
+                    graph.tensors()[a.index()].shape.dims(),
+                    graph.tensors()[b.index()].shape.dims(),
+                    graph.tensors()[out.index()].shape.dims(),
+                );
+                if let ([ar, ac], [br, bc], [or_, oc]) = (sa, sb, so) {
+                    let (m, k1) = if t.a { (*ac, *ar) } else { (*ar, *ac) };
+                    let (k2, n) = if t.b { (*bc, *br) } else { (*br, *bc) };
+                    if k1 != k2 || *or_ != m || *oc != n {
+                        diags.error(
+                            PASS,
+                            op_subject(model, op),
+                            format!(
+                                "matmul shapes disagree: [{m}x{k1}] x [{k2}x{n}] -> \
+                                 [{or_}x{oc}]"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        OpKind::SoftmaxXent => {
+            if let (&[logits, _labels], &[_loss, grad]) = (&op.inputs[..], &op.outputs[..]) {
+                same_numel(&[logits, grad], "logits/gradient");
+            }
+        }
+        OpKind::ApplyAdam | OpKind::ApplySgd => {
+            if let &[param, grad] = &op.inputs[..] {
+                same_numel(&[param, grad], "parameter/gradient");
+            }
+        }
+        // Conv/pool/norm/embedding families: geometry-dependent; the cost
+        // model's shape derivation is the authoritative check.
+        _ => {}
+    }
+}

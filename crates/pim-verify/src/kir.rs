@@ -1,0 +1,214 @@
+//! Pass 2 — KIR/binary soundness.
+//!
+//! Lowers every op of a graph into its [`KernelSource`], runs the Fig. 4
+//! binary-generation pass, and checks the results: regions are
+//! well-formed, every [`Region::CallFixed`] resolves, extraction conserves
+//! the multiply/add work, and the whole-kernel fixed binary exists exactly
+//! when the kernel is pure multiply/add.
+
+use pim_common::Diagnostics;
+use pim_graph::cost::graph_costs;
+use pim_graph::Graph;
+use pim_opencl::binary::BinarySet;
+use pim_opencl::kir::{KernelSource, Region};
+
+/// The pass name stamped on every diagnostic this module emits.
+pub const PASS: &str = "kir";
+
+/// Relative tolerance for the mul/add conservation check.
+const CONSERVATION_REL: f64 = 1e-9;
+
+/// Runs the KIR pass over every op of a graph.
+pub fn verify_binaries(model: &str, graph: &Graph) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let costs = match graph_costs(graph) {
+        Ok(costs) => costs,
+        Err(err) => {
+            diags.error(
+                PASS,
+                model.to_string(),
+                format!("cost characterization failed: {err}"),
+            );
+            return diags;
+        }
+    };
+    for (op, cost) in graph.ops().iter().zip(&costs) {
+        if !cost.is_well_formed() {
+            diags.error(
+                PASS,
+                format!("{model}/op{} ({})", op.id.index(), op.kind.tf_name()),
+                "cost profile is not well-formed (negative or non-finite counts)",
+            );
+            continue;
+        }
+        let kernel = KernelSource::from_cost(op.kind.tf_name(), cost);
+        let subject = format!("{model}/op{} ({})", op.id.index(), kernel.name);
+        diags.extend(verify_kernel_source(&subject, &kernel));
+    }
+    diags
+}
+
+/// Checks one kernel and its generated binaries. Usable standalone on a
+/// hand-built [`KernelSource`] (the negative tests corrupt kernels
+/// directly).
+pub fn verify_kernel_source(subject: &str, kernel: &KernelSource) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    verify_regions(subject, "source", &kernel.body, None, &mut diags);
+
+    let set = match BinarySet::generate(kernel.clone()) {
+        Ok(set) => set,
+        Err(err) => {
+            diags.error(PASS, subject, format!("binary generation failed: {err}"));
+            return diags;
+        }
+    };
+
+    // The four-binary contract of Fig. 4.
+    if set.fixed_whole.is_some() != kernel.is_pure_mul_add() {
+        diags.error(
+            PASS,
+            subject,
+            format!(
+                "whole-kernel fixed binary {} but the kernel {} pure multiply/add",
+                if set.fixed_whole.is_some() {
+                    "exists"
+                } else {
+                    "is missing"
+                },
+                if kernel.is_pure_mul_add() {
+                    "is"
+                } else {
+                    "is not"
+                }
+            ),
+        );
+    }
+    if set.progr.has_mul_add_region() {
+        diags.error(
+            PASS,
+            subject,
+            "programmable binary retains a MulAdd region the extraction should have moved",
+        );
+    }
+    verify_regions(
+        subject,
+        "programmable",
+        &set.progr.body,
+        Some(set.fixed_kernels.len()),
+        &mut diags,
+    );
+    for (i, k) in set.fixed_kernels.iter().enumerate() {
+        if !(k.muls.is_finite() && k.adds.is_finite()) || k.muls < 0.0 || k.adds < 0.0 {
+            diags.error(
+                PASS,
+                subject,
+                format!(
+                    "extracted kernel {i} has invalid op counts ({}, {})",
+                    k.muls, k.adds
+                ),
+            );
+        }
+        if k.parallelism < 1 {
+            diags.error(
+                PASS,
+                subject,
+                format!("extracted kernel {i} has parallelism 0; at least one unit is required"),
+            );
+        }
+    }
+
+    // Conservation: extraction moves the multiply/add work, it never
+    // creates or destroys any.
+    let original = kernel.mul_add_flops();
+    let extracted = set.extracted_flops();
+    let residual = set.progr.mul_add_flops();
+    let drift = (extracted + residual - original).abs();
+    if drift > CONSERVATION_REL * original.max(1.0) {
+        diags.error(
+            PASS,
+            subject,
+            format!(
+                "extraction does not conserve multiply/add work: {original} in, \
+                 {extracted} extracted + {residual} residual"
+            ),
+        );
+    }
+    diags
+}
+
+/// Region-level well-formedness shared by source and generated bodies.
+/// `kernel_count` bounds `CallFixed` indices when a companion kernel list
+/// exists; source kernels carrying call sites are flagged instead.
+fn verify_regions(
+    subject: &str,
+    which: &str,
+    body: &[Region],
+    kernel_count: Option<usize>,
+    diags: &mut Diagnostics,
+) {
+    for (i, region) in body.iter().enumerate() {
+        match *region {
+            Region::MulAdd {
+                muls,
+                adds,
+                parallelism,
+            } => {
+                if !(muls.is_finite() && adds.is_finite()) || muls < 0.0 || adds < 0.0 {
+                    diags.error(
+                        PASS,
+                        subject,
+                        format!("{which} region {i}: invalid MulAdd counts ({muls}, {adds})"),
+                    );
+                }
+                if parallelism < 1 {
+                    diags.error(
+                        PASS,
+                        subject,
+                        format!("{which} region {i}: MulAdd parallelism must be >= 1"),
+                    );
+                }
+            }
+            Region::OtherArithmetic { flops } => {
+                if !flops.is_finite() || flops < 0.0 {
+                    diags.error(
+                        PASS,
+                        subject,
+                        format!("{which} region {i}: invalid arithmetic count {flops}"),
+                    );
+                }
+            }
+            Region::Control { ops } => {
+                if !ops.is_finite() || ops < 0.0 {
+                    diags.error(
+                        PASS,
+                        subject,
+                        format!("{which} region {i}: invalid control count {ops}"),
+                    );
+                }
+            }
+            Region::CallFixed { kernel_index } => match kernel_count {
+                Some(count) if kernel_index >= count => {
+                    diags.error(
+                        PASS,
+                        subject,
+                        format!(
+                            "{which} region {i}: calls fixed kernel {kernel_index}, but \
+                             only {count} exist"
+                        ),
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    diags.warning(
+                        PASS,
+                        subject,
+                        format!(
+                            "{which} region {i}: call site in a kernel that has not been \
+                             through binary generation"
+                        ),
+                    );
+                }
+            },
+        }
+    }
+}

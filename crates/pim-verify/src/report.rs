@@ -1,0 +1,93 @@
+//! Pass 4 — report invariants.
+//!
+//! Every [`ExecutionReport`] must carry non-negative, finite quantities
+//! whose component breakdown sums to the total within tolerance — the
+//! contract downstream figures and tables rely on.
+
+use pim_common::Diagnostics;
+use pim_runtime::stats::ExecutionReport;
+
+/// The pass name stamped on every diagnostic this module emits.
+pub const PASS: &str = "report";
+
+/// Relative tolerance for the parts-sum-to-makespan check (matches
+/// [`ExecutionReport::is_well_formed`]).
+const SUM_REL: f64 = 1e-6;
+
+/// Checks one execution report.
+pub fn verify_report(report: &ExecutionReport) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let subject = report.system.clone();
+
+    let quantities = [
+        ("makespan", report.makespan.seconds()),
+        ("op time", report.op_time.seconds()),
+        ("data-movement time", report.data_movement_time.seconds()),
+        ("sync time", report.sync_time.seconds()),
+        ("dynamic energy", report.dynamic_energy.joules()),
+    ];
+    let mut invalid = false;
+    for (what, v) in quantities {
+        if !v.is_finite() || v < 0.0 {
+            diags.error(PASS, subject.clone(), format!("{what} is invalid: {v}"));
+            invalid = true;
+        }
+    }
+    if invalid {
+        return diags; // derived checks would just repeat the failure
+    }
+
+    let parts =
+        report.op_time.seconds() + report.data_movement_time.seconds() + report.sync_time.seconds();
+    let makespan = report.makespan.seconds();
+    if (parts - makespan).abs() > SUM_REL * makespan.max(1e-12) {
+        diags.error(
+            PASS,
+            subject.clone(),
+            format!("breakdown parts sum to {parts:.6e} s, not the makespan {makespan:.6e} s"),
+        );
+    }
+    if !(0.0..=1.0 + 1e-9).contains(&report.ff_utilization) {
+        diags.error(
+            PASS,
+            subject.clone(),
+            format!(
+                "fixed-function utilization {} outside [0, 1]",
+                report.ff_utilization
+            ),
+        );
+    }
+    for (device, busy) in &report.device_busy {
+        let b = busy.seconds();
+        if !b.is_finite() || b < 0.0 {
+            diags.error(
+                PASS,
+                subject.clone(),
+                format!("device {device} busy time is invalid: {b}"),
+            );
+        } else if b > makespan * (1.0 + SUM_REL) {
+            diags.error(
+                PASS,
+                subject.clone(),
+                format!("device {device} busy {b:.6e} s exceeds the makespan {makespan:.6e} s"),
+            );
+        }
+    }
+    for (what, v) in [
+        ("per-step time", report.per_step_time().seconds()),
+        ("average power", report.average_power().watts()),
+        ("EDP per step", report.edp_per_step()),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            diags.error(
+                PASS,
+                subject.clone(),
+                format!("derived {what} is invalid: {v}"),
+            );
+        }
+    }
+    if report.steps == 0 {
+        diags.warning(PASS, subject, "report covers zero training steps");
+    }
+    diags
+}

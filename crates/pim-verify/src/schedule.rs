@@ -1,0 +1,64 @@
+//! Pass 3 — schedule legality.
+//!
+//! Runs the engine over a graph under a configuration, captures the
+//! per-instance timeline, and replays it through the
+//! [`pim_runtime::verify`] checker: dependency order (including through RC
+//! recursion and the OP pipeline window), `Device::accepts` capability,
+//! and the Fig. 7 register-mirror exclusivity rules.
+
+use pim_common::Diagnostics;
+use pim_graph::Graph;
+use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+
+/// The pass name stamped on every diagnostic this module emits (matches
+/// [`pim_runtime::verify::PASS`] — the replay checker lives there).
+pub const PASS: &str = pim_runtime::verify::PASS;
+
+/// The engine configurations the checker replays: the paper's four
+/// engine-backed systems plus the two Fig. 13 ablations.
+pub fn engine_configs() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::cpu_only(),
+        EngineConfig::progr_only(),
+        EngineConfig::fixed_host(),
+        EngineConfig::hetero_bare(),
+        EngineConfig::hetero_rc(),
+        EngineConfig::hetero(),
+    ]
+}
+
+/// Simulates `steps` steps of `graph` under `cfg` and verifies the
+/// recorded timeline. Engine failures become error diagnostics rather
+/// than propagating.
+pub fn verify_schedule(
+    model: &str,
+    graph: &Graph,
+    cfg: &EngineConfig,
+    steps: usize,
+) -> Diagnostics {
+    let engine = Engine::new(cfg.clone());
+    let workloads = [WorkloadSpec {
+        graph,
+        steps,
+        cpu_progr_only: false,
+    }];
+    let mut diags = Diagnostics::new();
+    let subject = format!("{model}@{}", cfg.name);
+    match engine.run_detailed(&workloads) {
+        Ok((_, timeline)) => match engine.verify_timeline(&workloads, &timeline) {
+            Ok(inner) => {
+                for d in inner.items() {
+                    diags.push(
+                        d.severity,
+                        PASS,
+                        format!("{subject}: {}", d.subject),
+                        d.message.clone(),
+                    );
+                }
+            }
+            Err(err) => diags.error(PASS, subject, format!("verification failed: {err}")),
+        },
+        Err(err) => diags.error(PASS, subject, format!("simulation failed: {err}")),
+    }
+    diags
+}

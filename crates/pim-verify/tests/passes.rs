@@ -1,0 +1,185 @@
+//! Positive and negative coverage for the checker: every shipped model
+//! passes clean, and each seeded corruption is caught by the pass that
+//! owns the violated invariant.
+
+use pim_common::units::Seconds;
+use pim_common::Severity;
+use pim_graph::node::{OpKind, TensorRole};
+use pim_graph::Graph;
+use pim_models::{Model, ModelKind};
+use pim_opencl::kir::{KernelSource, Region};
+use pim_runtime::engine::{Engine, EngineConfig, ResourceClass, WorkloadSpec};
+use pim_tensor::ops::activation::Activation;
+use pim_tensor::ops::elementwise::BinaryOp;
+use pim_tensor::Shape;
+use pim_verify::{
+    engine_configs, verify_binaries, verify_graph, verify_kernel_source, verify_schedule,
+};
+
+/// Small batches keep the debug-profile engine replays fast; the graph
+/// structure (and thus every invariant checked) is batch-independent.
+const TEST_BATCH: usize = 2;
+
+fn assert_errors_in_pass(diags: &pim_common::Diagnostics, pass: &str, needle: &str) {
+    let hits: Vec<_> = diags
+        .items()
+        .iter()
+        .filter(|d| d.severity == Severity::Error && d.pass == pass)
+        .collect();
+    assert!(
+        hits.iter().any(|d| d.message.contains(needle)),
+        "expected an error in pass `{pass}` mentioning `{needle}`; got:\n{}",
+        diags.render_text()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Positive: all seven models are clean under every pass.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_models_pass_graph_and_kir_clean() {
+    for kind in ModelKind::ALL {
+        let model = Model::build_with_batch(kind, TEST_BATCH).unwrap();
+        let diags = verify_graph(kind.name(), model.graph());
+        assert!(diags.is_clean(), "{}: {}", kind.name(), diags.render_text());
+        let diags = verify_binaries(kind.name(), model.graph());
+        // KIR pass should not even warn on shipped models.
+        assert!(diags.is_empty(), "{}: {}", kind.name(), diags.render_text());
+    }
+}
+
+#[test]
+fn all_models_schedule_clean_under_every_config() {
+    for kind in ModelKind::ALL {
+        let model = Model::build_with_batch(kind, TEST_BATCH).unwrap();
+        for cfg in engine_configs() {
+            let diags = verify_schedule(kind.name(), model.graph(), &cfg, 2);
+            assert!(
+                diags.is_empty(),
+                "{}@{}: {}",
+                kind.name(),
+                cfg.name,
+                diags.render_text()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative: seeded corruptions, each caught by the owning pass.
+// ---------------------------------------------------------------------
+
+/// Two activations feeding each other: a -> relu -> b, b -> relu -> a.
+#[test]
+fn graph_pass_catches_cycle() {
+    let mut g = Graph::new();
+    let a = g.add_tensor(Shape::new(vec![8]), TensorRole::Activation, "a");
+    let b = g.add_tensor(Shape::new(vec![8]), TensorRole::Activation, "b");
+    g.add_op(OpKind::Activation(Activation::Relu), vec![a], vec![b])
+        .unwrap();
+    g.add_op(OpKind::Activation(Activation::Relu), vec![b], vec![a])
+        .unwrap();
+    let diags = verify_graph("cyclic", &g);
+    assert_errors_in_pass(&diags, pim_verify::graph::PASS, "cycle");
+}
+
+/// An element-wise Add whose operands have different element counts.
+#[test]
+fn graph_pass_catches_shape_mismatch() {
+    let mut g = Graph::new();
+    let a = g.add_tensor(Shape::new(vec![16]), TensorRole::Input, "a");
+    let b = g.add_tensor(Shape::new(vec![4]), TensorRole::Input, "b");
+    let out = g.add_tensor(Shape::new(vec![16]), TensorRole::Activation, "out");
+    g.add_op(OpKind::Binary(BinaryOp::Add), vec![a, b], vec![out])
+        .unwrap();
+    let diags = verify_graph("mismatched", &g);
+    assert_errors_in_pass(&diags, pim_verify::graph::PASS, "element counts disagree");
+}
+
+/// A source kernel whose body calls fixed-function kernel 7 — no
+/// extraction produced it, so binary generation must refuse and the KIR
+/// pass must surface that refusal.
+#[test]
+fn kir_pass_catches_out_of_bounds_call() {
+    let kernel = KernelSource {
+        name: "corrupt".into(),
+        body: vec![
+            Region::Control { ops: 10.0 },
+            Region::CallFixed { kernel_index: 7 },
+        ],
+    };
+    let diags = verify_kernel_source("corrupt-kernel", &kernel);
+    assert_errors_in_pass(&diags, pim_verify::kir::PASS, "binary generation failed");
+    assert!(
+        !diags.is_clean(),
+        "out-of-bounds call site must be an error"
+    );
+}
+
+/// A recorded timeline perturbed so two independent CPU ops overlap; the
+/// schedule pass must flag the double-booking.
+#[test]
+fn schedule_pass_catches_double_booked_cpu() {
+    // Two independent activations over the same input: any legal CPU-only
+    // schedule serializes them.
+    let mut g = Graph::new();
+    let input = g.add_tensor(Shape::new(vec![1024]), TensorRole::Input, "input");
+    let out_a = g.add_tensor(Shape::new(vec![1024]), TensorRole::Activation, "out_a");
+    let out_b = g.add_tensor(Shape::new(vec![1024]), TensorRole::Activation, "out_b");
+    g.add_op(
+        OpKind::Activation(Activation::Relu),
+        vec![input],
+        vec![out_a],
+    )
+    .unwrap();
+    g.add_op(
+        OpKind::Activation(Activation::Tanh),
+        vec![input],
+        vec![out_b],
+    )
+    .unwrap();
+
+    let engine = Engine::new(EngineConfig::cpu_only());
+    let workloads = [WorkloadSpec {
+        graph: &g,
+        steps: 1,
+        cpu_progr_only: false,
+    }];
+    let (_, mut timeline) = engine.run_detailed(&workloads).unwrap();
+    let clean = engine.verify_timeline(&workloads, &timeline).unwrap();
+    assert!(clean.is_empty(), "{}", clean.render_text());
+
+    // Drag the second CPU interval back on top of the first.
+    let cpu: Vec<usize> = timeline
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.resource == ResourceClass::Cpu)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(cpu.len() >= 2, "expected two CPU placements");
+    let span = timeline[cpu[0]].end.seconds() - timeline[cpu[0]].start.seconds();
+    timeline[cpu[1]].start = timeline[cpu[0]].start;
+    timeline[cpu[1]].end = Seconds::new(timeline[cpu[0]].start.seconds() + span);
+
+    let diags = engine.verify_timeline(&workloads, &timeline).unwrap();
+    let mut renamed = pim_common::Diagnostics::new();
+    renamed.extend(diags);
+    assert_errors_in_pass(&renamed, pim_runtime::verify::PASS, "double-books the CPU");
+}
+
+/// Liveness corruption: an activation consumed that nothing produces.
+#[test]
+fn graph_pass_catches_use_before_definition() {
+    let mut g = Graph::new();
+    let phantom = g.add_tensor(Shape::new(vec![32]), TensorRole::Activation, "phantom");
+    let out = g.add_tensor(Shape::new(vec![32]), TensorRole::Activation, "out");
+    g.add_op(
+        OpKind::Activation(Activation::Relu),
+        vec![phantom],
+        vec![out],
+    )
+    .unwrap();
+    let diags = verify_graph("phantom", &g);
+    assert_errors_in_pass(&diags, pim_verify::graph::PASS, "use before definition");
+}

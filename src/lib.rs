@@ -15,7 +15,9 @@
 //! * [`hw`] — CPU/GPU/fixed-function-PIM/programmable-PIM device models,
 //! * [`opencl`] — the extended OpenCL programming model,
 //! * [`runtime`] — the profiling-based scheduler and discrete-event engine,
-//! * [`sim`] — system configurations and the paper-experiment harness.
+//! * [`sim`] — system configurations and the paper-experiment harness,
+//! * [`verify`] — multi-pass static checker for graphs, binaries,
+//!   schedules, and reports.
 //!
 //! # Quickstart
 //!
@@ -40,3 +42,4 @@ pub use pim_opencl as opencl;
 pub use pim_runtime as runtime;
 pub use pim_sim as sim;
 pub use pim_tensor as tensor;
+pub use pim_verify as verify;

@@ -43,7 +43,7 @@ fn binary_generation_matches_op_classes() {
     let model = Model::build_with_batch(ModelKind::Vgg19, 4).unwrap();
     for node in model.graph().ops() {
         let cost = op_cost(model.graph(), node).unwrap();
-        let set = BinarySet::generate(KernelSource::from_cost(node.kind.tf_name(), &cost));
+        let set = BinarySet::generate(KernelSource::from_cost(node.kind.tf_name(), &cost)).unwrap();
         assert_eq!(
             set.runs_whole_on_fixed(),
             cost.class == OffloadClass::FullyMulAdd && cost.total_flops() > 0.0,
