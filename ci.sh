@@ -10,16 +10,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 cargo test -q
 cargo test --workspace -q
 
+# Workspace builds unify features (pim-sim default-enables pim-runtime's
+# `trace`); make sure the feature-off hot path still compiles on its own.
+cargo check -q -p pim-runtime
+
 # Static checker: every model graph, binary set, schedule, and report must
 # come back with zero error-severity diagnostics (exit code gates).
 cargo run --release -q -p pim-verify -- --all-models --format json > /dev/null
 
 # Determinism: the full reproduction sweep must be byte-identical across
 # runs (the simulator owns all its randomness).
-repro_a=$(mktemp) repro_b=$(mktemp)
-trap 'rm -f "$repro_a" "$repro_b"' EXIT
+repro_a=$(mktemp) repro_b=$(mktemp) trace_a=$(mktemp) trace_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b"' EXIT
 cargo run --release -q -p pim-sim --bin repro -- all > "$repro_a"
 cargo run --release -q -p pim-sim --bin repro -- all > "$repro_b"
 diff "$repro_a" "$repro_b"
+
+# Observability: the Chrome-trace export must be byte-identical across
+# runs and structurally valid (parses, ph/ts/pid/tid present, per-track
+# timestamps monotone — `repro tracecheck` gates all of it).
+cargo run --release -q -p pim-sim --bin repro -- --trace "$trace_a" 2> /dev/null
+cargo run --release -q -p pim-sim --bin repro -- --trace "$trace_b" 2> /dev/null
+diff "$trace_a" "$trace_b"
+cargo run --release -q -p pim-sim --bin repro -- tracecheck "$trace_a" > /dev/null
 
 echo "ci: all checks passed"

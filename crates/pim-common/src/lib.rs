@@ -7,7 +7,8 @@
 //! * strongly typed identifiers ([`ids`]),
 //! * physical units with unit-safe arithmetic ([`units`]),
 //! * the common error type ([`error`]),
-//! * structured analysis diagnostics ([`diag`]).
+//! * structured analysis diagnostics ([`diag`]),
+//! * runtime observability: spans, counters, Chrome-trace export ([`trace`]).
 //!
 //! # Examples
 //!
@@ -24,7 +25,9 @@ pub mod access;
 pub mod diag;
 pub mod error;
 pub mod ids;
+pub mod trace;
 pub mod units;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use error::{PimError, Result};
+pub use trace::{Counters, NullTrace, Recorder, TraceEvent, TraceRecording, TraceSink, Track};

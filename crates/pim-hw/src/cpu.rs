@@ -44,6 +44,23 @@ impl CpuDevice {
         }
     }
 
+    /// A host CPU with caller-supplied parameters — non-Xeon hosts
+    /// profile and schedule against their own part, not the paper's.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_hw::cpu::CpuDevice;
+    /// let mut params = CpuDevice::xeon_e5_2630_v3().params().clone();
+    /// params.name = "EPYC";
+    /// params.ma_throughput *= 2.0;
+    /// let epyc = CpuDevice::custom(params);
+    /// assert_eq!(epyc.params().name, "EPYC");
+    /// ```
+    pub fn custom(params: DeviceParams) -> Self {
+        CpuDevice { params }
+    }
+
     /// The device parameters.
     pub fn params(&self) -> &DeviceParams {
         &self.params

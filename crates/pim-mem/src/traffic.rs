@@ -1,6 +1,8 @@
-//! Transfer-time math shared by all memory models.
+//! Transfer-time math shared by all memory models, plus the traffic
+//! accounting the runtime's observability layer reads.
 
 pub use pim_common::access::AccessPattern;
+use pim_common::trace::Counters;
 use pim_common::units::{Bytes, Seconds};
 
 /// Fraction of peak bandwidth a pattern achieves on a row-buffer DRAM.
@@ -46,10 +48,105 @@ pub fn transfer_time(volume: Bytes, peak_bytes_per_sec: f64, pattern: AccessPatt
     Seconds::new(volume.bytes() / effective)
 }
 
+/// Accumulated main-memory traffic of one simulation.
+///
+/// Every executed op contributes its read/write volumes; the totals land
+/// in the run's [`Counters`] registry (`bytes/read`, `bytes/written`,
+/// `bytes/transfers`) so traces and reports can be cross-checked against
+/// what actually moved.
+///
+/// # Examples
+///
+/// ```
+/// use pim_mem::traffic::TrafficStats;
+/// use pim_common::trace::Counters;
+/// use pim_common::units::Bytes;
+///
+/// let mut t = TrafficStats::new();
+/// t.record(Bytes::new(256.0), Bytes::new(64.0));
+/// t.record(Bytes::new(128.0), Bytes::ZERO);
+/// assert_eq!(t.total().bytes(), 448.0);
+/// assert_eq!(t.transfers(), 2);
+///
+/// let mut c = Counters::new();
+/// t.apply(&mut c);
+/// assert_eq!(c.get("bytes/read"), 384.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    bytes_read: Bytes,
+    bytes_written: Bytes,
+    transfers: u64,
+}
+
+impl TrafficStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    /// Records one op's read and write volumes.
+    pub fn record(&mut self, read: Bytes, written: Bytes) {
+        self.bytes_read += read;
+        self.bytes_written += written;
+        self.transfers += 1;
+    }
+
+    /// Total bytes read from main memory.
+    pub fn bytes_read(&self) -> Bytes {
+        self.bytes_read
+    }
+
+    /// Total bytes written to main memory.
+    pub fn bytes_written(&self) -> Bytes {
+        self.bytes_written
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> Bytes {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Number of recorded transfers (op executions).
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// 64-byte main-memory lines the total volume touches.
+    pub fn lines_touched(&self) -> u64 {
+        self.total().lines()
+    }
+
+    /// Writes the totals into a counters registry under `bytes/read`,
+    /// `bytes/written`, and `bytes/transfers`.
+    pub fn apply(&self, counters: &mut Counters) {
+        counters.add("bytes/read", self.bytes_read.bytes());
+        counters.add("bytes/written", self.bytes_written.bytes());
+        counters.add("bytes/transfers", self.transfers as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn traffic_stats_accumulate_and_apply() {
+        let mut t = TrafficStats::new();
+        assert_eq!(t, TrafficStats::default());
+        t.record(Bytes::from_lines(2), Bytes::from_lines(1));
+        t.record(Bytes::new(10.0), Bytes::new(20.0));
+        assert_eq!(t.bytes_read().bytes(), 138.0);
+        assert_eq!(t.bytes_written().bytes(), 84.0);
+        assert_eq!(t.transfers(), 2);
+        assert_eq!(t.lines_touched(), Bytes::new(222.0).lines());
+        let mut c = Counters::new();
+        t.apply(&mut c);
+        assert_eq!(c.get("bytes/read"), 138.0);
+        assert_eq!(c.get("bytes/written"), 84.0);
+        assert_eq!(c.get("bytes/transfers"), 2.0);
+    }
 
     #[test]
     fn sequential_is_fastest() {

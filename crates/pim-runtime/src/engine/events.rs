@@ -11,7 +11,9 @@
 //!
 //! All three account time and energy through the same [`Accumulator`] and
 //! build their result exclusively via [`ReportBuilder`], and all three emit
-//! per-op [`TimelineEntry`] records to a pluggable [`TraceSink`].
+//! per-op [`TimelineEntry`] records to a pluggable [`TimelineSink`]. The
+//! engine drivers additionally observe execution through an [`Observer`]:
+//! counters always, Chrome-trace spans when the `trace` feature is on.
 
 use super::placement::{
     resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
@@ -20,15 +22,24 @@ use super::{Prepared, SystemMode};
 use crate::stats::{ExecutionReport, ReportBuilder};
 use crate::sync::STEP_BARRIER;
 use pim_common::ids::{BankId, OpId};
+use pim_common::trace::{Counters, Track};
 use pim_common::units::{Joules, Seconds};
 use pim_common::{PimError, Result};
 use pim_hw::device::Device;
 use pim_hw::fixed::FixedFunctionPool;
 use pim_hw::registers::StatusRegisters;
+use pim_mem::traffic::TrafficStats;
 use pim_tensor::cost::CostProfile;
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
+
+#[cfg(feature = "trace")]
+use super::placement::describe;
+#[cfg(feature = "trace")]
+use crate::sync::kernel_calls;
+#[cfg(feature = "trace")]
+use pim_common::trace::TraceEvent;
 
 /// Which exclusive resource class an op instance occupied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -72,17 +83,19 @@ pub struct TimelineEntry {
 ///
 /// The drivers emit entries as they commit ops to the clock; a sink can
 /// collect them ([`VecSink`]), stream them elsewhere, or drop them
-/// ([`NullSink`]) when only the report matters.
-pub trait TraceSink {
+/// ([`NullSink`]) when only the report matters. (Span-level tracing for
+/// Chrome-trace export is a separate concern — see
+/// [`pim_common::trace::TraceSink`].)
+pub trait TimelineSink {
     /// Records one committed op instance.
     fn record(&mut self, entry: TimelineEntry);
 }
 
-/// Discards every entry — tracing disabled.
+/// Discards every entry — timeline collection disabled.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
-impl TraceSink for NullSink {
+impl TimelineSink for NullSink {
     fn record(&mut self, _entry: TimelineEntry) {}
 }
 
@@ -92,7 +105,7 @@ pub struct VecSink {
     entries: Vec<TimelineEntry>,
 }
 
-impl TraceSink for VecSink {
+impl TimelineSink for VecSink {
     fn record(&mut self, entry: TimelineEntry) {
         self.entries.push(entry);
     }
@@ -102,6 +115,316 @@ impl VecSink {
     /// The collected timeline, in commit order.
     pub fn into_entries(self) -> Vec<TimelineEntry> {
         self.entries
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: track layout, counters, and the driver-facing Observer.
+// ---------------------------------------------------------------------------
+
+/// The single trace process every engine run records under.
+pub(crate) const TRACE_PID: u32 = 1;
+
+/// Scheduler track: placement/selection instants, stalls, barriers.
+pub(crate) const SCHED_TRACK: Track = Track::new(TRACE_PID, 1);
+
+/// Fixed-function occupancy counter track.
+#[cfg(feature = "trace")]
+pub(crate) const FF_TRACK: Track = Track::new(TRACE_PID, 2);
+
+/// First thread id of each resource class's span lanes; overlapping spans
+/// of one class fan out to `base + lane`.
+#[cfg(feature = "trace")]
+fn class_base_tid(class: ResourceClass) -> u32 {
+    match class {
+        ResourceClass::Cpu => 1000,
+        ResourceClass::Progr => 2000,
+        ResourceClass::Fixed => 3000,
+        ResourceClass::CpuAndFixed => 4000,
+        ResourceClass::ProgrAndFixed => 5000,
+        ResourceClass::Baseline => 6000,
+    }
+}
+
+/// Stable display label of a resource class (also the counter-key suffix
+/// under `ops/`).
+pub(crate) fn class_label(class: ResourceClass) -> &'static str {
+    match class {
+        ResourceClass::Cpu => "CPU",
+        ResourceClass::Progr => "Progr PIM",
+        ResourceClass::Fixed => "Fixed PIM",
+        ResourceClass::CpuAndFixed => "CPU+Fixed",
+        ResourceClass::ProgrAndFixed => "Progr+Fixed",
+        ResourceClass::Baseline => "Baseline",
+    }
+}
+
+/// Everything the [`Observer`] needs to know about one committed op.
+pub(crate) struct OpRecord<'c> {
+    pub entry: TimelineEntry,
+    pub planned: &'c PlannedOp,
+    pub kind: PlanKind,
+    pub cost: &'c CostProfile,
+    pub name: &'static str,
+    pub candidate: bool,
+    /// Op instances in flight at commit time (OP pipeline occupancy,
+    /// including this one).
+    pub inflight: usize,
+}
+
+/// Per-class greedy lane assignment for overlapping spans.
+///
+/// Spans arrive in non-decreasing start order (the drivers only move the
+/// clock forward), so first-fit against lane end times is deterministic
+/// and optimal enough for a readable timeline.
+#[cfg(feature = "trace")]
+#[derive(Default)]
+struct Lanes {
+    /// Quantized end time of the last span per lane, per resource class.
+    ends: [Vec<u128>; 6],
+}
+
+#[cfg(feature = "trace")]
+impl Lanes {
+    fn class_index(class: ResourceClass) -> usize {
+        match class {
+            ResourceClass::Cpu => 0,
+            ResourceClass::Progr => 1,
+            ResourceClass::Fixed => 2,
+            ResourceClass::CpuAndFixed => 3,
+            ResourceClass::ProgrAndFixed => 4,
+            ResourceClass::Baseline => 5,
+        }
+    }
+
+    /// Assigns a lane for `[start, end]`; `true` when the lane is new.
+    fn assign(&mut self, class: ResourceClass, start: Seconds, end: Seconds) -> (usize, bool) {
+        let ends = &mut self.ends[Self::class_index(class)];
+        let start_fs = Clock::to_fs(start);
+        let end_fs = Clock::to_fs(end);
+        for (lane, lane_end) in ends.iter_mut().enumerate() {
+            if *lane_end <= start_fs {
+                *lane_end = end_fs;
+                return (lane, false);
+            }
+        }
+        ends.push(end_fs);
+        (ends.len() - 1, true)
+    }
+}
+
+/// The drivers' window into the observability layer.
+///
+/// Always feeds the per-instance [`TimelineSink`], the [`Counters`]
+/// registry, and the [`TrafficStats`] accumulator; with the `trace`
+/// feature enabled it additionally emits Chrome-trace spans, instants, and
+/// counter samples to a [`pim_common::trace::TraceSink`]. With the feature
+/// off the trace half compiles away entirely.
+pub(crate) struct Observer<'a> {
+    timeline: &'a mut dyn TimelineSink,
+    counters: &'a mut Counters,
+    traffic: TrafficStats,
+    ff_units_total: usize,
+    ff_busy_units: usize,
+    #[cfg(feature = "trace")]
+    tracer: &'a mut dyn pim_common::trace::TraceSink,
+    #[cfg(feature = "trace")]
+    lanes: Lanes,
+}
+
+impl<'a> Observer<'a> {
+    /// Builds an observer over a timeline sink, a counters registry, and a
+    /// span tracer; `system` labels the trace process.
+    pub fn new(
+        timeline: &'a mut dyn TimelineSink,
+        counters: &'a mut Counters,
+        ff_units_total: usize,
+        tracer: &'a mut dyn pim_common::trace::TraceSink,
+        system: &str,
+    ) -> Self {
+        #[cfg(not(feature = "trace"))]
+        let _ = (tracer, system);
+        #[cfg(feature = "trace")]
+        if tracer.enabled() {
+            tracer.record(TraceEvent::ProcessName {
+                track: Track::new(TRACE_PID, 0),
+                name: format!("hetero-pim engine: {system}"),
+            });
+            tracer.record(TraceEvent::ThreadName {
+                track: SCHED_TRACK,
+                name: "scheduler".to_string(),
+            });
+            tracer.record(TraceEvent::ThreadName {
+                track: FF_TRACK,
+                name: "ff-unit occupancy".to_string(),
+            });
+        }
+        Observer {
+            timeline,
+            counters,
+            traffic: TrafficStats::new(),
+            ff_units_total,
+            ff_busy_units: 0,
+            #[cfg(feature = "trace")]
+            tracer,
+            #[cfg(feature = "trace")]
+            lanes: Lanes::default(),
+        }
+    }
+
+    /// Records one committed op instance: timeline entry, counters,
+    /// traffic, and (feature-gated) a span on its resource-class lane.
+    pub fn record_op(&mut self, rec: &OpRecord<'_>) {
+        self.timeline.record(rec.entry);
+        self.counters.inc("events/dispatched");
+        let class = rec.entry.resource;
+        self.counters.inc(&format!("ops/{}", class_label(class)));
+        let planned = rec.planned;
+        if planned.uses_cpu {
+            self.counters
+                .add("busy_seconds/CPU", planned.duration.seconds());
+        }
+        if planned.uses_progr {
+            self.counters
+                .add("busy_seconds/Progr PIM", planned.duration.seconds());
+        }
+        if planned.ff_units > 0 {
+            self.counters.add(
+                "busy_seconds/Fixed PIM",
+                planned.ff_units as f64 * planned.ff_busy.seconds()
+                    / self.ff_units_total.max(1) as f64,
+            );
+        }
+        self.traffic
+            .record(rec.cost.bytes_read, rec.cost.bytes_written);
+        #[cfg(not(feature = "trace"))]
+        let _ = (rec.kind, rec.name, rec.candidate, rec.inflight);
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            let (lane, fresh) = self.lanes.assign(class, rec.entry.start, rec.entry.end);
+            let track = Track::new(TRACE_PID, class_base_tid(class) + lane as u32);
+            if fresh {
+                let label = class_label(class);
+                self.tracer.record(TraceEvent::ThreadName {
+                    track,
+                    name: if lane == 0 {
+                        label.to_string()
+                    } else {
+                        format!("{label} #{}", lane + 1)
+                    },
+                });
+            }
+            let mut args: pim_common::trace::Args = vec![
+                ("wl", rec.entry.workload.into()),
+                ("step", rec.entry.step.into()),
+                ("op", rec.entry.op.into()),
+                ("placement", describe(rec.kind).into()),
+                ("candidate", rec.candidate.into()),
+                ("inflight", rec.inflight.into()),
+            ];
+            if rec.entry.ff_units > 0 {
+                args.push(("ff_units", rec.entry.ff_units.into()));
+            }
+            if matches!(
+                rec.kind,
+                PlanKind::FixedWhole {
+                    rc_runtime: true,
+                    ..
+                } | PlanKind::Recursive { .. }
+            ) {
+                args.push(("rc_calls", kernel_calls(rec.cost.ma_flops()).into()));
+            }
+            self.tracer.record(TraceEvent::Span {
+                track,
+                name: rec.name.to_string(),
+                cat: "op",
+                start: rec.entry.start,
+                end: rec.entry.end,
+                args,
+            });
+        }
+    }
+
+    /// Records one completion event popped off the heap (or, in the
+    /// serialized driver, an op retiring).
+    pub fn completed(&mut self) {
+        self.counters.inc("events/completed");
+    }
+
+    /// Applies a fixed-function occupancy change and samples the counter
+    /// track.
+    pub fn ff_delta(&mut self, now: Seconds, grant: isize) {
+        self.ff_busy_units = (self.ff_busy_units as isize + grant).max(0) as usize;
+        #[cfg(not(feature = "trace"))]
+        let _ = now;
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Counter {
+                track: FF_TRACK,
+                name: "ff units busy",
+                ts: now,
+                value: self.ff_busy_units as f64,
+            });
+        }
+    }
+
+    /// Records a register-file stall: ready ops that could not be placed
+    /// because the Fig. 7 registers showed no free resources
+    /// (`window_closed` counts ops merely outside the OP pipeline window).
+    pub fn stall(
+        &mut self,
+        now: Seconds,
+        waiting: usize,
+        window_closed: usize,
+        avail: Availability,
+    ) {
+        self.counters.inc("events/stalls");
+        #[cfg(not(feature = "trace"))]
+        let _ = (now, waiting, window_closed, avail);
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Instant {
+                track: SCHED_TRACK,
+                name: "stall".to_string(),
+                cat: "sched",
+                ts: now,
+                args: vec![
+                    ("waiting", waiting.into()),
+                    ("window_closed", window_closed.into()),
+                    ("cpu_free", avail.cpu_free.into()),
+                    ("progr_free", avail.progr_free.into()),
+                    ("ff_free", avail.ff_free.into()),
+                ],
+            });
+        }
+    }
+
+    /// Records one end-of-step barrier at `now`.
+    pub fn barrier(&mut self, now: Seconds, amount: Seconds) {
+        self.counters.add("sync/barrier_seconds", amount.seconds());
+        #[cfg(not(feature = "trace"))]
+        let _ = now;
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Instant {
+                track: SCHED_TRACK,
+                name: "step barrier".to_string(),
+                cat: "sync",
+                ts: now,
+                args: vec![("seconds", amount.seconds().into())],
+            });
+        }
+    }
+
+    /// Accounts placement-decision time spent by the CPU-side runtime.
+    pub fn decision(&mut self, amount: Seconds) {
+        self.counters.add("sync/decision_seconds", amount.seconds());
+    }
+
+    /// Flushes deferred accounting (traffic totals) into the counters.
+    /// Must be called once, after the driver returns.
+    pub fn finish(&mut self) {
+        self.traffic.apply(self.counters);
     }
 }
 
@@ -333,11 +656,12 @@ impl Accumulator {
 pub(crate) fn run_serialized(
     planner: &Planner,
     prepared: &[Prepared<'_>],
-    sink: &mut dyn TraceSink,
+    obs: &mut Observer<'_>,
 ) -> Result<ExecutionReport> {
     let mut acc = Accumulator::default();
     let mut clock = Clock::new();
     for (w, wl) in prepared.iter().enumerate() {
+        let ops = wl.spec.graph.ops();
         for step in 0..wl.spec.steps {
             for &op in &wl.topo {
                 let cost = &wl.costs[op];
@@ -352,7 +676,7 @@ pub(crate) fn run_serialized(
                     .ok_or_else(|| PimError::internal("serialized placement found no device"))?;
                 let planned = planner.plan_cost(kind, cost);
                 acc.add(&planned);
-                sink.record(TimelineEntry {
+                let entry = TimelineEntry {
                     workload: w,
                     step,
                     op,
@@ -360,15 +684,33 @@ pub(crate) fn run_serialized(
                     end: clock.now() + planned.duration,
                     resource: resource_class(&planned),
                     ff_units: planned.ff_units,
+                };
+                obs.record_op(&OpRecord {
+                    entry,
+                    planned: &planned,
+                    kind,
+                    cost,
+                    name: ops[op].kind.tf_name(),
+                    candidate: is_candidate,
+                    inflight: 1,
                 });
+                if planned.ff_units > 0 {
+                    obs.ff_delta(clock.now(), planned.ff_units as isize);
+                }
                 clock.advance(planned.duration);
+                if planned.ff_units > 0 {
+                    obs.ff_delta(clock.now(), -(planned.ff_units as isize));
+                }
+                obs.completed();
                 if planner.cfg.mode == SystemMode::Hetero {
                     clock.advance(PLACEMENT_DECISION);
                     acc.sync_raw += PLACEMENT_DECISION;
+                    obs.decision(PLACEMENT_DECISION);
                 }
             }
             clock.advance(STEP_BARRIER);
             acc.sync_raw += STEP_BARRIER;
+            obs.barrier(clock.now(), STEP_BARRIER);
         }
     }
     let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
@@ -379,7 +721,7 @@ pub(crate) fn run_serialized(
 pub(crate) fn run_scheduled(
     planner: &Planner,
     prepared: &[Prepared<'_>],
-    sink: &mut dyn TraceSink,
+    obs: &mut Observer<'_>,
 ) -> Result<ExecutionReport> {
     #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
     struct Key {
@@ -441,6 +783,7 @@ pub(crate) fn run_scheduled(
         .map(|wl| wl.spec.steps * wl.topo.len())
         .sum();
     let mut completed = 0usize;
+    let mut inflight = 0usize;
 
     while completed < total_instances {
         // Schedule everything that fits right now.
@@ -467,6 +810,7 @@ pub(crate) fn run_scheduled(
                 let units = state.acquire(kind, &planned)?;
                 acc.add(&planned);
                 ready.remove(&key);
+                inflight += 1;
                 // Record the end at the same femtosecond quantization the
                 // event heap uses, so timeline intervals match the actual
                 // resource hold times exactly.
@@ -481,7 +825,7 @@ pub(crate) fn run_scheduled(
                         uses_progr: planned.uses_progr,
                     },
                 );
-                sink.record(TimelineEntry {
+                let entry = TimelineEntry {
                     workload: key.wl,
                     step: key.step,
                     op: key.op,
@@ -489,8 +833,43 @@ pub(crate) fn run_scheduled(
                     end: Clock::from_fs(end_fs),
                     resource: resource_class(&planned),
                     ff_units: units,
+                };
+                obs.record_op(&OpRecord {
+                    entry,
+                    planned: &planned,
+                    kind,
+                    cost,
+                    name: wl.spec.graph.ops()[key.op].kind.tf_name(),
+                    candidate: is_candidate,
+                    inflight,
                 });
+                if units > 0 {
+                    obs.ff_delta(clock.now(), units as isize);
+                }
                 scheduled_any = true;
+            }
+        }
+
+        // Anything still ready is stalled: either the Fig. 7 registers
+        // showed no free resources, or its step sits outside the pipeline
+        // window.
+        if !ready.is_empty() {
+            let mut resource_waiting = 0usize;
+            let mut window_closed = 0usize;
+            for key in &ready {
+                if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                    window_closed += 1;
+                } else {
+                    resource_waiting += 1;
+                }
+            }
+            if resource_waiting > 0 {
+                obs.stall(
+                    clock.now(),
+                    resource_waiting,
+                    window_closed,
+                    state.availability(),
+                );
             }
         }
 
@@ -505,6 +884,11 @@ pub(crate) fn run_scheduled(
         clock.jump_to_fs(t_fs);
         state.release(done.units, done.uses_cpu, done.uses_progr);
         completed += 1;
+        inflight -= 1;
+        obs.completed();
+        if done.units > 0 {
+            obs.ff_delta(clock.now(), -(done.units as isize));
+        }
 
         let wl = &prepared[done.wl];
         // Intra-step consumers.
@@ -555,6 +939,8 @@ pub(crate) fn run_scheduled(
     };
     acc.sync_raw += barrier_total + decisions;
     let makespan = clock.now() + barrier_total + decisions;
+    obs.barrier(makespan, barrier_total);
+    obs.decision(decisions);
     let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
     Ok(acc.into_report(planner, steps, makespan))
 }
@@ -585,7 +971,7 @@ pub struct DeviceRun<'a> {
 /// the step epilogue is accounted as data movement. Host idle power is
 /// always charged — a standalone accelerator leaves the host package
 /// powered but out of the compute path.
-pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TraceSink) -> ExecutionReport {
+pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TimelineSink) -> ExecutionReport {
     let mut clock = Clock::new();
     let mut op_raw = Seconds::ZERO;
     let mut dm_raw = Seconds::ZERO;

@@ -3,39 +3,52 @@
 //!
 //! Implements the §III-C scheduler — profiling-based candidate selection,
 //! the three scheduling principles, recursive PIM kernels (RC), and the
-//! operation pipeline (OP) — over the device models of `pim-hw`. The five
-//! system configurations of §VI map onto [`EngineConfig`] constructors
-//! (the GPU baseline is analytic and lives in `pim-sim`).
+//! operation pipeline (OP) — over the device models of `pim-hw`. The
+//! system configurations of §VI map onto [`SystemPreset`] via
+//! [`EngineConfig::preset`] (the GPU baseline is analytic and lives in
+//! `pim-sim`).
+//!
+//! All execution funnels through one entry point,
+//! [`Engine::run_with`], which takes [`RunOptions`] and returns a
+//! [`RunOutput`] carrying the report plus any requested observability
+//! artifacts (timeline, counters, Chrome-trace recording);
+//! [`Engine::run`], [`Engine::run_detailed`], and [`Engine::run_many`]
+//! are thin wrappers over it.
 //!
 //! The engine is a thin facade over two submodules:
 //!
 //! * `placement` — the placement policy (`Planner`): the three scheduling
 //!   principles costed through the `pim-hw` `Device` trait,
 //! * `events` — the shared event core (clock, event heap, resource state,
-//!   trace sinks) and the execution drivers, including
-//!   [`run_device_serial`] which the `pim-sim` baselines use.
+//!   timeline sinks, the observability `Observer`) and the execution
+//!   drivers, including [`run_device_serial`] which the `pim-sim`
+//!   baselines use.
 
 mod events;
 mod placement;
 #[cfg(test)]
 mod tests;
 
+pub(crate) use events::SCHED_TRACK;
 pub use events::{
-    run_device_serial, DeviceRun, NullSink, ResourceClass, TimelineEntry, TraceSink, VecSink,
+    run_device_serial, DeviceRun, NullSink, ResourceClass, TimelineEntry, TimelineSink, VecSink,
     PROGR_KERNEL_SLOTS,
 };
 
-use crate::profiler::profile_step;
-use crate::select::{select_candidates, CandidateSet};
+use crate::profiler::profile_step_traced;
+use crate::select::{select_candidates_traced, CandidateSet};
 use crate::stats::ExecutionReport;
 use crate::verify::{ResourceLimits, WorkloadFacts};
+use events::Observer;
+use pim_common::trace::{Counters, NullTrace, TraceRecording};
 use pim_common::{Diagnostics, PimError, Result};
 use pim_graph::cost::graph_costs;
 use pim_graph::Graph;
+use pim_hw::cpu::CpuDevice;
 use pim_hw::fixed::FixedFunctionPool;
 use pim_mem::stack::StackConfig;
 use pim_tensor::cost::CostProfile;
-use placement::{Availability, PlanKind, Planner};
+use placement::{describe, Availability, Planner};
 use serde::Serialize;
 
 /// Which compute complement the simulated system has.
@@ -51,6 +64,67 @@ pub enum SystemMode {
     /// The full heterogeneous PIM (fixed-function pool + one programmable
     /// PIM + CPU).
     Hetero,
+}
+
+/// The named system configurations of the evaluation — the single source
+/// of truth [`EngineConfig::preset`] builds from.
+///
+/// §VI's engine-backed configurations plus the Fig. 13 ablation points
+/// (the GPU baseline is analytic and lives in `pim-sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SystemPreset {
+    /// The "CPU" configuration of §VI.
+    CpuOnly,
+    /// The "Progr PIM" configuration: programmable PIMs only, no runtime
+    /// scheduling.
+    ProgrOnly,
+    /// The "Fixed PIM" configuration: fixed-function PIMs plus CPU, no
+    /// runtime scheduling.
+    FixedHost,
+    /// The full "Hetero PIM" configuration with RC and OP.
+    Hetero,
+    /// Hetero hardware without either runtime technique (Fig. 13's
+    /// "Hetero PIM" ablation bar).
+    HeteroBare,
+    /// Hetero hardware with recursive kernels but no operation pipeline
+    /// (Fig. 13's "+RC" bar).
+    HeteroRc,
+}
+
+impl SystemPreset {
+    /// Every preset, in evaluation order.
+    pub const ALL: [SystemPreset; 6] = [
+        SystemPreset::CpuOnly,
+        SystemPreset::ProgrOnly,
+        SystemPreset::FixedHost,
+        SystemPreset::Hetero,
+        SystemPreset::HeteroBare,
+        SystemPreset::HeteroRc,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemPreset::CpuOnly => "CPU",
+            SystemPreset::ProgrOnly => "Progr PIM",
+            SystemPreset::FixedHost => "Fixed PIM",
+            SystemPreset::Hetero => "Hetero PIM",
+            SystemPreset::HeteroBare => "Hetero PIM (no RC/OP)",
+            SystemPreset::HeteroRc => "Hetero PIM +RC",
+        }
+    }
+
+    /// The compute complement this preset runs on.
+    pub fn mode(self) -> SystemMode {
+        match self {
+            SystemPreset::CpuOnly => SystemMode::CpuOnly,
+            SystemPreset::ProgrOnly => SystemMode::ProgrOnly,
+            SystemPreset::FixedHost => SystemMode::FixedHost,
+            SystemPreset::Hetero | SystemPreset::HeteroBare | SystemPreset::HeteroRc => {
+                SystemMode::Hetero
+            }
+        }
+    }
 }
 
 /// Engine configuration: system complement plus runtime-technique toggles.
@@ -75,64 +149,97 @@ pub struct EngineConfig {
     pub arm_cores: usize,
     /// Fixed-function units on the logic die.
     pub ff_units: usize,
+    /// The host CPU: step-1 profiling and all CPU placements run on this
+    /// device (defaults to the paper's Xeon E5-2630 v3).
+    pub host: CpuDevice,
 }
 
 impl EngineConfig {
-    fn base(name: &str, mode: SystemMode) -> Self {
+    /// Builds the configuration for a named preset — the one constructor
+    /// all evaluation configurations derive from.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pim_runtime::engine::{EngineConfig, SystemPreset};
+    /// let cfg = EngineConfig::preset(SystemPreset::Hetero);
+    /// assert_eq!(cfg.name, "Hetero PIM");
+    /// assert!(cfg.recursive_kernels && cfg.operation_pipeline);
+    /// ```
+    pub fn preset(preset: SystemPreset) -> Self {
+        let (rc, op) = match preset {
+            SystemPreset::Hetero => (true, true),
+            SystemPreset::HeteroRc => (true, false),
+            _ => (false, false),
+        };
         EngineConfig {
-            name: name.to_string(),
-            mode,
-            recursive_kernels: false,
-            operation_pipeline: false,
+            name: preset.name().to_string(),
+            mode: preset.mode(),
+            recursive_kernels: rc,
+            operation_pipeline: op,
             pipeline_depth: 4,
             coverage: 0.90,
             stack: StackConfig::hmc2(),
             arm_cores: 4,
             ff_units: pim_hw::fixed::DEFAULT_UNITS,
+            host: CpuDevice::xeon_e5_2630_v3(),
         }
     }
 
     /// The "CPU" configuration of §VI.
+    ///
+    /// Deprecated spelling of `EngineConfig::preset(SystemPreset::CpuOnly)`;
+    /// prefer the preset form in new code.
     pub fn cpu_only() -> Self {
-        EngineConfig::base("CPU", SystemMode::CpuOnly)
+        EngineConfig::preset(SystemPreset::CpuOnly)
     }
 
     /// The "Progr PIM" configuration: programmable PIMs only, no runtime
     /// scheduling.
+    ///
+    /// Deprecated spelling of
+    /// `EngineConfig::preset(SystemPreset::ProgrOnly)`; prefer the preset
+    /// form in new code.
     pub fn progr_only() -> Self {
-        EngineConfig::base("Progr PIM", SystemMode::ProgrOnly)
+        EngineConfig::preset(SystemPreset::ProgrOnly)
     }
 
     /// The "Fixed PIM" configuration: fixed-function PIMs plus CPU, no
     /// runtime scheduling.
+    ///
+    /// Deprecated spelling of
+    /// `EngineConfig::preset(SystemPreset::FixedHost)`; prefer the preset
+    /// form in new code.
     pub fn fixed_host() -> Self {
-        EngineConfig::base("Fixed PIM", SystemMode::FixedHost)
+        EngineConfig::preset(SystemPreset::FixedHost)
     }
 
     /// The full "Hetero PIM" configuration with RC and OP.
+    ///
+    /// Deprecated spelling of `EngineConfig::preset(SystemPreset::Hetero)`;
+    /// prefer the preset form in new code.
     pub fn hetero() -> Self {
-        let mut cfg = EngineConfig::base("Hetero PIM", SystemMode::Hetero);
-        cfg.recursive_kernels = true;
-        cfg.operation_pipeline = true;
-        cfg
+        EngineConfig::preset(SystemPreset::Hetero)
     }
 
     /// Hetero hardware without either runtime technique (Fig. 13's
     /// "Hetero PIM" ablation bar).
+    ///
+    /// Deprecated spelling of
+    /// `EngineConfig::preset(SystemPreset::HeteroBare)`; prefer the preset
+    /// form in new code.
     pub fn hetero_bare() -> Self {
-        let mut cfg = EngineConfig::base("Hetero PIM (no RC/OP)", SystemMode::Hetero);
-        cfg.recursive_kernels = false;
-        cfg.operation_pipeline = false;
-        cfg
+        EngineConfig::preset(SystemPreset::HeteroBare)
     }
 
     /// Hetero hardware with recursive kernels but no operation pipeline
     /// (Fig. 13's "+RC" bar).
+    ///
+    /// Deprecated spelling of
+    /// `EngineConfig::preset(SystemPreset::HeteroRc)`; prefer the preset
+    /// form in new code.
     pub fn hetero_rc() -> Self {
-        let mut cfg = EngineConfig::base("Hetero PIM +RC", SystemMode::Hetero);
-        cfg.recursive_kernels = true;
-        cfg.operation_pipeline = false;
-        cfg
+        EngineConfig::preset(SystemPreset::HeteroRc)
     }
 
     /// Returns a copy with a different stack (frequency-scaling studies).
@@ -145,6 +252,13 @@ impl EngineConfig {
     pub fn with_pim_complement(mut self, arm_cores: usize, ff_units: usize) -> Self {
         self.arm_cores = arm_cores;
         self.ff_units = ff_units;
+        self
+    }
+
+    /// Returns a copy with a different host CPU device; profiling and CPU
+    /// placements follow it.
+    pub fn with_host_cpu(mut self, host: CpuDevice) -> Self {
+        self.host = host;
         self
     }
 }
@@ -188,6 +302,38 @@ pub(crate) struct Prepared<'g> {
     pub rank: Vec<usize>,
 }
 
+/// Knobs for one [`Engine::run_with`] invocation: which observability
+/// artifacts to materialize alongside the report.
+///
+/// The default requests nothing extra — `run_with(wls, &RunOptions::default())`
+/// behaves exactly like [`Engine::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Collect the per-instance execution timeline.
+    pub timeline: bool,
+    /// Record a Chrome-trace span recording. Requires the `trace` cargo
+    /// feature; without it the request is ignored and
+    /// [`RunOutput::trace`] stays `None`.
+    pub trace: bool,
+}
+
+/// Everything one simulation produced.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The aggregate execution report.
+    pub report: ExecutionReport,
+    /// The per-instance timeline, when [`RunOptions::timeline`] was set.
+    pub timeline: Option<Vec<TimelineEntry>>,
+    /// The span recording, when [`RunOptions::trace`] was set and the
+    /// `trace` feature is compiled in.
+    pub trace: Option<TraceRecording>,
+    /// The run's counter registry (ops placed per device, events
+    /// dispatched, busy seconds, bytes moved, sync stalls). Always
+    /// collected; cross-checked against the report in debug/`verify`
+    /// builds.
+    pub counters: Counters,
+}
+
 /// The engine: devices + policy for one configuration.
 pub struct Engine {
     planner: Planner,
@@ -206,13 +352,23 @@ impl Engine {
         &self.planner.cfg
     }
 
+    /// The CPU device this configuration profiles and schedules against
+    /// ([`EngineConfig::host`]).
+    pub fn profiling_device(&self) -> &CpuDevice {
+        self.planner.cpu()
+    }
+
     /// Profiles, classifies, and indexes every workload for the drivers.
-    fn prepare<'g>(&self, workloads: &[WorkloadSpec<'g>]) -> Result<Vec<Prepared<'g>>> {
+    fn prepare<'g>(
+        &self,
+        workloads: &[WorkloadSpec<'g>],
+        tracer: &mut dyn pim_common::trace::TraceSink,
+    ) -> Result<Vec<Prepared<'g>>> {
         let mut prepared = Vec::with_capacity(workloads.len());
         for wl in workloads {
             let costs = graph_costs(wl.graph)?;
-            let profile = profile_step(wl.graph, self.planner.cpu())?;
-            let candidates = select_candidates(&profile, self.planner.cfg.coverage);
+            let profile = profile_step_traced(wl.graph, self.planner.cpu(), tracer)?;
+            let candidates = select_candidates_traced(&profile, self.planner.cfg.coverage, tracer);
             let deps: Vec<Vec<usize>> = wl
                 .graph
                 .ops()
@@ -248,50 +404,106 @@ impl Engine {
         Ok(prepared)
     }
 
-    /// Simulates the workloads and produces the report.
+    /// Simulates the workloads, producing exactly the artifacts `opts`
+    /// asks for — the one execution entry point every other `run*` method
+    /// delegates to.
     ///
     /// In debug builds — or with the `verify` feature enabled — every run
     /// additionally replays its timeline through the `schedule` legality
-    /// pass ([`Engine::verify_timeline`]) and panics on any violation, so
-    /// a scheduler bug surfaces at the run that produced it.
+    /// pass ([`Engine::verify_timeline`]) and cross-checks the counter
+    /// registry against the report ([`crate::stats::cross_check_counters`]),
+    /// panicking on any violation so a scheduler bug surfaces at the run
+    /// that produced it.
     ///
     /// # Errors
     ///
     /// Propagates cost/profiling failures, or an internal error if the
     /// scheduler wedges (a bug, guarded explicitly).
-    pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
-        #[cfg(any(debug_assertions, feature = "verify"))]
-        {
-            let prepared = self.prepare(workloads)?;
+    pub fn run_with(&self, workloads: &[WorkloadSpec<'_>], opts: &RunOptions) -> Result<RunOutput> {
+        let verify = cfg!(any(debug_assertions, feature = "verify"));
+
+        let mut null = NullTrace;
+        #[cfg(feature = "trace")]
+        let mut recorder = pim_common::trace::Recorder::new();
+        #[cfg(feature = "trace")]
+        let tracer: &mut dyn pim_common::trace::TraceSink =
+            if opts.trace { &mut recorder } else { &mut null };
+        #[cfg(not(feature = "trace"))]
+        let tracer: &mut dyn pim_common::trace::TraceSink = &mut null;
+
+        let prepared = self.prepare(workloads, &mut *tracer)?;
+        let mut counters = Counters::new();
+
+        let (report, entries) = if opts.timeline || verify {
             let mut sink = VecSink::default();
-            let report = self.drive(&prepared, &mut sink)?;
-            let diags = self.check_prepared(&prepared, &sink.into_entries());
+            let report = {
+                let mut obs = Observer::new(
+                    &mut sink,
+                    &mut counters,
+                    self.planner.cfg.ff_units,
+                    &mut *tracer,
+                    &self.planner.cfg.name,
+                );
+                let report = self.drive(&prepared, &mut obs)?;
+                obs.finish();
+                report
+            };
+            (report, Some(sink.into_entries()))
+        } else {
+            let mut sink = NullSink;
+            let mut obs = Observer::new(
+                &mut sink,
+                &mut counters,
+                self.planner.cfg.ff_units,
+                &mut *tracer,
+                &self.planner.cfg.name,
+            );
+            let report = self.drive(&prepared, &mut obs)?;
+            obs.finish();
+            (report, None)
+        };
+
+        if verify {
+            let entries = entries.as_deref().unwrap_or(&[]);
+            let mut diags = self.check_prepared(&prepared, entries);
+            diags.extend(crate::stats::cross_check_counters(&report, &counters));
             assert!(
                 diags.is_clean(),
                 "schedule verification failed for `{}`:\n{}",
                 self.planner.cfg.name,
                 diags.render_text()
             );
-            Ok(report)
         }
-        #[cfg(not(any(debug_assertions, feature = "verify")))]
-        {
-            let prepared = self.prepare(workloads)?;
-            let mut sink = NullSink;
-            self.drive(&prepared, &mut sink)
-        }
+
+        #[cfg(feature = "trace")]
+        let trace = opts.trace.then(|| recorder.into_recording());
+        #[cfg(not(feature = "trace"))]
+        let trace = None;
+
+        Ok(RunOutput {
+            report,
+            timeline: if opts.timeline { entries } else { None },
+            trace,
+            counters,
+        })
+    }
+
+    /// Simulates the workloads and produces the report. Thin wrapper over
+    /// [`Engine::run_with`] with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Engine::run_with`].
+    pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
+        Ok(self.run_with(workloads, &RunOptions::default())?.report)
     }
 
     /// Dispatches prepared workloads to the configured execution driver.
-    fn drive(
-        &self,
-        prepared: &[Prepared<'_>],
-        sink: &mut dyn TraceSink,
-    ) -> Result<ExecutionReport> {
+    fn drive(&self, prepared: &[Prepared<'_>], obs: &mut Observer<'_>) -> Result<ExecutionReport> {
         if self.planner.cfg.operation_pipeline {
-            events::run_scheduled(&self.planner, prepared, sink)
+            events::run_scheduled(&self.planner, prepared, obs)
         } else {
-            events::run_serialized(&self.planner, prepared, sink)
+            events::run_serialized(&self.planner, prepared, obs)
         }
     }
 
@@ -309,7 +521,7 @@ impl Engine {
         workloads: &[WorkloadSpec<'_>],
         timeline: &[TimelineEntry],
     ) -> Result<Diagnostics> {
-        let prepared = self.prepare(workloads)?;
+        let prepared = self.prepare(workloads, &mut NullTrace)?;
         Ok(self.check_prepared(&prepared, timeline))
     }
 
@@ -345,7 +557,8 @@ impl Engine {
 
     /// Like [`Engine::run`], additionally returning the per-instance
     /// execution timeline (start/end/resource of every scheduled op) for
-    /// inspection and invariant checking.
+    /// inspection and invariant checking. Thin wrapper over
+    /// [`Engine::run_with`] with `timeline: true`.
     ///
     /// # Errors
     ///
@@ -354,14 +567,15 @@ impl Engine {
         &self,
         workloads: &[WorkloadSpec<'_>],
     ) -> Result<(ExecutionReport, Vec<TimelineEntry>)> {
-        let prepared = self.prepare(workloads)?;
-        let mut sink = VecSink::default();
-        let report = if self.planner.cfg.operation_pipeline {
-            events::run_scheduled(&self.planner, &prepared, &mut sink)?
-        } else {
-            events::run_serialized(&self.planner, &prepared, &mut sink)?
+        let opts = RunOptions {
+            timeline: true,
+            ..RunOptions::default()
         };
-        Ok((report, sink.into_entries()))
+        let out = self.run_with(workloads, &opts)?;
+        let timeline = out
+            .timeline
+            .ok_or_else(|| PimError::internal("requested timeline missing from run output"))?;
+        Ok((out.report, timeline))
     }
 
     /// Runs each workload as its own independent simulation, across
@@ -387,8 +601,9 @@ impl Engine {
     /// Propagates profiling/cost failures.
     pub fn plan_preview(&self, graph: &Graph) -> Result<Vec<PlanRow>> {
         let costs = graph_costs(graph)?;
-        let profile = profile_step(graph, self.planner.cpu())?;
-        let candidates = select_candidates(&profile, self.planner.cfg.coverage);
+        let profile = profile_step_traced(graph, self.planner.cpu(), &mut NullTrace)?;
+        let candidates =
+            select_candidates_traced(&profile, self.planner.cfg.coverage, &mut NullTrace);
         let mut rows = Vec::with_capacity(graph.op_count());
         for node in graph.ops() {
             let cost = &costs[node.id.index()];
@@ -403,25 +618,10 @@ impl Engine {
                 )
                 .ok_or_else(|| PimError::internal("uncontended placement must exist"))?;
             let planned = self.planner.plan_cost(kind, cost);
-            let placement = match kind {
-                PlanKind::Cpu => "CPU".to_string(),
-                PlanKind::ProgrPool => "Progr PIM pool".to_string(),
-                PlanKind::Progr => "Progr PIM".to_string(),
-                PlanKind::FixedWhole { rc_runtime, units } => {
-                    format!(
-                        "Fixed PIM ({}, {units} units)",
-                        if rc_runtime { "rc" } else { "host" }
-                    )
-                }
-                PlanKind::HostSplit { units } => format!("CPU + Fixed PIM ({units} units)"),
-                PlanKind::Recursive { units } => {
-                    format!("Recursive: Progr PIM + Fixed PIM ({units} units)")
-                }
-            };
             rows.push(PlanRow {
                 op: node.id,
                 name: node.kind.tf_name(),
-                placement,
+                placement: describe(kind),
                 candidate,
                 seconds: planned.duration.seconds(),
             });

@@ -59,6 +59,27 @@ pub(crate) struct PlannedOp {
     pub uses_progr: bool,
 }
 
+/// Human-readable description of a placement — the vocabulary shared by
+/// [`super::Engine::plan_preview`] rows and the trace spans' `placement`
+/// argument.
+pub(crate) fn describe(kind: PlanKind) -> String {
+    match kind {
+        PlanKind::Cpu => "CPU".to_string(),
+        PlanKind::ProgrPool => "Progr PIM pool".to_string(),
+        PlanKind::Progr => "Progr PIM".to_string(),
+        PlanKind::FixedWhole { rc_runtime, units } => {
+            format!(
+                "Fixed PIM ({}, {units} units)",
+                if rc_runtime { "rc" } else { "host" }
+            )
+        }
+        PlanKind::HostSplit { units } => format!("CPU + Fixed PIM ({units} units)"),
+        PlanKind::Recursive { units } => {
+            format!("Recursive: Progr PIM + Fixed PIM ({units} units)")
+        }
+    }
+}
+
 /// Which exclusive resource class a planned op occupies.
 pub(crate) fn resource_class(planned: &PlannedOp) -> ResourceClass {
     match (planned.uses_cpu, planned.uses_progr, planned.ff_units > 0) {
@@ -132,9 +153,11 @@ pub(crate) struct Planner {
 }
 
 impl Planner {
-    /// Builds the device complement for a configuration.
+    /// Builds the device complement for a configuration. The host CPU is
+    /// whatever the configuration carries (`EngineConfig::host`), not a
+    /// hardcoded part.
     pub fn new(cfg: EngineConfig) -> Self {
-        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let cpu = cfg.host.clone();
         let progr = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores);
         let progr_pair = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores.div_ceil(2).max(1));
         let progr_pool = ProgrammablePool::unlimited(&cfg.stack);

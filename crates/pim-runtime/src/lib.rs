@@ -46,7 +46,8 @@ pub mod sync;
 pub mod verify;
 
 pub use engine::{
-    Engine, EngineConfig, PlanRow, ResourceClass, SystemMode, TimelineEntry, WorkloadSpec,
+    Engine, EngineConfig, PlanRow, ResourceClass, RunOptions, RunOutput, SystemMode, SystemPreset,
+    TimelineEntry, WorkloadSpec,
 };
 pub use session::TrainingSession;
 pub use stats::ExecutionReport;

@@ -136,6 +136,36 @@ pub fn profile_step(graph: &Graph, cpu: &CpuDevice) -> Result<StepProfile> {
     Ok(StepProfile { ops })
 }
 
+/// [`profile_step`] plus an instant on the scheduler trace track
+/// summarizing what the profiling pass produced. Recording happens only
+/// when the sink is enabled; with [`pim_common::NullTrace`] this is
+/// exactly `profile_step`.
+///
+/// # Errors
+///
+/// Propagates cost-model failures for malformed graphs.
+pub fn profile_step_traced(
+    graph: &Graph,
+    cpu: &CpuDevice,
+    tracer: &mut dyn pim_common::trace::TraceSink,
+) -> Result<StepProfile> {
+    let profile = profile_step(graph, cpu)?;
+    if tracer.enabled() {
+        tracer.record(pim_common::trace::TraceEvent::Instant {
+            track: crate::engine::SCHED_TRACK,
+            name: "profile step".to_string(),
+            cat: "meta",
+            ts: Seconds::ZERO,
+            args: vec![
+                ("ops", profile.ops.len().into()),
+                ("cpu_seconds", profile.total_time().seconds().into()),
+                ("memory_accesses", profile.total_memory_accesses().into()),
+            ],
+        });
+    }
+    Ok(profile)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

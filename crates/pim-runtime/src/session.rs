@@ -12,7 +12,6 @@ use crate::select::{select_candidates, CandidateSet};
 use crate::stats::ExecutionReport;
 use pim_common::Result;
 use pim_graph::Graph;
-use pim_hw::cpu::CpuDevice;
 
 /// A training session bound to one model graph and one system
 /// configuration.
@@ -42,20 +41,20 @@ pub struct TrainingSession<'g> {
 }
 
 impl<'g> TrainingSession<'g> {
-    /// Creates a session: runs the step-1 profile on the CPU device and
-    /// selects offload candidates.
+    /// Creates a session: runs the step-1 profile on the configuration's
+    /// host CPU ([`EngineConfig::host`]) and selects offload candidates.
     ///
     /// # Errors
     ///
     /// Propagates profiling failures.
     pub fn new(graph: &'g Graph, config: EngineConfig) -> Result<Self> {
-        let cpu = CpuDevice::xeon_e5_2630_v3();
-        let profile = profile_step(graph, &cpu)?;
         let coverage = config.coverage;
+        let engine = Engine::new(config);
+        let profile = profile_step(graph, engine.profiling_device())?;
         let candidates = select_candidates(&profile, coverage);
         Ok(TrainingSession {
             graph,
-            engine: Engine::new(config),
+            engine,
             profile,
             candidates,
         })
@@ -101,6 +100,20 @@ mod tests {
         let r2 = session.train(2).unwrap();
         let r4 = session.train(4).unwrap();
         assert!(r4.makespan > r2.makespan);
+    }
+
+    #[test]
+    fn session_profiles_on_the_configured_host() {
+        use pim_hw::cpu::CpuDevice;
+        let model = Model::build_with_batch(ModelKind::AlexNet, 2).unwrap();
+        let mut params = CpuDevice::xeon_e5_2630_v3().params().clone();
+        params.name = "FastHost";
+        params.ma_throughput *= 2.0;
+        params.other_throughput *= 2.0;
+        let fast_cfg = EngineConfig::hetero().with_host_cpu(CpuDevice::custom(params));
+        let fast = TrainingSession::new(model.graph(), fast_cfg).unwrap();
+        let base = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        assert!(fast.profile().total_time() < base.profile().total_time());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Execution reports: the observables every figure of the evaluation reads.
 
+use pim_common::trace::Counters;
 use pim_common::units::{edp, Joules, Seconds, Watts};
+use pim_common::Diagnostics;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -226,6 +228,85 @@ impl ExecutionReport {
             && (parts.seconds() - self.makespan.seconds()).abs()
                 <= 1e-6 * self.makespan.seconds().max(1e-12)
     }
+}
+
+/// Relative tolerance for counter/report agreement: both sides accumulate
+/// the same femtosecond-quantized durations, so only summation-order
+/// rounding separates them.
+pub const CROSS_CHECK_REL_TOL: f64 = 1e-6;
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= CROSS_CHECK_REL_TOL * a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Cross-checks a run's independently-accumulated [`Counters`] registry
+/// against its [`ExecutionReport`] — the observability layer and the
+/// statistics pipeline must tell the same story.
+///
+/// Checks, each reported as a `counters`-pass diagnostic on failure:
+///
+/// * `busy_seconds/<device>` matches `report.device_busy` per device at
+///   [`CROSS_CHECK_REL_TOL`] relative tolerance,
+/// * every event dispatched was completed (`events/dispatched` ==
+///   `events/completed`),
+/// * per-class `ops/*` placements sum to `events/dispatched`.
+///
+/// # Examples
+///
+/// ```
+/// use pim_runtime::stats::{cross_check_counters, ReportBuilder};
+/// use pim_common::trace::Counters;
+/// use pim_common::units::Seconds;
+///
+/// let report = ReportBuilder::new("CPU", 1)
+///     .makespan(Seconds::new(2.0))
+///     .raw_parts(Seconds::new(2.0), Seconds::ZERO, Seconds::ZERO)
+///     .device_busy("CPU", Seconds::new(2.0))
+///     .build();
+/// let mut counters = Counters::new();
+/// counters.add("busy_seconds/CPU", 2.0);
+/// assert!(cross_check_counters(&report, &counters).is_clean());
+///
+/// counters.add("busy_seconds/CPU", 1.0);
+/// assert!(!cross_check_counters(&report, &counters).is_clean());
+/// ```
+pub fn cross_check_counters(report: &ExecutionReport, counters: &Counters) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    for (device, busy) in &report.device_busy {
+        let counted = counters.get(&format!("busy_seconds/{device}"));
+        if !rel_close(counted, busy.seconds()) {
+            diags.error(
+                "counters",
+                format!("busy_seconds/{device}"),
+                format!(
+                    "counter says {counted} busy seconds, report says {}",
+                    busy.seconds()
+                ),
+            );
+        }
+    }
+    let dispatched = counters.get("events/dispatched");
+    let completed = counters.get("events/completed");
+    if dispatched != completed {
+        diags.error(
+            "counters",
+            "events/completed",
+            format!("{dispatched} events dispatched but {completed} completed"),
+        );
+    }
+    let placed: f64 = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("ops/"))
+        .map(|(_, value)| value)
+        .sum();
+    if placed != dispatched {
+        diags.error(
+            "counters",
+            "ops/*",
+            format!("{placed} ops placed across classes but {dispatched} dispatched"),
+        );
+    }
+    diags
 }
 
 #[cfg(test)]

@@ -1,16 +1,75 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `repro [table1|fig2|fig8|fig10|fig11|fig12|fig13|fig16|ablations|config|csv|all]`
-//! or `repro schedule <model>` for a placement preview.
+//! Usage: `repro [table1|fig2|fig8|fig10|fig11|fig12|fig13|fig16|ablations|config|csv|all]`,
+//! `repro schedule <model>` for a placement preview,
+//! `repro --trace <path> [model]` to export a Chrome trace of one
+//! Hetero PIM run, or `repro tracecheck <path>` to validate one.
 //! (fig8 covers fig9; fig11 covers fig17; fig13 covers fig14/fig15).
 
+use pim_models::ModelKind;
 use pim_sim::configs::table_iv_rows;
 use pim_sim::experiments;
 
 type Section = (&'static str, fn() -> pim_common::Result<String>);
 
+fn model_arg(arg: Option<&str>) -> ModelKind {
+    match arg {
+        Some("vgg") => ModelKind::Vgg19,
+        Some("dcgan") => ModelKind::Dcgan,
+        Some("resnet") => ModelKind::ResNet50,
+        Some("inception") => ModelKind::InceptionV3,
+        Some("lstm") => ModelKind::Lstm,
+        Some("w2v") => ModelKind::Word2vec,
+        _ => ModelKind::AlexNet,
+    }
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "--trace" {
+        // Chrome-trace export: `repro --trace <path> [model]` (2 steps of
+        // the model at batch 2 on the full Hetero PIM).
+        use pim_runtime::engine::SystemPreset;
+        let path = std::env::args().nth(2).unwrap_or_else(|| {
+            eprintln!("usage: repro --trace <path> [model]");
+            std::process::exit(2);
+        });
+        let kind = model_arg(std::env::args().nth(3).as_deref());
+        match pim_sim::chrome::chrome_trace(kind, 2, 2, SystemPreset::Hetero) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("trace export failed writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote Chrome trace for {kind} to {path}");
+            }
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if which == "tracecheck" {
+        // Structural validation of an exported trace:
+        // `repro tracecheck <path>`.
+        let path = std::env::args().nth(2).unwrap_or_else(|| {
+            eprintln!("usage: repro tracecheck <path>");
+            std::process::exit(2);
+        });
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("tracecheck failed reading {path}: {e}");
+            std::process::exit(1);
+        });
+        let diags = pim_common::trace::validate_chrome_trace(&json);
+        if diags.is_clean() {
+            println!("{path}: valid Chrome trace");
+        } else {
+            eprintln!("{}", diags.render_text());
+            std::process::exit(1);
+        }
+        return;
+    }
     let sections: [Section; 9] = [
         ("table1", experiments::table1),
         ("fig2", experiments::fig2),
@@ -40,19 +99,11 @@ fn main() {
     }
     if which == "schedule" {
         // Placement preview for one model: `repro schedule [vgg|alex|...]`.
-        use pim_models::{Model, ModelKind};
-        use pim_runtime::engine::{Engine, EngineConfig};
-        let kind = match std::env::args().nth(2).as_deref() {
-            Some("vgg") => ModelKind::Vgg19,
-            Some("dcgan") => ModelKind::Dcgan,
-            Some("resnet") => ModelKind::ResNet50,
-            Some("inception") => ModelKind::InceptionV3,
-            Some("lstm") => ModelKind::Lstm,
-            Some("w2v") => ModelKind::Word2vec,
-            _ => ModelKind::AlexNet,
-        };
+        use pim_models::Model;
+        use pim_runtime::engine::{Engine, EngineConfig, SystemPreset};
+        let kind = model_arg(std::env::args().nth(2).as_deref());
         let model = Model::build(kind).expect("model builds");
-        let engine = Engine::new(EngineConfig::hetero());
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
         match engine.plan_preview(model.graph()) {
             Ok(rows) => {
                 println!("placement preview for {kind} (uncontended):");

@@ -1,0 +1,60 @@
+//! Chrome-trace export of one engine run (`repro --trace <path>`).
+//!
+//! Runs a model under a system preset with span recording on and renders
+//! the [`pim_runtime`] observability layer's recording as Chrome
+//! trace-event JSON (loadable in `chrome://tracing` and Perfetto). All
+//! timestamps are simulated time, so the export is byte-identical across
+//! runs.
+
+use pim_common::{PimError, Result};
+use pim_models::{Model, ModelKind};
+use pim_runtime::engine::{Engine, EngineConfig, RunOptions, SystemPreset, WorkloadSpec};
+
+/// Simulates `steps` training steps of `kind` at `batch` under `preset`
+/// and returns the run's Chrome trace-event JSON.
+///
+/// # Examples
+///
+/// ```
+/// use pim_models::ModelKind;
+/// use pim_runtime::engine::SystemPreset;
+///
+/// # fn main() -> pim_common::Result<()> {
+/// let json = pim_sim::chrome::chrome_trace(ModelKind::AlexNet, 2, 1, SystemPreset::Hetero)?;
+/// assert!(pim_common::trace::validate_chrome_trace(&json).is_clean());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates model-build and engine failures, or an unsupported error
+/// when the `trace` feature is compiled out.
+pub fn chrome_trace(
+    kind: ModelKind,
+    batch: usize,
+    steps: usize,
+    preset: SystemPreset,
+) -> Result<String> {
+    let model = Model::build_with_batch(kind, batch)?;
+    let engine = Engine::new(EngineConfig::preset(preset));
+    let opts = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
+    let out = engine.run_with(
+        &[WorkloadSpec {
+            graph: model.graph(),
+            steps,
+            cpu_progr_only: false,
+        }],
+        &opts,
+    )?;
+    let recording = out.trace.ok_or_else(|| {
+        PimError::invalid(
+            "chrome_trace",
+            "span tracing requires the `trace` cargo feature of pim-sim",
+        )
+    })?;
+    Ok(recording.to_chrome_json())
+}

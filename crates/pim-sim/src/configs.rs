@@ -5,7 +5,7 @@ use pim_common::Result;
 use pim_hw::gpu::GpuDevice;
 use pim_mem::stack::StackConfig;
 use pim_models::Model;
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use pim_runtime::stats::ExecutionReport;
 use serde::Serialize;
 
@@ -38,7 +38,7 @@ impl SystemConfig {
 
     /// The full Hetero PIM (RC + OP) at baseline frequency.
     pub fn hetero_pim() -> SystemConfig {
-        SystemConfig::HeteroPim(EngineConfig::hetero())
+        SystemConfig::HeteroPim(EngineConfig::preset(SystemPreset::Hetero))
     }
 
     /// Hetero PIM at a scaled stack frequency (§VI-D).
@@ -49,7 +49,7 @@ impl SystemConfig {
     pub fn hetero_pim_at_frequency(multiplier: f64) -> Result<SystemConfig> {
         let stack = StackConfig::hmc2().with_frequency_multiplier(multiplier)?;
         Ok(SystemConfig::HeteroPim(
-            EngineConfig::hetero().with_stack(stack),
+            EngineConfig::preset(SystemPreset::Hetero).with_stack(stack),
         ))
     }
 
@@ -87,12 +87,12 @@ impl SystemConfig {
 /// Propagates engine or cost-model failures.
 pub fn simulate(model: &Model, config: &SystemConfig, steps: usize) -> Result<ExecutionReport> {
     let engine_cfg = match config {
-        SystemConfig::Cpu => EngineConfig::cpu_only(),
+        SystemConfig::Cpu => EngineConfig::preset(SystemPreset::CpuOnly),
         SystemConfig::Gpu => {
             return simulate_gpu(model, &GpuDevice::gtx_1080_ti(), steps);
         }
-        SystemConfig::ProgrPim => EngineConfig::progr_only(),
-        SystemConfig::FixedPim => EngineConfig::fixed_host(),
+        SystemConfig::ProgrPim => EngineConfig::preset(SystemPreset::ProgrOnly),
+        SystemConfig::FixedPim => EngineConfig::preset(SystemPreset::FixedHost),
         SystemConfig::HeteroPim(cfg) => cfg.clone(),
     };
     Engine::new(engine_cfg).run(&[WorkloadSpec {
@@ -109,7 +109,7 @@ pub fn simulate(model: &Model, config: &SystemConfig, steps: usize) -> Result<Ex
 ///
 /// Propagates engine failures.
 pub fn simulate_graph_hetero(graph: &pim_graph::Graph, steps: usize) -> Result<ExecutionReport> {
-    Engine::new(EngineConfig::hetero()).run(&[WorkloadSpec {
+    Engine::new(EngineConfig::preset(SystemPreset::Hetero)).run(&[WorkloadSpec {
         graph,
         steps,
         cpu_progr_only: false,

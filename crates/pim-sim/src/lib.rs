@@ -10,6 +10,8 @@
 //!   §II-D GPU-attached-PIM estimate,
 //! * [`trace`] / [`tracegen`] — the Pin-substitute trace format and
 //!   generator (§V-A),
+//! * [`chrome`] — Chrome trace-event export of an engine run's span
+//!   recording (`repro --trace`),
 //! * [`mixed`] — CNN + non-CNN co-running (§VI-F),
 //! * [`report`] — CSV emission of the evaluation grid,
 //! * [`experiments`] — one function per table/figure; the `repro` binary
@@ -32,6 +34,7 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod chrome;
 pub mod configs;
 pub mod experiments;
 pub mod gpu;
