@@ -14,6 +14,12 @@ cargo test --workspace -q
 # `trace`); make sure the feature-off hot path still compiles on its own.
 cargo check -q -p pim-runtime
 
+# The differential suite (50 seeded random graphs x 6 presets, optimized
+# vs reference engine paths) runs under the workspace tests with the
+# `parallel` feature on; re-run it with `parallel` off so both sweep
+# drivers stay behaviour-identical.
+cargo test -q -p pim-sim --no-default-features --features trace --test differential
+
 # Static checker: every model graph, binary set, schedule, and report must
 # come back with zero error-severity diagnostics (exit code gates).
 cargo run --release -q -p pim-verify -- --all-models --format json > /dev/null
@@ -21,10 +27,19 @@ cargo run --release -q -p pim-verify -- --all-models --format json > /dev/null
 # Determinism: the full reproduction sweep must be byte-identical across
 # runs (the simulator owns all its randomness).
 repro_a=$(mktemp) repro_b=$(mktemp) trace_a=$(mktemp) trace_b=$(mktemp)
-trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b"' EXIT
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "${bench_json:-}"' EXIT
 cargo run --release -q -p pim-sim --bin repro -- all > "$repro_a"
 cargo run --release -q -p pim-sim --bin repro -- all > "$repro_b"
 diff "$repro_a" "$repro_b"
+
+# Bench harness smoke: two models across all six presets, one iteration;
+# `repro bench` validates the emitted document against the
+# hetero-pim-bench-v1 schema before writing it, so a zero exit means the
+# schema check passed too.
+bench_json=$(mktemp)
+cargo run --release -q -p pim-sim --bin repro -- \
+    bench --json "$bench_json" --models alex,vgg --iters 1 2> /dev/null
+test -s "$bench_json"
 
 # Observability: the Chrome-trace export must be byte-identical across
 # runs and structurally valid (parses, ph/ts/pid/tid present, per-track

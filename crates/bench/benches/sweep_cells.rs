@@ -1,0 +1,44 @@
+//! The persistent-harness sweep: the exact cells `repro bench` measures
+//! (model x all six engine presets, including the Fig. 13 ablation
+//! points the evaluation-set benches skip), plus the `BENCH_*.json`
+//! serialization/validation round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_models::ModelKind;
+use pim_runtime::engine::SystemPreset;
+use pim_sim::bench::{bench_cells, to_json, validate_bench_json, BenchFile};
+use std::time::Duration;
+
+fn sweep_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_cells");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for kind in [ModelKind::AlexNet, ModelKind::Vgg19] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let cells = bench_cells(&[kind], &SystemPreset::ALL, 2, 1).unwrap();
+                assert_eq!(cells.len(), SystemPreset::ALL.len());
+                cells.len()
+            })
+        });
+    }
+    group.bench_function("json_roundtrip", |b| {
+        let file = BenchFile {
+            commit: "bench".to_string(),
+            steps: 1,
+            iterations: 1,
+            cells: bench_cells(&[ModelKind::AlexNet], &SystemPreset::ALL, 1, 1).unwrap(),
+            repro_all: None,
+        };
+        b.iter(|| {
+            let json = to_json(&file);
+            validate_bench_json(&json).unwrap();
+            json.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sweep_cells);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Deterministic structural fingerprints.
+//!
+//! Memoization layers (the profiler's step cache, the sweep-cell dedup in
+//! `pim-sim`) key on the *structure* of a value, not its address. Rather
+//! than deriving `Hash` across every cost-model type — many carry `f64`
+//! fields, which have no `Hash` impl — we hash the value's `Debug`
+//! rendering. `Debug` output is a pure function of the value for the
+//! derive-generated impls used throughout this workspace, and
+//! [`DefaultHasher`] uses fixed keys, so the fingerprint is stable within
+//! and across processes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::{self, Debug, Write};
+use std::hash::Hasher;
+
+/// Streams `fmt::Write` text straight into a hasher, so fingerprinting
+/// never materializes the formatted string.
+struct HashWriter(DefaultHasher);
+
+impl Write for HashWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// A deterministic 64-bit fingerprint of a value's `Debug` rendering.
+///
+/// # Examples
+///
+/// ```
+/// use pim_common::fingerprint::debug_hash;
+/// assert_eq!(debug_hash(&(1, "a")), debug_hash(&(1, "a")));
+/// assert_ne!(debug_hash(&(1, "a")), debug_hash(&(2, "a")));
+/// ```
+pub fn debug_hash<T: Debug + ?Sized>(value: &T) -> u64 {
+    let mut w = HashWriter(DefaultHasher::new());
+    write!(w, "{value:?}").expect("hashing writer never fails");
+    w.0.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_fingerprint_identically() {
+        let a = vec![(1.5f64, "Conv2D"), (2.25, "MatMul")];
+        let b = a.clone();
+        assert_eq!(debug_hash(&a), debug_hash(&b));
+    }
+
+    #[test]
+    fn distinct_values_fingerprint_distinctly() {
+        assert_ne!(debug_hash(&1.0f64), debug_hash(&2.0f64));
+        assert_ne!(debug_hash("x"), debug_hash("y"));
+    }
+}

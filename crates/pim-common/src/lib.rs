@@ -24,6 +24,7 @@
 pub mod access;
 pub mod diag;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod trace;
 pub mod units;

@@ -535,39 +535,75 @@ impl Counters {
 // Structural validation of exported Chrome traces.
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value (the minimal model [`validate_chrome_trace`]
-/// needs; the workspace builds offline with no `serde_json`).
+/// A parsed JSON value — the minimal model [`validate_chrome_trace`] and
+/// the bench-file schema validator need (the workspace builds offline with
+/// no `serde_json`). Objects preserve key order.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number, held as `f64`.
     Num(f64),
+    /// A string, with escapes resolved.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as `(key, value)` pairs in document order.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn field<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Looks up an object field by key (`None` for non-objects and
+    /// missing keys).
+    pub fn field<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    /// The numeric value, when this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing data is an error).
+///
+/// # Examples
+///
+/// ```
+/// use pim_common::trace::parse_json;
+/// let doc = parse_json(r#"{"cells": [1, 2]}"#).unwrap();
+/// assert_eq!(doc.field("cells").unwrap().as_arr().unwrap().len(), 2);
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    Parser::new(text).parse()
 }
 
 struct Parser<'a> {

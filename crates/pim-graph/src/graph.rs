@@ -231,6 +231,16 @@ impl Graph {
         self.topo_order().map(|_| ())
     }
 
+    /// A deterministic fingerprint of the graph's complete structure:
+    /// every tensor (shape, role, name) and every op (kind, operands) in
+    /// id order. Two graphs built by the same sequence of `add_tensor` /
+    /// `add_op` calls fingerprint identically, within and across
+    /// processes — the key the profiler's step cache and other sweep-level
+    /// memoizations rely on.
+    pub fn structural_hash(&self) -> u64 {
+        pim_common::fingerprint::debug_hash(&(&self.tensors, &self.ops))
+    }
+
     /// Total bytes of parameter tensors (a rough model size).
     pub fn parameter_bytes(&self) -> usize {
         self.tensors

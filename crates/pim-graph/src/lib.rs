@@ -41,6 +41,7 @@ pub mod builder;
 pub mod cost;
 pub mod executor;
 pub mod export;
+pub mod gen;
 pub mod graph;
 pub mod liveness;
 pub mod node;

@@ -26,6 +26,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatusRegisters {
     bank_busy: Vec<bool>,
+    /// Running count of idle banks, kept in lockstep with `bank_busy` so
+    /// the scheduler's per-decision availability query is O(1) instead of
+    /// a scan over every bank register.
+    idle_count: usize,
     progr_busy: bool,
 }
 
@@ -35,6 +39,7 @@ impl StatusRegisters {
     pub fn new(banks: usize) -> Self {
         StatusRegisters {
             bank_busy: vec![false; banks],
+            idle_count: banks,
             progr_busy: false,
         }
     }
@@ -66,7 +71,14 @@ impl StatusRegisters {
     /// Returns [`PimError::UnknownId`] for an out-of-range bank.
     pub fn set_bank_busy(&mut self, bank: BankId, busy: bool) -> Result<()> {
         let i = self.check(bank)?;
-        self.bank_busy[i] = busy;
+        if self.bank_busy[i] != busy {
+            self.bank_busy[i] = busy;
+            if busy {
+                self.idle_count -= 1;
+            } else {
+                self.idle_count += 1;
+            }
+        }
         Ok(())
     }
 
@@ -82,12 +94,12 @@ impl StatusRegisters {
 
     /// True when every fixed-function bank is idle.
     pub fn all_banks_idle(&self) -> bool {
-        self.bank_busy.iter().all(|&b| !b)
+        self.idle_count == self.bank_busy.len()
     }
 
     /// Number of idle fixed-function banks.
     pub fn idle_bank_count(&self) -> usize {
-        self.bank_busy.iter().filter(|&&b| !b).count()
+        self.idle_count
     }
 }
 

@@ -148,6 +148,7 @@ fn class_base_tid(class: ResourceClass) -> u32 {
 
 /// Stable display label of a resource class (also the counter-key suffix
 /// under `ops/`).
+#[cfg(feature = "trace")]
 pub(crate) fn class_label(class: ResourceClass) -> &'static str {
     match class {
         ResourceClass::Cpu => "CPU",
@@ -158,6 +159,29 @@ pub(crate) fn class_label(class: ResourceClass) -> &'static str {
         ResourceClass::Baseline => "Baseline",
     }
 }
+
+/// Dense index of a resource class (counter slots, lane tables).
+fn class_index(class: ResourceClass) -> usize {
+    match class {
+        ResourceClass::Cpu => 0,
+        ResourceClass::Progr => 1,
+        ResourceClass::Fixed => 2,
+        ResourceClass::CpuAndFixed => 3,
+        ResourceClass::ProgrAndFixed => 4,
+        ResourceClass::Baseline => 5,
+    }
+}
+
+/// Interned `ops/<class>` counter keys — the hot path must not build a
+/// fresh `String` per committed op.
+const OPS_COUNTER_KEYS: [&str; 6] = [
+    "ops/CPU",
+    "ops/Progr PIM",
+    "ops/Fixed PIM",
+    "ops/CPU+Fixed",
+    "ops/Progr+Fixed",
+    "ops/Baseline",
+];
 
 /// Everything the [`Observer`] needs to know about one committed op.
 pub(crate) struct OpRecord<'c> {
@@ -226,10 +250,70 @@ pub(crate) struct Observer<'a> {
     traffic: TrafficStats,
     ff_units_total: usize,
     ff_busy_units: usize,
+    hot: HotCounters,
     #[cfg(feature = "trace")]
     tracer: &'a mut dyn pim_common::trace::TraceSink,
     #[cfg(feature = "trace")]
     lanes: Lanes,
+}
+
+/// Per-event counter updates accumulated in plain fields and flushed to the
+/// [`Counters`] registry once in [`Observer::finish`], so the hot path does
+/// no string formatting or map lookups. Sums are built by the same sequence
+/// of f64 additions the registry would have performed, so the flushed
+/// totals are bit-identical; a key is only materialized when it was touched,
+/// matching the registry's insert-on-first-use behavior.
+#[derive(Default)]
+struct HotCounters {
+    dispatched: u64,
+    completed: u64,
+    stalls: u64,
+    ops: [u64; 6],
+    busy_cpu: f64,
+    busy_cpu_touched: bool,
+    busy_progr: f64,
+    busy_progr_touched: bool,
+    busy_ff: f64,
+    busy_ff_touched: bool,
+    barrier_seconds: f64,
+    barrier_touched: bool,
+    decision_seconds: f64,
+    decision_touched: bool,
+}
+
+impl HotCounters {
+    fn flush(&mut self, counters: &mut Counters) {
+        if self.dispatched > 0 {
+            counters.add("events/dispatched", self.dispatched as f64);
+        }
+        if self.completed > 0 {
+            counters.add("events/completed", self.completed as f64);
+        }
+        if self.stalls > 0 {
+            counters.add("events/stalls", self.stalls as f64);
+        }
+        for (i, &n) in self.ops.iter().enumerate() {
+            if n > 0 {
+                counters.add(OPS_COUNTER_KEYS[i], n as f64);
+            }
+        }
+        if self.busy_cpu_touched {
+            counters.add("busy_seconds/CPU", self.busy_cpu);
+        }
+        if self.busy_progr_touched {
+            counters.add("busy_seconds/Progr PIM", self.busy_progr);
+        }
+        if self.busy_ff_touched {
+            counters.add("busy_seconds/Fixed PIM", self.busy_ff);
+        }
+        if self.barrier_touched {
+            counters.add("sync/barrier_seconds", self.barrier_seconds);
+        }
+        if self.decision_touched {
+            counters.add("sync/decision_seconds", self.decision_seconds);
+        }
+        *self = HotCounters::default();
+    }
 }
 
 impl<'a> Observer<'a> {
@@ -265,6 +349,7 @@ impl<'a> Observer<'a> {
             traffic: TrafficStats::new(),
             ff_units_total,
             ff_busy_units: 0,
+            hot: HotCounters::default(),
             #[cfg(feature = "trace")]
             tracer,
             #[cfg(feature = "trace")]
@@ -276,24 +361,22 @@ impl<'a> Observer<'a> {
     /// traffic, and (feature-gated) a span on its resource-class lane.
     pub fn record_op(&mut self, rec: &OpRecord<'_>) {
         self.timeline.record(rec.entry);
-        self.counters.inc("events/dispatched");
+        self.hot.dispatched += 1;
         let class = rec.entry.resource;
-        self.counters.inc(&format!("ops/{}", class_label(class)));
+        self.hot.ops[class_index(class)] += 1;
         let planned = rec.planned;
         if planned.uses_cpu {
-            self.counters
-                .add("busy_seconds/CPU", planned.duration.seconds());
+            self.hot.busy_cpu += planned.duration.seconds();
+            self.hot.busy_cpu_touched = true;
         }
         if planned.uses_progr {
-            self.counters
-                .add("busy_seconds/Progr PIM", planned.duration.seconds());
+            self.hot.busy_progr += planned.duration.seconds();
+            self.hot.busy_progr_touched = true;
         }
         if planned.ff_units > 0 {
-            self.counters.add(
-                "busy_seconds/Fixed PIM",
-                planned.ff_units as f64 * planned.ff_busy.seconds()
-                    / self.ff_units_total.max(1) as f64,
-            );
+            self.hot.busy_ff += planned.ff_units as f64 * planned.ff_busy.seconds()
+                / self.ff_units_total.max(1) as f64;
+            self.hot.busy_ff_touched = true;
         }
         self.traffic
             .record(rec.cost.bytes_read, rec.cost.bytes_written);
@@ -348,7 +431,7 @@ impl<'a> Observer<'a> {
     /// Records one completion event popped off the heap (or, in the
     /// serialized driver, an op retiring).
     pub fn completed(&mut self) {
-        self.counters.inc("events/completed");
+        self.hot.completed += 1;
     }
 
     /// Applies a fixed-function occupancy change and samples the counter
@@ -378,7 +461,7 @@ impl<'a> Observer<'a> {
         window_closed: usize,
         avail: Availability,
     ) {
-        self.counters.inc("events/stalls");
+        self.hot.stalls += 1;
         #[cfg(not(feature = "trace"))]
         let _ = (now, waiting, window_closed, avail);
         #[cfg(feature = "trace")]
@@ -401,7 +484,8 @@ impl<'a> Observer<'a> {
 
     /// Records one end-of-step barrier at `now`.
     pub fn barrier(&mut self, now: Seconds, amount: Seconds) {
-        self.counters.add("sync/barrier_seconds", amount.seconds());
+        self.hot.barrier_seconds += amount.seconds();
+        self.hot.barrier_touched = true;
         #[cfg(not(feature = "trace"))]
         let _ = now;
         #[cfg(feature = "trace")]
@@ -418,12 +502,14 @@ impl<'a> Observer<'a> {
 
     /// Accounts placement-decision time spent by the CPU-side runtime.
     pub fn decision(&mut self, amount: Seconds) {
-        self.counters.add("sync/decision_seconds", amount.seconds());
+        self.hot.decision_seconds += amount.seconds();
+        self.hot.decision_touched = true;
     }
 
-    /// Flushes deferred accounting (traffic totals) into the counters.
-    /// Must be called once, after the driver returns.
+    /// Flushes deferred accounting (hot counters, traffic totals) into the
+    /// counters registry. Must be called once, after the driver returns.
     pub fn finish(&mut self) {
+        self.hot.flush(self.counters);
         self.traffic.apply(self.counters);
     }
 }
@@ -467,18 +553,26 @@ impl Clock {
 }
 
 /// Min-heap of completion events, FIFO-ordered among simultaneous ones.
+///
+/// Payload slots are recycled through a free list, so long runs keep the
+/// payload store bounded by the peak number of in-flight events instead of
+/// growing by one slot per push. Ordering is untouched: the heap key is
+/// `(time, seq, slot)` and `seq` is unique, so the recycled slot index
+/// never participates in a tie-break.
 #[derive(Debug)]
 pub(crate) struct EventHeap<T> {
     heap: BinaryHeap<Reverse<(u128, u64, usize)>>,
     payloads: Vec<T>,
+    free: Vec<usize>,
     seq: u64,
 }
 
 impl<T: Copy> EventHeap<T> {
     pub fn new() -> Self {
         EventHeap {
-            heap: BinaryHeap::new(),
-            payloads: Vec::new(),
+            heap: BinaryHeap::with_capacity(16),
+            payloads: Vec::with_capacity(16),
+            free: Vec::with_capacity(16),
             seq: 0,
         }
     }
@@ -487,18 +581,27 @@ impl<T: Copy> EventHeap<T> {
     /// completion time so callers can mirror it (e.g. in the timeline).
     pub fn push(&mut self, end: Seconds, payload: T) -> u128 {
         let fs = Clock::to_fs(end);
-        self.payloads.push(payload);
-        self.heap
-            .push(Reverse((fs, self.seq, self.payloads.len() - 1)));
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.payloads[slot] = payload;
+                slot
+            }
+            None => {
+                self.payloads.push(payload);
+                self.payloads.len() - 1
+            }
+        };
+        self.heap.push(Reverse((fs, self.seq, idx)));
         self.seq += 1;
         fs
     }
 
     /// Pops the earliest completion.
     pub fn pop(&mut self) -> Option<(u128, T)> {
-        self.heap
-            .pop()
-            .map(|Reverse((fs, _, idx))| (fs, self.payloads[idx]))
+        self.heap.pop().map(|Reverse((fs, _, idx))| {
+            self.free.push(idx);
+            (fs, self.payloads[idx])
+        })
     }
 }
 
@@ -514,6 +617,10 @@ pub(crate) struct ResourceState {
     progr_slots: usize,
     pool: FixedFunctionPool,
     registers: StatusRegisters,
+    /// Busy-unit count currently reflected in the bank registers, so each
+    /// mirror only rewrites the registers that changed since the last
+    /// acquire/release instead of scanning all of them.
+    mirrored_busy: usize,
 }
 
 impl ResourceState {
@@ -525,6 +632,7 @@ impl ResourceState {
             progr_slots: PROGR_KERNEL_SLOTS,
             pool,
             registers,
+            mirrored_busy: 0,
         }
     }
 
@@ -581,12 +689,14 @@ impl ResourceState {
     }
 
     /// Busy units fill bank registers from index 0 upward; the programmable
-    /// PIM's single bit is busy when no kernel slot is free.
+    /// PIM's single bit is busy when no kernel slot is free. Only the
+    /// registers whose bit actually changed are rewritten.
     fn mirror_registers(&mut self) {
         let busy = self.pool.total_units() - self.pool.free_units();
-        for i in 0..self.pool.total_units() {
+        for i in self.mirrored_busy.min(busy)..self.mirrored_busy.max(busy) {
             let _ = self.registers.set_bank_busy(BankId::new(i), i < busy);
         }
+        self.mirrored_busy = busy;
         self.registers.set_progr_busy(self.progr_slots == 0);
     }
 }
@@ -751,6 +861,13 @@ pub(crate) fn run_scheduled(
     let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
 
     let mut ready: BTreeSet<Key> = BTreeSet::new();
+    // Per-(workload, step) census of the ready set, kept in lockstep with
+    // every insert/remove so the stall accounting can count
+    // window-closed instances without walking the whole set each wake.
+    let mut ready_counts: Vec<Vec<usize>> = prepared
+        .iter()
+        .map(|wl| vec![0usize; wl.spec.steps])
+        .collect();
     for (w, wl) in prepared.iter().enumerate() {
         for (op, deps) in wl.deps.iter().enumerate() {
             if deps.is_empty() && wl.spec.steps > 0 {
@@ -760,6 +877,7 @@ pub(crate) fn run_scheduled(
                     wl: w,
                     op,
                 });
+                ready_counts[w][0] += 1;
             }
         }
     }
@@ -784,69 +902,84 @@ pub(crate) fn run_scheduled(
         .sum();
     let mut completed = 0usize;
     let mut inflight = 0usize;
+    // Scratch buffer for the per-wake scan over the ready set, reused
+    // across iterations and pre-sized for the whole graph.
+    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
 
     while completed < total_instances {
-        // Schedule everything that fits right now.
-        let mut scheduled_any = true;
-        while scheduled_any {
-            scheduled_any = false;
-            let keys: Vec<Key> = ready.iter().copied().collect();
-            for key in keys {
-                let wl = &prepared[key.wl];
-                if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
-                    continue; // pipeline window closed for this step
-                }
-                let cost = &wl.costs[key.op];
-                let is_candidate = wl.candidates.contains(OpId::new(key.op));
-                let Some(kind) = planner.choose(
-                    cost,
-                    is_candidate,
-                    wl.spec.cpu_progr_only,
-                    state.availability(),
-                ) else {
-                    continue;
-                };
-                let planned = planner.plan_cost(kind, cost);
-                let units = state.acquire(kind, &planned)?;
-                acc.add(&planned);
-                ready.remove(&key);
-                inflight += 1;
-                // Record the end at the same femtosecond quantization the
-                // event heap uses, so timeline intervals match the actual
-                // resource hold times exactly.
-                let end_fs = events.push(
-                    clock.now() + planned.duration,
-                    Done {
-                        wl: key.wl,
-                        step: key.step,
-                        op: key.op,
-                        units,
-                        uses_cpu: planned.uses_cpu,
-                        uses_progr: planned.uses_progr,
-                    },
-                );
-                let entry = TimelineEntry {
-                    workload: key.wl,
+        // Schedule everything that fits right now. One pass in priority
+        // order suffices: placing an op only consumes resources and never
+        // unlocks readiness, and `choose` is monotone in availability, so
+        // an op skipped earlier in the pass cannot become placeable later
+        // in the same pass. Keys sort by step first, so nothing at or
+        // beyond the widest-open pipeline window can pass the per-key
+        // window check — the scan stops copying there.
+        let max_window = prepared
+            .iter()
+            .enumerate()
+            .map(|(w, _)| min_incomplete[w] + planner.cfg.pipeline_depth)
+            .max()
+            .unwrap_or(0);
+        scan.clear();
+        scan.extend(ready.iter().take_while(|k| k.step < max_window).copied());
+        // Availability only changes on acquire within the pass; read it
+        // once and refresh after each placement.
+        let mut avail = state.availability();
+        for &key in &scan {
+            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
+                break; // every resource saturated — nothing can be placed
+            }
+            let wl = &prepared[key.wl];
+            if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                continue; // pipeline window closed for this step
+            }
+            let cost = &wl.costs[key.op];
+            let is_candidate = wl.candidates.contains(OpId::new(key.op));
+            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+            else {
+                continue;
+            };
+            let planned = planner.plan_cost(kind, cost);
+            let units = state.acquire(kind, &planned)?;
+            avail = state.availability();
+            acc.add(&planned);
+            ready.remove(&key);
+            ready_counts[key.wl][key.step] -= 1;
+            inflight += 1;
+            // Record the end at the same femtosecond quantization the
+            // event heap uses, so timeline intervals match the actual
+            // resource hold times exactly.
+            let end_fs = events.push(
+                clock.now() + planned.duration,
+                Done {
+                    wl: key.wl,
                     step: key.step,
                     op: key.op,
-                    start: clock.now(),
-                    end: Clock::from_fs(end_fs),
-                    resource: resource_class(&planned),
-                    ff_units: units,
-                };
-                obs.record_op(&OpRecord {
-                    entry,
-                    planned: &planned,
-                    kind,
-                    cost,
-                    name: wl.spec.graph.ops()[key.op].kind.tf_name(),
-                    candidate: is_candidate,
-                    inflight,
-                });
-                if units > 0 {
-                    obs.ff_delta(clock.now(), units as isize);
-                }
-                scheduled_any = true;
+                    units,
+                    uses_cpu: planned.uses_cpu,
+                    uses_progr: planned.uses_progr,
+                },
+            );
+            let entry = TimelineEntry {
+                workload: key.wl,
+                step: key.step,
+                op: key.op,
+                start: clock.now(),
+                end: Clock::from_fs(end_fs),
+                resource: resource_class(&planned),
+                ff_units: units,
+            };
+            obs.record_op(&OpRecord {
+                entry,
+                planned: &planned,
+                kind,
+                cost,
+                name: wl.spec.graph.ops()[key.op].kind.tf_name(),
+                candidate: is_candidate,
+                inflight,
+            });
+            if units > 0 {
+                obs.ff_delta(clock.now(), units as isize);
             }
         }
 
@@ -854,15 +987,15 @@ pub(crate) fn run_scheduled(
         // showed no free resources, or its step sits outside the pipeline
         // window.
         if !ready.is_empty() {
-            let mut resource_waiting = 0usize;
-            let mut window_closed = 0usize;
-            for key in &ready {
-                if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
-                    window_closed += 1;
-                } else {
-                    resource_waiting += 1;
-                }
-            }
+            let window_closed: usize = ready_counts
+                .iter()
+                .enumerate()
+                .map(|(w, counts)| {
+                    let thr = min_incomplete[w] + planner.cfg.pipeline_depth;
+                    counts.iter().skip(thr).sum::<usize>()
+                })
+                .sum();
+            let resource_waiting = ready.len() - window_closed;
             if resource_waiting > 0 {
                 obs.stall(
                     clock.now(),
@@ -902,6 +1035,7 @@ pub(crate) fn run_scheduled(
                     wl: done.wl,
                     op: c,
                 });
+                ready_counts[done.wl][done.step] += 1;
             }
         }
         // Cross-step successor: the same op in the next step.
@@ -915,6 +1049,7 @@ pub(crate) fn run_scheduled(
                     wl: done.wl,
                     op: done.op,
                 });
+                ready_counts[done.wl][done.step + 1] += 1;
             }
         }
         // Step-completion bookkeeping for the pipeline window.

@@ -35,7 +35,7 @@ pub use events::{
     PROGR_KERNEL_SLOTS,
 };
 
-use crate::profiler::profile_step_traced;
+use crate::profiler::profile_step_cached_traced;
 use crate::select::{select_candidates_traced, CandidateSet};
 use crate::stats::ExecutionReport;
 use crate::verify::{ResourceLimits, WorkloadFacts};
@@ -367,7 +367,7 @@ impl Engine {
         let mut prepared = Vec::with_capacity(workloads.len());
         for wl in workloads {
             let costs = graph_costs(wl.graph)?;
-            let profile = profile_step_traced(wl.graph, self.planner.cpu(), tracer)?;
+            let profile = profile_step_cached_traced(wl.graph, self.planner.cpu(), tracer)?;
             let candidates = select_candidates_traced(&profile, self.planner.cfg.coverage, tracer);
             let deps: Vec<Vec<usize>> = wl
                 .graph
@@ -601,7 +601,7 @@ impl Engine {
     /// Propagates profiling/cost failures.
     pub fn plan_preview(&self, graph: &Graph) -> Result<Vec<PlanRow>> {
         let costs = graph_costs(graph)?;
-        let profile = profile_step_traced(graph, self.planner.cpu(), &mut NullTrace)?;
+        let profile = profile_step_cached_traced(graph, self.planner.cpu(), &mut NullTrace)?;
         let candidates =
             select_candidates_traced(&profile, self.planner.cfg.coverage, &mut NullTrace);
         let mut rows = Vec::with_capacity(graph.op_count());

@@ -150,6 +150,10 @@ pub(crate) struct Planner {
     progr_pair: ProgrammablePim,
     progr_pool: ProgrammablePool,
     pool_cfg: FixedPoolConfig,
+    /// Idle pool reused for timing estimates ([`FixedFunctionPool::estimate_ma`]
+    /// reads only the configuration, never allocation state) — built once so
+    /// the hot path does not reconstruct a pool per planned op.
+    est_pool: FixedFunctionPool,
 }
 
 impl Planner {
@@ -162,6 +166,7 @@ impl Planner {
         let progr_pair = ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores.div_ceil(2).max(1));
         let progr_pool = ProgrammablePool::unlimited(&cfg.stack);
         let pool_cfg = FixedPoolConfig::with_units(&cfg.stack, cfg.ff_units);
+        let est_pool = FixedFunctionPool::new(pool_cfg.clone());
         Planner {
             cfg,
             cpu,
@@ -169,6 +174,7 @@ impl Planner {
             progr_pair,
             progr_pool,
             pool_cfg,
+            est_pool,
         }
     }
 
@@ -256,8 +262,7 @@ impl Planner {
                 }
             }
             PlanKind::FixedWhole { rc_runtime, units } => {
-                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
-                let est = pool.estimate_ma(cost, units, !rc_runtime);
+                let est = self.est_pool.estimate_ma(cost, units, !rc_runtime);
                 let busy = est.compute_time.max(est.memory_time);
                 let calls = kernel_calls(cost.ma_flops()) as f64;
                 let (duration, sync_raw, host_energy) = if rc_runtime {
@@ -293,8 +298,7 @@ impl Planner {
             }
             PlanKind::HostSplit { units } => {
                 let (ma, rest) = split_cost(cost);
-                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
-                let ff = pool.estimate_ma(&ma, units, true);
+                let ff = self.est_pool.estimate_ma(&ma, units, true);
                 let host = self.cpu.estimate(&rest);
                 let ff_busy = ff.compute_time.max(ff.memory_time);
                 let host_busy = host.compute_time.max(host.memory_time);
@@ -322,8 +326,7 @@ impl Planner {
             }
             PlanKind::Recursive { units } => {
                 let (ma, rest) = split_cost(cost);
-                let pool = FixedFunctionPool::new(self.pool_cfg.clone());
-                let ff = pool.estimate_ma(&ma, units, false);
+                let ff = self.est_pool.estimate_ma(&ma, units, false);
                 let arm = self.arm_device().estimate(&rest);
                 let ff_busy = ff.compute_time.max(ff.memory_time);
                 let arm_busy = arm.compute_time.max(arm.memory_time)

@@ -141,7 +141,11 @@ impl ReportBuilder {
 }
 
 /// Result of simulating a training run on one system configuration.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` compares every field exactly (no tolerance): the
+/// differential suite asserts that optimized and reference execution paths
+/// agree bit-for-bit, not approximately.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExecutionReport {
     /// Configuration name ("CPU", "GPU", "Progr PIM", "Fixed PIM",
     /// "Hetero PIM", ...).

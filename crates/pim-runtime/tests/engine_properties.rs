@@ -4,67 +4,21 @@
 //! internally consistent reports.
 
 use pim_common::units::Seconds;
+use pim_graph::gen::{self, GenSpec};
 use pim_graph::graph::Graph;
-use pim_graph::node::{OpKind, TensorRole};
 use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
-use pim_tensor::ops::activation::Activation;
-use pim_tensor::ops::elementwise::BinaryOp;
-use pim_tensor::ops::matmul::Transpose;
-use pim_tensor::Shape;
 use proptest::prelude::*;
 
-/// Builds a random layered DAG: `layers` ranks of ops, each consuming 1-2
-/// tensors from earlier ranks, mixing op kinds across all offload classes.
+/// Builds a random layered DAG through the shared seeded generator
+/// (`pim_graph::gen`), fixing the tensor dimension the original prototype
+/// used so existing seeds keep their shapes.
 fn random_dag(layers: usize, width: usize, seed: u64) -> Graph {
-    let mut g = Graph::new();
-    let mut frontier: Vec<_> = (0..width)
-        .map(|i| g.add_tensor(Shape::new(vec![8, 8]), TensorRole::Input, format!("in{i}")))
-        .collect();
-    let mut state = seed | 1;
-    let mut next = move |m: usize| {
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % m as u64) as usize
-    };
-    for layer in 0..layers {
-        let mut new_frontier = Vec::new();
-        for slot in 0..width {
-            let out = g.add_tensor(
-                Shape::new(vec![8, 8]),
-                TensorRole::Activation,
-                format!("t{layer}_{slot}"),
-            );
-            let a = frontier[next(frontier.len())];
-            match next(4) {
-                0 => {
-                    let b = frontier[next(frontier.len())];
-                    if a == b {
-                        g.add_op(OpKind::Activation(Activation::Relu), vec![a], vec![out])
-                            .unwrap();
-                    } else {
-                        g.add_op(OpKind::Binary(BinaryOp::Add), vec![a, b], vec![out])
-                            .unwrap();
-                    }
-                }
-                1 => {
-                    let b = frontier[next(frontier.len())];
-                    g.add_op(OpKind::MatMul(Transpose::NONE), vec![a, b], vec![out])
-                        .unwrap();
-                }
-                2 => {
-                    g.add_op(OpKind::Activation(Activation::Tanh), vec![a], vec![out])
-                        .unwrap();
-                }
-                _ => {
-                    g.add_op(OpKind::Reshape, vec![a], vec![out]).unwrap();
-                }
-            }
-            new_frontier.push(out);
-        }
-        frontier = new_frontier;
-    }
-    g
+    gen::random_dag(&GenSpec {
+        layers,
+        width,
+        dim: 8,
+        seed,
+    })
 }
 
 fn run(graph: &Graph, cfg: EngineConfig, steps: usize) -> pim_runtime::ExecutionReport {

@@ -3,7 +3,9 @@
 //! Usage: `repro [table1|fig2|fig8|fig10|fig11|fig12|fig13|fig16|ablations|config|csv|all]`,
 //! `repro schedule <model>` for a placement preview,
 //! `repro --trace <path> [model]` to export a Chrome trace of one
-//! Hetero PIM run, or `repro tracecheck <path>` to validate one.
+//! Hetero PIM run, `repro tracecheck <path>` to validate one, or
+//! `repro bench [--json <path>]` for the wall-clock benchmark harness
+//! (see `run_bench_cli` for its flags).
 //! (fig8 covers fig9; fig11 covers fig17; fig13 covers fig14/fig15).
 
 use pim_models::ModelKind;
@@ -68,6 +70,10 @@ fn main() {
             eprintln!("{}", diags.render_text());
             std::process::exit(1);
         }
+        return;
+    }
+    if which == "bench" {
+        run_bench_cli();
         return;
     }
     let sections: [Section; 9] = [
@@ -136,5 +142,114 @@ fn main() {
         for (k, v) in table_iv_rows() {
             println!("  {k:18} {v}");
         }
+    }
+}
+
+/// The wall-clock benchmark harness:
+///
+/// ```text
+/// repro bench [--json <path>] [--models alex,vgg,...] [--iters N]
+///             [--steps N] [--repro-all <runs> --baseline <median_ms>,<min_ms>]
+/// ```
+///
+/// Times every requested model against all six `SystemPreset`s and
+/// emits a `hetero-pim-bench-v1` document — to `<path>` with `--json`
+/// (a one-line summary goes to stderr), to stdout otherwise. `--repro-all`
+/// additionally times N cold `repro all` subprocesses and records the
+/// speedup against the externally measured pre-change `--baseline`.
+fn run_bench_cli() {
+    use pim_sim::bench;
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: repro bench [--json <path>] [--models alex,vgg,...] [--iters N] \
+             [--steps N] [--repro-all <runs> --baseline <median_ms>,<min_ms>]"
+        );
+        std::process::exit(2);
+    }
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut json_path: Option<String> = None;
+    let mut kinds: Vec<ModelKind> = ModelKind::ALL.to_vec();
+    let mut iters = 3usize;
+    let mut steps = 3usize;
+    let mut repro_runs = 0usize;
+    let mut baseline: Option<(f64, f64)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match (args[i].as_str(), value) {
+            ("--json", Some(v)) => json_path = Some(v.clone()),
+            ("--models", Some(v)) => {
+                kinds = v.split(',').map(|m| model_arg(Some(m))).collect();
+            }
+            ("--iters", Some(v)) => iters = v.parse().unwrap_or_else(|_| usage()),
+            ("--steps", Some(v)) => steps = v.parse().unwrap_or_else(|_| usage()),
+            ("--repro-all", Some(v)) => repro_runs = v.parse().unwrap_or_else(|_| usage()),
+            ("--baseline", Some(v)) => {
+                let (median, min) = v.split_once(',').unwrap_or_else(|| usage());
+                baseline = Some((
+                    median.parse().unwrap_or_else(|_| usage()),
+                    min.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    use pim_runtime::engine::SystemPreset;
+    let cells = bench::bench_cells(&kinds, &SystemPreset::ALL, steps, iters).unwrap_or_else(|e| {
+        eprintln!("bench failed: {e}");
+        std::process::exit(1);
+    });
+    let repro_all = if repro_runs > 0 {
+        let (pre_median, pre_min) = baseline.unwrap_or_else(|| {
+            eprintln!("--repro-all needs --baseline <median_ms>,<min_ms> to compare against");
+            std::process::exit(2);
+        });
+        let post = bench::time_repro_all(repro_runs).unwrap_or_else(|e| {
+            eprintln!("bench failed timing repro all: {e}");
+            std::process::exit(1);
+        });
+        Some(bench::repro_all_timing(pre_median, pre_min, &post))
+    } else {
+        None
+    };
+    let file = bench::BenchFile {
+        commit: bench::current_commit(),
+        steps,
+        iterations: iters,
+        cells,
+        repro_all,
+    };
+    let json = bench::to_json(&file);
+    if let Err(e) = bench::validate_bench_json(&json) {
+        eprintln!("bench produced an invalid document: {e}");
+        std::process::exit(1);
+    }
+    match json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("bench failed writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} cells ({} models x {} presets, commit {}) to {path}",
+                file.cells.len(),
+                kinds.len(),
+                SystemPreset::ALL.len(),
+                file.commit,
+            );
+            if let Some(r) = &file.repro_all {
+                eprintln!(
+                    "repro all: {:.0} ms -> {:.0} ms median ({:.2}x)",
+                    r.pre_median_ms,
+                    r.post_median_ms,
+                    r.speedup(),
+                );
+            }
+        }
+        None => print!("{json}"),
     }
 }

@@ -9,14 +9,16 @@
 
 use crate::ablations::{batch_sweep, coverage_sweep, cube_scaling, gpu_attached};
 use crate::baselines::simulate_neurocube;
-use crate::configs::{simulate, SystemConfig};
+use crate::cache;
+use crate::configs::SystemConfig;
 use crate::mixed::{corun, fig16_cases, CoRunResult};
 use pim_common::units::edp;
 use pim_common::Result;
 use pim_hw::power::{progr_scaling_points, LogicDieBudget};
-use pim_models::{Model, ModelKind};
-use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
-use pim_runtime::profiler::profile_step;
+use pim_models::ModelKind;
+use pim_runtime::engine::{EngineConfig, SystemPreset};
+use pim_runtime::par::par_map;
+use pim_runtime::profiler::profile_step_cached;
 use pim_runtime::select::{classify, OpClass};
 use pim_runtime::stats::ExecutionReport;
 use serde::Serialize;
@@ -68,8 +70,8 @@ impl Renderer {
 }
 
 fn run_model(kind: ModelKind, config: &SystemConfig, steps: usize) -> Result<ExecutionReport> {
-    let model = Model::build(kind)?;
-    simulate(&model, config, steps)
+    let model = cache::model(kind)?;
+    cache::cell_report(&model, config, steps)
 }
 
 /// One op-type share row of Table I.
@@ -103,8 +105,9 @@ pub struct Table1Model {
 pub fn table1_data() -> Result<Vec<Table1Model>> {
     let mut models = Vec::new();
     for kind in [ModelKind::Vgg19, ModelKind::AlexNet, ModelKind::Dcgan] {
-        let model = Model::build(kind)?;
-        let profile = profile_step(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
+        let model = cache::model(kind)?;
+        let profile =
+            profile_step_cached(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
         let total_t = profile.total_time();
         let total_m = profile.total_memory_accesses() as f64;
         let rows = profile.by_name();
@@ -183,8 +186,9 @@ pub struct ClassCensus {
 pub fn fig2_data() -> Result<Vec<ClassCensus>> {
     let mut census = Vec::new();
     for kind in ModelKind::CNNS {
-        let model = Model::build(kind)?;
-        let profile = profile_step(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
+        let model = cache::model(kind)?;
+        let profile =
+            profile_step_cached(model.graph(), &pim_hw::cpu::CpuDevice::xeon_e5_2630_v3())?;
         let classes = classify(&profile);
         let count = |c: OpClass| classes.iter().filter(|(_, x)| *x == c).count();
         census.push(ClassCensus {
@@ -255,12 +259,24 @@ pub struct ModelBreakdown {
 ///
 /// Propagates simulation failures.
 pub fn fig8_fig9_data() -> Result<Vec<ModelBreakdown>> {
+    // Simulate the whole (model x configuration) grid as one batch —
+    // parallel under the `parallel` feature, serial otherwise, identical
+    // rows either way. Every cell lands in the sweep cache, so the
+    // per-model normalization below is all hits.
+    let set = SystemConfig::evaluation_set();
+    let grid: Vec<(ModelKind, SystemConfig)> = ModelKind::CNNS
+        .iter()
+        .flat_map(|&kind| set.iter().map(move |config| (kind, config.clone())))
+        .collect();
+    let cells = par_map(&grid, |(kind, config)| run_model(*kind, config, STEPS));
+
     let mut breakdowns = Vec::new();
+    let mut cells = cells.into_iter();
     for kind in ModelKind::CNNS {
         let hetero = run_model(kind, &SystemConfig::hetero_pim(), STEPS)?;
         let mut rows = Vec::new();
-        for config in SystemConfig::evaluation_set() {
-            let r = run_model(kind, &config, STEPS)?;
+        for config in &set {
+            let r = cells.next().expect("one cell per grid entry")?;
             let (op, dm, sync) = r.breakdown_fractions();
             rows.push(BreakdownRow {
                 config: config.name().to_string(),
@@ -322,8 +338,8 @@ pub struct NeurocubeRatio {
 pub fn fig10_data() -> Result<Vec<NeurocubeRatio>> {
     let mut ratios = Vec::new();
     for kind in ModelKind::CNNS {
-        let model = Model::build(kind)?;
-        let hetero = simulate(&model, &SystemConfig::hetero_pim(), STEPS)?;
+        let model = cache::model(kind)?;
+        let hetero = cache::cell_report(&model, &SystemConfig::hetero_pim(), STEPS)?;
         let nc = simulate_neurocube(&model, STEPS)?;
         ratios.push(NeurocubeRatio {
             kind,
@@ -468,14 +484,14 @@ pub fn fig12_data() -> Result<Vec<ProgrScaling>> {
     let points = progr_scaling_points(&LogicDieBudget::paper_baseline())?;
     let mut scalings = Vec::new();
     for kind in ModelKind::CNNS {
-        let model = Model::build(kind)?;
+        let model = cache::model(kind)?;
         let mut rows = Vec::new();
         for p in &points {
             let cfg = SystemConfig::HeteroPim(
                 EngineConfig::preset(SystemPreset::Hetero)
                     .with_pim_complement(p.arm_cores, p.ff_units),
             );
-            let r = simulate(&model, &cfg, STEPS)?;
+            let r = cache::cell_report(&model, &cfg, STEPS)?;
             rows.push(ScalingPoint {
                 arm_cores: p.arm_cores,
                 ff_units: p.ff_units,
@@ -543,14 +559,15 @@ pub struct SoftwareAblation {
 pub fn fig13_fig14_fig15_data() -> Result<Vec<SoftwareAblation>> {
     let mut ablations = Vec::new();
     for kind in ModelKind::CNNS {
-        let model = Model::build(kind)?;
-        let workload = |steps| WorkloadSpec {
-            graph: model.graph(),
-            steps,
-            cpu_progr_only: false,
-        };
-        let full =
-            Engine::new(EngineConfig::preset(SystemPreset::Hetero)).run(&[workload(STEPS)])?;
+        let model = cache::model(kind)?;
+        // simulate() wraps the graph in the same single-workload spec the
+        // engine ran directly here before, so every preset row is a plain
+        // sweep cell — and `full` (the Hetero preset) a guaranteed hit.
+        let full = cache::cell_report(
+            &model,
+            &SystemConfig::HeteroPim(EngineConfig::preset(SystemPreset::Hetero)),
+            STEPS,
+        )?;
         let mut rows = Vec::new();
         for preset in [
             SystemPreset::ProgrOnly,
@@ -561,7 +578,7 @@ pub fn fig13_fig14_fig15_data() -> Result<Vec<SoftwareAblation>> {
         ] {
             let cfg = EngineConfig::preset(preset);
             let name = cfg.name.clone();
-            let r = Engine::new(cfg).run(&[workload(STEPS)])?;
+            let r = cache::cell_report(&model, &SystemConfig::HeteroPim(cfg), STEPS)?;
             rows.push(AblationRow {
                 config: name,
                 step_seconds: r.per_step_time().seconds(),
@@ -638,7 +655,7 @@ pub fn fig16() -> Result<String> {
 pub fn ablations() -> Result<String> {
     let mut r = Renderer::new("Ablations (design choices and §II-D discussion)");
 
-    let model = Model::build(ModelKind::Vgg19)?;
+    let model = cache::model(ModelKind::Vgg19)?;
     r.line("\nCandidate-selection coverage sweep (VGG-19):");
     for p in coverage_sweep(&model, &[0.5, 0.7, 0.9, 0.99], STEPS)? {
         r.row(format_args!(
@@ -668,7 +685,7 @@ pub fn ablations() -> Result<String> {
     r.line("\nGPU-attached heterogeneous PIM estimate (per step):");
     let gpu = pim_hw::gpu::GpuDevice::gtx_1080_ti();
     for kind in ModelKind::CNNS {
-        let m = Model::build(kind)?;
+        let m = cache::model(kind)?;
         let est = gpu_attached(&m, &gpu)?;
         r.row(format_args!(
             "{:14} GPU {:.4}s -> GPU+PIM {:.4}s ({:.2}x)",
@@ -684,6 +701,7 @@ pub fn ablations() -> Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim_models::Model;
 
     // Headline-shape tests run at reduced batch through the public
     // simulate() API elsewhere; here we verify the harness functions

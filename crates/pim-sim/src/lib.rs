@@ -34,6 +34,8 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod bench;
+pub mod cache;
 pub mod chrome;
 pub mod configs;
 pub mod experiments;

@@ -1,0 +1,81 @@
+//! Golden snapshot of the full evaluation sweep: every paper model on
+//! every system preset, with the report's key quantities pinned to a
+//! checked-in table at full f64 round-trip precision.
+//!
+//! Any engine change that shifts a simulated result — intended or not —
+//! shows up here as a readable diff instead of a silent drift. To accept
+//! an intended change, regenerate the table:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pim-sim --test golden_reports
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use pim_models::{Model, ModelKind};
+use pim_runtime::engine::{EngineConfig, SystemPreset};
+use pim_sim::configs::{simulate, SystemConfig};
+use std::fmt::Write as _;
+
+const STEPS: usize = 2;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/sweep_reports.txt"
+);
+
+/// Renders the sweep as one line per (model x preset) cell. `{:?}` on f64
+/// prints the shortest round-trip representation, so equal strings mean
+/// bit-equal results and the table stays stable across regenerations.
+fn render_sweep() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# model | preset | makespan_s | op_s | dm_s | sync_s | energy_j | ff_util"
+    )
+    .unwrap();
+    for kind in ModelKind::ALL {
+        let model = Model::build(kind).unwrap();
+        for preset in SystemPreset::ALL {
+            let config = SystemConfig::HeteroPim(EngineConfig::preset(preset));
+            let r = simulate(&model, &config, STEPS).unwrap();
+            writeln!(
+                out,
+                "{} | {} | {:?} | {:?} | {:?} | {:?} | {:?} | {:?}",
+                kind.name(),
+                preset.name(),
+                r.makespan.seconds(),
+                r.op_time.seconds(),
+                r.data_movement_time.seconds(),
+                r.sync_time.seconds(),
+                r.dynamic_energy.joules(),
+                r.ff_utilization,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn sweep_reports_match_golden_table() {
+    let actual = render_sweep();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden table");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden table missing — regenerate with UPDATE_GOLDEN=1");
+    if expected != actual {
+        // Report the first diverging line, not a 43-line wall of text.
+        for (n, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(e, a, "golden mismatch at line {}", n + 1);
+        }
+        assert_eq!(
+            expected.lines().count(),
+            actual.lines().count(),
+            "golden table length changed"
+        );
+        unreachable!("strings differ but no line did");
+    }
+}
