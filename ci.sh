@@ -20,6 +20,12 @@ cargo check -q -p pim-runtime
 # drivers stay behaviour-identical.
 cargo test -q -p pim-sim --no-default-features --features trace --test differential
 
+# Seeded fault suite with `parallel` off (the workspace run above covers
+# `parallel` on): engine recovery, the none-plan differential guard, and
+# the fault-aware legality checker must not depend on the sweep driver.
+cargo test -q -p pim-runtime --no-default-features fault
+cargo test -q -p pim-sim --no-default-features --features trace --test fault_differential
+
 # Static checker: every model graph, binary set, schedule, and report must
 # come back with zero error-severity diagnostics (exit code gates).
 cargo run --release -q -p pim-verify -- --all-models --format json > /dev/null
@@ -40,6 +46,20 @@ bench_json=$(mktemp)
 cargo run --release -q -p pim-sim --bin repro -- \
     bench --json "$bench_json" --models alex,vgg --iters 1 2> /dev/null
 test -s "$bench_json"
+
+# Fault smoke: the seeded degradation sweep must run clean, print a
+# deterministic table, and every faulted schedule must satisfy the
+# fault-aware legality checker (attempt chains, backoff, quarantine
+# capacity) on top of the fault-free rules.
+faults_a=$(mktemp) faults_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "${bench_json:-}"' EXIT
+cargo run --release -q -p pim-sim --bin repro -- \
+    faults --seed 1 --rate 0.05 --models alex,lstm > "$faults_a"
+cargo run --release -q -p pim-sim --bin repro -- \
+    faults --seed 1 --rate 0.05 --models alex,lstm > "$faults_b"
+diff "$faults_a" "$faults_b"
+cargo run --release -q -p pim-verify -- \
+    --model alexnet --model lstm --steps 2 --faults 1,0.05 --format json > /dev/null
 
 # Observability: the Chrome-trace export must be byte-identical across
 # runs and structurally valid (parses, ph/ts/pid/tid present, per-track

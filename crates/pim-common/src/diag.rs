@@ -270,6 +270,86 @@ mod tests {
         assert!(Diagnostics::new().is_clean());
     }
 
+    /// Decodes one JSON string literal starting at `s[i]` (which must be
+    /// the opening quote); returns the decoded text and the index one
+    /// past the closing quote. Test-local: the workspace ships no JSON
+    /// parser, and the round-trip tests below need one.
+    fn parse_json_string(s: &str, i: usize) -> (String, usize) {
+        let bytes: Vec<char> = s.chars().collect();
+        assert_eq!(bytes[i], '"', "expected a string literal at {i}");
+        let mut out = String::new();
+        let mut j = i + 1;
+        loop {
+            match bytes[j] {
+                '"' => return (out, j + 1),
+                '\\' => {
+                    j += 1;
+                    match bytes[j] {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hex: String = bytes[j + 1..j + 5].iter().collect();
+                            let code = u32::from_str_radix(&hex, 16).unwrap();
+                            out.push(char::from_u32(code).unwrap());
+                            j += 4;
+                        }
+                        other => panic!("unexpected escape \\{other}"),
+                    }
+                }
+                c => {
+                    assert!(c as u32 >= 0x20, "raw control character {:#x}", c as u32);
+                    out.push(c);
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// Extracts the value of a `"key":"..."` string field from a JSON
+    /// object rendering.
+    fn field(json: &str, key: &str) -> String {
+        let tag = format!("\"{key}\":");
+        let at = json.find(&tag).unwrap_or_else(|| panic!("no field {key}")) + tag.len();
+        parse_json_string(json, json[..at].chars().count()).0
+    }
+
+    #[test]
+    fn json_round_trips_hostile_subjects_and_messages() {
+        let cases = [
+            "plain ascii",
+            "quotes \" inside \"twice\"",
+            "back\\slash and tab\there",
+            "line1\nline2\r\nline3",
+            "control \u{1} \u{1f} chars",
+            "non-ascii: héllo 日本語 π≈3.14159 →",
+            "emoji: 🧪🔥",
+            "",
+        ];
+        for case in cases {
+            let mut d = Diagnostics::new();
+            d.error("schedule", case, case);
+            let json = d.to_json();
+            assert_eq!(field(&json, "subject"), case, "subject drifted: {json}");
+            assert_eq!(field(&json, "message"), case, "message drifted: {json}");
+        }
+    }
+
+    #[test]
+    fn json_control_characters_are_u_escaped() {
+        let mut d = Diagnostics::new();
+        d.error("graph", "s", "bell \u{7} and escape \u{1b}");
+        let json = d.to_json();
+        assert!(json.contains("\\u0007"), "{json}");
+        assert!(json.contains("\\u001b"), "{json}");
+        assert!(
+            json.chars().all(|c| c as u32 >= 0x20),
+            "raw control characters leaked into the JSON: {json:?}"
+        );
+    }
+
     #[test]
     fn extend_preserves_order() {
         let mut a = Diagnostics::new();

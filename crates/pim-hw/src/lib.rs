@@ -11,6 +11,8 @@
 //!   and its HotSpot-lite validation,
 //! * [`power`] — the McPAT-lite logic-die design-space exploration that
 //!   re-derives the 444-unit figure,
+//! * [`faults`] — the deterministic seeded fault model ([`faults::FaultPlan`])
+//!   the engine's recovery policy executes against,
 //! * [`registers`] — the Fig. 7 busy/idle register file,
 //! * [`params`] — the shared timing/energy formula.
 //!
@@ -20,6 +22,7 @@
 pub mod arm;
 pub mod cpu;
 pub mod device;
+pub mod faults;
 pub mod fixed;
 pub mod gpu;
 pub mod neurocube;

@@ -15,6 +15,10 @@
 //! engine drivers additionally observe execution through an [`Observer`]:
 //! counters always, Chrome-trace spans when the `trace` feature is on.
 
+use super::faults::{
+    backoff_after, decide, extend_timeout, lane_for, scale_planned, stretch_planned,
+    AttemptOutcome, Fate, FaultContext,
+};
 use super::placement::{
     resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
 };
@@ -26,6 +30,7 @@ use pim_common::trace::{Counters, Track};
 use pim_common::units::{Joules, Seconds};
 use pim_common::{PimError, Result};
 use pim_hw::device::Device;
+use pim_hw::faults::FaultTarget;
 use pim_hw::fixed::FixedFunctionPool;
 use pim_hw::registers::StatusRegisters;
 use pim_mem::traffic::TrafficStats;
@@ -77,6 +82,11 @@ pub struct TimelineEntry {
     /// Fixed-function units held for the whole interval (0 for pure
     /// CPU/programmable placements and baseline devices).
     pub ff_units: usize,
+    /// Which attempt of the instance this is (0 in fault-free runs).
+    pub attempt: u32,
+    /// How the attempt ended ([`AttemptOutcome::Completed`] in fault-free
+    /// runs).
+    pub outcome: AttemptOutcome,
 }
 
 /// Receives one [`TimelineEntry`] per executed op instance.
@@ -157,6 +167,17 @@ pub(crate) fn class_label(class: ResourceClass) -> &'static str {
         ResourceClass::CpuAndFixed => "CPU+Fixed",
         ResourceClass::ProgrAndFixed => "Progr+Fixed",
         ResourceClass::Baseline => "Baseline",
+    }
+}
+
+/// Stable display label of an attempt outcome (trace span/instant args).
+#[cfg(feature = "trace")]
+fn outcome_label(outcome: AttemptOutcome) -> &'static str {
+    match outcome {
+        AttemptOutcome::Completed => "completed",
+        AttemptOutcome::Transient => "transient",
+        AttemptOutcome::TimedOut => "timed-out",
+        AttemptOutcome::Killed => "killed",
     }
 }
 
@@ -279,6 +300,10 @@ struct HotCounters {
     barrier_touched: bool,
     decision_seconds: f64,
     decision_touched: bool,
+    faults_injected: u64,
+    retries: u64,
+    redispatches: u64,
+    quarantined_units: u64,
 }
 
 impl HotCounters {
@@ -311,6 +336,18 @@ impl HotCounters {
         }
         if self.decision_touched {
             counters.add("sync/decision_seconds", self.decision_seconds);
+        }
+        if self.faults_injected > 0 {
+            counters.add("faults/injected", self.faults_injected as f64);
+        }
+        if self.retries > 0 {
+            counters.add("faults/retries", self.retries as f64);
+        }
+        if self.redispatches > 0 {
+            counters.add("faults/redispatches", self.redispatches as f64);
+        }
+        if self.quarantined_units > 0 {
+            counters.add("faults/quarantined_units", self.quarantined_units as f64);
         }
         *self = HotCounters::default();
     }
@@ -408,6 +445,12 @@ impl<'a> Observer<'a> {
             if rec.entry.ff_units > 0 {
                 args.push(("ff_units", rec.entry.ff_units.into()));
             }
+            // Fault-free entries carry no attempt args, keeping zero-fault
+            // traces byte-identical to their pre-fault-model goldens.
+            if rec.entry.attempt > 0 || rec.entry.outcome != AttemptOutcome::Completed {
+                args.push(("attempt", (rec.entry.attempt as usize).into()));
+                args.push(("outcome", outcome_label(rec.entry.outcome).into()));
+            }
             if matches!(
                 rec.kind,
                 PlanKind::FixedWhole {
@@ -504,6 +547,70 @@ impl<'a> Observer<'a> {
     pub fn decision(&mut self, amount: Seconds) {
         self.hot.decision_seconds += amount.seconds();
         self.hot.decision_touched = true;
+    }
+
+    /// Records one injected fault event (transient, timeout, or permanent
+    /// strike) as a counter bump plus a scheduler-track trace instant.
+    pub fn fault(&mut self, now: Seconds, what: &'static str, wl: usize, step: usize, op: usize) {
+        self.hot.faults_injected += 1;
+        #[cfg(not(feature = "trace"))]
+        let _ = (now, what, wl, step, op);
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Instant {
+                track: SCHED_TRACK,
+                name: what.to_string(),
+                cat: "fault",
+                ts: now,
+                args: vec![("wl", wl.into()), ("step", step.into()), ("op", op.into())],
+            });
+        }
+    }
+
+    /// Records a permanent fault quarantining `units` resource units
+    /// (one injected fault event, `units` quarantined units).
+    pub fn quarantine(&mut self, now: Seconds, what: &'static str, units: usize) {
+        self.hot.faults_injected += 1;
+        self.hot.quarantined_units += units as u64;
+        #[cfg(not(feature = "trace"))]
+        let _ = (now, what);
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Instant {
+                track: SCHED_TRACK,
+                name: "quarantine".to_string(),
+                cat: "fault",
+                ts: now,
+                args: vec![("what", what.into()), ("units", units.into())],
+            });
+        }
+    }
+
+    /// Records an in-flight op killed by a permanent strike (the strike
+    /// itself was already counted by [`Observer::quarantine`]).
+    pub fn killed(&mut self, now: Seconds, wl: usize, step: usize, op: usize) {
+        #[cfg(not(feature = "trace"))]
+        let _ = (now, wl, step, op);
+        #[cfg(feature = "trace")]
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent::Instant {
+                track: SCHED_TRACK,
+                name: "killed".to_string(),
+                cat: "fault",
+                ts: now,
+                args: vec![("wl", wl.into()), ("step", step.into()), ("op", op.into())],
+            });
+        }
+    }
+
+    /// Counts a retry scheduled after a transient fault or kill.
+    pub fn retried(&mut self) {
+        self.hot.retries += 1;
+    }
+
+    /// Counts a re-dispatch after a link timeout.
+    pub fn redispatched(&mut self) {
+        self.hot.redispatches += 1;
     }
 
     /// Flushes deferred accounting (hot counters, traffic totals) into the
@@ -621,6 +728,12 @@ pub(crate) struct ResourceState {
     /// mirror only rewrites the registers that changed since the last
     /// acquire/release instead of scanning all of them.
     mirrored_busy: usize,
+    /// Units permanently lost to fail-stop faults. Quarantine holds them
+    /// through a never-released pool grant, so the Fig. 7 registers show
+    /// them busy without any special-casing.
+    quarantined_ff: usize,
+    /// The programmable PIM has not been permanently quarantined.
+    progr_alive: bool,
 }
 
 impl ResourceState {
@@ -633,6 +746,8 @@ impl ResourceState {
             pool,
             registers,
             mirrored_busy: 0,
+            quarantined_ff: 0,
+            progr_alive: true,
         }
     }
 
@@ -644,7 +759,44 @@ impl ResourceState {
             cpu_free: self.cpu_free,
             progr_free: !self.registers.progr_busy(),
             ff_free: self.registers.idle_bank_count(),
+            ff_alive: self.pool.total_units() - self.quarantined_ff,
+            progr_alive: self.progr_alive,
         }
+    }
+
+    /// Fixed-function units idle right now.
+    pub fn free_ff(&self) -> usize {
+        self.pool.free_units()
+    }
+
+    /// Units still alive (free or busy, but not quarantined).
+    pub fn alive_ff(&self) -> usize {
+        self.pool.total_units() - self.quarantined_ff
+    }
+
+    /// Permanently removes `units` idle fixed-function units. The grant is
+    /// never released, so the Fig. 7 registers report them busy forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a pool-grant failure (callers kill enough in-flight work
+    /// first to make the units idle).
+    pub fn quarantine_ff(&mut self, units: usize) -> Result<()> {
+        if units == 0 {
+            return Ok(());
+        }
+        self.pool.grant(units)?;
+        self.quarantined_ff += units;
+        self.mirror_registers();
+        Ok(())
+    }
+
+    /// Permanently removes the programmable PIM (callers kill in-flight
+    /// kernels first, so every slot is free here).
+    pub fn quarantine_progr(&mut self) {
+        self.progr_alive = false;
+        self.progr_slots = 0;
+        self.mirror_registers();
     }
 
     /// Reserves the resources a chosen placement needs; returns the
@@ -794,6 +946,8 @@ pub(crate) fn run_serialized(
                     end: clock.now() + planned.duration,
                     resource: resource_class(&planned),
                     ff_units: planned.ff_units,
+                    attempt: 0,
+                    outcome: AttemptOutcome::Completed,
                 };
                 obs.record_op(&OpRecord {
                     entry,
@@ -968,6 +1122,8 @@ pub(crate) fn run_scheduled(
                 end: Clock::from_fs(end_fs),
                 resource: resource_class(&planned),
                 ff_units: units,
+                attempt: 0,
+                outcome: AttemptOutcome::Completed,
             };
             obs.record_op(&OpRecord {
                 entry,
@@ -1080,6 +1236,643 @@ pub(crate) fn run_scheduled(
     Ok(acc.into_report(planner, steps, makespan))
 }
 
+/// Applies one permanent strike to the serialized driver's alive-state.
+fn apply_strike_serial(
+    target: FaultTarget,
+    ff_alive: &mut usize,
+    progr_alive: &mut bool,
+    obs: &mut Observer<'_>,
+    at: Seconds,
+) {
+    match target {
+        FaultTarget::FixedUnits(n) => {
+            let n = n.min(*ff_alive);
+            *ff_alive -= n;
+            obs.quarantine(at, "ff units", n);
+        }
+        FaultTarget::ProgrPim => {
+            *progr_alive = false;
+            obs.quarantine(at, "progr pim", 1);
+        }
+    }
+}
+
+/// Sequential execution under a fault plan: the same topological order as
+/// [`run_serialized`], with per-attempt fault fates, bounded retry with
+/// exponential backoff, timeout re-dispatch, and permanent strikes taking
+/// effect at their scheduled times. Aborted attempts are charged for the
+/// fraction of the work the device actually performed.
+pub(crate) fn run_serialized_faulted(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+    faults: &FaultContext,
+) -> Result<ExecutionReport> {
+    let mut acc = Accumulator::default();
+    let mut clock = Clock::new();
+    let mut ff_alive = planner.cfg.ff_units - faults.initial_ff;
+    let mut progr_alive = !faults.initial_progr_dead;
+    if faults.initial_ff > 0 {
+        obs.quarantine(clock.now(), "ff units", faults.initial_ff);
+    }
+    if faults.initial_progr_dead {
+        obs.quarantine(clock.now(), "progr pim", 1);
+    }
+    let mut next_strike = 0usize;
+    for (w, wl) in prepared.iter().enumerate() {
+        let ops = wl.spec.graph.ops();
+        for step in 0..wl.spec.steps {
+            for &op in &wl.topo {
+                let cost = &wl.costs[op];
+                let is_candidate = wl.candidates.contains(OpId::new(op));
+                let mut attempt = 0u32;
+                loop {
+                    // Strikes due by now take effect before placement.
+                    while let Some(s) = faults.strikes.get(next_strike).copied() {
+                        if s.at > clock.now() {
+                            break;
+                        }
+                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
+                        next_strike += 1;
+                    }
+                    let avail = Availability {
+                        cpu_free: true,
+                        progr_free: progr_alive,
+                        ff_free: ff_alive,
+                        ff_alive,
+                        progr_alive,
+                    };
+                    let kind = planner
+                        .choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+                        .ok_or_else(|| {
+                            PimError::internal("serialized placement found no device")
+                        })?;
+                    let mut charge = planner.plan_cost(kind, cost);
+                    let lane = lane_for(charge.ff_units, charge.uses_progr);
+                    if let Some(l) = lane {
+                        let m = faults.plan.latency_multiplier(l, clock.now());
+                        if m > 1.0 {
+                            charge = stretch_planned(&charge, m);
+                        }
+                    }
+                    let mut outcome = match decide(&faults.plan, lane, w, step, op, attempt) {
+                        Fate::Complete => AttemptOutcome::Completed,
+                        Fate::Transient(frac) => {
+                            charge = scale_planned(&charge, frac);
+                            AttemptOutcome::Transient
+                        }
+                        Fate::TimedOut => {
+                            charge = extend_timeout(&charge);
+                            AttemptOutcome::TimedOut
+                        }
+                    };
+                    let start = clock.now();
+                    let mut end = start + charge.duration;
+                    // A strike landing inside the attempt kills it at the
+                    // strike instant when it takes the resources under it.
+                    while let Some(s) = faults.strikes.get(next_strike).copied() {
+                        if s.at >= end {
+                            break;
+                        }
+                        let idle = match s.target {
+                            FaultTarget::FixedUnits(_) => ff_alive.saturating_sub(charge.ff_units),
+                            FaultTarget::ProgrPim => 0,
+                        };
+                        let kills = FaultContext::strike_kills(
+                            s.target,
+                            charge.ff_units,
+                            charge.uses_progr,
+                            idle,
+                        );
+                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
+                        next_strike += 1;
+                        if kills {
+                            let dur = charge.duration.seconds();
+                            let frac = if dur > 0.0 {
+                                ((s.at - start).seconds() / dur).clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
+                            charge = scale_planned(&charge, frac);
+                            end = s.at.max(start);
+                            outcome = AttemptOutcome::Killed;
+                            obs.killed(s.at, w, step, op);
+                            break;
+                        }
+                    }
+                    acc.add(&charge);
+                    let entry = TimelineEntry {
+                        workload: w,
+                        step,
+                        op,
+                        start,
+                        end,
+                        resource: resource_class(&charge),
+                        ff_units: charge.ff_units,
+                        attempt,
+                        outcome,
+                    };
+                    obs.record_op(&OpRecord {
+                        entry,
+                        planned: &charge,
+                        kind,
+                        cost,
+                        name: ops[op].kind.tf_name(),
+                        candidate: is_candidate,
+                        inflight: 1,
+                    });
+                    if charge.ff_units > 0 {
+                        obs.ff_delta(start, charge.ff_units as isize);
+                    }
+                    clock.advance(end - start);
+                    if charge.ff_units > 0 {
+                        obs.ff_delta(clock.now(), -(charge.ff_units as isize));
+                    }
+                    if planner.cfg.mode == SystemMode::Hetero {
+                        clock.advance(PLACEMENT_DECISION);
+                        acc.sync_raw += PLACEMENT_DECISION;
+                        obs.decision(PLACEMENT_DECISION);
+                    }
+                    match outcome {
+                        AttemptOutcome::Completed => {
+                            obs.completed();
+                            break;
+                        }
+                        AttemptOutcome::Transient => {
+                            obs.fault(end, "transient", w, step, op);
+                            obs.retried();
+                            let backoff = backoff_after(attempt);
+                            clock.advance(backoff);
+                            acc.sync_raw += backoff;
+                        }
+                        AttemptOutcome::TimedOut => {
+                            obs.fault(end, "timed-out", w, step, op);
+                            obs.redispatched();
+                        }
+                        AttemptOutcome::Killed => {
+                            obs.retried();
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+            clock.advance(STEP_BARRIER);
+            acc.sync_raw += STEP_BARRIER;
+            obs.barrier(clock.now(), STEP_BARRIER);
+        }
+    }
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, clock.now()))
+}
+
+/// Event-driven execution under a fault plan. Structured like
+/// [`run_scheduled`] — same ready set, pipeline window, and availability
+/// snapshots — with three differences: an attempt's fate is decided at
+/// dispatch, charging and recording are deferred to the attempt's end (so
+/// kills bill only the work actually performed), and permanent strikes are
+/// delivered as heap events that kill the in-flight attempts under them.
+pub(crate) fn run_scheduled_faulted(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+    faults: &FaultContext,
+) -> Result<ExecutionReport> {
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Key {
+        step: usize,
+        rank: usize,
+        wl: usize,
+        op: usize,
+    }
+    let mut remaining: Vec<Vec<Vec<usize>>> = prepared
+        .iter()
+        .map(|wl| {
+            (0..wl.spec.steps)
+                .map(|step| {
+                    wl.deps
+                        .iter()
+                        .map(|d| d.len() + usize::from(step > 0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut step_left: Vec<Vec<usize>> = prepared
+        .iter()
+        .map(|wl| vec![wl.topo.len(); wl.spec.steps])
+        .collect();
+    let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
+
+    let mut ready: BTreeSet<Key> = BTreeSet::new();
+    let mut ready_counts: Vec<Vec<usize>> = prepared
+        .iter()
+        .map(|wl| vec![0usize; wl.spec.steps])
+        .collect();
+    for (w, wl) in prepared.iter().enumerate() {
+        for (op, deps) in wl.deps.iter().enumerate() {
+            if deps.is_empty() && wl.spec.steps > 0 {
+                ready.insert(Key {
+                    step: 0,
+                    rank: wl.rank[op],
+                    wl: w,
+                    op,
+                });
+                ready_counts[w][0] += 1;
+            }
+        }
+    }
+    // Attempt counter per instance (indexed step * ops + op).
+    let mut attempts: Vec<Vec<u32>> = prepared
+        .iter()
+        .map(|wl| vec![0u32; wl.spec.steps * wl.deps.len()])
+        .collect();
+
+    let mut state = ResourceState::new(planner);
+    if faults.initial_ff > 0 {
+        state.quarantine_ff(faults.initial_ff)?;
+        obs.quarantine(Seconds::ZERO, "ff units", faults.initial_ff);
+    }
+    if faults.initial_progr_dead {
+        state.quarantine_progr();
+        obs.quarantine(Seconds::ZERO, "progr pim", 1);
+    }
+
+    /// One dispatched attempt occupying resources until its heap event.
+    #[derive(Debug, Clone, Copy)]
+    struct InFlight {
+        wl: usize,
+        step: usize,
+        op: usize,
+        kind: PlanKind,
+        /// Fate-adjusted planned op (the charge if the attempt runs to its
+        /// scheduled end).
+        charge: PlannedOp,
+        units: usize,
+        attempt: u32,
+        outcome: AttemptOutcome,
+        start: Seconds,
+        inflight_at_dispatch: usize,
+        candidate: bool,
+        /// Cleared when a strike kills the attempt before its event pops.
+        live: bool,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        /// The in-flight attempt in this slab slot reaches its end.
+        Attempt(usize),
+        /// A retry's backoff expires; the instance becomes ready again.
+        Retry { wl: usize, step: usize, op: usize },
+        /// Permanent strike `i` of the fault context lands.
+        Strike(usize),
+    }
+
+    let mut events: EventHeap<Ev> = EventHeap::new();
+    for (i, s) in faults.strikes.iter().enumerate() {
+        events.push(s.at, Ev::Strike(i));
+    }
+    let mut slab: Vec<InFlight> = Vec::new();
+    // Slots whose heap event has popped; a killed slot is recycled only
+    // when its stale event drains, so a pending event never aliases a
+    // reused slot.
+    let mut free_slots: Vec<usize> = Vec::new();
+
+    let mut clock = Clock::new();
+    let mut acc = Accumulator::default();
+    let total_instances: usize = prepared
+        .iter()
+        .map(|wl| wl.spec.steps * wl.topo.len())
+        .sum();
+    let mut completed = 0usize;
+    let mut inflight = 0usize;
+    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
+
+    while completed < total_instances {
+        let max_window = prepared
+            .iter()
+            .enumerate()
+            .map(|(w, _)| min_incomplete[w] + planner.cfg.pipeline_depth)
+            .max()
+            .unwrap_or(0);
+        scan.clear();
+        scan.extend(ready.iter().take_while(|k| k.step < max_window).copied());
+        let mut avail = state.availability();
+        for &key in &scan {
+            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
+                break;
+            }
+            let wl = &prepared[key.wl];
+            if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                continue;
+            }
+            let cost = &wl.costs[key.op];
+            let is_candidate = wl.candidates.contains(OpId::new(key.op));
+            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+            else {
+                continue;
+            };
+            let mut charge = planner.plan_cost(kind, cost);
+            let lane = lane_for(charge.ff_units, charge.uses_progr);
+            if let Some(l) = lane {
+                let m = faults.plan.latency_multiplier(l, clock.now());
+                if m > 1.0 {
+                    charge = stretch_planned(&charge, m);
+                }
+            }
+            let attempt = attempts[key.wl][key.step * wl.deps.len() + key.op];
+            let outcome = match decide(&faults.plan, lane, key.wl, key.step, key.op, attempt) {
+                Fate::Complete => AttemptOutcome::Completed,
+                Fate::Transient(frac) => {
+                    charge = scale_planned(&charge, frac);
+                    AttemptOutcome::Transient
+                }
+                Fate::TimedOut => {
+                    charge = extend_timeout(&charge);
+                    AttemptOutcome::TimedOut
+                }
+            };
+            let units = state.acquire(kind, &charge)?;
+            avail = state.availability();
+            ready.remove(&key);
+            ready_counts[key.wl][key.step] -= 1;
+            inflight += 1;
+            let rec = InFlight {
+                wl: key.wl,
+                step: key.step,
+                op: key.op,
+                kind,
+                charge,
+                units,
+                attempt,
+                outcome,
+                start: clock.now(),
+                inflight_at_dispatch: inflight,
+                candidate: is_candidate,
+                live: true,
+            };
+            let slot = match free_slots.pop() {
+                Some(s) => {
+                    slab[s] = rec;
+                    s
+                }
+                None => {
+                    slab.push(rec);
+                    slab.len() - 1
+                }
+            };
+            events.push(clock.now() + charge.duration, Ev::Attempt(slot));
+            if units > 0 {
+                obs.ff_delta(clock.now(), units as isize);
+            }
+        }
+
+        if !ready.is_empty() {
+            let window_closed: usize = ready_counts
+                .iter()
+                .enumerate()
+                .map(|(w, counts)| {
+                    let thr = min_incomplete[w] + planner.cfg.pipeline_depth;
+                    counts.iter().skip(thr).sum::<usize>()
+                })
+                .sum();
+            let resource_waiting = ready.len() - window_closed;
+            if resource_waiting > 0 {
+                obs.stall(
+                    clock.now(),
+                    resource_waiting,
+                    window_closed,
+                    state.availability(),
+                );
+            }
+        }
+
+        let Some((t_fs, ev)) = events.pop() else {
+            if completed < total_instances {
+                return Err(PimError::internal(format!(
+                    "faulted scheduler wedged with {completed} of {total_instances} \
+                     instances done"
+                )));
+            }
+            break;
+        };
+        clock.jump_to_fs(t_fs);
+        match ev {
+            Ev::Attempt(slot) => {
+                let rec = slab[slot];
+                free_slots.push(slot);
+                if !rec.live {
+                    continue; // killed by a strike; already accounted
+                }
+                slab[slot].live = false;
+                state.release(rec.units, rec.charge.uses_cpu, rec.charge.uses_progr);
+                inflight -= 1;
+                if rec.units > 0 {
+                    obs.ff_delta(clock.now(), -(rec.units as isize));
+                }
+                acc.add(&rec.charge);
+                let wl = &prepared[rec.wl];
+                let entry = TimelineEntry {
+                    workload: rec.wl,
+                    step: rec.step,
+                    op: rec.op,
+                    start: rec.start,
+                    end: clock.now(),
+                    resource: resource_class(&rec.charge),
+                    ff_units: rec.units,
+                    attempt: rec.attempt,
+                    outcome: rec.outcome,
+                };
+                obs.record_op(&OpRecord {
+                    entry,
+                    planned: &rec.charge,
+                    kind: rec.kind,
+                    cost: &wl.costs[rec.op],
+                    name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
+                    candidate: rec.candidate,
+                    inflight: rec.inflight_at_dispatch,
+                });
+                match rec.outcome {
+                    AttemptOutcome::Completed => {
+                        completed += 1;
+                        obs.completed();
+                        for &c in &wl.consumers[rec.op] {
+                            let r = &mut remaining[rec.wl][rec.step][c];
+                            *r -= 1;
+                            if *r == 0 {
+                                ready.insert(Key {
+                                    step: rec.step,
+                                    rank: wl.rank[c],
+                                    wl: rec.wl,
+                                    op: c,
+                                });
+                                ready_counts[rec.wl][rec.step] += 1;
+                            }
+                        }
+                        if rec.step + 1 < wl.spec.steps {
+                            let r = &mut remaining[rec.wl][rec.step + 1][rec.op];
+                            *r -= 1;
+                            if *r == 0 {
+                                ready.insert(Key {
+                                    step: rec.step + 1,
+                                    rank: wl.rank[rec.op],
+                                    wl: rec.wl,
+                                    op: rec.op,
+                                });
+                                ready_counts[rec.wl][rec.step + 1] += 1;
+                            }
+                        }
+                        step_left[rec.wl][rec.step] -= 1;
+                        while min_incomplete[rec.wl] < wl.spec.steps
+                            && step_left[rec.wl][min_incomplete[rec.wl]] == 0
+                        {
+                            min_incomplete[rec.wl] += 1;
+                        }
+                    }
+                    AttemptOutcome::Transient => {
+                        obs.fault(clock.now(), "transient", rec.wl, rec.step, rec.op);
+                        obs.retried();
+                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                        events.push(
+                            clock.now() + backoff_after(rec.attempt),
+                            Ev::Retry {
+                                wl: rec.wl,
+                                step: rec.step,
+                                op: rec.op,
+                            },
+                        );
+                    }
+                    AttemptOutcome::TimedOut => {
+                        obs.fault(clock.now(), "timed-out", rec.wl, rec.step, rec.op);
+                        obs.redispatched();
+                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                        ready.insert(Key {
+                            step: rec.step,
+                            rank: wl.rank[rec.op],
+                            wl: rec.wl,
+                            op: rec.op,
+                        });
+                        ready_counts[rec.wl][rec.step] += 1;
+                    }
+                    AttemptOutcome::Killed => {
+                        unreachable!("live in-flight records never carry Killed")
+                    }
+                }
+            }
+            Ev::Retry { wl, step, op } => {
+                ready.insert(Key {
+                    step,
+                    rank: prepared[wl].rank[op],
+                    wl,
+                    op,
+                });
+                ready_counts[wl][step] += 1;
+            }
+            Ev::Strike(i) => {
+                let s = faults.strikes[i];
+                let lost = match s.target {
+                    FaultTarget::FixedUnits(n) => n.min(state.alive_ff()),
+                    FaultTarget::ProgrPim => 0,
+                };
+                // Kill the in-flight attempts the strike lands on, earliest
+                // dispatch first, until the lost resources are idle.
+                loop {
+                    let need_kill = match s.target {
+                        FaultTarget::FixedUnits(_) => state.free_ff() < lost,
+                        FaultTarget::ProgrPim => slab.iter().any(|r| r.live && r.charge.uses_progr),
+                    };
+                    if !need_kill {
+                        break;
+                    }
+                    let victim = slab
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| {
+                            r.live
+                                && match s.target {
+                                    FaultTarget::FixedUnits(_) => r.units > 0,
+                                    FaultTarget::ProgrPim => r.charge.uses_progr,
+                                }
+                        })
+                        .min_by_key(|&(j, r)| (Clock::to_fs(r.start), r.wl, r.step, r.op, j))
+                        .map(|(j, _)| j);
+                    let Some(v) = victim else { break };
+                    let rec = slab[v];
+                    slab[v].live = false;
+                    state.release(rec.units, rec.charge.uses_cpu, rec.charge.uses_progr);
+                    inflight -= 1;
+                    if rec.units > 0 {
+                        obs.ff_delta(clock.now(), -(rec.units as isize));
+                    }
+                    let dur = rec.charge.duration.seconds();
+                    let frac = if dur > 0.0 {
+                        ((clock.now() - rec.start).seconds() / dur).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let partial = scale_planned(&rec.charge, frac);
+                    acc.add(&partial);
+                    let wl = &prepared[rec.wl];
+                    let entry = TimelineEntry {
+                        workload: rec.wl,
+                        step: rec.step,
+                        op: rec.op,
+                        start: rec.start,
+                        end: clock.now(),
+                        resource: resource_class(&rec.charge),
+                        ff_units: rec.units,
+                        attempt: rec.attempt,
+                        outcome: AttemptOutcome::Killed,
+                    };
+                    obs.record_op(&OpRecord {
+                        entry,
+                        planned: &partial,
+                        kind: rec.kind,
+                        cost: &wl.costs[rec.op],
+                        name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
+                        candidate: rec.candidate,
+                        inflight: rec.inflight_at_dispatch,
+                    });
+                    obs.killed(clock.now(), rec.wl, rec.step, rec.op);
+                    obs.retried();
+                    attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                    ready.insert(Key {
+                        step: rec.step,
+                        rank: wl.rank[rec.op],
+                        wl: rec.wl,
+                        op: rec.op,
+                    });
+                    ready_counts[rec.wl][rec.step] += 1;
+                }
+                match s.target {
+                    FaultTarget::FixedUnits(_) => {
+                        state.quarantine_ff(lost)?;
+                        obs.quarantine(clock.now(), "ff units", lost);
+                    }
+                    FaultTarget::ProgrPim => {
+                        state.quarantine_progr();
+                        obs.quarantine(clock.now(), "progr pim", 1);
+                    }
+                }
+            }
+        }
+    }
+    let barrier_total: Seconds = prepared
+        .iter()
+        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
+        .sum();
+    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
+        PLACEMENT_DECISION * total_instances as f64
+    } else {
+        Seconds::ZERO
+    };
+    acc.sync_raw += barrier_total + decisions;
+    let makespan = clock.now() + barrier_total + decisions;
+    obs.barrier(makespan, barrier_total);
+    obs.decision(decisions);
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, makespan))
+}
+
 /// One standalone device executing a step stream back-to-back — the
 /// analytic baselines (GPU, Neurocube) driven through the same event core
 /// and report path as the engine configurations.
@@ -1130,6 +1923,8 @@ pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TimelineSink) -> Ex
                 end: clock.now() + duration,
                 resource: ResourceClass::Baseline,
                 ff_units: 0,
+                attempt: 0,
+                outcome: AttemptOutcome::Completed,
             });
             clock.advance(duration);
         }

@@ -1,0 +1,257 @@
+//! The engine's recovery policy over the [`pim_hw::faults`] fault model.
+//!
+//! `pim_hw::faults` describes *what goes wrong* as pure data; this module
+//! owns *how the runtime reacts*:
+//!
+//! * **transients** — bounded retry with deterministic exponential backoff
+//!   ([`MAX_ATTEMPTS`], [`backoff_after`]); the final allowed attempt
+//!   always succeeds, so forward progress is guaranteed,
+//! * **link timeouts** — the host waits out [`LINK_TIMEOUT`] past the
+//!   expected completion, then re-dispatches immediately,
+//! * **permanent faults** — in-flight work on the lost resource is killed
+//!   (charged for the time it actually ran) and re-dispatched; the
+//!   placement planner re-ranks survivors along the paper's
+//!   fixed → programmable → host chain,
+//! * **stragglers** — wall-clock parts stretch by the window's multiplier;
+//!   energy is unchanged (the device computes the same work, just slower).
+//!
+//! Every decision is a pure function of the plan and the op coordinates,
+//! so the same seed yields byte-identical reports, timelines, and traces.
+
+use super::placement::PlannedOp;
+use pim_common::units::Seconds;
+use pim_hw::faults::{FaultLane, FaultPlan, FaultTarget, PermanentFault};
+use serde::Serialize;
+
+/// Upper bound on attempts per op instance. Attempts `0..MAX_ATTEMPTS-1`
+/// may fault; the last one always completes (the host can always run the
+/// op itself), bounding retry storms deterministically.
+pub const MAX_ATTEMPTS: u32 = 4;
+
+/// Backoff charged after the first failed attempt; doubles per attempt.
+pub const BACKOFF_BASE: Seconds = Seconds::new(50e-6);
+
+/// How long the host waits past an op's expected completion before
+/// declaring the host↔PIM completion message lost and re-dispatching.
+pub const LINK_TIMEOUT: Seconds = Seconds::new(200e-6);
+
+/// Deterministic exponential backoff after failed attempt `attempt`.
+pub fn backoff_after(attempt: u32) -> Seconds {
+    BACKOFF_BASE * (1u64 << attempt.min(16)) as f64
+}
+
+/// How one recorded attempt of an op instance ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AttemptOutcome {
+    /// The attempt ran to completion (the only outcome in fault-free runs).
+    Completed,
+    /// A transient fault aborted the attempt mid-flight; it is retried
+    /// after exponential backoff.
+    Transient,
+    /// The completion message was lost; the host re-dispatched after
+    /// [`LINK_TIMEOUT`].
+    TimedOut,
+    /// A permanent fault quarantined the resource under the op; the
+    /// instance was re-dispatched on the survivors.
+    Killed,
+}
+
+/// The fault lane an entry's resources live on, if any — pure-CPU
+/// placements never fault (the host is the reliability anchor).
+pub fn lane_for(ff_units: usize, uses_progr: bool) -> Option<FaultLane> {
+    if ff_units > 0 {
+        Some(FaultLane::Fixed)
+    } else if uses_progr {
+        Some(FaultLane::Progr)
+    } else {
+        None
+    }
+}
+
+/// What the plan decrees for one attempt, decided at dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Fate {
+    Complete,
+    /// Fails after this fraction of the attempt's duration.
+    Transient(f64),
+    TimedOut,
+}
+
+/// Decides an attempt's fate. The last allowed attempt always completes.
+pub(crate) fn decide(
+    plan: &FaultPlan,
+    lane: Option<FaultLane>,
+    wl: usize,
+    step: usize,
+    op: usize,
+    attempt: u32,
+) -> Fate {
+    let Some(lane) = lane else {
+        return Fate::Complete;
+    };
+    if attempt + 1 >= MAX_ATTEMPTS {
+        return Fate::Complete;
+    }
+    if plan.transient_fails(lane, wl, step, op, attempt) {
+        return Fate::Transient(plan.fail_point(wl, step, op, attempt));
+    }
+    if plan.times_out(lane, wl, step, op, attempt) {
+        return Fate::TimedOut;
+    }
+    Fate::Complete
+}
+
+/// Scales every part of a planned op — time *and* energy — for partial
+/// charges of aborted attempts (the device burned power only while it ran).
+pub(crate) fn scale_planned(p: &PlannedOp, f: f64) -> PlannedOp {
+    PlannedOp {
+        duration: p.duration * f,
+        op_part: p.op_part * f,
+        dm_part: p.dm_part * f,
+        sync_part: p.sync_part * f,
+        energy: p.energy * f,
+        ff_busy: p.ff_busy * f,
+        ..*p
+    }
+}
+
+/// Stretches only the wall-clock parts by a straggler multiplier; the
+/// device performs the same work, so energy is unchanged.
+pub(crate) fn stretch_planned(p: &PlannedOp, f: f64) -> PlannedOp {
+    PlannedOp {
+        duration: p.duration * f,
+        op_part: p.op_part * f,
+        dm_part: p.dm_part * f,
+        sync_part: p.sync_part * f,
+        ff_busy: p.ff_busy * f,
+        ..*p
+    }
+}
+
+/// Extends a timed-out attempt by the detection window: the resources stay
+/// held (the host cannot reclaim what it cannot reach) and the wait is
+/// synchronization time.
+pub(crate) fn extend_timeout(p: &PlannedOp) -> PlannedOp {
+    PlannedOp {
+        duration: p.duration + LINK_TIMEOUT,
+        sync_part: p.sync_part + LINK_TIMEOUT,
+        ..*p
+    }
+}
+
+/// The fault state one driver run executes against: the effective plan
+/// plus its strike schedule split into before-run and mid-run parts.
+pub(crate) struct FaultContext {
+    pub plan: FaultPlan,
+    /// Fixed-function units quarantined before the run starts (clamped to
+    /// the pool by the caller).
+    pub initial_ff: usize,
+    /// The programmable PIM is quarantined before the run starts.
+    pub initial_progr_dead: bool,
+    /// Mid-run fail-stop faults (`at > 0`), in strike order.
+    pub strikes: Vec<PermanentFault>,
+}
+
+impl FaultContext {
+    pub fn new(plan: &FaultPlan, ff_units: usize) -> Self {
+        FaultContext {
+            initial_ff: plan.initial_ff_quarantine().min(ff_units),
+            initial_progr_dead: plan.progr_quarantined_initially(),
+            strikes: plan
+                .permanents
+                .iter()
+                .filter(|p| p.at > Seconds::ZERO)
+                .copied()
+                .collect(),
+            plan: plan.clone(),
+        }
+    }
+
+    /// Does this strike take down the resources a running op holds?
+    pub fn strike_kills(
+        target: FaultTarget,
+        ff_units: usize,
+        uses_progr: bool,
+        idle_ff: usize,
+    ) -> bool {
+        match target {
+            FaultTarget::FixedUnits(n) => ff_units > 0 && n > idle_ff,
+            FaultTarget::ProgrPim => uses_progr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        assert_eq!(backoff_after(0), BACKOFF_BASE);
+        assert_eq!(backoff_after(1), BACKOFF_BASE * 2.0);
+        assert_eq!(backoff_after(3), BACKOFF_BASE * 8.0);
+    }
+
+    #[test]
+    fn last_attempt_always_completes() {
+        // A plan that fails everything still cannot starve an op: the
+        // final attempt completes regardless of the draw.
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        for attempt in 0..MAX_ATTEMPTS - 1 {
+            assert!(matches!(
+                decide(&plan, Some(FaultLane::Fixed), 0, 0, 0, attempt),
+                Fate::Transient(_)
+            ));
+        }
+        assert!(matches!(
+            decide(&plan, Some(FaultLane::Fixed), 0, 0, 0, MAX_ATTEMPTS - 1),
+            Fate::Complete
+        ));
+        // Pure-CPU placements never fault.
+        assert!(matches!(decide(&plan, None, 0, 0, 0, 0), Fate::Complete));
+    }
+
+    #[test]
+    fn fault_context_splits_initial_from_mid_run() {
+        let plan = FaultPlan::quarantine_ff_at_start(500)
+            .with_permanent(Seconds::new(1e-3), FaultTarget::ProgrPim);
+        let ctx = FaultContext::new(&plan, 444);
+        assert_eq!(ctx.initial_ff, 444, "initial quarantine clamps to the pool");
+        assert!(!ctx.initial_progr_dead);
+        assert_eq!(ctx.strikes.len(), 1);
+        assert_eq!(ctx.strikes[0].target, FaultTarget::ProgrPim);
+    }
+
+    #[test]
+    fn strike_kill_rule_spares_ops_covered_by_idle_units() {
+        // 100 units lost, 150 idle: running work survives.
+        assert!(!FaultContext::strike_kills(
+            FaultTarget::FixedUnits(100),
+            64,
+            false,
+            150
+        ));
+        // 100 lost, 50 idle: someone holding units must die.
+        assert!(FaultContext::strike_kills(
+            FaultTarget::FixedUnits(100),
+            64,
+            false,
+            50
+        ));
+        assert!(FaultContext::strike_kills(
+            FaultTarget::ProgrPim,
+            0,
+            true,
+            444
+        ));
+        assert!(!FaultContext::strike_kills(
+            FaultTarget::ProgrPim,
+            64,
+            false,
+            0
+        ));
+    }
+}

@@ -25,6 +25,7 @@
 //!   baselines use.
 
 mod events;
+pub mod faults;
 mod placement;
 #[cfg(test)]
 mod tests;
@@ -34,17 +35,21 @@ pub use events::{
     run_device_serial, DeviceRun, NullSink, ResourceClass, TimelineEntry, TimelineSink, VecSink,
     PROGR_KERNEL_SLOTS,
 };
+pub use faults::{backoff_after, AttemptOutcome, BACKOFF_BASE, LINK_TIMEOUT, MAX_ATTEMPTS};
 
 use crate::profiler::profile_step_cached_traced;
 use crate::select::{select_candidates_traced, CandidateSet};
 use crate::stats::ExecutionReport;
 use crate::verify::{ResourceLimits, WorkloadFacts};
 use events::Observer;
+use faults::FaultContext;
 use pim_common::trace::{Counters, NullTrace, TraceRecording};
+use pim_common::units::Seconds;
 use pim_common::{Diagnostics, PimError, Result};
 use pim_graph::cost::graph_costs;
 use pim_graph::Graph;
 use pim_hw::cpu::CpuDevice;
+use pim_hw::faults::{FaultPlan, FaultTarget};
 use pim_hw::fixed::FixedFunctionPool;
 use pim_mem::stack::StackConfig;
 use pim_tensor::cost::CostProfile;
@@ -328,10 +333,16 @@ pub struct RunOutput {
     /// `trace` feature is compiled in.
     pub trace: Option<TraceRecording>,
     /// The run's counter registry (ops placed per device, events
-    /// dispatched, busy seconds, bytes moved, sync stalls). Always
-    /// collected; cross-checked against the report in debug/`verify`
-    /// builds.
+    /// dispatched, busy seconds, bytes moved, sync stalls, fault
+    /// recovery). Always collected; cross-checked against the report in
+    /// debug/`verify` builds.
     pub counters: Counters,
+    /// When a fault plan quarantined a whole compute complement before the
+    /// run started, the preset the configuration gracefully degraded to
+    /// (its display name); `None` for fault-free runs and plans the
+    /// configuration rides out without collapsing. Mid-run strikes degrade
+    /// placement-by-placement and do not set this.
+    pub degraded: Option<&'static str>,
 }
 
 /// The engine: devices + policy for one configuration.
@@ -420,7 +431,100 @@ impl Engine {
     /// Propagates cost/profiling failures, or an internal error if the
     /// scheduler wedges (a bug, guarded explicitly).
     pub fn run_with(&self, workloads: &[WorkloadSpec<'_>], opts: &RunOptions) -> Result<RunOutput> {
+        self.run_inner(workloads, opts, &FaultPlan::none())
+    }
+
+    /// Like [`Engine::run_with`], executing under a seeded fault plan: the
+    /// drivers inject the plan's transients, link timeouts, stragglers,
+    /// and permanent faults, and recover per the policy in
+    /// [`crate::engine::faults`].
+    ///
+    /// With [`FaultPlan::none`] this is exactly [`Engine::run_with`] — the
+    /// fault-free drivers run and the output is byte-identical.
+    ///
+    /// When the plan quarantines a whole compute complement before the
+    /// run starts (e.g. every fixed-function unit at `t <= 0`), the
+    /// configuration *collapses* to the strongest surviving preset along
+    /// the paper's fixed → programmable → host chain before executing, and
+    /// [`RunOutput::degraded`] names it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Engine::run_with`].
+    pub fn run_with_faults(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        opts: &RunOptions,
+        plan: &FaultPlan,
+    ) -> Result<RunOutput> {
+        match self.degraded_engine(plan) {
+            Some((engine, label, eff)) => {
+                let mut out = engine.run_inner(workloads, opts, &eff)?;
+                out.degraded = Some(label);
+                Ok(out)
+            }
+            None => self.run_inner(workloads, opts, plan),
+        }
+    }
+
+    /// The preset this configuration collapses to when `plan` takes out a
+    /// whole compute complement before the run starts.
+    fn collapse_target(&self, plan: &FaultPlan) -> Option<SystemPreset> {
+        if plan.is_none() {
+            return None;
+        }
+        let cfg = &self.planner.cfg;
+        let ff_dead = cfg.ff_units > 0 && plan.initial_ff_quarantine() >= cfg.ff_units;
+        let progr_dead = plan.progr_quarantined_initially();
+        match cfg.mode {
+            SystemMode::Hetero if ff_dead && progr_dead => Some(SystemPreset::CpuOnly),
+            SystemMode::Hetero if ff_dead => Some(SystemPreset::ProgrOnly),
+            SystemMode::FixedHost if ff_dead => Some(SystemPreset::CpuOnly),
+            SystemMode::ProgrOnly if progr_dead => Some(SystemPreset::CpuOnly),
+            _ => None,
+        }
+    }
+
+    /// Builds the collapsed engine plus the residual fault plan: the
+    /// collapse consumes the initial quarantines it absorbed, so a plan
+    /// that *only* kills a complement at the start leaves a fault-free
+    /// residual and the collapsed run is byte-identical to the target
+    /// preset's native run.
+    fn degraded_engine(&self, plan: &FaultPlan) -> Option<(Engine, &'static str, FaultPlan)> {
+        let target = self.collapse_target(plan)?;
+        let base = EngineConfig::preset(target);
+        let collapsed = EngineConfig {
+            name: base.name,
+            mode: base.mode,
+            recursive_kernels: base.recursive_kernels,
+            operation_pipeline: base.operation_pipeline,
+            ..self.planner.cfg.clone()
+        };
+        let mut eff = plan.clone();
+        eff.permanents.retain(|p| {
+            if p.at > Seconds::ZERO {
+                return true;
+            }
+            match p.target {
+                // No collapsed complement ever places on the pool again.
+                FaultTarget::FixedUnits(_) => false,
+                // Consumed only when the collapse removed the progr PIM.
+                FaultTarget::ProgrPim => target != SystemPreset::CpuOnly,
+            }
+        });
+        Some((Engine::new(collapsed), target.name(), eff))
+    }
+
+    /// Shared body of [`Engine::run_with`] / [`Engine::run_with_faults`]:
+    /// assumes any whole-complement collapse already happened.
+    fn run_inner(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        opts: &RunOptions,
+        plan: &FaultPlan,
+    ) -> Result<RunOutput> {
         let verify = cfg!(any(debug_assertions, feature = "verify"));
+        let faults = (!plan.is_none()).then(|| FaultContext::new(plan, self.planner.cfg.ff_units));
 
         let mut null = NullTrace;
         #[cfg(feature = "trace")]
@@ -444,7 +548,7 @@ impl Engine {
                     &mut *tracer,
                     &self.planner.cfg.name,
                 );
-                let report = self.drive(&prepared, &mut obs)?;
+                let report = self.drive(&prepared, &mut obs, faults.as_ref())?;
                 obs.finish();
                 report
             };
@@ -458,14 +562,15 @@ impl Engine {
                 &mut *tracer,
                 &self.planner.cfg.name,
             );
-            let report = self.drive(&prepared, &mut obs)?;
+            let report = self.drive(&prepared, &mut obs, faults.as_ref())?;
             obs.finish();
             (report, None)
         };
 
         if verify {
             let entries = entries.as_deref().unwrap_or(&[]);
-            let mut diags = self.check_prepared(&prepared, entries);
+            let mut diags =
+                self.check_prepared(&prepared, entries, faults.as_ref().map(|f| &f.plan));
             diags.extend(crate::stats::cross_check_counters(&report, &counters));
             assert!(
                 diags.is_clean(),
@@ -485,6 +590,7 @@ impl Engine {
             timeline: if opts.timeline { entries } else { None },
             trace,
             counters,
+            degraded: None,
         })
     }
 
@@ -499,11 +605,29 @@ impl Engine {
     }
 
     /// Dispatches prepared workloads to the configured execution driver.
-    fn drive(&self, prepared: &[Prepared<'_>], obs: &mut Observer<'_>) -> Result<ExecutionReport> {
-        if self.planner.cfg.operation_pipeline {
-            events::run_scheduled(&self.planner, prepared, obs)
-        } else {
-            events::run_serialized(&self.planner, prepared, obs)
+    /// Fault-free runs take the unchanged hot paths; a fault context
+    /// selects the fault-aware twins.
+    fn drive(
+        &self,
+        prepared: &[Prepared<'_>],
+        obs: &mut Observer<'_>,
+        faults: Option<&FaultContext>,
+    ) -> Result<ExecutionReport> {
+        match faults {
+            None => {
+                if self.planner.cfg.operation_pipeline {
+                    events::run_scheduled(&self.planner, prepared, obs)
+                } else {
+                    events::run_serialized(&self.planner, prepared, obs)
+                }
+            }
+            Some(f) => {
+                if self.planner.cfg.operation_pipeline {
+                    events::run_scheduled_faulted(&self.planner, prepared, obs, f)
+                } else {
+                    events::run_serialized_faulted(&self.planner, prepared, obs, f)
+                }
+            }
         }
     }
 
@@ -521,13 +645,49 @@ impl Engine {
         workloads: &[WorkloadSpec<'_>],
         timeline: &[TimelineEntry],
     ) -> Result<Diagnostics> {
+        self.verify_timeline_inner(workloads, timeline, &FaultPlan::none())
+    }
+
+    /// Like [`Engine::verify_timeline`] for a timeline recorded under a
+    /// fault plan ([`Engine::run_with_faults`] with the same plan): the
+    /// checker additionally validates attempt chains, backoff spacing,
+    /// plan consistency, and capacity under quarantine. Applies the same
+    /// whole-complement collapse as the run did.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost/profiling failures while re-preparing the
+    /// workloads; timeline problems become diagnostics.
+    pub fn verify_timeline_faulted(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        timeline: &[TimelineEntry],
+        plan: &FaultPlan,
+    ) -> Result<Diagnostics> {
+        match self.degraded_engine(plan) {
+            Some((engine, _, eff)) => engine.verify_timeline_inner(workloads, timeline, &eff),
+            None => self.verify_timeline_inner(workloads, timeline, plan),
+        }
+    }
+
+    fn verify_timeline_inner(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        timeline: &[TimelineEntry],
+        plan: &FaultPlan,
+    ) -> Result<Diagnostics> {
         let prepared = self.prepare(workloads, &mut NullTrace)?;
-        Ok(self.check_prepared(&prepared, timeline))
+        Ok(self.check_prepared(&prepared, timeline, (!plan.is_none()).then_some(plan)))
     }
 
     /// Builds the legality facts for prepared workloads and runs the
     /// schedule checker over a timeline.
-    fn check_prepared(&self, prepared: &[Prepared<'_>], timeline: &[TimelineEntry]) -> Diagnostics {
+    fn check_prepared(
+        &self,
+        prepared: &[Prepared<'_>],
+        timeline: &[TimelineEntry],
+        plan: Option<&FaultPlan>,
+    ) -> Diagnostics {
         let facts: Vec<WorkloadFacts> = prepared
             .iter()
             .map(|wl| WorkloadFacts {
@@ -552,7 +712,7 @@ impl Engine {
             pipeline_depth: cfg.operation_pipeline.then_some(cfg.pipeline_depth),
         };
         let pool = FixedFunctionPool::new(self.planner.pool_cfg().clone());
-        crate::verify::check_timeline(&facts, timeline, &limits, &pool)
+        crate::verify::check_timeline_faulted(&facts, timeline, &limits, &pool, plan)
     }
 
     /// Like [`Engine::run`], additionally returning the per-instance

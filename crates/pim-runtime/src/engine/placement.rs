@@ -92,11 +92,20 @@ pub(crate) fn resource_class(planned: &PlannedOp) -> ResourceClass {
 }
 
 /// Snapshot of free resources at a scheduling decision.
+///
+/// `ff_alive`/`progr_alive` separate *busy* from *gone*: a busy resource
+/// is worth waiting for, a quarantined one never comes back, and the
+/// graceful-degradation branches of [`Planner::choose`] fire only on the
+/// latter — so fault-free decisions are untouched.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Availability {
     pub cpu_free: bool,
     pub progr_free: bool,
     pub ff_free: usize,
+    /// Fixed-function units not permanently quarantined (free or busy).
+    pub ff_alive: usize,
+    /// The programmable PIM has not been permanently quarantined.
+    pub progr_alive: bool,
 }
 
 impl Availability {
@@ -106,6 +115,8 @@ impl Availability {
             cpu_free: true,
             progr_free: true,
             ff_free: ff_units,
+            ff_alive: ff_units,
+            progr_alive: true,
         }
     }
 }
@@ -380,6 +391,8 @@ impl Planner {
             cpu_free,
             progr_free,
             ff_free,
+            ff_alive,
+            progr_alive,
         } = avail;
         if restricted {
             // Mixed-workload non-CNN rule: CPU or programmable PIM only.
@@ -393,7 +406,17 @@ impl Planner {
         }
         match self.cfg.mode {
             SystemMode::CpuOnly => cpu_free.then_some(PlanKind::Cpu),
-            SystemMode::ProgrOnly => progr_free.then_some(PlanKind::ProgrPool),
+            SystemMode::ProgrOnly => {
+                if progr_free {
+                    return Some(PlanKind::ProgrPool);
+                }
+                if !progr_alive {
+                    // Degradation: the programmable complement is gone;
+                    // the host is all that remains.
+                    return cpu_free.then_some(PlanKind::Cpu);
+                }
+                None
+            }
             SystemMode::FixedHost => match cost.class {
                 OffloadClass::FullyMulAdd => {
                     if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
@@ -459,8 +482,10 @@ impl Planner {
                 // Heavy candidate ops with a fixed-function core wait for
                 // the pool rather than falling back to the slow CPU: under
                 // the operation pipeline another step's work keeps the CPU
-                // and programmable PIM fed meanwhile. (Fallback to CPU only
-                // when no fixed-function complement could ever serve them.)
+                // and programmable PIM fed meanwhile. A *quarantined*
+                // complement is different — it never comes back, so the
+                // degradation branches re-rank the survivors along the
+                // fixed → programmable → host chain instead of waiting.
                 match cost.class {
                     OffloadClass::FullyMulAdd => {
                         if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
@@ -476,6 +501,13 @@ impl Planner {
                                     units,
                                 });
                             }
+                        }
+                        if Self::ff_grant(cost.ff_parallelism, ff_alive).is_none() {
+                            // The pool can never serve this op again.
+                            if progr_alive && progr_free {
+                                return Some(PlanKind::Progr);
+                            }
+                            return cpu_free.then_some(PlanKind::Cpu);
                         }
                         if self.cfg.operation_pipeline {
                             None // wait for pool capacity
@@ -494,6 +526,25 @@ impl Planner {
                             if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
                                 return Some(PlanKind::HostSplit { units });
                             }
+                        }
+                        let pool_dead = Self::ff_grant(cost.ff_parallelism, ff_alive).is_none();
+                        if self.cfg.recursive_kernels && !progr_alive && !pool_dead {
+                            // The recursive driver is gone but the pool
+                            // survives: host-driven split still uses it.
+                            if cpu_free {
+                                if let Some(units) = Self::ff_grant(cost.ff_parallelism, ff_free) {
+                                    return Some(PlanKind::HostSplit { units });
+                                }
+                                return Some(PlanKind::Cpu);
+                            }
+                            return None;
+                        }
+                        if pool_dead {
+                            // The pool can never serve the split again.
+                            if progr_alive && progr_free {
+                                return Some(PlanKind::Progr);
+                            }
+                            return cpu_free.then_some(PlanKind::Cpu);
                         }
                         if self.cfg.operation_pipeline {
                             None // wait for the programmable PIM + pool
@@ -595,8 +646,7 @@ mod tests {
         );
         let no_cpu = Availability {
             cpu_free: false,
-            progr_free: true,
-            ff_free: 444,
+            ..Availability::all_free(444)
         };
         assert_eq!(
             hetero.choose(&ma, true, true, no_cpu),
@@ -605,7 +655,7 @@ mod tests {
         let nothing = Availability {
             cpu_free: false,
             progr_free: false,
-            ff_free: 444,
+            ..Availability::all_free(444)
         };
         assert_eq!(hetero.choose(&ma, true, true, nothing), None);
     }
@@ -615,9 +665,8 @@ mod tests {
         let hetero = planner(EngineConfig::hetero());
         let ma = cost(OffloadClass::FullyMulAdd, 128);
         let pool_busy = Availability {
-            cpu_free: true,
-            progr_free: true,
             ff_free: 0,
+            ..Availability::all_free(444)
         };
         // Under the operation pipeline a heavy candidate waits instead of
         // falling back to the CPU.
@@ -629,6 +678,65 @@ mod tests {
             serial.choose(&ma, true, false, pool_busy),
             Some(PlanKind::Cpu)
         );
+    }
+
+    #[test]
+    fn quarantined_pool_degrades_along_the_survivor_chain() {
+        let hetero = planner(EngineConfig::hetero());
+        let ma = cost(OffloadClass::FullyMulAdd, 128);
+        // Pool quarantined (not merely busy): a candidate falls to the
+        // programmable PIM instead of waiting forever.
+        let pool_dead = Availability {
+            ff_free: 0,
+            ff_alive: 0,
+            ..Availability::all_free(444)
+        };
+        assert_eq!(
+            hetero.choose(&ma, true, false, pool_dead),
+            Some(PlanKind::Progr)
+        );
+        // Pool and programmable PIM both quarantined: host takes over.
+        let only_cpu = Availability {
+            ff_free: 0,
+            ff_alive: 0,
+            progr_free: false,
+            progr_alive: false,
+            ..Availability::all_free(444)
+        };
+        assert_eq!(
+            hetero.choose(&ma, true, false, only_cpu),
+            Some(PlanKind::Cpu)
+        );
+        // A recursive split whose driver died still exploits the pool
+        // through the host.
+        let split = cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 }, 128);
+        let progr_dead = Availability {
+            progr_free: false,
+            progr_alive: false,
+            ..Availability::all_free(444)
+        };
+        assert_eq!(
+            hetero.choose(&split, true, false, progr_dead),
+            Some(PlanKind::HostSplit { units: 128 })
+        );
+    }
+
+    #[test]
+    fn quarantined_progr_only_falls_back_to_the_host() {
+        let progr = planner(EngineConfig::progr_only());
+        let ma = cost(OffloadClass::FullyMulAdd, 128);
+        let dead = Availability {
+            progr_free: false,
+            progr_alive: false,
+            ..Availability::all_free(444)
+        };
+        assert_eq!(progr.choose(&ma, true, false, dead), Some(PlanKind::Cpu));
+        // Merely busy still waits for a slot.
+        let busy = Availability {
+            progr_free: false,
+            ..Availability::all_free(444)
+        };
+        assert_eq!(progr.choose(&ma, true, false, busy), None);
     }
 
     #[test]

@@ -178,3 +178,122 @@ mod preview_tests {
         assert!(rows.iter().all(|r| r.seconds >= 0.0));
     }
 }
+
+mod fault_tests {
+    use super::*;
+    use pim_hw::faults::{FaultPlan, FaultTarget};
+
+    fn spec(model: &Model, steps: usize) -> WorkloadSpec<'_> {
+        WorkloadSpec {
+            graph: model.graph(),
+            steps,
+            cpu_progr_only: false,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_byte_identical_to_the_fault_free_path() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        for preset in SystemPreset::ALL {
+            let engine = Engine::new(EngineConfig::preset(preset));
+            let opts = RunOptions {
+                timeline: true,
+                ..RunOptions::default()
+            };
+            let plain = engine.run_with(&[spec(&model, 2)], &opts).unwrap();
+            let faulted = engine
+                .run_with_faults(&[spec(&model, 2)], &opts, &FaultPlan::none())
+                .unwrap();
+            assert_eq!(plain.report, faulted.report, "{preset:?}");
+            assert_eq!(plain.timeline, faulted.timeline, "{preset:?}");
+            assert!(faulted.degraded.is_none());
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic_and_recover() {
+        // Every run here passes the debug-build self-verification, so the
+        // fault-aware legality checker vets each timeline implicitly.
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        for preset in [
+            SystemPreset::Hetero,
+            SystemPreset::FixedHost,
+            SystemPreset::HeteroRc,
+        ] {
+            let engine = Engine::new(EngineConfig::preset(preset));
+            let horizon = engine.run(&[spec(&model, 2)]).unwrap().makespan;
+            let plan = FaultPlan::seeded(7, 0.2, horizon, engine.config().ff_units);
+            let opts = RunOptions {
+                timeline: true,
+                ..RunOptions::default()
+            };
+            let a = engine
+                .run_with_faults(&[spec(&model, 2)], &opts, &plan)
+                .unwrap();
+            let b = engine
+                .run_with_faults(&[spec(&model, 2)], &opts, &plan)
+                .unwrap();
+            assert_eq!(a.report, b.report, "{preset:?}");
+            assert_eq!(a.timeline, b.timeline, "{preset:?}");
+            assert!(
+                a.counters.get("faults/injected") > 0.0,
+                "{preset:?}: plan at rate 0.2 injected nothing"
+            );
+            assert!(a.report.makespan > Seconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn all_ff_dead_collapses_to_the_programmable_preset() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let hetero = Engine::new(EngineConfig::hetero());
+        let plan = FaultPlan::quarantine_ff_at_start(hetero.config().ff_units);
+        let degraded = hetero
+            .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(degraded.degraded, Some("Progr PIM"));
+        let progr = Engine::new(EngineConfig::progr_only())
+            .run(&[spec(&model, 2)])
+            .unwrap();
+        assert_eq!(degraded.report, progr);
+    }
+
+    #[test]
+    fn everything_dead_collapses_to_cpu() {
+        let model = Model::build_with_batch(ModelKind::Dcgan, 8).unwrap();
+        let hetero = Engine::new(EngineConfig::hetero());
+        let plan = FaultPlan::quarantine_ff_at_start(hetero.config().ff_units)
+            .with_permanent(Seconds::ZERO, FaultTarget::ProgrPim);
+        let degraded = hetero
+            .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(degraded.degraded, Some("CPU"));
+        let cpu = Engine::new(EngineConfig::cpu_only())
+            .run(&[spec(&model, 2)])
+            .unwrap();
+        assert_eq!(degraded.report.makespan, cpu.makespan);
+        assert_eq!(degraded.report.dynamic_energy, cpu.dynamic_energy);
+    }
+
+    #[test]
+    fn mid_run_progr_strike_still_finishes() {
+        let model = Model::build_with_batch(ModelKind::Lstm, 16).unwrap();
+        let engine = Engine::new(EngineConfig::hetero());
+        // Anchor the strike inside the busy part of the schedule (the
+        // makespan itself ends with barrier/decision accounting no event
+        // reaches).
+        let (_, timeline) = engine.run_detailed(&[spec(&model, 2)]).unwrap();
+        let last_end =
+            timeline
+                .iter()
+                .map(|e| e.end)
+                .fold(Seconds::ZERO, |a, b| if b > a { b } else { a });
+        let plan = FaultPlan::none().with_permanent(last_end * 0.5, FaultTarget::ProgrPim);
+        let out = engine
+            .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
+            .unwrap();
+        assert!(out.degraded.is_none());
+        assert!(out.report.is_well_formed());
+        assert!(out.counters.get("faults/quarantined_units") >= 1.0);
+    }
+}

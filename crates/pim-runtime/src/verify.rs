@@ -13,9 +13,10 @@
 //!
 //! [`Engine::verify_timeline`]: crate::engine::Engine::verify_timeline
 
-use crate::engine::{ResourceClass, TimelineEntry};
+use crate::engine::{backoff_after, AttemptOutcome, ResourceClass, TimelineEntry, MAX_ATTEMPTS};
 use pim_common::Diagnostics;
 use pim_hw::device::Device;
+use pim_hw::faults::{FaultLane, FaultPlan, FaultTarget};
 use pim_tensor::cost::CostProfile;
 
 /// The pass name stamped on every diagnostic this module emits.
@@ -108,6 +109,42 @@ pub fn check_timeline(
     limits: &ResourceLimits,
     fixed: &dyn Device,
 ) -> Diagnostics {
+    check_timeline_faulted(facts, timeline, limits, fixed, None)
+}
+
+/// The fault lane an entry's recorded resources live on, mirroring the
+/// engine's dispatch-side classification.
+fn entry_lane(e: &TimelineEntry) -> Option<FaultLane> {
+    if e.ff_units > 0 {
+        Some(FaultLane::Fixed)
+    } else if holds_progr(e.resource) {
+        Some(FaultLane::Progr)
+    } else {
+        None
+    }
+}
+
+/// [`check_timeline`] extended with fault-awareness. With `plan: None`
+/// the timeline must be fault-free: every entry attempt 0, outcome
+/// `Completed`. With a plan, the checker additionally validates:
+///
+/// * **attempt chains** — contiguous attempt numbers per instance, with
+///   exactly the last attempt completing, transient retries spaced by at
+///   least their exponential backoff, and every attempt below
+///   [`MAX_ATTEMPTS`],
+/// * **plan consistency** — each recorded outcome is the one the seeded
+///   plan decrees for that (lane, instance, attempt), and every kill
+///   coincides with a permanent fault that takes the entry's resources,
+/// * **capacity under quarantine** — the exclusivity sweep shrinks the
+///   fixed-function pool and programmable-PIM budgets at each permanent
+///   fault's strike time.
+pub fn check_timeline_faulted(
+    facts: &[WorkloadFacts],
+    timeline: &[TimelineEntry],
+    limits: &ResourceLimits,
+    fixed: &dyn Device,
+    plan: Option<&FaultPlan>,
+) -> Diagnostics {
     let mut diags = Diagnostics::new();
 
     // -- per-entry validity, bounds, capability ------------------------
@@ -130,6 +167,29 @@ pub fn check_timeline(
                 format!("entry ends before it starts [{s}, {t}]"),
             );
             continue;
+        }
+        match plan {
+            None if e.attempt != 0 || e.outcome != AttemptOutcome::Completed => {
+                diags.error(
+                    PASS,
+                    subj.clone(),
+                    format!(
+                        "fault-free timeline carries attempt {} with outcome {:?}",
+                        e.attempt, e.outcome
+                    ),
+                );
+            }
+            Some(_) if e.attempt >= MAX_ATTEMPTS => {
+                diags.error(
+                    PASS,
+                    subj.clone(),
+                    format!(
+                        "attempt {} exceeds the retry bound of {MAX_ATTEMPTS}",
+                        e.attempt
+                    ),
+                );
+            }
+            _ => {}
         }
         if e.resource == ResourceClass::Baseline {
             continue; // standalone device: no graph/resource mapping
@@ -207,13 +267,17 @@ pub fn check_timeline(
         valid.push(e);
     }
 
-    // -- completeness: each (workload, step, op) exactly once ----------
-    // instance index = step * op_count + op
+    // -- completeness: each (workload, step, op) completes exactly once --
+    // instance index = step * op_count + op. Under a fault plan, failed
+    // attempts are legal extra entries; exactly one must complete.
     let mut seen: Vec<Vec<Option<(f64, f64)>>> = facts
         .iter()
         .map(|f| vec![None; f.steps * f.deps.len()])
         .collect();
     for e in &valid {
+        if plan.is_some() && e.outcome != AttemptOutcome::Completed {
+            continue;
+        }
         let f = &facts[e.workload];
         let idx = e.step * f.deps.len() + e.op;
         if seen[e.workload][idx].is_some() {
@@ -305,26 +369,206 @@ pub fn check_timeline(
         }
     }
 
+    // -- attempt chains + plan consistency (fault-aware mode) ----------
+    if let Some(plan) = plan {
+        let mut chains: Vec<Vec<Vec<&TimelineEntry>>> = facts
+            .iter()
+            .map(|f| vec![Vec::new(); f.steps * f.deps.len()])
+            .collect();
+        for e in &valid {
+            let f = &facts[e.workload];
+            chains[e.workload][e.step * f.deps.len() + e.op].push(e);
+        }
+        for chain in chains.iter_mut().flatten() {
+            if chain.is_empty() {
+                continue;
+            }
+            chain.sort_by_key(|e| e.attempt);
+            let contiguous = chain
+                .iter()
+                .enumerate()
+                .all(|(k, e)| e.attempt as usize == k);
+            if !contiguous {
+                diags.error(
+                    PASS,
+                    subject(facts, chain[0]),
+                    "attempt numbers are not contiguous from zero",
+                );
+                continue;
+            }
+            for (k, e) in chain.iter().enumerate() {
+                let last = k + 1 == chain.len();
+                if last != (e.outcome == AttemptOutcome::Completed) {
+                    diags.error(
+                        PASS,
+                        subject(facts, e),
+                        format!(
+                            "attempt {} of {} has outcome {:?}; exactly the final attempt \
+                             must complete",
+                            k,
+                            chain.len(),
+                            e.outcome
+                        ),
+                    );
+                }
+                if k > 0 {
+                    let prev = chain[k - 1];
+                    let mut floor = prev.end.seconds();
+                    if prev.outcome == AttemptOutcome::Transient {
+                        floor += backoff_after(prev.attempt).seconds();
+                    }
+                    let start = e.start.seconds();
+                    if start + eps_for(start) < floor {
+                        diags.error(
+                            PASS,
+                            subject(facts, e),
+                            format!(
+                                "retry starts at {start:.3e} s before the previous attempt's \
+                                 end plus backoff at {floor:.3e} s"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for e in &valid {
+            let lane = entry_lane(e);
+            let (w, s, o, a) = (e.workload, e.step, e.op, e.attempt);
+            match e.outcome {
+                AttemptOutcome::Completed => {
+                    if let Some(l) = lane {
+                        if a + 1 < MAX_ATTEMPTS
+                            && (plan.transient_fails(l, w, s, o, a)
+                                || plan.times_out(l, w, s, o, a))
+                        {
+                            diags.error(
+                                PASS,
+                                subject(facts, e),
+                                format!(
+                                    "attempt {a} completed, but the fault plan decrees it fails"
+                                ),
+                            );
+                        }
+                    }
+                }
+                AttemptOutcome::Transient => match lane {
+                    Some(l) if plan.transient_fails(l, w, s, o, a) => {}
+                    _ => diags.error(
+                        PASS,
+                        subject(facts, e),
+                        format!("attempt {a} records a transient the fault plan does not decree"),
+                    ),
+                },
+                AttemptOutcome::TimedOut => match lane {
+                    Some(l)
+                        if !plan.transient_fails(l, w, s, o, a)
+                            && plan.times_out(l, w, s, o, a) => {}
+                    _ => diags.error(
+                        PASS,
+                        subject(facts, e),
+                        format!("attempt {a} records a timeout the fault plan does not decree"),
+                    ),
+                },
+                AttemptOutcome::Killed => {
+                    let end = e.end.seconds();
+                    let matched = plan.permanents.iter().any(|p| {
+                        p.at.seconds() > 0.0
+                            && (end - p.at.seconds()).abs() <= eps_for(end)
+                            && match p.target {
+                                FaultTarget::FixedUnits(_) => e.ff_units > 0,
+                                FaultTarget::ProgrPim => holds_progr(e.resource),
+                            }
+                    });
+                    if !matched {
+                        diags.error(
+                            PASS,
+                            subject(facts, e),
+                            "killed with no permanent fault striking its resources at its end",
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     // -- exclusivity sweep (Fig. 7 busy/idle registers) ----------------
-    // Events at (femtosecond, acquire?) with releases applied first, so
-    // back-to-back intervals sharing an instant never report contention.
-    let mut events: Vec<(u128, bool, usize)> = Vec::new();
+    // Events at (femtosecond, rank) with releases applied first, then
+    // fault-plan capacity cuts, then acquires: back-to-back intervals
+    // sharing an instant never report contention, and work killed exactly
+    // at a strike releases its units before the capacity drops.
+    const RELEASE: u8 = 0;
+    const CUT: u8 = 1;
+    const ACQUIRE: u8 = 2;
+    // (strike femtosecond, ff units lost, progr lost)
+    let mut cuts: Vec<(u128, usize, bool)> = Vec::new();
+    let mut ff_cap = limits.ff_units as i64;
+    let mut progr_cap = limits.progr_slots as i64;
+    if let Some(plan) = plan {
+        ff_cap -= plan.initial_ff_quarantine().min(limits.ff_units) as i64;
+        if plan.progr_quarantined_initially() {
+            progr_cap = 0;
+        }
+        for p in &plan.permanents {
+            if p.at.seconds() <= 0.0 {
+                continue;
+            }
+            match p.target {
+                FaultTarget::FixedUnits(n) => cuts.push((to_fs(p.at.seconds()), n, false)),
+                FaultTarget::ProgrPim => cuts.push((to_fs(p.at.seconds()), 0, true)),
+            }
+        }
+    }
+    let mut events: Vec<(u128, u8, usize)> = Vec::new();
     for (i, e) in valid.iter().enumerate() {
         let (a, b) = (to_fs(e.start.seconds()), to_fs(e.end.seconds()));
         if b <= a + 2 * SWEEP_SHRINK_FS {
             continue; // effectively instantaneous: cannot double-book
         }
-        events.push((a + SWEEP_SHRINK_FS, true, i));
-        events.push((b - SWEEP_SHRINK_FS, false, i));
+        events.push((a + SWEEP_SHRINK_FS, ACQUIRE, i));
+        events.push((b - SWEEP_SHRINK_FS, RELEASE, i));
     }
-    events.sort_unstable_by_key(|&(t, acquire, _)| (t, acquire));
+    for (i, &(t, _, _)) in cuts.iter().enumerate() {
+        events.push((t, CUT, i));
+    }
+    events.sort_unstable_by_key(|&(t, rank, _)| (t, rank));
     let (mut cpu_used, mut progr_used, mut ff_used) = (0i64, 0i64, 0i64);
-    for (_, acquire, i) in events {
+    for (t, rank, i) in events {
+        if rank == CUT {
+            let (_, n, progr) = cuts[i];
+            let at = t as f64 * 1e-15;
+            if progr {
+                progr_cap = 0;
+                if progr_used > 0 {
+                    diags.error(
+                        PASS,
+                        format!("fault-plan strike at {at:.3e} s"),
+                        format!(
+                            "{progr_used} programmable-PIM kernels survive the PIM's \
+                             permanent fault"
+                        ),
+                    );
+                }
+            } else {
+                let lost = (n as i64).min(ff_cap);
+                ff_cap -= lost;
+                if ff_used > ff_cap {
+                    diags.error(
+                        PASS,
+                        format!("fault-plan strike at {at:.3e} s"),
+                        format!(
+                            "{ff_used} fixed-function units held past a quarantine of \
+                             {lost} (capacity now {ff_cap})"
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
         let e = valid[i];
-        let delta = if acquire { 1 } else { -1 };
+        let delta = if rank == ACQUIRE { 1 } else { -1 };
         if holds_cpu(e.resource) {
             cpu_used += delta;
-            if acquire && cpu_used > limits.cpu_slots as i64 {
+            if rank == ACQUIRE && cpu_used > limits.cpu_slots as i64 {
                 diags.error(
                     PASS,
                     subject(facts, e),
@@ -337,28 +581,26 @@ pub fn check_timeline(
         }
         if holds_progr(e.resource) {
             progr_used += delta;
-            if acquire && progr_used > limits.progr_slots as i64 {
+            if rank == ACQUIRE && progr_used > progr_cap {
                 diags.error(
                     PASS,
                     subject(facts, e),
                     format!(
                         "over-subscribes the programmable PIM: {progr_used} concurrent \
-                         kernels (limit {})",
-                        limits.progr_slots
+                         kernels (limit {progr_cap})"
                     ),
                 );
             }
         }
         if e.ff_units > 0 {
             ff_used += delta * e.ff_units as i64;
-            if acquire && ff_used > limits.ff_units as i64 {
+            if rank == ACQUIRE && ff_used > ff_cap {
                 diags.error(
                     PASS,
                     subject(facts, e),
                     format!(
                         "over-subscribes the fixed-function pool: {ff_used} units held \
-                         (limit {})",
-                        limits.ff_units
+                         (limit {ff_cap})"
                     ),
                 );
             }
@@ -420,6 +662,23 @@ mod tests {
                 | ResourceClass::ProgrAndFixed => 64,
                 _ => 0,
             },
+            attempt: 0,
+            outcome: AttemptOutcome::Completed,
+        }
+    }
+
+    fn attempt_entry(
+        op: usize,
+        start: f64,
+        end: f64,
+        resource: ResourceClass,
+        attempt: u32,
+        outcome: AttemptOutcome,
+    ) -> TimelineEntry {
+        TimelineEntry {
+            attempt,
+            outcome,
+            ..entry(op, start, end, resource)
         }
     }
 
@@ -502,5 +761,159 @@ mod tests {
         ];
         let diags = check_timeline(&facts, &timeline, &limits(), &pool());
         assert!(diags.is_clean(), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn fault_free_timeline_rejects_fault_outcomes() {
+        let timeline = vec![
+            attempt_entry(
+                0,
+                0.0,
+                1.0,
+                ResourceClass::Fixed,
+                0,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                1.1,
+                2.1,
+                ResourceClass::Fixed,
+                1,
+                AttemptOutcome::Completed,
+            ),
+            entry(1, 2.1, 3.1, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline(&facts(), &timeline, &limits(), &pool());
+        let text = diags.render_text();
+        assert!(
+            text.contains("fault-free timeline carries attempt"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn faulted_checker_accepts_a_legal_retry_chain() {
+        use pim_hw::faults::FaultPlan;
+        // Every faultable attempt below the bound fails as a transient;
+        // the final attempt completes. CPU placements never fault.
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let timeline = vec![
+            attempt_entry(
+                0,
+                0.0,
+                1.0,
+                ResourceClass::Fixed,
+                0,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                1.1,
+                2.1,
+                ResourceClass::Fixed,
+                1,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                2.2,
+                3.2,
+                ResourceClass::Fixed,
+                2,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                3.3,
+                4.3,
+                ResourceClass::Fixed,
+                3,
+                AttemptOutcome::Completed,
+            ),
+            entry(1, 4.3, 5.3, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline_faulted(&facts(), &timeline, &limits(), &pool(), Some(&plan));
+        assert!(diags.is_clean(), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn faulted_checker_flags_backoff_and_chain_violations() {
+        use pim_hw::faults::FaultPlan;
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        // Retry ignores the backoff, and a second chain skips attempt 1.
+        let timeline = vec![
+            attempt_entry(
+                0,
+                0.0,
+                1.0,
+                ResourceClass::Fixed,
+                0,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                1.0,
+                2.0,
+                ResourceClass::Fixed,
+                1,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                2.1,
+                3.1,
+                ResourceClass::Fixed,
+                2,
+                AttemptOutcome::Transient,
+            ),
+            attempt_entry(
+                0,
+                3.2,
+                4.2,
+                ResourceClass::Fixed,
+                3,
+                AttemptOutcome::Completed,
+            ),
+            attempt_entry(
+                1,
+                4.3,
+                5.3,
+                ResourceClass::Cpu,
+                1,
+                AttemptOutcome::Completed,
+            ),
+        ];
+        let diags = check_timeline_faulted(&facts(), &timeline, &limits(), &pool(), Some(&plan));
+        let text = diags.render_text();
+        assert!(
+            text.contains("before the previous attempt's end plus backoff"),
+            "{text}"
+        );
+        assert!(text.contains("not contiguous"), "{text}");
+    }
+
+    #[test]
+    fn faulted_checker_flags_work_surviving_a_quarantine() {
+        use pim_common::units::Seconds as S;
+        use pim_hw::faults::{FaultPlan, FaultTarget};
+        let mut facts = facts();
+        facts[0].deps[1].clear();
+        // All 128 units quarantined at t = 0.5 while op0 still holds 64
+        // until t = 1.0, and no kill was recorded.
+        let plan = FaultPlan::none().with_permanent(S::new(0.5), FaultTarget::FixedUnits(128));
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+        ];
+        let diags = check_timeline_faulted(&facts, &timeline, &limits(), &pool(), Some(&plan));
+        let text = diags.render_text();
+        assert!(text.contains("held past a quarantine"), "{text}");
     }
 }

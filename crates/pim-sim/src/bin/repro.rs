@@ -2,11 +2,17 @@
 //!
 //! Usage: `repro [table1|fig2|fig8|fig10|fig11|fig12|fig13|fig16|ablations|config|csv|all]`,
 //! `repro schedule <model>` for a placement preview,
+//! `repro faults [--seed N] [--rate R] [--models a,b] [--steps N]` for the
+//! seeded fault-degradation sweep,
 //! `repro --trace <path> [model]` to export a Chrome trace of one
 //! Hetero PIM run, `repro tracecheck <path>` to validate one, or
 //! `repro bench [--json <path>]` for the wall-clock benchmark harness
 //! (see `run_bench_cli` for its flags).
 //! (fig8 covers fig9; fig11 covers fig17; fig13 covers fig14/fig15).
+//!
+//! Unknown sections, models, and malformed flags are usage errors: the
+//! binary prints a structured message plus the usage block to stderr and
+//! exits 2 (runtime failures exit 1).
 
 use pim_models::ModelKind;
 use pim_sim::configs::table_iv_rows;
@@ -14,80 +20,90 @@ use pim_sim::experiments;
 
 type Section = (&'static str, fn() -> pim_common::Result<String>);
 
+const SECTIONS: [Section; 9] = [
+    ("table1", experiments::table1),
+    ("fig2", experiments::fig2),
+    ("fig8", experiments::fig8_fig9),
+    ("fig10", experiments::fig10),
+    ("fig11", experiments::fig11_fig17),
+    ("fig12", experiments::fig12),
+    ("fig13", experiments::fig13_fig14_fig15),
+    ("fig16", experiments::fig16),
+    ("ablations", experiments::ablations),
+];
+
+const USAGE: &str = "usage: repro [SECTION | all | config | csv]
+       repro schedule [MODEL]
+       repro faults [--seed N] [--rate R] [--models a,b,..] [--steps N]
+       repro --trace <path> [MODEL]
+       repro tracecheck <path>
+       repro bench [--json <path>] [--models a,b,..] [--iters N] [--steps N]
+                   [--repro-all <runs> --baseline <median_ms>,<min_ms>]
+
+sections: table1 fig2 fig8 fig10 fig11 fig12 fig13 fig16 ablations
+models:   alex vgg dcgan resnet inception lstm w2v";
+
+/// Prints a structured usage error to stderr and exits 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Resolves a model flag; absent means AlexNet, unknown names are usage
+/// errors (they used to silently fall back to AlexNet).
 fn model_arg(arg: Option<&str>) -> ModelKind {
-    match arg {
-        Some("vgg") => ModelKind::Vgg19,
-        Some("dcgan") => ModelKind::Dcgan,
-        Some("resnet") => ModelKind::ResNet50,
-        Some("inception") => ModelKind::InceptionV3,
-        Some("lstm") => ModelKind::Lstm,
-        Some("w2v") => ModelKind::Word2vec,
-        _ => ModelKind::AlexNet,
+    let Some(name) = arg else {
+        return ModelKind::AlexNet;
+    };
+    match name {
+        "alex" => ModelKind::AlexNet,
+        "vgg" => ModelKind::Vgg19,
+        "dcgan" => ModelKind::Dcgan,
+        "resnet" => ModelKind::ResNet50,
+        "inception" => ModelKind::InceptionV3,
+        "lstm" => ModelKind::Lstm,
+        "w2v" => ModelKind::Word2vec,
+        other => usage_error(&format!(
+            "unknown model `{other}` (expected alex, vgg, dcgan, resnet, inception, lstm, or w2v)"
+        )),
     }
 }
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    if which == "--trace" {
-        // Chrome-trace export: `repro --trace <path> [model]` (2 steps of
-        // the model at batch 2 on the full Hetero PIM).
-        use pim_runtime::engine::SystemPreset;
-        let path = std::env::args().nth(2).unwrap_or_else(|| {
-            eprintln!("usage: repro --trace <path> [model]");
-            std::process::exit(2);
-        });
-        let kind = model_arg(std::env::args().nth(3).as_deref());
-        match pim_sim::chrome::chrome_trace(kind, 2, 2, SystemPreset::Hetero) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("trace export failed writing {path}: {e}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote Chrome trace for {kind} to {path}");
-            }
+    match which.as_str() {
+        "--help" | "-h" => println!("{USAGE}"),
+        "--trace" => run_trace_export(),
+        "tracecheck" => run_tracecheck(),
+        "bench" => run_bench_cli(),
+        "schedule" => run_schedule_preview(),
+        "faults" => run_faults_cli(),
+        "csv" => match pim_sim::report::evaluation_grid(3) {
+            Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
             Err(e) => {
-                eprintln!("trace export failed: {e}");
+                eprintln!("csv failed: {e}");
                 std::process::exit(1);
             }
+        },
+        "config" => print_config(),
+        "all" => {
+            run_sections("all");
+            print_config();
         }
-        return;
+        name if SECTIONS.iter().any(|(n, _)| *n == name) => run_sections(name),
+        other => usage_error(&format!("unknown section `{other}`")),
     }
-    if which == "tracecheck" {
-        // Structural validation of an exported trace:
-        // `repro tracecheck <path>`.
-        let path = std::env::args().nth(2).unwrap_or_else(|| {
-            eprintln!("usage: repro tracecheck <path>");
-            std::process::exit(2);
-        });
-        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("tracecheck failed reading {path}: {e}");
-            std::process::exit(1);
-        });
-        let diags = pim_common::trace::validate_chrome_trace(&json);
-        if diags.is_clean() {
-            println!("{path}: valid Chrome trace");
-        } else {
-            eprintln!("{}", diags.render_text());
-            std::process::exit(1);
-        }
-        return;
+}
+
+fn print_config() {
+    println!("Table IV: system configurations");
+    for (k, v) in table_iv_rows() {
+        println!("  {k:18} {v}");
     }
-    if which == "bench" {
-        run_bench_cli();
-        return;
-    }
-    let sections: [Section; 9] = [
-        ("table1", experiments::table1),
-        ("fig2", experiments::fig2),
-        ("fig8", experiments::fig8_fig9),
-        ("fig10", experiments::fig10),
-        ("fig11", experiments::fig11_fig17),
-        ("fig12", experiments::fig12),
-        ("fig13", experiments::fig13_fig14_fig15),
-        ("fig16", experiments::fig16),
-        ("ablations", experiments::ablations),
-    ];
-    let selected: Vec<_> = sections
+}
+
+fn run_sections(which: &str) {
+    let selected: Vec<_> = SECTIONS
         .iter()
         .filter(|(name, _)| which == *name || which == "all")
         .collect();
@@ -100,47 +116,151 @@ fn main() {
     {
         match result {
             Ok(text) => println!("{text}"),
-            Err(e) => eprintln!("{name} failed: {e}"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
-    if which == "schedule" {
-        // Placement preview for one model: `repro schedule [vgg|alex|...]`.
-        use pim_models::Model;
-        use pim_runtime::engine::{Engine, EngineConfig, SystemPreset};
-        let kind = model_arg(std::env::args().nth(2).as_deref());
-        let model = Model::build(kind).expect("model builds");
-        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
-        match engine.plan_preview(model.graph()) {
-            Ok(rows) => {
-                println!("placement preview for {kind} (uncontended):");
-                for r in rows {
-                    println!(
-                        "  {:>6} {:28} {:9.6}s {} {}",
-                        r.op.to_string(),
-                        r.name,
-                        r.seconds,
-                        if r.candidate {
-                            "[candidate]"
-                        } else {
-                            "           "
-                        },
-                        r.placement,
-                    );
+}
+
+/// Chrome-trace export: `repro --trace <path> [model]` (2 steps of the
+/// model at batch 2 on the full Hetero PIM).
+fn run_trace_export() {
+    use pim_runtime::engine::SystemPreset;
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| usage_error("--trace requires an output path"));
+    let kind = model_arg(std::env::args().nth(3).as_deref());
+    match pim_sim::chrome::chrome_trace(kind, 2, 2, SystemPreset::Hetero) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("trace export failed writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote Chrome trace for {kind} to {path}");
+        }
+        Err(e) => {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Structural validation of an exported trace: `repro tracecheck <path>`.
+fn run_tracecheck() {
+    let path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| usage_error("tracecheck requires a trace path"));
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("tracecheck failed reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let diags = pim_common::trace::validate_chrome_trace(&json);
+    if diags.is_clean() {
+        println!("{path}: valid Chrome trace");
+    } else {
+        eprintln!("{}", diags.render_text());
+        std::process::exit(1);
+    }
+}
+
+/// Placement preview for one model: `repro schedule [alex|vgg|...]`.
+fn run_schedule_preview() {
+    use pim_models::Model;
+    use pim_runtime::engine::{Engine, EngineConfig, SystemPreset};
+    let kind = model_arg(std::env::args().nth(2).as_deref());
+    let model = match Model::build(kind) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("schedule failed building {kind}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+    match engine.plan_preview(model.graph()) {
+        Ok(rows) => {
+            println!("placement preview for {kind} (uncontended):");
+            for r in rows {
+                println!(
+                    "  {:>6} {:28} {:9.6}s {} {}",
+                    r.op.to_string(),
+                    r.name,
+                    r.seconds,
+                    if r.candidate {
+                        "[candidate]"
+                    } else {
+                        "           "
+                    },
+                    r.placement,
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("schedule failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The fault-degradation sweep:
+///
+/// ```text
+/// repro faults [--seed N] [--rate R] [--models alex,lstm,...] [--steps N]
+/// ```
+///
+/// Simulates the requested models under every engine preset with a
+/// seeded fault plan and prints the degradation table (makespan, energy,
+/// slowdown, and the fault counters per rate). Without `--rate` the
+/// default rate ladder is swept; the output is deterministic in
+/// `(seed, rate)`. Not part of `repro all` — fault runs never perturb
+/// the paper-figure output.
+fn run_faults_cli() {
+    use pim_sim::faults;
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut seed = 1u64;
+    let mut rates: Vec<f64> = faults::DEFAULT_RATES.to_vec();
+    let mut kinds: Vec<ModelKind> = faults::DEFAULT_MODELS.to_vec();
+    let mut steps = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--seed", Some(v)) => {
+                seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid fault seed `{v}`")));
+            }
+            ("--rate", Some(v)) => {
+                let rate: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid fault rate `{v}`")));
+                if !(0.0..=1.0).contains(&rate) {
+                    usage_error(&format!("fault rate must be in [0, 1], got {rate}"));
+                }
+                rates = vec![rate];
+            }
+            ("--models", Some(v)) => {
+                kinds = v.split(',').map(|m| model_arg(Some(m.trim()))).collect();
+            }
+            ("--steps", Some(v)) => {
+                steps = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid step count `{v}`")));
+                if steps == 0 {
+                    usage_error("--steps must be at least 1");
                 }
             }
-            Err(e) => eprintln!("schedule failed: {e}"),
+            (flag, _) => usage_error(&format!("unknown or incomplete faults flag `{flag}`")),
         }
+        i += 2;
     }
-    if which == "csv" {
-        match pim_sim::report::evaluation_grid(3) {
-            Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
-            Err(e) => eprintln!("csv failed: {e}"),
-        }
-    }
-    if which == "config" || which == "all" {
-        println!("Table IV: system configurations");
-        for (k, v) in table_iv_rows() {
-            println!("  {k:18} {v}");
+    match faults::degradation_table(&kinds, &rates, seed, steps) {
+        Ok(table) => print!("{table}"),
+        Err(e) => {
+            eprintln!("faults failed: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -160,14 +280,6 @@ fn main() {
 fn run_bench_cli() {
     use pim_sim::bench;
 
-    fn usage() -> ! {
-        eprintln!(
-            "usage: repro bench [--json <path>] [--models alex,vgg,...] [--iters N] \
-             [--steps N] [--repro-all <runs> --baseline <median_ms>,<min_ms>]"
-        );
-        std::process::exit(2);
-    }
-
     let args: Vec<String> = std::env::args().skip(2).collect();
     let mut json_path: Option<String> = None;
     let mut kinds: Vec<ModelKind> = ModelKind::ALL.to_vec();
@@ -181,19 +293,34 @@ fn run_bench_cli() {
         match (args[i].as_str(), value) {
             ("--json", Some(v)) => json_path = Some(v.clone()),
             ("--models", Some(v)) => {
-                kinds = v.split(',').map(|m| model_arg(Some(m))).collect();
+                kinds = v.split(',').map(|m| model_arg(Some(m.trim()))).collect();
             }
-            ("--iters", Some(v)) => iters = v.parse().unwrap_or_else(|_| usage()),
-            ("--steps", Some(v)) => steps = v.parse().unwrap_or_else(|_| usage()),
-            ("--repro-all", Some(v)) => repro_runs = v.parse().unwrap_or_else(|_| usage()),
+            ("--iters", Some(v)) => {
+                iters = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid iteration count `{v}`")));
+            }
+            ("--steps", Some(v)) => {
+                steps = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid step count `{v}`")));
+            }
+            ("--repro-all", Some(v)) => {
+                repro_runs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid repro-all run count `{v}`")));
+            }
             ("--baseline", Some(v)) => {
-                let (median, min) = v.split_once(',').unwrap_or_else(|| usage());
-                baseline = Some((
-                    median.parse().unwrap_or_else(|_| usage()),
-                    min.parse().unwrap_or_else(|_| usage()),
-                ));
+                let parsed = v
+                    .split_once(',')
+                    .and_then(|(median, min)| Some((median.parse().ok()?, min.parse().ok()?)));
+                baseline = Some(parsed.unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "--baseline expects <median_ms>,<min_ms>, got `{v}`"
+                    ))
+                }));
             }
-            _ => usage(),
+            (flag, _) => usage_error(&format!("unknown or incomplete bench flag `{flag}`")),
         }
         i += 2;
     }
@@ -205,8 +332,7 @@ fn run_bench_cli() {
     });
     let repro_all = if repro_runs > 0 {
         let (pre_median, pre_min) = baseline.unwrap_or_else(|| {
-            eprintln!("--repro-all needs --baseline <median_ms>,<min_ms> to compare against");
-            std::process::exit(2);
+            usage_error("--repro-all needs --baseline <median_ms>,<min_ms> to compare against")
         });
         let post = bench::time_repro_all(repro_runs).unwrap_or_else(|e| {
             eprintln!("bench failed timing repro all: {e}");

@@ -15,7 +15,9 @@
 //! * [`mixed`] — CNN + non-CNN co-running (§VI-F),
 //! * [`report`] — CSV emission of the evaluation grid,
 //! * [`experiments`] — one function per table/figure; the `repro` binary
-//!   prints them.
+//!   prints them,
+//! * [`faults`] — the seeded fault-injection degradation sweep
+//!   (`repro faults`): makespan/energy vs fault rate per preset.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@ pub mod cache;
 pub mod chrome;
 pub mod configs;
 pub mod experiments;
+pub mod faults;
 pub mod gpu;
 pub mod mixed;
 pub mod report;

@@ -1,17 +1,20 @@
 //! `pim-verify` — run the static checker over model graphs and schedules.
 //!
 //! ```text
-//! pim-verify [--all-models | --model NAME] [--steps N] [--format text|json]
+//! pim-verify [--all-models | --model NAME] [--steps N] [--faults SEED,RATE]
+//!            [--format text|json]
 //! ```
 //!
 //! Runs the graph, KIR, schedule, and report passes and prints every
-//! finding. Exits 1 when any finding has error severity (or the arguments
-//! are invalid), 0 otherwise — warnings do not fail the run.
+//! finding. With `--faults`, additionally replays each configuration
+//! under a seeded fault plan through the fault-aware schedule checker.
+//! Exits 1 when any finding has error severity (or the arguments are
+//! invalid), 0 otherwise — warnings do not fail the run.
 
 use std::process::ExitCode;
 
 use pim_models::ModelKind;
-use pim_verify::verify_model;
+use pim_verify::{verify_model, verify_model_faults};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -22,11 +25,12 @@ enum Format {
 struct Args {
     models: Vec<ModelKind>,
     steps: usize,
+    faults: Option<(u64, f64)>,
     format: Format,
 }
 
-const USAGE: &str =
-    "usage: pim-verify [--all-models | --model NAME] [--steps N] [--format text|json]
+const USAGE: &str = "usage: pim-verify [--all-models | --model NAME] [--steps N] \
+[--faults SEED,RATE] [--format text|json]
 
 Runs the graph, KIR, schedule, and report verification passes.
 
@@ -35,8 +39,29 @@ options:
   --model NAME       check one workload (vgg19, alexnet, dcgan, resnet50,
                      inception_v3, lstm, word2vec)
   --steps N          training steps per schedule replay (default 2)
+  --faults SEED,RATE additionally replay each configuration under a fault
+                     plan seeded from SEED at fault rate RATE (0 <= RATE <= 1)
+                     through the fault-aware schedule checker
   --format FMT       output format: text (default) or json
   --help             print this message";
+
+fn parse_faults(value: &str) -> Result<(u64, f64), String> {
+    let (seed, rate) = value
+        .split_once(',')
+        .ok_or_else(|| format!("--faults expects SEED,RATE, got `{value}`"))?;
+    let seed: u64 = seed
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid fault seed `{seed}`"))?;
+    let rate: f64 = rate
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid fault rate `{rate}`"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault rate must be in [0, 1], got {rate}"));
+    }
+    Ok((seed, rate))
+}
 
 fn parse_model(name: &str) -> Option<ModelKind> {
     let wanted = name.to_ascii_lowercase().replace(['-', '_'], "");
@@ -48,6 +73,7 @@ fn parse_model(name: &str) -> Option<ModelKind> {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut models: Option<Vec<ModelKind>> = None;
     let mut steps = 2usize;
+    let mut faults: Option<(u64, f64)> = None;
     let mut format = Format::Text;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +91,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--steps must be at least 1".into());
                 }
             }
+            "--faults" => {
+                let value = it.next().ok_or("--faults requires SEED,RATE")?;
+                faults = Some(parse_faults(value)?);
+            }
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
@@ -78,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(Args {
         models: models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
         steps,
+        faults,
         format,
     })
 }
@@ -98,7 +129,20 @@ fn main() -> ExitCode {
 
     let mut diags = pim_common::Diagnostics::new();
     for kind in &args.models {
-        match verify_model(*kind, kind.paper_batch_size(), args.steps) {
+        let verified =
+            verify_model(*kind, kind.paper_batch_size(), args.steps).and_then(|mut model_diags| {
+                if let Some((seed, rate)) = args.faults {
+                    model_diags.extend(verify_model_faults(
+                        *kind,
+                        kind.paper_batch_size(),
+                        args.steps,
+                        seed,
+                        rate,
+                    )?);
+                }
+                Ok(model_diags)
+            });
+        match verified {
             Ok(model_diags) => {
                 if args.format == Format::Text {
                     eprintln!(

@@ -50,7 +50,7 @@ use pim_sim::gpu::simulate_gpu;
 pub use graph::verify_graph;
 pub use kir::{verify_binaries, verify_kernel_source};
 pub use report::verify_report;
-pub use schedule::{engine_configs, verify_schedule};
+pub use schedule::{engine_configs, verify_faulted_schedule, verify_schedule};
 
 /// Runs every pass over one model: graph and KIR on its training-step
 /// graph, then schedule + report under each engine configuration, and
@@ -100,6 +100,38 @@ pub fn verify_model(kind: ModelKind, batch: usize, steps: usize) -> Result<Diagn
             format!("{name}@Neurocube"),
             format!("simulation failed: {err}"),
         ),
+    }
+    Ok(diags)
+}
+
+/// Runs the fault-aware schedule pass over one model: every engine
+/// configuration simulated under a fault plan seeded from `(seed, rate)`,
+/// each recorded timeline replayed through the fault-aware legality
+/// checker.
+///
+/// # Errors
+///
+/// Propagates model-construction failures; analysis findings are returned
+/// as diagnostics, never as errors.
+pub fn verify_model_faults(
+    kind: ModelKind,
+    batch: usize,
+    steps: usize,
+    seed: u64,
+    rate: f64,
+) -> Result<Diagnostics> {
+    let model = Model::build_with_batch(kind, batch)?;
+    let name = kind.name();
+    let mut diags = Diagnostics::new();
+    for cfg in engine_configs() {
+        diags.extend(verify_faulted_schedule(
+            name,
+            model.graph(),
+            &cfg,
+            steps,
+            seed,
+            rate,
+        ));
     }
     Ok(diags)
 }

@@ -8,7 +8,8 @@
 
 use pim_common::Diagnostics;
 use pim_graph::Graph;
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_hw::faults::FaultPlan;
+use pim_runtime::engine::{Engine, EngineConfig, RunOptions, WorkloadSpec};
 
 /// The pass name stamped on every diagnostic this module emits (matches
 /// [`pim_runtime::verify::PASS`] — the replay checker lives there).
@@ -59,6 +60,66 @@ pub fn verify_schedule(
             Err(err) => diags.error(PASS, subject, format!("verification failed: {err}")),
         },
         Err(err) => diags.error(PASS, subject, format!("simulation failed: {err}")),
+    }
+    diags
+}
+
+/// Simulates `steps` steps of `graph` under `cfg` with a fault plan
+/// seeded from `(seed, rate)` over the configuration's fault-free
+/// horizon, then replays the recorded timeline through the fault-aware
+/// legality checker ([`pim_runtime::verify::check_timeline_faulted`]):
+/// attempt chains, backoff spacing, plan consistency, and capacity under
+/// quarantine, on top of every fault-free rule.
+pub fn verify_faulted_schedule(
+    model: &str,
+    graph: &Graph,
+    cfg: &EngineConfig,
+    steps: usize,
+    seed: u64,
+    rate: f64,
+) -> Diagnostics {
+    let engine = Engine::new(cfg.clone());
+    let workloads = [WorkloadSpec {
+        graph,
+        steps,
+        cpu_progr_only: false,
+    }];
+    let mut diags = Diagnostics::new();
+    let subject = format!("{model}@{} (faults seed {seed} rate {rate})", cfg.name);
+    let horizon = match engine.run(&workloads) {
+        Ok(report) => report.makespan,
+        Err(err) => {
+            diags.error(
+                PASS,
+                subject,
+                format!("fault-free simulation failed: {err}"),
+            );
+            return diags;
+        }
+    };
+    let plan = FaultPlan::seeded(seed, rate, horizon, cfg.ff_units);
+    let opts = RunOptions {
+        timeline: true,
+        ..RunOptions::default()
+    };
+    match engine.run_with_faults(&workloads, &opts, &plan) {
+        Ok(out) => {
+            let timeline = out.timeline.unwrap_or_default();
+            match engine.verify_timeline_faulted(&workloads, &timeline, &plan) {
+                Ok(inner) => {
+                    for d in inner.items() {
+                        diags.push(
+                            d.severity,
+                            PASS,
+                            format!("{subject}: {}", d.subject),
+                            d.message.clone(),
+                        );
+                    }
+                }
+                Err(err) => diags.error(PASS, subject, format!("verification failed: {err}")),
+            }
+        }
+        Err(err) => diags.error(PASS, subject, format!("faulted simulation failed: {err}")),
     }
     diags
 }

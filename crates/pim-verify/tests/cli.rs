@@ -1,0 +1,51 @@
+//! CLI contract tests for the `pim-verify` binary: malformed arguments
+//! fail with a structured message, and the fault replay flag works
+//! end-to-end.
+
+use std::process::{Command, Output};
+
+fn pim_verify(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pim-verify"))
+        .args(args)
+        .output()
+        .expect("pim-verify spawns")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn malformed_fault_flags_fail_with_structured_messages() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["--faults", "1"], "expects SEED,RATE"),
+        (&["--faults", "x,0.1"], "invalid fault seed"),
+        (&["--faults", "1,abc"], "invalid fault rate"),
+        (&["--faults", "1,5.0"], "must be in [0, 1]"),
+    ];
+    for (args, needle) in cases {
+        let out = pim_verify(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn unknown_model_and_argument_fail() {
+    let out = pim_verify(&["--model", "nope"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown model `nope`"));
+
+    let out = pim_verify(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown argument `--frobnicate`"));
+}
+
+#[test]
+fn faulted_replay_of_one_model_is_clean() {
+    let out = pim_verify(&["--model", "alexnet", "--steps", "1", "--faults", "3,0.1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("0 error(s)"));
+}

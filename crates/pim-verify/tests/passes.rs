@@ -13,7 +13,8 @@ use pim_tensor::ops::activation::Activation;
 use pim_tensor::ops::elementwise::BinaryOp;
 use pim_tensor::Shape;
 use pim_verify::{
-    engine_configs, verify_binaries, verify_graph, verify_kernel_source, verify_schedule,
+    engine_configs, verify_binaries, verify_faulted_schedule, verify_graph, verify_kernel_source,
+    verify_schedule,
 };
 
 /// Small batches keep the debug-profile engine replays fast; the graph
@@ -62,6 +63,28 @@ fn all_models_schedule_clean_under_every_config() {
                 cfg.name,
                 diags.render_text()
             );
+        }
+    }
+}
+
+#[test]
+fn faulted_schedules_verify_clean_under_every_config() {
+    // A CNN, an RNN, and a GAN exercise all three placement shapes; two
+    // seeds vary which recovery paths (retry, re-dispatch, kill) fire.
+    for kind in [ModelKind::AlexNet, ModelKind::Lstm, ModelKind::Dcgan] {
+        let model = Model::build_with_batch(kind, TEST_BATCH).unwrap();
+        for cfg in engine_configs() {
+            for seed in [1, 9] {
+                let diags =
+                    verify_faulted_schedule(kind.name(), model.graph(), &cfg, 2, seed, 0.15);
+                assert!(
+                    diags.is_empty(),
+                    "{}@{} seed {seed}: {}",
+                    kind.name(),
+                    cfg.name,
+                    diags.render_text()
+                );
+            }
         }
     }
 }
