@@ -38,6 +38,20 @@ cargo run --release -q -p pim-sim --bin repro -- all > "$repro_a"
 cargo run --release -q -p pim-sim --bin repro -- all > "$repro_b"
 diff "$repro_a" "$repro_b"
 
+# Thread matrix: worker count must be unobservable in every output.
+# The differential suite and the full reproduction sweep are re-run with
+# the partitioned sweep pinned to 1, 2, and 4 workers (PIM_RUN_THREADS,
+# see engine DESIGN.md §4.9); the sweep output must stay byte-identical
+# to the unpinned runs above.
+for threads in 1 2 4; do
+    PIM_RUN_THREADS=$threads cargo test -q -p pim-sim --test differential
+    threads_out=$(mktemp)
+    trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "${threads_out:-}" "${bench_json:-}"' EXIT
+    PIM_RUN_THREADS=$threads cargo run --release -q -p pim-sim --bin repro -- all > "$threads_out"
+    diff "$repro_a" "$threads_out"
+    rm -f "$threads_out"
+done
+
 # Bench harness smoke: two models across all six presets, one iteration;
 # `repro bench` validates the emitted document against the
 # hetero-pim-bench-v1 schema before writing it, so a zero exit means the

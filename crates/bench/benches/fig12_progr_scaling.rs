@@ -4,7 +4,7 @@ use bench::{paper_model, run};
 use criterion::{criterion_group, criterion_main, Criterion};
 use pim_hw::power::{progr_scaling_points, LogicDieBudget};
 use pim_models::ModelKind;
-use pim_runtime::engine::EngineConfig;
+use pim_runtime::engine::{EngineConfig, SystemPreset};
 use pim_sim::configs::SystemConfig;
 use std::time::Duration;
 
@@ -18,7 +18,8 @@ fn fig12(c: &mut Criterion) {
         let model = paper_model(kind);
         for p in &points {
             let config = SystemConfig::HeteroPim(
-                EngineConfig::hetero().with_pim_complement(p.arm_cores, p.ff_units),
+                EngineConfig::preset(SystemPreset::Hetero)
+                    .with_pim_complement(p.arm_cores, p.ff_units),
             );
             group.bench_function(format!("{}/{}P", kind.name(), p.arm_cores), |b| {
                 b.iter(|| run(&model, &config).makespan)

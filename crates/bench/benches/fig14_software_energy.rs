@@ -3,7 +3,7 @@
 use bench::paper_model;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pim_models::ModelKind;
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use std::time::Duration;
 
 fn fig14(c: &mut Criterion) {
@@ -18,10 +18,13 @@ fn fig14(c: &mut Criterion) {
             steps: 2,
             cpu_progr_only: false,
         };
-        let full = Engine::new(EngineConfig::hetero())
+        let full = Engine::new(EngineConfig::preset(SystemPreset::Hetero))
             .run(&[workload])
             .unwrap();
-        for cfg in [EngineConfig::hetero_bare(), EngineConfig::hetero_rc()] {
+        for cfg in [
+            EngineConfig::preset(SystemPreset::HeteroBare),
+            EngineConfig::preset(SystemPreset::HeteroRc),
+        ] {
             let label = format!("{}/{}", kind.name(), cfg.name);
             group.bench_function(label, |b| {
                 b.iter(|| {

@@ -3,7 +3,7 @@
 use bench::paper_model;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pim_models::ModelKind;
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use std::time::Duration;
 
 fn fig15(c: &mut Criterion) {
@@ -14,9 +14,9 @@ fn fig15(c: &mut Criterion) {
     for kind in ModelKind::CNNS {
         let model = paper_model(kind);
         for cfg in [
-            EngineConfig::hetero_bare(),
-            EngineConfig::hetero_rc(),
-            EngineConfig::hetero(),
+            EngineConfig::preset(SystemPreset::HeteroBare),
+            EngineConfig::preset(SystemPreset::HeteroRc),
+            EngineConfig::preset(SystemPreset::Hetero),
         ] {
             let label = format!("{}/{}", kind.name(), cfg.name);
             group.bench_function(label, |b| {

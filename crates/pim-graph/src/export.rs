@@ -88,12 +88,12 @@ pub struct GraphStats {
 /// Propagates topological-sort failures.
 pub fn stats(graph: &Graph) -> Result<GraphStats> {
     let order = graph.topo_order()?;
+    let all_deps = graph.all_dependencies();
     let mut depth_of = vec![0usize; graph.op_count()];
     let mut depth = 0;
     for id in &order {
-        let d = graph
-            .dependencies(*id)?
-            .into_iter()
+        let d = all_deps[id.index()]
+            .iter()
             .map(|dep| depth_of[dep.index()] + 1)
             .max()
             .unwrap_or(1);

@@ -1,6 +1,6 @@
 use pim_hw::cpu::CpuDevice;
 use pim_models::{Model, ModelKind};
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use pim_runtime::profiler::profile_step;
 
 fn main() {
@@ -52,12 +52,12 @@ fn main() {
         cpu_progr_only: false,
     };
     for cfg in [
-        EngineConfig::cpu_only(),
-        EngineConfig::progr_only(),
-        EngineConfig::fixed_host(),
-        EngineConfig::hetero_bare(),
-        EngineConfig::hetero_rc(),
-        EngineConfig::hetero(),
+        EngineConfig::preset(SystemPreset::CpuOnly),
+        EngineConfig::preset(SystemPreset::ProgrOnly),
+        EngineConfig::preset(SystemPreset::FixedHost),
+        EngineConfig::preset(SystemPreset::HeteroBare),
+        EngineConfig::preset(SystemPreset::HeteroRc),
+        EngineConfig::preset(SystemPreset::Hetero),
     ] {
         let name = cfg.name.clone();
         let r = Engine::new(cfg).run(&[wl]).unwrap();

@@ -1,0 +1,1092 @@
+//! The execution drivers, running over the component event core.
+//!
+//! Three drivers cover the whole evaluation:
+//!
+//! * [`run_serialized`] — one op at a time in topological order (the
+//!   "without runtime scheduling" configurations),
+//! * [`run_scheduled`] — the event-driven operation pipeline (§III-C),
+//! * [`run_device_serial`] — a single [`Device`] executing the step stream
+//!   back-to-back (the analytic GPU and Neurocube baselines in `pim-sim`).
+//!
+//! The event-driven drivers register their state — device lanes, the
+//! link/sync model, the resource pool, the observer — as components in a
+//! [`ComponentSlab`] and loop on `earliest()`/`advance()`; see the
+//! [`components`](super::components) module docs for the determinism
+//! argument. All drivers account time and energy through the same
+//! [`Accumulator`] and build their result exclusively via
+//! [`ReportBuilder`], and all emit per-op [`TimelineEntry`] records to a
+//! pluggable [`TimelineSink`]. The engine drivers additionally observe
+//! execution through an [`Observer`]: counters always, Chrome-trace spans
+//! when the `trace` feature is on.
+
+use super::components::{
+    Accumulator, Clock, Comp, ComponentSlab, DeviceLanes, InFlight, ResourceSoA, Retired, SyncLink,
+};
+use super::faults::{
+    backoff_after, decide, extend_timeout, lane_for, scale_planned, stretch_planned,
+    AttemptOutcome, Fate, FaultContext,
+};
+use super::observe::{Observer, OpRecord, ResourceClass, TimelineEntry, TimelineSink};
+use super::placement::{
+    resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
+};
+use super::{Prepared, SystemMode};
+use crate::stats::{ExecutionReport, ReportBuilder};
+use crate::sync::STEP_BARRIER;
+use pim_common::ids::OpId;
+use pim_common::units::{Joules, Seconds};
+use pim_common::{PimError, Result};
+use pim_hw::device::Device;
+use pim_hw::faults::FaultTarget;
+use std::collections::BTreeSet;
+
+/// Sequential execution: one op at a time in topological order per step —
+/// the "without runtime scheduling" configurations.
+pub(crate) fn run_serialized(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+) -> Result<ExecutionReport> {
+    let mut acc = Accumulator::default();
+    let mut clock = Clock::new();
+    for (w, wl) in prepared.iter().enumerate() {
+        let ops = wl.spec.graph.ops();
+        // With everything free, placement is availability-independent:
+        // choose and plan once per op and reuse the plan across steps
+        // (both are pure, so the replayed numbers are bit-identical).
+        let plans: Vec<(PlanKind, PlannedOp, bool)> = wl
+            .topo
+            .iter()
+            .map(|&op| {
+                let cost = &wl.costs[op];
+                let is_candidate = wl.candidates.contains(OpId::new(op));
+                let kind = planner
+                    .choose(
+                        cost,
+                        is_candidate,
+                        wl.spec.cpu_progr_only,
+                        Availability::all_free(planner.cfg.ff_units),
+                    )
+                    .ok_or_else(|| PimError::internal("serialized placement found no device"))?;
+                Ok((kind, planner.plan_cost(kind, cost), is_candidate))
+            })
+            .collect::<Result<_>>()?;
+        for step in 0..wl.spec.steps {
+            for (i, &op) in wl.topo.iter().enumerate() {
+                let cost = &wl.costs[op];
+                let (kind, ref planned, is_candidate) = plans[i];
+                acc.add(planned);
+                let entry = TimelineEntry {
+                    workload: w,
+                    step,
+                    op,
+                    start: clock.now(),
+                    end: clock.now() + planned.duration,
+                    resource: resource_class(planned),
+                    ff_units: planned.ff_units,
+                    attempt: 0,
+                    outcome: AttemptOutcome::Completed,
+                };
+                obs.record_op(&OpRecord {
+                    entry,
+                    planned,
+                    kind,
+                    cost,
+                    name: ops[op].kind.tf_name(),
+                    candidate: is_candidate,
+                    inflight: 1,
+                });
+                if planned.ff_units > 0 {
+                    obs.ff_delta(clock.now(), planned.ff_units as isize);
+                }
+                clock.advance(planned.duration);
+                if planned.ff_units > 0 {
+                    obs.ff_delta(clock.now(), -(planned.ff_units as isize));
+                }
+                obs.completed();
+                if planner.cfg.mode == SystemMode::Hetero {
+                    clock.advance(PLACEMENT_DECISION);
+                    acc.sync_raw += PLACEMENT_DECISION;
+                    obs.decision(PLACEMENT_DECISION);
+                }
+            }
+            clock.advance(STEP_BARRIER);
+            acc.sync_raw += STEP_BARRIER;
+            obs.barrier(clock.now(), STEP_BARRIER);
+        }
+    }
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, clock.now()))
+}
+
+/// Priority key of a ready instance: step first (pipeline order), then
+/// critical-path rank, then workload/op for a total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    step: usize,
+    rank: usize,
+    wl: usize,
+    op: usize,
+}
+
+/// Dependency/readiness bookkeeping shared by the scheduled drivers.
+struct ReadySet {
+    /// Per-instance remaining dependency counts.
+    remaining: Vec<Vec<Vec<usize>>>,
+    step_left: Vec<Vec<usize>>,
+    min_incomplete: Vec<usize>,
+    ready: BTreeSet<Key>,
+    /// Per-(workload, step) census of the ready set, kept in lockstep with
+    /// every insert/remove so the stall accounting can count
+    /// window-closed instances without walking the whole set each wake.
+    ready_counts: Vec<Vec<usize>>,
+}
+
+impl ReadySet {
+    fn new(prepared: &[Prepared<'_>]) -> Self {
+        let remaining: Vec<Vec<Vec<usize>>> = prepared
+            .iter()
+            .map(|wl| {
+                (0..wl.spec.steps)
+                    .map(|step| {
+                        wl.deps
+                            .iter()
+                            .map(|d| d.len() + usize::from(step > 0))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let step_left: Vec<Vec<usize>> = prepared
+            .iter()
+            .map(|wl| vec![wl.topo.len(); wl.spec.steps])
+            .collect();
+        let min_incomplete: Vec<usize> = vec![0; prepared.len()];
+        let mut ready: BTreeSet<Key> = BTreeSet::new();
+        let mut ready_counts: Vec<Vec<usize>> = prepared
+            .iter()
+            .map(|wl| vec![0usize; wl.spec.steps])
+            .collect();
+        for (w, wl) in prepared.iter().enumerate() {
+            for (op, deps) in wl.deps.iter().enumerate() {
+                if deps.is_empty() && wl.spec.steps > 0 {
+                    ready.insert(Key {
+                        step: 0,
+                        rank: wl.rank[op],
+                        wl: w,
+                        op,
+                    });
+                    ready_counts[w][0] += 1;
+                }
+            }
+        }
+        ReadySet {
+            remaining,
+            step_left,
+            min_incomplete,
+            ready,
+            ready_counts,
+        }
+    }
+
+    fn insert(&mut self, key: Key) {
+        self.ready.insert(key);
+        self.ready_counts[key.wl][key.step] += 1;
+    }
+
+    fn remove(&mut self, key: &Key) {
+        self.ready.remove(key);
+        self.ready_counts[key.wl][key.step] -= 1;
+    }
+
+    /// Releases the dependents of a completed instance and advances the
+    /// per-workload pipeline-window bookkeeping.
+    fn complete(&mut self, prepared: &[Prepared<'_>], w: usize, step: usize, op: usize) {
+        let wl = &prepared[w];
+        // Intra-step consumers.
+        for &c in &wl.consumers[op] {
+            let r = &mut self.remaining[w][step][c];
+            *r -= 1;
+            if *r == 0 {
+                self.insert(Key {
+                    step,
+                    rank: wl.rank[c],
+                    wl: w,
+                    op: c,
+                });
+            }
+        }
+        // Cross-step successor: the same op in the next step.
+        if step + 1 < wl.spec.steps {
+            let r = &mut self.remaining[w][step + 1][op];
+            *r -= 1;
+            if *r == 0 {
+                self.insert(Key {
+                    step: step + 1,
+                    rank: wl.rank[op],
+                    wl: w,
+                    op,
+                });
+            }
+        }
+        // Step-completion bookkeeping for the pipeline window.
+        self.step_left[w][step] -= 1;
+        while self.min_incomplete[w] < wl.spec.steps
+            && self.step_left[w][self.min_incomplete[w]] == 0
+        {
+            self.min_incomplete[w] += 1;
+        }
+    }
+
+    /// Ready instances outside every open pipeline window.
+    fn window_closed(&self, pipeline_depth: usize) -> usize {
+        self.ready_counts
+            .iter()
+            .enumerate()
+            .map(|(w, counts)| {
+                let thr = self.min_incomplete[w] + pipeline_depth;
+                counts.iter().skip(thr).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Event-driven execution with the operation pipeline.
+pub(crate) fn run_scheduled(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+) -> Result<ExecutionReport> {
+    let mut rs = ReadySet::new(prepared);
+
+    let mut comps = ComponentSlab::new();
+    let resources = comps.register(Comp::Resources(ResourceSoA::new(planner)));
+    let lanes = comps.register(Comp::Lanes(DeviceLanes::new()));
+    let _sync = comps.register(Comp::Sync(SyncLink::new()));
+    let watch = comps.register(Comp::Observer(obs));
+
+    let mut clock = Clock::new();
+    let mut acc = Accumulator::default();
+    let total_instances: usize = prepared
+        .iter()
+        .map(|wl| wl.spec.steps * wl.topo.len())
+        .sum();
+    let mut completed = 0usize;
+    let mut inflight = 0usize;
+    // Scratch buffer for the per-wake scan over the ready set, reused
+    // across iterations and pre-sized for the whole graph.
+    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
+
+    while completed < total_instances {
+        // Schedule everything that fits right now. One pass in priority
+        // order suffices: placing an op only consumes resources and never
+        // unlocks readiness, and `choose` is monotone in availability, so
+        // an op skipped earlier in the pass cannot become placeable later
+        // in the same pass. Keys sort by step first, so nothing at or
+        // beyond the widest-open pipeline window can pass the per-key
+        // window check — the scan stops copying there.
+        let max_window = prepared
+            .iter()
+            .enumerate()
+            .map(|(w, _)| rs.min_incomplete[w] + planner.cfg.pipeline_depth)
+            .max()
+            .unwrap_or(0);
+        scan.clear();
+        scan.extend(rs.ready.iter().take_while(|k| k.step < max_window).copied());
+        // Availability only changes on acquire within the pass; read it
+        // once and refresh after each placement.
+        let mut avail = comps.resources(resources).availability();
+        for &key in &scan {
+            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
+                break; // every resource saturated — nothing can be placed
+            }
+            let wl = &prepared[key.wl];
+            if key.step >= rs.min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                continue; // pipeline window closed for this step
+            }
+            let cost = &wl.costs[key.op];
+            let is_candidate = wl.candidates.contains(OpId::new(key.op));
+            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+            else {
+                continue;
+            };
+            let planned = planner.plan_cost(kind, cost);
+            let units = comps.resources_mut(resources).acquire(kind, &planned)?;
+            avail = comps.resources(resources).availability();
+            acc.add(&planned);
+            rs.remove(&key);
+            inflight += 1;
+            let rec = InFlight {
+                wl: key.wl,
+                step: key.step,
+                op: key.op,
+                kind,
+                charge: planned,
+                units,
+                attempt: 0,
+                outcome: AttemptOutcome::Completed,
+                start: clock.now(),
+                inflight_at_dispatch: inflight,
+                candidate: is_candidate,
+                live: true,
+            };
+            // Record the end at the same femtosecond quantization the
+            // event heap uses, so timeline intervals match the actual
+            // resource hold times exactly.
+            let seq = comps.next_seq();
+            let end_fs = comps
+                .lanes_mut(lanes)
+                .dispatch(clock.now() + planned.duration, rec, seq);
+            let entry = TimelineEntry {
+                workload: key.wl,
+                step: key.step,
+                op: key.op,
+                start: clock.now(),
+                end: Clock::from_fs(end_fs),
+                resource: resource_class(&planned),
+                ff_units: units,
+                attempt: 0,
+                outcome: AttemptOutcome::Completed,
+            };
+            comps.observer(watch).record_op(&OpRecord {
+                entry,
+                planned: &planned,
+                kind,
+                cost,
+                name: wl.spec.graph.ops()[key.op].kind.tf_name(),
+                candidate: is_candidate,
+                inflight,
+            });
+            if units > 0 {
+                comps.observer(watch).ff_delta(clock.now(), units as isize);
+            }
+        }
+
+        // Anything still ready is stalled: either the Fig. 7 registers
+        // showed no free resources, or its step sits outside the pipeline
+        // window.
+        if !rs.ready.is_empty() {
+            let window_closed = rs.window_closed(planner.cfg.pipeline_depth);
+            let resource_waiting = rs.ready.len() - window_closed;
+            if resource_waiting > 0 {
+                let avail = comps.resources(resources).availability();
+                comps
+                    .observer(watch)
+                    .stall(clock.now(), resource_waiting, window_closed, avail);
+            }
+        }
+
+        let Some(next) = comps.earliest() else {
+            if completed < total_instances {
+                return Err(PimError::internal(format!(
+                    "scheduler wedged with {completed} of {total_instances} instances done"
+                )));
+            }
+            break;
+        };
+        let Some((t_fs, retired)) = comps.advance(next) else {
+            unreachable!("earliest() only returns components with a pending tick")
+        };
+        clock.jump_to_fs(t_fs);
+        let Retired::Op(done) = retired else {
+            return Err(PimError::internal(
+                "zero-fault event core retired a non-op event",
+            ));
+        };
+        comps.resources_mut(resources).release(
+            done.units,
+            done.charge.uses_cpu,
+            done.charge.uses_progr,
+        );
+        completed += 1;
+        inflight -= 1;
+        comps.observer(watch).completed();
+        if done.units > 0 {
+            comps
+                .observer(watch)
+                .ff_delta(clock.now(), -(done.units as isize));
+        }
+
+        rs.complete(prepared, done.wl, done.step, done.op);
+    }
+    let barrier_total: Seconds = prepared
+        .iter()
+        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
+        .sum();
+    // The CPU-side runtime makes one placement decision per op instance
+    // (register queries through the Table III APIs); this serial work is
+    // not hidden by the pipeline.
+    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
+        PLACEMENT_DECISION * total_instances as f64
+    } else {
+        Seconds::ZERO
+    };
+    acc.sync_raw += barrier_total + decisions;
+    let makespan = clock.now() + barrier_total + decisions;
+    comps.observer(watch).barrier(makespan, barrier_total);
+    comps.observer(watch).decision(decisions);
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, makespan))
+}
+
+/// Applies one permanent strike to the serialized driver's alive-state.
+fn apply_strike_serial(
+    target: FaultTarget,
+    ff_alive: &mut usize,
+    progr_alive: &mut bool,
+    obs: &mut Observer<'_>,
+    at: Seconds,
+) {
+    match target {
+        FaultTarget::FixedUnits(n) => {
+            let n = n.min(*ff_alive);
+            *ff_alive -= n;
+            obs.quarantine(at, "ff units", n);
+        }
+        FaultTarget::ProgrPim => {
+            *progr_alive = false;
+            obs.quarantine(at, "progr pim", 1);
+        }
+    }
+}
+
+/// Sequential execution under a fault plan: the same topological order as
+/// [`run_serialized`], with per-attempt fault fates, bounded retry with
+/// exponential backoff, timeout re-dispatch, and permanent strikes taking
+/// effect at their scheduled times. Aborted attempts are charged for the
+/// fraction of the work the device actually performed.
+pub(crate) fn run_serialized_faulted(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+    faults: &FaultContext,
+) -> Result<ExecutionReport> {
+    let mut acc = Accumulator::default();
+    let mut clock = Clock::new();
+    let mut ff_alive = planner.cfg.ff_units - faults.initial_ff;
+    let mut progr_alive = !faults.initial_progr_dead;
+    if faults.initial_ff > 0 {
+        obs.quarantine(clock.now(), "ff units", faults.initial_ff);
+    }
+    if faults.initial_progr_dead {
+        obs.quarantine(clock.now(), "progr pim", 1);
+    }
+    let mut next_strike = 0usize;
+    for (w, wl) in prepared.iter().enumerate() {
+        let ops = wl.spec.graph.ops();
+        for step in 0..wl.spec.steps {
+            for &op in &wl.topo {
+                let cost = &wl.costs[op];
+                let is_candidate = wl.candidates.contains(OpId::new(op));
+                let mut attempt = 0u32;
+                loop {
+                    // Strikes due by now take effect before placement.
+                    while let Some(s) = faults.strikes.get(next_strike).copied() {
+                        if s.at > clock.now() {
+                            break;
+                        }
+                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
+                        next_strike += 1;
+                    }
+                    let avail = Availability {
+                        cpu_free: true,
+                        progr_free: progr_alive,
+                        ff_free: ff_alive,
+                        ff_alive,
+                        progr_alive,
+                    };
+                    let kind = planner
+                        .choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+                        .ok_or_else(|| {
+                            PimError::internal("serialized placement found no device")
+                        })?;
+                    let mut charge = planner.plan_cost(kind, cost);
+                    let lane = lane_for(charge.ff_units, charge.uses_progr);
+                    if let Some(l) = lane {
+                        let m = faults.plan.latency_multiplier(l, clock.now());
+                        if m > 1.0 {
+                            charge = stretch_planned(&charge, m);
+                        }
+                    }
+                    let mut outcome = match decide(&faults.plan, lane, w, step, op, attempt) {
+                        Fate::Complete => AttemptOutcome::Completed,
+                        Fate::Transient(frac) => {
+                            charge = scale_planned(&charge, frac);
+                            AttemptOutcome::Transient
+                        }
+                        Fate::TimedOut => {
+                            charge = extend_timeout(&charge);
+                            AttemptOutcome::TimedOut
+                        }
+                    };
+                    let start = clock.now();
+                    let mut end = start + charge.duration;
+                    // A strike landing inside the attempt kills it at the
+                    // strike instant when it takes the resources under it.
+                    while let Some(s) = faults.strikes.get(next_strike).copied() {
+                        if s.at >= end {
+                            break;
+                        }
+                        let idle = match s.target {
+                            FaultTarget::FixedUnits(_) => ff_alive.saturating_sub(charge.ff_units),
+                            FaultTarget::ProgrPim => 0,
+                        };
+                        let kills = FaultContext::strike_kills(
+                            s.target,
+                            charge.ff_units,
+                            charge.uses_progr,
+                            idle,
+                        );
+                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
+                        next_strike += 1;
+                        if kills {
+                            let dur = charge.duration.seconds();
+                            let frac = if dur > 0.0 {
+                                ((s.at - start).seconds() / dur).clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
+                            charge = scale_planned(&charge, frac);
+                            end = s.at.max(start);
+                            outcome = AttemptOutcome::Killed;
+                            obs.killed(s.at, w, step, op);
+                            break;
+                        }
+                    }
+                    acc.add(&charge);
+                    let entry = TimelineEntry {
+                        workload: w,
+                        step,
+                        op,
+                        start,
+                        end,
+                        resource: resource_class(&charge),
+                        ff_units: charge.ff_units,
+                        attempt,
+                        outcome,
+                    };
+                    obs.record_op(&OpRecord {
+                        entry,
+                        planned: &charge,
+                        kind,
+                        cost,
+                        name: ops[op].kind.tf_name(),
+                        candidate: is_candidate,
+                        inflight: 1,
+                    });
+                    if charge.ff_units > 0 {
+                        obs.ff_delta(start, charge.ff_units as isize);
+                    }
+                    clock.advance(end - start);
+                    if charge.ff_units > 0 {
+                        obs.ff_delta(clock.now(), -(charge.ff_units as isize));
+                    }
+                    if planner.cfg.mode == SystemMode::Hetero {
+                        clock.advance(PLACEMENT_DECISION);
+                        acc.sync_raw += PLACEMENT_DECISION;
+                        obs.decision(PLACEMENT_DECISION);
+                    }
+                    match outcome {
+                        AttemptOutcome::Completed => {
+                            obs.completed();
+                            break;
+                        }
+                        AttemptOutcome::Transient => {
+                            obs.fault(end, "transient", w, step, op);
+                            obs.retried();
+                            let backoff = backoff_after(attempt);
+                            clock.advance(backoff);
+                            acc.sync_raw += backoff;
+                        }
+                        AttemptOutcome::TimedOut => {
+                            obs.fault(end, "timed-out", w, step, op);
+                            obs.redispatched();
+                        }
+                        AttemptOutcome::Killed => {
+                            obs.retried();
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+            clock.advance(STEP_BARRIER);
+            acc.sync_raw += STEP_BARRIER;
+            obs.barrier(clock.now(), STEP_BARRIER);
+        }
+    }
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, clock.now()))
+}
+
+/// Event-driven execution under a fault plan. Structured like
+/// [`run_scheduled`] — same ready set, pipeline window, and availability
+/// snapshots — with three differences: an attempt's fate is decided at
+/// dispatch, charging and recording are deferred to the attempt's end (so
+/// kills bill only the work actually performed), and permanent strikes are
+/// delivered by the link/sync component as events that kill the in-flight
+/// attempts under them.
+pub(crate) fn run_scheduled_faulted(
+    planner: &Planner,
+    prepared: &[Prepared<'_>],
+    obs: &mut Observer<'_>,
+    faults: &FaultContext,
+) -> Result<ExecutionReport> {
+    let mut rs = ReadySet::new(prepared);
+    // Attempt counter per instance (indexed step * ops + op).
+    let mut attempts: Vec<Vec<u32>> = prepared
+        .iter()
+        .map(|wl| vec![0u32; wl.spec.steps * wl.deps.len()])
+        .collect();
+
+    let mut comps = ComponentSlab::new();
+    let resources = comps.register(Comp::Resources(ResourceSoA::new(planner)));
+    let lanes = comps.register(Comp::Lanes(DeviceLanes::new()));
+    let sync = comps.register(Comp::Sync(SyncLink::new()));
+    let watch = comps.register(Comp::Observer(obs));
+
+    if faults.initial_ff > 0 {
+        comps
+            .resources_mut(resources)
+            .quarantine_ff(faults.initial_ff)?;
+        comps
+            .observer(watch)
+            .quarantine(Seconds::ZERO, "ff units", faults.initial_ff);
+    }
+    if faults.initial_progr_dead {
+        comps.resources_mut(resources).quarantine_progr();
+        comps
+            .observer(watch)
+            .quarantine(Seconds::ZERO, "progr pim", 1);
+    }
+    for (i, s) in faults.strikes.iter().enumerate() {
+        let seq = comps.next_seq();
+        comps.sync_mut(sync).schedule_strike(s.at, i, seq);
+    }
+
+    let mut clock = Clock::new();
+    let mut acc = Accumulator::default();
+    let total_instances: usize = prepared
+        .iter()
+        .map(|wl| wl.spec.steps * wl.topo.len())
+        .sum();
+    let mut completed = 0usize;
+    let mut inflight = 0usize;
+    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
+
+    while completed < total_instances {
+        let max_window = prepared
+            .iter()
+            .enumerate()
+            .map(|(w, _)| rs.min_incomplete[w] + planner.cfg.pipeline_depth)
+            .max()
+            .unwrap_or(0);
+        scan.clear();
+        scan.extend(rs.ready.iter().take_while(|k| k.step < max_window).copied());
+        let mut avail = comps.resources(resources).availability();
+        for &key in &scan {
+            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
+                break;
+            }
+            let wl = &prepared[key.wl];
+            if key.step >= rs.min_incomplete[key.wl] + planner.cfg.pipeline_depth {
+                continue;
+            }
+            let cost = &wl.costs[key.op];
+            let is_candidate = wl.candidates.contains(OpId::new(key.op));
+            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
+            else {
+                continue;
+            };
+            let mut charge = planner.plan_cost(kind, cost);
+            let lane = lane_for(charge.ff_units, charge.uses_progr);
+            if let Some(l) = lane {
+                let m = faults.plan.latency_multiplier(l, clock.now());
+                if m > 1.0 {
+                    charge = stretch_planned(&charge, m);
+                }
+            }
+            let attempt = attempts[key.wl][key.step * wl.deps.len() + key.op];
+            let outcome = match decide(&faults.plan, lane, key.wl, key.step, key.op, attempt) {
+                Fate::Complete => AttemptOutcome::Completed,
+                Fate::Transient(frac) => {
+                    charge = scale_planned(&charge, frac);
+                    AttemptOutcome::Transient
+                }
+                Fate::TimedOut => {
+                    charge = extend_timeout(&charge);
+                    AttemptOutcome::TimedOut
+                }
+            };
+            let units = comps.resources_mut(resources).acquire(kind, &charge)?;
+            avail = comps.resources(resources).availability();
+            rs.remove(&key);
+            inflight += 1;
+            let rec = InFlight {
+                wl: key.wl,
+                step: key.step,
+                op: key.op,
+                kind,
+                charge,
+                units,
+                attempt,
+                outcome,
+                start: clock.now(),
+                inflight_at_dispatch: inflight,
+                candidate: is_candidate,
+                live: true,
+            };
+            let seq = comps.next_seq();
+            comps
+                .lanes_mut(lanes)
+                .dispatch(clock.now() + charge.duration, rec, seq);
+            if units > 0 {
+                comps.observer(watch).ff_delta(clock.now(), units as isize);
+            }
+        }
+
+        if !rs.ready.is_empty() {
+            let window_closed = rs.window_closed(planner.cfg.pipeline_depth);
+            let resource_waiting = rs.ready.len() - window_closed;
+            if resource_waiting > 0 {
+                let avail = comps.resources(resources).availability();
+                comps
+                    .observer(watch)
+                    .stall(clock.now(), resource_waiting, window_closed, avail);
+            }
+        }
+
+        let Some(next) = comps.earliest() else {
+            if completed < total_instances {
+                return Err(PimError::internal(format!(
+                    "faulted scheduler wedged with {completed} of {total_instances} \
+                     instances done"
+                )));
+            }
+            break;
+        };
+        let Some((t_fs, retired)) = comps.advance(next) else {
+            unreachable!("earliest() only returns components with a pending tick")
+        };
+        clock.jump_to_fs(t_fs);
+        match retired {
+            Retired::Stale => continue, // killed by a strike; already accounted
+            Retired::Op(rec) => {
+                comps.resources_mut(resources).release(
+                    rec.units,
+                    rec.charge.uses_cpu,
+                    rec.charge.uses_progr,
+                );
+                inflight -= 1;
+                if rec.units > 0 {
+                    comps
+                        .observer(watch)
+                        .ff_delta(clock.now(), -(rec.units as isize));
+                }
+                acc.add(&rec.charge);
+                let wl = &prepared[rec.wl];
+                let entry = TimelineEntry {
+                    workload: rec.wl,
+                    step: rec.step,
+                    op: rec.op,
+                    start: rec.start,
+                    end: clock.now(),
+                    resource: resource_class(&rec.charge),
+                    ff_units: rec.units,
+                    attempt: rec.attempt,
+                    outcome: rec.outcome,
+                };
+                comps.observer(watch).record_op(&OpRecord {
+                    entry,
+                    planned: &rec.charge,
+                    kind: rec.kind,
+                    cost: &wl.costs[rec.op],
+                    name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
+                    candidate: rec.candidate,
+                    inflight: rec.inflight_at_dispatch,
+                });
+                match rec.outcome {
+                    AttemptOutcome::Completed => {
+                        completed += 1;
+                        comps.observer(watch).completed();
+                        rs.complete(prepared, rec.wl, rec.step, rec.op);
+                    }
+                    AttemptOutcome::Transient => {
+                        comps.observer(watch).fault(
+                            clock.now(),
+                            "transient",
+                            rec.wl,
+                            rec.step,
+                            rec.op,
+                        );
+                        comps.observer(watch).retried();
+                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                        let seq = comps.next_seq();
+                        comps.sync_mut(sync).schedule_retry(
+                            clock.now() + backoff_after(rec.attempt),
+                            rec.wl,
+                            rec.step,
+                            rec.op,
+                            seq,
+                        );
+                    }
+                    AttemptOutcome::TimedOut => {
+                        comps.observer(watch).fault(
+                            clock.now(),
+                            "timed-out",
+                            rec.wl,
+                            rec.step,
+                            rec.op,
+                        );
+                        comps.observer(watch).redispatched();
+                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                        rs.insert(Key {
+                            step: rec.step,
+                            rank: wl.rank[rec.op],
+                            wl: rec.wl,
+                            op: rec.op,
+                        });
+                    }
+                    AttemptOutcome::Killed => {
+                        unreachable!("live in-flight records never carry Killed")
+                    }
+                }
+            }
+            Retired::Retry { wl, step, op } => {
+                rs.insert(Key {
+                    step,
+                    rank: prepared[wl].rank[op],
+                    wl,
+                    op,
+                });
+            }
+            Retired::Strike(i) => {
+                let s = faults.strikes[i];
+                let lost = match s.target {
+                    FaultTarget::FixedUnits(n) => n.min(comps.resources(resources).alive_ff()),
+                    FaultTarget::ProgrPim => 0,
+                };
+                // Kill the in-flight attempts the strike lands on, earliest
+                // dispatch first, until the lost resources are idle.
+                loop {
+                    let need_kill = match s.target {
+                        FaultTarget::FixedUnits(_) => comps.resources(resources).free_ff() < lost,
+                        FaultTarget::ProgrPim => {
+                            comps.lanes(lanes).any_live(|r| r.charge.uses_progr)
+                        }
+                    };
+                    if !need_kill {
+                        break;
+                    }
+                    let victim = comps.lanes(lanes).victim(|r| match s.target {
+                        FaultTarget::FixedUnits(_) => r.units > 0,
+                        FaultTarget::ProgrPim => r.charge.uses_progr,
+                    });
+                    let Some(v) = victim else { break };
+                    let rec = comps.lanes(lanes).record(v);
+                    comps.lanes_mut(lanes).kill(v);
+                    comps.resources_mut(resources).release(
+                        rec.units,
+                        rec.charge.uses_cpu,
+                        rec.charge.uses_progr,
+                    );
+                    inflight -= 1;
+                    if rec.units > 0 {
+                        comps
+                            .observer(watch)
+                            .ff_delta(clock.now(), -(rec.units as isize));
+                    }
+                    let dur = rec.charge.duration.seconds();
+                    let frac = if dur > 0.0 {
+                        ((clock.now() - rec.start).seconds() / dur).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let partial = scale_planned(&rec.charge, frac);
+                    acc.add(&partial);
+                    let wl = &prepared[rec.wl];
+                    let entry = TimelineEntry {
+                        workload: rec.wl,
+                        step: rec.step,
+                        op: rec.op,
+                        start: rec.start,
+                        end: clock.now(),
+                        resource: resource_class(&rec.charge),
+                        ff_units: rec.units,
+                        attempt: rec.attempt,
+                        outcome: AttemptOutcome::Killed,
+                    };
+                    comps.observer(watch).record_op(&OpRecord {
+                        entry,
+                        planned: &partial,
+                        kind: rec.kind,
+                        cost: &wl.costs[rec.op],
+                        name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
+                        candidate: rec.candidate,
+                        inflight: rec.inflight_at_dispatch,
+                    });
+                    comps
+                        .observer(watch)
+                        .killed(clock.now(), rec.wl, rec.step, rec.op);
+                    comps.observer(watch).retried();
+                    attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
+                    rs.insert(Key {
+                        step: rec.step,
+                        rank: wl.rank[rec.op],
+                        wl: rec.wl,
+                        op: rec.op,
+                    });
+                }
+                match s.target {
+                    FaultTarget::FixedUnits(_) => {
+                        comps.resources_mut(resources).quarantine_ff(lost)?;
+                        comps
+                            .observer(watch)
+                            .quarantine(clock.now(), "ff units", lost);
+                    }
+                    FaultTarget::ProgrPim => {
+                        comps.resources_mut(resources).quarantine_progr();
+                        comps
+                            .observer(watch)
+                            .quarantine(clock.now(), "progr pim", 1);
+                    }
+                }
+            }
+            Retired::Idle => {
+                unreachable!("passive components never win the earliest-tick race")
+            }
+        }
+    }
+    let barrier_total: Seconds = prepared
+        .iter()
+        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
+        .sum();
+    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
+        PLACEMENT_DECISION * total_instances as f64
+    } else {
+        Seconds::ZERO
+    };
+    acc.sync_raw += barrier_total + decisions;
+    let makespan = clock.now() + barrier_total + decisions;
+    comps.observer(watch).barrier(makespan, barrier_total);
+    comps.observer(watch).decision(decisions);
+    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
+    Ok(acc.into_report(planner, steps, makespan))
+}
+
+/// One standalone device executing a step stream back-to-back — the
+/// analytic baselines (GPU, Neurocube) driven through the same event core
+/// and report path as the engine configurations.
+pub struct DeviceRun<'a> {
+    /// Configuration name for the report.
+    pub system: &'a str,
+    /// The device executing every op.
+    pub device: &'a dyn Device,
+    /// Per-op cost profiles in execution order.
+    pub costs: &'a [pim_tensor::cost::CostProfile],
+    /// Training steps.
+    pub steps: usize,
+    /// Extra data-movement time appended to each step (e.g. the GPU's
+    /// unhidden PCIe staging and working-set spill).
+    pub step_epilogue_dm: Seconds,
+    /// Extra energy charged per step (e.g. PCIe transfer energy).
+    pub step_epilogue_energy: Joules,
+}
+
+/// Runs one device serially over `steps` repetitions of its op stream.
+///
+/// Per op: `op = compute time`, `dm = memory-bound excess`,
+/// `sync = dispatch`, with the device's own estimate deciding each split;
+/// the step epilogue is accounted as data movement. Host idle power is
+/// always charged — a standalone accelerator leaves the host package
+/// powered but out of the compute path.
+pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TimelineSink) -> ExecutionReport {
+    let mut clock = Clock::new();
+    let mut op_raw = Seconds::ZERO;
+    let mut dm_raw = Seconds::ZERO;
+    let mut sync_raw = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    for step in 0..run.steps {
+        for (op, cost) in run.costs.iter().enumerate() {
+            debug_assert!(run.device.accepts(cost), "device rejects op {op}");
+            let est = run.device.estimate(cost);
+            let busy = est.compute_time.max(est.memory_time);
+            let duration = busy + est.dispatch_time;
+            op_raw += est.compute_time;
+            dm_raw += busy - est.compute_time;
+            sync_raw += est.dispatch_time;
+            energy += est.energy;
+            sink.record(TimelineEntry {
+                workload: 0,
+                step,
+                op,
+                start: clock.now(),
+                end: clock.now() + duration,
+                resource: ResourceClass::Baseline,
+                ff_units: 0,
+                attempt: 0,
+                outcome: AttemptOutcome::Completed,
+            });
+            clock.advance(duration);
+        }
+        clock.advance(run.step_epilogue_dm);
+        dm_raw += run.step_epilogue_dm;
+        energy += run.step_epilogue_energy;
+    }
+    let makespan = clock.now();
+    ReportBuilder::new(run.system, run.steps)
+        .makespan(makespan)
+        .raw_parts(op_raw, dm_raw, sync_raw)
+        .device_energy(energy)
+        .charge_host_idle()
+        .device_busy(run.device.name(), makespan)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::VecSink;
+    use pim_common::units::Bytes;
+    use pim_hw::cpu::CpuDevice;
+    use pim_tensor::cost::{CostProfile, OffloadClass};
+
+    #[test]
+    fn device_serial_run_traces_and_balances() {
+        let cpu = CpuDevice::xeon_e5_2630_v3();
+        let costs = vec![
+            CostProfile::compute(
+                1e9,
+                1e9,
+                0.0,
+                Bytes::new(1e7),
+                Bytes::new(1e7),
+                OffloadClass::FullyMulAdd,
+                64,
+            );
+            3
+        ];
+        let run = DeviceRun {
+            system: "test-baseline",
+            device: &cpu,
+            costs: &costs,
+            steps: 2,
+            step_epilogue_dm: Seconds::new(1e-3),
+            step_epilogue_energy: Joules::new(0.5),
+        };
+        let mut sink = VecSink::default();
+        let report = run_device_serial(&run, &mut sink);
+        let timeline = sink.into_entries();
+        assert_eq!(timeline.len(), 6);
+        assert!(timeline
+            .iter()
+            .all(|e| e.resource == ResourceClass::Baseline));
+        // Contiguous, non-overlapping execution within each step.
+        for pair in timeline.windows(2) {
+            assert!(pair[1].start >= pair[0].end);
+        }
+        assert!(report.is_well_formed());
+        // The per-step epilogue is billed as data movement.
+        assert!(report.data_movement_time >= Seconds::new(2e-3));
+        assert_eq!(report.device_busy[cpu.params().name], report.makespan);
+    }
+}

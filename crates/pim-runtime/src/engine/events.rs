@@ -1,2074 +1,23 @@
-//! The shared event core: clock, event heap, resource state, tracing, and
-//! the execution drivers every configuration runs through.
+//! Facade over the component-based discrete-event core.
 //!
-//! Three drivers cover the whole evaluation:
+//! This module once held the whole event core in one file; it is now
+//! split by concern and re-exported here so existing paths keep working:
 //!
-//! * [`run_serialized`] — one op at a time in topological order (the
-//!   "without runtime scheduling" configurations),
-//! * [`run_scheduled`] — the event-driven operation pipeline (§III-C),
-//! * [`run_device_serial`] — a single [`Device`] executing the step stream
-//!   back-to-back (the analytic GPU and Neurocube baselines in `pim-sim`).
+//! * [`components`](super::components) — the [`Component`] trait
+//!   (`next_tick()`/`advance(to)`), the per-device lanes, the link/sync
+//!   model, the flat SoA resource state, the component slab, the clock,
+//!   and the event heap,
+//! * [`observe`](super::observe) — timeline sinks and the driver-facing
+//!   `Observer`,
+//! * [`drivers`](super::drivers) — the execution drivers every
+//!   configuration runs through.
 //!
-//! All three account time and energy through the same [`Accumulator`] and
-//! build their result exclusively via [`ReportBuilder`], and all three emit
-//! per-op [`TimelineEntry`] records to a pluggable [`TimelineSink`]. The
-//! engine drivers additionally observe execution through an [`Observer`]:
-//! counters always, Chrome-trace spans when the `trace` feature is on.
+//! [`Component`]: super::components::Component
 
-use super::faults::{
-    backoff_after, decide, extend_timeout, lane_for, scale_planned, stretch_planned,
-    AttemptOutcome, Fate, FaultContext,
+pub use super::components::PROGR_KERNEL_SLOTS;
+pub use super::drivers::{run_device_serial, DeviceRun};
+pub(crate) use super::drivers::{
+    run_scheduled, run_scheduled_faulted, run_serialized, run_serialized_faulted,
 };
-use super::placement::{
-    resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
-};
-use super::{Prepared, SystemMode};
-use crate::stats::{ExecutionReport, ReportBuilder};
-use crate::sync::STEP_BARRIER;
-use pim_common::ids::{BankId, OpId};
-use pim_common::trace::{Counters, Track};
-use pim_common::units::{Joules, Seconds};
-use pim_common::{PimError, Result};
-use pim_hw::device::Device;
-use pim_hw::faults::FaultTarget;
-use pim_hw::fixed::FixedFunctionPool;
-use pim_hw::registers::StatusRegisters;
-use pim_mem::traffic::TrafficStats;
-use pim_tensor::cost::CostProfile;
-use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
-
-#[cfg(feature = "trace")]
-use super::placement::describe;
-#[cfg(feature = "trace")]
-use crate::sync::kernel_calls;
-#[cfg(feature = "trace")]
-use pim_common::trace::TraceEvent;
-
-/// Which exclusive resource class an op instance occupied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum ResourceClass {
-    /// The host CPU slot.
-    Cpu,
-    /// A programmable-PIM kernel slot.
-    Progr,
-    /// Fixed-function units only.
-    Fixed,
-    /// CPU + fixed-function units (host-driven split).
-    CpuAndFixed,
-    /// Programmable PIM + fixed-function units (recursive kernel).
-    ProgrAndFixed,
-    /// A standalone baseline device (GPU, Neurocube) outside the
-    /// heterogeneous stack.
-    Baseline,
-}
-
-/// One scheduled op instance on the execution timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct TimelineEntry {
-    /// Workload index.
-    pub workload: usize,
-    /// Training step.
-    pub step: usize,
-    /// Operation index within the graph.
-    pub op: usize,
-    /// Start time.
-    pub start: Seconds,
-    /// Completion time.
-    pub end: Seconds,
-    /// Resource class occupied.
-    pub resource: ResourceClass,
-    /// Fixed-function units held for the whole interval (0 for pure
-    /// CPU/programmable placements and baseline devices).
-    pub ff_units: usize,
-    /// Which attempt of the instance this is (0 in fault-free runs).
-    pub attempt: u32,
-    /// How the attempt ended ([`AttemptOutcome::Completed`] in fault-free
-    /// runs).
-    pub outcome: AttemptOutcome,
-}
-
-/// Receives one [`TimelineEntry`] per executed op instance.
-///
-/// The drivers emit entries as they commit ops to the clock; a sink can
-/// collect them ([`VecSink`]), stream them elsewhere, or drop them
-/// ([`NullSink`]) when only the report matters. (Span-level tracing for
-/// Chrome-trace export is a separate concern — see
-/// [`pim_common::trace::TraceSink`].)
-pub trait TimelineSink {
-    /// Records one committed op instance.
-    fn record(&mut self, entry: TimelineEntry);
-}
-
-/// Discards every entry — timeline collection disabled.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullSink;
-
-impl TimelineSink for NullSink {
-    fn record(&mut self, _entry: TimelineEntry) {}
-}
-
-/// Collects the full timeline in memory.
-#[derive(Debug, Default)]
-pub struct VecSink {
-    entries: Vec<TimelineEntry>,
-}
-
-impl TimelineSink for VecSink {
-    fn record(&mut self, entry: TimelineEntry) {
-        self.entries.push(entry);
-    }
-}
-
-impl VecSink {
-    /// The collected timeline, in commit order.
-    pub fn into_entries(self) -> Vec<TimelineEntry> {
-        self.entries
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Observability: track layout, counters, and the driver-facing Observer.
-// ---------------------------------------------------------------------------
-
-/// The single trace process every engine run records under.
-pub(crate) const TRACE_PID: u32 = 1;
-
-/// Scheduler track: placement/selection instants, stalls, barriers.
-pub(crate) const SCHED_TRACK: Track = Track::new(TRACE_PID, 1);
-
-/// Fixed-function occupancy counter track.
-#[cfg(feature = "trace")]
-pub(crate) const FF_TRACK: Track = Track::new(TRACE_PID, 2);
-
-/// First thread id of each resource class's span lanes; overlapping spans
-/// of one class fan out to `base + lane`.
-#[cfg(feature = "trace")]
-fn class_base_tid(class: ResourceClass) -> u32 {
-    match class {
-        ResourceClass::Cpu => 1000,
-        ResourceClass::Progr => 2000,
-        ResourceClass::Fixed => 3000,
-        ResourceClass::CpuAndFixed => 4000,
-        ResourceClass::ProgrAndFixed => 5000,
-        ResourceClass::Baseline => 6000,
-    }
-}
-
-/// Stable display label of a resource class (also the counter-key suffix
-/// under `ops/`).
-#[cfg(feature = "trace")]
-pub(crate) fn class_label(class: ResourceClass) -> &'static str {
-    match class {
-        ResourceClass::Cpu => "CPU",
-        ResourceClass::Progr => "Progr PIM",
-        ResourceClass::Fixed => "Fixed PIM",
-        ResourceClass::CpuAndFixed => "CPU+Fixed",
-        ResourceClass::ProgrAndFixed => "Progr+Fixed",
-        ResourceClass::Baseline => "Baseline",
-    }
-}
-
-/// Stable display label of an attempt outcome (trace span/instant args).
-#[cfg(feature = "trace")]
-fn outcome_label(outcome: AttemptOutcome) -> &'static str {
-    match outcome {
-        AttemptOutcome::Completed => "completed",
-        AttemptOutcome::Transient => "transient",
-        AttemptOutcome::TimedOut => "timed-out",
-        AttemptOutcome::Killed => "killed",
-    }
-}
-
-/// Dense index of a resource class (counter slots, lane tables).
-fn class_index(class: ResourceClass) -> usize {
-    match class {
-        ResourceClass::Cpu => 0,
-        ResourceClass::Progr => 1,
-        ResourceClass::Fixed => 2,
-        ResourceClass::CpuAndFixed => 3,
-        ResourceClass::ProgrAndFixed => 4,
-        ResourceClass::Baseline => 5,
-    }
-}
-
-/// Interned `ops/<class>` counter keys — the hot path must not build a
-/// fresh `String` per committed op.
-const OPS_COUNTER_KEYS: [&str; 6] = [
-    "ops/CPU",
-    "ops/Progr PIM",
-    "ops/Fixed PIM",
-    "ops/CPU+Fixed",
-    "ops/Progr+Fixed",
-    "ops/Baseline",
-];
-
-/// Everything the [`Observer`] needs to know about one committed op.
-pub(crate) struct OpRecord<'c> {
-    pub entry: TimelineEntry,
-    pub planned: &'c PlannedOp,
-    pub kind: PlanKind,
-    pub cost: &'c CostProfile,
-    pub name: &'static str,
-    pub candidate: bool,
-    /// Op instances in flight at commit time (OP pipeline occupancy,
-    /// including this one).
-    pub inflight: usize,
-}
-
-/// Per-class greedy lane assignment for overlapping spans.
-///
-/// Spans arrive in non-decreasing start order (the drivers only move the
-/// clock forward), so first-fit against lane end times is deterministic
-/// and optimal enough for a readable timeline.
-#[cfg(feature = "trace")]
-#[derive(Default)]
-struct Lanes {
-    /// Quantized end time of the last span per lane, per resource class.
-    ends: [Vec<u128>; 6],
-}
-
-#[cfg(feature = "trace")]
-impl Lanes {
-    fn class_index(class: ResourceClass) -> usize {
-        match class {
-            ResourceClass::Cpu => 0,
-            ResourceClass::Progr => 1,
-            ResourceClass::Fixed => 2,
-            ResourceClass::CpuAndFixed => 3,
-            ResourceClass::ProgrAndFixed => 4,
-            ResourceClass::Baseline => 5,
-        }
-    }
-
-    /// Assigns a lane for `[start, end]`; `true` when the lane is new.
-    fn assign(&mut self, class: ResourceClass, start: Seconds, end: Seconds) -> (usize, bool) {
-        let ends = &mut self.ends[Self::class_index(class)];
-        let start_fs = Clock::to_fs(start);
-        let end_fs = Clock::to_fs(end);
-        for (lane, lane_end) in ends.iter_mut().enumerate() {
-            if *lane_end <= start_fs {
-                *lane_end = end_fs;
-                return (lane, false);
-            }
-        }
-        ends.push(end_fs);
-        (ends.len() - 1, true)
-    }
-}
-
-/// The drivers' window into the observability layer.
-///
-/// Always feeds the per-instance [`TimelineSink`], the [`Counters`]
-/// registry, and the [`TrafficStats`] accumulator; with the `trace`
-/// feature enabled it additionally emits Chrome-trace spans, instants, and
-/// counter samples to a [`pim_common::trace::TraceSink`]. With the feature
-/// off the trace half compiles away entirely.
-pub(crate) struct Observer<'a> {
-    timeline: &'a mut dyn TimelineSink,
-    counters: &'a mut Counters,
-    traffic: TrafficStats,
-    ff_units_total: usize,
-    ff_busy_units: usize,
-    hot: HotCounters,
-    #[cfg(feature = "trace")]
-    tracer: &'a mut dyn pim_common::trace::TraceSink,
-    #[cfg(feature = "trace")]
-    lanes: Lanes,
-}
-
-/// Per-event counter updates accumulated in plain fields and flushed to the
-/// [`Counters`] registry once in [`Observer::finish`], so the hot path does
-/// no string formatting or map lookups. Sums are built by the same sequence
-/// of f64 additions the registry would have performed, so the flushed
-/// totals are bit-identical; a key is only materialized when it was touched,
-/// matching the registry's insert-on-first-use behavior.
-#[derive(Default)]
-struct HotCounters {
-    dispatched: u64,
-    completed: u64,
-    stalls: u64,
-    ops: [u64; 6],
-    busy_cpu: f64,
-    busy_cpu_touched: bool,
-    busy_progr: f64,
-    busy_progr_touched: bool,
-    busy_ff: f64,
-    busy_ff_touched: bool,
-    barrier_seconds: f64,
-    barrier_touched: bool,
-    decision_seconds: f64,
-    decision_touched: bool,
-    faults_injected: u64,
-    retries: u64,
-    redispatches: u64,
-    quarantined_units: u64,
-}
-
-impl HotCounters {
-    fn flush(&mut self, counters: &mut Counters) {
-        if self.dispatched > 0 {
-            counters.add("events/dispatched", self.dispatched as f64);
-        }
-        if self.completed > 0 {
-            counters.add("events/completed", self.completed as f64);
-        }
-        if self.stalls > 0 {
-            counters.add("events/stalls", self.stalls as f64);
-        }
-        for (i, &n) in self.ops.iter().enumerate() {
-            if n > 0 {
-                counters.add(OPS_COUNTER_KEYS[i], n as f64);
-            }
-        }
-        if self.busy_cpu_touched {
-            counters.add("busy_seconds/CPU", self.busy_cpu);
-        }
-        if self.busy_progr_touched {
-            counters.add("busy_seconds/Progr PIM", self.busy_progr);
-        }
-        if self.busy_ff_touched {
-            counters.add("busy_seconds/Fixed PIM", self.busy_ff);
-        }
-        if self.barrier_touched {
-            counters.add("sync/barrier_seconds", self.barrier_seconds);
-        }
-        if self.decision_touched {
-            counters.add("sync/decision_seconds", self.decision_seconds);
-        }
-        if self.faults_injected > 0 {
-            counters.add("faults/injected", self.faults_injected as f64);
-        }
-        if self.retries > 0 {
-            counters.add("faults/retries", self.retries as f64);
-        }
-        if self.redispatches > 0 {
-            counters.add("faults/redispatches", self.redispatches as f64);
-        }
-        if self.quarantined_units > 0 {
-            counters.add("faults/quarantined_units", self.quarantined_units as f64);
-        }
-        *self = HotCounters::default();
-    }
-}
-
-impl<'a> Observer<'a> {
-    /// Builds an observer over a timeline sink, a counters registry, and a
-    /// span tracer; `system` labels the trace process.
-    pub fn new(
-        timeline: &'a mut dyn TimelineSink,
-        counters: &'a mut Counters,
-        ff_units_total: usize,
-        tracer: &'a mut dyn pim_common::trace::TraceSink,
-        system: &str,
-    ) -> Self {
-        #[cfg(not(feature = "trace"))]
-        let _ = (tracer, system);
-        #[cfg(feature = "trace")]
-        if tracer.enabled() {
-            tracer.record(TraceEvent::ProcessName {
-                track: Track::new(TRACE_PID, 0),
-                name: format!("hetero-pim engine: {system}"),
-            });
-            tracer.record(TraceEvent::ThreadName {
-                track: SCHED_TRACK,
-                name: "scheduler".to_string(),
-            });
-            tracer.record(TraceEvent::ThreadName {
-                track: FF_TRACK,
-                name: "ff-unit occupancy".to_string(),
-            });
-        }
-        Observer {
-            timeline,
-            counters,
-            traffic: TrafficStats::new(),
-            ff_units_total,
-            ff_busy_units: 0,
-            hot: HotCounters::default(),
-            #[cfg(feature = "trace")]
-            tracer,
-            #[cfg(feature = "trace")]
-            lanes: Lanes::default(),
-        }
-    }
-
-    /// Records one committed op instance: timeline entry, counters,
-    /// traffic, and (feature-gated) a span on its resource-class lane.
-    pub fn record_op(&mut self, rec: &OpRecord<'_>) {
-        self.timeline.record(rec.entry);
-        self.hot.dispatched += 1;
-        let class = rec.entry.resource;
-        self.hot.ops[class_index(class)] += 1;
-        let planned = rec.planned;
-        if planned.uses_cpu {
-            self.hot.busy_cpu += planned.duration.seconds();
-            self.hot.busy_cpu_touched = true;
-        }
-        if planned.uses_progr {
-            self.hot.busy_progr += planned.duration.seconds();
-            self.hot.busy_progr_touched = true;
-        }
-        if planned.ff_units > 0 {
-            self.hot.busy_ff += planned.ff_units as f64 * planned.ff_busy.seconds()
-                / self.ff_units_total.max(1) as f64;
-            self.hot.busy_ff_touched = true;
-        }
-        self.traffic
-            .record(rec.cost.bytes_read, rec.cost.bytes_written);
-        #[cfg(not(feature = "trace"))]
-        let _ = (rec.kind, rec.name, rec.candidate, rec.inflight);
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            let (lane, fresh) = self.lanes.assign(class, rec.entry.start, rec.entry.end);
-            let track = Track::new(TRACE_PID, class_base_tid(class) + lane as u32);
-            if fresh {
-                let label = class_label(class);
-                self.tracer.record(TraceEvent::ThreadName {
-                    track,
-                    name: if lane == 0 {
-                        label.to_string()
-                    } else {
-                        format!("{label} #{}", lane + 1)
-                    },
-                });
-            }
-            let mut args: pim_common::trace::Args = vec![
-                ("wl", rec.entry.workload.into()),
-                ("step", rec.entry.step.into()),
-                ("op", rec.entry.op.into()),
-                ("placement", describe(rec.kind).into()),
-                ("candidate", rec.candidate.into()),
-                ("inflight", rec.inflight.into()),
-            ];
-            if rec.entry.ff_units > 0 {
-                args.push(("ff_units", rec.entry.ff_units.into()));
-            }
-            // Fault-free entries carry no attempt args, keeping zero-fault
-            // traces byte-identical to their pre-fault-model goldens.
-            if rec.entry.attempt > 0 || rec.entry.outcome != AttemptOutcome::Completed {
-                args.push(("attempt", (rec.entry.attempt as usize).into()));
-                args.push(("outcome", outcome_label(rec.entry.outcome).into()));
-            }
-            if matches!(
-                rec.kind,
-                PlanKind::FixedWhole {
-                    rc_runtime: true,
-                    ..
-                } | PlanKind::Recursive { .. }
-            ) {
-                args.push(("rc_calls", kernel_calls(rec.cost.ma_flops()).into()));
-            }
-            self.tracer.record(TraceEvent::Span {
-                track,
-                name: rec.name.to_string(),
-                cat: "op",
-                start: rec.entry.start,
-                end: rec.entry.end,
-                args,
-            });
-        }
-    }
-
-    /// Records one completion event popped off the heap (or, in the
-    /// serialized driver, an op retiring).
-    pub fn completed(&mut self) {
-        self.hot.completed += 1;
-    }
-
-    /// Applies a fixed-function occupancy change and samples the counter
-    /// track.
-    pub fn ff_delta(&mut self, now: Seconds, grant: isize) {
-        self.ff_busy_units = (self.ff_busy_units as isize + grant).max(0) as usize;
-        #[cfg(not(feature = "trace"))]
-        let _ = now;
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Counter {
-                track: FF_TRACK,
-                name: "ff units busy",
-                ts: now,
-                value: self.ff_busy_units as f64,
-            });
-        }
-    }
-
-    /// Records a register-file stall: ready ops that could not be placed
-    /// because the Fig. 7 registers showed no free resources
-    /// (`window_closed` counts ops merely outside the OP pipeline window).
-    pub fn stall(
-        &mut self,
-        now: Seconds,
-        waiting: usize,
-        window_closed: usize,
-        avail: Availability,
-    ) {
-        self.hot.stalls += 1;
-        #[cfg(not(feature = "trace"))]
-        let _ = (now, waiting, window_closed, avail);
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Instant {
-                track: SCHED_TRACK,
-                name: "stall".to_string(),
-                cat: "sched",
-                ts: now,
-                args: vec![
-                    ("waiting", waiting.into()),
-                    ("window_closed", window_closed.into()),
-                    ("cpu_free", avail.cpu_free.into()),
-                    ("progr_free", avail.progr_free.into()),
-                    ("ff_free", avail.ff_free.into()),
-                ],
-            });
-        }
-    }
-
-    /// Records one end-of-step barrier at `now`.
-    pub fn barrier(&mut self, now: Seconds, amount: Seconds) {
-        self.hot.barrier_seconds += amount.seconds();
-        self.hot.barrier_touched = true;
-        #[cfg(not(feature = "trace"))]
-        let _ = now;
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Instant {
-                track: SCHED_TRACK,
-                name: "step barrier".to_string(),
-                cat: "sync",
-                ts: now,
-                args: vec![("seconds", amount.seconds().into())],
-            });
-        }
-    }
-
-    /// Accounts placement-decision time spent by the CPU-side runtime.
-    pub fn decision(&mut self, amount: Seconds) {
-        self.hot.decision_seconds += amount.seconds();
-        self.hot.decision_touched = true;
-    }
-
-    /// Records one injected fault event (transient, timeout, or permanent
-    /// strike) as a counter bump plus a scheduler-track trace instant.
-    pub fn fault(&mut self, now: Seconds, what: &'static str, wl: usize, step: usize, op: usize) {
-        self.hot.faults_injected += 1;
-        #[cfg(not(feature = "trace"))]
-        let _ = (now, what, wl, step, op);
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Instant {
-                track: SCHED_TRACK,
-                name: what.to_string(),
-                cat: "fault",
-                ts: now,
-                args: vec![("wl", wl.into()), ("step", step.into()), ("op", op.into())],
-            });
-        }
-    }
-
-    /// Records a permanent fault quarantining `units` resource units
-    /// (one injected fault event, `units` quarantined units).
-    pub fn quarantine(&mut self, now: Seconds, what: &'static str, units: usize) {
-        self.hot.faults_injected += 1;
-        self.hot.quarantined_units += units as u64;
-        #[cfg(not(feature = "trace"))]
-        let _ = (now, what);
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Instant {
-                track: SCHED_TRACK,
-                name: "quarantine".to_string(),
-                cat: "fault",
-                ts: now,
-                args: vec![("what", what.into()), ("units", units.into())],
-            });
-        }
-    }
-
-    /// Records an in-flight op killed by a permanent strike (the strike
-    /// itself was already counted by [`Observer::quarantine`]).
-    pub fn killed(&mut self, now: Seconds, wl: usize, step: usize, op: usize) {
-        #[cfg(not(feature = "trace"))]
-        let _ = (now, wl, step, op);
-        #[cfg(feature = "trace")]
-        if self.tracer.enabled() {
-            self.tracer.record(TraceEvent::Instant {
-                track: SCHED_TRACK,
-                name: "killed".to_string(),
-                cat: "fault",
-                ts: now,
-                args: vec![("wl", wl.into()), ("step", step.into()), ("op", op.into())],
-            });
-        }
-    }
-
-    /// Counts a retry scheduled after a transient fault or kill.
-    pub fn retried(&mut self) {
-        self.hot.retries += 1;
-    }
-
-    /// Counts a re-dispatch after a link timeout.
-    pub fn redispatched(&mut self) {
-        self.hot.redispatches += 1;
-    }
-
-    /// Flushes deferred accounting (hot counters, traffic totals) into the
-    /// counters registry. Must be called once, after the driver returns.
-    pub fn finish(&mut self) {
-        self.hot.flush(self.counters);
-        self.traffic.apply(self.counters);
-    }
-}
-
-/// The simulation clock.
-///
-/// Event-driven execution quantizes completion times to integer
-/// femtoseconds so heap ordering, timeline intervals, and resource hold
-/// times agree exactly; sequential execution just accumulates.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Clock {
-    now: Seconds,
-}
-
-impl Clock {
-    pub fn new() -> Self {
-        Clock { now: Seconds::ZERO }
-    }
-
-    pub fn now(&self) -> Seconds {
-        self.now
-    }
-
-    /// Advances by a duration (sequential drivers).
-    pub fn advance(&mut self, d: Seconds) {
-        self.now += d;
-    }
-
-    /// Jumps to a quantized event time (event-driven driver).
-    pub fn jump_to_fs(&mut self, fs: u128) {
-        self.now = Self::from_fs(fs);
-    }
-
-    pub fn to_fs(t: Seconds) -> u128 {
-        (t.seconds() * 1e15) as u128
-    }
-
-    pub fn from_fs(fs: u128) -> Seconds {
-        Seconds::new(fs as f64 / 1e15)
-    }
-}
-
-/// Min-heap of completion events, FIFO-ordered among simultaneous ones.
-///
-/// Payload slots are recycled through a free list, so long runs keep the
-/// payload store bounded by the peak number of in-flight events instead of
-/// growing by one slot per push. Ordering is untouched: the heap key is
-/// `(time, seq, slot)` and `seq` is unique, so the recycled slot index
-/// never participates in a tie-break.
-#[derive(Debug)]
-pub(crate) struct EventHeap<T> {
-    heap: BinaryHeap<Reverse<(u128, u64, usize)>>,
-    payloads: Vec<T>,
-    free: Vec<usize>,
-    seq: u64,
-}
-
-impl<T: Copy> EventHeap<T> {
-    pub fn new() -> Self {
-        EventHeap {
-            heap: BinaryHeap::with_capacity(16),
-            payloads: Vec::with_capacity(16),
-            free: Vec::with_capacity(16),
-            seq: 0,
-        }
-    }
-
-    /// Schedules `payload` to complete at `end`; returns the quantized
-    /// completion time so callers can mirror it (e.g. in the timeline).
-    pub fn push(&mut self, end: Seconds, payload: T) -> u128 {
-        let fs = Clock::to_fs(end);
-        let idx = match self.free.pop() {
-            Some(slot) => {
-                self.payloads[slot] = payload;
-                slot
-            }
-            None => {
-                self.payloads.push(payload);
-                self.payloads.len() - 1
-            }
-        };
-        self.heap.push(Reverse((fs, self.seq, idx)));
-        self.seq += 1;
-        fs
-    }
-
-    /// Pops the earliest completion.
-    pub fn pop(&mut self) -> Option<(u128, T)> {
-        self.heap.pop().map(|Reverse((fs, _, idx))| {
-            self.free.push(idx);
-            (fs, self.payloads[idx])
-        })
-    }
-}
-
-/// Concurrent programmable-PIM kernels: the runtime dedicates a core pair
-/// to each in-flight kernel.
-pub const PROGR_KERNEL_SLOTS: usize = 2;
-
-/// Exclusive-resource occupancy during event-driven execution, mirrored
-/// into the Fig. 7 busy/idle register file the software scheduler queries.
-#[derive(Debug)]
-pub(crate) struct ResourceState {
-    cpu_free: bool,
-    progr_slots: usize,
-    pool: FixedFunctionPool,
-    registers: StatusRegisters,
-    /// Busy-unit count currently reflected in the bank registers, so each
-    /// mirror only rewrites the registers that changed since the last
-    /// acquire/release instead of scanning all of them.
-    mirrored_busy: usize,
-    /// Units permanently lost to fail-stop faults. Quarantine holds them
-    /// through a never-released pool grant, so the Fig. 7 registers show
-    /// them busy without any special-casing.
-    quarantined_ff: usize,
-    /// The programmable PIM has not been permanently quarantined.
-    progr_alive: bool,
-}
-
-impl ResourceState {
-    pub fn new(planner: &Planner) -> Self {
-        let pool = FixedFunctionPool::new(planner.pool_cfg().clone());
-        let registers = StatusRegisters::new(pool.total_units());
-        ResourceState {
-            cpu_free: true,
-            progr_slots: PROGR_KERNEL_SLOTS,
-            pool,
-            registers,
-            mirrored_busy: 0,
-            quarantined_ff: 0,
-            progr_alive: true,
-        }
-    }
-
-    /// Free resources right now, as the placement policy sees them — read
-    /// from the Fig. 7 register file, exactly like the software scheduler
-    /// does through the Table III query APIs.
-    pub fn availability(&self) -> Availability {
-        Availability {
-            cpu_free: self.cpu_free,
-            progr_free: !self.registers.progr_busy(),
-            ff_free: self.registers.idle_bank_count(),
-            ff_alive: self.pool.total_units() - self.quarantined_ff,
-            progr_alive: self.progr_alive,
-        }
-    }
-
-    /// Fixed-function units idle right now.
-    pub fn free_ff(&self) -> usize {
-        self.pool.free_units()
-    }
-
-    /// Units still alive (free or busy, but not quarantined).
-    pub fn alive_ff(&self) -> usize {
-        self.pool.total_units() - self.quarantined_ff
-    }
-
-    /// Permanently removes `units` idle fixed-function units. The grant is
-    /// never released, so the Fig. 7 registers report them busy forever.
-    ///
-    /// # Errors
-    ///
-    /// Propagates a pool-grant failure (callers kill enough in-flight work
-    /// first to make the units idle).
-    pub fn quarantine_ff(&mut self, units: usize) -> Result<()> {
-        if units == 0 {
-            return Ok(());
-        }
-        self.pool.grant(units)?;
-        self.quarantined_ff += units;
-        self.mirror_registers();
-        Ok(())
-    }
-
-    /// Permanently removes the programmable PIM (callers kill in-flight
-    /// kernels first, so every slot is free here).
-    pub fn quarantine_progr(&mut self) {
-        self.progr_alive = false;
-        self.progr_slots = 0;
-        self.mirror_registers();
-    }
-
-    /// Reserves the resources a chosen placement needs; returns the
-    /// fixed-function units held (0 for CPU/programmable placements).
-    ///
-    /// # Errors
-    ///
-    /// Propagates a pool-grant failure (a scheduler bug: [`Planner::choose`]
-    /// only proposes grants that fit).
-    pub fn acquire(&mut self, kind: PlanKind, planned: &PlannedOp) -> Result<usize> {
-        let units = match kind {
-            PlanKind::FixedWhole { units, .. }
-            | PlanKind::HostSplit { units }
-            | PlanKind::Recursive { units } => {
-                self.pool.grant(units)?;
-                units
-            }
-            _ => 0,
-        };
-        if planned.uses_cpu {
-            self.cpu_free = false;
-        }
-        if planned.uses_progr {
-            self.progr_slots -= 1;
-        }
-        self.mirror_registers();
-        Ok(units)
-    }
-
-    /// Returns a completed op's resources.
-    pub fn release(&mut self, units: usize, uses_cpu: bool, uses_progr: bool) {
-        if units > 0 {
-            self.pool.release(units);
-        }
-        if uses_cpu {
-            self.cpu_free = true;
-        }
-        if uses_progr {
-            self.progr_slots += 1;
-        }
-        self.mirror_registers();
-    }
-
-    /// Busy units fill bank registers from index 0 upward; the programmable
-    /// PIM's single bit is busy when no kernel slot is free. Only the
-    /// registers whose bit actually changed are rewritten.
-    fn mirror_registers(&mut self) {
-        let busy = self.pool.total_units() - self.pool.free_units();
-        for i in self.mirrored_busy.min(busy)..self.mirrored_busy.max(busy) {
-            let _ = self.registers.set_bank_busy(BankId::new(i), i < busy);
-        }
-        self.mirrored_busy = busy;
-        self.registers.set_progr_busy(self.progr_slots == 0);
-    }
-}
-
-/// Statistic accumulator shared by every execution driver.
-#[derive(Debug, Default)]
-pub(crate) struct Accumulator {
-    op_raw: Seconds,
-    dm_raw: Seconds,
-    pub sync_raw: Seconds,
-    energy: Joules,
-    cpu_busy: Seconds,
-    progr_busy: Seconds,
-    ff_unit_seconds: f64,
-}
-
-impl Accumulator {
-    pub fn add(&mut self, planned: &PlannedOp) {
-        self.op_raw += planned.op_part;
-        self.dm_raw += planned.dm_part;
-        self.sync_raw += planned.sync_part;
-        self.energy += planned.energy;
-        if planned.uses_cpu {
-            self.cpu_busy += planned.duration;
-        }
-        if planned.uses_progr {
-            self.progr_busy += planned.duration;
-        }
-        self.ff_unit_seconds += planned.ff_units as f64 * planned.ff_busy.seconds();
-    }
-
-    pub fn into_report(
-        self,
-        planner: &Planner,
-        steps: usize,
-        makespan: Seconds,
-    ) -> ExecutionReport {
-        let cfg = &planner.cfg;
-        let ff_utilization = if makespan.seconds() > 0.0 && cfg.mode != SystemMode::CpuOnly {
-            (self.ff_unit_seconds / (cfg.ff_units as f64 * makespan.seconds())).min(1.0)
-        } else {
-            0.0
-        };
-        let mut builder = ReportBuilder::new(cfg.name.clone(), steps)
-            .makespan(makespan)
-            .raw_parts(self.op_raw, self.dm_raw, self.sync_raw)
-            .device_energy(self.energy)
-            .ff_utilization(ff_utilization)
-            .device_busy("CPU", self.cpu_busy)
-            .device_busy("Progr PIM", self.progr_busy)
-            .device_busy(
-                "Fixed PIM",
-                Seconds::new(self.ff_unit_seconds / cfg.ff_units.max(1) as f64),
-            );
-        // PIM configurations keep the host package powered (it hosts the
-        // TensorFlow runtime and the OpenCL host program) even while PIMs
-        // compute; CPU-only runs already bill the CPU per op.
-        if cfg.mode != SystemMode::CpuOnly {
-            builder = builder.charge_host_idle();
-        }
-        builder.build()
-    }
-}
-
-/// Sequential execution: one op at a time in topological order per step —
-/// the "without runtime scheduling" configurations.
-pub(crate) fn run_serialized(
-    planner: &Planner,
-    prepared: &[Prepared<'_>],
-    obs: &mut Observer<'_>,
-) -> Result<ExecutionReport> {
-    let mut acc = Accumulator::default();
-    let mut clock = Clock::new();
-    for (w, wl) in prepared.iter().enumerate() {
-        let ops = wl.spec.graph.ops();
-        for step in 0..wl.spec.steps {
-            for &op in &wl.topo {
-                let cost = &wl.costs[op];
-                let is_candidate = wl.candidates.contains(OpId::new(op));
-                let kind = planner
-                    .choose(
-                        cost,
-                        is_candidate,
-                        wl.spec.cpu_progr_only,
-                        Availability::all_free(planner.cfg.ff_units),
-                    )
-                    .ok_or_else(|| PimError::internal("serialized placement found no device"))?;
-                let planned = planner.plan_cost(kind, cost);
-                acc.add(&planned);
-                let entry = TimelineEntry {
-                    workload: w,
-                    step,
-                    op,
-                    start: clock.now(),
-                    end: clock.now() + planned.duration,
-                    resource: resource_class(&planned),
-                    ff_units: planned.ff_units,
-                    attempt: 0,
-                    outcome: AttemptOutcome::Completed,
-                };
-                obs.record_op(&OpRecord {
-                    entry,
-                    planned: &planned,
-                    kind,
-                    cost,
-                    name: ops[op].kind.tf_name(),
-                    candidate: is_candidate,
-                    inflight: 1,
-                });
-                if planned.ff_units > 0 {
-                    obs.ff_delta(clock.now(), planned.ff_units as isize);
-                }
-                clock.advance(planned.duration);
-                if planned.ff_units > 0 {
-                    obs.ff_delta(clock.now(), -(planned.ff_units as isize));
-                }
-                obs.completed();
-                if planner.cfg.mode == SystemMode::Hetero {
-                    clock.advance(PLACEMENT_DECISION);
-                    acc.sync_raw += PLACEMENT_DECISION;
-                    obs.decision(PLACEMENT_DECISION);
-                }
-            }
-            clock.advance(STEP_BARRIER);
-            acc.sync_raw += STEP_BARRIER;
-            obs.barrier(clock.now(), STEP_BARRIER);
-        }
-    }
-    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
-    Ok(acc.into_report(planner, steps, clock.now()))
-}
-
-/// Event-driven execution with the operation pipeline.
-pub(crate) fn run_scheduled(
-    planner: &Planner,
-    prepared: &[Prepared<'_>],
-    obs: &mut Observer<'_>,
-) -> Result<ExecutionReport> {
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-    struct Key {
-        step: usize,
-        rank: usize,
-        wl: usize,
-        op: usize,
-    }
-    // Per-instance remaining dependency counts.
-    let mut remaining: Vec<Vec<Vec<usize>>> = prepared
-        .iter()
-        .map(|wl| {
-            (0..wl.spec.steps)
-                .map(|step| {
-                    wl.deps
-                        .iter()
-                        .map(|d| d.len() + usize::from(step > 0))
-                        .collect()
-                })
-                .collect()
-        })
-        .collect();
-    let mut step_left: Vec<Vec<usize>> = prepared
-        .iter()
-        .map(|wl| vec![wl.topo.len(); wl.spec.steps])
-        .collect();
-    let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
-
-    let mut ready: BTreeSet<Key> = BTreeSet::new();
-    // Per-(workload, step) census of the ready set, kept in lockstep with
-    // every insert/remove so the stall accounting can count
-    // window-closed instances without walking the whole set each wake.
-    let mut ready_counts: Vec<Vec<usize>> = prepared
-        .iter()
-        .map(|wl| vec![0usize; wl.spec.steps])
-        .collect();
-    for (w, wl) in prepared.iter().enumerate() {
-        for (op, deps) in wl.deps.iter().enumerate() {
-            if deps.is_empty() && wl.spec.steps > 0 {
-                ready.insert(Key {
-                    step: 0,
-                    rank: wl.rank[op],
-                    wl: w,
-                    op,
-                });
-                ready_counts[w][0] += 1;
-            }
-        }
-    }
-
-    let mut state = ResourceState::new(planner);
-
-    #[derive(Debug, Clone, Copy, PartialEq)]
-    struct Done {
-        wl: usize,
-        step: usize,
-        op: usize,
-        units: usize,
-        uses_cpu: bool,
-        uses_progr: bool,
-    }
-    let mut events: EventHeap<Done> = EventHeap::new();
-    let mut clock = Clock::new();
-    let mut acc = Accumulator::default();
-    let total_instances: usize = prepared
-        .iter()
-        .map(|wl| wl.spec.steps * wl.topo.len())
-        .sum();
-    let mut completed = 0usize;
-    let mut inflight = 0usize;
-    // Scratch buffer for the per-wake scan over the ready set, reused
-    // across iterations and pre-sized for the whole graph.
-    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
-
-    while completed < total_instances {
-        // Schedule everything that fits right now. One pass in priority
-        // order suffices: placing an op only consumes resources and never
-        // unlocks readiness, and `choose` is monotone in availability, so
-        // an op skipped earlier in the pass cannot become placeable later
-        // in the same pass. Keys sort by step first, so nothing at or
-        // beyond the widest-open pipeline window can pass the per-key
-        // window check — the scan stops copying there.
-        let max_window = prepared
-            .iter()
-            .enumerate()
-            .map(|(w, _)| min_incomplete[w] + planner.cfg.pipeline_depth)
-            .max()
-            .unwrap_or(0);
-        scan.clear();
-        scan.extend(ready.iter().take_while(|k| k.step < max_window).copied());
-        // Availability only changes on acquire within the pass; read it
-        // once and refresh after each placement.
-        let mut avail = state.availability();
-        for &key in &scan {
-            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
-                break; // every resource saturated — nothing can be placed
-            }
-            let wl = &prepared[key.wl];
-            if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
-                continue; // pipeline window closed for this step
-            }
-            let cost = &wl.costs[key.op];
-            let is_candidate = wl.candidates.contains(OpId::new(key.op));
-            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
-            else {
-                continue;
-            };
-            let planned = planner.plan_cost(kind, cost);
-            let units = state.acquire(kind, &planned)?;
-            avail = state.availability();
-            acc.add(&planned);
-            ready.remove(&key);
-            ready_counts[key.wl][key.step] -= 1;
-            inflight += 1;
-            // Record the end at the same femtosecond quantization the
-            // event heap uses, so timeline intervals match the actual
-            // resource hold times exactly.
-            let end_fs = events.push(
-                clock.now() + planned.duration,
-                Done {
-                    wl: key.wl,
-                    step: key.step,
-                    op: key.op,
-                    units,
-                    uses_cpu: planned.uses_cpu,
-                    uses_progr: planned.uses_progr,
-                },
-            );
-            let entry = TimelineEntry {
-                workload: key.wl,
-                step: key.step,
-                op: key.op,
-                start: clock.now(),
-                end: Clock::from_fs(end_fs),
-                resource: resource_class(&planned),
-                ff_units: units,
-                attempt: 0,
-                outcome: AttemptOutcome::Completed,
-            };
-            obs.record_op(&OpRecord {
-                entry,
-                planned: &planned,
-                kind,
-                cost,
-                name: wl.spec.graph.ops()[key.op].kind.tf_name(),
-                candidate: is_candidate,
-                inflight,
-            });
-            if units > 0 {
-                obs.ff_delta(clock.now(), units as isize);
-            }
-        }
-
-        // Anything still ready is stalled: either the Fig. 7 registers
-        // showed no free resources, or its step sits outside the pipeline
-        // window.
-        if !ready.is_empty() {
-            let window_closed: usize = ready_counts
-                .iter()
-                .enumerate()
-                .map(|(w, counts)| {
-                    let thr = min_incomplete[w] + planner.cfg.pipeline_depth;
-                    counts.iter().skip(thr).sum::<usize>()
-                })
-                .sum();
-            let resource_waiting = ready.len() - window_closed;
-            if resource_waiting > 0 {
-                obs.stall(
-                    clock.now(),
-                    resource_waiting,
-                    window_closed,
-                    state.availability(),
-                );
-            }
-        }
-
-        let Some((t_fs, done)) = events.pop() else {
-            if completed < total_instances {
-                return Err(PimError::internal(format!(
-                    "scheduler wedged with {completed} of {total_instances} instances done"
-                )));
-            }
-            break;
-        };
-        clock.jump_to_fs(t_fs);
-        state.release(done.units, done.uses_cpu, done.uses_progr);
-        completed += 1;
-        inflight -= 1;
-        obs.completed();
-        if done.units > 0 {
-            obs.ff_delta(clock.now(), -(done.units as isize));
-        }
-
-        let wl = &prepared[done.wl];
-        // Intra-step consumers.
-        for &c in &wl.consumers[done.op] {
-            let r = &mut remaining[done.wl][done.step][c];
-            *r -= 1;
-            if *r == 0 {
-                ready.insert(Key {
-                    step: done.step,
-                    rank: wl.rank[c],
-                    wl: done.wl,
-                    op: c,
-                });
-                ready_counts[done.wl][done.step] += 1;
-            }
-        }
-        // Cross-step successor: the same op in the next step.
-        if done.step + 1 < wl.spec.steps {
-            let r = &mut remaining[done.wl][done.step + 1][done.op];
-            *r -= 1;
-            if *r == 0 {
-                ready.insert(Key {
-                    step: done.step + 1,
-                    rank: wl.rank[done.op],
-                    wl: done.wl,
-                    op: done.op,
-                });
-                ready_counts[done.wl][done.step + 1] += 1;
-            }
-        }
-        // Step-completion bookkeeping for the pipeline window.
-        step_left[done.wl][done.step] -= 1;
-        while min_incomplete[done.wl] < wl.spec.steps
-            && step_left[done.wl][min_incomplete[done.wl]] == 0
-        {
-            min_incomplete[done.wl] += 1;
-        }
-    }
-    let barrier_total: Seconds = prepared
-        .iter()
-        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
-        .sum();
-    // The CPU-side runtime makes one placement decision per op instance
-    // (register queries through the Table III APIs); this serial work is
-    // not hidden by the pipeline.
-    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
-        PLACEMENT_DECISION * total_instances as f64
-    } else {
-        Seconds::ZERO
-    };
-    acc.sync_raw += barrier_total + decisions;
-    let makespan = clock.now() + barrier_total + decisions;
-    obs.barrier(makespan, barrier_total);
-    obs.decision(decisions);
-    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
-    Ok(acc.into_report(planner, steps, makespan))
-}
-
-/// Applies one permanent strike to the serialized driver's alive-state.
-fn apply_strike_serial(
-    target: FaultTarget,
-    ff_alive: &mut usize,
-    progr_alive: &mut bool,
-    obs: &mut Observer<'_>,
-    at: Seconds,
-) {
-    match target {
-        FaultTarget::FixedUnits(n) => {
-            let n = n.min(*ff_alive);
-            *ff_alive -= n;
-            obs.quarantine(at, "ff units", n);
-        }
-        FaultTarget::ProgrPim => {
-            *progr_alive = false;
-            obs.quarantine(at, "progr pim", 1);
-        }
-    }
-}
-
-/// Sequential execution under a fault plan: the same topological order as
-/// [`run_serialized`], with per-attempt fault fates, bounded retry with
-/// exponential backoff, timeout re-dispatch, and permanent strikes taking
-/// effect at their scheduled times. Aborted attempts are charged for the
-/// fraction of the work the device actually performed.
-pub(crate) fn run_serialized_faulted(
-    planner: &Planner,
-    prepared: &[Prepared<'_>],
-    obs: &mut Observer<'_>,
-    faults: &FaultContext,
-) -> Result<ExecutionReport> {
-    let mut acc = Accumulator::default();
-    let mut clock = Clock::new();
-    let mut ff_alive = planner.cfg.ff_units - faults.initial_ff;
-    let mut progr_alive = !faults.initial_progr_dead;
-    if faults.initial_ff > 0 {
-        obs.quarantine(clock.now(), "ff units", faults.initial_ff);
-    }
-    if faults.initial_progr_dead {
-        obs.quarantine(clock.now(), "progr pim", 1);
-    }
-    let mut next_strike = 0usize;
-    for (w, wl) in prepared.iter().enumerate() {
-        let ops = wl.spec.graph.ops();
-        for step in 0..wl.spec.steps {
-            for &op in &wl.topo {
-                let cost = &wl.costs[op];
-                let is_candidate = wl.candidates.contains(OpId::new(op));
-                let mut attempt = 0u32;
-                loop {
-                    // Strikes due by now take effect before placement.
-                    while let Some(s) = faults.strikes.get(next_strike).copied() {
-                        if s.at > clock.now() {
-                            break;
-                        }
-                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
-                        next_strike += 1;
-                    }
-                    let avail = Availability {
-                        cpu_free: true,
-                        progr_free: progr_alive,
-                        ff_free: ff_alive,
-                        ff_alive,
-                        progr_alive,
-                    };
-                    let kind = planner
-                        .choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
-                        .ok_or_else(|| {
-                            PimError::internal("serialized placement found no device")
-                        })?;
-                    let mut charge = planner.plan_cost(kind, cost);
-                    let lane = lane_for(charge.ff_units, charge.uses_progr);
-                    if let Some(l) = lane {
-                        let m = faults.plan.latency_multiplier(l, clock.now());
-                        if m > 1.0 {
-                            charge = stretch_planned(&charge, m);
-                        }
-                    }
-                    let mut outcome = match decide(&faults.plan, lane, w, step, op, attempt) {
-                        Fate::Complete => AttemptOutcome::Completed,
-                        Fate::Transient(frac) => {
-                            charge = scale_planned(&charge, frac);
-                            AttemptOutcome::Transient
-                        }
-                        Fate::TimedOut => {
-                            charge = extend_timeout(&charge);
-                            AttemptOutcome::TimedOut
-                        }
-                    };
-                    let start = clock.now();
-                    let mut end = start + charge.duration;
-                    // A strike landing inside the attempt kills it at the
-                    // strike instant when it takes the resources under it.
-                    while let Some(s) = faults.strikes.get(next_strike).copied() {
-                        if s.at >= end {
-                            break;
-                        }
-                        let idle = match s.target {
-                            FaultTarget::FixedUnits(_) => ff_alive.saturating_sub(charge.ff_units),
-                            FaultTarget::ProgrPim => 0,
-                        };
-                        let kills = FaultContext::strike_kills(
-                            s.target,
-                            charge.ff_units,
-                            charge.uses_progr,
-                            idle,
-                        );
-                        apply_strike_serial(s.target, &mut ff_alive, &mut progr_alive, obs, s.at);
-                        next_strike += 1;
-                        if kills {
-                            let dur = charge.duration.seconds();
-                            let frac = if dur > 0.0 {
-                                ((s.at - start).seconds() / dur).clamp(0.0, 1.0)
-                            } else {
-                                0.0
-                            };
-                            charge = scale_planned(&charge, frac);
-                            end = s.at.max(start);
-                            outcome = AttemptOutcome::Killed;
-                            obs.killed(s.at, w, step, op);
-                            break;
-                        }
-                    }
-                    acc.add(&charge);
-                    let entry = TimelineEntry {
-                        workload: w,
-                        step,
-                        op,
-                        start,
-                        end,
-                        resource: resource_class(&charge),
-                        ff_units: charge.ff_units,
-                        attempt,
-                        outcome,
-                    };
-                    obs.record_op(&OpRecord {
-                        entry,
-                        planned: &charge,
-                        kind,
-                        cost,
-                        name: ops[op].kind.tf_name(),
-                        candidate: is_candidate,
-                        inflight: 1,
-                    });
-                    if charge.ff_units > 0 {
-                        obs.ff_delta(start, charge.ff_units as isize);
-                    }
-                    clock.advance(end - start);
-                    if charge.ff_units > 0 {
-                        obs.ff_delta(clock.now(), -(charge.ff_units as isize));
-                    }
-                    if planner.cfg.mode == SystemMode::Hetero {
-                        clock.advance(PLACEMENT_DECISION);
-                        acc.sync_raw += PLACEMENT_DECISION;
-                        obs.decision(PLACEMENT_DECISION);
-                    }
-                    match outcome {
-                        AttemptOutcome::Completed => {
-                            obs.completed();
-                            break;
-                        }
-                        AttemptOutcome::Transient => {
-                            obs.fault(end, "transient", w, step, op);
-                            obs.retried();
-                            let backoff = backoff_after(attempt);
-                            clock.advance(backoff);
-                            acc.sync_raw += backoff;
-                        }
-                        AttemptOutcome::TimedOut => {
-                            obs.fault(end, "timed-out", w, step, op);
-                            obs.redispatched();
-                        }
-                        AttemptOutcome::Killed => {
-                            obs.retried();
-                        }
-                    }
-                    attempt += 1;
-                }
-            }
-            clock.advance(STEP_BARRIER);
-            acc.sync_raw += STEP_BARRIER;
-            obs.barrier(clock.now(), STEP_BARRIER);
-        }
-    }
-    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
-    Ok(acc.into_report(planner, steps, clock.now()))
-}
-
-/// Event-driven execution under a fault plan. Structured like
-/// [`run_scheduled`] — same ready set, pipeline window, and availability
-/// snapshots — with three differences: an attempt's fate is decided at
-/// dispatch, charging and recording are deferred to the attempt's end (so
-/// kills bill only the work actually performed), and permanent strikes are
-/// delivered as heap events that kill the in-flight attempts under them.
-pub(crate) fn run_scheduled_faulted(
-    planner: &Planner,
-    prepared: &[Prepared<'_>],
-    obs: &mut Observer<'_>,
-    faults: &FaultContext,
-) -> Result<ExecutionReport> {
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-    struct Key {
-        step: usize,
-        rank: usize,
-        wl: usize,
-        op: usize,
-    }
-    let mut remaining: Vec<Vec<Vec<usize>>> = prepared
-        .iter()
-        .map(|wl| {
-            (0..wl.spec.steps)
-                .map(|step| {
-                    wl.deps
-                        .iter()
-                        .map(|d| d.len() + usize::from(step > 0))
-                        .collect()
-                })
-                .collect()
-        })
-        .collect();
-    let mut step_left: Vec<Vec<usize>> = prepared
-        .iter()
-        .map(|wl| vec![wl.topo.len(); wl.spec.steps])
-        .collect();
-    let mut min_incomplete: Vec<usize> = vec![0; prepared.len()];
-
-    let mut ready: BTreeSet<Key> = BTreeSet::new();
-    let mut ready_counts: Vec<Vec<usize>> = prepared
-        .iter()
-        .map(|wl| vec![0usize; wl.spec.steps])
-        .collect();
-    for (w, wl) in prepared.iter().enumerate() {
-        for (op, deps) in wl.deps.iter().enumerate() {
-            if deps.is_empty() && wl.spec.steps > 0 {
-                ready.insert(Key {
-                    step: 0,
-                    rank: wl.rank[op],
-                    wl: w,
-                    op,
-                });
-                ready_counts[w][0] += 1;
-            }
-        }
-    }
-    // Attempt counter per instance (indexed step * ops + op).
-    let mut attempts: Vec<Vec<u32>> = prepared
-        .iter()
-        .map(|wl| vec![0u32; wl.spec.steps * wl.deps.len()])
-        .collect();
-
-    let mut state = ResourceState::new(planner);
-    if faults.initial_ff > 0 {
-        state.quarantine_ff(faults.initial_ff)?;
-        obs.quarantine(Seconds::ZERO, "ff units", faults.initial_ff);
-    }
-    if faults.initial_progr_dead {
-        state.quarantine_progr();
-        obs.quarantine(Seconds::ZERO, "progr pim", 1);
-    }
-
-    /// One dispatched attempt occupying resources until its heap event.
-    #[derive(Debug, Clone, Copy)]
-    struct InFlight {
-        wl: usize,
-        step: usize,
-        op: usize,
-        kind: PlanKind,
-        /// Fate-adjusted planned op (the charge if the attempt runs to its
-        /// scheduled end).
-        charge: PlannedOp,
-        units: usize,
-        attempt: u32,
-        outcome: AttemptOutcome,
-        start: Seconds,
-        inflight_at_dispatch: usize,
-        candidate: bool,
-        /// Cleared when a strike kills the attempt before its event pops.
-        live: bool,
-    }
-
-    #[derive(Debug, Clone, Copy)]
-    enum Ev {
-        /// The in-flight attempt in this slab slot reaches its end.
-        Attempt(usize),
-        /// A retry's backoff expires; the instance becomes ready again.
-        Retry { wl: usize, step: usize, op: usize },
-        /// Permanent strike `i` of the fault context lands.
-        Strike(usize),
-    }
-
-    let mut events: EventHeap<Ev> = EventHeap::new();
-    for (i, s) in faults.strikes.iter().enumerate() {
-        events.push(s.at, Ev::Strike(i));
-    }
-    let mut slab: Vec<InFlight> = Vec::new();
-    // Slots whose heap event has popped; a killed slot is recycled only
-    // when its stale event drains, so a pending event never aliases a
-    // reused slot.
-    let mut free_slots: Vec<usize> = Vec::new();
-
-    let mut clock = Clock::new();
-    let mut acc = Accumulator::default();
-    let total_instances: usize = prepared
-        .iter()
-        .map(|wl| wl.spec.steps * wl.topo.len())
-        .sum();
-    let mut completed = 0usize;
-    let mut inflight = 0usize;
-    let mut scan: Vec<Key> = Vec::with_capacity(prepared.iter().map(|wl| wl.topo.len()).sum());
-
-    while completed < total_instances {
-        let max_window = prepared
-            .iter()
-            .enumerate()
-            .map(|(w, _)| min_incomplete[w] + planner.cfg.pipeline_depth)
-            .max()
-            .unwrap_or(0);
-        scan.clear();
-        scan.extend(ready.iter().take_while(|k| k.step < max_window).copied());
-        let mut avail = state.availability();
-        for &key in &scan {
-            if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
-                break;
-            }
-            let wl = &prepared[key.wl];
-            if key.step >= min_incomplete[key.wl] + planner.cfg.pipeline_depth {
-                continue;
-            }
-            let cost = &wl.costs[key.op];
-            let is_candidate = wl.candidates.contains(OpId::new(key.op));
-            let Some(kind) = planner.choose(cost, is_candidate, wl.spec.cpu_progr_only, avail)
-            else {
-                continue;
-            };
-            let mut charge = planner.plan_cost(kind, cost);
-            let lane = lane_for(charge.ff_units, charge.uses_progr);
-            if let Some(l) = lane {
-                let m = faults.plan.latency_multiplier(l, clock.now());
-                if m > 1.0 {
-                    charge = stretch_planned(&charge, m);
-                }
-            }
-            let attempt = attempts[key.wl][key.step * wl.deps.len() + key.op];
-            let outcome = match decide(&faults.plan, lane, key.wl, key.step, key.op, attempt) {
-                Fate::Complete => AttemptOutcome::Completed,
-                Fate::Transient(frac) => {
-                    charge = scale_planned(&charge, frac);
-                    AttemptOutcome::Transient
-                }
-                Fate::TimedOut => {
-                    charge = extend_timeout(&charge);
-                    AttemptOutcome::TimedOut
-                }
-            };
-            let units = state.acquire(kind, &charge)?;
-            avail = state.availability();
-            ready.remove(&key);
-            ready_counts[key.wl][key.step] -= 1;
-            inflight += 1;
-            let rec = InFlight {
-                wl: key.wl,
-                step: key.step,
-                op: key.op,
-                kind,
-                charge,
-                units,
-                attempt,
-                outcome,
-                start: clock.now(),
-                inflight_at_dispatch: inflight,
-                candidate: is_candidate,
-                live: true,
-            };
-            let slot = match free_slots.pop() {
-                Some(s) => {
-                    slab[s] = rec;
-                    s
-                }
-                None => {
-                    slab.push(rec);
-                    slab.len() - 1
-                }
-            };
-            events.push(clock.now() + charge.duration, Ev::Attempt(slot));
-            if units > 0 {
-                obs.ff_delta(clock.now(), units as isize);
-            }
-        }
-
-        if !ready.is_empty() {
-            let window_closed: usize = ready_counts
-                .iter()
-                .enumerate()
-                .map(|(w, counts)| {
-                    let thr = min_incomplete[w] + planner.cfg.pipeline_depth;
-                    counts.iter().skip(thr).sum::<usize>()
-                })
-                .sum();
-            let resource_waiting = ready.len() - window_closed;
-            if resource_waiting > 0 {
-                obs.stall(
-                    clock.now(),
-                    resource_waiting,
-                    window_closed,
-                    state.availability(),
-                );
-            }
-        }
-
-        let Some((t_fs, ev)) = events.pop() else {
-            if completed < total_instances {
-                return Err(PimError::internal(format!(
-                    "faulted scheduler wedged with {completed} of {total_instances} \
-                     instances done"
-                )));
-            }
-            break;
-        };
-        clock.jump_to_fs(t_fs);
-        match ev {
-            Ev::Attempt(slot) => {
-                let rec = slab[slot];
-                free_slots.push(slot);
-                if !rec.live {
-                    continue; // killed by a strike; already accounted
-                }
-                slab[slot].live = false;
-                state.release(rec.units, rec.charge.uses_cpu, rec.charge.uses_progr);
-                inflight -= 1;
-                if rec.units > 0 {
-                    obs.ff_delta(clock.now(), -(rec.units as isize));
-                }
-                acc.add(&rec.charge);
-                let wl = &prepared[rec.wl];
-                let entry = TimelineEntry {
-                    workload: rec.wl,
-                    step: rec.step,
-                    op: rec.op,
-                    start: rec.start,
-                    end: clock.now(),
-                    resource: resource_class(&rec.charge),
-                    ff_units: rec.units,
-                    attempt: rec.attempt,
-                    outcome: rec.outcome,
-                };
-                obs.record_op(&OpRecord {
-                    entry,
-                    planned: &rec.charge,
-                    kind: rec.kind,
-                    cost: &wl.costs[rec.op],
-                    name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
-                    candidate: rec.candidate,
-                    inflight: rec.inflight_at_dispatch,
-                });
-                match rec.outcome {
-                    AttemptOutcome::Completed => {
-                        completed += 1;
-                        obs.completed();
-                        for &c in &wl.consumers[rec.op] {
-                            let r = &mut remaining[rec.wl][rec.step][c];
-                            *r -= 1;
-                            if *r == 0 {
-                                ready.insert(Key {
-                                    step: rec.step,
-                                    rank: wl.rank[c],
-                                    wl: rec.wl,
-                                    op: c,
-                                });
-                                ready_counts[rec.wl][rec.step] += 1;
-                            }
-                        }
-                        if rec.step + 1 < wl.spec.steps {
-                            let r = &mut remaining[rec.wl][rec.step + 1][rec.op];
-                            *r -= 1;
-                            if *r == 0 {
-                                ready.insert(Key {
-                                    step: rec.step + 1,
-                                    rank: wl.rank[rec.op],
-                                    wl: rec.wl,
-                                    op: rec.op,
-                                });
-                                ready_counts[rec.wl][rec.step + 1] += 1;
-                            }
-                        }
-                        step_left[rec.wl][rec.step] -= 1;
-                        while min_incomplete[rec.wl] < wl.spec.steps
-                            && step_left[rec.wl][min_incomplete[rec.wl]] == 0
-                        {
-                            min_incomplete[rec.wl] += 1;
-                        }
-                    }
-                    AttemptOutcome::Transient => {
-                        obs.fault(clock.now(), "transient", rec.wl, rec.step, rec.op);
-                        obs.retried();
-                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
-                        events.push(
-                            clock.now() + backoff_after(rec.attempt),
-                            Ev::Retry {
-                                wl: rec.wl,
-                                step: rec.step,
-                                op: rec.op,
-                            },
-                        );
-                    }
-                    AttemptOutcome::TimedOut => {
-                        obs.fault(clock.now(), "timed-out", rec.wl, rec.step, rec.op);
-                        obs.redispatched();
-                        attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
-                        ready.insert(Key {
-                            step: rec.step,
-                            rank: wl.rank[rec.op],
-                            wl: rec.wl,
-                            op: rec.op,
-                        });
-                        ready_counts[rec.wl][rec.step] += 1;
-                    }
-                    AttemptOutcome::Killed => {
-                        unreachable!("live in-flight records never carry Killed")
-                    }
-                }
-            }
-            Ev::Retry { wl, step, op } => {
-                ready.insert(Key {
-                    step,
-                    rank: prepared[wl].rank[op],
-                    wl,
-                    op,
-                });
-                ready_counts[wl][step] += 1;
-            }
-            Ev::Strike(i) => {
-                let s = faults.strikes[i];
-                let lost = match s.target {
-                    FaultTarget::FixedUnits(n) => n.min(state.alive_ff()),
-                    FaultTarget::ProgrPim => 0,
-                };
-                // Kill the in-flight attempts the strike lands on, earliest
-                // dispatch first, until the lost resources are idle.
-                loop {
-                    let need_kill = match s.target {
-                        FaultTarget::FixedUnits(_) => state.free_ff() < lost,
-                        FaultTarget::ProgrPim => slab.iter().any(|r| r.live && r.charge.uses_progr),
-                    };
-                    if !need_kill {
-                        break;
-                    }
-                    let victim = slab
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, r)| {
-                            r.live
-                                && match s.target {
-                                    FaultTarget::FixedUnits(_) => r.units > 0,
-                                    FaultTarget::ProgrPim => r.charge.uses_progr,
-                                }
-                        })
-                        .min_by_key(|&(j, r)| (Clock::to_fs(r.start), r.wl, r.step, r.op, j))
-                        .map(|(j, _)| j);
-                    let Some(v) = victim else { break };
-                    let rec = slab[v];
-                    slab[v].live = false;
-                    state.release(rec.units, rec.charge.uses_cpu, rec.charge.uses_progr);
-                    inflight -= 1;
-                    if rec.units > 0 {
-                        obs.ff_delta(clock.now(), -(rec.units as isize));
-                    }
-                    let dur = rec.charge.duration.seconds();
-                    let frac = if dur > 0.0 {
-                        ((clock.now() - rec.start).seconds() / dur).clamp(0.0, 1.0)
-                    } else {
-                        0.0
-                    };
-                    let partial = scale_planned(&rec.charge, frac);
-                    acc.add(&partial);
-                    let wl = &prepared[rec.wl];
-                    let entry = TimelineEntry {
-                        workload: rec.wl,
-                        step: rec.step,
-                        op: rec.op,
-                        start: rec.start,
-                        end: clock.now(),
-                        resource: resource_class(&rec.charge),
-                        ff_units: rec.units,
-                        attempt: rec.attempt,
-                        outcome: AttemptOutcome::Killed,
-                    };
-                    obs.record_op(&OpRecord {
-                        entry,
-                        planned: &partial,
-                        kind: rec.kind,
-                        cost: &wl.costs[rec.op],
-                        name: wl.spec.graph.ops()[rec.op].kind.tf_name(),
-                        candidate: rec.candidate,
-                        inflight: rec.inflight_at_dispatch,
-                    });
-                    obs.killed(clock.now(), rec.wl, rec.step, rec.op);
-                    obs.retried();
-                    attempts[rec.wl][rec.step * wl.deps.len() + rec.op] += 1;
-                    ready.insert(Key {
-                        step: rec.step,
-                        rank: wl.rank[rec.op],
-                        wl: rec.wl,
-                        op: rec.op,
-                    });
-                    ready_counts[rec.wl][rec.step] += 1;
-                }
-                match s.target {
-                    FaultTarget::FixedUnits(_) => {
-                        state.quarantine_ff(lost)?;
-                        obs.quarantine(clock.now(), "ff units", lost);
-                    }
-                    FaultTarget::ProgrPim => {
-                        state.quarantine_progr();
-                        obs.quarantine(clock.now(), "progr pim", 1);
-                    }
-                }
-            }
-        }
-    }
-    let barrier_total: Seconds = prepared
-        .iter()
-        .map(|wl| STEP_BARRIER * wl.spec.steps as f64)
-        .sum();
-    let decisions: Seconds = if planner.cfg.mode == SystemMode::Hetero {
-        PLACEMENT_DECISION * total_instances as f64
-    } else {
-        Seconds::ZERO
-    };
-    acc.sync_raw += barrier_total + decisions;
-    let makespan = clock.now() + barrier_total + decisions;
-    obs.barrier(makespan, barrier_total);
-    obs.decision(decisions);
-    let steps = prepared.iter().map(|w| w.spec.steps).max().unwrap_or(0);
-    Ok(acc.into_report(planner, steps, makespan))
-}
-
-/// One standalone device executing a step stream back-to-back — the
-/// analytic baselines (GPU, Neurocube) driven through the same event core
-/// and report path as the engine configurations.
-pub struct DeviceRun<'a> {
-    /// Configuration name for the report.
-    pub system: &'a str,
-    /// The device executing every op.
-    pub device: &'a dyn Device,
-    /// Per-op cost profiles in execution order.
-    pub costs: &'a [CostProfile],
-    /// Training steps.
-    pub steps: usize,
-    /// Extra data-movement time appended to each step (e.g. the GPU's
-    /// unhidden PCIe staging and working-set spill).
-    pub step_epilogue_dm: Seconds,
-    /// Extra energy charged per step (e.g. PCIe transfer energy).
-    pub step_epilogue_energy: Joules,
-}
-
-/// Runs one device serially over `steps` repetitions of its op stream.
-///
-/// Per op: `op = compute time`, `dm = memory-bound excess`,
-/// `sync = dispatch`, with the device's own estimate deciding each split;
-/// the step epilogue is accounted as data movement. Host idle power is
-/// always charged — a standalone accelerator leaves the host package
-/// powered but out of the compute path.
-pub fn run_device_serial(run: &DeviceRun<'_>, sink: &mut dyn TimelineSink) -> ExecutionReport {
-    let mut clock = Clock::new();
-    let mut op_raw = Seconds::ZERO;
-    let mut dm_raw = Seconds::ZERO;
-    let mut sync_raw = Seconds::ZERO;
-    let mut energy = Joules::ZERO;
-    for step in 0..run.steps {
-        for (op, cost) in run.costs.iter().enumerate() {
-            debug_assert!(run.device.accepts(cost), "device rejects op {op}");
-            let est = run.device.estimate(cost);
-            let busy = est.compute_time.max(est.memory_time);
-            let duration = busy + est.dispatch_time;
-            op_raw += est.compute_time;
-            dm_raw += busy - est.compute_time;
-            sync_raw += est.dispatch_time;
-            energy += est.energy;
-            sink.record(TimelineEntry {
-                workload: 0,
-                step,
-                op,
-                start: clock.now(),
-                end: clock.now() + duration,
-                resource: ResourceClass::Baseline,
-                ff_units: 0,
-                attempt: 0,
-                outcome: AttemptOutcome::Completed,
-            });
-            clock.advance(duration);
-        }
-        clock.advance(run.step_epilogue_dm);
-        dm_raw += run.step_epilogue_dm;
-        energy += run.step_epilogue_energy;
-    }
-    let makespan = clock.now();
-    ReportBuilder::new(run.system, run.steps)
-        .makespan(makespan)
-        .raw_parts(op_raw, dm_raw, sync_raw)
-        .device_energy(energy)
-        .charge_host_idle()
-        .device_busy(run.device.name(), makespan)
-        .build()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::engine::EngineConfig;
-    use pim_common::units::Bytes;
-    use pim_hw::cpu::CpuDevice;
-    use pim_tensor::cost::OffloadClass;
-
-    #[test]
-    fn event_heap_orders_by_time_then_fifo() {
-        let mut heap: EventHeap<usize> = EventHeap::new();
-        heap.push(Seconds::new(2e-6), 0);
-        heap.push(Seconds::new(1e-6), 1);
-        heap.push(Seconds::new(1e-6), 2);
-        let order: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|(_, p)| p)).collect();
-        assert_eq!(order, vec![1, 2, 0]);
-    }
-
-    #[test]
-    fn clock_quantization_round_trips() {
-        let t = Seconds::new(1.2345e-3);
-        let fs = Clock::to_fs(t);
-        assert!((Clock::from_fs(fs).seconds() - t.seconds()).abs() < 1e-15);
-        let mut clock = Clock::new();
-        clock.advance(Seconds::new(1.0));
-        clock.jump_to_fs(Clock::to_fs(Seconds::new(2.0)));
-        assert_eq!(clock.now(), Seconds::new(2.0));
-    }
-
-    #[test]
-    fn resource_state_mirrors_the_fig7_registers() {
-        let planner = Planner::new(EngineConfig::hetero());
-        let mut state = ResourceState::new(&planner);
-        assert!(state.registers.all_banks_idle());
-        assert!(!state.registers.progr_busy());
-
-        let cost = CostProfile::compute(
-            1e9,
-            1e9,
-            0.0,
-            Bytes::new(1e7),
-            Bytes::new(1e7),
-            OffloadClass::FullyMulAdd,
-            128,
-        );
-        let kind = PlanKind::FixedWhole {
-            rc_runtime: true,
-            units: 128,
-        };
-        let planned = planner.plan_cost(kind, &cost);
-        let units = state.acquire(kind, &planned).unwrap();
-        assert_eq!(units, 128);
-        assert_eq!(
-            state.registers.idle_bank_count(),
-            planner.pool_cfg().total_units - 128
-        );
-        assert_eq!(
-            state.availability().ff_free,
-            planner.pool_cfg().total_units - 128
-        );
-
-        state.release(units, false, false);
-        assert!(state.registers.all_banks_idle());
-    }
-
-    #[test]
-    fn progr_slots_saturate_the_busy_bit() {
-        let planner = Planner::new(EngineConfig::hetero());
-        let mut state = ResourceState::new(&planner);
-        let cost = CostProfile::compute(
-            0.0,
-            0.0,
-            1e8,
-            Bytes::new(1e6),
-            Bytes::new(1e6),
-            OffloadClass::NonMulAdd,
-            0,
-        );
-        let planned = planner.plan_cost(PlanKind::Progr, &cost);
-        for _ in 0..PROGR_KERNEL_SLOTS {
-            assert!(state.availability().progr_free);
-            state.acquire(PlanKind::Progr, &planned).unwrap();
-        }
-        assert!(!state.availability().progr_free);
-        assert!(state.registers.progr_busy());
-        state.release(0, false, true);
-        assert!(state.availability().progr_free);
-        assert!(!state.registers.progr_busy());
-    }
-
-    #[test]
-    fn device_serial_run_traces_and_balances() {
-        let cpu = CpuDevice::xeon_e5_2630_v3();
-        let costs = vec![
-            CostProfile::compute(
-                1e9,
-                1e9,
-                0.0,
-                Bytes::new(1e7),
-                Bytes::new(1e7),
-                OffloadClass::FullyMulAdd,
-                64,
-            );
-            3
-        ];
-        let run = DeviceRun {
-            system: "test-baseline",
-            device: &cpu,
-            costs: &costs,
-            steps: 2,
-            step_epilogue_dm: Seconds::new(1e-3),
-            step_epilogue_energy: Joules::new(0.5),
-        };
-        let mut sink = VecSink::default();
-        let report = run_device_serial(&run, &mut sink);
-        let timeline = sink.into_entries();
-        assert_eq!(timeline.len(), 6);
-        assert!(timeline
-            .iter()
-            .all(|e| e.resource == ResourceClass::Baseline));
-        // Contiguous, non-overlapping execution within each step.
-        for pair in timeline.windows(2) {
-            assert!(pair[1].start >= pair[0].end);
-        }
-        assert!(report.is_well_formed());
-        // The per-step epilogue is billed as data movement.
-        assert!(report.data_movement_time >= Seconds::new(2e-3));
-        assert_eq!(report.device_busy[cpu.params().name], report.makespan);
-    }
-}
+pub use super::observe::{NullSink, ResourceClass, TimelineEntry, TimelineSink, VecSink};
+pub(crate) use super::observe::{Observer, SCHED_TRACK};

@@ -15,17 +15,23 @@
 //! [`Engine::run`], [`Engine::run_detailed`], and [`Engine::run_many`]
 //! are thin wrappers over it.
 //!
-//! The engine is a thin facade over two submodules:
+//! The engine is a thin facade over the core submodules:
 //!
 //! * `placement` — the placement policy (`Planner`): the three scheduling
 //!   principles costed through the `pim-hw` `Device` trait,
-//! * `events` — the shared event core (clock, event heap, resource state,
-//!   timeline sinks, the observability `Observer`) and the execution
-//!   drivers, including [`run_device_serial`] which the `pim-sim`
-//!   baselines use.
+//! * `components` — the component/next-tick discrete-event core (device
+//!   lanes, link/sync model, SoA resource state, component slab, clock,
+//!   event heap),
+//! * `observe` — timeline sinks and the observability `Observer`,
+//! * `drivers` — the execution drivers, including [`run_device_serial`]
+//!   which the `pim-sim` baselines use,
+//! * `events` — the historical facade re-exporting the three above.
 
+mod components;
+mod drivers;
 mod events;
 pub mod faults;
+mod observe;
 mod placement;
 #[cfg(test)]
 mod tests;
@@ -195,6 +201,7 @@ impl EngineConfig {
     ///
     /// Deprecated spelling of `EngineConfig::preset(SystemPreset::CpuOnly)`;
     /// prefer the preset form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::CpuOnly)`")]
     pub fn cpu_only() -> Self {
         EngineConfig::preset(SystemPreset::CpuOnly)
     }
@@ -205,6 +212,7 @@ impl EngineConfig {
     /// Deprecated spelling of
     /// `EngineConfig::preset(SystemPreset::ProgrOnly)`; prefer the preset
     /// form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::ProgrOnly)`")]
     pub fn progr_only() -> Self {
         EngineConfig::preset(SystemPreset::ProgrOnly)
     }
@@ -215,6 +223,7 @@ impl EngineConfig {
     /// Deprecated spelling of
     /// `EngineConfig::preset(SystemPreset::FixedHost)`; prefer the preset
     /// form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::FixedHost)`")]
     pub fn fixed_host() -> Self {
         EngineConfig::preset(SystemPreset::FixedHost)
     }
@@ -223,6 +232,7 @@ impl EngineConfig {
     ///
     /// Deprecated spelling of `EngineConfig::preset(SystemPreset::Hetero)`;
     /// prefer the preset form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::Hetero)`")]
     pub fn hetero() -> Self {
         EngineConfig::preset(SystemPreset::Hetero)
     }
@@ -233,6 +243,7 @@ impl EngineConfig {
     /// Deprecated spelling of
     /// `EngineConfig::preset(SystemPreset::HeteroBare)`; prefer the preset
     /// form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::HeteroBare)`")]
     pub fn hetero_bare() -> Self {
         EngineConfig::preset(SystemPreset::HeteroBare)
     }
@@ -243,6 +254,7 @@ impl EngineConfig {
     /// Deprecated spelling of
     /// `EngineConfig::preset(SystemPreset::HeteroRc)`; prefer the preset
     /// form in new code.
+    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::HeteroRc)`")]
     pub fn hetero_rc() -> Self {
         EngineConfig::preset(SystemPreset::HeteroRc)
     }
@@ -345,6 +357,23 @@ pub struct RunOutput {
     pub degraded: Option<&'static str>,
 }
 
+/// Everything a partitioned multi-workload simulation produced
+/// ([`Engine::run_many_with`]).
+#[derive(Debug)]
+pub struct ManyOutput {
+    /// One report per workload, in input order.
+    pub reports: Vec<ExecutionReport>,
+    /// The merged per-instance timeline, when [`RunOptions::timeline`] was
+    /// set: entries are tagged with the workload (partition) index and
+    /// ordered by quantized start time, tie-broken by partition index (see
+    /// the `components` module docs for the determinism argument).
+    pub timeline: Option<Vec<TimelineEntry>>,
+    /// Counter registries of all partitions merged in partition order.
+    /// Every counter key is a sum over events, so the merged registry is
+    /// independent of how many threads ran the partitions.
+    pub counters: Counters,
+}
+
 /// The engine: devices + policy for one configuration.
 pub struct Engine {
     planner: Planner,
@@ -382,14 +411,9 @@ impl Engine {
             let candidates = select_candidates_traced(&profile, self.planner.cfg.coverage, tracer);
             let deps: Vec<Vec<usize>> = wl
                 .graph
-                .ops()
-                .iter()
-                .map(|op| {
-                    wl.graph
-                        .dependencies(op.id)
-                        .map(|v| v.into_iter().map(|d| d.index()).collect())
-                        .unwrap_or_default()
-                })
+                .all_dependencies()
+                .into_iter()
+                .map(|v| v.into_iter().map(|d| d.index()).collect())
                 .collect();
             let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); wl.graph.op_count()];
             for (op, ds) in deps.iter().enumerate() {
@@ -740,15 +764,83 @@ impl Engine {
 
     /// Runs each workload as its own independent simulation, across
     /// threads when the `parallel` feature is enabled (the default).
-    /// Results keep the input order.
+    /// Results keep the input order. Thin wrapper over
+    /// [`Engine::run_many_with`] with default options.
     ///
     /// # Errors
     ///
     /// Propagates the first failure among the runs, in input order.
     pub fn run_many(&self, workloads: &[WorkloadSpec<'_>]) -> Result<Vec<ExecutionReport>> {
-        crate::par::par_map(workloads, |wl| self.run(&[*wl]))
+        Ok(self
+            .run_many_with(workloads, &RunOptions::default())?
+            .reports)
+    }
+
+    /// Partitioned multi-workload execution: each workload is an
+    /// independent partition advanced on its own event core — on its own
+    /// thread when the `parallel` feature is enabled (worker count capped
+    /// by `PIM_RUN_THREADS`) — and the per-partition artifacts are merged
+    /// deterministically afterwards.
+    ///
+    /// The output is a pure function of the inputs, independent of the
+    /// worker count: reports keep input order, timelines merge by
+    /// `(quantized start, partition index)` with stable within-partition
+    /// order, and counters merge in partition order.
+    ///
+    /// This is *not* [`Engine::run_with`] with several workloads — that
+    /// call co-runs the workloads on one shared resource state (the
+    /// Fig. 16 scenario) and stays a single partition; here every
+    /// workload gets the whole machine to itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure among the partitions, in input order.
+    pub fn run_many_with(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        opts: &RunOptions,
+    ) -> Result<ManyOutput> {
+        let outs: Vec<RunOutput> = crate::par::par_map(workloads, |wl| self.run_with(&[*wl], opts))
             .into_iter()
-            .collect()
+            .collect::<Result<_>>()?;
+        let mut counters = Counters::new();
+        let mut reports = Vec::with_capacity(outs.len());
+        let mut parts = opts.timeline.then(|| Vec::with_capacity(outs.len()));
+        for out in outs {
+            counters.merge(&out.counters);
+            reports.push(out.report);
+            if let Some(parts) = parts.as_mut() {
+                parts.push(out.timeline.unwrap_or_default());
+            }
+        }
+        Ok(ManyOutput {
+            reports,
+            timeline: parts.map(components::merge_partition_timelines),
+            counters,
+        })
+    }
+
+    /// Replays a merged multi-partition timeline ([`Engine::run_many_with`]
+    /// with `timeline: true`) against the workloads it was recorded from:
+    /// the timeline is split back into per-partition streams by its
+    /// workload tags and each partition is checked independently, since
+    /// every partition had the whole machine to itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost/profiling failures while re-preparing the
+    /// workloads; timeline problems become diagnostics.
+    pub fn verify_many_timeline(
+        &self,
+        workloads: &[WorkloadSpec<'_>],
+        timeline: &[TimelineEntry],
+    ) -> Result<Diagnostics> {
+        let parts = crate::verify::split_partitions(timeline, workloads.len());
+        let mut diags = Diagnostics::new();
+        for (wl, part) in workloads.iter().zip(parts) {
+            diags.extend(self.verify_timeline(&[*wl], &part)?);
+        }
+        Ok(diags)
     }
 
     /// Previews the placement decision for every op of a graph under this

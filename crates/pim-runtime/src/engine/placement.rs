@@ -567,6 +567,7 @@ impl Planner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SystemPreset;
     use pim_common::units::Bytes;
 
     fn planner(cfg: EngineConfig) -> Planner {
@@ -619,14 +620,14 @@ mod tests {
     fn choose_follows_the_mode_restrictions() {
         let all = Availability::all_free(444);
         let ma = cost(OffloadClass::FullyMulAdd, 128);
-        let cpu_only = planner(EngineConfig::cpu_only());
+        let cpu_only = planner(EngineConfig::preset(SystemPreset::CpuOnly));
         assert_eq!(cpu_only.choose(&ma, true, false, all), Some(PlanKind::Cpu));
-        let progr = planner(EngineConfig::progr_only());
+        let progr = planner(EngineConfig::preset(SystemPreset::ProgrOnly));
         assert_eq!(
             progr.choose(&ma, true, false, all),
             Some(PlanKind::ProgrPool)
         );
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         assert_eq!(
             hetero.choose(&ma, true, false, all),
             Some(PlanKind::FixedWhole {
@@ -638,7 +639,7 @@ mod tests {
 
     #[test]
     fn restricted_workloads_stay_off_the_fixed_pool() {
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         let ma = cost(OffloadClass::FullyMulAdd, 128);
         assert_eq!(
             hetero.choose(&ma, true, true, Availability::all_free(444)),
@@ -662,7 +663,7 @@ mod tests {
 
     #[test]
     fn hetero_candidates_wait_for_the_pool_under_op() {
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         let ma = cost(OffloadClass::FullyMulAdd, 128);
         let pool_busy = Availability {
             ff_free: 0,
@@ -671,7 +672,7 @@ mod tests {
         // Under the operation pipeline a heavy candidate waits instead of
         // falling back to the CPU.
         assert_eq!(hetero.choose(&ma, true, false, pool_busy), None);
-        let mut serial_cfg = EngineConfig::hetero();
+        let mut serial_cfg = EngineConfig::preset(SystemPreset::Hetero);
         serial_cfg.operation_pipeline = false;
         let serial = planner(serial_cfg);
         assert_eq!(
@@ -682,7 +683,7 @@ mod tests {
 
     #[test]
     fn quarantined_pool_degrades_along_the_survivor_chain() {
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         let ma = cost(OffloadClass::FullyMulAdd, 128);
         // Pool quarantined (not merely busy): a candidate falls to the
         // programmable PIM instead of waiting forever.
@@ -723,7 +724,7 @@ mod tests {
 
     #[test]
     fn quarantined_progr_only_falls_back_to_the_host() {
-        let progr = planner(EngineConfig::progr_only());
+        let progr = planner(EngineConfig::preset(SystemPreset::ProgrOnly));
         let ma = cost(OffloadClass::FullyMulAdd, 128);
         let dead = Availability {
             progr_free: false,
@@ -741,7 +742,7 @@ mod tests {
 
     #[test]
     fn plan_cost_breakdown_partitions_the_duration() {
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         for kind in [
             PlanKind::Cpu,
             PlanKind::Progr,
@@ -772,7 +773,7 @@ mod tests {
 
     #[test]
     fn recursive_kernel_holds_progr_but_not_cpu() {
-        let hetero = planner(EngineConfig::hetero());
+        let hetero = planner(EngineConfig::preset(SystemPreset::Hetero));
         let c = cost(OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 }, 128);
         let p = hetero.plan_cost(PlanKind::Recursive { units: 128 }, &c);
         assert!(p.uses_progr);

@@ -18,7 +18,11 @@ fn run(cfg: EngineConfig, kind: ModelKind, steps: usize) -> ExecutionReport {
 
 #[test]
 fn cpu_config_runs_and_is_well_formed() {
-    let r = run(EngineConfig::cpu_only(), ModelKind::AlexNet, 2);
+    let r = run(
+        EngineConfig::preset(SystemPreset::CpuOnly),
+        ModelKind::AlexNet,
+        2,
+    );
     assert!(r.is_well_formed());
     assert!(r.makespan.seconds() > 0.0);
     assert_eq!(r.ff_utilization, 0.0);
@@ -26,8 +30,16 @@ fn cpu_config_runs_and_is_well_formed() {
 
 #[test]
 fn hetero_beats_cpu_substantially() {
-    let cpu = run(EngineConfig::cpu_only(), ModelKind::AlexNet, 2);
-    let hetero = run(EngineConfig::hetero(), ModelKind::AlexNet, 2);
+    let cpu = run(
+        EngineConfig::preset(SystemPreset::CpuOnly),
+        ModelKind::AlexNet,
+        2,
+    );
+    let hetero = run(
+        EngineConfig::preset(SystemPreset::Hetero),
+        ModelKind::AlexNet,
+        2,
+    );
     let speedup = cpu.makespan / hetero.makespan;
     assert!(speedup > 3.0, "speedup = {speedup}");
     assert!(hetero.is_well_formed());
@@ -36,9 +48,9 @@ fn hetero_beats_cpu_substantially() {
 #[test]
 fn hetero_beats_fixed_and_progr_baselines() {
     let kind = ModelKind::AlexNet;
-    let hetero = run(EngineConfig::hetero(), kind, 2);
-    let fixed = run(EngineConfig::fixed_host(), kind, 2);
-    let progr = run(EngineConfig::progr_only(), kind, 2);
+    let hetero = run(EngineConfig::preset(SystemPreset::Hetero), kind, 2);
+    let fixed = run(EngineConfig::preset(SystemPreset::FixedHost), kind, 2);
+    let progr = run(EngineConfig::preset(SystemPreset::ProgrOnly), kind, 2);
     assert!(fixed.makespan > hetero.makespan);
     assert!(progr.makespan > hetero.makespan);
 }
@@ -57,9 +69,9 @@ fn rc_and_op_improve_over_bare_hetero() {
             }])
             .unwrap()
     };
-    let bare = run_cfg(EngineConfig::hetero_bare());
-    let rc = run_cfg(EngineConfig::hetero_rc());
-    let full = run_cfg(EngineConfig::hetero());
+    let bare = run_cfg(EngineConfig::preset(SystemPreset::HeteroBare));
+    let rc = run_cfg(EngineConfig::preset(SystemPreset::HeteroRc));
+    let full = run_cfg(EngineConfig::preset(SystemPreset::Hetero));
     assert!(rc.makespan < bare.makespan, "RC must help");
     assert!(full.makespan < rc.makespan, "OP must help further");
 }
@@ -67,8 +79,8 @@ fn rc_and_op_improve_over_bare_hetero() {
 #[test]
 fn rc_and_op_raise_fixed_pim_utilization() {
     let kind = ModelKind::Vgg19;
-    let bare = run(EngineConfig::hetero_bare(), kind, 1);
-    let full = run(EngineConfig::hetero(), kind, 2);
+    let bare = run(EngineConfig::preset(SystemPreset::HeteroBare), kind, 1);
+    let full = run(EngineConfig::preset(SystemPreset::Hetero), kind, 2);
     assert!(
         full.ff_utilization > bare.ff_utilization,
         "bare {} vs full {}",
@@ -80,9 +92,9 @@ fn rc_and_op_raise_fixed_pim_utilization() {
 #[test]
 fn frequency_scaling_speeds_up_hetero() {
     let kind = ModelKind::AlexNet;
-    let base = run(EngineConfig::hetero(), kind, 2);
+    let base = run(EngineConfig::preset(SystemPreset::Hetero), kind, 2);
     let fast = run(
-        EngineConfig::hetero()
+        EngineConfig::preset(SystemPreset::Hetero)
             .with_stack(StackConfig::hmc2().with_frequency_multiplier(4.0).unwrap()),
         kind,
         2,
@@ -97,8 +109,8 @@ fn pipeline_respects_dependencies() {
     // ensuring 2 steps take less than 2x one step (pipelining) but
     // more than 1x (dependencies preserved).
     let kind = ModelKind::AlexNet;
-    let one = run(EngineConfig::hetero(), kind, 1);
-    let two = run(EngineConfig::hetero(), kind, 2);
+    let one = run(EngineConfig::preset(SystemPreset::Hetero), kind, 1);
+    let two = run(EngineConfig::preset(SystemPreset::Hetero), kind, 2);
     assert!(two.makespan > one.makespan);
     assert!(two.makespan < one.makespan * 2.0);
 }
@@ -106,7 +118,7 @@ fn pipeline_respects_dependencies() {
 #[test]
 fn mixed_restricted_workload_avoids_fixed_pim() {
     let model = Model::build_with_batch(ModelKind::Word2vec, 8).unwrap();
-    let engine = Engine::new(EngineConfig::hetero());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
     let r = engine
         .run(&[WorkloadSpec {
             graph: model.graph(),
@@ -122,7 +134,7 @@ fn mixed_restricted_workload_avoids_fixed_pim() {
 fn run_many_matches_individual_runs() {
     let alex = Model::build_with_batch(ModelKind::AlexNet, 8).unwrap();
     let dcgan = Model::build_with_batch(ModelKind::Dcgan, 8).unwrap();
-    let engine = Engine::new(EngineConfig::hetero());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
     let specs = [
         WorkloadSpec {
             graph: alex.graph(),
@@ -150,7 +162,7 @@ mod preview_tests {
     #[test]
     fn preview_places_conv_backprops_on_recursive_kernels() {
         let model = Model::build(ModelKind::Vgg19).unwrap();
-        let engine = Engine::new(EngineConfig::hetero());
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
         let rows = engine.plan_preview(model.graph()).unwrap();
         assert_eq!(rows.len(), model.graph().op_count());
         let bpf = rows
@@ -172,7 +184,7 @@ mod preview_tests {
     #[test]
     fn cpu_only_preview_places_everything_on_cpu() {
         let model = Model::build_with_batch(ModelKind::Dcgan, 4).unwrap();
-        let engine = Engine::new(EngineConfig::cpu_only());
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::CpuOnly));
         let rows = engine.plan_preview(model.graph()).unwrap();
         assert!(rows.iter().all(|r| r.placement == "CPU"));
         assert!(rows.iter().all(|r| r.seconds >= 0.0));
@@ -246,13 +258,13 @@ mod fault_tests {
     #[test]
     fn all_ff_dead_collapses_to_the_programmable_preset() {
         let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
-        let hetero = Engine::new(EngineConfig::hetero());
+        let hetero = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
         let plan = FaultPlan::quarantine_ff_at_start(hetero.config().ff_units);
         let degraded = hetero
             .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
             .unwrap();
         assert_eq!(degraded.degraded, Some("Progr PIM"));
-        let progr = Engine::new(EngineConfig::progr_only())
+        let progr = Engine::new(EngineConfig::preset(SystemPreset::ProgrOnly))
             .run(&[spec(&model, 2)])
             .unwrap();
         assert_eq!(degraded.report, progr);
@@ -261,14 +273,14 @@ mod fault_tests {
     #[test]
     fn everything_dead_collapses_to_cpu() {
         let model = Model::build_with_batch(ModelKind::Dcgan, 8).unwrap();
-        let hetero = Engine::new(EngineConfig::hetero());
+        let hetero = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
         let plan = FaultPlan::quarantine_ff_at_start(hetero.config().ff_units)
             .with_permanent(Seconds::ZERO, FaultTarget::ProgrPim);
         let degraded = hetero
             .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
             .unwrap();
         assert_eq!(degraded.degraded, Some("CPU"));
-        let cpu = Engine::new(EngineConfig::cpu_only())
+        let cpu = Engine::new(EngineConfig::preset(SystemPreset::CpuOnly))
             .run(&[spec(&model, 2)])
             .unwrap();
         assert_eq!(degraded.report.makespan, cpu.makespan);
@@ -278,7 +290,7 @@ mod fault_tests {
     #[test]
     fn mid_run_progr_strike_still_finishes() {
         let model = Model::build_with_batch(ModelKind::Lstm, 16).unwrap();
-        let engine = Engine::new(EngineConfig::hetero());
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
         // Anchor the strike inside the busy part of the schedule (the
         // makespan itself ends with barrier/decision accounting no event
         // reaches).

@@ -21,15 +21,15 @@
 //! # Examples
 //!
 //! ```
-//! use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+//! use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 //! use pim_models::{Model, ModelKind};
 //!
 //! # fn main() -> pim_common::Result<()> {
 //! let model = Model::build_with_batch(ModelKind::AlexNet, 2)?;
 //! let workload = WorkloadSpec { graph: model.graph(), steps: 2, cpu_progr_only: false };
 //!
-//! let hetero = Engine::new(EngineConfig::hetero()).run(&[workload])?;
-//! let cpu = Engine::new(EngineConfig::cpu_only()).run(&[workload])?;
+//! let hetero = Engine::new(EngineConfig::preset(SystemPreset::Hetero)).run(&[workload])?;
+//! let cpu = Engine::new(EngineConfig::preset(SystemPreset::CpuOnly)).run(&[workload])?;
 //! assert!(hetero.makespan < cpu.makespan);
 //! # Ok(())
 //! # }

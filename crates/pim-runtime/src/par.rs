@@ -6,6 +6,24 @@
 //! order always matches input order, so parallel sweeps stay
 //! deterministic.
 
+/// Worker-thread cap for one fan-out: the `PIM_RUN_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism. Pinning `PIM_RUN_THREADS=1` forces the parallel
+/// build down the serial path — the thread-matrix CI stage uses this to
+/// check that results do not depend on the worker count.
+#[cfg(feature = "parallel")]
+fn thread_limit() -> usize {
+    std::env::var("PIM_RUN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Maps `f` over `items`, in parallel when the `parallel` feature is on.
 ///
 /// Results are returned in input order regardless of which thread finished
@@ -17,10 +35,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers = thread_limit().min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }

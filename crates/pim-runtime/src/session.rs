@@ -19,13 +19,13 @@ use pim_graph::Graph;
 /// # Examples
 ///
 /// ```
-/// use pim_runtime::engine::EngineConfig;
+/// use pim_runtime::engine::{EngineConfig, SystemPreset};
 /// use pim_runtime::session::TrainingSession;
 /// use pim_models::{Model, ModelKind};
 ///
 /// # fn main() -> pim_common::Result<()> {
 /// let model = Model::build_with_batch(ModelKind::AlexNet, 2)?;
-/// let session = TrainingSession::new(model.graph(), EngineConfig::hetero())?;
+/// let session = TrainingSession::new(model.graph(), EngineConfig::preset(SystemPreset::Hetero))?;
 /// // The first step profiled; candidates chosen by the global index.
 /// assert!(session.candidates().time_coverage >= 0.90);
 /// let report = session.train(3)?;
@@ -90,12 +90,15 @@ impl<'g> TrainingSession<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SystemPreset;
     use pim_models::{Model, ModelKind};
 
     #[test]
     fn session_profiles_once_and_trains() {
         let model = Model::build_with_batch(ModelKind::Dcgan, 4).unwrap();
-        let session = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        let session =
+            TrainingSession::new(model.graph(), EngineConfig::preset(SystemPreset::Hetero))
+                .unwrap();
         assert_eq!(session.profile().ops.len(), model.graph().op_count());
         let r2 = session.train(2).unwrap();
         let r4 = session.train(4).unwrap();
@@ -110,16 +113,20 @@ mod tests {
         params.name = "FastHost";
         params.ma_throughput *= 2.0;
         params.other_throughput *= 2.0;
-        let fast_cfg = EngineConfig::hetero().with_host_cpu(CpuDevice::custom(params));
+        let fast_cfg =
+            EngineConfig::preset(SystemPreset::Hetero).with_host_cpu(CpuDevice::custom(params));
         let fast = TrainingSession::new(model.graph(), fast_cfg).unwrap();
-        let base = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        let base = TrainingSession::new(model.graph(), EngineConfig::preset(SystemPreset::Hetero))
+            .unwrap();
         assert!(fast.profile().total_time() < base.profile().total_time());
     }
 
     #[test]
     fn candidate_set_is_reused_across_training_calls() {
         let model = Model::build_with_batch(ModelKind::AlexNet, 2).unwrap();
-        let session = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        let session =
+            TrainingSession::new(model.graph(), EngineConfig::preset(SystemPreset::Hetero))
+                .unwrap();
         let before = session.candidates().ranked.clone();
         session.train(1).unwrap();
         assert_eq!(before, session.candidates().ranked);

@@ -322,6 +322,64 @@ pub fn cross_check_counters(report: &ExecutionReport, counters: &Counters) -> Di
     diags
 }
 
+/// [`cross_check_counters`] for a partitioned run: validates the merged
+/// counter registry of [`crate::engine::Engine::run_many_with`] against
+/// the *sum* of the per-partition reports.
+///
+/// Partition merge is plain addition for every counter the cross-check
+/// reads (busy seconds, event and op tallies), so the merged registry
+/// must agree with a synthetic report whose busy map and event totals
+/// are the element-wise sums over partitions — any partition whose
+/// counters were dropped or double-merged surfaces here.
+pub fn cross_check_many(reports: &[ExecutionReport], counters: &Counters) -> Diagnostics {
+    let mut busy: BTreeMap<String, Seconds> = BTreeMap::new();
+    for report in reports {
+        for (device, seconds) in &report.device_busy {
+            *busy.entry(device.clone()).or_insert(Seconds::ZERO) += *seconds;
+        }
+    }
+    let mut diags = Diagnostics::new();
+    for (device, total) in &busy {
+        let counted = counters.get(&format!("busy_seconds/{device}"));
+        if !rel_close(counted, total.seconds()) {
+            diags.error(
+                "counters",
+                format!("busy_seconds/{device}"),
+                format!(
+                    "merged counter says {counted} busy seconds, summed reports say {}",
+                    total.seconds()
+                ),
+            );
+        }
+    }
+    let dispatched = counters.get("events/dispatched");
+    let completed = counters.get("events/completed");
+    let recovered = counters.get("faults/retries") + counters.get("faults/redispatches");
+    if dispatched != completed + recovered {
+        diags.error(
+            "counters",
+            "events/completed",
+            format!(
+                "{dispatched} events dispatched but {completed} completed and {recovered} \
+                 recovered"
+            ),
+        );
+    }
+    let placed: f64 = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("ops/"))
+        .map(|(_, value)| value)
+        .sum();
+    if placed != dispatched {
+        diags.error(
+            "counters",
+            "ops/*",
+            format!("{placed} ops placed across classes but {dispatched} dispatched"),
+        );
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +396,28 @@ mod tests {
             ff_utilization: 0.75,
             device_busy: BTreeMap::new(),
         }
+    }
+
+    #[test]
+    fn cross_check_many_sums_partition_reports() {
+        let mut a = report();
+        a.device_busy.insert("CPU".into(), Seconds::new(3.0));
+        let mut b = report();
+        b.device_busy.insert("CPU".into(), Seconds::new(5.0));
+        let mut counters = Counters::new();
+        counters.add("busy_seconds/CPU", 8.0);
+        counters.add("events/dispatched", 6.0);
+        counters.add("events/completed", 6.0);
+        counters.add("ops/cpu", 6.0);
+        assert!(cross_check_many(&[a.clone(), b.clone()], &counters).is_clean());
+
+        // Dropping a partition's busy time from the merge must surface.
+        let mut short = Counters::new();
+        short.add("busy_seconds/CPU", 3.0);
+        short.add("events/dispatched", 6.0);
+        short.add("events/completed", 6.0);
+        short.add("ops/cpu", 6.0);
+        assert!(!cross_check_many(&[a, b], &short).is_clean());
     }
 
     #[test]

@@ -95,6 +95,28 @@ fn needs_fixed_part(class: ResourceClass) -> bool {
     )
 }
 
+/// Splits a merged multi-partition timeline (the
+/// [`Engine::run_many_with`](crate::engine::Engine::run_many_with) output)
+/// back into per-partition streams by its workload tags.
+///
+/// Entry order within each partition is preserved — the merge is stable —
+/// so each returned stream is exactly the timeline that partition's
+/// single-workload run recorded, re-tagged to local workload index 0 and
+/// ready for [`check_timeline`] against that workload's facts alone.
+/// Entries tagged beyond `partitions` are dropped; callers detect them by
+/// comparing entry counts.
+pub fn split_partitions(timeline: &[TimelineEntry], partitions: usize) -> Vec<Vec<TimelineEntry>> {
+    let mut parts: Vec<Vec<TimelineEntry>> = vec![Vec::new(); partitions];
+    for e in timeline {
+        if let Some(part) = parts.get_mut(e.workload) {
+            let mut local = *e;
+            local.workload = 0;
+            part.push(local);
+        }
+    }
+    parts
+}
+
 /// Checks one recorded timeline against the workload facts, resource
 /// budgets, and the fixed-function pool's capability rule.
 ///

@@ -6,7 +6,7 @@
 use pim_common::units::Seconds;
 use pim_graph::gen::{self, GenSpec};
 use pim_graph::graph::Graph;
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use proptest::prelude::*;
 
 /// Builds a random layered DAG through the shared seeded generator
@@ -44,8 +44,8 @@ proptest! {
     ) {
         let graph = random_dag(layers, width, seed);
         graph.validate().unwrap();
-        let scheduled = run(&graph, EngineConfig::hetero(), 2);
-        let serialized = run(&graph, EngineConfig::hetero_rc(), 2);
+        let scheduled = run(&graph, EngineConfig::preset(SystemPreset::Hetero), 2);
+        let serialized = run(&graph, EngineConfig::preset(SystemPreset::HeteroRc), 2);
         prop_assert!(scheduled.is_well_formed());
         prop_assert!(serialized.is_well_formed());
         // The pipeline overlaps work; tiny graphs may pay small constant
@@ -67,8 +67,8 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let graph = random_dag(layers, width, seed);
-        let one = run(&graph, EngineConfig::hetero(), 1).makespan;
-        let three = run(&graph, EngineConfig::hetero(), 3).makespan;
+        let one = run(&graph, EngineConfig::preset(SystemPreset::Hetero), 1).makespan;
+        let three = run(&graph, EngineConfig::preset(SystemPreset::Hetero), 3).makespan;
         prop_assert!(three >= one);
         prop_assert!(three.seconds() <= 3.0 * one.seconds() + 1e-9);
     }
@@ -83,11 +83,11 @@ proptest! {
     ) {
         let graph = random_dag(layers, width, seed);
         for cfg in [
-            EngineConfig::cpu_only(),
-            EngineConfig::progr_only(),
-            EngineConfig::fixed_host(),
-            EngineConfig::hetero_bare(),
-            EngineConfig::hetero(),
+            EngineConfig::preset(SystemPreset::CpuOnly),
+            EngineConfig::preset(SystemPreset::ProgrOnly),
+            EngineConfig::preset(SystemPreset::FixedHost),
+            EngineConfig::preset(SystemPreset::HeteroBare),
+            EngineConfig::preset(SystemPreset::Hetero),
         ] {
             let r = run(&graph, cfg, 1);
             prop_assert!(r.makespan > Seconds::ZERO);
@@ -103,7 +103,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let graph = random_dag(layers, 2, seed);
-        let r = Engine::new(EngineConfig::hetero())
+        let r = Engine::new(EngineConfig::preset(SystemPreset::Hetero))
             .run(&[WorkloadSpec { graph: &graph, steps: 2, cpu_progr_only: true }])
             .unwrap();
         prop_assert_eq!(r.ff_utilization, 0.0);
@@ -116,8 +116,8 @@ proptest! {
 #[test]
 fn dependency_chains_bound_the_pipeline() {
     let graph = random_dag(12, 1, 7);
-    let one = run(&graph, EngineConfig::hetero(), 1).makespan;
-    let two = run(&graph, EngineConfig::hetero(), 2).makespan;
+    let one = run(&graph, EngineConfig::preset(SystemPreset::Hetero), 1).makespan;
+    let two = run(&graph, EngineConfig::preset(SystemPreset::Hetero), 2).makespan;
     assert!(two.seconds() >= one.seconds() * 1.2);
 }
 
@@ -127,7 +127,7 @@ fn dependency_chains_bound_the_pipeline() {
 fn timeline_respects_resource_exclusivity() {
     use pim_runtime::engine::ResourceClass;
     let graph = random_dag(6, 3, 42);
-    let engine = Engine::new(EngineConfig::hetero());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
     let (report, timeline) = engine
         .run_detailed(&[WorkloadSpec {
             graph: &graph,
@@ -173,7 +173,7 @@ fn timeline_respects_resource_exclusivity() {
 #[test]
 fn serialized_timeline_is_sequential() {
     let graph = random_dag(5, 2, 9);
-    let engine = Engine::new(EngineConfig::hetero_rc());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::HeteroRc));
     let (_, timeline) = engine
         .run_detailed(&[WorkloadSpec {
             graph: &graph,
@@ -183,5 +183,84 @@ fn serialized_timeline_is_sequential() {
         .unwrap();
     for pair in timeline.windows(2) {
         assert!(pair[1].start.seconds() >= pair[0].end.seconds() - 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Partitioned multi-workload execution (`run_many_with`) produces
+    /// exactly the artifacts of running each workload alone in input
+    /// order, for any DAG mix: identical `ExecutionReport`s, a merged
+    /// timeline equal to the deterministic `(start, partition)` merge of
+    /// the solo timelines, and counters equal to the partition-ordered
+    /// merge of the solo registries. This is the contract that makes the
+    /// worker count (and `PIM_RUN_THREADS`) unobservable in the output.
+    #[test]
+    fn partitioned_runs_match_solo_runs(
+        layers in 1usize..5,
+        width in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        use pim_common::trace::Counters;
+        use pim_runtime::engine::RunOptions;
+
+        let g1 = random_dag(layers, width, seed);
+        let g2 = random_dag(layers.max(2) - 1, width, seed.wrapping_add(1));
+        let wls = [
+            WorkloadSpec { graph: &g1, steps: 2, cpu_progr_only: false },
+            WorkloadSpec { graph: &g2, steps: 1, cpu_progr_only: false },
+            WorkloadSpec { graph: &g1, steps: 1, cpu_progr_only: true },
+        ];
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+        let opts = RunOptions { timeline: true, ..RunOptions::default() };
+
+        let many = engine.run_many_with(&wls, &opts).unwrap();
+
+        let mut solo_reports = Vec::new();
+        let mut solo_counters = Counters::new();
+        let mut solo_parts = Vec::new();
+        for wl in &wls {
+            let out = engine.run_with(&[*wl], &opts).unwrap();
+            solo_reports.push(out.report);
+            solo_counters.merge(&out.counters);
+            solo_parts.push(out.timeline.unwrap());
+        }
+        prop_assert_eq!(&many.reports, &solo_reports);
+        prop_assert_eq!(&many.counters, &solo_counters);
+
+        // The merged registry cross-checks against the summed reports.
+        let diags = pim_runtime::stats::cross_check_many(&many.reports, &many.counters);
+        prop_assert!(diags.is_clean(), "{}", diags.render_text());
+
+        // The merged timeline holds every solo entry, retagged with its
+        // partition, ordered by (quantized start, partition) with stable
+        // within-partition order.
+        let merged = many.timeline.as_ref().unwrap();
+        prop_assert_eq!(
+            merged.len(),
+            solo_parts.iter().map(Vec::len).sum::<usize>()
+        );
+        for (p, part) in solo_parts.iter().enumerate() {
+            let replayed: Vec<_> = merged
+                .iter()
+                .filter(|e| e.workload == p)
+                .map(|e| (e.step, e.op, e.start, e.end, e.resource, e.ff_units))
+                .collect();
+            let expected: Vec<_> = part
+                .iter()
+                .map(|e| (e.step, e.op, e.start, e.end, e.resource, e.ff_units))
+                .collect();
+            prop_assert_eq!(replayed, expected, "partition {} stream mangled", p);
+        }
+        for pair in merged.windows(2) {
+            let a = (pair[0].start.seconds() * 1e15) as u128;
+            let b = (pair[1].start.seconds() * 1e15) as u128;
+            prop_assert!(a < b || (a == b && pair[0].workload <= pair[1].workload));
+        }
+
+        // The merged timeline splits back into verifiable partitions.
+        let diags = engine.verify_many_timeline(&wls, merged).unwrap();
+        prop_assert!(diags.is_clean(), "{}", diags.render_text());
     }
 }

@@ -19,7 +19,7 @@ use pim_hw::fixed::FixedPoolConfig;
 use pim_hw::gpu::GpuDevice;
 use pim_mem::stack::StackConfig;
 use pim_models::Model;
-use pim_runtime::engine::EngineConfig;
+use pim_runtime::engine::{EngineConfig, SystemPreset};
 use serde::Serialize;
 
 /// One point of the coverage sweep.
@@ -40,7 +40,7 @@ pub fn coverage_sweep(model: &Model, points: &[f64], steps: usize) -> Result<Vec
     points
         .iter()
         .map(|&coverage| {
-            let mut cfg = EngineConfig::hetero();
+            let mut cfg = EngineConfig::preset(SystemPreset::Hetero);
             cfg.coverage = coverage;
             let r = simulate(model, &SystemConfig::HeteroPim(cfg), steps)?;
             Ok(CoveragePoint {
@@ -71,7 +71,8 @@ pub fn cube_scaling(model: &Model, steps: usize) -> Result<Vec<CubePoint>> {
     (1..=4)
         .map(|cubes| {
             let units = pim_hw::fixed::DEFAULT_UNITS * cubes;
-            let cfg = EngineConfig::hetero().with_pim_complement(4 * cubes, units);
+            let cfg =
+                EngineConfig::preset(SystemPreset::Hetero).with_pim_complement(4 * cubes, units);
             let r = simulate(model, &SystemConfig::HeteroPim(cfg), steps)?;
             Ok(CubePoint {
                 cubes,

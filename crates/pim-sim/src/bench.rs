@@ -342,6 +342,109 @@ pub fn validate_bench_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// Renders the `repro bench --compare <a> <b>` table: per-cell median
+/// deltas between two `hetero-pim-bench-v1` documents, matched by
+/// `(model, preset)`, plus the geometric-mean speedup over the matched
+/// cells. Cells present in only one file are listed but excluded from the
+/// geomean. `speedup` per cell is `a.median / b.median`, so values above
+/// 1.0 mean `b` is faster.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation in either file.
+pub fn compare_bench_json(a_text: &str, b_text: &str) -> std::result::Result<String, String> {
+    validate_bench_json(a_text).map_err(|e| format!("first file: {e}"))?;
+    validate_bench_json(b_text).map_err(|e| format!("second file: {e}"))?;
+
+    fn cells_of(text: &str) -> Vec<(String, String, f64)> {
+        let doc = pim_common::trace::parse_json(text).expect("validated above");
+        doc.field("cells")
+            .and_then(|c| c.as_arr())
+            .expect("validated above")
+            .iter()
+            .map(|cell| {
+                (
+                    cell.field("model")
+                        .and_then(|v| v.as_str())
+                        .unwrap()
+                        .to_string(),
+                    cell.field("preset")
+                        .and_then(|v| v.as_str())
+                        .unwrap()
+                        .to_string(),
+                    cell.field("median_ms").and_then(|v| v.as_num()).unwrap(),
+                )
+            })
+            .collect()
+    }
+    fn commit_of(text: &str) -> String {
+        pim_common::trace::parse_json(text)
+            .ok()
+            .and_then(|d| d.field("commit").and_then(|c| c.as_str()).map(String::from))
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+
+    let a_cells = cells_of(a_text);
+    let b_cells = cells_of(b_text);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "bench compare: a = commit {}, b = commit {}",
+        commit_of(a_text),
+        commit_of(b_text)
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<14} {:<14} {:>12} {:>12} {:>9} {:>9}",
+        "model", "preset", "a median/ms", "b median/ms", "delta", "speedup"
+    )
+    .ok();
+
+    let mut log_sum = 0.0f64;
+    let mut matched = 0usize;
+    for (model, preset, a_ms) in &a_cells {
+        let Some((_, _, b_ms)) = b_cells.iter().find(|(m, p, _)| m == model && p == preset) else {
+            writeln!(
+                out,
+                "{model:<14} {preset:<14} {a_ms:>12.3} {:>12} {:>9} {:>9}",
+                "-", "-", "-"
+            )
+            .ok();
+            continue;
+        };
+        let delta_pct = (b_ms - a_ms) / a_ms * 100.0;
+        let speedup = a_ms / b_ms;
+        log_sum += speedup.ln();
+        matched += 1;
+        writeln!(
+            out,
+            "{model:<14} {preset:<14} {a_ms:>12.3} {b_ms:>12.3} {delta_pct:>+8.1}% {speedup:>8.2}x"
+        )
+        .ok();
+    }
+    for (model, preset, b_ms) in &b_cells {
+        if !a_cells.iter().any(|(m, p, _)| m == model && p == preset) {
+            writeln!(
+                out,
+                "{model:<14} {preset:<14} {:>12} {b_ms:>12.3} {:>9} {:>9}",
+                "-", "-", "-"
+            )
+            .ok();
+        }
+    }
+    if matched == 0 {
+        return Err("no (model, preset) cells in common".to_string());
+    }
+    let geomean = (log_sum / matched as f64).exp();
+    writeln!(
+        out,
+        "geomean speedup over {matched} matched cells: {geomean:.2}x"
+    )
+    .ok();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +510,30 @@ mod tests {
         assert!(cells.iter().all(|c| c.median_ms > 0.0 && c.ops > 0));
         assert_eq!(cells[0].preset, "CPU");
         assert_eq!(cells[1].preset, "Hetero PIM");
+    }
+
+    #[test]
+    fn compare_reports_per_cell_deltas_and_geomean() {
+        let a = to_json(&tiny_file());
+        let mut faster = tiny_file();
+        faster.cells[0].median_ms = 0.75; // 2x faster than the 1.5ms baseline
+        let b = to_json(&faster);
+        let table = compare_bench_json(&a, &b).unwrap();
+        assert!(table.contains("AlexNet"), "{table}");
+        assert!(table.contains("2.00x"), "{table}");
+        assert!(
+            table.contains("geomean speedup over 1 matched cells: 2.00x"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn compare_rejects_invalid_and_disjoint_inputs() {
+        let a = to_json(&tiny_file());
+        assert!(compare_bench_json(&a, "not json").is_err());
+        let mut other = tiny_file();
+        other.cells[0].preset = "Hetero PIM";
+        assert!(compare_bench_json(&a, &to_json(&other)).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ const USAGE: &str = "usage: repro [SECTION | all | config | csv]
        repro tracecheck <path>
        repro bench [--json <path>] [--models a,b,..] [--iters N] [--steps N]
                    [--repro-all <runs> --baseline <median_ms>,<min_ms>]
+       repro bench --compare <a.json> <b.json>
 
 sections: table1 fig2 fig8 fig10 fig11 fig12 fig13 fig16 ablations
 models:   alex vgg dcgan resnet inception lstm w2v";
@@ -270,6 +271,7 @@ fn run_faults_cli() {
 /// ```text
 /// repro bench [--json <path>] [--models alex,vgg,...] [--iters N]
 ///             [--steps N] [--repro-all <runs> --baseline <median_ms>,<min_ms>]
+/// repro bench --compare <a.json> <b.json>
 /// ```
 ///
 /// Times every requested model against all six `SystemPreset`s and
@@ -277,10 +279,33 @@ fn run_faults_cli() {
 /// (a one-line summary goes to stderr), to stdout otherwise. `--repro-all`
 /// additionally times N cold `repro all` subprocesses and records the
 /// speedup against the externally measured pre-change `--baseline`.
+/// `--compare` skips measuring entirely and diffs two previously written
+/// bench documents: per-cell median deltas plus the geometric-mean
+/// speedup over the matched cells.
 fn run_bench_cli() {
     use pim_sim::bench;
 
     let args: Vec<String> = std::env::args().skip(2).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        let (a, b) = match (args.get(1), args.get(2), args.len()) {
+            (Some(a), Some(b), 3) => (a, b),
+            _ => usage_error("--compare expects exactly two bench JSON paths"),
+        };
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("bench compare failed reading {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        match bench::compare_bench_json(&read(a), &read(b)) {
+            Ok(table) => print!("{table}"),
+            Err(e) => {
+                eprintln!("bench compare failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let mut json_path: Option<String> = None;
     let mut kinds: Vec<ModelKind> = ModelKind::ALL.to_vec();
     let mut iters = 3usize;

@@ -8,7 +8,7 @@
 
 use pim_common::Result;
 use pim_models::{Model, ModelKind};
-use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use serde::Serialize;
 
 /// Result of one co-run case.
@@ -41,7 +41,7 @@ impl CoRunResult {
 pub fn corun(cnn: ModelKind, other: ModelKind, cnn_steps: usize) -> Result<CoRunResult> {
     let cnn_model = Model::build_with_batch(cnn, cnn.paper_batch_size().min(32))?;
     let other_model = Model::build(other)?;
-    let engine = Engine::new(EngineConfig::hetero());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
 
     // Size the non-CNN run to a comparable duration (its steps are much
     // shorter than CNN steps).

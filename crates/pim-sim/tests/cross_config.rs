@@ -6,7 +6,7 @@
 //! shared construction path.
 
 use pim_models::{Model, ModelKind};
-use pim_runtime::engine::EngineConfig;
+use pim_runtime::engine::{EngineConfig, SystemPreset};
 use pim_sim::baselines::simulate_neurocube;
 use pim_sim::configs::{simulate, SystemConfig};
 
@@ -16,8 +16,8 @@ fn engine_configs() -> Vec<SystemConfig> {
         SystemConfig::Cpu,
         SystemConfig::ProgrPim,
         SystemConfig::FixedPim,
-        SystemConfig::HeteroPim(EngineConfig::hetero_bare()),
-        SystemConfig::HeteroPim(EngineConfig::hetero_rc()),
+        SystemConfig::HeteroPim(EngineConfig::preset(SystemPreset::HeteroBare)),
+        SystemConfig::HeteroPim(EngineConfig::preset(SystemPreset::HeteroRc)),
         SystemConfig::hetero_pim(),
     ]
 }

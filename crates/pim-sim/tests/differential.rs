@@ -13,6 +13,7 @@
 //! on and off and expects identical verdicts.
 
 use pim_graph::gen::{random_dag, GenSpec};
+use pim_hw::faults::FaultPlan;
 use pim_models::{Model, ModelKind};
 use pim_runtime::engine::{Engine, EngineConfig, RunOptions, SystemPreset, WorkloadSpec};
 use pim_runtime::stats::cross_check_counters;
@@ -71,6 +72,78 @@ fn random_graphs_run_identically_on_every_preset() {
             assert!(
                 diags.is_clean(),
                 "seed {seed} {preset:?}: counters disagree with report\n{}",
+                diags.render_text()
+            );
+        }
+    }
+}
+
+/// Fault-path differential on a seed subset: under a seeded [`FaultPlan`]
+/// the report path and the timeline-collecting path must still agree
+/// exactly, the faulted timeline must replay cleanly through the faulted
+/// legality checker, counters must cross-check, and a rerun of the same
+/// plan must be deterministic. Guards the faulted event core the same way
+/// the zero-fault suite guards the plain one.
+#[test]
+fn faulted_runs_are_deterministic_and_legal() {
+    const FAULT_SEEDS: [u64; 5] = [2, 11, 23, 31, 47];
+    const RATE: f64 = 0.1;
+    for seed in FAULT_SEEDS {
+        let graph = random_dag(&GenSpec::from_seed(seed));
+        let wl = [WorkloadSpec {
+            graph: &graph,
+            steps: STEPS,
+            cpu_progr_only: false,
+        }];
+        for preset in SystemPreset::ALL {
+            let engine = Engine::new(EngineConfig::preset(preset));
+            let baseline = engine.run(&wl).unwrap();
+            let plan = FaultPlan::seeded(seed, RATE, baseline.makespan, engine.config().ff_units);
+
+            let reference = engine
+                .run_with_faults(&wl, &RunOptions::default(), &plan)
+                .unwrap();
+            let detailed = engine
+                .run_with_faults(
+                    &wl,
+                    &RunOptions {
+                        timeline: true,
+                        ..RunOptions::default()
+                    },
+                    &plan,
+                )
+                .unwrap();
+            assert_eq!(
+                reference.report, detailed.report,
+                "seed {seed} {preset:?}: faulted report paths diverge"
+            );
+            assert_eq!(
+                reference.degraded, detailed.degraded,
+                "seed {seed} {preset:?}: collapse verdicts diverge"
+            );
+
+            let rerun = engine
+                .run_with_faults(&wl, &RunOptions::default(), &plan)
+                .unwrap();
+            assert_eq!(
+                reference.report, rerun.report,
+                "seed {seed} {preset:?}: faulted rerun diverged"
+            );
+
+            let timeline = detailed.timeline.as_deref().expect("timeline requested");
+            let diags = engine
+                .verify_timeline_faulted(&wl, timeline, &plan)
+                .unwrap();
+            assert!(
+                diags.is_clean(),
+                "seed {seed} {preset:?}: illegal faulted schedule\n{}",
+                diags.render_text()
+            );
+
+            let diags = cross_check_counters(&detailed.report, &detailed.counters);
+            assert!(
+                diags.is_clean(),
+                "seed {seed} {preset:?}: faulted counters disagree with report\n{}",
                 diags.render_text()
             );
         }

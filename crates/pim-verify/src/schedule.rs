@@ -9,7 +9,7 @@
 use pim_common::Diagnostics;
 use pim_graph::Graph;
 use pim_hw::faults::FaultPlan;
-use pim_runtime::engine::{Engine, EngineConfig, RunOptions, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, RunOptions, SystemPreset, WorkloadSpec};
 
 /// The pass name stamped on every diagnostic this module emits (matches
 /// [`pim_runtime::verify::PASS`] — the replay checker lives there).
@@ -19,12 +19,12 @@ pub const PASS: &str = pim_runtime::verify::PASS;
 /// engine-backed systems plus the two Fig. 13 ablations.
 pub fn engine_configs() -> Vec<EngineConfig> {
     vec![
-        EngineConfig::cpu_only(),
-        EngineConfig::progr_only(),
-        EngineConfig::fixed_host(),
-        EngineConfig::hetero_bare(),
-        EngineConfig::hetero_rc(),
-        EngineConfig::hetero(),
+        EngineConfig::preset(SystemPreset::CpuOnly),
+        EngineConfig::preset(SystemPreset::ProgrOnly),
+        EngineConfig::preset(SystemPreset::FixedHost),
+        EngineConfig::preset(SystemPreset::HeteroBare),
+        EngineConfig::preset(SystemPreset::HeteroRc),
+        EngineConfig::preset(SystemPreset::Hetero),
     ]
 }
 

@@ -8,7 +8,7 @@ use pim_graph::node::{OpKind, TensorRole};
 use pim_graph::Graph;
 use pim_models::{Model, ModelKind};
 use pim_opencl::kir::{KernelSource, Region};
-use pim_runtime::engine::{Engine, EngineConfig, ResourceClass, WorkloadSpec};
+use pim_runtime::engine::{Engine, EngineConfig, ResourceClass, SystemPreset, WorkloadSpec};
 use pim_tensor::ops::activation::Activation;
 use pim_tensor::ops::elementwise::BinaryOp;
 use pim_tensor::Shape;
@@ -163,7 +163,7 @@ fn schedule_pass_catches_double_booked_cpu() {
     )
     .unwrap();
 
-    let engine = Engine::new(EngineConfig::cpu_only());
+    let engine = Engine::new(EngineConfig::preset(SystemPreset::CpuOnly));
     let workloads = [WorkloadSpec {
         graph: &g,
         steps: 1,

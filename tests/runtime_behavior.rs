@@ -3,7 +3,7 @@
 //! the training session facade.
 
 use hetero_pim::models::{Model, ModelKind};
-use hetero_pim::runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use hetero_pim::runtime::engine::{Engine, EngineConfig, SystemPreset, WorkloadSpec};
 use hetero_pim::runtime::TrainingSession;
 
 fn workload(model: &Model, steps: usize) -> WorkloadSpec<'_> {
@@ -22,9 +22,9 @@ fn ablation_ordering_holds_for_every_cnn() {
     for kind in ModelKind::CNNS {
         let model = Model::build(kind).unwrap();
         let run = |cfg: EngineConfig| Engine::new(cfg).run(&[workload(&model, 2)]).unwrap();
-        let bare = run(EngineConfig::hetero_bare());
-        let rc = run(EngineConfig::hetero_rc());
-        let full = run(EngineConfig::hetero());
+        let bare = run(EngineConfig::preset(SystemPreset::HeteroBare));
+        let rc = run(EngineConfig::preset(SystemPreset::HeteroRc));
+        let full = run(EngineConfig::preset(SystemPreset::Hetero));
         assert!(rc.makespan < bare.makespan, "{kind}: RC must help");
         assert!(
             full.makespan.seconds() <= rc.makespan.seconds() * 1.02,
@@ -33,10 +33,10 @@ fn ablation_ordering_holds_for_every_cnn() {
     }
     for kind in [ModelKind::Vgg19, ModelKind::AlexNet, ModelKind::InceptionV3] {
         let model = Model::build(kind).unwrap();
-        let bare = Engine::new(EngineConfig::hetero_bare())
+        let bare = Engine::new(EngineConfig::preset(SystemPreset::HeteroBare))
             .run(&[workload(&model, 2)])
             .unwrap();
-        let fixed = Engine::new(EngineConfig::fixed_host())
+        let fixed = Engine::new(EngineConfig::preset(SystemPreset::FixedHost))
             .run(&[workload(&model, 2)])
             .unwrap();
         let gain = fixed.makespan / bare.makespan - 1.0;
@@ -54,9 +54,9 @@ fn ablation_ordering_holds_for_every_cnn() {
 fn utilization_rises_with_rc_and_op() {
     let model = Model::build(ModelKind::Vgg19).unwrap();
     let run = |cfg: EngineConfig, steps| Engine::new(cfg).run(&[workload(&model, steps)]).unwrap();
-    let bare = run(EngineConfig::hetero_bare(), 2);
-    let rc = run(EngineConfig::hetero_rc(), 2);
-    let full = run(EngineConfig::hetero(), 4);
+    let bare = run(EngineConfig::preset(SystemPreset::HeteroBare), 2);
+    let rc = run(EngineConfig::preset(SystemPreset::HeteroRc), 2);
+    let full = run(EngineConfig::preset(SystemPreset::Hetero), 4);
     assert!(bare.ff_utilization < rc.ff_utilization);
     assert!(rc.ff_utilization < full.ff_utilization);
     assert!(
@@ -72,7 +72,9 @@ fn utilization_rises_with_rc_and_op() {
 fn training_session_end_to_end() {
     for kind in ModelKind::ALL {
         let model = Model::build_with_batch(kind, kind.paper_batch_size().min(16)).unwrap();
-        let session = TrainingSession::new(model.graph(), EngineConfig::hetero()).unwrap();
+        let session =
+            TrainingSession::new(model.graph(), EngineConfig::preset(SystemPreset::Hetero))
+                .unwrap();
         assert!(
             session.candidates().time_coverage >= 0.90,
             "{kind}: coverage {:.2}",
@@ -90,12 +92,12 @@ fn reports_are_well_formed_for_all_models_and_configs() {
     for kind in ModelKind::ALL {
         let model = Model::build_with_batch(kind, 8).unwrap();
         for cfg in [
-            EngineConfig::cpu_only(),
-            EngineConfig::progr_only(),
-            EngineConfig::fixed_host(),
-            EngineConfig::hetero_bare(),
-            EngineConfig::hetero_rc(),
-            EngineConfig::hetero(),
+            EngineConfig::preset(SystemPreset::CpuOnly),
+            EngineConfig::preset(SystemPreset::ProgrOnly),
+            EngineConfig::preset(SystemPreset::FixedHost),
+            EngineConfig::preset(SystemPreset::HeteroBare),
+            EngineConfig::preset(SystemPreset::HeteroRc),
+            EngineConfig::preset(SystemPreset::Hetero),
         ] {
             let name = cfg.name.clone();
             let r = Engine::new(cfg).run(&[workload(&model, 2)]).unwrap();
@@ -110,7 +112,7 @@ fn reports_are_well_formed_for_all_models_and_configs() {
 fn pipeline_amortizes_without_violating_order() {
     let model = Model::build(ModelKind::AlexNet).unwrap();
     let run = |steps| {
-        Engine::new(EngineConfig::hetero())
+        Engine::new(EngineConfig::preset(SystemPreset::Hetero))
             .run(&[workload(&model, steps)])
             .unwrap()
             .makespan
