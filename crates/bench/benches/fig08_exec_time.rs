@@ -19,7 +19,7 @@ fn fig08(c: &mut Criterion) {
                     let r = run(&model, &config);
                     assert!(r.is_well_formed());
                     r.makespan
-                })
+                });
             });
         }
     }

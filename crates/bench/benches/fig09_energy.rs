@@ -19,7 +19,7 @@ fn fig09(c: &mut Criterion) {
                 b.iter(|| {
                     let r = run(&model, &config);
                     r.dynamic_energy / hetero.dynamic_energy
-                })
+                });
             });
         }
     }

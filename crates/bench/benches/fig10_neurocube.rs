@@ -21,7 +21,7 @@ fn fig10(c: &mut Criterion) {
                 let speedup = nc.makespan / hetero.makespan;
                 assert!(speedup >= 3.0);
                 speedup
-            })
+            });
         });
     }
     group.finish();

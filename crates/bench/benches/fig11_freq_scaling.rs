@@ -16,7 +16,7 @@ fn fig11(c: &mut Criterion) {
         for mult in [1.0, 2.0, 4.0] {
             let config = SystemConfig::hetero_pim_at_frequency(mult).unwrap();
             group.bench_function(format!("{}/{}x", kind.name(), mult), |b| {
-                b.iter(|| run(&model, &config).makespan)
+                b.iter(|| run(&model, &config).makespan);
             });
         }
     }

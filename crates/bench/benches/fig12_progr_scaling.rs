@@ -22,7 +22,7 @@ fn fig12(c: &mut Criterion) {
                     .with_pim_complement(p.arm_cores, p.ff_units),
             );
             group.bench_function(format!("{}/{}P", kind.name(), p.arm_cores), |b| {
-                b.iter(|| run(&model, &config).makespan)
+                b.iter(|| run(&model, &config).makespan);
             });
         }
     }

@@ -29,7 +29,7 @@ fn fig13(c: &mut Criterion) {
                         }])
                         .unwrap()
                         .makespan
-                })
+                });
             });
         }
     }

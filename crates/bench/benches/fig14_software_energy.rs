@@ -30,7 +30,7 @@ fn fig14(c: &mut Criterion) {
                 b.iter(|| {
                     let r = Engine::new(cfg.clone()).run(&[workload]).unwrap();
                     r.dynamic_energy / full.dynamic_energy
-                })
+                });
             });
         }
     }

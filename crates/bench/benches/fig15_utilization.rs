@@ -29,7 +29,7 @@ fn fig15(c: &mut Criterion) {
                         }])
                         .unwrap()
                         .ff_utilization
-                })
+                });
             });
         }
     }

@@ -15,7 +15,7 @@ fn fig16(c: &mut Criterion) {
                 let r = corun(cnn, other, 2).unwrap();
                 assert!(r.corun_seconds < r.sequential_seconds);
                 r.improvement()
-            })
+            });
         });
     }
     group.finish();

@@ -19,7 +19,7 @@ fn fig17(c: &mut Criterion) {
                 b.iter(|| {
                     let r = run(&model, &config);
                     (r.edp_per_step(), r.average_power())
-                })
+                });
             });
         }
     }

@@ -20,7 +20,7 @@ fn sweep_cells(c: &mut Criterion) {
                 let cells = bench_cells(&[kind], &SystemPreset::ALL, 2, 1).unwrap();
                 assert_eq!(cells.len(), SystemPreset::ALL.len());
                 cells.len()
-            })
+            });
         });
     }
     group.bench_function("json_roundtrip", |b| {
@@ -35,7 +35,7 @@ fn sweep_cells(c: &mut Criterion) {
             let json = to_json(&file);
             validate_bench_json(&json).unwrap();
             json.len()
-        })
+        });
     });
     group.finish();
 }

@@ -20,7 +20,7 @@ fn table1(c: &mut Criterion) {
                 let profile = profile_step(model.graph(), &cpu).unwrap();
                 assert!(!profile.by_name().is_empty());
                 profile
-            })
+            });
         });
     }
     group.finish();

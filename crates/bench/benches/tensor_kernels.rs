@@ -15,19 +15,19 @@ fn kernels(c: &mut Criterion) {
     let a = Tensor::from_fn(Shape::new(vec![64, 64]), |i| i as f32 * 1e-3);
     let b = Tensor::from_fn(Shape::new(vec![64, 64]), |i| (i % 17) as f32 * 1e-2);
     group.bench_function("matmul_64x64", |bch| {
-        bch.iter(|| matmul(&a, &b, Transpose::NONE).unwrap())
+        bch.iter(|| matmul(&a, &b, Transpose::NONE).unwrap());
     });
 
     let input = Tensor::from_fn(Shape::new(vec![1, 8, 32, 32]), |i| (i % 11) as f32);
     let filter = Tensor::from_fn(Shape::new(vec![8, 8, 3, 3]), |i| (i % 5) as f32 * 0.1);
     let geom = ConvGeometry::square(3, 1, 1);
     group.bench_function("conv2d_8x32x32_3x3", |bch| {
-        bch.iter(|| conv2d(&input, &filter, geom).unwrap())
+        bch.iter(|| conv2d(&input, &filter, geom).unwrap());
     });
 
     let pool_geom = ConvGeometry::square(2, 2, 0);
     group.bench_function("max_pool_8x32x32", |bch| {
-        bch.iter(|| max_pool(&input, pool_geom).unwrap())
+        bch.iter(|| max_pool(&input, pool_geom).unwrap());
     });
     group.finish();
 }

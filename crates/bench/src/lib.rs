@@ -4,6 +4,7 @@
 //! evaluation under Criterion timing (the *simulation* is what is being
 //! benchmarked; the simulated results themselves are recorded in
 //! EXPERIMENTS.md via the `repro` binary).
+#![forbid(unsafe_code)]
 
 use pim_models::{Model, ModelKind};
 use pim_runtime::stats::ExecutionReport;

@@ -1,0 +1,117 @@
+//! Shared command-line helpers for the workspace binaries.
+//!
+//! `repro` adopted a structured usage-error idiom (message plus usage
+//! block to stderr, exit 2, reserving exit 1 for runtime failures);
+//! `pim-verify` used to diverge (exit 1 for both). Both binaries now
+//! share these helpers so the contract — and the error wording — stays
+//! in one place.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Exit code for malformed command lines (exit 1 stays reserved for
+/// runtime failures and error-severity findings).
+pub const USAGE_EXIT: i32 = 2;
+
+/// Prints `bin: msg` plus the usage block to stderr and exits
+/// [`USAGE_EXIT`].
+pub fn usage_error(bin: &str, msg: &str, usage: &str) -> ! {
+    eprintln!("{bin}: {msg}\n{usage}");
+    std::process::exit(USAGE_EXIT);
+}
+
+/// Parses one flag value, naming the flag and offending text on failure.
+///
+/// # Errors
+///
+/// Returns the structured message when `v` does not parse as `T`.
+///
+/// # Examples
+///
+/// ```
+/// use pim_common::cli::parse_value;
+///
+/// assert_eq!(parse_value::<u64>("--seed", "7"), Ok(7));
+/// assert_eq!(
+///     parse_value::<u64>("--seed", "x").unwrap_err(),
+///     "invalid --seed value `x`"
+/// );
+/// ```
+pub fn parse_value<T: FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {flag} value `{v}`"))
+}
+
+/// Parses a comma-separated pair like `--faults SEED,RATE` or
+/// `--orders N,SEED`, with one structured message for every malformed
+/// shape (missing comma, unparsable halves).
+///
+/// # Errors
+///
+/// Returns the structured message when `v` is not `A,B` with both
+/// halves parsing.
+///
+/// # Examples
+///
+/// ```
+/// use pim_common::cli::parse_pair;
+///
+/// assert_eq!(parse_pair::<u64, f64>("--faults", "A,B", "3,0.5"), Ok((3, 0.5)));
+/// assert!(parse_pair::<u64, f64>("--faults", "A,B", "3").is_err());
+/// assert!(parse_pair::<u64, f64>("--faults", "A,B", "x,0.5").is_err());
+/// ```
+pub fn parse_pair<A: FromStr, B: FromStr>(
+    flag: &str,
+    shape: &str,
+    v: &str,
+) -> Result<(A, B), String> {
+    let err = || format!("{flag} expects {shape}, got `{v}`");
+    let (a, b) = v.split_once(',').ok_or_else(err)?;
+    Ok((a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?))
+}
+
+/// Validates a parsed value against an inclusive range, with the same
+/// structured wording as the parse helpers.
+///
+/// # Errors
+///
+/// Returns the structured message when `v` falls outside
+/// `[lo, hi]`.
+pub fn require_in_range<T: PartialOrd + Display + Copy>(
+    flag: &str,
+    v: T,
+    lo: T,
+    hi: T,
+) -> Result<T, String> {
+    if v < lo || v > hi {
+        return Err(format!("{flag} must be in [{lo}, {hi}], got {v}"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_rejects_every_malformed_shape() {
+        for bad in ["", "7", ",", "7,", ",0.5", "x,0.5", "7,y", "7,0.5,9"] {
+            assert!(
+                parse_pair::<u64, f64>("--faults", "SEED,RATE", bad).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+        assert_eq!(
+            parse_pair::<u64, f64>("--faults", "SEED,RATE", "7,0.25"),
+            Ok((7, 0.25))
+        );
+    }
+
+    #[test]
+    fn range_check_uses_structured_wording() {
+        assert_eq!(require_in_range("--rate", 0.5, 0.0, 1.0), Ok(0.5));
+        assert_eq!(
+            require_in_range("--rate", 1.5, 0.0, 1.0).unwrap_err(),
+            "--rate must be in [0, 1], got 1.5"
+        );
+    }
+}

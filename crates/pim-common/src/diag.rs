@@ -6,6 +6,7 @@
 //! (hand-rolled: the workspace builds offline with no `serde_json`).
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -186,13 +187,14 @@ impl Diagnostics {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
+            let _ = write!(
+                out,
                 "{{\"severity\":{},\"pass\":{},\"subject\":{},\"message\":{}}}",
                 json_string(d.severity.label()),
                 json_string(d.pass),
                 json_string(&d.subject),
                 json_string(&d.message),
-            ));
+            );
         }
         out.push(']');
         out
@@ -210,7 +212,9 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }

@@ -8,7 +8,9 @@
 //! * physical units with unit-safe arithmetic ([`units`]),
 //! * the common error type ([`error`]),
 //! * structured analysis diagnostics ([`diag`]),
-//! * runtime observability: spans, counters, Chrome-trace export ([`trace`]).
+//! * runtime observability: spans, counters, Chrome-trace export ([`trace`]),
+//! * shared command-line parsing helpers for the workspace binaries
+//!   ([`cli`]).
 //!
 //! # Examples
 //!
@@ -20,8 +22,10 @@
 //! let power = e / t;
 //! assert_eq!(power.watts(), 5.0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod access;
+pub mod cli;
 pub mod diag;
 pub mod error;
 pub mod fingerprint;

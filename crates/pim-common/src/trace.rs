@@ -433,7 +433,9 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -929,8 +931,8 @@ mod tests {
                 rec.record(span(
                     Track::new(1, i % 3),
                     "op",
-                    i as f64 * 1e-6,
-                    (i + 1) as f64 * 1e-6,
+                    f64::from(i) * 1e-6,
+                    f64::from(i + 1) * 1e-6,
                 ));
             }
             rec.into_recording().to_chrome_json()

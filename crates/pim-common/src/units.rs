@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: Seconds = (1..=4).map(|i| Seconds::new(i as f64)).sum();
+        let total: Seconds = (1..=4).map(|i| Seconds::new(f64::from(i))).sum();
         assert_eq!(total.seconds(), 10.0);
     }
 

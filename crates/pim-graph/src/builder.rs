@@ -1082,7 +1082,7 @@ mod tests {
         let g = tiny_cnn();
         let costs = crate::cost::graph_costs(&g).unwrap();
         assert_eq!(costs.len(), g.op_count());
-        assert!(costs.iter().all(|c| c.is_well_formed()));
+        assert!(costs.iter().all(pim_tensor::CostProfile::is_well_formed));
     }
 
     #[test]

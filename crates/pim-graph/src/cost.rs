@@ -168,6 +168,7 @@ mod tests {
     use super::*;
     use crate::node::TensorRole;
     use pim_tensor::cost::OffloadClass;
+    use pim_tensor::ops::matmul::Transpose;
 
     #[test]
     fn backprop_filter_cost_from_implied_shapes() {
@@ -226,7 +227,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_tensor(Shape::new(vec![2, 2]), TensorRole::Activation, "a");
         let id = g
-            .add_op(OpKind::MatMul(Default::default()), vec![a], vec![])
+            .add_op(OpKind::MatMul(Transpose::default()), vec![a], vec![])
             .unwrap();
         assert!(op_cost(&g, g.op(id).unwrap()).is_err());
     }
@@ -243,10 +244,10 @@ mod tests {
             vec![b],
         )
         .unwrap();
-        g.add_op(OpKind::MatMul(Default::default()), vec![b, b], vec![c])
+        g.add_op(OpKind::MatMul(Transpose::default()), vec![b, b], vec![c])
             .unwrap();
         let costs = graph_costs(&g).unwrap();
         assert_eq!(costs.len(), 2);
-        assert!(costs.iter().all(|c| c.is_well_formed()));
+        assert!(costs.iter().all(pim_tensor::CostProfile::is_well_formed));
     }
 }

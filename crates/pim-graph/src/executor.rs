@@ -632,7 +632,7 @@ mod tests {
             y.data()
                 .iter()
                 .zip(weights.data())
-                .map(|(&a, &b)| (a * b) as f64)
+                .map(|(&a, &b)| f64::from(a * b))
                 .sum()
         };
         for idx in 0..input.numel() {
@@ -640,8 +640,8 @@ mod tests {
             plus.data_mut()[idx] += eps;
             let mut minus = input.clone();
             minus.data_mut()[idx] -= eps;
-            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps as f64);
-            let got = analytic.data()[idx] as f64;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * f64::from(eps));
+            let got = f64::from(analytic.data()[idx]);
             assert!(
                 (numeric - got).abs() < 0.05,
                 "bn grad[{idx}]: numeric {numeric} analytic {got}"

@@ -36,6 +36,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod builder;
 pub mod cost;

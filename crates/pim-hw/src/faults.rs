@@ -263,7 +263,7 @@ impl FaultPlan {
     /// a pure function, independent of query order.
     fn draw(&self, salt: u64, wl: usize, step: usize, op: usize, attempt: u32) -> f64 {
         let mut state = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        for word in [wl as u64, step as u64, op as u64, attempt as u64] {
+        for word in [wl as u64, step as u64, op as u64, u64::from(attempt)] {
             state = (state ^ word)
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9)
                 .rotate_left(31);

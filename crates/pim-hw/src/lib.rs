@@ -18,6 +18,7 @@
 //!
 //! Calibration policy is documented in DESIGN.md §4.4: constants reproduce
 //! the paper's reported *ratios*, and each one is a named, documented field.
+#![forbid(unsafe_code)]
 
 pub mod arm;
 pub mod cpu;

@@ -27,6 +27,7 @@
 //! let t = stack.internal_transfer_time(Bytes::new(1e9));
 //! assert!(t.seconds() > 0.0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod bank;
 pub mod controller;

@@ -138,14 +138,14 @@ impl StackConfig {
 
     /// Latency of a row-buffer hit (tCL) at the current frequency.
     pub fn row_hit_latency(&self) -> Seconds {
-        Seconds::from_cycles(self.t_cl_cycles as f64, self.frequency_hz())
+        Seconds::from_cycles(f64::from(self.t_cl_cycles), self.frequency_hz())
     }
 
     /// Latency of a row-buffer miss (tRP + tRCD + tCL) at the current
     /// frequency.
     pub fn row_miss_latency(&self) -> Seconds {
         Seconds::from_cycles(
-            (self.t_rp_cycles + self.t_rcd_cycles + self.t_cl_cycles) as f64,
+            f64::from(self.t_rp_cycles + self.t_rcd_cycles + self.t_cl_cycles),
             self.frequency_hz(),
         )
     }

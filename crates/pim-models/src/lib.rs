@@ -29,6 +29,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod alexnet;
 pub mod dataset;

@@ -206,7 +206,7 @@ mod tests {
             let m = Model::build_with_batch(kind, 2).unwrap();
             let costs = pim_graph::cost::graph_costs(m.graph()).unwrap();
             assert!(
-                costs.iter().all(|c| c.is_well_formed()),
+                costs.iter().all(pim_tensor::CostProfile::is_well_formed),
                 "{kind} has malformed costs"
             );
         }

@@ -36,6 +36,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod binary;

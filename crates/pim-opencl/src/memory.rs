@@ -83,8 +83,7 @@ impl SharedGlobalMemory {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &load)| load)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+                .map_or(0, |(i, _)| i);
             self.bank_load[bank] += self.page_bytes;
             banks.push(BankId::new(bank));
         }

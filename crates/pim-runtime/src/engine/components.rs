@@ -66,6 +66,9 @@ impl Clock {
         Clock { now: Seconds::ZERO }
     }
 
+    // &self (not Copy `self`): the clock is mutable shared state and
+    // must never be silently duplicated by a by-value getter.
+    #[allow(clippy::trivially_copy_pass_by_ref)]
     pub fn now(&self) -> Seconds {
         self.now
     }
@@ -547,13 +550,15 @@ impl Component for Comp<'_, '_> {
 pub(crate) struct ComponentSlab<'a, 'o> {
     comps: Vec<Comp<'a, 'o>>,
     seq: u64,
+    tie: crate::fuzz::TieBreak,
 }
 
 impl<'a, 'o> ComponentSlab<'a, 'o> {
-    pub fn new() -> Self {
+    pub fn new(tie: crate::fuzz::TieBreak) -> Self {
         ComponentSlab {
             comps: Vec::with_capacity(4),
             seq: 0,
+            tie,
         }
     }
 
@@ -563,9 +568,14 @@ impl<'a, 'o> ComponentSlab<'a, 'o> {
         CompKey(self.comps.len() - 1)
     }
 
-    /// Allocates the next globally unique event sequence number.
+    /// Allocates the next globally unique event sequence number. Under
+    /// [`crate::fuzz::TieBreak::Stable`] this is the allocation counter
+    /// itself (program order); the seeded modes remap it through a
+    /// bijective xorshift* permutation, which keeps every key unique —
+    /// the determinism invariant of the `(time, seq)` merge — while
+    /// permuting the pop order among same-femtosecond events.
     pub fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
+        let s = self.tie.event_key(self.seq);
         self.seq += 1;
         s
     }
@@ -840,7 +850,7 @@ mod tests {
         // simultaneous events: the slab must retire them in global
         // (time, seq) order, i.e. FIFO among simultaneous events even
         // across components.
-        let mut slab = ComponentSlab::new();
+        let mut slab = ComponentSlab::new(crate::fuzz::TieBreak::Stable);
         let lanes = slab.register(Comp::Lanes(DeviceLanes::new()));
         let sync = slab.register(Comp::Sync(SyncLink::new()));
 
@@ -906,7 +916,7 @@ mod tests {
 
     #[test]
     fn stale_lane_events_reclaim_their_slot() {
-        let mut slab = ComponentSlab::new();
+        let mut slab = ComponentSlab::new(crate::fuzz::TieBreak::Stable);
         let lanes = slab.register(Comp::Lanes(DeviceLanes::new()));
         let seq = slab.next_seq();
         slab.lanes_mut(lanes)

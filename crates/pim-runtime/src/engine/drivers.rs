@@ -31,6 +31,7 @@ use super::placement::{
     resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
 };
 use super::{Prepared, SystemMode};
+use crate::fuzz::TieBreak;
 use crate::stats::{ExecutionReport, ReportBuilder};
 use crate::sync::STEP_BARRIER;
 use pim_common::ids::OpId;
@@ -251,15 +252,39 @@ impl ReadySet {
     }
 }
 
+/// Applies the tie-break policy to one dispatch scan.
+///
+/// [`TieBreak::Stable`] and [`TieBreak::Permuted`] are no-ops: the scan
+/// keeps the ready set's `(step, rank, wl, op)` order. The scan order
+/// is schedule-*significant*, not incidental — `rank` is the
+/// critical-path rank, so two ready ops can share `(step, rank)` even
+/// in a single workload, and whichever the scan reaches first wins the
+/// contended device. The first full-surface fuzz confirmed this
+/// empirically, so the order stays pinned and its determinism is
+/// audited by stable-rerun comparison instead (see `crate::fuzz`).
+/// [`TieBreak::Priority`] re-sorts the whole scan by seeded hash: the
+/// per-key pipeline-window check and the Fig. 7 registers still gate
+/// every placement, so any order is legal, but the schedule changes —
+/// that freedom is the search space of [`crate::search`].
+fn order_scan(tie: TieBreak, scan: &mut [Key]) {
+    match tie {
+        TieBreak::Stable | TieBreak::Permuted(_) => {}
+        TieBreak::Priority(_) => scan.sort_by_key(|k| {
+            tie.decision_hash(&[k.step as u64, k.rank as u64, k.wl as u64, k.op as u64])
+        }),
+    }
+}
+
 /// Event-driven execution with the operation pipeline.
 pub(crate) fn run_scheduled(
     planner: &Planner,
     prepared: &[Prepared<'_>],
     obs: &mut Observer<'_>,
+    tie: TieBreak,
 ) -> Result<ExecutionReport> {
     let mut rs = ReadySet::new(prepared);
 
-    let mut comps = ComponentSlab::new();
+    let mut comps = ComponentSlab::new(tie);
     let resources = comps.register(Comp::Resources(ResourceSoA::new(planner)));
     let lanes = comps.register(Comp::Lanes(DeviceLanes::new()));
     let _sync = comps.register(Comp::Sync(SyncLink::new()));
@@ -293,6 +318,7 @@ pub(crate) fn run_scheduled(
             .unwrap_or(0);
         scan.clear();
         scan.extend(rs.ready.iter().take_while(|k| k.step < max_window).copied());
+        order_scan(tie, &mut scan);
         // Availability only changes on acquire within the pass; read it
         // once and refresh after each placement.
         let mut avail = comps.resources(resources).availability();
@@ -630,6 +656,7 @@ pub(crate) fn run_scheduled_faulted(
     prepared: &[Prepared<'_>],
     obs: &mut Observer<'_>,
     faults: &FaultContext,
+    tie: TieBreak,
 ) -> Result<ExecutionReport> {
     let mut rs = ReadySet::new(prepared);
     // Attempt counter per instance (indexed step * ops + op).
@@ -638,7 +665,7 @@ pub(crate) fn run_scheduled_faulted(
         .map(|wl| vec![0u32; wl.spec.steps * wl.deps.len()])
         .collect();
 
-    let mut comps = ComponentSlab::new();
+    let mut comps = ComponentSlab::new(tie);
     let resources = comps.register(Comp::Resources(ResourceSoA::new(planner)));
     let lanes = comps.register(Comp::Lanes(DeviceLanes::new()));
     let sync = comps.register(Comp::Sync(SyncLink::new()));
@@ -682,6 +709,7 @@ pub(crate) fn run_scheduled_faulted(
             .unwrap_or(0);
         scan.clear();
         scan.extend(rs.ready.iter().take_while(|k| k.step < max_window).copied());
+        order_scan(tie, &mut scan);
         let mut avail = comps.resources(resources).availability();
         for &key in &scan {
             if !avail.cpu_free && !avail.progr_free && avail.ff_free == 0 {
@@ -769,7 +797,7 @@ pub(crate) fn run_scheduled_faulted(
         };
         clock.jump_to_fs(t_fs);
         match retired {
-            Retired::Stale => continue, // killed by a strike; already accounted
+            Retired::Stale => {} // killed by a strike; already accounted
             Retired::Op(rec) => {
                 comps.resources_mut(resources).release(
                     rec.units,

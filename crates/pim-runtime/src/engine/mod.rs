@@ -43,8 +43,9 @@ pub use events::{
 };
 pub use faults::{backoff_after, AttemptOutcome, BACKOFF_BASE, LINK_TIMEOUT, MAX_ATTEMPTS};
 
+use crate::fuzz::TieBreak;
 use crate::profiler::profile_step_cached_traced;
-use crate::select::{select_candidates_traced, CandidateSet};
+use crate::select::{select_candidates_tie_traced, select_candidates_traced, CandidateSet};
 use crate::stats::ExecutionReport;
 use crate::verify::{ResourceLimits, WorkloadFacts};
 use events::Observer;
@@ -332,6 +333,12 @@ pub struct RunOptions {
     /// feature; without it the request is ignored and
     /// [`RunOutput::trace`] stays `None`.
     pub trace: bool,
+    /// Tie-break policy for candidate ranking, dispatch-scan order, and
+    /// event retire order. The default, [`TieBreak::Stable`], is the
+    /// byte-identical production path; the seeded modes back the pass-5
+    /// order-invariance audit ([`crate::fuzz`]) and the schedule search
+    /// ([`crate::search`]).
+    pub tie: TieBreak,
 }
 
 /// Everything one simulation produced.
@@ -403,17 +410,19 @@ impl Engine {
         &self,
         workloads: &[WorkloadSpec<'g>],
         tracer: &mut dyn pim_common::trace::TraceSink,
+        tie: TieBreak,
     ) -> Result<Vec<Prepared<'g>>> {
         let mut prepared = Vec::with_capacity(workloads.len());
         for wl in workloads {
             let costs = graph_costs(wl.graph)?;
             let profile = profile_step_cached_traced(wl.graph, self.planner.cpu(), tracer)?;
-            let candidates = select_candidates_traced(&profile, self.planner.cfg.coverage, tracer);
+            let candidates =
+                select_candidates_tie_traced(&profile, self.planner.cfg.coverage, tie, tracer);
             let deps: Vec<Vec<usize>> = wl
                 .graph
                 .all_dependencies()
                 .into_iter()
-                .map(|v| v.into_iter().map(|d| d.index()).collect())
+                .map(|v| v.into_iter().map(pim_common::ids::OpId::index).collect())
                 .collect();
             let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); wl.graph.op_count()];
             for (op, ds) in deps.iter().enumerate() {
@@ -559,7 +568,7 @@ impl Engine {
         #[cfg(not(feature = "trace"))]
         let tracer: &mut dyn pim_common::trace::TraceSink = &mut null;
 
-        let prepared = self.prepare(workloads, &mut *tracer)?;
+        let prepared = self.prepare(workloads, &mut *tracer, opts.tie)?;
         let mut counters = Counters::new();
 
         let (report, entries) = if opts.timeline || verify {
@@ -572,7 +581,7 @@ impl Engine {
                     &mut *tracer,
                     &self.planner.cfg.name,
                 );
-                let report = self.drive(&prepared, &mut obs, faults.as_ref())?;
+                let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie)?;
                 obs.finish();
                 report
             };
@@ -586,7 +595,7 @@ impl Engine {
                 &mut *tracer,
                 &self.planner.cfg.name,
             );
-            let report = self.drive(&prepared, &mut obs, faults.as_ref())?;
+            let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie)?;
             obs.finish();
             (report, None)
         };
@@ -636,18 +645,22 @@ impl Engine {
         prepared: &[Prepared<'_>],
         obs: &mut Observer<'_>,
         faults: Option<&FaultContext>,
+        tie: TieBreak,
     ) -> Result<ExecutionReport> {
+        // The serialized drivers execute one op at a time in topological
+        // order — there is no tie surface to permute, so they ignore the
+        // policy (candidate selection already saw it in `prepare`).
         match faults {
             None => {
                 if self.planner.cfg.operation_pipeline {
-                    events::run_scheduled(&self.planner, prepared, obs)
+                    events::run_scheduled(&self.planner, prepared, obs, tie)
                 } else {
                     events::run_serialized(&self.planner, prepared, obs)
                 }
             }
             Some(f) => {
                 if self.planner.cfg.operation_pipeline {
-                    events::run_scheduled_faulted(&self.planner, prepared, obs, f)
+                    events::run_scheduled_faulted(&self.planner, prepared, obs, f, tie)
                 } else {
                     events::run_serialized_faulted(&self.planner, prepared, obs, f)
                 }
@@ -700,7 +713,7 @@ impl Engine {
         timeline: &[TimelineEntry],
         plan: &FaultPlan,
     ) -> Result<Diagnostics> {
-        let prepared = self.prepare(workloads, &mut NullTrace)?;
+        let prepared = self.prepare(workloads, &mut NullTrace, TieBreak::Stable)?;
         Ok(self.check_prepared(&prepared, timeline, (!plan.is_none()).then_some(plan)))
     }
 

@@ -568,6 +568,7 @@ impl<'a> Observer<'a> {
 
     /// Records an in-flight op killed by a permanent strike (the strike
     /// itself was already counted by [`Observer::quarantine`]).
+    #[allow(clippy::unused_self)] // self is read only with the trace feature on
     pub fn killed(&mut self, now: Seconds, wl: usize, step: usize, op: usize) {
         #[cfg(not(feature = "trace"))]
         let _ = (now, wl, step, op);

@@ -14,6 +14,11 @@
 //! * [`sync`] — synchronization-cost constants and kernel-call granularity,
 //! * [`verify`] — schedule-legality replay over recorded timelines; backs
 //!   the engine's debug-mode assertions and the `pim-verify` checker,
+//! * [`fuzz`] — the [`fuzz::TieBreak`] order policy and the pass-5
+//!   order-invariance fuzz driver (seeded tie permutations must not change
+//!   the report),
+//! * [`search`] — beam search over the [`fuzz::TieBreak::Priority`] order
+//!   space, reporting the best-found makespan vs the paper heuristic,
 //! * [`stats`] — execution reports (time breakdown, energy, utilization),
 //! * [`session`] — the TensorFlow-runtime-extension facade: profile step 1,
 //!   schedule the rest.
@@ -34,11 +39,14 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fuzz;
 pub mod par;
 pub mod profiler;
 pub mod recursive;
+pub mod search;
 pub mod select;
 pub mod session;
 pub mod stats;
@@ -49,5 +57,6 @@ pub use engine::{
     Engine, EngineConfig, PlanRow, ResourceClass, RunOptions, RunOutput, SystemMode, SystemPreset,
     TimelineEntry, WorkloadSpec,
 };
+pub use fuzz::TieBreak;
 pub use session::TrainingSession;
 pub use stats::ExecutionReport;

@@ -8,6 +8,7 @@
 //! offload to PIMs. Those top operations account for x% of total execution
 //! time of one step (x = 90 in our evaluation)."
 
+use crate::fuzz::TieBreak;
 use crate::profiler::StepProfile;
 use pim_common::ids::OpId;
 use pim_common::units::Seconds;
@@ -107,6 +108,38 @@ pub fn select_candidates(profile: &StepProfile, coverage: f64) -> CandidateSet {
     }
 }
 
+/// [`select_candidates`] under a tie-break policy.
+///
+/// Membership is computed by the stable algorithm under *every* policy.
+/// The first full-surface fuzz showed selection-tie order is
+/// decision-significant, not incidental: swapping profile rows that
+/// agree on both execution time and memory accesses redistributes the
+/// global-index sums inside the tie group (positions `j` contribute
+/// `base + j + σ(j)`, a different multiset for `σ ≠ id`), which can move
+/// the 90%-coverage break point and change *which types are offloaded*
+/// — observed as device flips on DCGAN@Hetero. So the tie order stays
+/// pinned to first appearance, and its determinism is audited by
+/// stable-rerun comparison instead (see `crate::fuzz`).
+///
+/// What provably *is* order-inert is the emission order of
+/// [`CandidateSet::ranked`]: the planner consumes the candidate set
+/// purely through [`CandidateSet::contains`], so
+/// [`TieBreak::Permuted`] re-sorts the ranked list by a seeded hash of
+/// type name and op id. The order-invariance audit ([`crate::fuzz`])
+/// asserts nothing downstream secretly depends on that order.
+pub fn select_candidates_tie(profile: &StepProfile, coverage: f64, tie: TieBreak) -> CandidateSet {
+    let mut set = select_candidates(profile, coverage);
+    if let TieBreak::Permuted(_) = tie {
+        let name_of: std::collections::HashMap<OpId, &str> =
+            profile.ops.iter().map(|p| (p.op, p.name)).collect();
+        set.ranked.sort_by_cached_key(|op| {
+            let name = name_of.get(op).copied().unwrap_or("");
+            tie.decision_hash(&[crate::fuzz::hash_str(name), op.index() as u64])
+        });
+    }
+    set
+}
+
 /// [`select_candidates`] plus an instant on the scheduler trace track
 /// summarizing the chosen candidate set. Recording happens only when the
 /// sink is enabled; with [`pim_common::NullTrace`] this is exactly
@@ -116,7 +149,18 @@ pub fn select_candidates_traced(
     coverage: f64,
     tracer: &mut dyn pim_common::trace::TraceSink,
 ) -> CandidateSet {
-    let candidates = select_candidates(profile, coverage);
+    select_candidates_tie_traced(profile, coverage, TieBreak::Stable, tracer)
+}
+
+/// [`select_candidates_tie`] with the same trace instant as
+/// [`select_candidates_traced`].
+pub fn select_candidates_tie_traced(
+    profile: &StepProfile,
+    coverage: f64,
+    tie: TieBreak,
+    tracer: &mut dyn pim_common::trace::TraceSink,
+) -> CandidateSet {
+    let candidates = select_candidates_tie(profile, coverage, tie);
     if tracer.enabled() {
         tracer.record(pim_common::trace::TraceEvent::Instant {
             track: crate::engine::SCHED_TRACK,

@@ -938,4 +938,62 @@ mod tests {
         let text = diags.render_text();
         assert!(text.contains("held past a quarantine"), "{text}");
     }
+
+    #[test]
+    fn split_partitions_of_empty_timeline_yields_empty_streams() {
+        let parts = split_partitions(&[], 3);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(Vec::is_empty));
+        // Zero partitions is also well-formed: nothing to split into.
+        assert!(split_partitions(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn split_partitions_single_partition_is_identity_modulo_tag() {
+        let timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+        ];
+        let parts = split_partitions(&timeline, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(
+            parts[0], timeline,
+            "workload 0 entries pass through unchanged"
+        );
+    }
+
+    #[test]
+    fn split_partitions_all_entries_in_one_partition_leaves_others_empty() {
+        let mut timeline = vec![
+            entry(0, 0.0, 1.0, ResourceClass::Fixed),
+            entry(1, 1.0, 2.0, ResourceClass::Cpu),
+            entry(1, 2.0, 3.0, ResourceClass::Progr),
+        ];
+        for e in &mut timeline {
+            e.workload = 2;
+        }
+        let parts = split_partitions(&timeline, 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts[0].is_empty() && parts[1].is_empty() && parts[3].is_empty());
+        assert_eq!(parts[2].len(), 3);
+        // Entries are re-tagged to local index 0 with order preserved.
+        assert!(parts[2].iter().all(|e| e.workload == 0));
+        assert_eq!(
+            parts[2].iter().map(|e| e.op).collect::<Vec<_>>(),
+            vec![0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn split_partitions_drops_entries_tagged_beyond_the_partition_count() {
+        let mut stray = entry(0, 0.0, 1.0, ResourceClass::Cpu);
+        stray.workload = 7;
+        let timeline = vec![entry(0, 0.0, 1.0, ResourceClass::Fixed), stray];
+        let parts = split_partitions(&timeline, 2);
+        let kept: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(
+            kept, 1,
+            "out-of-range tags are dropped, detectable by count"
+        );
+    }
 }

@@ -104,8 +104,7 @@ pub fn current_commit() -> String {
         .ok()
         .filter(|out| out.status.success())
         .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
 }
 
 fn median_of(sorted_ms: &[f64]) -> f64 {
@@ -113,7 +112,7 @@ fn median_of(sorted_ms: &[f64]) -> f64 {
     if n % 2 == 1 {
         sorted_ms[n / 2]
     } else {
-        (sorted_ms[n / 2 - 1] + sorted_ms[n / 2]) / 2.0
+        f64::midpoint(sorted_ms[n / 2 - 1], sorted_ms[n / 2])
     }
 }
 
@@ -228,7 +227,7 @@ pub fn to_json(file: &BenchFile) -> String {
         "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}}},",
         std::env::consts::OS,
         std::env::consts::ARCH,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     )
     .ok();
     writeln!(out, "  \"steps\": {},", file.steps).ok();
@@ -294,11 +293,19 @@ pub fn validate_bench_json(text: &str) -> std::result::Result<(), String> {
             return Err(format!("machine.{key} missing or not a string"));
         }
     }
-    if machine.field("cores").and_then(|v| v.as_num()).is_none() {
+    if machine
+        .field("cores")
+        .and_then(pim_common::trace::Json::as_num)
+        .is_none()
+    {
         return Err("machine.cores missing or not a number".to_string());
     }
     for key in ["steps", "iterations"] {
-        if doc.field(key).and_then(|v| v.as_num()).is_none() {
+        if doc
+            .field(key)
+            .and_then(pim_common::trace::Json::as_num)
+            .is_none()
+        {
             return Err(format!("`{key}` missing or not a number"));
         }
     }
@@ -316,7 +323,7 @@ pub fn validate_bench_json(text: &str) -> std::result::Result<(), String> {
             }
         }
         for key in ["ops", "median_ms", "min_ms", "ops_per_sec"] {
-            match cell.field(key).and_then(|v| v.as_num()) {
+            match cell.field(key).and_then(pim_common::trace::Json::as_num) {
                 Some(v) if v > 0.0 => {}
                 _ => return Err(format!("cells[{i}].{key} missing or not positive")),
             }
@@ -328,13 +335,13 @@ pub fn validate_bench_json(text: &str) -> std::result::Result<(), String> {
                 .field(block)
                 .ok_or_else(|| format!("repro_all.{block} missing"))?;
             for key in ["median", "min"] {
-                match b.field(key).and_then(|v| v.as_num()) {
+                match b.field(key).and_then(pim_common::trace::Json::as_num) {
                     Some(v) if v > 0.0 => {}
                     _ => return Err(format!("repro_all.{block}.{key} missing or not positive")),
                 }
             }
         }
-        match r.field("speedup").and_then(|v| v.as_num()) {
+        match r.field("speedup").and_then(pim_common::trace::Json::as_num) {
             Some(v) if v > 0.0 => {}
             _ => return Err("repro_all.speedup missing or not positive".to_string()),
         }
@@ -372,7 +379,9 @@ pub fn compare_bench_json(a_text: &str, b_text: &str) -> std::result::Result<Str
                         .and_then(|v| v.as_str())
                         .unwrap()
                         .to_string(),
-                    cell.field("median_ms").and_then(|v| v.as_num()).unwrap(),
+                    cell.field("median_ms")
+                        .and_then(pim_common::trace::Json::as_num)
+                        .unwrap(),
                 )
             })
             .collect()
@@ -531,9 +540,54 @@ mod tests {
     fn compare_rejects_invalid_and_disjoint_inputs() {
         let a = to_json(&tiny_file());
         assert!(compare_bench_json(&a, "not json").is_err());
+        assert!(compare_bench_json("not json", &a).is_err());
         let mut other = tiny_file();
         other.cells[0].preset = "Hetero PIM";
-        assert!(compare_bench_json(&a, &to_json(&other)).is_err());
+        let err = compare_bench_json(&a, &to_json(&other)).unwrap_err();
+        assert!(err.contains("no (model, preset) cells in common"), "{err}");
+    }
+
+    #[test]
+    fn compare_lists_unmatched_cells_but_excludes_them_from_the_geomean() {
+        // a: {AlexNet@CPU, VGG@CPU}; b: {AlexNet@CPU (2x faster), LSTM@CPU}.
+        // Only AlexNet@CPU matches; the extra cell on each side must be
+        // listed with `-` placeholders and left out of the geomean.
+        let mut a_file = tiny_file();
+        a_file.cells.push(CellTiming {
+            model: "VGG",
+            preset: "CPU",
+            ops: 100,
+            median_ms: 3.0,
+            min_ms: 2.8,
+            ops_per_sec: 33333.3,
+        });
+        let mut b_file = tiny_file();
+        b_file.cells[0].median_ms = 0.75;
+        b_file.cells.push(CellTiming {
+            model: "LSTM",
+            preset: "CPU",
+            ops: 60,
+            median_ms: 4.0,
+            min_ms: 3.9,
+            ops_per_sec: 15000.0,
+        });
+        let table = compare_bench_json(&to_json(&a_file), &to_json(&b_file)).unwrap();
+        assert!(table.contains("VGG"), "{table}");
+        assert!(table.contains("LSTM"), "{table}");
+        assert!(
+            table.contains("geomean speedup over 1 matched cells: 2.00x"),
+            "unmatched cells must not dilute the geomean: {table}"
+        );
+        let vgg_row = table.lines().find(|l| l.starts_with("VGG")).unwrap();
+        assert!(
+            vgg_row.contains('-'),
+            "a-only cell renders placeholders: {vgg_row}"
+        );
+        let lstm_row = table.lines().find(|l| l.starts_with("LSTM")).unwrap();
+        assert!(
+            lstm_row.contains('-'),
+            "b-only cell renders placeholders: {lstm_row}"
+        );
     }
 
     #[test]

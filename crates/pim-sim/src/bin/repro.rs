@@ -4,6 +4,10 @@
 //! `repro schedule <model>` for a placement preview,
 //! `repro faults [--seed N] [--rate R] [--models a,b] [--steps N]` for the
 //! seeded fault-degradation sweep,
+//! `repro fuzz [--seeds N] [--seed N] [--models a,b] [--presets p,q] [--steps N]` for the
+//! order-invariance fuzz sweep (pass 5),
+//! `repro search [--beam N] [--rounds N] [--branch N] [--seed N]
+//! [--models a,b] [--steps N]` for the beam-search oracle-gap table,
 //! `repro --trace <path> [model]` to export a Chrome trace of one
 //! Hetero PIM run, `repro tracecheck <path>` to validate one, or
 //! `repro bench [--json <path>]` for the wall-clock benchmark harness
@@ -13,6 +17,7 @@
 //! Unknown sections, models, and malformed flags are usage errors: the
 //! binary prints a structured message plus the usage block to stderr and
 //! exits 2 (runtime failures exit 1).
+#![forbid(unsafe_code)]
 
 use pim_models::ModelKind;
 use pim_sim::configs::table_iv_rows;
@@ -35,6 +40,9 @@ const SECTIONS: [Section; 9] = [
 const USAGE: &str = "usage: repro [SECTION | all | config | csv]
        repro schedule [MODEL]
        repro faults [--seed N] [--rate R] [--models a,b,..] [--steps N]
+       repro fuzz [--seeds N] [--seed N] [--models a,b,..] [--presets p,q,..] [--steps N]
+       repro search [--beam N] [--rounds N] [--branch N] [--seed N]
+                    [--models a,b,..] [--steps N]
        repro --trace <path> [MODEL]
        repro tracecheck <path>
        repro bench [--json <path>] [--models a,b,..] [--iters N] [--steps N]
@@ -46,8 +54,7 @@ models:   alex vgg dcgan resnet inception lstm w2v";
 
 /// Prints a structured usage error to stderr and exits 2.
 fn usage_error(msg: &str) -> ! {
-    eprintln!("repro: {msg}\n{USAGE}");
-    std::process::exit(2);
+    pim_common::cli::usage_error("repro", msg, USAGE)
 }
 
 /// Resolves a model flag; absent means AlexNet, unknown names are usage
@@ -79,6 +86,8 @@ fn main() {
         "bench" => run_bench_cli(),
         "schedule" => run_schedule_preview(),
         "faults" => run_faults_cli(),
+        "fuzz" => run_fuzz_cli(),
+        "search" => run_search_cli(),
         "csv" => match pim_sim::report::evaluation_grid(3) {
             Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
             Err(e) => {
@@ -266,6 +275,147 @@ fn run_faults_cli() {
     }
 }
 
+/// The order-invariance fuzz sweep (pass 5 as an experiment):
+///
+/// ```text
+/// repro fuzz [--seeds N] [--seed N] [--models alex,lstm,...]
+///            [--presets cpu,progr,...] [--steps N]
+/// ```
+///
+/// Runs every requested model under every requested preset (all six
+/// when `--presets` is absent) once per seeded
+/// tie-break permutation and diffs each run against the stable order
+/// (report equality, legality replay, counter cross-check). Exits 1
+/// when any order diverges. Not part of `repro all`.
+fn run_fuzz_cli() {
+    use pim_common::cli::parse_value;
+    use pim_sim::orders;
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut seeds = 8usize;
+    let mut seed = 1u64;
+    let mut kinds: Vec<ModelKind> = orders::DEFAULT_FUZZ_MODELS.to_vec();
+    let mut presets = pim_runtime::engine::SystemPreset::ALL.to_vec();
+    let mut steps = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--seeds", Some(v)) => {
+                seeds = parse_value("--seeds", v).unwrap_or_else(|e| usage_error(&e));
+                if seeds == 0 {
+                    usage_error("--seeds must be at least 1");
+                }
+            }
+            ("--seed", Some(v)) => {
+                seed = parse_value("--seed", v).unwrap_or_else(|e| usage_error(&e));
+            }
+            ("--models", Some(v)) => {
+                kinds = v.split(',').map(|m| model_arg(Some(m.trim()))).collect();
+            }
+            ("--presets", Some(v)) => {
+                presets = v
+                    .split(',')
+                    .map(|p| {
+                        orders::parse_preset(p.trim())
+                            .unwrap_or_else(|e| usage_error(&e.to_string()))
+                    })
+                    .collect();
+            }
+            ("--steps", Some(v)) => {
+                steps = parse_value("--steps", v).unwrap_or_else(|e| usage_error(&e));
+                if steps == 0 {
+                    usage_error("--steps must be at least 1");
+                }
+            }
+            (flag, _) => usage_error(&format!("unknown or incomplete fuzz flag `{flag}`")),
+        }
+        i += 2;
+    }
+    match orders::fuzz_table(&kinds, &presets, seeds, seed, steps) {
+        Ok(table) => {
+            print!("{table}");
+            if table.contains("order invariance: FAIL") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fuzz failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The beam-search oracle-gap table:
+///
+/// ```text
+/// repro search [--beam N] [--rounds N] [--branch N] [--seed N]
+///              [--models alex,dcgan,...] [--steps N]
+/// ```
+///
+/// Beam-searches the legal priority-order space per model on the full
+/// Hetero preset and prints the best-found makespan against the paper
+/// heuristic; every winner is legality-replayed. Exits 1 if a winner
+/// fails the replay. Not part of `repro all`.
+fn run_search_cli() {
+    use pim_common::cli::parse_value;
+    use pim_runtime::engine::SystemPreset;
+    use pim_runtime::search::SearchConfig;
+    use pim_sim::orders;
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut cfg = SearchConfig::default();
+    let mut kinds: Vec<ModelKind> = orders::DEFAULT_SEARCH_MODELS.to_vec();
+    let mut steps = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--beam", Some(v)) => {
+                cfg.beam_width = parse_value("--beam", v).unwrap_or_else(|e| usage_error(&e));
+                if cfg.beam_width == 0 {
+                    usage_error("--beam must be at least 1");
+                }
+            }
+            ("--rounds", Some(v)) => {
+                cfg.rounds = parse_value("--rounds", v).unwrap_or_else(|e| usage_error(&e));
+            }
+            ("--branch", Some(v)) => {
+                cfg.branching = parse_value("--branch", v).unwrap_or_else(|e| usage_error(&e));
+                if cfg.branching == 0 {
+                    usage_error("--branch must be at least 1");
+                }
+            }
+            ("--seed", Some(v)) => {
+                cfg.seed = parse_value("--seed", v).unwrap_or_else(|e| usage_error(&e));
+            }
+            ("--models", Some(v)) => {
+                kinds = v.split(',').map(|m| model_arg(Some(m.trim()))).collect();
+            }
+            ("--steps", Some(v)) => {
+                steps = parse_value("--steps", v).unwrap_or_else(|e| usage_error(&e));
+                if steps == 0 {
+                    usage_error("--steps must be at least 1");
+                }
+            }
+            (flag, _) => usage_error(&format!("unknown or incomplete search flag `{flag}`")),
+        }
+        i += 2;
+    }
+    match orders::oracle_gap_table(&kinds, SystemPreset::Hetero, &cfg, steps) {
+        Ok(table) => {
+            print!("{table}");
+            if table.contains("ILLEGAL") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The wall-clock benchmark harness:
 ///
 /// ```text
@@ -287,9 +437,8 @@ fn run_bench_cli() {
 
     let args: Vec<String> = std::env::args().skip(2).collect();
     if args.first().map(String::as_str) == Some("--compare") {
-        let (a, b) = match (args.get(1), args.get(2), args.len()) {
-            (Some(a), Some(b), 3) => (a, b),
-            _ => usage_error("--compare expects exactly two bench JSON paths"),
+        let (Some(a), Some(b), 3) = (args.get(1), args.get(2), args.len()) else {
+            usage_error("--compare expects exactly two bench JSON paths")
         };
         let read = |path: &str| {
             std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -17,7 +17,9 @@
 //! * [`experiments`] — one function per table/figure; the `repro` binary
 //!   prints them,
 //! * [`faults`] — the seeded fault-injection degradation sweep
-//!   (`repro faults`): makespan/energy vs fault rate per preset.
+//!   (`repro faults`): makespan/energy vs fault rate per preset,
+//! * [`orders`] — the order-invariance fuzz sweep (`repro fuzz`) and the
+//!   beam-search oracle-gap table (`repro search`).
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod baselines;
@@ -44,6 +47,7 @@ pub mod experiments;
 pub mod faults;
 pub mod gpu;
 pub mod mixed;
+pub mod orders;
 pub mod report;
 pub mod trace;
 pub mod tracegen;

@@ -74,7 +74,7 @@ fn pr6_records_the_component_core_speedup() {
         .expect("pr6 must carry the repro_all A/B record");
     let speedup = repro_all
         .field("speedup")
-        .and_then(|v| v.as_num())
+        .and_then(pim_common::trace::Json::as_num)
         .expect("repro_all.speedup");
     assert!(
         speedup >= 1.5,

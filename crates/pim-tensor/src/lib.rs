@@ -32,6 +32,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod init;

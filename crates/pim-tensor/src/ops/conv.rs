@@ -432,8 +432,8 @@ mod tests {
             minus.data_mut()[idx] -= eps;
             let loss_plus: f64 = conv2d(&input, &plus, geom).unwrap().sum();
             let loss_minus: f64 = conv2d(&input, &minus, geom).unwrap().sum();
-            let numeric = (loss_plus - loss_minus) / (2.0 * eps as f64);
-            let got = analytic.data()[idx] as f64;
+            let numeric = (loss_plus - loss_minus) / (2.0 * f64::from(eps));
+            let got = f64::from(analytic.data()[idx]);
             assert!(
                 (numeric - got).abs() < 1e-2,
                 "filter grad[{idx}]: numeric {numeric} vs analytic {got}"
@@ -458,8 +458,8 @@ mod tests {
             minus.data_mut()[idx] -= eps;
             let loss_plus: f64 = conv2d(&plus, &filter, geom).unwrap().sum();
             let loss_minus: f64 = conv2d(&minus, &filter, geom).unwrap().sum();
-            let numeric = (loss_plus - loss_minus) / (2.0 * eps as f64);
-            let got = analytic.data()[idx] as f64;
+            let numeric = (loss_plus - loss_minus) / (2.0 * f64::from(eps));
+            let got = f64::from(analytic.data()[idx]);
             assert!(
                 (numeric - got).abs() < 1e-2,
                 "input grad[{idx}]: numeric {numeric} vs analytic {got}"

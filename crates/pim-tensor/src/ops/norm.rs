@@ -202,7 +202,7 @@ mod tests {
             for ni in 0..n {
                 for hi in 0..h {
                     for wi in 0..w {
-                        mean += y.at4(ni, ci, hi, wi) as f64;
+                        mean += f64::from(y.at4(ni, ci, hi, wi));
                     }
                 }
             }
@@ -210,7 +210,7 @@ mod tests {
             for ni in 0..n {
                 for hi in 0..h {
                     for wi in 0..w {
-                        var += (y.at4(ni, ci, hi, wi) as f64 - mean).powi(2);
+                        var += (f64::from(y.at4(ni, ci, hi, wi)) - mean).powi(2);
                     }
                 }
             }

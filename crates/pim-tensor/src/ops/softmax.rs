@@ -70,7 +70,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
                 format!("label {label} out of range for {c} classes"),
             ));
         }
-        loss -= (probs.at2(r, label).max(1e-12) as f64).ln();
+        loss -= f64::from(probs.at2(r, label).max(1e-12)).ln();
         let v = grad.at2(r, label) - 1.0;
         grad.set2(r, label, v);
     }
@@ -169,7 +169,7 @@ mod tests {
         ) {
             let x = Tensor::from_fn(
                 Shape::new(vec![n, c]),
-                |i| (((i as u32).wrapping_add(seed).wrapping_mul(2654435761)) % 1000) as f32 / 500.0 - 1.0,
+                |i| (((i as u32).wrapping_add(seed).wrapping_mul(2_654_435_761)) % 1000) as f32 / 500.0 - 1.0,
             );
             let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
             let (_, grad) = softmax_cross_entropy(&x, &labels).unwrap();

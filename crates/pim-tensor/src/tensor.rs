@@ -188,7 +188,7 @@ impl Tensor {
 
     /// Sum of all elements (in `f64` for accuracy).
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&x| x as f64).sum()
+        self.data.iter().map(|&x| f64::from(x)).sum()
     }
 }
 
@@ -247,7 +247,7 @@ mod tests {
     proptest! {
         #[test]
         fn sum_matches_reference(values in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
-            let expected: f64 = values.iter().map(|&x| x as f64).sum();
+            let expected: f64 = values.iter().map(|&x| f64::from(x)).sum();
             let n = values.len();
             let t = Tensor::from_vec(Shape::new(vec![n]), values).unwrap();
             prop_assert!((t.sum() - expected).abs() < 1e-6);

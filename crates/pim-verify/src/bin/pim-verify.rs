@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! pim-verify [--all-models | --model NAME] [--steps N] [--faults SEED,RATE]
-//!            [--format text|json]
+//!            [--orders N,SEED] [--format text|json]
 //! ```
 //!
 //! Runs the graph, KIR, schedule, and report passes and prints every
 //! finding. With `--faults`, additionally replays each configuration
 //! under a seeded fault plan through the fault-aware schedule checker.
-//! Exits 1 when any finding has error severity (or the arguments are
-//! invalid), 0 otherwise — warnings do not fail the run.
+//! With `--orders`, additionally runs the pass-5 order-invariance fuzz:
+//! N seeded tie-break permutations per configuration, each compared
+//! against the stable order. Exits 2 when the arguments are invalid
+//! (the [`pim_common::cli`] contract shared with `repro`), 1 when any
+//! finding has error severity, 0 otherwise — warnings do not fail the
+//! run.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
+use pim_common::cli::{parse_pair, parse_value, require_in_range, usage_error};
 use pim_models::ModelKind;
-use pim_verify::{verify_model, verify_model_faults};
+use pim_verify::{verify_model, verify_model_faults, verify_model_orders};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -26,13 +32,15 @@ struct Args {
     models: Vec<ModelKind>,
     steps: usize,
     faults: Option<(u64, f64)>,
+    orders: Option<(usize, u64)>,
     format: Format,
 }
 
 const USAGE: &str = "usage: pim-verify [--all-models | --model NAME] [--steps N] \
-[--faults SEED,RATE] [--format text|json]
+[--faults SEED,RATE] [--orders N,SEED] [--format text|json]
 
-Runs the graph, KIR, schedule, and report verification passes.
+Runs the graph, KIR, schedule, report, and (opt-in) order-invariance
+verification passes.
 
 options:
   --all-models       check every evaluated workload (default)
@@ -42,25 +50,23 @@ options:
   --faults SEED,RATE additionally replay each configuration under a fault
                      plan seeded from SEED at fault rate RATE (0 <= RATE <= 1)
                      through the fault-aware schedule checker
+  --orders N,SEED    additionally fuzz N seeded tie-break permutations per
+                     configuration against the stable order (pass 5)
   --format FMT       output format: text (default) or json
   --help             print this message";
 
 fn parse_faults(value: &str) -> Result<(u64, f64), String> {
-    let (seed, rate) = value
-        .split_once(',')
-        .ok_or_else(|| format!("--faults expects SEED,RATE, got `{value}`"))?;
-    let seed: u64 = seed
-        .trim()
-        .parse()
-        .map_err(|_| format!("invalid fault seed `{seed}`"))?;
-    let rate: f64 = rate
-        .trim()
-        .parse()
-        .map_err(|_| format!("invalid fault rate `{rate}`"))?;
-    if !(0.0..=1.0).contains(&rate) {
-        return Err(format!("fault rate must be in [0, 1], got {rate}"));
-    }
+    let (seed, rate) = parse_pair::<u64, f64>("--faults", "SEED,RATE", value)?;
+    require_in_range("--faults rate", rate, 0.0, 1.0)?;
     Ok((seed, rate))
+}
+
+fn parse_orders(value: &str) -> Result<(usize, u64), String> {
+    let (orders, seed) = parse_pair::<usize, u64>("--orders", "N,SEED", value)?;
+    if orders == 0 {
+        return Err("--orders needs at least one permutation".into());
+    }
+    Ok((orders, seed))
 }
 
 fn parse_model(name: &str) -> Option<ModelKind> {
@@ -74,6 +80,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut models: Option<Vec<ModelKind>> = None;
     let mut steps = 2usize;
     let mut faults: Option<(u64, f64)> = None;
+    let mut orders: Option<(usize, u64)> = None;
     let mut format = Format::Text;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -86,7 +93,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--steps" => {
                 let n = it.next().ok_or("--steps requires a count")?;
-                steps = n.parse().map_err(|_| format!("invalid step count `{n}`"))?;
+                steps = parse_value("--steps", n)?;
                 if steps == 0 {
                     return Err("--steps must be at least 1".into());
                 }
@@ -94,6 +101,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--faults" => {
                 let value = it.next().ok_or("--faults requires SEED,RATE")?;
                 faults = Some(parse_faults(value)?);
+            }
+            "--orders" => {
+                let value = it.next().ok_or("--orders requires N,SEED")?;
+                orders = Some(parse_orders(value)?);
             }
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
@@ -109,6 +120,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         models: models.unwrap_or_else(|| ModelKind::ALL.to_vec()),
         steps,
         faults,
+        orders,
         format,
     })
 }
@@ -122,8 +134,7 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            eprintln!("pim-verify: {msg}\n{USAGE}");
-            return ExitCode::FAILURE;
+            usage_error("pim-verify", &msg, USAGE);
         }
     };
 
@@ -138,6 +149,15 @@ fn main() -> ExitCode {
                         args.steps,
                         seed,
                         rate,
+                    )?);
+                }
+                if let Some((orders, seed)) = args.orders {
+                    model_diags.extend(verify_model_orders(
+                        *kind,
+                        kind.paper_batch_size(),
+                        args.steps,
+                        orders,
+                        seed,
                     )?);
                 }
                 Ok(model_diags)

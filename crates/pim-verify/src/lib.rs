@@ -15,7 +15,10 @@
 //! * [`schedule`] — schedule legality: timeline replay against dependency
 //!   order, device capability, and resource exclusivity,
 //! * [`report`] — report invariants: non-negative quantities, breakdowns
-//!   summing to totals.
+//!   summing to totals,
+//! * [`orders`] — order invariance: seeded tie-break permutations must
+//!   reproduce the stable execution report, and the stable order must
+//!   reproduce itself (opt-in via `--orders N,SEED`).
 //!
 //! The `pim-verify` binary runs every pass over all seven model graphs
 //! under every engine configuration; `Severity::Error` findings fail the
@@ -34,9 +37,11 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod graph;
 pub mod kir;
+pub mod orders;
 pub mod report;
 pub mod schedule;
 
@@ -49,6 +54,7 @@ use pim_sim::gpu::simulate_gpu;
 
 pub use graph::verify_graph;
 pub use kir::{verify_binaries, verify_kernel_source};
+pub use orders::verify_orders;
 pub use report::verify_report;
 pub use schedule::{engine_configs, verify_faulted_schedule, verify_schedule};
 
@@ -131,6 +137,37 @@ pub fn verify_model_faults(
             steps,
             seed,
             rate,
+        ));
+    }
+    Ok(diags)
+}
+
+/// Runs the order-invariance pass over one model: every engine
+/// configuration fuzzed with `orders` seeded tie-break permutations
+/// derived from `seed`, each compared against the stable order.
+///
+/// # Errors
+///
+/// Propagates model-construction failures; analysis findings are returned
+/// as diagnostics, never as errors.
+pub fn verify_model_orders(
+    kind: ModelKind,
+    batch: usize,
+    steps: usize,
+    orders: usize,
+    seed: u64,
+) -> Result<Diagnostics> {
+    let model = Model::build_with_batch(kind, batch)?;
+    let name = kind.name();
+    let mut diags = Diagnostics::new();
+    for cfg in engine_configs() {
+        diags.extend(verify_orders(
+            name,
+            model.graph(),
+            &cfg,
+            steps,
+            orders,
+            seed,
         ));
     }
     Ok(diags)

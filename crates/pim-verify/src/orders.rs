@@ -1,0 +1,47 @@
+//! Pass 5 — order invariance.
+//!
+//! Replays a graph under every engine configuration through the
+//! differential fuzz driver of [`pim_runtime::fuzz`]: each seeded
+//! tie-break permutation must reproduce the stable execution report
+//! byte-for-byte, replay legally through the schedule checker, and
+//! cross-check its counter registry; the stable order itself is run
+//! twice as the tripwire for unordered-container leaks into a pinned
+//! schedule order. Divergences name the first divergent timeline entry
+//! and the same-femtosecond tie group it belongs to.
+
+use pim_common::Diagnostics;
+use pim_graph::Graph;
+use pim_runtime::engine::{Engine, EngineConfig, WorkloadSpec};
+use pim_runtime::fuzz::fuzz_orders;
+
+/// The pass name stamped on every diagnostic this module emits (matches
+/// [`pim_runtime::fuzz::PASS`] — the differential driver lives there).
+pub const PASS: &str = pim_runtime::fuzz::PASS;
+
+/// Fuzzes `orders` seeded tie-break permutations of `steps` steps of
+/// `graph` under `cfg` against the stable order. Engine failures become
+/// error diagnostics rather than propagating.
+pub fn verify_orders(
+    model: &str,
+    graph: &Graph,
+    cfg: &EngineConfig,
+    steps: usize,
+    orders: usize,
+    base_seed: u64,
+) -> Diagnostics {
+    let engine = Engine::new(cfg.clone());
+    let workloads = [WorkloadSpec {
+        graph,
+        steps,
+        cpu_progr_only: false,
+    }];
+    let subject = format!("{model}@{}", cfg.name);
+    match fuzz_orders(&engine, &workloads, orders, base_seed, &subject) {
+        Ok(outcome) => outcome.diags,
+        Err(err) => {
+            let mut diags = Diagnostics::new();
+            diags.error(PASS, subject, format!("order fuzz failed: {err}"));
+            diags
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! CLI contract tests for the `pim-verify` binary: malformed arguments
-//! fail with a structured message, and the fault replay flag works
-//! end-to-end.
+//! fail with a structured message on the shared usage-error exit code
+//! (2, reserving 1 for error-severity findings), and the fault-replay
+//! and order-fuzz flags work end-to-end.
 
 use std::process::{Command, Output};
 
@@ -19,13 +20,29 @@ fn stderr(out: &Output) -> String {
 fn malformed_fault_flags_fail_with_structured_messages() {
     let cases: [(&[&str], &str); 4] = [
         (&["--faults", "1"], "expects SEED,RATE"),
-        (&["--faults", "x,0.1"], "invalid fault seed"),
-        (&["--faults", "1,abc"], "invalid fault rate"),
+        (&["--faults", "x,0.1"], "expects SEED,RATE"),
+        (&["--faults", "1,abc"], "expects SEED,RATE"),
         (&["--faults", "1,5.0"], "must be in [0, 1]"),
     ];
     for (args, needle) in cases {
         let out = pim_verify(args);
-        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn malformed_order_flags_fail_with_structured_messages() {
+    let cases: [(&[&str], &str); 3] = [
+        (&["--orders", "4"], "expects N,SEED"),
+        (&["--orders", "x,1"], "expects N,SEED"),
+        (&["--orders", "0,1"], "at least one permutation"),
+    ];
+    for (args, needle) in cases {
+        let out = pim_verify(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
         let err = stderr(&out);
         assert!(err.contains(needle), "{args:?}: {err}");
         assert!(err.contains("usage:"), "{args:?}: {err}");
@@ -35,17 +52,24 @@ fn malformed_fault_flags_fail_with_structured_messages() {
 #[test]
 fn unknown_model_and_argument_fail() {
     let out = pim_verify(&["--model", "nope"]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("unknown model `nope`"));
 
     let out = pim_verify(&["--frobnicate"]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("unknown argument `--frobnicate`"));
 }
 
 #[test]
 fn faulted_replay_of_one_model_is_clean() {
     let out = pim_verify(&["--model", "alexnet", "--steps", "1", "--faults", "3,0.1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stderr(&out).contains("0 error(s)"));
+}
+
+#[test]
+fn order_fuzz_of_one_model_is_clean() {
+    let out = pim_verify(&["--model", "alexnet", "--steps", "1", "--orders", "2,1"]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
     assert!(stderr(&out).contains("0 error(s)"));
 }

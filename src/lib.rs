@@ -32,6 +32,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub use pim_common as common;
 pub use pim_graph as graph;

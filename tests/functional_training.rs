@@ -113,7 +113,9 @@ fn execution_and_characterization_agree_on_coverage() {
 
     let costs = graph_costs(&graph).unwrap();
     assert_eq!(costs.len(), graph.op_count());
-    assert!(costs.iter().all(|c| c.is_well_formed()));
+    assert!(costs
+        .iter()
+        .all(hetero_pim::tensor::CostProfile::is_well_formed));
 
     // And the same graph executes numerically (dropout mask fed as ones).
     let mut exec = Executor::new(&graph, 5);

@@ -4,6 +4,7 @@
 //! append-only builder, `Bytes` as a consuming reader, and the
 //! big-endian `Buf`/`BufMut` accessors (upstream `bytes` is big-endian
 //! by default, which this preserves so encoded traces stay portable).
+#![forbid(unsafe_code)]
 
 /// An immutable byte buffer with a read cursor, mirroring `bytes::Bytes`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -4,6 +4,7 @@
 //! `bench` crate uses, but runs each benchmark body exactly once and
 //! reports wall-clock time — a smoke test that keeps every bench target
 //! compiling and executable without the statistics machinery.
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

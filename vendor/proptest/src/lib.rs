@@ -7,6 +7,7 @@
 //! `proptest::collection::vec`. Cases are generated from a
 //! deterministic per-test RNG (seeded from the test name); there is no
 //! shrinking — a failure reports the case index and message only.
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
@@ -73,6 +74,9 @@ macro_rules! impl_int_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
+            // The macro instantiates for usize and signed types too,
+            // where `From` is unavailable; the cast widens everywhere.
+            #[allow(clippy::cast_lossless)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty strategy range");
                 let span = (self.end - self.start) as u64;
@@ -81,6 +85,7 @@ macro_rules! impl_int_strategy {
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
+            #[allow(clippy::cast_lossless)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty strategy range");

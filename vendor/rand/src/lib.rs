@@ -5,6 +5,7 @@
 //! generator is SplitMix64 — deterministic, seedable, and statistically
 //! adequate for synthetic datasets and weight initialization (the
 //! simulator's cost model depends on tensor shapes, never on values).
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 
@@ -53,6 +54,9 @@ pub trait SampleRange<T> {
 macro_rules! impl_int_sample {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // The macro instantiates for usize too, where `From` is
+            // unavailable; the cast widens on every instantiated type.
+            #[allow(clippy::cast_lossless)]
             fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
                 assert!(self.start < self.end, "empty sample range");
                 let span = (self.end - self.start) as u64;
@@ -60,6 +64,7 @@ macro_rules! impl_int_sample {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)]
             fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "empty sample range");

@@ -3,6 +3,7 @@
 //! The workspace only ever *derives* `Serialize` / `Deserialize` as a
 //! forward-compatibility marker — nothing serializes through them yet —
 //! so the traits carry no methods and the derives expand to nothing.
+#![forbid(unsafe_code)]
 
 /// Marker trait mirroring `serde::Serialize`.
 pub trait Serialize {}

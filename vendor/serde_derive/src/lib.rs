@@ -3,6 +3,7 @@
 //! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
 //! the workspace uses the traits purely as markers, so no impl is needed
 //! for the annotated types to compile.
+#![forbid(unsafe_code)]
 
 use proc_macro::TokenStream;
 
