@@ -141,6 +141,28 @@ cargo run --release -q -p pim-sim --bin repro \
 cargo run --release -q -p pim-verify -- \
     --all-models --orders 4,1 --format json > /dev/null
 
+# Serve smoke: boot the daemon on stdin, replay a seeded load trace
+# twice, and byte-diff the full response streams — submission-order
+# drain barriers make the stream a pure function of the input, so any
+# worker-timing leak shows up as a diff. The stats lines must also show
+# result sharing actually crossing tenants.
+serve_trace=$(mktemp) serve_a=$(mktemp) serve_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "$serve_trace" "$serve_a" "$serve_b" "${bench_json:-}"' EXIT
+cargo run --release -q -p pim-sim --bin repro -- \
+    serve --emit-trace 200 --seed 7 --tenants 3 > "$serve_trace"
+cargo run --release -q -p pim-sim --bin repro -- \
+    serve < "$serve_trace" > "$serve_a" 2> /dev/null
+cargo run --release -q -p pim-sim --bin repro -- \
+    serve < "$serve_trace" > "$serve_b" 2> /dev/null
+diff "$serve_a" "$serve_b"
+grep -q '"cross_tenant_hits":[1-9]' "$serve_a"
+
+# Closed-loop load run: zero failed or rejected jobs, with sampled
+# responses byte-verified against direct Engine::execute runs (exit 1
+# on any divergence).
+cargo run --release -q -p pim-sim --bin repro -- \
+    serve --load 300 --seed 1 --sample 20 > /dev/null
+
 # Observability: the Chrome-trace export must be byte-identical across
 # runs and structurally valid (parses, ph/ts/pid/tid present, per-track
 # timestamps monotone — `repro tracecheck` gates all of it).

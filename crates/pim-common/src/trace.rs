@@ -24,6 +24,7 @@
 use crate::diag::Diagnostics;
 use crate::units::Seconds;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Coordinates of one timeline lane: a Chrome trace `(pid, tid)` pair.
@@ -422,8 +423,16 @@ fn render_event(out: &mut String, ev: &TraceEvent) {
 }
 
 /// Escapes a string into a JSON string literal (same rules as
-/// [`crate::diag`]'s renderer).
-fn json_string(s: &str) -> String {
+/// [`crate::diag`]'s renderer) — the emit-side twin of [`parse_json`],
+/// shared by the trace exporter and the `pim-serve` wire protocol.
+///
+/// # Examples
+///
+/// ```
+/// use pim_common::trace::json_string;
+/// assert_eq!(json_string(r#"a"b"#), r#""a\"b""#);
+/// ```
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -587,6 +596,50 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// The boolean value, when this is `true` or `false`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Compact JSON rendering: no whitespace, object keys in document order,
+/// numbers in Rust's shortest-round-trip `f64` form. Rendering a value
+/// parsed by [`parse_json`] yields a document that re-parses to the same
+/// value, which is what the `pim-serve` protocol and its byte-diff CI
+/// stage rely on.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => f.write_str(&json_string(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", json_string(k))?;
+                }
+                f.write_str("}")
+            }
         }
     }
 }
@@ -871,6 +924,17 @@ mod tests {
             end: Seconds::new(end),
             args: vec![("step", 1u64.into()), ("rc", true.into())],
         }
+    }
+
+    #[test]
+    fn json_display_round_trips() {
+        let doc =
+            r#"{"id":"a\"b","n":1.5,"neg":-2,"ok":true,"none":null,"xs":[1,"two",{"k":false}]}"#;
+        let parsed = parse_json(doc).unwrap();
+        assert_eq!(parsed.to_string(), doc);
+        assert_eq!(parse_json(&parsed.to_string()).unwrap(), parsed);
+        assert_eq!(parsed.field("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.field("n").and_then(Json::as_bool), None);
     }
 
     #[test]

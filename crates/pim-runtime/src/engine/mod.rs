@@ -8,12 +8,18 @@
 //! [`EngineConfig::preset`] (the GPU baseline is analytic and lives in
 //! `pim-sim`).
 //!
-//! All execution funnels through one entry point,
-//! [`Engine::run_with`], which takes [`RunOptions`] and returns a
-//! [`RunOutput`] carrying the report plus any requested observability
-//! artifacts (timeline, counters, Chrome-trace recording);
-//! [`Engine::run`], [`Engine::run_detailed`], and [`Engine::run_many`]
-//! are thin wrappers over it.
+//! All execution funnels through one entry point, [`Engine::execute`],
+//! which takes a [`RunRequest`] — workloads, [`RunOptions`], a
+//! [`FaultPlan`], and a [`Partitioning`] — and returns a [`RunOutput`]
+//! carrying the reports plus any requested observability artifacts
+//! (timeline, counters, Chrome-trace recording). [`Engine::run`],
+//! [`Engine::run_with`], [`Engine::run_detailed`], [`Engine::run_many`],
+//! [`Engine::run_with_faults`], and [`Engine::run_many_with`] are thin
+//! wrappers that build the corresponding request. The same `RunRequest`
+//! doubles as the content-addressed identity of a simulation:
+//! [`RunRequest::fingerprint`] keys the shared result store of
+//! `pim-serve`, so the in-process API, the wire protocol, and the cache
+//! key are one object.
 //!
 //! The engine is a thin facade over the core submodules:
 //!
@@ -198,68 +204,6 @@ impl EngineConfig {
         }
     }
 
-    /// The "CPU" configuration of §VI.
-    ///
-    /// Deprecated spelling of `EngineConfig::preset(SystemPreset::CpuOnly)`;
-    /// prefer the preset form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::CpuOnly)`")]
-    pub fn cpu_only() -> Self {
-        EngineConfig::preset(SystemPreset::CpuOnly)
-    }
-
-    /// The "Progr PIM" configuration: programmable PIMs only, no runtime
-    /// scheduling.
-    ///
-    /// Deprecated spelling of
-    /// `EngineConfig::preset(SystemPreset::ProgrOnly)`; prefer the preset
-    /// form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::ProgrOnly)`")]
-    pub fn progr_only() -> Self {
-        EngineConfig::preset(SystemPreset::ProgrOnly)
-    }
-
-    /// The "Fixed PIM" configuration: fixed-function PIMs plus CPU, no
-    /// runtime scheduling.
-    ///
-    /// Deprecated spelling of
-    /// `EngineConfig::preset(SystemPreset::FixedHost)`; prefer the preset
-    /// form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::FixedHost)`")]
-    pub fn fixed_host() -> Self {
-        EngineConfig::preset(SystemPreset::FixedHost)
-    }
-
-    /// The full "Hetero PIM" configuration with RC and OP.
-    ///
-    /// Deprecated spelling of `EngineConfig::preset(SystemPreset::Hetero)`;
-    /// prefer the preset form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::Hetero)`")]
-    pub fn hetero() -> Self {
-        EngineConfig::preset(SystemPreset::Hetero)
-    }
-
-    /// Hetero hardware without either runtime technique (Fig. 13's
-    /// "Hetero PIM" ablation bar).
-    ///
-    /// Deprecated spelling of
-    /// `EngineConfig::preset(SystemPreset::HeteroBare)`; prefer the preset
-    /// form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::HeteroBare)`")]
-    pub fn hetero_bare() -> Self {
-        EngineConfig::preset(SystemPreset::HeteroBare)
-    }
-
-    /// Hetero hardware with recursive kernels but no operation pipeline
-    /// (Fig. 13's "+RC" bar).
-    ///
-    /// Deprecated spelling of
-    /// `EngineConfig::preset(SystemPreset::HeteroRc)`; prefer the preset
-    /// form in new code.
-    #[deprecated(note = "use `EngineConfig::preset(SystemPreset::HeteroRc)`")]
-    pub fn hetero_rc() -> Self {
-        EngineConfig::preset(SystemPreset::HeteroRc)
-    }
-
     /// Returns a copy with a different stack (frequency-scaling studies).
     pub fn with_stack(mut self, stack: StackConfig) -> Self {
         self.stack = stack;
@@ -341,20 +285,140 @@ pub struct RunOptions {
     pub tie: TieBreak,
 }
 
+/// How [`Engine::execute`] maps workloads onto the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum Partitioning {
+    /// All workloads co-run on one shared resource state (the Fig. 16
+    /// co-scheduling scenario) and produce a single aggregate report.
+    #[default]
+    Shared,
+    /// Each workload is an independent partition with the whole machine to
+    /// itself, advanced on its own event core — on its own thread when the
+    /// `parallel` feature is enabled — producing one report per workload.
+    Partitioned,
+}
+
+/// One simulation request: the single argument of [`Engine::execute`],
+/// the object every `Engine::run*` wrapper builds, and — through
+/// [`RunRequest::canonical`] / [`RunRequest::fingerprint`] — the shared
+/// cache/protocol key of the `pim-serve` daemon.
+#[derive(Debug, Clone)]
+pub struct RunRequest<'g> {
+    /// The participating workloads.
+    pub workloads: Vec<WorkloadSpec<'g>>,
+    /// Observability and tie-break knobs.
+    pub options: RunOptions,
+    /// The fault plan; [`FaultPlan::none`] (the default) keeps the
+    /// fault-free hot paths byte-identical.
+    pub faults: FaultPlan,
+    /// Shared co-run vs. independent partitions.
+    pub partitioning: Partitioning,
+}
+
+impl<'g> RunRequest<'g> {
+    /// A fault-free, shared, default-options request over `workloads`.
+    pub fn new(workloads: &[WorkloadSpec<'g>]) -> Self {
+        RunRequest {
+            workloads: workloads.to_vec(),
+            options: RunOptions::default(),
+            faults: FaultPlan::none(),
+            partitioning: Partitioning::Shared,
+        }
+    }
+
+    /// Returns the request with `options` replacing the defaults.
+    #[must_use]
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Returns the request with `faults` replacing the empty plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the request with [`Partitioning::Partitioned`].
+    #[must_use]
+    pub fn partitioned(mut self) -> Self {
+        self.partitioning = Partitioning::Partitioned;
+        self
+    }
+
+    /// The canonical text form of this request under a configuration: a
+    /// stable, versioned rendering of everything that determines the
+    /// simulation result — the configuration, each workload's structural
+    /// graph hash and step count, the tie-break policy, the fault plan,
+    /// and the partitioning.
+    ///
+    /// The observability toggles ([`RunOptions::timeline`],
+    /// [`RunOptions::trace`]) are deliberately *excluded*: they change
+    /// which artifacts are materialized, never the report (the trace
+    /// byte-diff stage of ci.sh holds this invariant), so two requests
+    /// differing only in observability share one cache cell.
+    pub fn canonical(&self, cfg: &EngineConfig) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("run-request-v1");
+        let _ = write!(s, ";config={cfg:?}");
+        s.push_str(";workloads=[");
+        for (i, wl) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{graph={:016x},ops={},steps={},restricted={}}}",
+                wl.graph.structural_hash(),
+                wl.graph.op_count(),
+                wl.steps,
+                wl.cpu_progr_only
+            );
+        }
+        let _ = write!(
+            s,
+            "];tie={:?};faults={:?};partitioning={:?}",
+            self.options.tie, self.faults, self.partitioning
+        );
+        s
+    }
+
+    /// The content hash of [`RunRequest::canonical`] — the shared result
+    /// store key (`pim_common::fingerprint::debug_hash` over the canonical
+    /// string, stable across processes and thread counts).
+    pub fn fingerprint(&self, cfg: &EngineConfig) -> u64 {
+        pim_common::fingerprint::debug_hash(&self.canonical(cfg))
+    }
+}
+
+/// Everything one simulation produced — the response half of the
+/// [`RunRequest`] API.
+pub type RunResponse = RunOutput;
+
 /// Everything one simulation produced.
 #[derive(Debug)]
 pub struct RunOutput {
-    /// The aggregate execution report.
-    pub report: ExecutionReport,
+    /// The execution reports: exactly one for a [`Partitioning::Shared`]
+    /// run (the aggregate over all co-run workloads), one per workload in
+    /// input order for a [`Partitioning::Partitioned`] run.
+    pub reports: Vec<ExecutionReport>,
     /// The per-instance timeline, when [`RunOptions::timeline`] was set.
+    /// Partitioned runs merge per-partition timelines by
+    /// `(quantized start, partition index)` with stable within-partition
+    /// order (see the `components` module docs for the determinism
+    /// argument).
     pub timeline: Option<Vec<TimelineEntry>>,
     /// The span recording, when [`RunOptions::trace`] was set and the
-    /// `trace` feature is compiled in.
+    /// `trace` feature is compiled in. Partitioned runs do not record
+    /// traces.
     pub trace: Option<TraceRecording>,
     /// The run's counter registry (ops placed per device, events
     /// dispatched, busy seconds, bytes moved, sync stalls, fault
     /// recovery). Always collected; cross-checked against the report in
-    /// debug/`verify` builds.
+    /// debug/`verify` builds. Partitioned runs merge counters in partition
+    /// order — every key is a sum over events, so the merge is independent
+    /// of the worker count.
     pub counters: Counters,
     /// When a fault plan quarantined a whole compute complement before the
     /// run started, the preset the configuration gracefully degraded to
@@ -364,21 +428,26 @@ pub struct RunOutput {
     pub degraded: Option<&'static str>,
 }
 
-/// Everything a partitioned multi-workload simulation produced
-/// ([`Engine::run_many_with`]).
-#[derive(Debug)]
-pub struct ManyOutput {
-    /// One report per workload, in input order.
-    pub reports: Vec<ExecutionReport>,
-    /// The merged per-instance timeline, when [`RunOptions::timeline`] was
-    /// set: entries are tagged with the workload (partition) index and
-    /// ordered by quantized start time, tie-broken by partition index (see
-    /// the `components` module docs for the determinism argument).
-    pub timeline: Option<Vec<TimelineEntry>>,
-    /// Counter registries of all partitions merged in partition order.
-    /// Every counter key is a sum over events, so the merged registry is
-    /// independent of how many threads ran the partitions.
-    pub counters: Counters,
+impl RunOutput {
+    /// The run's single report. For shared runs this is *the* aggregate
+    /// report; for partitioned runs it is the first partition's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output carries no reports — only possible for a
+    /// partitioned run over an empty workload set.
+    pub fn report(&self) -> &ExecutionReport {
+        &self.reports[0]
+    }
+
+    /// Consumes the output, returning its single (first) report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output carries no reports (see [`RunOutput::report`]).
+    pub fn into_report(mut self) -> ExecutionReport {
+        self.reports.swap_remove(0)
+    }
 }
 
 /// The engine: devices + policy for one configuration.
@@ -448,9 +517,27 @@ impl Engine {
         Ok(prepared)
     }
 
-    /// Simulates the workloads, producing exactly the artifacts `opts`
-    /// asks for — the one execution entry point every other `run*` method
-    /// delegates to.
+    /// Executes one [`RunRequest`] — the single entry point every
+    /// `Engine::run*` wrapper delegates to.
+    ///
+    /// A [`Partitioning::Shared`] request co-runs all workloads on one
+    /// resource state under the request's fault plan: when the plan
+    /// quarantines a whole compute complement before the run starts
+    /// (e.g. every fixed-function unit at `t <= 0`), the configuration
+    /// *collapses* to the strongest surviving preset along the paper's
+    /// fixed → programmable → host chain before executing, and
+    /// [`RunOutput::degraded`] names it. With [`FaultPlan::none`] the
+    /// untouched fault-free drivers run and the output is byte-identical
+    /// to the pre-fault-support engine.
+    ///
+    /// A [`Partitioning::Partitioned`] request gives each workload the
+    /// whole machine to itself on its own event core — on its own thread
+    /// when the `parallel` feature is enabled (worker count capped by
+    /// `PIM_RUN_THREADS`) — then merges the artifacts deterministically:
+    /// reports keep input order, timelines merge by `(quantized start,
+    /// partition index)`, counters merge in partition order. The output
+    /// is a pure function of the request, independent of the worker
+    /// count.
     ///
     /// In debug builds — or with the `verify` feature enabled — every run
     /// additionally replays its timeline through the `schedule` legality
@@ -462,42 +549,86 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates cost/profiling failures, or an internal error if the
-    /// scheduler wedges (a bug, guarded explicitly).
+    /// scheduler wedges (a bug, guarded explicitly). Partitioned requests
+    /// propagate the first failure among the partitions, in input order.
+    pub fn execute(&self, request: &RunRequest<'_>) -> Result<RunOutput> {
+        match request.partitioning {
+            Partitioning::Shared => match self.degraded_engine(&request.faults) {
+                Some((engine, label, eff)) => {
+                    let mut out = engine.run_inner(&request.workloads, &request.options, &eff)?;
+                    out.degraded = Some(label);
+                    Ok(out)
+                }
+                None => self.run_inner(&request.workloads, &request.options, &request.faults),
+            },
+            Partitioning::Partitioned => {
+                let outs: Vec<RunOutput> = crate::par::par_map(&request.workloads, |wl| {
+                    self.execute(
+                        &RunRequest::new(&[*wl])
+                            .with_options(request.options)
+                            .with_faults(request.faults.clone()),
+                    )
+                })
+                .into_iter()
+                .collect::<Result<_>>()?;
+                let mut counters = Counters::new();
+                let mut reports = Vec::with_capacity(outs.len());
+                let mut degraded = None;
+                let mut parts = request
+                    .options
+                    .timeline
+                    .then(|| Vec::with_capacity(outs.len()));
+                for out in outs {
+                    counters.merge(&out.counters);
+                    degraded = degraded.or(out.degraded);
+                    reports.extend(out.reports);
+                    if let Some(parts) = parts.as_mut() {
+                        parts.push(out.timeline.unwrap_or_default());
+                    }
+                }
+                Ok(RunOutput {
+                    reports,
+                    timeline: parts.map(components::merge_partition_timelines),
+                    trace: None,
+                    counters,
+                    degraded,
+                })
+            }
+        }
+    }
+
+    /// Simulates the workloads on one shared resource state, producing
+    /// exactly the artifacts `opts` asks for. Thin wrapper over
+    /// [`Engine::execute`] with a fault-free shared request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same failures as [`Engine::execute`].
     pub fn run_with(&self, workloads: &[WorkloadSpec<'_>], opts: &RunOptions) -> Result<RunOutput> {
-        self.run_inner(workloads, opts, &FaultPlan::none())
+        self.execute(&RunRequest::new(workloads).with_options(*opts))
     }
 
     /// Like [`Engine::run_with`], executing under a seeded fault plan: the
     /// drivers inject the plan's transients, link timeouts, stragglers,
     /// and permanent faults, and recover per the policy in
-    /// [`crate::engine::faults`].
-    ///
-    /// With [`FaultPlan::none`] this is exactly [`Engine::run_with`] — the
-    /// fault-free drivers run and the output is byte-identical.
-    ///
-    /// When the plan quarantines a whole compute complement before the
-    /// run starts (e.g. every fixed-function unit at `t <= 0`), the
-    /// configuration *collapses* to the strongest surviving preset along
-    /// the paper's fixed → programmable → host chain before executing, and
-    /// [`RunOutput::degraded`] names it.
+    /// [`crate::engine::faults`]. Thin wrapper over [`Engine::execute`]
+    /// with the plan attached; see there for the whole-complement
+    /// collapse semantics.
     ///
     /// # Errors
     ///
-    /// Propagates the same failures as [`Engine::run_with`].
+    /// Propagates the same failures as [`Engine::execute`].
     pub fn run_with_faults(
         &self,
         workloads: &[WorkloadSpec<'_>],
         opts: &RunOptions,
         plan: &FaultPlan,
     ) -> Result<RunOutput> {
-        match self.degraded_engine(plan) {
-            Some((engine, label, eff)) => {
-                let mut out = engine.run_inner(workloads, opts, &eff)?;
-                out.degraded = Some(label);
-                Ok(out)
-            }
-            None => self.run_inner(workloads, opts, plan),
-        }
+        self.execute(
+            &RunRequest::new(workloads)
+                .with_options(*opts)
+                .with_faults(plan.clone()),
+        )
     }
 
     /// The preset this configuration collapses to when `plan` takes out a
@@ -619,7 +750,7 @@ impl Engine {
         let trace = None;
 
         Ok(RunOutput {
-            report,
+            reports: vec![report],
             timeline: if opts.timeline { entries } else { None },
             trace,
             counters,
@@ -628,13 +759,13 @@ impl Engine {
     }
 
     /// Simulates the workloads and produces the report. Thin wrapper over
-    /// [`Engine::run_with`] with default options.
+    /// [`Engine::execute`] with a default shared request.
     ///
     /// # Errors
     ///
-    /// Propagates the same failures as [`Engine::run_with`].
+    /// Propagates the same failures as [`Engine::execute`].
     pub fn run(&self, workloads: &[WorkloadSpec<'_>]) -> Result<ExecutionReport> {
-        Ok(self.run_with(workloads, &RunOptions::default())?.report)
+        Ok(self.execute(&RunRequest::new(workloads))?.into_report())
     }
 
     /// Dispatches prepared workloads to the configured execution driver.
@@ -755,7 +886,7 @@ impl Engine {
     /// Like [`Engine::run`], additionally returning the per-instance
     /// execution timeline (start/end/resource of every scheduled op) for
     /// inspection and invariant checking. Thin wrapper over
-    /// [`Engine::run_with`] with `timeline: true`.
+    /// [`Engine::execute`] with `timeline: true`.
     ///
     /// # Errors
     ///
@@ -768,11 +899,12 @@ impl Engine {
             timeline: true,
             ..RunOptions::default()
         };
-        let out = self.run_with(workloads, &opts)?;
+        let mut out = self.execute(&RunRequest::new(workloads).with_options(opts))?;
         let timeline = out
             .timeline
+            .take()
             .ok_or_else(|| PimError::internal("requested timeline missing from run output"))?;
-        Ok((out.report, timeline))
+        Ok((out.into_report(), timeline))
     }
 
     /// Runs each workload as its own independent simulation, across
@@ -790,20 +922,14 @@ impl Engine {
     }
 
     /// Partitioned multi-workload execution: each workload is an
-    /// independent partition advanced on its own event core — on its own
-    /// thread when the `parallel` feature is enabled (worker count capped
-    /// by `PIM_RUN_THREADS`) — and the per-partition artifacts are merged
-    /// deterministically afterwards.
-    ///
-    /// The output is a pure function of the inputs, independent of the
-    /// worker count: reports keep input order, timelines merge by
-    /// `(quantized start, partition index)` with stable within-partition
-    /// order, and counters merge in partition order.
+    /// independent partition with the whole machine to itself. Thin
+    /// wrapper over [`Engine::execute`] with a
+    /// [`Partitioning::Partitioned`] request; see there for the
+    /// determinism guarantees of the merge.
     ///
     /// This is *not* [`Engine::run_with`] with several workloads — that
     /// call co-runs the workloads on one shared resource state (the
-    /// Fig. 16 scenario) and stays a single partition; here every
-    /// workload gets the whole machine to itself.
+    /// Fig. 16 scenario) and stays a single partition.
     ///
     /// # Errors
     ///
@@ -812,25 +938,8 @@ impl Engine {
         &self,
         workloads: &[WorkloadSpec<'_>],
         opts: &RunOptions,
-    ) -> Result<ManyOutput> {
-        let outs: Vec<RunOutput> = crate::par::par_map(workloads, |wl| self.run_with(&[*wl], opts))
-            .into_iter()
-            .collect::<Result<_>>()?;
-        let mut counters = Counters::new();
-        let mut reports = Vec::with_capacity(outs.len());
-        let mut parts = opts.timeline.then(|| Vec::with_capacity(outs.len()));
-        for out in outs {
-            counters.merge(&out.counters);
-            reports.push(out.report);
-            if let Some(parts) = parts.as_mut() {
-                parts.push(out.timeline.unwrap_or_default());
-            }
-        }
-        Ok(ManyOutput {
-            reports,
-            timeline: parts.map(components::merge_partition_timelines),
-            counters,
-        })
+    ) -> Result<RunOutput> {
+        self.execute(&RunRequest::new(workloads).with_options(*opts).partitioned())
     }
 
     /// Replays a merged multi-partition timeline ([`Engine::run_many_with`]

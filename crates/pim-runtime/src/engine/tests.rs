@@ -216,7 +216,7 @@ mod fault_tests {
             let faulted = engine
                 .run_with_faults(&[spec(&model, 2)], &opts, &FaultPlan::none())
                 .unwrap();
-            assert_eq!(plain.report, faulted.report, "{preset:?}");
+            assert_eq!(plain.report(), faulted.report(), "{preset:?}");
             assert_eq!(plain.timeline, faulted.timeline, "{preset:?}");
             assert!(faulted.degraded.is_none());
         }
@@ -245,13 +245,13 @@ mod fault_tests {
             let b = engine
                 .run_with_faults(&[spec(&model, 2)], &opts, &plan)
                 .unwrap();
-            assert_eq!(a.report, b.report, "{preset:?}");
+            assert_eq!(a.report(), b.report(), "{preset:?}");
             assert_eq!(a.timeline, b.timeline, "{preset:?}");
             assert!(
                 a.counters.get("faults/injected") > 0.0,
                 "{preset:?}: plan at rate 0.2 injected nothing"
             );
-            assert!(a.report.makespan > Seconds::ZERO);
+            assert!(a.report().makespan > Seconds::ZERO);
         }
     }
 
@@ -267,7 +267,7 @@ mod fault_tests {
         let progr = Engine::new(EngineConfig::preset(SystemPreset::ProgrOnly))
             .run(&[spec(&model, 2)])
             .unwrap();
-        assert_eq!(degraded.report, progr);
+        assert_eq!(*degraded.report(), progr);
     }
 
     #[test]
@@ -283,8 +283,8 @@ mod fault_tests {
         let cpu = Engine::new(EngineConfig::preset(SystemPreset::CpuOnly))
             .run(&[spec(&model, 2)])
             .unwrap();
-        assert_eq!(degraded.report.makespan, cpu.makespan);
-        assert_eq!(degraded.report.dynamic_energy, cpu.dynamic_energy);
+        assert_eq!(degraded.report().makespan, cpu.makespan);
+        assert_eq!(degraded.report().dynamic_energy, cpu.dynamic_energy);
     }
 
     #[test]
@@ -305,7 +305,7 @@ mod fault_tests {
             .run_with_faults(&[spec(&model, 2)], &RunOptions::default(), &plan)
             .unwrap();
         assert!(out.degraded.is_none());
-        assert!(out.report.is_well_formed());
+        assert!(out.report().is_well_formed());
         assert!(out.counters.get("faults/quarantined_units") >= 1.0);
     }
 }

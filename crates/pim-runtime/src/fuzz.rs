@@ -225,7 +225,7 @@ pub fn check_order_invariance(
     // changing the schedule, so they are audited by reproduction — the
     // stable order must equal itself across independent runs.
     let rerun = engine.run_with(workloads, &base_opts)?;
-    if rerun.report != base.report
+    if rerun.report() != base.report()
         || rerun.counters != base.counters
         || rerun.timeline.as_deref().unwrap_or(&[]) != base_timeline
     {
@@ -239,7 +239,7 @@ pub fn check_order_invariance(
                 divergence_message(
                     base_timeline,
                     rerun.timeline.as_deref().unwrap_or(&[]),
-                    &report_delta(&base.report, &rerun.report),
+                    &report_delta(base.report(), rerun.report()),
                 )
             ),
         );
@@ -255,7 +255,7 @@ pub fn check_order_invariance(
         let label = format!("{subject} order={}", tie.describe());
 
         let mut this_diverged = false;
-        if out.report != base.report {
+        if out.report() != base.report() {
             this_diverged = true;
             diags.error(
                 PASS,
@@ -263,11 +263,11 @@ pub fn check_order_invariance(
                 divergence_message(
                     base_timeline,
                     timeline,
-                    &report_delta(&base.report, &out.report),
+                    &report_delta(base.report(), out.report()),
                 ),
             );
         }
-        if out.report == base.report && timeline != base_timeline {
+        if out.report() == base.report() && timeline != base_timeline {
             this_diverged = true;
             diags.error(
                 PASS,

@@ -84,7 +84,9 @@ pub fn beam_search(
     workloads: &[WorkloadSpec<'_>],
     cfg: &SearchConfig,
 ) -> Result<SearchOutcome> {
-    let stable = engine.run_with(workloads, &RunOptions::default())?.report;
+    let stable = engine
+        .run_with(workloads, &RunOptions::default())?
+        .into_report();
     let stable_makespan = stable.makespan;
 
     let mut seen = std::collections::HashSet::new();
@@ -102,7 +104,7 @@ pub fn beam_search(
                 tie: TieBreak::Priority(seed),
                 ..RunOptions::default()
             };
-            let report = engine.run_with(workloads, &opts)?.report;
+            let report = engine.run_with(workloads, &opts)?.into_report();
             // Quantize exactly like the event clock so ordering is
             // platform-stable.
             Ok(((report.makespan.seconds() * 1e15) as u64, seed))
@@ -141,13 +143,14 @@ pub fn beam_search(
         tie: best_order,
         ..RunOptions::default()
     };
-    let out = engine.run_with(workloads, &opts)?;
+    let mut out = engine.run_with(workloads, &opts)?;
     let best_timeline = out
         .timeline
+        .take()
         .ok_or_else(|| PimError::internal("timeline requested but not produced"))?;
     Ok(SearchOutcome {
         stable_makespan,
-        best_makespan: best_makespan.unwrap_or(out.report.makespan),
+        best_makespan: best_makespan.unwrap_or(out.report().makespan),
         best_order,
         evaluated,
         best_timeline,

@@ -153,7 +153,7 @@ fn entry_lane(e: &TimelineEntry) -> Option<FaultLane> {
 /// * **attempt chains** — contiguous attempt numbers per instance, with
 ///   exactly the last attempt completing, transient retries spaced by at
 ///   least their exponential backoff, and every attempt below
-///   [`MAX_ATTEMPTS`],
+///   [`MAX_ATTEMPTS`] plus one kill-redispatch per permanent strike,
 /// * **plan consistency** — each recorded outcome is the one the seeded
 ///   plan decrees for that (lane, instance, attempt), and every kill
 ///   coincides with a permanent fault that takes the entry's resources,
@@ -201,13 +201,19 @@ pub fn check_timeline_faulted(
                     ),
                 );
             }
-            Some(_) if e.attempt >= MAX_ATTEMPTS => {
+            // Transient/timeout retries are bounded by MAX_ATTEMPTS, but
+            // each permanent strike may additionally kill-and-redispatch
+            // an in-flight instance once, so kills raise the bound.
+            Some(p)
+                if u64::from(e.attempt) >= u64::from(MAX_ATTEMPTS) + p.permanents.len() as u64 =>
+            {
                 diags.error(
                     PASS,
                     subj.clone(),
                     format!(
-                        "attempt {} exceeds the retry bound of {MAX_ATTEMPTS}",
-                        e.attempt
+                        "attempt {} exceeds the retry bound of {MAX_ATTEMPTS} plus {} permanent strikes",
+                        e.attempt,
+                        p.permanents.len()
                     ),
                 );
             }

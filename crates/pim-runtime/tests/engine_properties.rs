@@ -221,10 +221,10 @@ proptest! {
         let mut solo_counters = Counters::new();
         let mut solo_parts = Vec::new();
         for wl in &wls {
-            let out = engine.run_with(&[*wl], &opts).unwrap();
-            solo_reports.push(out.report);
+            let mut out = engine.run_with(&[*wl], &opts).unwrap();
             solo_counters.merge(&out.counters);
-            solo_parts.push(out.timeline.unwrap());
+            solo_parts.push(out.timeline.take().unwrap());
+            solo_reports.push(out.into_report());
         }
         prop_assert_eq!(&many.reports, &solo_reports);
         prop_assert_eq!(&many.counters, &solo_counters);

@@ -1,0 +1,607 @@
+//! The daemon core: admission, the sharded worker pool, the shared
+//! result store, and deterministic response emission.
+//!
+//! One [`serve_lines`] call services one connection (stdin or a TCP
+//! socket): the calling thread parses and admits request lines while a
+//! worker pool drains the priority queue concurrently. Responses are
+//! buffered and emitted strictly in submission order at *drain
+//! barriers* — a `stats` line or end-of-input — and admission slots are
+//! released only there, so every admission decision, cache-hit flag,
+//! and response byte is a pure function of the request sequence, no
+//! matter how many workers run or how they interleave (the determinism
+//! argument is spelled out in DESIGN.md §4.11). Wall-clock queue
+//! latencies are collected out-of-band in [`DaemonStats`] and never
+//! appear in the response stream.
+
+use crate::protocol::{self, kind, Op, Request, ServiceCounters};
+use crate::queue::{AdmissionQueue, RejectReason};
+use pim_runtime::ExecutionReport;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Daemon-wide cap on outstanding (admitted, un-emitted) jobs.
+    pub capacity: usize,
+    /// Per-tenant cap on outstanding jobs.
+    pub tenant_quota: usize,
+    /// Worker threads; 0 picks `PIM_RUN_THREADS` or the machine's
+    /// available parallelism.
+    pub workers: usize,
+    /// Upper bound on `steps` per request (admission-time sanity cap).
+    pub max_steps: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 256,
+            tenant_quota: 64,
+            workers: 0,
+            max_steps: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::env::var("PIM_RUN_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            })
+    }
+}
+
+/// What a computed cell stores: the reports plus the degraded-preset
+/// marker, exactly the result-bearing part of the engine's `RunOutput`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredResult {
+    /// One report per workload (partitioned) or a single aggregate.
+    pub reports: Vec<ExecutionReport>,
+    /// Display name of the preset the run degraded to, if any.
+    pub degraded: Option<String>,
+}
+
+/// A failed job: the protocol error kind plus a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// One of the [`kind`] constants (`bad_request` for requests the
+    /// runner cannot map onto a simulation, `execution_failed` for
+    /// simulation errors).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        JobError {
+            kind: kind::BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+
+    /// An `execution_failed` error.
+    pub fn execution(message: impl Into<String>) -> Self {
+        JobError {
+            kind: kind::EXECUTION_FAILED,
+            message: message.into(),
+        }
+    }
+}
+
+/// Maps requests onto simulations. The daemon core is runner-agnostic:
+/// `pim-sim` provides the engine-backed implementation, the protocol
+/// tests a synthetic one.
+pub trait JobRunner: Sync {
+    /// The content-addressed identity of the request's cell — for the
+    /// engine runner, `RunRequest::fingerprint`. Also the semantic
+    /// validation point: unknown models/presets fail here, before
+    /// admission.
+    ///
+    /// # Errors
+    ///
+    /// A [`JobError`] (normally `bad_request`) when the request does
+    /// not name a simulatable cell.
+    fn cache_key(&self, req: &Request) -> Result<u64, JobError>;
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// A [`JobError`] when the simulation fails.
+    fn execute(&self, req: &Request) -> Result<StoredResult, JobError>;
+}
+
+/// The shared content-addressed result store.
+pub trait ResultStore: Sync {
+    /// Fetches a completed cell.
+    fn get(&self, key: u64) -> Option<Arc<StoredResult>>;
+    /// Publishes a completed cell.
+    fn put(&self, key: u64, result: Arc<StoredResult>);
+}
+
+/// A process-local [`ResultStore`] for tests and standalone daemons.
+#[derive(Default)]
+pub struct MemStore {
+    cells: Mutex<HashMap<u64, Arc<StoredResult>>>,
+}
+
+impl ResultStore for MemStore {
+    fn get(&self, key: u64) -> Option<Arc<StoredResult>> {
+        self.cells.lock().unwrap().get(&key).cloned()
+    }
+    fn put(&self, key: u64, result: Arc<StoredResult>) {
+        self.cells.lock().unwrap().insert(key, result);
+    }
+}
+
+/// Everything one [`serve_lines`] session measured.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonStats {
+    /// The deterministic service counters (also exposed by `stats`).
+    pub counters: ServiceCounters,
+    /// Wall-clock admit→dequeue latency of every computed job, in
+    /// microseconds, in completion order. Out-of-band only.
+    pub queue_latency_us: Vec<u64>,
+}
+
+impl DaemonStats {
+    /// The `p`-th percentile (0..=100, nearest-rank) of the queue
+    /// latencies, in microseconds; 0 when nothing was computed.
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        if self.queue_latency_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.queue_latency_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+/// One queued computation.
+struct WorkItem {
+    window_idx: usize,
+    key: u64,
+    req: Request,
+    admitted_at: Instant,
+}
+
+/// A job coalesced onto an in-flight cell, waiting for its result.
+struct Waiter {
+    window_idx: usize,
+    id: String,
+    tenant: String,
+}
+
+/// Per-cell bookkeeping for coalescing and cross-tenant accounting.
+enum Cell {
+    InFlight {
+        owner_tenant: String,
+        waiters: Vec<Waiter>,
+    },
+    Done {
+        owner_tenant: String,
+        result: Arc<StoredResult>,
+    },
+}
+
+enum Slot {
+    /// Response text already known (errors, rejections, cache hits).
+    Ready(String),
+    /// A worker will fill it (computations and their waiters). Carries
+    /// the tenant whose admission slot the job holds.
+    Waiting,
+}
+
+struct CoreState {
+    queue: AdmissionQueue<WorkItem>,
+    /// Response slots of the current drain window, in submission order,
+    /// paired with the tenant holding an admission slot (if any).
+    window: Vec<(Slot, Option<String>)>,
+    ready: usize,
+    shutdown: bool,
+    cells: HashMap<u64, Cell>,
+    counters: ServiceCounters,
+    latencies_us: Vec<u64>,
+}
+
+struct Core {
+    state: Mutex<CoreState>,
+    /// Signals workers: work queued or shutdown.
+    work: Condvar,
+    /// Signals the drain loop: a response became ready.
+    done: Condvar,
+}
+
+impl Core {
+    fn new(cfg: &ServeConfig) -> Self {
+        Core {
+            state: Mutex::new(CoreState {
+                queue: AdmissionQueue::new(cfg.capacity, cfg.tenant_quota),
+                window: Vec::new(),
+                ready: 0,
+                shutdown: false,
+                cells: HashMap::new(),
+                counters: ServiceCounters::default(),
+                latencies_us: Vec::new(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    fn worker_loop(&self, runner: &dyn JobRunner, store: &dyn ResultStore) {
+        loop {
+            let item = {
+                let mut state = self.state.lock().unwrap();
+                loop {
+                    if let Some(item) = state.queue.pop() {
+                        break item;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self.work.wait(state).unwrap();
+                }
+            };
+            let latency_us = u64::try_from(item.admitted_at.elapsed().as_micros()).unwrap_or(0);
+            // A panicking runner must not take the worker down — a dead
+            // worker leaves Waiting slots unfilled and wedges the drain
+            // barrier. Panics become execution_failed responses instead.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                runner.execute(&item.req)
+            }))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "runner panicked".to_string());
+                Err(JobError::execution(format!("runner panicked: {msg}")))
+            });
+
+            let mut state = self.state.lock().unwrap();
+            state.latencies_us.push(latency_us);
+            let waiters = match state.cells.get_mut(&item.key) {
+                Some(Cell::InFlight { waiters, .. }) => std::mem::take(waiters),
+                _ => Vec::new(),
+            };
+            match outcome {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    store.put(item.key, result.clone());
+                    let owner = item.req.tenant.clone();
+                    let ok = protocol::render_ok(
+                        &item.req.id,
+                        &item.req.tenant,
+                        false,
+                        &result.reports,
+                        result.degraded.as_deref(),
+                    );
+                    fill(&mut state, item.window_idx, ok);
+                    state.counters.ok += 1;
+                    for w in &waiters {
+                        let resp = protocol::render_ok(
+                            &w.id,
+                            &w.tenant,
+                            true,
+                            &result.reports,
+                            result.degraded.as_deref(),
+                        );
+                        fill(&mut state, w.window_idx, resp);
+                        state.counters.ok += 1;
+                    }
+                    state.cells.insert(
+                        item.key,
+                        Cell::Done {
+                            owner_tenant: owner,
+                            result,
+                        },
+                    );
+                }
+                Err(e) => {
+                    let resp = protocol::render_error(Some(&item.req.id), e.kind, &e.message);
+                    fill(&mut state, item.window_idx, resp);
+                    state.counters.errors += 1;
+                    for w in &waiters {
+                        let resp = protocol::render_error(Some(&w.id), e.kind, &e.message);
+                        fill(&mut state, w.window_idx, resp);
+                        state.counters.errors += 1;
+                    }
+                    // Failed cells are forgotten: a later submission
+                    // recomputes instead of replaying the failure.
+                    state.cells.remove(&item.key);
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Marks a waiting window slot ready.
+fn fill(state: &mut CoreState, window_idx: usize, response: String) {
+    debug_assert!(matches!(state.window[window_idx].0, Slot::Waiting));
+    state.window[window_idx].0 = Slot::Ready(response);
+    state.ready += 1;
+}
+
+/// Serves one connection: reads request lines from `input` until EOF,
+/// writes response lines to `output`, returns the session stats.
+///
+/// Response order is submission order; responses are flushed at drain
+/// barriers (`stats` lines and end-of-input). See the module docs for
+/// the determinism contract.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport. Protocol and simulation
+/// problems never error — they become in-stream error responses.
+pub fn serve_lines(
+    cfg: &ServeConfig,
+    runner: &dyn JobRunner,
+    store: &dyn ResultStore,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<DaemonStats> {
+    let core = Core::new(cfg);
+    let workers = cfg.resolved_workers().max(1);
+    let mut io_result = Ok(());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| core.worker_loop(runner, store));
+        }
+        io_result = read_loop(cfg, &core, runner, store, input, &mut output);
+        let mut state = core.state.lock().unwrap();
+        state.shutdown = true;
+        drop(state);
+        core.work.notify_all();
+    });
+    io_result?;
+
+    let state = core.state.into_inner().unwrap();
+    Ok(DaemonStats {
+        counters: state.counters,
+        queue_latency_us: state.latencies_us,
+    })
+}
+
+/// The reader/emitter half of [`serve_lines`], run on the calling
+/// thread.
+fn read_loop(
+    cfg: &ServeConfig,
+    core: &Core,
+    runner: &dyn JobRunner,
+    store: &dyn ResultStore,
+    input: impl BufRead,
+    output: &mut impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut state = core.state.lock().unwrap();
+        state.counters.jobs += 1;
+        let req = match protocol::parse_request(&line) {
+            Err(e) => {
+                state.counters.errors += 1;
+                let resp = protocol::render_error(e.id.as_deref(), e.kind, &e.message);
+                state.window.push((Slot::Ready(resp), None));
+                state.ready += 1;
+                continue;
+            }
+            Ok(req) => req,
+        };
+
+        if req.op == Op::Stats {
+            // Barrier: drain every buffered response, then answer.
+            // `ok` counts run successes only; a stats line shows up just
+            // in `jobs`.
+            let state = drain(core, state, output)?;
+            let resp = protocol::render_stats(&req.id, &state.counters);
+            drop(state);
+            writeln!(output, "{resp}")?;
+            output.flush()?;
+            continue;
+        }
+
+        if req.steps > cfg.max_steps {
+            state.counters.errors += 1;
+            let resp = protocol::render_error(
+                Some(&req.id),
+                kind::BAD_REQUEST,
+                &format!("`steps` exceeds the service cap of {}", cfg.max_steps),
+            );
+            state.window.push((Slot::Ready(resp), None));
+            state.ready += 1;
+            continue;
+        }
+
+        let key = match runner.cache_key(&req) {
+            Err(e) => {
+                state.counters.errors += 1;
+                let resp = protocol::render_error(Some(&req.id), e.kind, &e.message);
+                state.window.push((Slot::Ready(resp), None));
+                state.ready += 1;
+                continue;
+            }
+            Ok(key) => key,
+        };
+
+        // Completed cell (this session, or a warm shared store): answer
+        // immediately, no admission slot consumed.
+        let done = match state.cells.get(&key) {
+            Some(Cell::Done {
+                owner_tenant,
+                result,
+            }) => Some((Some(owner_tenant.clone()), result.clone())),
+            Some(Cell::InFlight { .. }) => None,
+            None => store.get(key).map(|result| (None, result)),
+        };
+        if let Some((owner, result)) = done {
+            state.counters.cache_hits += 1;
+            if owner.as_deref().is_some_and(|o| o != req.tenant) {
+                state.counters.cross_tenant_hits += 1;
+            }
+            state.counters.ok += 1;
+            let resp = protocol::render_ok(
+                &req.id,
+                &req.tenant,
+                true,
+                &result.reports,
+                result.degraded.as_deref(),
+            );
+            state.window.push((Slot::Ready(resp), None));
+            state.ready += 1;
+            continue;
+        }
+
+        // Admission: computations and in-flight waiters both hold a
+        // slot until the next barrier.
+        if let Err(reason) = state.queue.admit(&req.tenant) {
+            let (kind, msg) = match reason {
+                RejectReason::OverCapacity => (
+                    kind::OVER_CAPACITY,
+                    format!(
+                        "daemon capacity of {} outstanding jobs reached",
+                        cfg.capacity
+                    ),
+                ),
+                RejectReason::OverQuota => (
+                    kind::OVER_QUOTA,
+                    format!(
+                        "tenant quota of {} outstanding jobs reached",
+                        cfg.tenant_quota
+                    ),
+                ),
+            };
+            state.counters.errors += 1;
+            state.counters.rejected += 1;
+            let resp = protocol::render_error(Some(&req.id), kind, &msg);
+            state.window.push((Slot::Ready(resp), None));
+            state.ready += 1;
+            continue;
+        }
+
+        let window_idx = state.window.len();
+        let tenant = req.tenant.clone();
+        match state.cells.get_mut(&key) {
+            Some(Cell::InFlight {
+                owner_tenant,
+                waiters,
+            }) => {
+                // Coalesce: exactly one computation per cell, every
+                // concurrent duplicate becomes a waiter.
+                let cross = *owner_tenant != req.tenant;
+                waiters.push(Waiter {
+                    window_idx,
+                    id: req.id.clone(),
+                    tenant: req.tenant.clone(),
+                });
+                state.counters.cache_hits += 1;
+                if cross {
+                    state.counters.cross_tenant_hits += 1;
+                }
+                state.window.push((Slot::Waiting, Some(tenant)));
+            }
+            _ => {
+                state.counters.distinct_cells += 1;
+                state.cells.insert(
+                    key,
+                    Cell::InFlight {
+                        owner_tenant: req.tenant.clone(),
+                        waiters: Vec::new(),
+                    },
+                );
+                state.window.push((Slot::Waiting, Some(tenant)));
+                let priority = req.priority;
+                state.queue.push(
+                    priority,
+                    WorkItem {
+                        window_idx,
+                        key,
+                        req,
+                        admitted_at: Instant::now(),
+                    },
+                );
+                core.work.notify_one();
+            }
+        }
+    }
+
+    // End of input: final drain.
+    let state = core.state.lock().unwrap();
+    drop(drain(core, state, output)?);
+    Ok(())
+}
+
+/// Waits for every window slot to become ready, emits all responses in
+/// submission order, and releases the admission slots.
+fn drain<'a>(
+    core: &'a Core,
+    mut state: std::sync::MutexGuard<'a, CoreState>,
+    output: &mut impl Write,
+) -> std::io::Result<std::sync::MutexGuard<'a, CoreState>> {
+    while state.ready < state.window.len() {
+        state = core.done.wait(state).unwrap();
+    }
+    let window = std::mem::take(&mut state.window);
+    state.ready = 0;
+    for (slot, tenant_slot) in window {
+        if let Some(tenant) = tenant_slot {
+            state.queue.release(&tenant);
+        }
+        match slot {
+            Slot::Ready(resp) => writeln!(output, "{resp}")?,
+            Slot::Waiting => unreachable!("drain woke with unready slots"),
+        }
+    }
+    output.flush()?;
+    Ok(state)
+}
+
+/// Serves TCP connections on `listener`, each through [`serve_lines`]
+/// with the shared runner and store (cross-connection sharing flows
+/// through the store). Handles at most `max_conns` connections when
+/// given, forever otherwise.
+///
+/// # Errors
+///
+/// Propagates accept errors; per-connection I/O errors only tear down
+/// that connection.
+pub fn serve_tcp(
+    cfg: &ServeConfig,
+    runner: &(dyn JobRunner + Sync),
+    store: &(dyn ResultStore + Sync),
+    listener: &std::net::TcpListener,
+    max_conns: Option<usize>,
+) -> std::io::Result<()> {
+    let mut served = 0usize;
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            let stream = conn?;
+            scope.spawn(move || {
+                let reader = std::io::BufReader::new(&stream);
+                let _ = serve_lines(cfg, runner, store, reader, &stream);
+            });
+            served += 1;
+            if max_conns.is_some_and(|m| served >= m) {
+                break;
+            }
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,34 @@
+//! Multi-tenant simulation daemon over the engine's `RunRequest` API.
+//!
+//! `pim-serve` turns the `pim-runtime` engine into a long-running
+//! service: clients submit sweep/what-if jobs as one JSON object per
+//! line (stdin or TCP), an admission-controlled priority queue feeds a
+//! sharded worker pool, and a shared content-addressed result store
+//! keyed by `RunRequest::fingerprint` guarantees each distinct
+//! `(model, config, steps, faults, tie-break)` cell simulates exactly
+//! once no matter how many tenants ask for it.
+//!
+//! The crate is engine-agnostic at its core: [`daemon::JobRunner`] and
+//! [`daemon::ResultStore`] abstract the simulation and the store, so
+//! the protocol and scheduling machinery test without an engine;
+//! `pim-sim::serve` provides the engine-backed runner and wires the
+//! `repro serve` CLI on top.
+//!
+//! * [`protocol`] — the line-oriented JSON grammar, parsing, and
+//!   response rendering (DESIGN.md §4.11),
+//! * [`queue`] — the priority queue with per-tenant admission ledgers,
+//! * [`daemon`] — the connection loop, worker pool, drain barriers, and
+//!   the determinism contract,
+//! * [`loadgen`] — the seeded deterministic load generator behind
+//!   `repro serve --load` and the CI smoke.
+
+pub mod daemon;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+
+pub use daemon::{
+    serve_lines, serve_tcp, DaemonStats, JobError, JobRunner, MemStore, ResultStore, ServeConfig,
+    StoredResult,
+};
+pub use protocol::{parse_request, FaultSpec, Op, ParseError, Request, ServiceCounters};

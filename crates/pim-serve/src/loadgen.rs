@@ -1,0 +1,151 @@
+//! Deterministic load generator for the daemon.
+//!
+//! [`generate`] expands a seed into a mixed multi-tenant request trace:
+//! a few cheap models across all six presets, occasional fault plans,
+//! permuted tie-breaks, and multi-model partitioned sweeps, with a
+//! `stats` barrier inserted every [`BARRIER_EVERY`] lines. The barrier
+//! cadence is chosen so the default [`crate::daemon::ServeConfig`]
+//! never rejects a trace job (at most `BARRIER_EVERY` admission slots
+//! can be held between barriers, and `BARRIER_EVERY` ≤ the per-tenant
+//! quota ≤ the capacity), which is what lets `repro serve --load` and
+//! the CI smoke demand zero failed jobs. Same seed, same trace, byte
+//! for byte — replaying a trace twice through a cold daemon must
+//! byte-diff clean.
+
+use std::fmt::Write as _;
+
+/// Lines between `stats` barriers (also the bound on admission slots a
+/// trace can hold at once).
+pub const BARRIER_EVERY: usize = 64;
+
+/// Models the generator draws from — the cheap end of the evaluation
+/// set, so thousand-job traces stay fast.
+pub const MODELS: [&str; 3] = ["alex", "dcgan", "lstm"];
+
+/// Preset names the generator draws from (the full §VI grid).
+pub const PRESETS: [&str; 6] = ["cpu", "progr", "fixed", "hetero", "bare", "rc"];
+
+/// xorshift64* step — the same splittable-PRNG recipe the fuzz harness
+/// uses; good enough to decorrelate trace fields, and dependency-free.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Draws uniformly from `0..n`.
+fn pick(state: &mut u64, n: usize) -> usize {
+    (next(state) % n as u64) as usize
+}
+
+/// Generates a deterministic trace of `jobs` run requests spread over
+/// `tenants` tenants, with a `stats` barrier every [`BARRIER_EVERY`]
+/// lines and a final one, as protocol request lines.
+pub fn generate(jobs: usize, seed: u64, tenants: usize) -> Vec<String> {
+    let tenants = tenants.max(1);
+    let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+    // Avoid the xorshift fixed point at zero.
+    if rng == 0 {
+        rng = 0x853C_49E6_748F_EA9B;
+    }
+    let mut lines = Vec::with_capacity(jobs + jobs / BARRIER_EVERY + 1);
+    let mut barriers = 0usize;
+    for j in 0..jobs {
+        if j > 0 && j % BARRIER_EVERY == 0 {
+            lines.push(format!("{{\"id\":\"b{barriers}\",\"op\":\"stats\"}}"));
+            barriers += 1;
+        }
+        let mut line = String::from("{");
+        let _ = write!(
+            line,
+            "\"id\":\"j{j}\",\"tenant\":\"t{}\",\"preset\":\"{}\",\"steps\":{}",
+            pick(&mut rng, tenants),
+            PRESETS[pick(&mut rng, PRESETS.len())],
+            1 + pick(&mut rng, 2),
+        );
+        // ~15% of jobs are two-model sweeps, half of them partitioned.
+        if pick(&mut rng, 100) < 15 {
+            let a = pick(&mut rng, MODELS.len());
+            let b = pick(&mut rng, MODELS.len());
+            let _ = write!(line, ",\"models\":[\"{}\",\"{}\"]", MODELS[a], MODELS[b]);
+            if pick(&mut rng, 2) == 1 {
+                line.push_str(",\"partitioned\":true");
+            }
+        } else {
+            let _ = write!(
+                line,
+                ",\"model\":\"{}\"",
+                MODELS[pick(&mut rng, MODELS.len())]
+            );
+        }
+        let _ = write!(line, ",\"priority\":{}", pick(&mut rng, 10));
+        // ~10% run under a seeded fault plan.
+        if pick(&mut rng, 100) < 10 {
+            let _ = write!(
+                line,
+                ",\"faults\":{{\"seed\":{},\"rate\":{}}}",
+                pick(&mut rng, 4),
+                [0.5, 1.0][pick(&mut rng, 2)],
+            );
+        }
+        // ~10% use a permuted tie-break order.
+        if pick(&mut rng, 100) < 10 {
+            let _ = write!(line, ",\"tie\":{{\"permuted\":{}}}", pick(&mut rng, 3));
+        }
+        line.push('}');
+        lines.push(line);
+    }
+    lines.push(format!("{{\"id\":\"b{barriers}\",\"op\":\"stats\"}}"));
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Op};
+
+    #[test]
+    fn traces_are_deterministic_and_parse() {
+        let a = generate(300, 42, 3);
+        let b = generate(300, 42, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(300, 43, 3));
+        let mut runs = 0;
+        let mut barriers = 0;
+        for line in &a {
+            let req = parse_request(line).expect("trace lines parse");
+            match req.op {
+                Op::Run => runs += 1,
+                Op::Stats => barriers += 1,
+            }
+        }
+        assert_eq!(runs, 300);
+        assert_eq!(barriers, 300 / BARRIER_EVERY + 1);
+        assert!(a.last().unwrap().contains("stats"));
+    }
+
+    #[test]
+    fn barrier_cadence_never_overruns_default_quota() {
+        let cfg = crate::daemon::ServeConfig::default();
+        assert!(BARRIER_EVERY <= cfg.tenant_quota);
+        assert!(BARRIER_EVERY <= cfg.capacity);
+    }
+
+    #[test]
+    fn traces_mix_tenants_and_features() {
+        let text = generate(400, 7, 3).join("\n");
+        for needle in [
+            "\"tenant\":\"t0\"",
+            "\"tenant\":\"t2\"",
+            "\"faults\":",
+            "\"tie\":{\"permuted\":",
+            "\"models\":[",
+            "\"partitioned\":true",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

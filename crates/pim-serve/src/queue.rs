@@ -1,0 +1,168 @@
+//! Priority work queue with per-tenant admission accounting.
+//!
+//! [`AdmissionQueue`] is the single-threaded core the daemon wraps in a
+//! mutex: a max-heap ordered by `(priority, submission order)` plus the
+//! outstanding-job ledgers that make admission decisions. Capacity and
+//! quota are counted over *outstanding* jobs — admitted and not yet
+//! emitted — not merely queued ones, so the numbers a client observes
+//! are a pure function of the request sequence (see the determinism
+//! argument in DESIGN.md §4.11): slots are released at drain barriers,
+//! never at the whim of worker timing.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Why admission refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The daemon-wide outstanding-job cap is reached.
+    OverCapacity,
+    /// The tenant's outstanding-job cap is reached.
+    OverQuota,
+}
+
+struct Entry<T> {
+    priority: u8,
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then earlier submission.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The admission-controlled priority queue.
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    quota: usize,
+    heap: BinaryHeap<Entry<T>>,
+    outstanding: usize,
+    per_tenant: HashMap<String, usize>,
+    seq: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue admitting at most `capacity` outstanding jobs
+    /// daemon-wide and `quota` per tenant.
+    pub fn new(capacity: usize, quota: usize) -> Self {
+        AdmissionQueue {
+            capacity,
+            quota,
+            heap: BinaryHeap::new(),
+            outstanding: 0,
+            per_tenant: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Checks admission for `tenant` without enqueuing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::OverCapacity`] when the daemon-wide cap is
+    /// reached (checked first), [`RejectReason::OverQuota`] when the
+    /// tenant's cap is.
+    pub fn admit(&mut self, tenant: &str) -> Result<(), RejectReason> {
+        if self.outstanding >= self.capacity {
+            return Err(RejectReason::OverCapacity);
+        }
+        let count = self.per_tenant.entry(tenant.to_string()).or_insert(0);
+        if *count >= self.quota {
+            return Err(RejectReason::OverQuota);
+        }
+        *count += 1;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Enqueues an admitted job for the workers. Call [`Self::admit`]
+    /// first; jobs that coalesce onto an in-flight cell are admitted
+    /// but never pushed.
+    pub fn push(&mut self, priority: u8, job: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { priority, seq, job });
+    }
+
+    /// Pops the highest-priority job (earliest submission among ties).
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.job)
+    }
+
+    /// Releases one outstanding slot for `tenant` — called at drain
+    /// barriers when the job's response is emitted.
+    pub fn release(&mut self, tenant: &str) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if let Some(count) = self.per_tenant.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+        }
+    }
+
+    /// Jobs admitted and not yet released.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Jobs enqueued and not yet popped.
+    pub fn queued(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_submission_order() {
+        let mut q = AdmissionQueue::new(16, 16);
+        for (pri, tag) in [(1, "a"), (9, "b"), (4, "c"), (9, "d"), (0, "e")] {
+            q.admit("t").unwrap();
+            q.push(pri, tag);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["b", "d", "c", "a", "e"]);
+    }
+
+    #[test]
+    fn capacity_is_daemon_wide_and_quota_per_tenant() {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(4, 2);
+        q.admit("t0").unwrap();
+        q.admit("t0").unwrap();
+        assert_eq!(q.admit("t0"), Err(RejectReason::OverQuota));
+        q.admit("t1").unwrap();
+        q.admit("t1").unwrap();
+        assert_eq!(q.admit("t2"), Err(RejectReason::OverCapacity));
+        assert_eq!(q.outstanding(), 4);
+        q.release("t0");
+        q.admit("t2").unwrap();
+        assert_eq!(q.admit("t0"), Err(RejectReason::OverCapacity));
+    }
+
+    #[test]
+    fn rejections_hold_no_slots() {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(2, 1);
+        q.admit("t0").unwrap();
+        assert_eq!(q.admit("t0"), Err(RejectReason::OverQuota));
+        assert_eq!(q.outstanding(), 1);
+        q.admit("t1").unwrap();
+        assert_eq!(q.admit("t2"), Err(RejectReason::OverCapacity));
+        assert_eq!(q.outstanding(), 2);
+    }
+}

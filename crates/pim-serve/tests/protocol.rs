@@ -1,0 +1,252 @@
+//! Protocol robustness: hostile, malformed, and over-limit input must
+//! produce structured error responses carrying the request id — never a
+//! daemon crash — and well-formed traffic must replay byte-identically.
+//!
+//! These tests run the real daemon core against a synthetic
+//! [`JobRunner`], so protocol and admission behavior is pinned without
+//! simulating anything.
+
+use pim_common::units::Seconds;
+use pim_runtime::stats::ReportBuilder;
+use pim_serve::daemon::{
+    serve_lines, JobError, JobRunner, MemStore, ResultStore, ServeConfig, StoredResult,
+};
+use pim_serve::protocol::Request;
+
+/// Models the toy runner accepts; `"explode"` passes validation but
+/// fails at execution, and `"panic"` panics outright — both exercise
+/// the `execution_failed` path.
+const KNOWN: [&str; 5] = ["alex", "dcgan", "lstm", "explode", "panic"];
+
+struct ToyRunner;
+
+impl JobRunner for ToyRunner {
+    fn cache_key(&self, req: &Request) -> Result<u64, JobError> {
+        for m in &req.models {
+            if !KNOWN.contains(&m.as_str()) {
+                return Err(JobError::bad_request(format!("unknown model `{m}`")));
+            }
+        }
+        Ok(pim_common::fingerprint::debug_hash(&(
+            &req.models,
+            &req.preset,
+            req.steps,
+            req.batch,
+            req.tie,
+            req.faults.map(|f| (f.seed, f.rate.to_bits())),
+            req.partitioned,
+            req.cpu_progr_only,
+        )))
+    }
+
+    fn execute(&self, req: &Request) -> Result<StoredResult, JobError> {
+        if req.models.iter().any(|m| m == "explode") {
+            return Err(JobError::execution("synthetic failure"));
+        }
+        assert!(!req.models.iter().any(|m| m == "panic"), "synthetic panic");
+        let reports = req
+            .models
+            .iter()
+            .map(|m| {
+                ReportBuilder::new(format!("{}/{m}", req.preset), req.steps)
+                    .makespan(Seconds::new(1e-3 * (1 + m.len()) as f64 * req.steps as f64))
+                    .build()
+            })
+            .collect();
+        Ok(StoredResult {
+            reports,
+            degraded: None,
+        })
+    }
+}
+
+fn serve(cfg: &ServeConfig, store: &dyn ResultStore, input: &str) -> (Vec<String>, String) {
+    let mut out = Vec::new();
+    serve_lines(cfg, &ToyRunner, store, input.as_bytes(), &mut out).expect("daemon I/O");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    (text.lines().map(str::to_string).collect(), text)
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        capacity: 4,
+        tenant_quota: 2,
+        workers: 2,
+        max_steps: 4,
+    }
+}
+
+#[test]
+fn malformed_and_truncated_lines_get_structured_errors() {
+    let input = "\
+{\"id\":\"ok1\",\"model\":\"alex\"}\n\
+{\"id\":\"trunc\",\"model\":\"al\n\
+not json at all\n\
+[\"id\",\"x\"]\n\
+{\"id\":\"ok2\",\"model\":\"lstm\"}\n";
+    let (lines, _) = serve(&ServeConfig::default(), &MemStore::default(), input);
+    assert_eq!(lines.len(), 5);
+    assert!(lines[0].contains("\"id\":\"ok1\"") && lines[0].contains("\"status\":\"ok\""));
+    for bad in &lines[1..4] {
+        assert!(bad.contains("\"status\":\"error\""), "{bad}");
+        assert!(bad.contains("\"error\":\"malformed\""), "{bad}");
+        assert!(bad.starts_with("{\"id\":null"), "{bad}");
+    }
+    // The daemon survived the garbage and kept serving.
+    assert!(lines[4].contains("\"id\":\"ok2\"") && lines[4].contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn unknown_fields_and_bad_values_echo_the_id() {
+    let input = "\
+{\"id\":\"u1\",\"model\":\"alex\",\"prioritty\":3}\n\
+{\"id\":\"u2\",\"model\":\"alex\",\"steps\":0}\n\
+{\"id\":\"u3\",\"model\":\"nosuch\"}\n\
+{\"id\":\"u4\",\"model\":\"alex\",\"steps\":99}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert!(lines[0].contains("\"id\":\"u1\"") && lines[0].contains("\"error\":\"unknown_field\""));
+    assert!(lines[1].contains("\"id\":\"u2\"") && lines[1].contains("\"error\":\"bad_request\""));
+    assert!(lines[2].contains("\"id\":\"u3\"") && lines[2].contains("\"error\":\"bad_request\""));
+    // Steps beyond the service cap are rejected at admission.
+    assert!(lines[3].contains("\"id\":\"u4\"") && lines[3].contains("\"error\":\"bad_request\""));
+}
+
+#[test]
+fn over_quota_rejects_deterministically_with_the_id() {
+    // Quota 2: the tenant's third distinct outstanding job must reject,
+    // regardless of worker timing, because slots release only at
+    // barriers.
+    let input = "\
+{\"id\":\"q1\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"id\":\"q2\",\"tenant\":\"t0\",\"model\":\"lstm\",\"steps\":2}\n\
+{\"id\":\"q3\",\"tenant\":\"t0\",\"model\":\"dcgan\"}\n\
+{\"id\":\"q4\",\"tenant\":\"t1\",\"model\":\"dcgan\"}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n\
+{\"id\":\"q5\",\"tenant\":\"t0\",\"model\":\"dcgan\",\"steps\":2}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert!(lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].contains("\"status\":\"ok\""));
+    assert!(lines[2].contains("\"id\":\"q3\"") && lines[2].contains("\"error\":\"over_quota\""));
+    // Another tenant still has room.
+    assert!(lines[3].contains("\"id\":\"q4\"") && lines[3].contains("\"status\":\"ok\""));
+    assert!(lines[4].contains("\"rejected\":1"), "{}", lines[4]);
+    // The barrier released the slots: the same tenant runs again.
+    assert!(lines[5].contains("\"id\":\"q5\"") && lines[5].contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn over_capacity_rejects_deterministically_with_the_id() {
+    // Capacity 4, quota 2: tenants t0+t1 fill the daemon, t2 rejects
+    // with over_capacity (capacity outranks quota in the check order).
+    let input = "\
+{\"id\":\"c1\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"id\":\"c2\",\"tenant\":\"t0\",\"model\":\"lstm\"}\n\
+{\"id\":\"c3\",\"tenant\":\"t1\",\"model\":\"dcgan\"}\n\
+{\"id\":\"c4\",\"tenant\":\"t1\",\"model\":\"alex\",\"steps\":2}\n\
+{\"id\":\"c5\",\"tenant\":\"t2\",\"model\":\"lstm\",\"steps\":2}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    for ok in &lines[0..4] {
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    }
+    assert!(lines[4].contains("\"id\":\"c5\"") && lines[4].contains("\"error\":\"over_capacity\""));
+    assert!(lines[5].contains("\"jobs\":6") && lines[5].contains("\"rejected\":1"));
+}
+
+#[test]
+fn cache_hits_coalesce_and_bypass_admission_once_done() {
+    // Same cell four times from two tenants: one compute (miss), one
+    // in-flight waiter (hit, holds a slot), and after the barrier two
+    // free hits that bypass admission entirely.
+    let input = "\
+{\"id\":\"a\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"id\":\"b\",\"tenant\":\"t1\",\"model\":\"alex\"}\n\
+{\"id\":\"s1\",\"op\":\"stats\"}\n\
+{\"id\":\"c\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"id\":\"d\",\"tenant\":\"t1\",\"model\":\"alex\"}\n\
+{\"id\":\"s2\",\"op\":\"stats\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert!(lines[0].contains("\"cache\":\"miss\""));
+    for hit in [&lines[1], &lines[3], &lines[4]] {
+        assert!(hit.contains("\"cache\":\"hit\""), "{hit}");
+    }
+    // b, c(d? only b and d are cross-tenant: owner is t0): b and d.
+    assert!(
+        lines[5].contains("\"cache_hits\":3") && lines[5].contains("\"cross_tenant_hits\":2"),
+        "{}",
+        lines[5]
+    );
+    assert!(lines[5].contains("\"distinct_cells\":1"));
+    // The compute and waiter responses carry identical report bytes.
+    let body = |l: &str| l.split("\"reports\":").nth(1).unwrap().to_string();
+    assert_eq!(body(&lines[0]), body(&lines[1]));
+}
+
+#[test]
+fn execution_failures_reach_computer_and_waiters_without_crashing() {
+    let input = "\
+{\"id\":\"x1\",\"tenant\":\"t0\",\"model\":\"explode\"}\n\
+{\"id\":\"x2\",\"tenant\":\"t1\",\"model\":\"explode\"}\n\
+{\"id\":\"ok\",\"tenant\":\"t1\",\"model\":\"alex\"}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    for failed in &lines[0..2] {
+        assert!(
+            failed.contains("\"error\":\"execution_failed\""),
+            "{failed}"
+        );
+    }
+    assert!(lines[0].contains("\"id\":\"x1\"") && lines[1].contains("\"id\":\"x2\""));
+    assert!(lines[2].contains("\"status\":\"ok\""));
+    assert!(lines[3].contains("\"errors\":2") && lines[3].contains("\"ok\":1"));
+}
+
+#[test]
+fn runner_panics_become_responses_and_the_daemon_keeps_serving() {
+    // A panic inside execute must not take the worker thread down (a
+    // dead worker would wedge the drain barrier forever); it surfaces
+    // as an execution_failed response like any other failure.
+    let input = "\
+{\"id\":\"p1\",\"tenant\":\"t0\",\"model\":\"panic\"}\n\
+{\"id\":\"p2\",\"tenant\":\"t1\",\"model\":\"alex\"}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n\
+{\"id\":\"p3\",\"tenant\":\"t0\",\"model\":\"lstm\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert!(
+        lines[0].contains("\"id\":\"p1\"") && lines[0].contains("\"error\":\"execution_failed\"")
+    );
+    assert!(lines[0].contains("panicked"), "{}", lines[0]);
+    assert!(lines[1].contains("\"status\":\"ok\""));
+    assert!(lines[2].contains("\"errors\":1"));
+    assert!(lines[3].contains("\"id\":\"p3\"") && lines[3].contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn replays_are_byte_identical_across_worker_counts() {
+    let trace = pim_serve::loadgen::generate(200, 11, 3).join("\n") + "\n";
+    let mut streams = Vec::new();
+    for workers in [1, 2, 8] {
+        let cfg = ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        };
+        // Fresh store per replay: both runs start cold.
+        let (_, text) = serve(&cfg, &MemStore::default(), &trace);
+        streams.push(text);
+    }
+    assert_eq!(streams[0], streams[1]);
+    assert_eq!(streams[1], streams[2]);
+    assert!(streams[0].contains("\"cross_tenant_hits\":"));
+}
+
+#[test]
+fn warm_store_changes_flags_but_not_reports() {
+    let trace = "{\"id\":\"w\",\"tenant\":\"t0\",\"model\":\"alex\"}\n";
+    let store = MemStore::default();
+    let (cold, _) = serve(&ServeConfig::default(), &store, trace);
+    let (warm, _) = serve(&ServeConfig::default(), &store, trace);
+    assert!(cold[0].contains("\"cache\":\"miss\""));
+    assert!(warm[0].contains("\"cache\":\"hit\""));
+    let body = |l: &str| l.split("\"reports\":").nth(1).unwrap().to_string();
+    assert_eq!(body(&cold[0]), body(&warm[0]));
+}

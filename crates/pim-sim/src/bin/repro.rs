@@ -9,9 +9,12 @@
 //! `repro search [--beam N] [--rounds N] [--branch N] [--seed N]
 //! [--models a,b] [--steps N]` for the beam-search oracle-gap table,
 //! `repro --trace <path> [model]` to export a Chrome trace of one
-//! Hetero PIM run, `repro tracecheck <path>` to validate one, or
+//! Hetero PIM run, `repro tracecheck <path>` to validate one,
 //! `repro bench [--json <path>]` for the wall-clock benchmark harness
-//! (see `run_bench_cli` for its flags).
+//! (see `run_bench_cli` for its flags), or
+//! `repro serve` for the multi-tenant simulation daemon (line-oriented
+//! JSON on stdin, `--tcp PORT`, a seeded closed-loop load run via
+//! `--load N --seed S`, or `--emit-trace N` to print the load trace).
 //! (fig8 covers fig9; fig11 covers fig17; fig13 covers fig14/fig15).
 //!
 //! Unknown sections, models, and malformed flags are usage errors: the
@@ -48,6 +51,9 @@ const USAGE: &str = "usage: repro [SECTION | all | config | csv]
        repro bench [--json <path>] [--models a,b,..] [--iters N] [--steps N]
                    [--repro-all <runs> --baseline <median_ms>,<min_ms>]
        repro bench --compare <a.json> <b.json>
+       repro serve [--tcp PORT [--conns N]]
+       repro serve --load N [--seed S] [--tenants T] [--sample K]
+       repro serve --emit-trace N [--seed S] [--tenants T]
 
 sections: table1 fig2 fig8 fig10 fig11 fig12 fig13 fig16 ablations
 models:   alex vgg dcgan resnet inception lstm w2v";
@@ -88,6 +94,7 @@ fn main() {
         "faults" => run_faults_cli(),
         "fuzz" => run_fuzz_cli(),
         "search" => run_search_cli(),
+        "serve" => run_serve_cli(),
         "csv" => match pim_sim::report::evaluation_grid(3) {
             Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
             Err(e) => {
@@ -411,6 +418,167 @@ fn run_search_cli() {
         }
         Err(e) => {
             eprintln!("search failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The multi-tenant simulation daemon:
+///
+/// ```text
+/// repro serve [--tcp PORT [--conns N]]
+/// repro serve --load N [--seed S] [--tenants T] [--sample K]
+/// repro serve --emit-trace N [--seed S] [--tenants T]
+/// ```
+///
+/// With no flags, serves line-oriented JSON requests on stdin and
+/// writes one response line per request to stdout (a stats summary goes
+/// to stderr at EOF) — the ci.sh byte-diff mode. `--tcp` serves the
+/// same protocol per connection on `127.0.0.1:PORT` (`--conns N` exits
+/// after N connections; otherwise forever). `--load` generates a
+/// seeded trace of N jobs across T tenants, drives it through the
+/// daemon, prints throughput, queue-latency percentiles, and the cache
+/// hit rate, then re-runs every K-th job directly through the engine
+/// and byte-compares the reports — any failed job, rejection, or
+/// divergence exits 1. `--emit-trace` prints the same generated trace
+/// for replaying by hand. Worker count follows `PIM_RUN_THREADS`.
+fn run_serve_cli() {
+    use pim_common::cli::parse_value;
+    use pim_serve::{serve_lines, serve_tcp, ServeConfig};
+    use pim_sim::cache::SharedStore;
+    use pim_sim::serve::{verify_samples, SimRunner};
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut load: Option<usize> = None;
+    let mut emit: Option<usize> = None;
+    let mut tcp: Option<u16> = None;
+    let mut conns: Option<usize> = None;
+    let mut seed = 1u64;
+    let mut tenants = 4usize;
+    let mut sample = 25usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--load", Some(v)) => {
+                load = Some(parse_value("--load", v).unwrap_or_else(|e| usage_error(&e)));
+            }
+            ("--emit-trace", Some(v)) => {
+                emit = Some(parse_value("--emit-trace", v).unwrap_or_else(|e| usage_error(&e)));
+            }
+            ("--tcp", Some(v)) => {
+                tcp = Some(parse_value("--tcp", v).unwrap_or_else(|e| usage_error(&e)));
+            }
+            ("--conns", Some(v)) => {
+                conns = Some(parse_value("--conns", v).unwrap_or_else(|e| usage_error(&e)));
+            }
+            ("--seed", Some(v)) => {
+                seed = parse_value("--seed", v).unwrap_or_else(|e| usage_error(&e));
+            }
+            ("--tenants", Some(v)) => {
+                tenants = parse_value("--tenants", v).unwrap_or_else(|e| usage_error(&e));
+                if tenants == 0 {
+                    usage_error("--tenants must be at least 1");
+                }
+            }
+            ("--sample", Some(v)) => {
+                sample = parse_value("--sample", v).unwrap_or_else(|e| usage_error(&e));
+                if sample == 0 {
+                    usage_error("--sample must be at least 1");
+                }
+            }
+            (flag, _) => usage_error(&format!("unknown or incomplete serve flag `{flag}`")),
+        }
+        i += 2;
+    }
+
+    let cfg = ServeConfig::default();
+    if let Some(jobs) = emit {
+        for line in pim_serve::loadgen::generate(jobs, seed, tenants) {
+            println!("{line}");
+        }
+        return;
+    }
+    if let Some(jobs) = load {
+        let trace = pim_serve::loadgen::generate(jobs, seed, tenants);
+        let input = trace.join("\n") + "\n";
+        let mut out = Vec::new();
+        let started = std::time::Instant::now();
+        let stats = serve_lines(&cfg, &SimRunner, &SharedStore, input.as_bytes(), &mut out)
+            .unwrap_or_else(|e| {
+                eprintln!("serve load run failed: {e}");
+                std::process::exit(1);
+            });
+        let elapsed = started.elapsed().as_secs_f64();
+        let c = &stats.counters;
+        let hit_rate = if c.ok == 0 {
+            0.0
+        } else {
+            100.0 * c.cache_hits as f64 / c.ok as f64
+        };
+        println!("serve load: {jobs} jobs, seed {seed}, {tenants} tenants");
+        println!(
+            "  ok {} | errors {} | rejected {} | distinct cells {} | cross-tenant hits {}",
+            c.ok, c.errors, c.rejected, c.distinct_cells, c.cross_tenant_hits
+        );
+        println!(
+            "  throughput {:.1} jobs/s ({elapsed:.2}s wall)",
+            c.ok as f64 / elapsed
+        );
+        println!(
+            "  queue latency p50 {} us | p99 {} us",
+            stats.latency_percentile_us(50.0),
+            stats.latency_percentile_us(99.0)
+        );
+        println!("  cache hit rate {hit_rate:.1}%");
+        if c.errors != 0 || c.rejected != 0 {
+            eprintln!(
+                "serve load: {} failed and {} rejected jobs",
+                c.errors, c.rejected
+            );
+            std::process::exit(1);
+        }
+        let responses: Vec<String> = String::from_utf8(out)
+            .expect("responses are utf8")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        match verify_samples(&trace, &responses, sample) {
+            Ok(checked) => println!("  verified {checked} sampled jobs against direct engine runs"),
+            Err(e) => {
+                eprintln!("serve load verification failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(port) = tcp {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
+            eprintln!("serve: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        });
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        eprintln!("serve: listening on {addr}");
+        if let Err(e) = serve_tcp(&cfg, &SimRunner, &SharedStore, &listener, conns) {
+            eprintln!("serve: accept failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve_lines(&cfg, &SimRunner, &SharedStore, stdin.lock(), stdout.lock()) {
+        Ok(stats) => {
+            let c = &stats.counters;
+            eprintln!(
+                "serve: {} jobs, {} ok, {} errors, {} rejected, {} cache hits ({} cross-tenant), {} distinct cells",
+                c.jobs, c.ok, c.errors, c.rejected, c.cache_hits, c.cross_tenant_hits, c.distinct_cells
+            );
+        }
+        Err(e) => {
+            eprintln!("serve: I/O error: {e}");
             std::process::exit(1);
         }
     }

@@ -43,6 +43,34 @@ pub fn model(kind: ModelKind) -> Result<Arc<Model>> {
     Ok(built)
 }
 
+type BatchModelMap = HashMap<(ModelKind, usize), Arc<Model>>;
+
+static BATCH_MODELS: OnceLock<Mutex<BatchModelMap>> = OnceLock::new();
+
+/// [`Model::build_with_batch`] behind a process-wide cache — the
+/// custom-batch twin of [`model`], used by serve requests carrying a
+/// `batch` override.
+///
+/// # Errors
+///
+/// Propagates model-construction failures (never cached).
+pub fn model_with_batch(kind: ModelKind, batch: usize) -> Result<Arc<Model>> {
+    let cache = BATCH_MODELS.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache
+        .lock()
+        .expect("batch model cache poisoned")
+        .get(&(kind, batch))
+    {
+        return Ok(Arc::clone(hit));
+    }
+    let built = Arc::new(Model::build_with_batch(kind, batch)?);
+    cache
+        .lock()
+        .expect("batch model cache poisoned")
+        .insert((kind, batch), Arc::clone(&built));
+    Ok(built)
+}
+
 /// Cell key: graph fingerprint + op count (collision discriminant),
 /// configuration fingerprint, steps.
 type CellKey = (u64, usize, u64, usize);
@@ -77,6 +105,35 @@ pub fn cell_report(model: &Model, config: &SystemConfig, steps: usize) -> Result
         .expect("cell cache poisoned")
         .insert(key, report.clone());
     Ok(report)
+}
+
+static REQUESTS: OnceLock<Mutex<HashMap<u64, Arc<pim_serve::StoredResult>>>> = OnceLock::new();
+
+/// The process-wide shared result store of the serve daemon: request
+/// fingerprints ([`pim_runtime::RunRequest::fingerprint`] plus the
+/// fault-spec suffix, see [`crate::serve`]) to completed results. Every
+/// connection and every tenant shares this one map, which is what makes
+/// identical cells simulate exactly once across tenants.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SharedStore;
+
+impl pim_serve::ResultStore for SharedStore {
+    fn get(&self, key: u64) -> Option<Arc<pim_serve::StoredResult>> {
+        REQUESTS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("request store poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    fn put(&self, key: u64, result: Arc<pim_serve::StoredResult>) {
+        REQUESTS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("request store poisoned")
+            .insert(key, result);
+    }
 }
 
 #[cfg(test)]

@@ -86,9 +86,9 @@ pub fn degradation_data(
                     model: kind,
                     preset,
                     rate,
-                    makespan_s: out.report.makespan.seconds(),
-                    slowdown: out.report.makespan / baseline.makespan,
-                    energy_j: out.report.dynamic_energy.joules(),
+                    makespan_s: out.report().makespan.seconds(),
+                    slowdown: out.report().makespan / baseline.makespan,
+                    energy_j: out.report().dynamic_energy.joules(),
                     injected: out.counters.get("faults/injected") as u64,
                     retries: out.counters.get("faults/retries") as u64,
                     redispatches: out.counters.get("faults/redispatches") as u64,

@@ -19,7 +19,9 @@
 //! * [`faults`] — the seeded fault-injection degradation sweep
 //!   (`repro faults`): makespan/energy vs fault rate per preset,
 //! * [`orders`] — the order-invariance fuzz sweep (`repro fuzz`) and the
-//!   beam-search oracle-gap table (`repro search`).
+//!   beam-search oracle-gap table (`repro search`),
+//! * [`serve`] — the engine-backed job runner, shared result store, and
+//!   load harness behind the `pim-serve` daemon (`repro serve`).
 //!
 //! # Examples
 //!
@@ -49,6 +51,7 @@ pub mod gpu;
 pub mod mixed;
 pub mod orders;
 pub mod report;
+pub mod serve;
 pub mod trace;
 pub mod tracegen;
 

@@ -1,0 +1,321 @@
+//! The engine-backed half of the serve daemon: maps protocol requests
+//! onto `RunRequest`s, keys the shared store, and verifies daemon
+//! output against direct engine runs.
+//!
+//! [`SimRunner`] implements `pim_serve::JobRunner` over the real
+//! engine: `cache_key` is the request's `RunRequest::fingerprint`
+//! (with a fault-*spec* suffix, see below) and `execute` is
+//! `Engine::execute`. Paired with [`crate::cache::SharedStore`], every
+//! distinct `(model, config, steps, faults, tie-break)` cell simulates
+//! exactly once per process no matter how many tenants or connections
+//! ask for it.
+//!
+//! Fault horizons: a wire request carries `(seed, rate)`, not a full
+//! `FaultPlan` — the plan's horizon is the cell's *zero-fault* makespan
+//! (the `repro faults` recipe), derived at execution time. The cache
+//! key therefore hashes the fault-free fingerprint plus the raw spec,
+//! and the derived baselines are memoized in a *private* table rather
+//! than the shared store: publishing them mid-run would let worker
+//! timing decide whether a later fault-free request hits or misses,
+//! breaking the daemon's byte-replay determinism.
+
+use crate::cache;
+use crate::orders::parse_preset;
+use pim_common::units::Seconds;
+use pim_hw::faults::FaultPlan;
+use pim_models::{Model, ModelKind};
+use pim_runtime::{Engine, EngineConfig, RunOptions, RunRequest, WorkloadSpec};
+use pim_serve::protocol::{render_report, Op, Request};
+use pim_serve::{JobError, JobRunner, StoredResult};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maps a wire model name onto a [`ModelKind`] (the `repro` CLI
+/// vocabulary).
+///
+/// # Errors
+///
+/// `bad_request` naming the accepted values.
+pub fn model_kind(name: &str) -> Result<ModelKind, JobError> {
+    match name {
+        "alex" => Ok(ModelKind::AlexNet),
+        "vgg" => Ok(ModelKind::Vgg19),
+        "dcgan" => Ok(ModelKind::Dcgan),
+        "resnet" => Ok(ModelKind::ResNet50),
+        "inception" => Ok(ModelKind::InceptionV3),
+        "lstm" => Ok(ModelKind::Lstm),
+        "w2v" => Ok(ModelKind::Word2vec),
+        other => Err(JobError::bad_request(format!(
+            "unknown model `{other}` (expected alex, vgg, dcgan, resnet, inception, lstm, or w2v)"
+        ))),
+    }
+}
+
+/// The engine-backed job runner.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimRunner;
+
+/// A validated request: the engine plus the (cached, shared) models.
+struct Job {
+    engine: Engine,
+    models: Vec<Arc<Model>>,
+}
+
+impl Job {
+    /// The fault-free `RunRequest` over borrowed model graphs.
+    fn base_request<'g>(models: &'g [Arc<Model>], req: &Request) -> RunRequest<'g> {
+        let workloads: Vec<WorkloadSpec<'g>> = models
+            .iter()
+            .map(|m| WorkloadSpec {
+                graph: m.graph(),
+                steps: req.steps,
+                cpu_progr_only: req.cpu_progr_only,
+            })
+            .collect();
+        let mut request = RunRequest::new(&workloads).with_options(RunOptions {
+            tie: req.tie,
+            ..RunOptions::default()
+        });
+        if req.partitioned {
+            request = request.partitioned();
+        }
+        request
+    }
+}
+
+fn prepare(req: &Request) -> Result<Job, JobError> {
+    let preset = parse_preset(&req.preset).map_err(|e| JobError::bad_request(e.to_string()))?;
+    let mut models = Vec::with_capacity(req.models.len());
+    for name in &req.models {
+        let kind = model_kind(name)?;
+        let model = match req.batch {
+            Some(batch) => cache::model_with_batch(kind, batch),
+            None => cache::model(kind),
+        }
+        .map_err(|e| JobError::bad_request(e.to_string()))?;
+        models.push(model);
+    }
+    Ok(Job {
+        engine: Engine::new(EngineConfig::preset(preset)),
+        models,
+    })
+}
+
+/// The zero-fault makespan used as a fault plan's horizon, memoized
+/// privately per fault-free fingerprint (NOT the shared store — see the
+/// module docs for why).
+fn baseline_horizon(engine: &Engine, base: &RunRequest<'_>) -> Result<Seconds, JobError> {
+    static BASELINES: OnceLock<Mutex<HashMap<u64, f64>>> = OnceLock::new();
+    let key = base.fingerprint(engine.config());
+    let memo = BASELINES.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&hit) = memo.lock().expect("baseline memo poisoned").get(&key) {
+        return Ok(Seconds::new(hit));
+    }
+    // Simulate outside the lock; identical results race benignly.
+    let out = engine
+        .execute(base)
+        .map_err(|e| JobError::execution(e.to_string()))?;
+    let horizon = out
+        .reports
+        .iter()
+        .map(|r| r.makespan)
+        .fold(Seconds::ZERO, Seconds::max);
+    memo.lock()
+        .expect("baseline memo poisoned")
+        .insert(key, horizon.seconds());
+    Ok(horizon)
+}
+
+impl JobRunner for SimRunner {
+    fn cache_key(&self, req: &Request) -> Result<u64, JobError> {
+        let job = prepare(req)?;
+        let base = Job::base_request(&job.models, req);
+        let mut canon = base.canonical(job.engine.config());
+        if let Some(b) = req.batch {
+            let _ = write!(canon, ";batch={b}");
+        }
+        if let Some(f) = req.faults {
+            // The spec, not the derived plan: deriving the horizon here
+            // would run a simulation on the admission thread.
+            let _ = write!(
+                canon,
+                ";faultspec={{seed={},rate={:x}}}",
+                f.seed,
+                f.rate.to_bits()
+            );
+        }
+        Ok(pim_common::fingerprint::debug_hash(&canon))
+    }
+
+    fn execute(&self, req: &Request) -> Result<StoredResult, JobError> {
+        let job = prepare(req)?;
+        let mut request = Job::base_request(&job.models, req);
+        if let Some(f) = req.faults {
+            let horizon = baseline_horizon(&job.engine, &request)?;
+            request = request.with_faults(FaultPlan::seeded(
+                f.seed,
+                f.rate,
+                horizon,
+                job.engine.config().ff_units,
+            ));
+        }
+        let out = job
+            .engine
+            .execute(&request)
+            .map_err(|e| JobError::execution(e.to_string()))?;
+        Ok(StoredResult {
+            reports: out.reports,
+            degraded: out.degraded.map(str::to_string),
+        })
+    }
+}
+
+/// Renders a result's report array exactly as a daemon response embeds
+/// it — the byte-comparison target of the determinism tests.
+pub fn render_reports(result: &StoredResult) -> String {
+    let mut out = String::from("[");
+    for (i, r) in result.reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_report(r));
+    }
+    out.push(']');
+    out
+}
+
+/// Extracts the `"reports":[...]` payload of an ok response line.
+fn response_reports(line: &str) -> Option<&str> {
+    line.split("\"reports\":")
+        .nth(1)
+        .and_then(|s| s.strip_suffix('}'))
+}
+
+/// Re-executes every `sample_every`-th run request of a served trace
+/// directly through [`SimRunner`] (i.e. `Engine::execute`) and
+/// byte-compares the daemon's report payload against the direct one.
+/// Returns the number of samples checked.
+///
+/// # Errors
+///
+/// Describes the first sampled job whose daemon response was not ok or
+/// whose report bytes differ from the direct engine run.
+pub fn verify_samples(
+    trace: &[String],
+    responses: &[String],
+    sample_every: usize,
+) -> Result<usize, String> {
+    if trace.len() != responses.len() {
+        return Err(format!(
+            "trace has {} lines but the daemon answered {}",
+            trace.len(),
+            responses.len()
+        ));
+    }
+    let mut checked = 0usize;
+    for (i, (line, response)) in trace.iter().zip(responses).enumerate() {
+        if i % sample_every.max(1) != 0 {
+            continue;
+        }
+        let req = pim_serve::parse_request(line)
+            .map_err(|e| format!("trace line {i} does not parse: {}", e.message))?;
+        if req.op != Op::Run {
+            continue;
+        }
+        if !response.contains("\"status\":\"ok\"") {
+            return Err(format!("job `{}` failed: {response}", req.id));
+        }
+        let direct = SimRunner
+            .execute(&req)
+            .map_err(|e| format!("direct rerun of `{}` failed: {}", req.id, e.message))?;
+        let want = render_reports(&direct);
+        let got = response_reports(response)
+            .ok_or_else(|| format!("job `{}` response carries no reports: {response}", req.id))?;
+        if got != want {
+            return Err(format!(
+                "job `{}` diverged from the direct engine run:\n daemon: {got}\n direct: {want}",
+                req.id
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_req(line: &str) -> Request {
+        pim_serve::parse_request(line).unwrap()
+    }
+
+    #[test]
+    fn cache_key_separates_cells_and_ignores_tenancy() {
+        let base = run_req(r#"{"id":"1","tenant":"t0","model":"alex"}"#);
+        let same_other_tenant = run_req(r#"{"id":"2","tenant":"t9","model":"alex"}"#);
+        assert_eq!(
+            SimRunner.cache_key(&base).unwrap(),
+            SimRunner.cache_key(&same_other_tenant).unwrap()
+        );
+        for other in [
+            r#"{"id":"3","model":"lstm"}"#,
+            r#"{"id":"4","model":"alex","steps":2}"#,
+            r#"{"id":"5","model":"alex","preset":"cpu"}"#,
+            r#"{"id":"6","model":"alex","tie":{"permuted":1}}"#,
+            r#"{"id":"7","model":"alex","faults":{"seed":1,"rate":0.5}}"#,
+            r#"{"id":"8","model":"alex","batch":8}"#,
+            r#"{"id":"9","models":["alex","alex"]}"#,
+        ] {
+            assert_ne!(
+                SimRunner.cache_key(&base).unwrap(),
+                SimRunner.cache_key(&run_req(other)).unwrap(),
+                "{other}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_models_and_presets_fail_validation_not_execution() {
+        for line in [
+            r#"{"id":"1","model":"gpt"}"#,
+            r#"{"id":"2","model":"alex","preset":"tpu"}"#,
+        ] {
+            let e = SimRunner.cache_key(&run_req(line)).unwrap_err();
+            assert_eq!(e.kind, "bad_request", "{line}");
+        }
+    }
+
+    #[test]
+    fn execute_matches_direct_engine_run() {
+        let req = run_req(r#"{"id":"1","model":"dcgan","preset":"hetero","steps":2}"#);
+        let served = SimRunner.execute(&req).unwrap();
+        let model = cache::model(ModelKind::Dcgan).unwrap();
+        let spec = WorkloadSpec {
+            graph: model.graph(),
+            steps: 2,
+            cpu_progr_only: false,
+        };
+        let direct = Engine::new(EngineConfig::preset(pim_runtime::SystemPreset::Hetero))
+            .run_with(&[spec], &RunOptions::default())
+            .unwrap();
+        assert_eq!(served.reports, direct.reports);
+        assert_eq!(
+            render_reports(&served),
+            render_reports(&StoredResult {
+                reports: direct.reports,
+                degraded: None,
+            })
+        );
+    }
+
+    #[test]
+    fn faulted_requests_share_one_horizon_and_reproduce() {
+        let req =
+            run_req(r#"{"id":"1","model":"dcgan","preset":"hetero","faults":{"seed":3,"rate":1}}"#);
+        let a = SimRunner.execute(&req).unwrap();
+        let b = SimRunner.execute(&req).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -56,7 +56,8 @@ fn random_graphs_run_identically_on_every_preset() {
                 )
                 .unwrap();
             assert_eq!(
-                reference, detailed.report,
+                reference,
+                *detailed.report(),
                 "seed {seed} {preset:?}: report paths diverge"
             );
 
@@ -68,7 +69,7 @@ fn random_graphs_run_identically_on_every_preset() {
                 diags.render_text()
             );
 
-            let diags = cross_check_counters(&detailed.report, &detailed.counters);
+            let diags = cross_check_counters(detailed.report(), &detailed.counters);
             assert!(
                 diags.is_clean(),
                 "seed {seed} {preset:?}: counters disagree with report\n{}",
@@ -114,7 +115,8 @@ fn faulted_runs_are_deterministic_and_legal() {
                 )
                 .unwrap();
             assert_eq!(
-                reference.report, detailed.report,
+                reference.report(),
+                detailed.report(),
                 "seed {seed} {preset:?}: faulted report paths diverge"
             );
             assert_eq!(
@@ -126,7 +128,8 @@ fn faulted_runs_are_deterministic_and_legal() {
                 .run_with_faults(&wl, &RunOptions::default(), &plan)
                 .unwrap();
             assert_eq!(
-                reference.report, rerun.report,
+                reference.report(),
+                rerun.report(),
                 "seed {seed} {preset:?}: faulted rerun diverged"
             );
 
@@ -140,7 +143,7 @@ fn faulted_runs_are_deterministic_and_legal() {
                 diags.render_text()
             );
 
-            let diags = cross_check_counters(&detailed.report, &detailed.counters);
+            let diags = cross_check_counters(detailed.report(), &detailed.counters);
             assert!(
                 diags.is_clean(),
                 "seed {seed} {preset:?}: faulted counters disagree with report\n{}",

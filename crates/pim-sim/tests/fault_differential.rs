@@ -42,7 +42,7 @@ fn none_plan_sweep_matches_the_golden_table() {
                 )
                 .unwrap();
             assert!(run.degraded.is_none(), "{kind} @ {preset:?}");
-            let r = run.report;
+            let r = run.report();
             writeln!(
                 out,
                 "{} | {} | {:?} | {:?} | {:?} | {:?} | {:?} | {:?}",

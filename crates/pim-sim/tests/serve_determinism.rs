@@ -1,0 +1,106 @@
+//! Service determinism: a report served by the daemon is byte-identical
+//! to the report a direct `Engine::run_with` call produces — with a
+//! cold private store, with the warm process-wide shared store, and
+//! across repeated replays of a generated load trace.
+
+use pim_models::ModelKind;
+use pim_runtime::{Engine, EngineConfig, RunOptions, SystemPreset, WorkloadSpec};
+use pim_serve::{loadgen, serve_lines, JobRunner, MemStore, ServeConfig};
+use pim_sim::cache::SharedStore;
+use pim_sim::serve::{render_reports, verify_samples, SimRunner};
+
+fn serve(store: &dyn pim_serve::ResultStore, input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    serve_lines(
+        &ServeConfig::default(),
+        &SimRunner,
+        store,
+        input.as_bytes(),
+        &mut out,
+    )
+    .expect("daemon I/O");
+    String::from_utf8(out)
+        .expect("utf8 responses")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn reports_payload(line: &str) -> &str {
+    line.split("\"reports\":")
+        .nth(1)
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("no reports payload in {line}"))
+}
+
+#[test]
+fn daemon_report_is_byte_identical_to_direct_run_with() {
+    let trace = "{\"id\":\"d1\",\"model\":\"dcgan\",\"preset\":\"hetero\",\"steps\":2}\n";
+    let lines = serve(&MemStore::default(), trace);
+    assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+
+    let model = pim_sim::cache::model(ModelKind::Dcgan).unwrap();
+    let direct = Engine::new(EngineConfig::preset(SystemPreset::Hetero))
+        .run_with(
+            &[WorkloadSpec {
+                graph: model.graph(),
+                steps: 2,
+                cpu_progr_only: false,
+            }],
+            &RunOptions::default(),
+        )
+        .unwrap();
+    let want = render_reports(&pim_serve::StoredResult {
+        reports: direct.reports,
+        degraded: None,
+    });
+    assert_eq!(reports_payload(&lines[0]), want);
+}
+
+#[test]
+fn every_job_of_a_cold_trace_matches_the_direct_engine() {
+    let trace = loadgen::generate(60, 7, 3);
+    let input = trace.join("\n") + "\n";
+    let responses = serve(&MemStore::default(), &input);
+    let checked = verify_samples(&trace, &responses, 1).unwrap();
+    // Every run line was byte-checked (barriers are skipped).
+    assert!(
+        checked >= 55,
+        "only {checked} of {} lines checked",
+        trace.len()
+    );
+}
+
+#[test]
+fn warm_shared_store_flips_hit_flags_but_never_report_bytes() {
+    // batch 6 keeps this cell out of every other test's way: SharedStore
+    // is process-wide by design.
+    let trace = "{\"id\":\"w1\",\"tenant\":\"t0\",\"model\":\"dcgan\",\"batch\":6}\n";
+    let first = serve(&SharedStore, trace);
+    let second = serve(&SharedStore, trace);
+    assert!(first[0].contains("\"cache\":\"miss\""), "{}", first[0]);
+    assert!(second[0].contains("\"cache\":\"hit\""), "{}", second[0]);
+    assert_eq!(reports_payload(&first[0]), reports_payload(&second[0]));
+    // The warm hit still equals a direct engine run.
+    let direct = SimRunner
+        .execute(&pim_serve::parse_request(trace.trim()).unwrap())
+        .unwrap();
+    assert_eq!(reports_payload(&second[0]), render_reports(&direct));
+}
+
+#[test]
+fn load_trace_replays_byte_identically_with_and_without_warm_store() {
+    let trace = loadgen::generate(40, 3, 2).join("\n") + "\n";
+    let cold_a = serve(&MemStore::default(), &trace);
+    let cold_b = serve(&MemStore::default(), &trace);
+    assert_eq!(cold_a, cold_b);
+    // A warm shared store may flip cache flags but the report bytes and
+    // response order are pinned.
+    let warm = serve(&SharedStore, &trace);
+    assert_eq!(warm.len(), cold_a.len());
+    for (w, c) in warm.iter().zip(&cold_a) {
+        if w.contains("\"reports\":") {
+            assert_eq!(reports_payload(w), reports_payload(c));
+        }
+    }
+}

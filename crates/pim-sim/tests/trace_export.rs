@@ -79,7 +79,7 @@ fn counters_agree_with_report_across_the_grid() {
             let out = engine
                 .run_with(&[workload], &RunOptions::default())
                 .unwrap();
-            let diags = cross_check_counters(&out.report, &out.counters);
+            let diags = cross_check_counters(out.report(), &out.counters);
             assert!(
                 diags.is_clean(),
                 "{kind} on {preset:?}:\n{}",
