@@ -141,13 +141,27 @@ cargo run --release -q -p pim-sim --bin repro \
 cargo run --release -q -p pim-verify -- \
     --all-models --orders 4,1 --format json > /dev/null
 
+# ISA ground-truth smoke (pass 6): every model's kernels lowered to the
+# pim-isa micro-ISA, validated, interpreted, and tally-matched against
+# the Fig. 4 extraction exactly; then the analytic-vs-interpreted delta
+# table byte-diffed across runs, with the sweep-level `parallel` feature
+# on and off — the interpreted backend must not depend on the driver.
+isa_a=$(mktemp) isa_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "$isa_a" "$isa_b" "${bench_json:-}"' EXIT
+cargo run --release -q -p pim-verify -- \
+    --all-models --isa --format json > /dev/null
+cargo run --release -q -p pim-sim --bin repro -- isa > "$isa_a"
+cargo run --release -q -p pim-sim --bin repro \
+    --no-default-features --features trace -- isa > "$isa_b"
+diff "$isa_a" "$isa_b"
+
 # Serve smoke: boot the daemon on stdin, replay a seeded load trace
 # twice, and byte-diff the full response streams — submission-order
 # drain barriers make the stream a pure function of the input, so any
 # worker-timing leak shows up as a diff. The stats lines must also show
 # result sharing actually crossing tenants.
 serve_trace=$(mktemp) serve_a=$(mktemp) serve_b=$(mktemp)
-trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "$serve_trace" "$serve_a" "$serve_b" "${bench_json:-}"' EXIT
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "$isa_a" "$isa_b" "$serve_trace" "$serve_a" "$serve_b" "${bench_json:-}"' EXIT
 cargo run --release -q -p pim-sim --bin repro -- \
     serve --emit-trace 200 --seed 7 --tenants 3 > "$serve_trace"
 cargo run --release -q -p pim-sim --bin repro -- \

@@ -1,0 +1,112 @@
+//! The ISA execution backend: interpreted streams → timing/energy.
+//!
+//! Mirrors the analytic device formula of `pim_hw::params::estimate`, but
+//! with the compute term *executed* rather than assumed: issue cycles come
+//! from the interpreter, traffic from the program's `ld`/`st` stream, and
+//! only the bandwidth/power/memory-path constants are shared with the
+//! closed-form model. The two agree when the ISA's rounding (whole issue
+//! cycles, whole bytes) is negligible — the differential suite pins that
+//! delta.
+
+use crate::interp::{ExecSummary, Machine};
+use pim_common::units::{Bytes, Seconds};
+use pim_hw::params::{memory_time, ComputeEstimate, DeviceParams};
+use pim_mem::traffic::AccessPattern;
+
+/// Converts one interpretation into the common estimate shape:
+///
+/// ```text
+/// t_compute = issue_cycles / clock
+/// t_memory  = traffic_bytes / (bandwidth × pattern_efficiency)
+/// t_op      = max(t_compute, t_memory) + dispatch_overhead
+/// energy    = dynamic_power × t_op + path_energy(traffic_bytes)
+/// ```
+pub fn estimate_interpreted(
+    summary: &ExecSummary,
+    machine: &Machine,
+    params: &DeviceParams,
+    pattern: AccessPattern,
+) -> ComputeEstimate {
+    let compute_time = Seconds::new(summary.issue_cycles as f64 / machine.clock_hz);
+    let traffic = Bytes::new(summary.traffic_bytes() as f64);
+    let memory = memory_time(params, traffic, pattern);
+    let busy = compute_time.max(memory);
+    let time = busy + params.dispatch_overhead;
+    let energy = params.dynamic_power * time + params.memory_path.transfer_energy(traffic);
+    ComputeEstimate {
+        time,
+        compute_time,
+        memory_time: memory,
+        dispatch_time: params.dispatch_overhead,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Inst, Program, Reg};
+    use pim_hw::arm::ProgrammablePim;
+    use pim_mem::stack::StackConfig;
+
+    fn pim() -> ProgrammablePim {
+        ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4)
+    }
+
+    fn run(code: Vec<Inst>, regions: Vec<u64>) -> (ExecSummary, Machine) {
+        let m = Machine::for_arm(&pim());
+        let p = Program {
+            name: "t".to_string(),
+            regions,
+            fixed_kernels: Vec::new(),
+            code,
+        };
+        (m.run(&p).unwrap(), m)
+    }
+
+    #[test]
+    fn compute_bound_program_is_limited_by_issue_cycles() {
+        let (s, m) = run(
+            vec![
+                Inst::Fma {
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                    elems: 1_000_000,
+                },
+                Inst::Halt,
+            ],
+            Vec::new(),
+        );
+        let est = estimate_interpreted(&s, &m, pim().params(), AccessPattern::Sequential);
+        assert!(est.compute_time > est.memory_time);
+        // 2M flops at 16 Gflop/s ≈ 125 µs.
+        assert!((est.compute_time.seconds() - 1.25e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_bound_program_is_limited_by_traffic() {
+        let (s, m) = run(
+            vec![
+                Inst::Ld {
+                    dst: Reg(0),
+                    region: 0,
+                    bytes: 1 << 30,
+                },
+                Inst::Halt,
+            ],
+            vec![1 << 30],
+        );
+        let est = estimate_interpreted(&s, &m, pim().params(), AccessPattern::Sequential);
+        assert!(est.memory_time > est.compute_time);
+        assert!(est.energy.joules() > 0.0);
+    }
+
+    #[test]
+    fn dispatch_overhead_is_always_charged() {
+        let (s, m) = run(vec![Inst::Halt], Vec::new());
+        let est = estimate_interpreted(&s, &m, pim().params(), AccessPattern::Sequential);
+        assert_eq!(est.dispatch_time, pim().params().dispatch_overhead);
+        assert!(est.time >= est.dispatch_time);
+    }
+}

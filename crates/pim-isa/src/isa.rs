@@ -1,0 +1,476 @@
+//! The instruction set and program container.
+//!
+//! The ISA is a small register machine on the programmable ARM PIM:
+//! eight value registers (`v0..v7`) holding vector tiles, four loop
+//! counters (`c0..c3`), and thirteen opcodes covering loads/stores over
+//! the program's data regions, vector multiply/add/fused-multiply-add,
+//! non-multiply/add arithmetic bursts, control bursts, loop counters,
+//! fixed-function kernel calls, synchronization, and halt. Every
+//! instruction carries its element/byte count as an immediate — the ISA
+//! is macro-vector, so one `Fma` retires a whole tile and the interpreter
+//! charges issue cycles against the machine's lane width.
+//!
+//! Instructions encode to a fixed 16-byte little-endian word
+//! ([`Inst::encode`]); [`Program::encode`] serializes the whole program
+//! (name, region table, fixed-kernel table, code) so re-lowering
+//! idempotence and golden snapshots can byte-diff programs.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Number of addressable value registers.
+pub const VALUE_REGS: u8 = 8;
+
+/// Number of addressable loop-counter registers.
+pub const COUNTER_REGS: u8 = 4;
+
+/// A value register `v0..v7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Reg(pub u8);
+
+/// A loop-counter register `c0..c3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Ctr(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Ctr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Inst {
+    /// No operation (one issue cycle).
+    Nop,
+    /// Load `bytes` from data region `region` into `dst`.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// Index into [`Program::regions`].
+        region: u8,
+        /// Bytes moved through the memory path.
+        bytes: u64,
+    },
+    /// Store `bytes` from `src` to data region `region`.
+    St {
+        /// Source register.
+        src: Reg,
+        /// Index into [`Program::regions`].
+        region: u8,
+        /// Bytes moved through the memory path.
+        bytes: u64,
+    },
+    /// Vector multiply: `elems` multiplications.
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Multiplications retired.
+        elems: u64,
+    },
+    /// Vector add: `elems` additions.
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Additions retired.
+        elems: u64,
+    },
+    /// Fused multiply-add: `elems` multiplications plus `elems` additions.
+    Fma {
+        /// Destination/accumulator register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Fused ops retired (each is one mul and one add).
+        elems: u64,
+    },
+    /// Non-multiply/add arithmetic burst (compares, transcendentals,
+    /// divisions): `elems` operations.
+    Other {
+        /// Operations retired.
+        elems: u64,
+    },
+    /// Control/bookkeeping burst: `ops` instructions.
+    Ctrl {
+        /// Bookkeeping instructions retired.
+        ops: u64,
+    },
+    /// Set loop counter `ctr` to `trips`.
+    SetCnt {
+        /// The counter.
+        ctr: Ctr,
+        /// Trip count.
+        trips: u64,
+    },
+    /// Decrement `ctr` (saturating at zero) and jump to `target` when the
+    /// result is nonzero. `target` must be a backward branch.
+    DecJnz {
+        /// The counter.
+        ctr: Ctr,
+        /// Branch target (program counter of the loop body's first
+        /// instruction).
+        target: u32,
+    },
+    /// Dispatch extracted fixed-function kernel `kernel` (an index into
+    /// [`Program::fixed_kernels`]). The kernel's whole multiply/add tally
+    /// is offloaded; issue cost is its `calls` count times the machine's
+    /// per-call cycles.
+    CallFixed {
+        /// Index into [`Program::fixed_kernels`].
+        kernel: u16,
+    },
+    /// Wait for all outstanding fixed-function kernel completions.
+    Sync,
+    /// Stop execution. Must be the final instruction.
+    Halt,
+}
+
+impl Inst {
+    /// The opcode mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Inst::Nop => "nop",
+            Inst::Ld { .. } => "ld",
+            Inst::St { .. } => "st",
+            Inst::Mul { .. } => "mul",
+            Inst::Add { .. } => "add",
+            Inst::Fma { .. } => "fma",
+            Inst::Other { .. } => "other",
+            Inst::Ctrl { .. } => "ctrl",
+            Inst::SetCnt { .. } => "setcnt",
+            Inst::DecJnz { .. } => "decjnz",
+            Inst::CallFixed { .. } => "callfixed",
+            Inst::Sync => "sync",
+            Inst::Halt => "halt",
+        }
+    }
+
+    /// Encodes the instruction as a fixed 16-byte word:
+    /// `[opcode, f1, f2, f3, u32 target, u64 immediate]`, little endian.
+    pub fn encode(self) -> [u8; 16] {
+        let (op, f1, f2, f3, target, imm): (u8, u8, u8, u8, u32, u64) = match self {
+            Inst::Nop => (0, 0, 0, 0, 0, 0),
+            Inst::Ld { dst, region, bytes } => (1, dst.0, region, 0, 0, bytes),
+            Inst::St { src, region, bytes } => (2, src.0, region, 0, 0, bytes),
+            Inst::Mul { dst, a, b, elems } => (3, dst.0, a.0, b.0, 0, elems),
+            Inst::Add { dst, a, b, elems } => (4, dst.0, a.0, b.0, 0, elems),
+            Inst::Fma { dst, a, b, elems } => (5, dst.0, a.0, b.0, 0, elems),
+            Inst::Other { elems } => (6, 0, 0, 0, 0, elems),
+            Inst::Ctrl { ops } => (7, 0, 0, 0, 0, ops),
+            Inst::SetCnt { ctr, trips } => (8, ctr.0, 0, 0, 0, trips),
+            Inst::DecJnz { ctr, target } => (9, ctr.0, 0, 0, target, 0),
+            Inst::CallFixed { kernel } => (10, 0, 0, 0, u32::from(kernel), 0),
+            Inst::Sync => (11, 0, 0, 0, 0, 0),
+            Inst::Halt => (12, 0, 0, 0, 0, 0),
+        };
+        let mut w = [0u8; 16];
+        w[0] = op;
+        w[1] = f1;
+        w[2] = f2;
+        w[3] = f3;
+        w[4..8].copy_from_slice(&target.to_le_bytes());
+        w[8..16].copy_from_slice(&imm.to_le_bytes());
+        w
+    }
+
+    /// Decodes one 16-byte word; `None` for unknown opcodes.
+    pub fn decode(w: &[u8; 16]) -> Option<Inst> {
+        let f1 = w[1];
+        let f2 = w[2];
+        let f3 = w[3];
+        let target = u32::from_le_bytes(w[4..8].try_into().expect("4 bytes"));
+        let imm = u64::from_le_bytes(w[8..16].try_into().expect("8 bytes"));
+        Some(match w[0] {
+            0 => Inst::Nop,
+            1 => Inst::Ld {
+                dst: Reg(f1),
+                region: f2,
+                bytes: imm,
+            },
+            2 => Inst::St {
+                src: Reg(f1),
+                region: f2,
+                bytes: imm,
+            },
+            3 => Inst::Mul {
+                dst: Reg(f1),
+                a: Reg(f2),
+                b: Reg(f3),
+                elems: imm,
+            },
+            4 => Inst::Add {
+                dst: Reg(f1),
+                a: Reg(f2),
+                b: Reg(f3),
+                elems: imm,
+            },
+            5 => Inst::Fma {
+                dst: Reg(f1),
+                a: Reg(f2),
+                b: Reg(f3),
+                elems: imm,
+            },
+            6 => Inst::Other { elems: imm },
+            7 => Inst::Ctrl { ops: imm },
+            8 => Inst::SetCnt {
+                ctr: Ctr(f1),
+                trips: imm,
+            },
+            9 => Inst::DecJnz {
+                ctr: Ctr(f1),
+                target,
+            },
+            10 => Inst::CallFixed {
+                kernel: u16::try_from(target).ok()?,
+            },
+            11 => Inst::Sync,
+            12 => Inst::Halt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Ld { dst, region, bytes } => write!(f, "ld    {dst}, r{region}, {bytes}B"),
+            Inst::St { src, region, bytes } => write!(f, "st    {src}, r{region}, {bytes}B"),
+            Inst::Mul { dst, a, b, elems } => write!(f, "mul   {dst}, {a}, {b}, {elems}"),
+            Inst::Add { dst, a, b, elems } => write!(f, "add   {dst}, {a}, {b}, {elems}"),
+            Inst::Fma { dst, a, b, elems } => write!(f, "fma   {dst}, {a}, {b}, {elems}"),
+            Inst::Other { elems } => write!(f, "other {elems}"),
+            Inst::Ctrl { ops } => write!(f, "ctrl  {ops}"),
+            Inst::SetCnt { ctr, trips } => write!(f, "setcnt {ctr}, {trips}"),
+            Inst::DecJnz { ctr, target } => write!(f, "decjnz {ctr}, @{target}"),
+            Inst::CallFixed { kernel } => write!(f, "callfixed k{kernel}"),
+            Inst::Sync => write!(f, "sync"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// One entry of a program's fixed-function kernel table (the lowered form
+/// of binary #3's extracted kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FixedEntry {
+    /// Exact multiplications the kernel retires when dispatched.
+    pub muls: u64,
+    /// Exact additions the kernel retires when dispatched.
+    pub adds: u64,
+    /// Call messages one dispatch issues (the §III-B kernel-call
+    /// granularity).
+    pub calls: u32,
+}
+
+/// A complete lowered program: data regions, fixed-kernel table, code.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Program {
+    /// Program name (the kernel's TensorFlow op name).
+    pub name: String,
+    /// Byte sizes of the addressable data regions; `Ld`/`St` traffic is
+    /// bounded by its region's size.
+    pub regions: Vec<u64>,
+    /// Fixed-function kernels `CallFixed` can dispatch.
+    pub fixed_kernels: Vec<FixedEntry>,
+    /// The instruction stream.
+    pub code: Vec<Inst>,
+}
+
+/// Magic bytes prefixing every encoded program.
+pub const MAGIC: &[u8; 8] = b"PIMISA1\0";
+
+impl Program {
+    /// Serializes the program: magic, name, region table, fixed-kernel
+    /// table, code words. The encoding is a pure function of the program,
+    /// so byte equality is program equality.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 16 * self.code.len());
+        out.extend_from_slice(MAGIC);
+        let name = self.name.as_bytes();
+        out.extend_from_slice(
+            &(u16::try_from(name.len().min(u16::MAX as usize)).unwrap_or(0)).to_le_bytes(),
+        );
+        out.extend_from_slice(&name[..name.len().min(u16::MAX as usize)]);
+        out.extend_from_slice(&(self.regions.len() as u16).to_le_bytes());
+        for r in &self.regions {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.fixed_kernels.len() as u16).to_le_bytes());
+        for k in &self.fixed_kernels {
+            out.extend_from_slice(&k.muls.to_le_bytes());
+            out.extend_from_slice(&k.adds.to_le_bytes());
+            out.extend_from_slice(&k.calls.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.code.len() as u32).to_le_bytes());
+        for inst in &self.code {
+            out.extend_from_slice(&inst.encode());
+        }
+        out
+    }
+
+    /// Deserializes a program previously produced by [`Program::encode`].
+    /// `None` on any truncation, bad magic, or unknown opcode.
+    pub fn decode(bytes: &[u8]) -> Option<Program> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, MAGIC.len())? != MAGIC {
+            return None;
+        }
+        let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+        let region_count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let mut regions = Vec::with_capacity(region_count);
+        for _ in 0..region_count {
+            regions.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?));
+        }
+        let kernel_count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let mut fixed_kernels = Vec::with_capacity(kernel_count);
+        for _ in 0..kernel_count {
+            let muls = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+            let adds = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+            let calls = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            fixed_kernels.push(FixedEntry { muls, adds, calls });
+        }
+        let code_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let mut code = Vec::with_capacity(code_count);
+        for _ in 0..code_count {
+            let w: [u8; 16] = take(&mut pos, 16)?.try_into().ok()?;
+            code.push(Inst::decode(&w)?);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(Program {
+            name,
+            regions,
+            fixed_kernels,
+            code,
+        })
+    }
+
+    /// Renders the program as deterministic assembly text: header, region
+    /// and kernel tables, then one line per instruction with its program
+    /// counter.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, ".program {}", self.name);
+        for (i, r) in self.regions.iter().enumerate() {
+            let _ = writeln!(out, ".region r{i} {r}B");
+        }
+        for (i, k) in self.fixed_kernels.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                ".fixed  k{i} muls={} adds={} calls={}",
+                k.muls, k.adds, k.calls
+            );
+        }
+        for (pc, inst) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{pc:>5}: {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            name: "Conv2D".to_string(),
+            regions: vec![1024, 256],
+            fixed_kernels: vec![FixedEntry {
+                muls: 1000,
+                adds: 999,
+                calls: 1,
+            }],
+            code: vec![
+                Inst::Ld {
+                    dst: Reg(0),
+                    region: 0,
+                    bytes: 1024,
+                },
+                Inst::SetCnt {
+                    ctr: Ctr(0),
+                    trips: 4,
+                },
+                Inst::Fma {
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                    elems: 250,
+                },
+                Inst::DecJnz {
+                    ctr: Ctr(0),
+                    target: 2,
+                },
+                Inst::CallFixed { kernel: 0 },
+                Inst::Sync,
+                Inst::St {
+                    src: Reg(2),
+                    region: 1,
+                    bytes: 256,
+                },
+                Inst::Halt,
+            ],
+        }
+    }
+
+    #[test]
+    fn every_instruction_round_trips_through_encoding() {
+        for inst in sample().code {
+            assert_eq!(Inst::decode(&inst.encode()), Some(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn program_round_trips_through_encoding() {
+        let p = sample();
+        assert_eq!(Program::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn truncated_or_corrupt_bytes_decode_to_none() {
+        let bytes = sample().encode();
+        assert!(Program::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Program::decode(&bad_magic).is_none());
+        let mut bad_opcode = bytes.clone();
+        let code_start = bytes.len() - 8 * 16;
+        bad_opcode[code_start] = 200;
+        assert!(Program::decode(&bad_opcode).is_none());
+    }
+
+    #[test]
+    fn disassembly_names_every_part() {
+        let text = sample().disassemble();
+        assert!(text.contains(".program Conv2D"));
+        assert!(text.contains(".region r0 1024B"));
+        assert!(text.contains(".fixed  k0 muls=1000 adds=999 calls=1"));
+        assert!(text.contains("fma"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,36 @@
+//! pim-isa — a register-based micro-ISA for the programmable PIM.
+//!
+//! The paper's programmable ARM PIM (§IV-D) is modeled analytically
+//! elsewhere (`pim_hw::arm`); this crate gives it an *executed* ground
+//! truth. A KIR kernel ([`pim_opencl::kir`]) lowers to a small
+//! fixed-width instruction [`Program`] — loads/stores over the kernel's
+//! memory regions, `mul`/`add`/`fma` vector arithmetic, counted loops,
+//! `call_fixed` offload sites against binary #3's kernel table, `sync`,
+//! `halt` — which a structural [`validate()`] pass proves terminating with
+//! exact per-instruction multiplicities, and a deterministic
+//! [`Machine`] interpreter executes into exact `u64` mul/add tallies,
+//! memory-path traffic, and issue cycles.
+//!
+//! Module map:
+//!
+//! - [`isa`] — instruction set, 16-byte encoder/decoder, disassembler
+//! - [`mod@validate`] — structural validator (counted-loop discipline, bounds,
+//!   static retirement/cycle bounds)
+//! - [`interp`] — machine model + deterministic interpreter
+//! - [`lower`] — KIR → ISA lowering with exact loop splitting
+//! - [`backend`] — interpreted streams → `ComputeEstimate`
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod interp;
+pub mod isa;
+pub mod lower;
+pub mod validate;
+
+pub use backend::estimate_interpreted;
+pub use interp::{ExecError, ExecSummary, Machine, CALL_GRANULARITY_FLOPS};
+pub use isa::{Ctr, FixedEntry, Inst, Program, Reg};
+pub use lower::{lower_binary, lower_binary_with_traffic, lower_kernel, lower_recursive};
+pub use validate::{validate, StaticInfo, Violation};

@@ -1,0 +1,432 @@
+//! Lowering from KIR kernels to ISA programs.
+//!
+//! Each KIR [`Region`] lowers to a short counted-loop instruction sequence
+//! whose interpreted tallies reproduce the region's operation counts
+//! *exactly*: multiply/add element counts are carried as `u64` (lowering
+//! rejects non-integral counts rather than round them), and loop splitting
+//! uses integer base/remainder so `trips × base + rem` equals the total
+//! bit-for-bit. Loops are capped at [`MAX_LOOP_TRIPS`] trips so even
+//! billion-flop convolution kernels interpret in a few hundred retired
+//! instructions.
+
+use crate::interp::CALL_GRANULARITY_FLOPS;
+use crate::isa::{Ctr, FixedEntry, Inst, Program, Reg};
+use pim_common::{PimError, Result};
+use pim_opencl::binary::{BinarySet, FixedKernel};
+use pim_opencl::kir::{KernelSource, Region};
+use pim_tensor::cost::CostProfile;
+
+/// Smallest per-instruction tile worth wrapping in a loop.
+pub const LOOP_MIN_TILE: u64 = 4096;
+
+/// Trip-count cap: keeps every lowered region within a few hundred retired
+/// instructions regardless of its flop count.
+pub const MAX_LOOP_TRIPS: u64 = 64;
+
+/// Largest f64 that still holds exact integers (2^53).
+const EXACT_F64_MAX: f64 = 9_007_199_254_740_992.0;
+
+const V_IN: Reg = Reg(0); // loaded input operand
+const V_OP: Reg = Reg(1); // second operand
+const V_FMA: Reg = Reg(2); // fma accumulator (also the stored result)
+const V_MUL: Reg = Reg(3); // mul destination
+const V_ADD: Reg = Reg(4); // add destination
+const LOOP_CTR: Ctr = Ctr(0);
+
+/// Converts an operation count that must be carried exactly.
+fn exact_u64(value: f64, what: &str, kernel: &str) -> Result<u64> {
+    if !(0.0..=EXACT_F64_MAX).contains(&value) || value.fract() != 0.0 {
+        return Err(PimError::InvalidArgument {
+            context: "isa-lower",
+            message: format!("{kernel}: {what} count {value} is not an exact unsigned integer"),
+        });
+    }
+    Ok(value as u64)
+}
+
+/// Converts a count where sub-operation precision is not load-bearing
+/// (other-arithmetic and control regions may carry halved fractional
+/// totals); rounding is deterministic, so lowering stays idempotent.
+fn rounded_u64(value: f64) -> u64 {
+    value.max(0.0).round().min(EXACT_F64_MAX) as u64
+}
+
+/// Emits one vector operation of `total` elements, split into a counted
+/// loop when large: `SetCnt trips; body(base); DecJnz` plus an optional
+/// remainder instruction, with `trips × base + rem == total` exactly.
+fn emit_vec_loop(code: &mut Vec<Inst>, total: u64, make: impl Fn(u64) -> Inst) {
+    if total == 0 {
+        return;
+    }
+    if total <= 2 * LOOP_MIN_TILE {
+        code.push(make(total));
+        return;
+    }
+    let trips = (total / LOOP_MIN_TILE).clamp(2, MAX_LOOP_TRIPS);
+    let base = total / trips;
+    let rem = total % trips;
+    code.push(Inst::SetCnt {
+        ctr: LOOP_CTR,
+        trips,
+    });
+    let target = code.len() as u32;
+    code.push(make(base));
+    code.push(Inst::DecJnz {
+        ctr: LOOP_CTR,
+        target,
+    });
+    if rem > 0 {
+        code.push(make(rem));
+    }
+}
+
+/// Lowers one multiply/add region: paired work becomes `fma` loops, the
+/// unpaired surplus a trailing `mul` or `add` loop, so the interpreted
+/// mul/add tallies equal (`muls`, `adds`) exactly.
+fn emit_mul_add(code: &mut Vec<Inst>, muls: u64, adds: u64) {
+    let paired = muls.min(adds);
+    emit_vec_loop(code, paired, |elems| Inst::Fma {
+        dst: V_FMA,
+        a: V_IN,
+        b: V_OP,
+        elems,
+    });
+    emit_vec_loop(code, muls - paired, |elems| Inst::Mul {
+        dst: V_MUL,
+        a: V_IN,
+        b: V_OP,
+        elems,
+    });
+    emit_vec_loop(code, adds - paired, |elems| Inst::Add {
+        dst: V_ADD,
+        a: V_IN,
+        b: V_OP,
+        elems,
+    });
+}
+
+/// Lowers a kernel body against a fixed-kernel table and the memory
+/// traffic it must move.
+fn lower_body(
+    name: &str,
+    body: &[Region],
+    fixed: &[FixedKernel],
+    bytes_read: u64,
+    bytes_written: u64,
+) -> Result<Program> {
+    let mut fixed_kernels = Vec::with_capacity(fixed.len());
+    for k in fixed {
+        let muls = exact_u64(k.muls, "fixed-kernel mul", name)?;
+        let adds = exact_u64(k.adds, "fixed-kernel add", name)?;
+        let calls = (((muls + adds) as f64) / CALL_GRANULARITY_FLOPS).ceil() as u32;
+        fixed_kernels.push(FixedEntry {
+            muls,
+            adds,
+            calls: calls.max(1),
+        });
+    }
+
+    let mut regions = Vec::new();
+    let mut code = Vec::new();
+    if bytes_read > 0 {
+        let region = regions.len() as u8;
+        regions.push(bytes_read);
+        code.push(Inst::Ld {
+            dst: V_IN,
+            region,
+            bytes: bytes_read,
+        });
+    }
+
+    let mut any_call = false;
+    for region in body {
+        match *region {
+            Region::MulAdd { muls, adds, .. } => {
+                let muls = exact_u64(muls, "mul", name)?;
+                let adds = exact_u64(adds, "add", name)?;
+                emit_mul_add(&mut code, muls, adds);
+            }
+            Region::OtherArithmetic { flops } => {
+                emit_vec_loop(&mut code, rounded_u64(flops), |elems| Inst::Other { elems });
+            }
+            Region::Control { ops } => {
+                emit_vec_loop(&mut code, rounded_u64(ops), |ops| Inst::Ctrl { ops });
+            }
+            Region::CallFixed { kernel_index } => {
+                if kernel_index >= fixed_kernels.len() {
+                    return Err(PimError::KernelIndexOutOfBounds {
+                        kernel: name.to_string(),
+                        index: kernel_index,
+                        available: fixed_kernels.len(),
+                    });
+                }
+                code.push(Inst::CallFixed {
+                    kernel: kernel_index as u16,
+                });
+                any_call = true;
+            }
+        }
+    }
+    if any_call {
+        code.push(Inst::Sync);
+    }
+    if bytes_written > 0 {
+        let region = regions.len() as u8;
+        regions.push(bytes_written);
+        code.push(Inst::St {
+            src: V_FMA,
+            region,
+            bytes: bytes_written,
+        });
+    }
+    code.push(Inst::Halt);
+
+    Ok(Program {
+        name: name.to_string(),
+        regions,
+        fixed_kernels,
+        code,
+    })
+}
+
+/// Rounds a cost profile's traffic to whole bytes for the `ld`/`st` pair.
+fn traffic(cost: &CostProfile) -> (u64, u64) {
+    (
+        rounded_u64(cost.bytes_read.bytes()),
+        rounded_u64(cost.bytes_written.bytes()),
+    )
+}
+
+/// Lowers a self-contained kernel (no `CallFixed` sites — binary #1's
+/// shape, or binary #4 for kernels with nothing to extract) into an ISA
+/// program executing every region in-line.
+///
+/// # Errors
+///
+/// [`PimError::InvalidArgument`] when a multiply/add count is not an exact
+/// unsigned integer; [`PimError::KernelIndexOutOfBounds`] when the body
+/// contains a `CallFixed` site (there is no kernel table to resolve it).
+pub fn lower_kernel(kernel: &KernelSource, cost: &CostProfile) -> Result<Program> {
+    let (r, w) = traffic(cost);
+    lower_body(&kernel.name, &kernel.body, &[], r, w)
+}
+
+/// Lowers binary #4 — the programmable-PIM kernel whose extracted
+/// multiply/add regions became `call_fixed` sites against binary #3's
+/// kernel table. The interpreted *offloaded* tallies reproduce
+/// [`BinarySet::extracted_flops`] exactly.
+///
+/// # Errors
+///
+/// As [`lower_kernel`].
+pub fn lower_binary(set: &BinarySet, cost: &CostProfile) -> Result<Program> {
+    let (r, w) = traffic(cost);
+    lower_body(&set.progr.name, &set.progr.body, &set.fixed_kernels, r, w)
+}
+
+/// Lowers binary #4 with explicit traffic (the recursive scheme moves only
+/// the non-extracted share of the operation's bytes through the ARM core).
+///
+/// # Errors
+///
+/// As [`lower_kernel`].
+pub fn lower_binary_with_traffic(
+    set: &BinarySet,
+    bytes_read: u64,
+    bytes_written: u64,
+) -> Result<Program> {
+    lower_body(
+        &set.progr.name,
+        &set.progr.body,
+        &set.fixed_kernels,
+        bytes_read,
+        bytes_written,
+    )
+}
+
+/// Lowers the ARM-resident share of a recursive-kernel execution.
+///
+/// Binary #4's region *structure* (call-site ordering, `sync` placement)
+/// is preserved, but its control and other-arithmetic totals are rescaled
+/// to `rest` — the non-extracted share of the operation — because the
+/// bookkeeping of the extracted loops executes on the fixed-function
+/// units, not the ARM core (the same attribution the analytic recursive
+/// split uses). Traffic likewise comes from `rest`. The `call_fixed`
+/// entries keep binary #3's exact mul/add counts, so offloaded tallies
+/// still reproduce the Fig. 4 extraction bit-for-bit.
+///
+/// # Errors
+///
+/// As [`lower_kernel`].
+pub fn lower_recursive(set: &BinarySet, rest: &CostProfile) -> Result<Program> {
+    let ctrl_total: f64 = set
+        .progr
+        .body
+        .iter()
+        .map(|r| match r {
+            Region::Control { ops } => *ops,
+            _ => 0.0,
+        })
+        .sum();
+    let other_total: f64 = set
+        .progr
+        .body
+        .iter()
+        .map(|r| match r {
+            Region::OtherArithmetic { flops } => *flops,
+            _ => 0.0,
+        })
+        .sum();
+    let ctrl_scale = if ctrl_total > 0.0 {
+        rest.control_ops / ctrl_total
+    } else {
+        0.0
+    };
+    let other_scale = if other_total > 0.0 {
+        rest.other_flops / other_total
+    } else {
+        0.0
+    };
+    let body: Vec<Region> = set
+        .progr
+        .body
+        .iter()
+        .map(|r| match *r {
+            Region::Control { ops } => Region::Control {
+                ops: ops * ctrl_scale,
+            },
+            Region::OtherArithmetic { flops } => Region::OtherArithmetic {
+                flops: flops * other_scale,
+            },
+            ref other => other.clone(),
+        })
+        .collect();
+    let (r, w) = traffic(rest);
+    lower_body(&set.progr.name, &body, &set.fixed_kernels, r, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Machine;
+    use crate::validate::validate;
+    use pim_common::units::Bytes;
+    use pim_hw::arm::ProgrammablePim;
+    use pim_mem::stack::StackConfig;
+    use pim_tensor::cost::OffloadClass;
+
+    fn machine() -> Machine {
+        Machine::for_arm(&ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4))
+    }
+
+    fn conv_cost() -> CostProfile {
+        CostProfile::compute(
+            1_000_003.0,
+            999_983.0,
+            40_000.0,
+            Bytes::new(1.5e6),
+            Bytes::new(0.5e6),
+            OffloadClass::PartiallyMulAdd { ma_fraction: 0.98 },
+            241,
+        )
+    }
+
+    #[test]
+    fn lowered_kernel_reproduces_mul_add_counts_exactly() {
+        let cost = conv_cost();
+        let kernel = KernelSource::from_cost("Conv2D", &cost);
+        let program = lower_kernel(&kernel, &cost).unwrap();
+        let s = machine().run(&program).unwrap();
+        assert_eq!(s.executed_muls, 1_000_003);
+        assert_eq!(s.executed_adds, 999_983);
+        assert_eq!(s.offloaded_muls, 0);
+        assert_eq!(s.traffic_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn lowered_binary_offloads_exactly_the_extracted_flops() {
+        let cost = conv_cost();
+        let set = BinarySet::generate(KernelSource::from_cost("Conv2D", &cost)).unwrap();
+        let program = lower_binary(&set, &cost).unwrap();
+        let s = machine().run(&program).unwrap();
+        let extracted = set.extracted_flops();
+        assert_eq!((s.offloaded_muls + s.offloaded_adds) as f64, extracted);
+        assert_eq!(s.executed_muls, 0);
+        assert_eq!(s.executed_adds, 0);
+        assert!(s.calls >= 1);
+        assert!(s.syncs >= 1);
+    }
+
+    #[test]
+    fn loop_split_is_exact_for_awkward_totals() {
+        let mut code = Vec::new();
+        emit_vec_loop(&mut code, 1_000_003, |elems| Inst::Other { elems });
+        code.push(Inst::Halt);
+        let program = Program {
+            name: "split".to_string(),
+            regions: Vec::new(),
+            fixed_kernels: Vec::new(),
+            code,
+        };
+        let s = machine().run(&program).unwrap();
+        assert_eq!(s.other_elems, 1_000_003);
+    }
+
+    #[test]
+    fn small_totals_lower_to_a_single_instruction() {
+        let mut code = Vec::new();
+        emit_vec_loop(&mut code, 2 * LOOP_MIN_TILE, |elems| Inst::Other { elems });
+        assert_eq!(code.len(), 1);
+    }
+
+    #[test]
+    fn every_lowered_program_passes_the_validator() {
+        for class in [
+            OffloadClass::FullyMulAdd,
+            OffloadClass::PartiallyMulAdd { ma_fraction: 0.9 },
+            OffloadClass::NonMulAdd,
+        ] {
+            let cost =
+                CostProfile::compute(5e4, 5e4, 1e3, Bytes::new(8e4), Bytes::new(4e4), class, 17);
+            let kernel = KernelSource::from_cost("k", &cost);
+            let program = lower_kernel(&kernel, &cost).unwrap();
+            validate(&program).unwrap();
+            let set = BinarySet::generate(kernel).unwrap();
+            let binary = lower_binary(&set, &cost).unwrap();
+            validate(&binary).unwrap();
+        }
+    }
+
+    #[test]
+    fn lowering_is_idempotent_at_the_byte_level() {
+        let cost = conv_cost();
+        let kernel = KernelSource::from_cost("Conv2D", &cost);
+        let a = lower_kernel(&kernel, &cost).unwrap().encode();
+        let b = lower_kernel(&kernel, &cost).unwrap().encode();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_integral_mul_counts_are_rejected() {
+        let kernel = KernelSource {
+            name: "bad".to_string(),
+            body: vec![Region::MulAdd {
+                muls: 10.5,
+                adds: 4.0,
+                parallelism: 1,
+            }],
+        };
+        let err = lower_kernel(&kernel, &CostProfile::empty()).unwrap_err();
+        assert!(matches!(err, PimError::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn dangling_call_sites_are_rejected() {
+        let kernel = KernelSource {
+            name: "dangling".to_string(),
+            body: vec![Region::CallFixed { kernel_index: 0 }],
+        };
+        let err = lower_kernel(&kernel, &CostProfile::empty()).unwrap_err();
+        assert!(matches!(err, PimError::KernelIndexOutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,428 @@
+//! Structural validation and static execution bounds.
+//!
+//! A program is *valid* when every operand resolves (registers, counters,
+//! regions, fixed kernels), control flow is a sequence of non-nested
+//! counted loops (each `DecJnz` branches backward to a body whose
+//! immediately preceding instruction is the `SetCnt` of the same
+//! counter), fixed-kernel calls are drained by a `Sync` before `Halt`,
+//! and the single `Halt` terminates the code. Validity is decidable
+//! without running the program, and it implies termination: the validator
+//! returns the exact per-instruction execution multiplicities, whose sum
+//! is a hard retirement bound the interpreter enforces as fuel.
+
+use crate::isa::{Inst, Program, COUNTER_REGS, VALUE_REGS};
+use serde::Serialize;
+use std::fmt;
+
+/// One structural violation, anchored to the offending instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Program counter of the offending instruction; `None` for
+    /// program-level violations (empty code, missing halt).
+    pub pc: Option<usize>,
+    /// Mnemonic of the offending instruction, when `pc` is set.
+    pub mnemonic: &'static str,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Violation {
+    fn at(pc: usize, inst: Inst, message: impl Into<String>) -> Self {
+        Violation {
+            pc: Some(pc),
+            mnemonic: inst.mnemonic(),
+            message: message.into(),
+        }
+    }
+
+    fn program(message: impl Into<String>) -> Self {
+        Violation {
+            pc: None,
+            mnemonic: "program",
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "inst {pc} ({}): {}", self.mnemonic, self.message),
+            None => write!(f, "program: {}", self.message),
+        }
+    }
+}
+
+/// Static execution facts a valid program admits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticInfo {
+    /// Exact times each instruction executes (loop bodies carry their
+    /// trip count; straight-line code carries 1).
+    pub multiplicity: Vec<u64>,
+    /// Total instructions a run retires — the interpreter's fuel bound.
+    pub retired_bound: u64,
+}
+
+/// Validates `program`; on success returns its [`StaticInfo`].
+///
+/// # Errors
+///
+/// Returns every [`Violation`] found; the program must not be executed
+/// when any are present.
+pub fn validate(program: &Program) -> Result<StaticInfo, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let code = &program.code;
+    if code.is_empty() {
+        return Err(vec![Violation::program("empty code; a Halt is required")]);
+    }
+    if !matches!(code.last(), Some(Inst::Halt)) {
+        violations.push(Violation::program(
+            "missing terminal Halt: the last instruction must be halt",
+        ));
+    }
+    let reg_ok = |r: crate::isa::Reg| r.0 < VALUE_REGS;
+    let ctr_ok = |c: crate::isa::Ctr| c.0 < COUNTER_REGS;
+    let mut last_call: Option<usize> = None;
+    let mut last_sync: Option<usize> = None;
+    // End pc (inclusive) of the most recent loop; bodies may not overlap.
+    let mut last_loop_end: Option<usize> = None;
+    let mut multiplicity = vec![1u64; code.len()];
+    for (pc, &inst) in code.iter().enumerate() {
+        if matches!(inst, Inst::Halt) && pc + 1 != code.len() {
+            violations.push(Violation::at(pc, inst, "halt before the end of the code"));
+        }
+        match inst {
+            Inst::Nop | Inst::Sync | Inst::Halt => {}
+            Inst::Ld { dst, region, bytes }
+            | Inst::St {
+                src: dst,
+                region,
+                bytes,
+            } => {
+                if !reg_ok(dst) {
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!("register {dst} out of range"),
+                    ));
+                }
+                match program.regions.get(region as usize) {
+                    None => violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!(
+                            "region r{region} out of range; only {} region(s) declared",
+                            program.regions.len()
+                        ),
+                    )),
+                    Some(&size) if bytes > size => violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!("moves {bytes}B through region r{region} of {size}B"),
+                    )),
+                    Some(_) => {}
+                }
+                if bytes == 0 {
+                    violations.push(Violation::at(pc, inst, "degenerate zero-byte transfer"));
+                }
+            }
+            Inst::Mul { dst, a, b, elems }
+            | Inst::Add { dst, a, b, elems }
+            | Inst::Fma { dst, a, b, elems } => {
+                for r in [dst, a, b] {
+                    if !reg_ok(r) {
+                        violations.push(Violation::at(
+                            pc,
+                            inst,
+                            format!("register {r} out of range"),
+                        ));
+                    }
+                }
+                if elems == 0 {
+                    violations.push(Violation::at(pc, inst, "degenerate zero-element vector op"));
+                }
+            }
+            Inst::Other { elems } => {
+                if elems == 0 {
+                    violations.push(Violation::at(pc, inst, "degenerate zero-element burst"));
+                }
+            }
+            Inst::Ctrl { ops } => {
+                if ops == 0 {
+                    violations.push(Violation::at(pc, inst, "degenerate zero-op burst"));
+                }
+            }
+            Inst::SetCnt { ctr, trips } => {
+                if !ctr_ok(ctr) {
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!("counter {ctr} out of range"),
+                    ));
+                }
+                if trips == 0 {
+                    violations.push(Violation::at(pc, inst, "zero-trip loop counter"));
+                }
+            }
+            Inst::DecJnz { ctr, target } => {
+                if !ctr_ok(ctr) {
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!("counter {ctr} out of range"),
+                    ));
+                }
+                let target = target as usize;
+                if target >= pc {
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!("forward branch to @{target}; loops must branch backward"),
+                    ));
+                    continue;
+                }
+                if let Some(end) = last_loop_end {
+                    if target <= end {
+                        violations.push(Violation::at(
+                            pc,
+                            inst,
+                            format!("loop body @{target}..{pc} overlaps an earlier loop"),
+                        ));
+                        continue;
+                    }
+                }
+                // The counted-loop discipline: the instruction immediately
+                // before the body is the SetCnt of this counter, so the
+                // trip count is static.
+                let trips = match (target.checked_sub(1)).map(|i| code[i]) {
+                    Some(Inst::SetCnt { ctr: set, trips }) if set == ctr => trips,
+                    _ => {
+                        violations.push(Violation::at(
+                            pc,
+                            inst,
+                            format!(
+                                "loop body @{target} is not immediately preceded by \
+                                 setcnt {ctr}; trip count is not static"
+                            ),
+                        ));
+                        continue;
+                    }
+                };
+                // Counters are single-use per loop: nothing inside the
+                // body may rewrite the counter.
+                for (body_pc, &body_inst) in code.iter().enumerate().take(pc).skip(target) {
+                    if let Inst::SetCnt { ctr: set, .. } = body_inst {
+                        if set == ctr {
+                            violations.push(Violation::at(
+                                body_pc,
+                                body_inst,
+                                format!("rewrites live loop counter {ctr} inside its body"),
+                            ));
+                        }
+                    }
+                }
+                for m in multiplicity.iter_mut().take(pc + 1).skip(target) {
+                    *m = trips;
+                }
+                last_loop_end = Some(pc);
+            }
+            Inst::CallFixed { kernel } => {
+                if (kernel as usize) >= program.fixed_kernels.len() {
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        format!(
+                            "calls fixed kernel k{kernel}, but only {} exist",
+                            program.fixed_kernels.len()
+                        ),
+                    ));
+                }
+                if last_loop_end.is_some_and(|end| pc <= end) {
+                    // Unreachable with non-overlapping backward loops
+                    // detected above, but kept for defense in depth.
+                    violations.push(Violation::at(
+                        pc,
+                        inst,
+                        "fixed-kernel call inside a loop body",
+                    ));
+                }
+                last_call = Some(pc);
+            }
+        }
+        if matches!(inst, Inst::Sync) {
+            last_sync = Some(pc);
+        }
+    }
+    // Calls must be drained before the program halts.
+    if let Some(call_pc) = last_call {
+        if last_sync.is_none_or(|sync_pc| sync_pc <= call_pc) {
+            violations.push(Violation::at(
+                call_pc,
+                code[call_pc],
+                "fixed-kernel call is never drained: no sync between it and halt",
+            ));
+        }
+    }
+    // A loop body may not contain CallFixed/Sync/Halt/SetCnt-of-its-own
+    // counter; the overlap and rewrite rules above cover SetCnt, and Halt
+    // placement is covered by the terminal rule. CallFixed-in-body is
+    // rejected here so call counts stay static.
+    if violations.is_empty() {
+        let retired_bound = multiplicity.iter().sum();
+        Ok(StaticInfo {
+            multiplicity,
+            retired_bound,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Ctr, FixedEntry, Reg};
+
+    fn valid() -> Program {
+        Program {
+            name: "k".to_string(),
+            regions: vec![512, 128],
+            fixed_kernels: vec![FixedEntry {
+                muls: 10,
+                adds: 10,
+                calls: 1,
+            }],
+            code: vec![
+                Inst::Ld {
+                    dst: Reg(0),
+                    region: 0,
+                    bytes: 512,
+                },
+                Inst::SetCnt {
+                    ctr: Ctr(0),
+                    trips: 3,
+                },
+                Inst::Fma {
+                    dst: Reg(2),
+                    a: Reg(0),
+                    b: Reg(1),
+                    elems: 64,
+                },
+                Inst::DecJnz {
+                    ctr: Ctr(0),
+                    target: 2,
+                },
+                Inst::CallFixed { kernel: 0 },
+                Inst::Sync,
+                Inst::St {
+                    src: Reg(2),
+                    region: 1,
+                    bytes: 128,
+                },
+                Inst::Halt,
+            ],
+        }
+    }
+
+    fn violations(p: &Program) -> Vec<Violation> {
+        validate(p).expect_err("expected violations")
+    }
+
+    #[test]
+    fn valid_program_reports_exact_multiplicities() {
+        let info = validate(&valid()).expect("valid");
+        // SetCnt runs once; the body [Fma, DecJnz] retires per trip.
+        assert_eq!(info.multiplicity, vec![1, 1, 3, 3, 1, 1, 1, 1]);
+        assert_eq!(info.retired_bound, 12);
+    }
+
+    #[test]
+    fn out_of_range_region_is_flagged_at_the_instruction() {
+        let mut p = valid();
+        p.code[0] = Inst::Ld {
+            dst: Reg(0),
+            region: 9,
+            bytes: 512,
+        };
+        let v = violations(&p);
+        assert!(v.iter().any(|v| v.pc == Some(0)
+            && v.mnemonic == "ld"
+            && v.message.contains("region r9 out of range")));
+    }
+
+    #[test]
+    fn missing_fixed_kernel_is_flagged() {
+        let mut p = valid();
+        p.code[4] = Inst::CallFixed { kernel: 7 };
+        let v = violations(&p);
+        assert!(v
+            .iter()
+            .any(|v| v.pc == Some(4) && v.mnemonic == "callfixed" && v.message.contains("k7")));
+    }
+
+    #[test]
+    fn missing_halt_is_a_program_violation() {
+        let mut p = valid();
+        p.code.pop();
+        let v = violations(&p);
+        assert!(v
+            .iter()
+            .any(|v| v.pc.is_none() && v.message.contains("Halt")));
+    }
+
+    #[test]
+    fn undrained_call_is_flagged() {
+        let mut p = valid();
+        p.code.remove(5); // drop the sync
+        let v = violations(&p);
+        assert!(v.iter().any(|v| v.message.contains("never drained")));
+    }
+
+    #[test]
+    fn forward_branch_is_rejected() {
+        let mut p = valid();
+        p.code[3] = Inst::DecJnz {
+            ctr: Ctr(0),
+            target: 5,
+        };
+        let v = violations(&p);
+        assert!(v.iter().any(|v| v.message.contains("forward branch")));
+    }
+
+    #[test]
+    fn loop_without_adjacent_setcnt_is_rejected() {
+        let mut p = valid();
+        p.code[3] = Inst::DecJnz {
+            ctr: Ctr(0),
+            target: 1, // body starts at the SetCnt itself
+        };
+        let v = violations(&p);
+        assert!(v
+            .iter()
+            .any(|v| v.message.contains("not immediately preceded")));
+    }
+
+    #[test]
+    fn overlapping_loops_are_rejected() {
+        let mut p = valid();
+        // Second loop branching back into the first body.
+        p.code[4] = Inst::DecJnz {
+            ctr: Ctr(0),
+            target: 2,
+        };
+        let v = violations(&p);
+        assert!(v.iter().any(|v| v.message.contains("overlaps")));
+    }
+
+    #[test]
+    fn oversized_transfer_is_rejected() {
+        let mut p = valid();
+        p.code[0] = Inst::Ld {
+            dst: Reg(0),
+            region: 0,
+            bytes: 513,
+        };
+        let v = violations(&p);
+        assert!(v.iter().any(|v| v.message.contains("513B")));
+    }
+}

@@ -145,6 +145,21 @@ impl SystemPreset {
     }
 }
 
+/// How programmable-PIM placements are costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum ProgrBackend {
+    /// The closed-form device formula (`pim_hw::params::estimate`) — the
+    /// default, and byte-identical to the pre-ISA engine.
+    #[default]
+    Analytic,
+    /// ISA interpretation: each kernel placed on the ARM core lowers to a
+    /// `pim_isa` program whose interpreted issue cycles and `ld`/`st`
+    /// traffic produce the timing/energy estimate (the executed ground
+    /// truth of DESIGN.md §4.12). The `ProgrOnly` pool abstraction stays
+    /// analytic — it models "as many cores as needed", not one program.
+    Isa,
+}
+
 /// Engine configuration: system complement plus runtime-technique toggles.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineConfig {
@@ -170,6 +185,10 @@ pub struct EngineConfig {
     /// The host CPU: step-1 profiling and all CPU placements run on this
     /// device (defaults to the paper's Xeon E5-2630 v3).
     pub host: CpuDevice,
+    /// Programmable-PIM costing backend. Part of the `Debug` rendering, so
+    /// [`RunRequest::fingerprint`] distinguishes analytic from interpreted
+    /// runs in the shared result store.
+    pub progr_backend: ProgrBackend,
 }
 
 impl EngineConfig {
@@ -201,6 +220,7 @@ impl EngineConfig {
             arm_cores: 4,
             ff_units: pim_hw::fixed::DEFAULT_UNITS,
             host: CpuDevice::xeon_e5_2630_v3(),
+            progr_backend: ProgrBackend::default(),
         }
     }
 
@@ -221,6 +241,12 @@ impl EngineConfig {
     /// placements follow it.
     pub fn with_host_cpu(mut self, host: CpuDevice) -> Self {
         self.host = host;
+        self
+    }
+
+    /// Returns a copy with a different programmable-PIM costing backend.
+    pub fn with_progr_backend(mut self, backend: ProgrBackend) -> Self {
+        self.progr_backend = backend;
         self
     }
 }

@@ -15,17 +15,25 @@
 //! count.
 
 use super::events::ResourceClass;
-use super::{EngineConfig, SystemMode};
+use super::{EngineConfig, ProgrBackend, SystemMode};
 use crate::stats::normalized_parts;
 use crate::sync::{
     kernel_calls, HOST_CALL, HOST_FF_SYNC, HOST_PROGR_SYNC, PIM_CALL, PIM_INTERNAL_SYNC,
 };
+use pim_common::fingerprint::debug_hash;
 use pim_common::units::{Joules, Seconds};
 use pim_hw::arm::{ProgrammablePim, ProgrammablePool};
 use pim_hw::cpu::CpuDevice;
 use pim_hw::device::Device;
 use pim_hw::fixed::{FixedFunctionPool, FixedPoolConfig};
+use pim_hw::params::ComputeEstimate;
+use pim_isa::interp::Machine;
+use pim_isa::lower::{lower_kernel, lower_recursive};
+use pim_opencl::binary::BinarySet;
+use pim_opencl::kir::KernelSource;
 use pim_tensor::cost::{CostProfile, OffloadClass};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// CPU-side runtime cost of one scheduling decision (querying the busy
 /// registers, picking a device, enqueueing) — the price of the dynamic
@@ -150,6 +158,111 @@ fn split_cost(cost: &CostProfile) -> (CostProfile, CostProfile) {
     (ma, rest)
 }
 
+/// ISA-backed programmable-PIM costing (DESIGN.md §4.12): each kernel the
+/// planner would place on the ARM core is lowered to a `pim_isa` program
+/// and interpreted; issue cycles and `ld`/`st` traffic replace the
+/// closed-form compute/memory terms. Results are memoized per cost
+/// profile — the engine re-plans the same op every step — and lowering
+/// failures (non-integral mul/add counts from synthetic costs) fall back
+/// to the analytic estimate so planning stays infallible.
+struct IsaEstimator {
+    /// Machine model of the full ARM processor.
+    machine: Machine,
+    /// Machine model of the scheduled-mode core pair.
+    machine_pair: Machine,
+    memo: Mutex<HashMap<u64, ComputeEstimate>>,
+}
+
+impl IsaEstimator {
+    fn new(progr: &ProgrammablePim, progr_pair: &ProgrammablePim) -> Self {
+        IsaEstimator {
+            machine: Self::machine_for(progr),
+            machine_pair: Self::machine_for(progr_pair),
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Derives the machine model, with `call_fixed` issue cycles pinned to
+    /// the runtime's `PIM_CALL` latency at the device's actual clock (so
+    /// frequency-scaled stacks keep the same wall-clock call cost).
+    fn machine_for(pim: &ProgrammablePim) -> Machine {
+        let machine = Machine::for_arm(pim);
+        let cycles = (PIM_CALL.seconds() * machine.clock_hz).round() as u64;
+        machine.with_call_issue_cycles(cycles)
+    }
+
+    fn machine(&self, pair: bool) -> &Machine {
+        if pair {
+            &self.machine_pair
+        } else {
+            &self.machine
+        }
+    }
+
+    fn memoized(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Option<ComputeEstimate>,
+    ) -> Option<ComputeEstimate> {
+        if let Some(est) = self.memo.lock().expect("isa memo poisoned").get(&key) {
+            return Some(*est);
+        }
+        let est = compute()?;
+        self.memo
+            .lock()
+            .expect("isa memo poisoned")
+            .insert(key, est);
+        Some(est)
+    }
+
+    /// Whole-kernel estimate for a [`PlanKind::Progr`] placement: the op's
+    /// kernel runs in-line on the ARM core, mul/add regions included.
+    fn estimate_whole(
+        &self,
+        pim: &ProgrammablePim,
+        pair: bool,
+        cost: &CostProfile,
+    ) -> Option<ComputeEstimate> {
+        self.memoized(debug_hash(&("whole", pair, cost)), || {
+            let kernel = KernelSource::from_cost("op", cost);
+            let program = lower_kernel(&kernel, cost).ok()?;
+            let machine = self.machine(pair);
+            let summary = machine.run(&program).ok()?;
+            Some(pim_isa::estimate_interpreted(
+                &summary,
+                machine,
+                pim.params(),
+                cost.pattern,
+            ))
+        })
+    }
+
+    /// ARM-side estimate for a [`PlanKind::Recursive`] placement: binary
+    /// #4 (extracted regions as `call_fixed` sites) interpreted with the
+    /// non-extracted share of the traffic; call-issue cycles land in the
+    /// compute term, so the caller must not add `PIM_CALL` again.
+    fn estimate_recursive(
+        &self,
+        pim: &ProgrammablePim,
+        pair: bool,
+        cost: &CostProfile,
+        rest: &CostProfile,
+    ) -> Option<ComputeEstimate> {
+        self.memoized(debug_hash(&("recursive", pair, cost)), || {
+            let set = BinarySet::generate(KernelSource::from_cost("op", cost)).ok()?;
+            let program = lower_recursive(&set, rest).ok()?;
+            let machine = self.machine(pair);
+            let summary = machine.run(&program).ok()?;
+            Some(pim_isa::estimate_interpreted(
+                &summary,
+                machine,
+                pim.params(),
+                cost.pattern,
+            ))
+        })
+    }
+}
+
 /// The placement policy plus the device models it schedules onto.
 pub(crate) struct Planner {
     pub cfg: EngineConfig,
@@ -165,6 +278,8 @@ pub(crate) struct Planner {
     /// reads only the configuration, never allocation state) — built once so
     /// the hot path does not reconstruct a pool per planned op.
     est_pool: FixedFunctionPool,
+    /// Present when `cfg.progr_backend` is [`ProgrBackend::Isa`].
+    isa: Option<IsaEstimator>,
 }
 
 impl Planner {
@@ -178,6 +293,8 @@ impl Planner {
         let progr_pool = ProgrammablePool::unlimited(&cfg.stack);
         let pool_cfg = FixedPoolConfig::with_units(&cfg.stack, cfg.ff_units);
         let est_pool = FixedFunctionPool::new(pool_cfg.clone());
+        let isa = (cfg.progr_backend == ProgrBackend::Isa)
+            .then(|| IsaEstimator::new(&progr, &progr_pair));
         Planner {
             cfg,
             cpu,
@@ -186,6 +303,7 @@ impl Planner {
             progr_pool,
             pool_cfg,
             est_pool,
+            isa,
         }
     }
 
@@ -208,6 +326,41 @@ impl Planner {
         } else {
             &self.progr
         }
+    }
+
+    /// Timing/energy of a whole kernel on the ARM core: interpreted when
+    /// the ISA backend is selected (and the kernel lowers), analytic
+    /// otherwise.
+    fn progr_estimate(&self, cost: &CostProfile) -> ComputeEstimate {
+        let pair = self.cfg.operation_pipeline;
+        if let Some(isa) = &self.isa {
+            if let Some(est) = isa.estimate_whole(self.arm_device(), pair, cost) {
+                return est;
+            }
+        }
+        self.arm_device().estimate(cost)
+    }
+
+    /// ARM-side estimate and busy time for the recursive scheme. The
+    /// analytic path charges `PIM_CALL` per kernel call on top of the
+    /// device busy time; the ISA path interprets binary #4, whose
+    /// `call_fixed` issue cycles already carry that cost.
+    fn recursive_arm_estimate(
+        &self,
+        cost: &CostProfile,
+        ma: &CostProfile,
+        rest: &CostProfile,
+    ) -> (ComputeEstimate, Seconds) {
+        let pair = self.cfg.operation_pipeline;
+        if let Some(isa) = &self.isa {
+            if let Some(est) = isa.estimate_recursive(self.arm_device(), pair, cost, rest) {
+                return (est, est.compute_time.max(est.memory_time));
+            }
+        }
+        let est = self.arm_device().estimate(rest);
+        let busy =
+            est.compute_time.max(est.memory_time) + PIM_CALL * kernel_calls(ma.ma_flops()) as f64;
+        (est, busy)
     }
 
     /// Host-side kernel calls are cheaper on the hetero hardware even
@@ -249,7 +402,7 @@ impl Planner {
                 let est = if kind == PlanKind::ProgrPool {
                     self.progr_pool.estimate(cost)
                 } else {
-                    self.arm_device().estimate(cost)
+                    self.progr_estimate(cost)
                 };
                 let busy = est.compute_time.max(est.memory_time);
                 let sync_raw = est.dispatch_time + HOST_PROGR_SYNC;
@@ -338,10 +491,8 @@ impl Planner {
             PlanKind::Recursive { units } => {
                 let (ma, rest) = split_cost(cost);
                 let ff = self.est_pool.estimate_ma(&ma, units, false);
-                let arm = self.arm_device().estimate(&rest);
+                let (arm, arm_busy) = self.recursive_arm_estimate(cost, &ma, &rest);
                 let ff_busy = ff.compute_time.max(ff.memory_time);
-                let arm_busy = arm.compute_time.max(arm.memory_time)
-                    + PIM_CALL * kernel_calls(ma.ma_flops()) as f64;
                 // Phases and fixed-function sub-kernels overlap inside the
                 // single recursive kernel (Fig. 6).
                 let duration = ff_busy.max(arm_busy) + PIM_INTERNAL_SYNC;

@@ -309,3 +309,65 @@ mod fault_tests {
         assert!(out.counters.get("faults/quarantined_units") >= 1.0);
     }
 }
+
+mod isa_tests {
+    use super::*;
+
+    #[test]
+    fn isa_backend_runs_and_stays_close_to_analytic() {
+        let kind = ModelKind::AlexNet;
+        let analytic = run(EngineConfig::preset(SystemPreset::Hetero), kind, 2);
+        let interpreted = run(
+            EngineConfig::preset(SystemPreset::Hetero).with_progr_backend(ProgrBackend::Isa),
+            kind,
+            2,
+        );
+        assert!(interpreted.is_well_formed());
+        let delta = (interpreted.makespan.seconds() - analytic.makespan.seconds()).abs()
+            / analytic.makespan.seconds();
+        // The ISA backend rounds issue cycles and bytes, and folds call
+        // dispatch into the compute term; it must stay a refinement of the
+        // analytic model, not a different model.
+        assert!(delta < 0.05, "makespan delta {delta} too large");
+    }
+
+    #[test]
+    fn isa_backend_is_deterministic() {
+        let cfg = EngineConfig::preset(SystemPreset::Hetero).with_progr_backend(ProgrBackend::Isa);
+        let a = run(cfg.clone(), ModelKind::Dcgan, 2);
+        let b = run(cfg, ModelKind::Dcgan, 2);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.dynamic_energy, b.dynamic_energy);
+    }
+
+    #[test]
+    fn isa_backend_distinguishes_fingerprints() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let spec = WorkloadSpec {
+            graph: model.graph(),
+            steps: 1,
+            cpu_progr_only: false,
+        };
+        let request = RunRequest::new(&[spec]);
+        let analytic = EngineConfig::preset(SystemPreset::Hetero);
+        let isa = analytic.clone().with_progr_backend(ProgrBackend::Isa);
+        assert_ne!(request.fingerprint(&analytic), request.fingerprint(&isa));
+        // The default backend is Analytic — presets are unchanged.
+        assert_eq!(analytic.progr_backend, ProgrBackend::Analytic);
+    }
+
+    #[test]
+    fn progr_pool_stays_analytic_under_the_isa_backend() {
+        // The ProgrOnly baseline never places on the single ARM device, so
+        // the backend toggle must not move its numbers.
+        let kind = ModelKind::Lstm;
+        let analytic = run(EngineConfig::preset(SystemPreset::ProgrOnly), kind, 2);
+        let isa = run(
+            EngineConfig::preset(SystemPreset::ProgrOnly).with_progr_backend(ProgrBackend::Isa),
+            kind,
+            2,
+        );
+        assert_eq!(analytic.makespan, isa.makespan);
+        assert_eq!(analytic.dynamic_energy, isa.dynamic_energy);
+    }
+}

@@ -54,8 +54,8 @@ pub mod sync;
 pub mod verify;
 
 pub use engine::{
-    Engine, EngineConfig, Partitioning, PlanRow, ResourceClass, RunOptions, RunOutput, RunRequest,
-    RunResponse, SystemMode, SystemPreset, TimelineEntry, WorkloadSpec,
+    Engine, EngineConfig, Partitioning, PlanRow, ProgrBackend, ResourceClass, RunOptions,
+    RunOutput, RunRequest, RunResponse, SystemMode, SystemPreset, TimelineEntry, WorkloadSpec,
 };
 pub use fuzz::TieBreak;
 pub use session::TrainingSession;

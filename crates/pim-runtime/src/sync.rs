@@ -62,4 +62,12 @@ mod tests {
         assert_eq!(kernel_calls(CALL_GRANULARITY_FLOPS), 1);
         assert_eq!(kernel_calls(CALL_GRANULARITY_FLOPS + 1.0), 2);
     }
+
+    #[test]
+    fn isa_lowering_uses_the_same_call_granularity() {
+        // pim-isa cannot depend on pim-runtime, so it carries its own copy
+        // of the granularity; the ISA ground truth is only comparable to
+        // the analytic model while the two stay identical.
+        assert_eq!(pim_isa::CALL_GRANULARITY_FLOPS, CALL_GRANULARITY_FLOPS);
+    }
 }

@@ -6,6 +6,8 @@
 //! seeded fault-degradation sweep,
 //! `repro fuzz [--seeds N] [--seed N] [--models a,b] [--presets p,q] [--steps N]` for the
 //! order-invariance fuzz sweep (pass 5),
+//! `repro isa [--models a,b] [--steps N]` for the analytic-vs-interpreted
+//! ISA-backend delta table,
 //! `repro search [--beam N] [--rounds N] [--branch N] [--seed N]
 //! [--models a,b] [--steps N]` for the beam-search oracle-gap table,
 //! `repro --trace <path> [model]` to export a Chrome trace of one
@@ -44,6 +46,7 @@ const USAGE: &str = "usage: repro [SECTION | all | config | csv]
        repro schedule [MODEL]
        repro faults [--seed N] [--rate R] [--models a,b,..] [--steps N]
        repro fuzz [--seeds N] [--seed N] [--models a,b,..] [--presets p,q,..] [--steps N]
+       repro isa [--models a,b,..] [--steps N]
        repro search [--beam N] [--rounds N] [--branch N] [--seed N]
                     [--models a,b,..] [--steps N]
        repro --trace <path> [MODEL]
@@ -93,6 +96,7 @@ fn main() {
         "schedule" => run_schedule_preview(),
         "faults" => run_faults_cli(),
         "fuzz" => run_fuzz_cli(),
+        "isa" => run_isa_cli(),
         "search" => run_search_cli(),
         "serve" => run_serve_cli(),
         "csv" => match pim_sim::report::evaluation_grid(3) {
@@ -277,6 +281,50 @@ fn run_faults_cli() {
         Ok(table) => print!("{table}"),
         Err(e) => {
             eprintln!("faults failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The ISA-backend differential table (`repro isa`): every requested
+/// model simulated under the Hetero preset with the analytic and the
+/// interpreted `pim_isa` programmable-PIM backend, with relative
+/// makespan/energy deltas per model. Deterministic; byte-identical
+/// across runs and thread counts. Not part of `repro all` — the ISA
+/// backend never perturbs the paper-figure output.
+fn run_isa_cli() {
+    use pim_common::cli::parse_value;
+    use pim_sim::isa;
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut kinds: Vec<ModelKind> = isa::DEFAULT_MODELS.to_vec();
+    let mut steps = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--models", Some(v)) => {
+                kinds = v.split(',').map(|m| model_arg(Some(m.trim()))).collect();
+            }
+            ("--steps", Some(v)) => {
+                steps = parse_value("--steps", v).unwrap_or_else(|e| usage_error(&e));
+                if steps == 0 {
+                    usage_error("--steps must be at least 1");
+                }
+            }
+            (flag, _) => usage_error(&format!("unknown or incomplete isa flag `{flag}`")),
+        }
+        i += 2;
+    }
+    match isa::isa_delta_table(&kinds, steps) {
+        Ok(table) => {
+            print!("{table}");
+            if table.contains("OUT OF BOUND") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("isa failed: {e}");
             std::process::exit(1);
         }
     }

@@ -18,6 +18,8 @@
 //!   prints them,
 //! * [`faults`] — the seeded fault-injection degradation sweep
 //!   (`repro faults`): makespan/energy vs fault rate per preset,
+//! * [`isa`] — the ISA-backend differential (`repro isa`): analytic vs
+//!   interpreted programmable-PIM timing per model,
 //! * [`orders`] — the order-invariance fuzz sweep (`repro fuzz`) and the
 //!   beam-search oracle-gap table (`repro search`),
 //! * [`serve`] — the engine-backed job runner, shared result store, and
@@ -48,6 +50,7 @@ pub mod configs;
 pub mod experiments;
 pub mod faults;
 pub mod gpu;
+pub mod isa;
 pub mod mixed;
 pub mod orders;
 pub mod report;

@@ -104,3 +104,38 @@ fn fault_sweep_is_deterministic_across_processes() {
     assert!(table.contains("== AlexNet @ Hetero PIM =="), "{table}");
     assert!(table.contains("degradation"), "{table}");
 }
+
+#[test]
+fn isa_bad_flags_are_usage_errors() {
+    for args in [
+        &["isa", "--frobnicate"][..],
+        &["isa", "--models", "nope"][..],
+        &["isa", "--steps", "0"][..],
+        &["isa", "--steps", "abc"][..],
+        &["isa", "--models"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("usage:"),
+            "{args:?}: {}",
+            stderr(&out)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} printed before failing");
+    }
+}
+
+#[test]
+fn isa_table_is_deterministic_across_processes() {
+    let args = &["isa", "--models", "alex,dcgan", "--steps", "1"];
+    let a = repro(args);
+    let b = repro(args);
+    assert_eq!(a.status.code(), Some(0), "{}", stderr(&a));
+    assert_eq!(a.stdout, b.stdout, "isa table must be byte-identical");
+    let table = String::from_utf8_lossy(&a.stdout).into_owned();
+    assert!(table.contains("analytic vs interpreted"), "{table}");
+    assert!(table.contains("AlexNet"), "{table}");
+    assert!(table.contains("DCGAN"), "{table}");
+    assert!(table.contains("within bound"), "{table}");
+    assert!(!table.contains("OUT OF BOUND"), "{table}");
+}

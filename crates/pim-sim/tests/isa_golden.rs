@@ -1,0 +1,85 @@
+//! Golden snapshot of one lowered ISA program: AlexNet's first forward
+//! convolution, lowered both as the whole kernel (binary #1's shape) and
+//! as the programmable binary #4 with its `call_fixed` sites, plus the
+//! interpreter's execution summary for each. Any change to the lowering
+//! rules, the encoding, or the interpreter's accounting shows up as a
+//! readable diff instead of silent drift. To accept an intended change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pim-sim --test isa_golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use pim_graph::cost::graph_costs;
+use pim_graph::node::OpKind;
+use pim_hw::arm::ProgrammablePim;
+use pim_isa::{lower_binary, lower_kernel, Machine};
+use pim_mem::stack::StackConfig;
+use pim_models::ModelKind;
+use pim_opencl::binary::BinarySet;
+use pim_opencl::kir::KernelSource;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/alexnet_conv_isa.txt"
+);
+
+fn render() -> String {
+    let model = pim_sim::cache::model(ModelKind::AlexNet).unwrap();
+    let costs = graph_costs(model.graph()).unwrap();
+    let (op, cost) = model
+        .graph()
+        .ops()
+        .iter()
+        .zip(&costs)
+        .find(|(op, cost)| matches!(op.kind, OpKind::Conv2D(_)) && cost.is_well_formed())
+        .expect("AlexNet has a forward convolution");
+    let kernel = KernelSource::from_cost(op.kind.tf_name(), cost);
+    let machine = Machine::for_arm(&ProgrammablePim::cortex_a9(&StackConfig::hmc2(), 4));
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# AlexNet op{} ({}) — lowered ISA programs, Cortex-A9 interpreter",
+        op.id.index(),
+        kernel.name
+    )
+    .unwrap();
+    let whole = lower_kernel(&kernel, cost).unwrap();
+    writeln!(out, "\n== whole kernel (binary #1) ==").unwrap();
+    write!(out, "{}", whole.disassemble()).unwrap();
+    writeln!(out, "summary: {}", machine.run(&whole).unwrap().render()).unwrap();
+    writeln!(out, "encoded: {} bytes", whole.encode().len()).unwrap();
+
+    let set = BinarySet::generate(kernel).unwrap();
+    let progr = lower_binary(&set, cost).unwrap();
+    writeln!(out, "\n== programmable binary #4 ==").unwrap();
+    write!(out, "{}", progr.disassemble()).unwrap();
+    writeln!(out, "summary: {}", machine.run(&progr).unwrap().render()).unwrap();
+    writeln!(out, "encoded: {} bytes", progr.encode().len()).unwrap();
+    out
+}
+
+#[test]
+fn alexnet_conv_lowering_matches_golden_snapshot() {
+    let actual = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing — regenerate with UPDATE_GOLDEN=1");
+    if expected != actual {
+        for (n, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(e, a, "golden mismatch at line {}", n + 1);
+        }
+        assert_eq!(
+            expected.lines().count(),
+            actual.lines().count(),
+            "golden snapshot length changed"
+        );
+        unreachable!("strings differ but no line did");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pim-verify [--all-models | --model NAME] [--steps N] [--faults SEED,RATE]
-//!            [--orders N,SEED] [--format text|json]
+//!            [--orders N,SEED] [--isa] [--format text|json]
 //! ```
 //!
 //! Runs the graph, KIR, schedule, and report passes and prints every
@@ -10,7 +10,10 @@
 //! under a seeded fault plan through the fault-aware schedule checker.
 //! With `--orders`, additionally runs the pass-5 order-invariance fuzz:
 //! N seeded tie-break permutations per configuration, each compared
-//! against the stable order. Exits 2 when the arguments are invalid
+//! against the stable order. With `--isa`, additionally lowers every
+//! kernel to a `pim_isa` program, validates and interprets it, and
+//! matches the exact tallies against the Fig. 4 extraction (pass 6).
+//! Exits 2 when the arguments are invalid
 //! (the [`pim_common::cli`] contract shared with `repro`), 1 when any
 //! finding has error severity, 0 otherwise — warnings do not fail the
 //! run.
@@ -20,7 +23,7 @@ use std::process::ExitCode;
 
 use pim_common::cli::{parse_pair, parse_value, require_in_range, usage_error};
 use pim_models::ModelKind;
-use pim_verify::{verify_model, verify_model_faults, verify_model_orders};
+use pim_verify::{verify_model, verify_model_faults, verify_model_isa, verify_model_orders};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -33,14 +36,15 @@ struct Args {
     steps: usize,
     faults: Option<(u64, f64)>,
     orders: Option<(usize, u64)>,
+    isa: bool,
     format: Format,
 }
 
 const USAGE: &str = "usage: pim-verify [--all-models | --model NAME] [--steps N] \
-[--faults SEED,RATE] [--orders N,SEED] [--format text|json]
+[--faults SEED,RATE] [--orders N,SEED] [--isa] [--format text|json]
 
-Runs the graph, KIR, schedule, report, and (opt-in) order-invariance
-verification passes.
+Runs the graph, KIR, schedule, report, and (opt-in) order-invariance and
+ISA ground-truth verification passes.
 
 options:
   --all-models       check every evaluated workload (default)
@@ -52,6 +56,9 @@ options:
                      through the fault-aware schedule checker
   --orders N,SEED    additionally fuzz N seeded tie-break permutations per
                      configuration against the stable order (pass 5)
+  --isa              additionally lower every kernel to an ISA program,
+                     validate + interpret it, and match the exact mul/add
+                     tallies against the Fig. 4 extraction (pass 6)
   --format FMT       output format: text (default) or json
   --help             print this message";
 
@@ -81,6 +88,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut steps = 2usize;
     let mut faults: Option<(u64, f64)> = None;
     let mut orders: Option<(usize, u64)> = None;
+    let mut isa = false;
     let mut format = Format::Text;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -106,6 +114,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let value = it.next().ok_or("--orders requires N,SEED")?;
                 orders = Some(parse_orders(value)?);
             }
+            "--isa" => isa = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
@@ -121,6 +130,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         steps,
         faults,
         orders,
+        isa,
         format,
     })
 }
@@ -159,6 +169,9 @@ fn main() -> ExitCode {
                         orders,
                         seed,
                     )?);
+                }
+                if args.isa {
+                    model_diags.extend(verify_model_isa(*kind, kind.paper_batch_size())?);
                 }
                 Ok(model_diags)
             });

@@ -1,0 +1,228 @@
+//! Pass 6 — ISA ground truth (DESIGN.md §4.12).
+//!
+//! Pass 2 checks that binary generation *conserves* multiply/add work;
+//! this pass checks that the programmable PIM would actually *execute*
+//! it. Every op's kernel is lowered to a `pim_isa` program twice — the
+//! whole kernel (binary #1's shape) and the programmable binary #4 with
+//! its `call_fixed` sites — then validated and interpreted. The
+//! interpreter's exact `u64` tallies must reproduce the Fig. 4
+//! extraction bit-for-bit: executed mul/adds equal the kernel's MulAdd
+//! regions, offloaded mul/adds equal [`BinarySet::extracted_flops`], and
+//! `ld`/`st` traffic equals the cost profile's byte counts. No tolerance:
+//! either the instruction stream performs the extracted work or the
+//! ground-truth claim is false.
+
+use pim_common::Diagnostics;
+use pim_graph::cost::graph_costs;
+use pim_graph::Graph;
+use pim_hw::arm::ProgrammablePim;
+use pim_isa::interp::{ExecSummary, Machine};
+use pim_isa::isa::Program;
+use pim_isa::lower::{lower_binary, lower_kernel};
+use pim_isa::validate::validate;
+use pim_opencl::binary::BinarySet;
+use pim_opencl::kir::{KernelSource, Region};
+use pim_runtime::engine::{EngineConfig, SystemPreset};
+
+/// The pass name stamped on every diagnostic this module emits.
+pub const PASS: &str = "isa";
+
+/// The machine model the pass interprets on: the Hetero preset's
+/// programmable PIM (full core complement, nominal stack).
+pub fn default_machine() -> Machine {
+    let cfg = EngineConfig::preset(SystemPreset::Hetero);
+    Machine::for_arm(&ProgrammablePim::cortex_a9(&cfg.stack, cfg.arm_cores))
+}
+
+/// Runs the ISA pass over every op of a graph.
+pub fn verify_isa(model: &str, graph: &Graph) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let costs = match graph_costs(graph) {
+        Ok(costs) => costs,
+        Err(err) => {
+            diags.error(
+                PASS,
+                model.to_string(),
+                format!("cost characterization failed: {err}"),
+            );
+            return diags;
+        }
+    };
+    let machine = default_machine();
+    for (op, cost) in graph.ops().iter().zip(&costs) {
+        if !cost.is_well_formed() {
+            continue; // pass 2 owns this finding
+        }
+        let kernel = KernelSource::from_cost(op.kind.tf_name(), cost);
+        let subject = format!("{model}/op{} ({})", op.id.index(), kernel.name);
+        let expected_bytes = cost.bytes_read.bytes().max(0.0).round() as u64
+            + cost.bytes_written.bytes().max(0.0).round() as u64;
+
+        // Binary #1: the whole kernel in-line. Executed tallies must equal
+        // the kernel's own MulAdd regions.
+        let (muls, adds) = kernel_mul_adds(&kernel);
+        match lower_kernel(&kernel, cost) {
+            Ok(program) => {
+                if let Some(summary) = interpret(&subject, "whole", &program, &machine, &mut diags)
+                {
+                    check_tally(
+                        &subject,
+                        "whole executed mul",
+                        summary.executed_muls as f64,
+                        muls,
+                        &mut diags,
+                    );
+                    check_tally(
+                        &subject,
+                        "whole executed add",
+                        summary.executed_adds as f64,
+                        adds,
+                        &mut diags,
+                    );
+                    check_tally(
+                        &subject,
+                        "whole traffic bytes",
+                        summary.traffic_bytes() as f64,
+                        expected_bytes as f64,
+                        &mut diags,
+                    );
+                }
+            }
+            Err(err) => {
+                diags.error(
+                    PASS,
+                    &subject,
+                    format!("whole-kernel lowering failed: {err}"),
+                );
+            }
+        }
+
+        // Binary #4: call sites against binary #3. Offloaded tallies must
+        // equal the Fig. 4 extraction, with nothing left in-line.
+        let Ok(set) = BinarySet::generate(kernel.clone()) else {
+            continue; // pass 2 owns this finding
+        };
+        match lower_binary(&set, cost) {
+            Ok(program) => {
+                if let Some(summary) = interpret(&subject, "progr", &program, &machine, &mut diags)
+                {
+                    check_tally(
+                        &subject,
+                        "offloaded mul/add vs Fig. 4 extraction",
+                        (summary.offloaded_muls + summary.offloaded_adds) as f64,
+                        set.extracted_flops(),
+                        &mut diags,
+                    );
+                    check_tally(
+                        &subject,
+                        "progr residual mul/add",
+                        (summary.executed_muls + summary.executed_adds) as f64,
+                        set.progr.mul_add_flops(),
+                        &mut diags,
+                    );
+                }
+            }
+            Err(err) => {
+                diags.error(
+                    PASS,
+                    &subject,
+                    format!("progr-binary lowering failed: {err}"),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// Total muls/adds across a kernel's MulAdd regions.
+fn kernel_mul_adds(kernel: &KernelSource) -> (f64, f64) {
+    kernel.body.iter().fold((0.0, 0.0), |(m, a), r| match r {
+        Region::MulAdd { muls, adds, .. } => (m + muls, a + adds),
+        _ => (m, a),
+    })
+}
+
+/// Validates and interprets one program, converting failures into
+/// diagnostics. Returns the summary when execution succeeded.
+fn interpret(
+    subject: &str,
+    which: &str,
+    program: &Program,
+    machine: &Machine,
+    diags: &mut Diagnostics,
+) -> Option<ExecSummary> {
+    let before = diags.error_count();
+    extend_program_findings(subject, which, program, diags);
+    if diags.error_count() > before {
+        return None;
+    }
+    match machine.run(program) {
+        Ok(summary) => Some(summary),
+        Err(err) => {
+            diags.error(
+                PASS,
+                subject,
+                format!("{which} program failed to execute: {err}"),
+            );
+            None
+        }
+    }
+}
+
+/// Exact-equality tally check (bit-for-bit, no tolerance).
+fn check_tally(subject: &str, what: &str, got: f64, expected: f64, diags: &mut Diagnostics) {
+    if got != expected {
+        diags.error(
+            PASS,
+            subject,
+            format!("{what}: interpreted {got}, expected exactly {expected}"),
+        );
+    }
+}
+
+/// Runs the structural validator on one program, emitting each violation
+/// as a diagnostic that names the offending instruction. Usable standalone
+/// on hand-corrupted programs (the negative tests).
+pub fn verify_program(subject: &str, program: &Program) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    extend_program_findings(subject, "isa", program, &mut diags);
+    diags
+}
+
+/// Checks one program's interpreted mul/add tallies (executed + offloaded)
+/// against expected totals, exactly. Usable standalone on hand-built
+/// programs (the negative tests).
+pub fn verify_program_tallies(
+    subject: &str,
+    program: &Program,
+    expected_muls: u64,
+    expected_adds: u64,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let machine = default_machine();
+    if let Some(summary) = interpret(subject, "isa", program, &machine, &mut diags) {
+        check_tally(
+            subject,
+            "mul tally",
+            summary.total_muls() as f64,
+            expected_muls as f64,
+            &mut diags,
+        );
+        check_tally(
+            subject,
+            "add tally",
+            summary.total_adds() as f64,
+            expected_adds as f64,
+            &mut diags,
+        );
+    }
+    diags
+}
+
+fn extend_program_findings(subject: &str, which: &str, program: &Program, diags: &mut Diagnostics) {
+    if let Err(violations) = validate(program) {
+        for v in violations {
+            diags.error(PASS, subject, format!("{which} program invalid: {v}"));
+        }
+    }
+}

@@ -18,7 +18,10 @@
 //!   summing to totals,
 //! * [`orders`] — order invariance: seeded tie-break permutations must
 //!   reproduce the stable execution report, and the stable order must
-//!   reproduce itself (opt-in via `--orders N,SEED`).
+//!   reproduce itself (opt-in via `--orders N,SEED`),
+//! * [`isa`] — ISA ground truth: every kernel lowered to a `pim_isa`
+//!   program, validated, interpreted, and its exact tallies matched
+//!   bit-for-bit against the Fig. 4 extraction (opt-in via `--isa`).
 //!
 //! The `pim-verify` binary runs every pass over all seven model graphs
 //! under every engine configuration; `Severity::Error` findings fail the
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod graph;
+pub mod isa;
 pub mod kir;
 pub mod orders;
 pub mod report;
@@ -53,6 +57,7 @@ use pim_sim::baselines::simulate_neurocube;
 use pim_sim::gpu::simulate_gpu;
 
 pub use graph::verify_graph;
+pub use isa::{verify_isa, verify_program, verify_program_tallies};
 pub use kir::{verify_binaries, verify_kernel_source};
 pub use orders::verify_orders;
 pub use report::verify_report;
@@ -171,6 +176,19 @@ pub fn verify_model_orders(
         ));
     }
     Ok(diags)
+}
+
+/// Runs the ISA ground-truth pass over one model: every kernel lowered,
+/// validated, interpreted, and its exact tallies matched against the
+/// Fig. 4 extraction.
+///
+/// # Errors
+///
+/// Propagates model-construction failures; analysis findings are returned
+/// as diagnostics, never as errors.
+pub fn verify_model_isa(kind: ModelKind, batch: usize) -> Result<Diagnostics> {
+    let model = Model::build_with_batch(kind, batch)?;
+    Ok(verify_isa(kind.name(), model.graph()))
 }
 
 /// [`verify_model`] over all seven evaluated workloads at their paper

@@ -73,3 +73,24 @@ fn order_fuzz_of_one_model_is_clean() {
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
     assert!(stderr(&out).contains("0 error(s)"));
 }
+
+#[test]
+fn isa_flag_rejects_an_operand_like_any_unknown_argument() {
+    // `--isa` takes no operand; a stray value is an unknown argument on
+    // the shared usage-error exit code.
+    let out = pim_verify(&["--isa", "whole"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown argument `whole`"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn isa_pass_on_one_model_is_clean_and_stable() {
+    let args = &["--model", "alexnet", "--steps", "1", "--isa"];
+    let a = pim_verify(args);
+    assert_eq!(a.status.code(), Some(0), "{}", stderr(&a));
+    assert!(stderr(&a).contains("0 error(s)"));
+    let b = pim_verify(args);
+    assert_eq!(a.stdout, b.stdout, "isa pass output must be stable");
+}

@@ -206,3 +206,108 @@ fn graph_pass_catches_use_before_definition() {
     let diags = verify_graph("phantom", &g);
     assert_errors_in_pass(&diags, pim_verify::graph::PASS, "use before definition");
 }
+
+// ---------------------------------------------------------------------
+// Negative: hand-corrupted ISA programs are caught by pass 6 with a
+// diagnostic naming the offending instruction.
+// ---------------------------------------------------------------------
+
+/// A minimal valid program: load, counted Fma loop, one fixed-kernel
+/// call drained by a sync, store, halt. Each corruption below breaks
+/// exactly one invariant of it.
+fn valid_isa_program() -> pim_isa::Program {
+    use pim_isa::{Ctr, FixedEntry, Inst, Program, Reg};
+    Program {
+        name: "corruptible".to_string(),
+        regions: vec![4096, 1024],
+        fixed_kernels: vec![FixedEntry {
+            muls: 100,
+            adds: 100,
+            calls: 1,
+        }],
+        code: vec![
+            Inst::Ld {
+                dst: Reg(0),
+                region: 0,
+                bytes: 4096,
+            },
+            Inst::SetCnt {
+                ctr: Ctr(0),
+                trips: 4,
+            },
+            Inst::Fma {
+                dst: Reg(2),
+                a: Reg(0),
+                b: Reg(1),
+                elems: 250,
+            },
+            Inst::DecJnz {
+                ctr: Ctr(0),
+                target: 2,
+            },
+            Inst::CallFixed { kernel: 0 },
+            Inst::Sync,
+            Inst::St {
+                src: Reg(2),
+                region: 1,
+                bytes: 1024,
+            },
+            Inst::Halt,
+        ],
+    }
+}
+
+#[test]
+fn isa_pass_accepts_the_uncorrupted_program() {
+    let p = valid_isa_program();
+    assert!(pim_verify::verify_program("base", &p).is_clean());
+    // 4 trips x 250 fma = 1000 executed muls/adds, plus the offloaded
+    // fixed kernel's 100/100.
+    assert!(pim_verify::verify_program_tallies("base", &p, 1100, 1100).is_clean());
+}
+
+#[test]
+fn isa_pass_catches_out_of_range_region() {
+    use pim_isa::{Inst, Reg};
+    let mut p = valid_isa_program();
+    p.code[0] = Inst::Ld {
+        dst: Reg(0),
+        region: 9,
+        bytes: 4096,
+    };
+    let diags = pim_verify::verify_program("bad-region", &p);
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "inst 0 (ld)");
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "region r9 out of range");
+}
+
+#[test]
+fn isa_pass_catches_call_to_missing_kernel() {
+    use pim_isa::Inst;
+    let mut p = valid_isa_program();
+    p.code[4] = Inst::CallFixed { kernel: 3 };
+    let diags = pim_verify::verify_program("bad-call", &p);
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "inst 4 (callfixed)");
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "calls fixed kernel k3");
+}
+
+#[test]
+fn isa_pass_catches_missing_halt() {
+    let mut p = valid_isa_program();
+    p.code.pop();
+    let diags = pim_verify::verify_program("no-halt", &p);
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "missing terminal Halt");
+}
+
+#[test]
+fn isa_pass_catches_mul_add_tally_mismatch() {
+    // The program is structurally valid but performs 1100/1100 mul/adds;
+    // claiming 1200 multiplications must be rejected exactly.
+    let p = valid_isa_program();
+    let diags = pim_verify::verify_program_tallies("short-work", &p, 1200, 1100);
+    assert_errors_in_pass(&diags, pim_verify::isa::PASS, "mul tally");
+    assert_errors_in_pass(
+        &diags,
+        pim_verify::isa::PASS,
+        "interpreted 1100, expected exactly 1200",
+    );
+}
