@@ -177,6 +177,18 @@ grep -q '"cross_tenant_hits":[1-9]' "$serve_a"
 cargo run --release -q -p pim-sim --bin repro -- \
     serve --load 300 --seed 1 --sample 20 > /dev/null
 
+# Chaos smoke: the seeded resilience harness (adversarial schedule,
+# exactly-once + breaker-conformance + worker-matrix + kill-restart
+# recovery + disconnect invariants, DESIGN.md §4.13) must pass and its
+# summary must be byte-identical across runs and pinned worker counts.
+chaos_a=$(mktemp) chaos_b=$(mktemp)
+trap 'rm -f "$repro_a" "$repro_b" "$trace_a" "$trace_b" "$faults_a" "$faults_b" "$isa_a" "$isa_b" "$serve_trace" "$serve_a" "$serve_b" "$chaos_a" "$chaos_b" "${bench_json:-}"' EXIT
+PIM_RUN_THREADS=1 cargo run --release -q -p pim-sim --bin repro -- \
+    chaos --seed 1 --ops 500 > "$chaos_a"
+PIM_RUN_THREADS=4 cargo run --release -q -p pim-sim --bin repro -- \
+    chaos --seed 1 --ops 500 > "$chaos_b"
+diff "$chaos_a" "$chaos_b"
+
 # Observability: the Chrome-trace export must be byte-identical across
 # runs and structurally valid (parses, ph/ts/pid/tid present, per-track
 # timestamps monotone — `repro tracecheck` gates all of it).

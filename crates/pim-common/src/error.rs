@@ -77,6 +77,24 @@ pub enum PimError {
         /// Number of extracted fixed-function kernels actually available.
         available: usize,
     },
+    /// Execution observed a cooperative cancellation request and stopped
+    /// at the next check site (the component next-tick merge).
+    Cancelled {
+        /// Events the run had retired when the cancellation was observed.
+        after_events: u64,
+    },
+    /// Execution exceeded a deterministic resource budget — an
+    /// event-count fuel limit or a simulated-time deadline — and stopped
+    /// at the next check site. Budgets are pure functions of the run
+    /// request, so this outcome byte-replays across processes and thread
+    /// counts.
+    BudgetExhausted {
+        /// Which budget tripped: `"events"` (fuel in retired events) or
+        /// `"deadline-us"` (simulated-time horizon in microseconds).
+        budget: &'static str,
+        /// The configured limit, in the budget's unit.
+        limit: u64,
+    },
     /// The simulator reached an inconsistent state (a bug, not user error).
     Internal {
         /// Description of the invariant that failed.
@@ -124,6 +142,12 @@ impl fmt::Display for PimError {
                 "kernel {kernel} calls fixed-function kernel {index}, \
                  but only {available} were extracted"
             ),
+            PimError::Cancelled { after_events } => {
+                write!(f, "run cancelled after {after_events} events")
+            }
+            PimError::BudgetExhausted { budget, limit } => {
+                write!(f, "run exceeded its {budget} budget of {limit}")
+            }
             PimError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
@@ -184,6 +208,17 @@ mod tests {
         assert!(text.contains("Conv2D_progr"));
         assert!(text.contains('3'));
         assert!(text.contains("only 1"));
+    }
+
+    #[test]
+    fn cancellation_and_budget_displays_carry_the_numbers() {
+        let c = PimError::Cancelled { after_events: 42 };
+        assert_eq!(c.to_string(), "run cancelled after 42 events");
+        let b = PimError::BudgetExhausted {
+            budget: "events",
+            limit: 1000,
+        };
+        assert_eq!(b.to_string(), "run exceeded its events budget of 1000");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use super::faults::{
     backoff_after, decide, extend_timeout, lane_for, scale_planned, stretch_planned,
     AttemptOutcome, Fate, FaultContext,
 };
+use super::limits::RunLimits;
 use super::observe::{Observer, OpRecord, ResourceClass, TimelineEntry, TimelineSink};
 use super::placement::{
     resource_class, Availability, PlanKind, PlannedOp, Planner, PLACEMENT_DECISION,
@@ -47,9 +48,11 @@ pub(crate) fn run_serialized(
     planner: &Planner,
     prepared: &[Prepared<'_>],
     obs: &mut Observer<'_>,
+    limits: &RunLimits,
 ) -> Result<ExecutionReport> {
     let mut acc = Accumulator::default();
     let mut clock = Clock::new();
+    let mut gauge = limits.gauge();
     for (w, wl) in prepared.iter().enumerate() {
         let ops = wl.spec.graph.ops();
         // With everything free, placement is availability-independent:
@@ -105,6 +108,9 @@ pub(crate) fn run_serialized(
                     obs.ff_delta(clock.now(), -(planned.ff_units as isize));
                 }
                 obs.completed();
+                // One "event" per op instance: this driver has no next-tick
+                // merge, so the budget check rides the serial op loop.
+                gauge.tick(clock.now())?;
                 if planner.cfg.mode == SystemMode::Hetero {
                     clock.advance(PLACEMENT_DECISION);
                     acc.sync_raw += PLACEMENT_DECISION;
@@ -281,8 +287,10 @@ pub(crate) fn run_scheduled(
     prepared: &[Prepared<'_>],
     obs: &mut Observer<'_>,
     tie: TieBreak,
+    limits: &RunLimits,
 ) -> Result<ExecutionReport> {
     let mut rs = ReadySet::new(prepared);
+    let mut gauge = limits.gauge();
 
     let mut comps = ComponentSlab::new(tie);
     let resources = comps.register(Comp::Resources(ResourceSoA::new(planner)));
@@ -414,6 +422,10 @@ pub(crate) fn run_scheduled(
             unreachable!("earliest() only returns components with a pending tick")
         };
         clock.jump_to_fs(t_fs);
+        // The budget check site: once per retired event at the component
+        // next-tick merge. On the unbounded default this is a counter
+        // increment plus two never-true compares.
+        gauge.tick(clock.now())?;
         let Retired::Op(done) = retired else {
             return Err(PimError::internal(
                 "zero-fault event core retired a non-op event",
@@ -486,9 +498,11 @@ pub(crate) fn run_serialized_faulted(
     prepared: &[Prepared<'_>],
     obs: &mut Observer<'_>,
     faults: &FaultContext,
+    limits: &RunLimits,
 ) -> Result<ExecutionReport> {
     let mut acc = Accumulator::default();
     let mut clock = Clock::new();
+    let mut gauge = limits.gauge();
     let mut ff_alive = planner.cfg.ff_units - faults.initial_ff;
     let mut progr_alive = !faults.initial_progr_dead;
     if faults.initial_ff > 0 {
@@ -604,6 +618,9 @@ pub(crate) fn run_serialized_faulted(
                         obs.ff_delta(start, charge.ff_units as isize);
                     }
                     clock.advance(end - start);
+                    // One "event" per attempt (retries and re-dispatches
+                    // count — fuel must bound a run that never completes).
+                    gauge.tick(clock.now())?;
                     if charge.ff_units > 0 {
                         obs.ff_delta(clock.now(), -(charge.ff_units as isize));
                     }
@@ -657,8 +674,10 @@ pub(crate) fn run_scheduled_faulted(
     obs: &mut Observer<'_>,
     faults: &FaultContext,
     tie: TieBreak,
+    limits: &RunLimits,
 ) -> Result<ExecutionReport> {
     let mut rs = ReadySet::new(prepared);
+    let mut gauge = limits.gauge();
     // Attempt counter per instance (indexed step * ops + op).
     let mut attempts: Vec<Vec<u32>> = prepared
         .iter()
@@ -796,6 +815,10 @@ pub(crate) fn run_scheduled_faulted(
             unreachable!("earliest() only returns components with a pending tick")
         };
         clock.jump_to_fs(t_fs);
+        // Same check site as `run_scheduled`: once per retired event at
+        // the next-tick merge (retry wakes and strikes count as events,
+        // so fuel bounds a run that keeps faulting forever).
+        gauge.tick(clock.now())?;
         match retired {
             Retired::Stale => {} // killed by a strike; already accounted
             Retired::Op(rec) => {

@@ -37,10 +37,13 @@ mod components;
 mod drivers;
 mod events;
 pub mod faults;
+mod limits;
 mod observe;
 mod placement;
 #[cfg(test)]
 mod tests;
+
+pub use limits::{CancelToken, RunLimits};
 
 pub(crate) use events::SCHED_TRACK;
 pub use events::{
@@ -339,6 +342,13 @@ pub struct RunRequest<'g> {
     pub faults: FaultPlan,
     /// Shared co-run vs. independent partitions.
     pub partitioning: Partitioning,
+    /// Execution bounds: event-count fuel, simulated-time deadline, and/or
+    /// a cooperative [`CancelToken`]. Unbounded by default. Deliberately
+    /// excluded from [`RunRequest::canonical`]: limits only decide whether
+    /// a run *finishes*, never what a finished run produces, so a
+    /// completed bounded run shares its cache cell with the unbounded run
+    /// (and a tripped run returns an error, which is never cached).
+    pub limits: RunLimits,
 }
 
 impl<'g> RunRequest<'g> {
@@ -349,6 +359,7 @@ impl<'g> RunRequest<'g> {
             options: RunOptions::default(),
             faults: FaultPlan::none(),
             partitioning: Partitioning::Shared,
+            limits: RunLimits::none(),
         }
     }
 
@@ -370,6 +381,14 @@ impl<'g> RunRequest<'g> {
     #[must_use]
     pub fn partitioned(mut self) -> Self {
         self.partitioning = Partitioning::Partitioned;
+        self
+    }
+
+    /// Returns the request with execution bounds replacing the unbounded
+    /// default.
+    #[must_use]
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -575,24 +594,45 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates cost/profiling failures, or an internal error if the
-    /// scheduler wedges (a bug, guarded explicitly). Partitioned requests
-    /// propagate the first failure among the partitions, in input order.
+    /// scheduler wedges (a bug, guarded explicitly). A request carrying
+    /// [`RunLimits`] additionally returns `PimError::BudgetExhausted`
+    /// when its event fuel or simulated-time deadline trips, and
+    /// `PimError::Cancelled` when its [`CancelToken`] fires — both
+    /// observed at the drivers' per-event check sites, so bounded runs
+    /// that *complete* stay byte-identical to unbounded ones.
+    /// Partitioned requests propagate the first failure among the
+    /// partitions, in input order.
     pub fn execute(&self, request: &RunRequest<'_>) -> Result<RunOutput> {
         match request.partitioning {
             Partitioning::Shared => match self.degraded_engine(&request.faults) {
                 Some((engine, label, eff)) => {
-                    let mut out = engine.run_inner(&request.workloads, &request.options, &eff)?;
+                    let mut out = engine.run_inner(
+                        &request.workloads,
+                        &request.options,
+                        &eff,
+                        &request.limits,
+                    )?;
                     out.degraded = Some(label);
                     Ok(out)
                 }
-                None => self.run_inner(&request.workloads, &request.options, &request.faults),
+                None => self.run_inner(
+                    &request.workloads,
+                    &request.options,
+                    &request.faults,
+                    &request.limits,
+                ),
             },
             Partitioning::Partitioned => {
+                // Each partition gets its own gauge over the same limits —
+                // a shared fuel counter would make the trip point depend on
+                // worker interleaving — while the cancel token inside the
+                // clone stays shared, so one cancel stops every partition.
                 let outs: Vec<RunOutput> = crate::par::par_map(&request.workloads, |wl| {
                     self.execute(
                         &RunRequest::new(&[*wl])
                             .with_options(request.options)
-                            .with_faults(request.faults.clone()),
+                            .with_faults(request.faults.clone())
+                            .with_limits(request.limits.clone()),
                     )
                 })
                 .into_iter()
@@ -712,6 +752,7 @@ impl Engine {
         workloads: &[WorkloadSpec<'_>],
         opts: &RunOptions,
         plan: &FaultPlan,
+        limits: &RunLimits,
     ) -> Result<RunOutput> {
         let verify = cfg!(any(debug_assertions, feature = "verify"));
         let faults = (!plan.is_none()).then(|| FaultContext::new(plan, self.planner.cfg.ff_units));
@@ -738,7 +779,7 @@ impl Engine {
                     &mut *tracer,
                     &self.planner.cfg.name,
                 );
-                let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie)?;
+                let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie, limits)?;
                 obs.finish();
                 report
             };
@@ -752,7 +793,7 @@ impl Engine {
                 &mut *tracer,
                 &self.planner.cfg.name,
             );
-            let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie)?;
+            let report = self.drive(&prepared, &mut obs, faults.as_ref(), opts.tie, limits)?;
             obs.finish();
             (report, None)
         };
@@ -803,6 +844,7 @@ impl Engine {
         obs: &mut Observer<'_>,
         faults: Option<&FaultContext>,
         tie: TieBreak,
+        limits: &RunLimits,
     ) -> Result<ExecutionReport> {
         // The serialized drivers execute one op at a time in topological
         // order — there is no tie surface to permute, so they ignore the
@@ -810,16 +852,16 @@ impl Engine {
         match faults {
             None => {
                 if self.planner.cfg.operation_pipeline {
-                    events::run_scheduled(&self.planner, prepared, obs, tie)
+                    events::run_scheduled(&self.planner, prepared, obs, tie, limits)
                 } else {
-                    events::run_serialized(&self.planner, prepared, obs)
+                    events::run_serialized(&self.planner, prepared, obs, limits)
                 }
             }
             Some(f) => {
                 if self.planner.cfg.operation_pipeline {
-                    events::run_scheduled_faulted(&self.planner, prepared, obs, f, tie)
+                    events::run_scheduled_faulted(&self.planner, prepared, obs, f, tie, limits)
                 } else {
-                    events::run_serialized_faulted(&self.planner, prepared, obs, f)
+                    events::run_serialized_faulted(&self.planner, prepared, obs, f, limits)
                 }
             }
         }

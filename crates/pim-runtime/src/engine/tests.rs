@@ -310,6 +310,199 @@ mod fault_tests {
     }
 }
 
+mod limit_tests {
+    use super::*;
+
+    fn spec(model: &Model, steps: usize) -> WorkloadSpec<'_> {
+        WorkloadSpec {
+            graph: model.graph(),
+            steps,
+            cpu_progr_only: false,
+        }
+    }
+
+    /// The differential guard of the tentpole: compiling the check sites
+    /// in — and even running under generous explicit limits — leaves a
+    /// completed run byte-identical to the unbounded run, on both the
+    /// scheduled and serialized drivers.
+    #[test]
+    fn generous_limits_leave_completed_runs_byte_identical() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let opts = RunOptions {
+            timeline: true,
+            ..RunOptions::default()
+        };
+        for preset in SystemPreset::ALL {
+            let engine = Engine::new(EngineConfig::preset(preset));
+            let base = RunRequest::new(&[spec(&model, 2)]).with_options(opts);
+            let plain = engine.execute(&base).unwrap();
+            let token = CancelToken::new();
+            let bounded = engine
+                .execute(
+                    &base.clone().with_limits(
+                        RunLimits::none()
+                            .with_max_events(u64::MAX / 2)
+                            .with_deadline(Seconds::new(1e6))
+                            .with_cancel(&token),
+                    ),
+                )
+                .unwrap();
+            assert_eq!(plain.report(), bounded.report(), "{preset:?}");
+            assert_eq!(plain.timeline, bounded.timeline, "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn fuel_budget_trips_deterministically() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+        let request =
+            RunRequest::new(&[spec(&model, 4)]).with_limits(RunLimits::none().with_max_events(10));
+        let a = engine.execute(&request).unwrap_err();
+        let b = engine.execute(&request).unwrap_err();
+        assert_eq!(
+            a,
+            PimError::BudgetExhausted {
+                budget: "events",
+                limit: 10
+            }
+        );
+        assert_eq!(a, b, "trip point must be a pure function of the request");
+    }
+
+    #[test]
+    fn fuel_budget_trips_the_serialized_driver_too() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        // FixedHost has no operation pipeline → run_serialized.
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::FixedHost));
+        let err = engine
+            .execute(
+                &RunRequest::new(&[spec(&model, 4)])
+                    .with_limits(RunLimits::none().with_max_events(5)),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PimError::BudgetExhausted {
+                budget: "events",
+                limit: 5
+            }
+        );
+    }
+
+    #[test]
+    fn simulated_deadline_cuts_a_run_short() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+        let full = engine.run(&[spec(&model, 2)]).unwrap().makespan;
+        let err = engine
+            .execute(
+                &RunRequest::new(&[spec(&model, 2)])
+                    .with_limits(RunLimits::none().with_deadline(full * 0.01)),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PimError::BudgetExhausted {
+                    budget: "deadline-us",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // A deadline past the makespan changes nothing.
+        let ok = engine
+            .execute(
+                &RunRequest::new(&[spec(&model, 2)])
+                    .with_limits(RunLimits::none().with_deadline(full * 2.0)),
+            )
+            .unwrap();
+        assert_eq!(ok.report().makespan, full);
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_stops_the_run() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine
+            .execute(
+                &RunRequest::new(&[spec(&model, 2)])
+                    .with_limits(RunLimits::none().with_cancel(&token)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PimError::Cancelled { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn faulted_drivers_honor_fuel_budgets() {
+        use pim_hw::faults::FaultPlan;
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        for preset in [SystemPreset::Hetero, SystemPreset::FixedHost] {
+            let engine = Engine::new(EngineConfig::preset(preset));
+            let horizon = engine.run(&[spec(&model, 2)]).unwrap().makespan;
+            let plan = FaultPlan::seeded(7, 0.2, horizon, engine.config().ff_units);
+            let err = engine
+                .execute(
+                    &RunRequest::new(&[spec(&model, 2)])
+                        .with_faults(plan)
+                        .with_limits(RunLimits::none().with_max_events(5)),
+                )
+                .unwrap_err();
+            assert_eq!(
+                err,
+                PimError::BudgetExhausted {
+                    budget: "events",
+                    limit: 5
+                },
+                "{preset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_fuel_is_per_partition() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let engine = Engine::new(EngineConfig::preset(SystemPreset::Hetero));
+        // Find fuel that just fits one workload as its own partition.
+        let single = RunRequest::new(&[spec(&model, 1)]).partitioned();
+        let mut fuel = 1u64;
+        while engine
+            .execute(
+                &single
+                    .clone()
+                    .with_limits(RunLimits::none().with_max_events(fuel)),
+            )
+            .is_err()
+        {
+            fuel *= 2;
+            assert!(fuel < 1 << 40, "fuel search ran away");
+        }
+        // The same fuel admits two identical partitions: each has its own
+        // gauge, so doubling the workload count must not trip the budget.
+        let double = RunRequest::new(&[spec(&model, 1), spec(&model, 1)])
+            .partitioned()
+            .with_limits(RunLimits::none().with_max_events(fuel));
+        let out = engine.execute(&double).unwrap();
+        assert_eq!(out.reports.len(), 2);
+        assert_eq!(out.reports[0], out.reports[1]);
+    }
+
+    #[test]
+    fn limits_are_excluded_from_the_canonical_identity() {
+        let model = Model::build_with_batch(ModelKind::AlexNet, 16).unwrap();
+        let cfg = EngineConfig::preset(SystemPreset::Hetero);
+        let plain = RunRequest::new(&[spec(&model, 2)]);
+        let bounded = plain
+            .clone()
+            .with_limits(RunLimits::none().with_max_events(7));
+        assert_eq!(plain.canonical(&cfg), bounded.canonical(&cfg));
+        assert_eq!(plain.fingerprint(&cfg), bounded.fingerprint(&cfg));
+    }
+}
+
 mod isa_tests {
     use super::*;
 

@@ -54,8 +54,9 @@ pub mod sync;
 pub mod verify;
 
 pub use engine::{
-    Engine, EngineConfig, Partitioning, PlanRow, ProgrBackend, ResourceClass, RunOptions,
-    RunOutput, RunRequest, RunResponse, SystemMode, SystemPreset, TimelineEntry, WorkloadSpec,
+    CancelToken, Engine, EngineConfig, Partitioning, PlanRow, ProgrBackend, ResourceClass,
+    RunLimits, RunOptions, RunOutput, RunRequest, RunResponse, SystemMode, SystemPreset,
+    TimelineEntry, WorkloadSpec,
 };
 pub use fuzz::TieBreak;
 pub use session::TrainingSession;

@@ -13,11 +13,14 @@
 //! latencies are collected out-of-band in [`DaemonStats`] and never
 //! appear in the response stream.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerSet};
+use crate::journal::{self, Journal};
 use crate::protocol::{self, kind, Op, Request, ServiceCounters};
 use crate::queue::{AdmissionQueue, RejectReason};
 use pim_runtime::ExecutionReport;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -33,6 +36,18 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Upper bound on `steps` per request (admission-time sanity cap).
     pub max_steps: usize,
+    /// Cap on buffered bytes per input line; a longer line is discarded
+    /// to its newline and answered with a structured `malformed` error
+    /// instead of buffering unbounded memory.
+    pub max_line_bytes: usize,
+    /// Per-tenant circuit-breaker tuning ([`BreakerConfig::disabled`] to
+    /// switch breakers off).
+    pub breaker: BreakerConfig,
+    /// Write-ahead journal path for crash-safe recovery (stdin sessions
+    /// only; [`serve_tcp`] clears it because concurrent connections
+    /// cannot share one append stream). `None` — the default — journals
+    /// nothing and recovers nothing.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +57,9 @@ impl Default for ServeConfig {
             tenant_quota: 64,
             workers: 0,
             max_steps: 8,
+            max_line_bytes: 1 << 20,
+            breaker: BreakerConfig::default(),
+            journal: None,
         }
     }
 }
@@ -95,6 +113,15 @@ impl JobError {
     pub fn execution(message: impl Into<String>) -> Self {
         JobError {
             kind: kind::EXECUTION_FAILED,
+            message: message.into(),
+        }
+    }
+
+    /// A `deadline_exceeded` error — the runner cut the simulation off
+    /// at the request's `deadline_ms` budget.
+    pub fn deadline(message: impl Into<String>) -> Self {
+        JobError {
+            kind: kind::DEADLINE_EXCEEDED,
             message: message.into(),
         }
     }
@@ -200,21 +227,46 @@ enum Cell {
 enum Slot {
     /// Response text already known (errors, rejections, cache hits).
     Ready(String),
-    /// A worker will fill it (computations and their waiters). Carries
-    /// the tenant whose admission slot the job holds.
+    /// A worker will fill it (computations and their waiters).
     Waiting,
+}
+
+/// One response slot of the current drain window.
+struct WindowSlot {
+    slot: Slot,
+    /// Tenant holding an admission slot until the next barrier, if any.
+    tenant: Option<String>,
+    /// Whether this run is its tenant's half-open breaker probe.
+    probe: bool,
+    /// Breaker-relevant terminal outcome: `Some(true)` success,
+    /// `Some(false)` strike-worthy failure, `None` neutral.
+    verdict: Option<bool>,
 }
 
 struct CoreState {
     queue: AdmissionQueue<WorkItem>,
-    /// Response slots of the current drain window, in submission order,
-    /// paired with the tenant holding an admission slot (if any).
-    window: Vec<(Slot, Option<String>)>,
+    /// Response slots of the current drain window, in submission order.
+    window: Vec<WindowSlot>,
     ready: usize,
     shutdown: bool,
     cells: HashMap<u64, Cell>,
+    breakers: BreakerSet,
     counters: ServiceCounters,
     latencies_us: Vec<u64>,
+}
+
+impl CoreState {
+    /// Pushes a slot whose response is already known (errors,
+    /// rejections, cache hits) — it holds no admission slot.
+    fn push_ready(&mut self, response: String) {
+        self.window.push(WindowSlot {
+            slot: Slot::Ready(response),
+            tenant: None,
+            probe: false,
+            verdict: None,
+        });
+        self.ready += 1;
+    }
 }
 
 struct Core {
@@ -234,6 +286,7 @@ impl Core {
                 ready: 0,
                 shutdown: false,
                 cells: HashMap::new(),
+                breakers: BreakerSet::new(cfg.breaker),
                 counters: ServiceCounters::default(),
                 latencies_us: Vec::new(),
             }),
@@ -290,7 +343,7 @@ impl Core {
                         &result.reports,
                         result.degraded.as_deref(),
                     );
-                    fill(&mut state, item.window_idx, ok);
+                    fill(&mut state, item.window_idx, ok, Some(true));
                     state.counters.ok += 1;
                     for w in &waiters {
                         let resp = protocol::render_ok(
@@ -300,7 +353,12 @@ impl Core {
                             &result.reports,
                             result.degraded.as_deref(),
                         );
-                        fill(&mut state, w.window_idx, resp);
+                        // Waiter verdicts are neutral: whether a duplicate
+                        // coalesces (waiter) or lands on a completed cell
+                        // (plain cache hit) depends on worker timing, and
+                        // only the former would be observed — so neither
+                        // may touch the breaker.
+                        fill(&mut state, w.window_idx, resp, None);
                         state.counters.ok += 1;
                     }
                     state.cells.insert(
@@ -312,12 +370,17 @@ impl Core {
                     );
                 }
                 Err(e) => {
+                    // Only terminal service failures strike the breaker;
+                    // a bad_request is the client's fault, not the cell's.
+                    let verdict = (e.kind == kind::EXECUTION_FAILED
+                        || e.kind == kind::DEADLINE_EXCEEDED)
+                        .then_some(false);
                     let resp = protocol::render_error(Some(&item.req.id), e.kind, &e.message);
-                    fill(&mut state, item.window_idx, resp);
+                    fill(&mut state, item.window_idx, resp, verdict);
                     state.counters.errors += 1;
                     for w in &waiters {
                         let resp = protocol::render_error(Some(&w.id), e.kind, &e.message);
-                        fill(&mut state, w.window_idx, resp);
+                        fill(&mut state, w.window_idx, resp, None);
                         state.counters.errors += 1;
                     }
                     // Failed cells are forgotten: a later submission
@@ -330,19 +393,186 @@ impl Core {
     }
 }
 
-/// Marks a waiting window slot ready.
-fn fill(state: &mut CoreState, window_idx: usize, response: String) {
-    debug_assert!(matches!(state.window[window_idx].0, Slot::Waiting));
-    state.window[window_idx].0 = Slot::Ready(response);
+/// Marks a waiting window slot ready, recording its breaker verdict.
+fn fill(state: &mut CoreState, window_idx: usize, response: String, verdict: Option<bool>) {
+    debug_assert!(matches!(state.window[window_idx].slot, Slot::Waiting));
+    state.window[window_idx].slot = Slot::Ready(response);
+    state.window[window_idx].verdict = verdict;
     state.ready += 1;
+}
+
+/// One classified line from the capped byte reader.
+enum RawLine {
+    /// A complete UTF-8 line (trailing `\n` / `\r\n` stripped).
+    Line(String),
+    /// Bytes up to the newline that are not valid UTF-8.
+    NotUtf8(Vec<u8>),
+    /// A line longer than the cap; its bytes were discarded up to the
+    /// newline instead of being buffered.
+    TooLong,
+}
+
+/// Reads one line from `input` without ever buffering more than `max`
+/// bytes — the replacement for `BufRead::lines` that makes oversized and
+/// non-UTF-8 lines survivable per-line protocol errors instead of an
+/// unbounded allocation or a dead connection. Returns `None` at EOF.
+fn read_raw_line(input: &mut impl BufRead, max: usize) -> std::io::Result<Option<RawLine>> {
+    enum Step {
+        Eof,
+        Newline(usize),
+        Partial(usize),
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        let step = {
+            let chunk = input.fill_buf()?;
+            if chunk.is_empty() {
+                Step::Eof
+            } else if let Some(i) = chunk.iter().position(|&b| b == b'\n') {
+                if !over {
+                    if buf.len() + i > max {
+                        over = true;
+                        buf.clear();
+                    } else {
+                        buf.extend_from_slice(&chunk[..i]);
+                    }
+                }
+                Step::Newline(i)
+            } else {
+                let n = chunk.len();
+                if !over {
+                    if buf.len() + n > max {
+                        over = true;
+                        buf.clear();
+                    } else {
+                        buf.extend_from_slice(chunk);
+                    }
+                }
+                Step::Partial(n)
+            }
+        };
+        match step {
+            Step::Eof => {
+                if over {
+                    return Ok(Some(RawLine::TooLong));
+                }
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            Step::Newline(i) => {
+                input.consume(i + 1);
+                if over {
+                    return Ok(Some(RawLine::TooLong));
+                }
+                break;
+            }
+            Step::Partial(n) => input.consume(n),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Some(RawLine::Line(s))),
+        Err(e) => Ok(Some(RawLine::NotUtf8(e.into_bytes()))),
+    }
+}
+
+/// Journal-input payload tags: a literal line vs. an oversized-line
+/// marker (an oversized line's bytes are discarded at read time, but its
+/// deterministic `malformed` response must still replay on recovery).
+const REPLAY_LITERAL: u8 = b'l';
+const REPLAY_OVERSIZE: u8 = b'o';
+
+fn encode_replay(raw: &RawLine) -> Vec<u8> {
+    let mut payload = vec![match raw {
+        RawLine::Line(_) | RawLine::NotUtf8(_) => REPLAY_LITERAL,
+        RawLine::TooLong => REPLAY_OVERSIZE,
+    }];
+    match raw {
+        RawLine::Line(s) => payload.extend_from_slice(s.as_bytes()),
+        RawLine::NotUtf8(b) => payload.extend_from_slice(b),
+        RawLine::TooLong => {}
+    }
+    payload
+}
+
+fn decode_replay(payload: &[u8]) -> RawLine {
+    match payload.split_first() {
+        Some((&REPLAY_LITERAL, rest)) => match std::str::from_utf8(rest) {
+            Ok(s) => RawLine::Line(s.to_string()),
+            Err(_) => RawLine::NotUtf8(rest.to_vec()),
+        },
+        Some((&REPLAY_OVERSIZE, _)) => RawLine::TooLong,
+        // A foreign or empty payload replays as malformed rather than
+        // guessing at a request.
+        _ => RawLine::NotUtf8(payload.to_vec()),
+    }
+}
+
+/// The response sink every emission flows through: recovery suppression
+/// first, then the journal (journal-before-write), then the client.
+struct Emit<'a, W: Write> {
+    out: &'a mut W,
+    journal: Option<&'a mut Journal>,
+    /// Responses still to suppress during recovery replay — already
+    /// journaled and (at-least-once) already delivered.
+    suppress: usize,
+}
+
+impl<W: Write> Emit<'_, W> {
+    fn line(&mut self, resp: &str) -> std::io::Result<()> {
+        if self.suppress > 0 {
+            self.suppress -= 1;
+            return Ok(());
+        }
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.response(resp)?;
+        }
+        writeln!(self.out, "{resp}")
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Cross-connection drain coordination. Once a drain is requested —
+/// by a `{"cmd":"shutdown"}` control line on any connection — no
+/// connection admits new runs (they are rejected with `shutting_down`)
+/// and the TCP accept loop stops accepting.
+#[derive(Debug, Default)]
+pub struct ServeControl {
+    draining: AtomicBool,
+}
+
+impl ServeControl {
+    /// A fresh, non-draining control block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a graceful drain (idempotent).
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
 }
 
 /// Serves one connection: reads request lines from `input` until EOF,
 /// writes response lines to `output`, returns the session stats.
 ///
 /// Response order is submission order; responses are flushed at drain
-/// barriers (`stats` lines and end-of-input). See the module docs for
-/// the determinism contract.
+/// barriers (`stats` lines, `{"cmd":"shutdown"}`, and end-of-input).
+/// See the module docs for the determinism contract.
 ///
 /// # Errors
 ///
@@ -353,8 +583,42 @@ pub fn serve_lines(
     runner: &dyn JobRunner,
     store: &dyn ResultStore,
     input: impl BufRead,
-    mut output: impl Write,
+    output: impl Write,
 ) -> std::io::Result<DaemonStats> {
+    serve_session(cfg, runner, store, input, output, &ServeControl::new())
+}
+
+/// [`serve_lines`] with an explicit [`ServeControl`] so several
+/// connections (or an accept loop) can coordinate a graceful drain.
+/// When `cfg.journal` is set, first recovers the journal: its inputs are
+/// replayed through the full daemon state machine ahead of `input` and
+/// the already-journaled responses are suppressed, so the stream picks
+/// up byte-exactly where the crashed session stopped delivering.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport or the journal.
+pub fn serve_session(
+    cfg: &ServeConfig,
+    runner: &dyn JobRunner,
+    store: &dyn ResultStore,
+    input: impl BufRead,
+    mut output: impl Write,
+    ctl: &ServeControl,
+) -> std::io::Result<DaemonStats> {
+    let mut replay = Vec::new();
+    let mut journal = None;
+    let mut suppress = 0usize;
+    if let Some(path) = &cfg.journal {
+        let recovered = journal::recover(path)?;
+        if let Some(torn) = &recovered.torn {
+            eprintln!("{torn}");
+        }
+        replay = recovered.inputs;
+        suppress = recovered.responses.len();
+        journal = Some(Journal::open(path)?);
+    }
+
     let core = Core::new(cfg);
     let workers = cfg.resolved_workers().max(1);
     let mut io_result = Ok(());
@@ -363,7 +627,12 @@ pub fn serve_lines(
         for _ in 0..workers {
             scope.spawn(|| core.worker_loop(runner, store));
         }
-        io_result = read_loop(cfg, &core, runner, store, input, &mut output);
+        let mut emit = Emit {
+            out: &mut output,
+            journal: journal.as_mut(),
+            suppress,
+        };
+        io_result = read_loop(cfg, &core, runner, store, replay, input, &mut emit, ctl);
         let mut state = core.state.lock().unwrap();
         state.shutdown = true;
         drop(state);
@@ -378,29 +647,74 @@ pub fn serve_lines(
     })
 }
 
-/// The reader/emitter half of [`serve_lines`], run on the calling
-/// thread.
+/// The reader/emitter half of [`serve_session`], run on the calling
+/// thread. Recovery replay lines run first (never re-journaled), then
+/// the live transport.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn read_loop(
     cfg: &ServeConfig,
     core: &Core,
     runner: &dyn JobRunner,
     store: &dyn ResultStore,
-    input: impl BufRead,
-    output: &mut impl Write,
+    replay: Vec<Vec<u8>>,
+    mut input: impl BufRead,
+    emit: &mut Emit<'_, impl Write>,
+    ctl: &ServeControl,
 ) -> std::io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut replay_lines = replay.into_iter();
+    loop {
+        let (raw, live) = match replay_lines.next() {
+            Some(payload) => (decode_replay(&payload), false),
+            None => match read_raw_line(&mut input, cfg.max_line_bytes)? {
+                None => break,
+                Some(raw) => (raw, true),
+            },
+        };
+
+        // Empty lines produce no response, so they are not journaled.
+        if matches!(&raw, RawLine::Line(s) if s.trim().is_empty()) {
             continue;
         }
+        if live {
+            if let Some(j) = emit.journal.as_deref_mut() {
+                j.input(&encode_replay(&raw))?;
+            }
+        }
+
+        let line = match raw {
+            RawLine::Line(s) => s,
+            RawLine::TooLong => {
+                let mut state = core.state.lock().unwrap();
+                state.counters.jobs += 1;
+                state.counters.errors += 1;
+                let resp = protocol::render_error(
+                    None,
+                    kind::MALFORMED,
+                    &format!(
+                        "line exceeds the max-line-bytes cap of {} bytes",
+                        cfg.max_line_bytes
+                    ),
+                );
+                state.push_ready(resp);
+                continue;
+            }
+            RawLine::NotUtf8(_) => {
+                let mut state = core.state.lock().unwrap();
+                state.counters.jobs += 1;
+                state.counters.errors += 1;
+                let resp = protocol::render_error(None, kind::MALFORMED, "line is not valid UTF-8");
+                state.push_ready(resp);
+                continue;
+            }
+        };
+
         let mut state = core.state.lock().unwrap();
         state.counters.jobs += 1;
         let req = match protocol::parse_request(&line) {
             Err(e) => {
                 state.counters.errors += 1;
                 let resp = protocol::render_error(e.id.as_deref(), e.kind, &e.message);
-                state.window.push((Slot::Ready(resp), None));
-                state.ready += 1;
+                state.push_ready(resp);
                 continue;
             }
             Ok(req) => req,
@@ -410,11 +724,36 @@ fn read_loop(
             // Barrier: drain every buffered response, then answer.
             // `ok` counts run successes only; a stats line shows up just
             // in `jobs`.
-            let state = drain(core, state, output)?;
+            let state = drain(core, state, emit)?;
             let resp = protocol::render_stats(&req.id, &state.counters);
             drop(state);
-            writeln!(output, "{resp}")?;
-            output.flush()?;
+            emit.line(&resp)?;
+            emit.flush()?;
+            continue;
+        }
+
+        if req.op == Op::Shutdown {
+            // Graceful drain: finish everything admitted, flush the
+            // buffered responses in submission order, acknowledge, and
+            // stop reading. The control block tells sibling connections
+            // and the TCP accept loop to stop admitting.
+            drop(drain(core, state, emit)?);
+            ctl.drain();
+            let id = (!req.id.is_empty()).then_some(req.id.as_str());
+            emit.line(&protocol::render_shutdown_ack(id))?;
+            emit.flush()?;
+            return Ok(());
+        }
+
+        if ctl.is_draining() {
+            state.counters.errors += 1;
+            state.counters.rejected += 1;
+            let resp = protocol::render_error(
+                Some(&req.id),
+                kind::SHUTTING_DOWN,
+                "daemon is draining; no new work admitted",
+            );
+            state.push_ready(resp);
             continue;
         }
 
@@ -425,8 +764,7 @@ fn read_loop(
                 kind::BAD_REQUEST,
                 &format!("`steps` exceeds the service cap of {}", cfg.max_steps),
             );
-            state.window.push((Slot::Ready(resp), None));
-            state.ready += 1;
+            state.push_ready(resp);
             continue;
         }
 
@@ -434,8 +772,7 @@ fn read_loop(
             Err(e) => {
                 state.counters.errors += 1;
                 let resp = protocol::render_error(Some(&req.id), e.kind, &e.message);
-                state.window.push((Slot::Ready(resp), None));
-                state.ready += 1;
+                state.push_ready(resp);
                 continue;
             }
             Ok(key) => key,
@@ -464,14 +801,40 @@ fn read_loop(
                 &result.reports,
                 result.degraded.as_deref(),
             );
-            state.window.push((Slot::Ready(resp), None));
-            state.ready += 1;
+            state.push_ready(resp);
             continue;
+        }
+
+        // Breaker: only lines that will *compute* consult it — after the
+        // cache, and skipping coalescers, because whether a duplicate
+        // becomes a waiter or a plain cache hit depends on worker timing
+        // and the two must stay byte-identical. Checked before the queue
+        // so a breaker rejection consumes no admission slot.
+        let coalesce = matches!(state.cells.get(&key), Some(Cell::InFlight { .. }));
+        let mut probe = false;
+        if !coalesce {
+            let admission = state.breakers.admit(&req.tenant);
+            if admission == Admission::Reject {
+                state.counters.errors += 1;
+                state.counters.rejected += 1;
+                let resp = protocol::render_error(
+                    Some(&req.id),
+                    kind::BREAKER_OPEN,
+                    &format!("tenant `{}` circuit breaker is open", req.tenant),
+                );
+                state.push_ready(resp);
+                continue;
+            }
+            probe = admission == Admission::AdmitProbe;
         }
 
         // Admission: computations and in-flight waiters both hold a
         // slot until the next barrier.
         if let Err(reason) = state.queue.admit(&req.tenant) {
+            if probe {
+                // The probe never ran; the next admission retries it.
+                state.breakers.probe_aborted(&req.tenant);
+            }
             let (kind, msg) = match reason {
                 RejectReason::OverCapacity => (
                     kind::OVER_CAPACITY,
@@ -491,8 +854,7 @@ fn read_loop(
             state.counters.errors += 1;
             state.counters.rejected += 1;
             let resp = protocol::render_error(Some(&req.id), kind, &msg);
-            state.window.push((Slot::Ready(resp), None));
-            state.ready += 1;
+            state.push_ready(resp);
             continue;
         }
 
@@ -515,7 +877,12 @@ fn read_loop(
                 if cross {
                     state.counters.cross_tenant_hits += 1;
                 }
-                state.window.push((Slot::Waiting, Some(tenant)));
+                state.window.push(WindowSlot {
+                    slot: Slot::Waiting,
+                    tenant: Some(tenant),
+                    probe,
+                    verdict: None,
+                });
             }
             _ => {
                 state.counters.distinct_cells += 1;
@@ -526,7 +893,12 @@ fn read_loop(
                         waiters: Vec::new(),
                     },
                 );
-                state.window.push((Slot::Waiting, Some(tenant)));
+                state.window.push(WindowSlot {
+                    slot: Slot::Waiting,
+                    tenant: Some(tenant),
+                    probe,
+                    verdict: None,
+                });
                 let priority = req.priority;
                 state.queue.push(
                     priority,
@@ -544,39 +916,46 @@ fn read_loop(
 
     // End of input: final drain.
     let state = core.state.lock().unwrap();
-    drop(drain(core, state, output)?);
+    drop(drain(core, state, emit)?);
     Ok(())
 }
 
 /// Waits for every window slot to become ready, emits all responses in
-/// submission order, and releases the admission slots.
+/// submission order, releases the admission slots, and feeds terminal
+/// outcomes to the breakers (also in submission order, which keeps the
+/// breaker trajectory a pure function of the request sequence).
 fn drain<'a>(
     core: &'a Core,
     mut state: std::sync::MutexGuard<'a, CoreState>,
-    output: &mut impl Write,
+    emit: &mut Emit<'_, impl Write>,
 ) -> std::io::Result<std::sync::MutexGuard<'a, CoreState>> {
     while state.ready < state.window.len() {
         state = core.done.wait(state).unwrap();
     }
     let window = std::mem::take(&mut state.window);
     state.ready = 0;
-    for (slot, tenant_slot) in window {
-        if let Some(tenant) = tenant_slot {
+    for ws in window {
+        if let Some(tenant) = ws.tenant {
             state.queue.release(&tenant);
+            if let Some(ok) = ws.verdict {
+                state.breakers.observe(&tenant, ok, ws.probe);
+            }
         }
-        match slot {
-            Slot::Ready(resp) => writeln!(output, "{resp}")?,
+        match ws.slot {
+            Slot::Ready(resp) => emit.line(&resp)?,
             Slot::Waiting => unreachable!("drain woke with unready slots"),
         }
     }
-    output.flush()?;
+    emit.flush()?;
     Ok(state)
 }
 
-/// Serves TCP connections on `listener`, each through [`serve_lines`]
-/// with the shared runner and store (cross-connection sharing flows
-/// through the store). Handles at most `max_conns` connections when
-/// given, forever otherwise.
+/// Serves TCP connections on `listener`, each through [`serve_session`]
+/// with the shared runner, store, and control block (cross-connection
+/// sharing flows through the store). Handles at most `max_conns`
+/// connections when given; otherwise accepts until a drain is requested
+/// by a `{"cmd":"shutdown"}` line on any connection. The journal, a
+/// single-stream facility, is cleared for TCP sessions.
 ///
 /// # Errors
 ///
@@ -588,20 +967,36 @@ pub fn serve_tcp(
     store: &(dyn ResultStore + Sync),
     listener: &std::net::TcpListener,
     max_conns: Option<usize>,
+    ctl: &ServeControl,
 ) -> std::io::Result<()> {
+    let cfg = &ServeConfig {
+        journal: None,
+        ..cfg.clone()
+    };
+    // Nonblocking accept with a short poll so a drain requested on one
+    // connection stops the accept loop promptly.
+    listener.set_nonblocking(true)?;
     let mut served = 0usize;
-    std::thread::scope(|scope| {
-        for conn in listener.incoming() {
-            let stream = conn?;
-            scope.spawn(move || {
-                let reader = std::io::BufReader::new(&stream);
-                let _ = serve_lines(cfg, runner, store, reader, &stream);
-            });
-            served += 1;
-            if max_conns.is_some_and(|m| served >= m) {
-                break;
-            }
+    std::thread::scope(|scope| loop {
+        if ctl.is_draining() {
+            return Ok(());
         }
-        Ok(())
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                scope.spawn(move || {
+                    let reader = std::io::BufReader::new(&stream);
+                    let _ = serve_session(cfg, runner, store, reader, &stream, ctl);
+                });
+                served += 1;
+                if max_conns.is_some_and(|m| served >= m) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
     })
 }

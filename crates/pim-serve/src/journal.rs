@@ -1,0 +1,286 @@
+//! The crash-safe write-ahead journal of the daemon.
+//!
+//! With `--journal PATH` the daemon appends every admitted input line
+//! and every emitted response line to an append-only file of
+//! length-prefixed, checksummed records:
+//!
+//! ```text
+//! record  = len:u32le  checksum:u32le  payload
+//! payload = kind:u8 ('i' input | 'r' response)  bytes of the line
+//! ```
+//!
+//! `len` counts the payload; the checksum is FNV-1a over the payload.
+//! Input records hold raw bytes (the reader is byte-oriented, so even a
+//! non-UTF-8 line journals and replays faithfully); response records are
+//! always the daemon's own UTF-8 renderings.
+//!
+//! Write ordering gives at-least-once response delivery: inputs are
+//! journaled when read (before parsing), responses immediately *before*
+//! they are written to the client. On recovery the journaled inputs are
+//! replayed through the full daemon state machine and the first
+//! `responses.len()` emissions are suppressed as already delivered —
+//! byte-identical to the uncrashed stream because the daemon itself is a
+//! pure function of the input sequence. A crash between journaling a
+//! response and writing it to the client makes that one response count
+//! as delivered when it may not have been; that at-most-one-line window
+//! is the documented cost of journal-before-write (the alternative,
+//! write-before-journal, would *duplicate* the line on replay instead).
+//!
+//! A torn tail — a partial record from a crash mid-append, or any
+//! checksum mismatch — truncates the file back to the last good record
+//! boundary with a diagnostic; everything before the tear recovers.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Record kind byte for an admitted input line.
+const KIND_INPUT: u8 = b'i';
+/// Record kind byte for an emitted response line.
+const KIND_RESPONSE: u8 = b'r';
+
+/// FNV-1a over the payload — dependency-free and byte-stable.
+fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in payload {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The append side: one open journal file.
+#[derive(Debug)]
+pub struct Journal {
+    out: BufWriter<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-open failure.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            out: BufWriter::new(file),
+        })
+    }
+
+    fn append(&mut self, kind: u8, line: &[u8]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(line.len() + 1);
+        payload.push(kind);
+        payload.extend_from_slice(line);
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::other("journal record too long"))?;
+        self.out.write_all(&len.to_le_bytes())?;
+        self.out.write_all(&checksum(&payload).to_le_bytes())?;
+        self.out.write_all(&payload)?;
+        // One flush per record: a crash tears at most the record being
+        // appended, which recovery truncates.
+        self.out.flush()
+    }
+
+    /// Journals one admitted input line (raw bytes, newline excluded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn input(&mut self, line: &[u8]) -> io::Result<()> {
+        self.append(KIND_INPUT, line)
+    }
+
+    /// Journals one response line about to be written to the client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn response(&mut self, line: &str) -> io::Result<()> {
+        self.append(KIND_RESPONSE, line.as_bytes())
+    }
+}
+
+/// Everything a journal held at recovery time.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Recovered {
+    /// Admitted input lines, in arrival order.
+    pub inputs: Vec<Vec<u8>>,
+    /// Responses already delivered (journal-before-write: possibly
+    /// including one that never reached the client), in emission order.
+    pub responses: Vec<String>,
+    /// Diagnostic when a torn tail was truncated away, for stderr.
+    pub torn: Option<String>,
+}
+
+/// Reads a journal back, truncating any torn tail to the last good
+/// record boundary. A missing file recovers as empty (cold start).
+///
+/// # Errors
+///
+/// Propagates I/O failures other than the file not existing.
+pub fn recover(path: &Path) -> io::Result<Recovered> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovered::default()),
+        Err(e) => return Err(e),
+    }
+
+    let mut rec = Recovered::default();
+    let mut pos = 0usize;
+    let mut good = 0usize;
+    let tear = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        if bytes.len() - pos < 8 {
+            break Some(format!("torn header at byte {pos}"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let sum = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || bytes.len() - pos - 8 < len {
+            break Some(format!("torn payload at byte {pos}"));
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if checksum(payload) != sum {
+            break Some(format!("checksum mismatch at byte {pos}"));
+        }
+        match payload[0] {
+            KIND_INPUT => rec.inputs.push(payload[1..].to_vec()),
+            KIND_RESPONSE => match std::str::from_utf8(&payload[1..]) {
+                Ok(s) => rec.responses.push(s.to_string()),
+                Err(_) => break Some(format!("non-UTF-8 response record at byte {pos}")),
+            },
+            k => break Some(format!("unknown record kind {k} at byte {pos}")),
+        }
+        pos += 8 + len;
+        good = pos;
+    };
+
+    if let Some(why) = tear {
+        rec.torn = Some(format!(
+            "journal {}: {} — truncating {} trailing bytes to the last good record",
+            path.display(),
+            why,
+            bytes.len() - good
+        ));
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(u64::try_from(good).expect("journal offsets fit in u64"))?;
+    }
+    Ok(rec)
+}
+
+/// A scratch journal path unique to `(tag, seed)` under the system temp
+/// dir — used by the chaos harness and tests; never printed to stdout so
+/// output stays machine-independent.
+pub fn scratch_path(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pim-journal-{tag}-{seed}-{}.wal",
+        std::process::id()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempPath(PathBuf);
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn temp(tag: &str) -> TempPath {
+        let p = scratch_path(tag, 0);
+        let _ = std::fs::remove_file(&p);
+        TempPath(p)
+    }
+
+    #[test]
+    fn roundtrips_inputs_and_responses_in_order() {
+        let t = temp("roundtrip");
+        {
+            let mut j = Journal::open(&t.0).unwrap();
+            j.input(br#"{"id":"1","model":"alex"}"#).unwrap();
+            j.response(r#"{"id":"1","status":"ok"}"#).unwrap();
+            j.input(b"\xff\xfe not utf8").unwrap(); // binary-safe
+        }
+        let rec = recover(&t.0).unwrap();
+        assert_eq!(rec.inputs.len(), 2);
+        assert_eq!(rec.inputs[0], br#"{"id":"1","model":"alex"}"#);
+        assert_eq!(rec.inputs[1], b"\xff\xfe not utf8");
+        assert_eq!(rec.responses, vec![r#"{"id":"1","status":"ok"}"#]);
+        assert!(rec.torn.is_none());
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let rec = recover(Path::new("/definitely/not/here.wal")).unwrap();
+        assert_eq!(rec, Recovered::default());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_the_last_good_record() {
+        let t = temp("torn");
+        {
+            let mut j = Journal::open(&t.0).unwrap();
+            j.input(b"first").unwrap();
+            j.response("second").unwrap();
+        }
+        let full = std::fs::metadata(&t.0).unwrap().len();
+        // Tear mid-way through the second record.
+        OpenOptions::new()
+            .write(true)
+            .open(&t.0)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        let rec = recover(&t.0).unwrap();
+        assert_eq!(rec.inputs, vec![b"first".to_vec()]);
+        assert!(rec.responses.is_empty());
+        assert!(rec.torn.as_deref().unwrap().contains("torn payload"));
+        // The truncation is durable: a second recovery is clean.
+        let again = recover(&t.0).unwrap();
+        assert_eq!(again.inputs, rec.inputs);
+        assert!(again.torn.is_none());
+    }
+
+    #[test]
+    fn corrupt_checksum_truncates_with_a_diagnostic() {
+        let t = temp("corrupt");
+        {
+            let mut j = Journal::open(&t.0).unwrap();
+            j.input(b"good").unwrap();
+            j.input(b"soon-bad").unwrap();
+        }
+        // Flip a payload byte of the second record.
+        let mut bytes = std::fs::read(&t.0).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        std::fs::write(&t.0, &bytes).unwrap();
+        let rec = recover(&t.0).unwrap();
+        assert_eq!(rec.inputs, vec![b"good".to_vec()]);
+        assert!(rec.torn.as_deref().unwrap().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn reopening_appends_after_recovery() {
+        let t = temp("reopen");
+        {
+            let mut j = Journal::open(&t.0).unwrap();
+            j.input(b"one").unwrap();
+        }
+        {
+            let mut j = Journal::open(&t.0).unwrap();
+            j.input(b"two").unwrap();
+        }
+        let rec = recover(&t.0).unwrap();
+        assert_eq!(rec.inputs, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+}

@@ -19,16 +19,26 @@
 //! * [`queue`] — the priority queue with per-tenant admission ledgers,
 //! * [`daemon`] — the connection loop, worker pool, drain barriers, and
 //!   the determinism contract,
+//! * [`breaker`] — per-tenant circuit breakers counted in protocol
+//!   events, not wall clock (DESIGN.md §4.13),
+//! * [`journal`] — the crash-safe write-ahead journal and its recovery
+//!   path (DESIGN.md §4.13),
+//! * [`chaos`] — the seeded chaos/soak harness behind `repro chaos`,
 //! * [`loadgen`] — the seeded deterministic load generator behind
 //!   `repro serve --load` and the CI smoke.
 
+pub mod breaker;
+pub mod chaos;
 pub mod daemon;
+pub mod journal;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 
+pub use breaker::{Admission, BreakerConfig, BreakerSet, BreakerState};
 pub use daemon::{
-    serve_lines, serve_tcp, DaemonStats, JobError, JobRunner, MemStore, ResultStore, ServeConfig,
-    StoredResult,
+    serve_lines, serve_session, serve_tcp, DaemonStats, JobError, JobRunner, MemStore, ResultStore,
+    ServeConfig, ServeControl, StoredResult,
 };
+pub use journal::{Journal, Recovered};
 pub use protocol::{parse_request, FaultSpec, Op, ParseError, Request, ServiceCounters};

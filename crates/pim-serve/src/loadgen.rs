@@ -120,6 +120,7 @@ mod tests {
             match req.op {
                 Op::Run => runs += 1,
                 Op::Stats => barriers += 1,
+                Op::Shutdown => panic!("loadgen never emits control lines"),
             }
         }
         assert_eq!(runs, 300);

@@ -34,6 +34,16 @@ pub mod kind {
     pub const OVER_QUOTA: &str = "over_quota";
     /// The simulation itself failed.
     pub const EXECUTION_FAILED: &str = "execution_failed";
+    /// The run exceeded its `deadline_ms` budget and was cut off at a
+    /// deterministic engine check site.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The tenant's circuit breaker is open after repeated failures; the
+    /// request was rejected without queueing. The breaker closes again
+    /// after a cooldown counted in rejected admissions (never wall
+    /// clock), so rejection streams byte-replay.
+    pub const BREAKER_OPEN: &str = "breaker_open";
+    /// The daemon is draining for shutdown and admits no new runs.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
 }
 
 /// What a request line asks the daemon to do.
@@ -44,6 +54,9 @@ pub enum Op {
     /// Barrier: drain every outstanding job, emit all buffered responses
     /// in submission order, then report service counters.
     Stats,
+    /// Control line `{"cmd":"shutdown"}`: drain like a `stats` barrier,
+    /// acknowledge, then stop serving (graceful drain shutdown).
+    Shutdown,
 }
 
 /// Seed + rate of a seeded fault plan; the horizon is derived by the
@@ -86,6 +99,10 @@ pub struct Request {
     pub partitioned: bool,
     /// Restrict workloads to CPU + programmable PIM.
     pub cpu_progr_only: bool,
+    /// Optional deadline in *simulated* milliseconds-equivalents: the
+    /// runner maps it to a deterministic engine budget, so whether a run
+    /// is cut off is a pure function of the request, not of wall clock.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A rejected request line: the error kind, a human-readable message,
@@ -125,6 +142,8 @@ const KNOWN_FIELDS: &[&str] = &[
     "faults",
     "partitioned",
     "cpu_progr_only",
+    "deadline_ms",
+    "cmd",
 ];
 
 fn as_usize(v: &Json) -> Option<usize> {
@@ -164,6 +183,42 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             return Err(err(kind::UNKNOWN_FIELD, format!("unknown field `{key}`")));
         }
     }
+
+    // Control lines: `{"cmd":"shutdown"}` with an optional id. They sit
+    // outside the job grammar — no tenant, no models — so they parse
+    // before the id requirement (the ack echoes null when absent).
+    if let Some(v) = doc.field("cmd") {
+        if v.as_str() != Some("shutdown") {
+            return Err(err(
+                kind::BAD_REQUEST,
+                format!("`cmd` must be \"shutdown\", got {v}"),
+            ));
+        }
+        for (key, _) in fields {
+            if key != "cmd" && key != "id" {
+                return Err(err(
+                    kind::BAD_REQUEST,
+                    format!("`{key}` is not valid on a control line"),
+                ));
+            }
+        }
+        return Ok(Request {
+            id: id.unwrap_or_default(),
+            op: Op::Shutdown,
+            tenant: "public".to_string(),
+            models: Vec::new(),
+            preset: "hetero".to_string(),
+            steps: 1,
+            batch: None,
+            priority: 4,
+            tie: TieBreak::Stable,
+            faults: None,
+            partitioned: false,
+            cpu_progr_only: false,
+            deadline_ms: None,
+        });
+    }
+
     let Some(id) = id else {
         return Err(ParseError::new(
             None,
@@ -340,6 +395,16 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     let partitioned = flag("partitioned")?;
     let cpu_progr_only = flag("cpu_progr_only")?;
 
+    let deadline_ms = match doc.field("deadline_ms") {
+        None => None,
+        Some(v) => Some(as_u64(v).filter(|&n| n >= 1).ok_or_else(|| {
+            err(
+                kind::BAD_REQUEST,
+                "`deadline_ms` must be a positive integer".into(),
+            )
+        })?),
+    };
+
     Ok(Request {
         id,
         op,
@@ -353,6 +418,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         faults,
         partitioned,
         cpu_progr_only,
+        deadline_ms,
     })
 }
 
@@ -423,6 +489,15 @@ pub fn render_error(id: Option<&str>, kind: &str, message: &str) -> String {
         id.map_or_else(|| "null".to_string(), json_string),
         json_string(kind),
         json_string(message),
+    )
+}
+
+/// Renders the acknowledgement of a `{"cmd":"shutdown"}` control line.
+/// `id` is `None` when the control line carried no id.
+pub fn render_shutdown_ack(id: Option<&str>) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"ok\",\"shutdown\":true}}",
+        id.map_or_else(|| "null".to_string(), json_string),
     )
 }
 
@@ -537,6 +612,37 @@ mod tests {
             assert_eq!(e.kind, kind::BAD_REQUEST, "line {line:?}");
             assert_eq!(e.id.as_deref(), Some("a"), "line {line:?}");
         }
+    }
+
+    #[test]
+    fn parses_deadline_ms() {
+        let req = parse_request(r#"{"id":"1","model":"alex","deadline_ms":250}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        for bad in [
+            r#"{"id":"a","model":"alex","deadline_ms":0}"#,
+            r#"{"id":"a","model":"alex","deadline_ms":1.5}"#,
+            r#"{"id":"a","model":"alex","deadline_ms":"fast"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, kind::BAD_REQUEST, "line {bad:?}");
+            assert_eq!(e.id.as_deref(), Some("a"));
+        }
+    }
+
+    #[test]
+    fn parses_shutdown_control_lines() {
+        let req = parse_request(r#"{"cmd":"shutdown"}"#).unwrap();
+        assert_eq!(req.op, Op::Shutdown);
+        assert_eq!(req.id, "");
+        let req = parse_request(r#"{"id":"bye","cmd":"shutdown"}"#).unwrap();
+        assert_eq!(req.op, Op::Shutdown);
+        assert_eq!(req.id, "bye");
+        // Unknown command verb and job fields on a control line both fail.
+        let e = parse_request(r#"{"cmd":"restart"}"#).unwrap_err();
+        assert_eq!(e.kind, kind::BAD_REQUEST);
+        let e = parse_request(r#"{"cmd":"shutdown","model":"alex"}"#).unwrap_err();
+        assert_eq!(e.kind, kind::BAD_REQUEST);
+        assert!(e.message.contains("model"));
     }
 
     #[test]

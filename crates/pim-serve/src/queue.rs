@@ -165,4 +165,84 @@ mod tests {
         assert_eq!(q.admit("t2"), Err(RejectReason::OverCapacity));
         assert_eq!(q.outstanding(), 2);
     }
+
+    #[test]
+    fn priority_ties_at_capacity_pop_in_submission_order() {
+        // Fill to exactly capacity with one shared priority: the heap
+        // must fall back to submission order, and the admission at the
+        // boundary must reject the same way every time.
+        let mut q = AdmissionQueue::new(4, 4);
+        for tag in ["a", "b", "c", "d"] {
+            q.admit("t").unwrap();
+            q.push(5, tag);
+        }
+        // Capacity is checked before quota, so at the boundary every
+        // tenant — including the one also over quota — sees the same
+        // daemon-wide reason.
+        assert_eq!(q.admit("t"), Err(RejectReason::OverCapacity));
+        assert_eq!(q.admit("u"), Err(RejectReason::OverCapacity));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn popping_does_not_free_slots_only_release_does() {
+        // Admission counts outstanding (admitted, un-emitted) jobs:
+        // a worker popping a job must not open the gate early — only
+        // the drain-barrier release may.
+        let mut q = AdmissionQueue::new(2, 2);
+        q.admit("t").unwrap();
+        q.push(1, "a");
+        q.admit("t").unwrap();
+        q.push(1, "b");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.admit("t"), Err(RejectReason::OverCapacity));
+        q.release("t");
+        q.release("t");
+        q.admit("t").unwrap();
+        assert_eq!(q.outstanding(), 1);
+    }
+
+    #[test]
+    fn release_frees_exactly_the_named_tenants_slot() {
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(4, 1);
+        q.admit("t0").unwrap();
+        q.admit("t1").unwrap();
+        q.release("t0");
+        // t0's slot came back; t1 is still at quota.
+        q.admit("t0").unwrap();
+        assert_eq!(q.admit("t1"), Err(RejectReason::OverQuota));
+        // Over-releasing saturates the per-tenant counter instead of
+        // wrapping, so the tenant's quota stays exactly `quota`.
+        q.release("t1");
+        q.release("t1");
+        q.admit("t1").unwrap();
+        assert_eq!(q.admit("t1"), Err(RejectReason::OverQuota));
+    }
+
+    #[test]
+    fn admission_outcomes_are_independent_of_drain_permutation() {
+        // The same admit/reject sequence must come out of any order of
+        // barrier releases for the same multiset of released slots —
+        // what worker-count permutations amount to at this layer.
+        let run = |release_order: &[&str]| {
+            let mut q: AdmissionQueue<u32> = AdmissionQueue::new(3, 2);
+            let mut decisions = Vec::new();
+            for t in ["a", "a", "b"] {
+                decisions.push(q.admit(t).is_ok());
+            }
+            for t in release_order {
+                q.release(t);
+            }
+            for t in ["a", "b", "b", "a"] {
+                decisions.push(q.admit(t).is_ok());
+            }
+            decisions
+        };
+        let baseline = run(&["a", "a", "b"]);
+        assert_eq!(run(&["b", "a", "a"]), baseline);
+        assert_eq!(run(&["a", "b", "a"]), baseline);
+    }
 }

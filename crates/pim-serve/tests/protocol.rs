@@ -36,6 +36,9 @@ impl JobRunner for ToyRunner {
             req.faults.map(|f| (f.seed, f.rate.to_bits())),
             req.partitioned,
             req.cpu_progr_only,
+            // Deadlines are part of the cell identity: a deadlined run
+            // must never coalesce with an undeadlined one.
+            req.deadline_ms,
         )))
     }
 
@@ -44,6 +47,20 @@ impl JobRunner for ToyRunner {
             return Err(JobError::execution("synthetic failure"));
         }
         assert!(!req.models.iter().any(|m| m == "panic"), "synthetic panic");
+        // The toy makespan is (1 + name-length) * steps "milliseconds";
+        // a deadline below it cuts the run off deterministically.
+        if let Some(ms) = req.deadline_ms {
+            let cost: u64 = req
+                .models
+                .iter()
+                .map(|m| (1 + m.len() as u64) * req.steps as u64)
+                .sum();
+            if cost > ms {
+                return Err(JobError::deadline(format!(
+                    "run needs {cost} ms, deadline is {ms} ms"
+                )));
+            }
+        }
         let reports = req
             .models
             .iter()
@@ -73,6 +90,7 @@ fn small_cfg() -> ServeConfig {
         tenant_quota: 2,
         workers: 2,
         max_steps: 4,
+        ..ServeConfig::default()
     }
 }
 
@@ -237,6 +255,147 @@ fn replays_are_byte_identical_across_worker_counts() {
     assert_eq!(streams[0], streams[1]);
     assert_eq!(streams[1], streams[2]);
     assert!(streams[0].contains("\"cross_tenant_hits\":"));
+}
+
+#[test]
+fn oversized_lines_error_without_buffering_and_the_connection_survives() {
+    let cfg = ServeConfig {
+        max_line_bytes: 64,
+        ..small_cfg()
+    };
+    let huge = "x".repeat(500);
+    let input = format!(
+        "{{\"id\":\"before\",\"model\":\"alex\"}}\n{huge}\n{{\"id\":\"after\",\"model\":\"lstm\"}}\n"
+    );
+    let (lines, _) = serve(&cfg, &MemStore::default(), &input);
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"id\":\"before\"") && lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].starts_with("{\"id\":null") && lines[1].contains("\"error\":\"malformed\""));
+    assert!(
+        lines[1].contains("max-line-bytes cap of 64"),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"id\":\"after\"") && lines[2].contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn invalid_utf8_lines_error_per_line_and_the_connection_survives() {
+    let mut input: Vec<u8> = b"{\"id\":\"before\",\"model\":\"alex\"}\n".to_vec();
+    input.extend_from_slice(&[0xff, 0xfe, 0x80, b'{', b'\n']);
+    input.extend_from_slice(b"{\"id\":\"after\",\"model\":\"lstm\"}\n");
+    let mut out = Vec::new();
+    serve_lines(
+        &small_cfg(),
+        &ToyRunner,
+        &MemStore::default(),
+        input.as_slice(),
+        &mut out,
+    )
+    .expect("daemon I/O");
+    let text = String::from_utf8(out).expect("utf8 responses");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"id\":\"before\"") && lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].starts_with("{\"id\":null") && lines[1].contains("\"error\":\"malformed\""));
+    assert!(lines[1].contains("not valid UTF-8"), "{}", lines[1]);
+    assert!(lines[2].contains("\"id\":\"after\"") && lines[2].contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn deadlines_cut_off_runaways_without_touching_other_tenants() {
+    // alex at 4 steps costs (1+4)*4 = 20 toy-ms: a 10ms deadline trips,
+    // and the identical cell without a deadline (another tenant, same
+    // window) is a separate cell and completes untouched.
+    let input = "\
+{\"id\":\"runaway\",\"tenant\":\"t0\",\"model\":\"alex\",\"steps\":4,\"deadline_ms\":10}\n\
+{\"id\":\"bystander\",\"tenant\":\"t1\",\"model\":\"alex\",\"steps\":4}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert!(
+        lines[0].contains("\"id\":\"runaway\"")
+            && lines[0].contains("\"error\":\"deadline_exceeded\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"id\":\"bystander\"") && lines[1].contains("\"status\":\"ok\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"errors\":1") && lines[2].contains("\"ok\":1"));
+}
+
+#[test]
+fn breakers_open_probe_and_close_as_a_pure_function_of_the_stream() {
+    use pim_serve::breaker::BreakerConfig;
+    let cfg = ServeConfig {
+        breaker: BreakerConfig {
+            threshold: 2,
+            cooldown: 1,
+        },
+        ..small_cfg()
+    };
+    // Two failures (observed at the stats barriers) open t0's breaker;
+    // one rejected admission covers the cooldown; the next run is the
+    // probe, its success closes the breaker again. t1 never notices.
+    let input = "\
+{\"id\":\"f1\",\"tenant\":\"t0\",\"model\":\"explode\"}\n\
+{\"id\":\"s1\",\"op\":\"stats\"}\n\
+{\"id\":\"f2\",\"tenant\":\"t0\",\"model\":\"explode\",\"steps\":2}\n\
+{\"id\":\"s2\",\"op\":\"stats\"}\n\
+{\"id\":\"rejected\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"id\":\"other\",\"tenant\":\"t1\",\"model\":\"dcgan\"}\n\
+{\"id\":\"probe\",\"tenant\":\"t0\",\"model\":\"lstm\"}\n\
+{\"id\":\"s3\",\"op\":\"stats\"}\n\
+{\"id\":\"closed\",\"tenant\":\"t0\",\"model\":\"alex\",\"steps\":2}\n";
+    let (lines, _) = serve(&cfg, &MemStore::default(), input);
+    assert!(lines[0].contains("\"error\":\"execution_failed\""));
+    assert!(lines[2].contains("\"error\":\"execution_failed\""));
+    assert!(
+        lines[4].contains("\"id\":\"rejected\"") && lines[4].contains("\"error\":\"breaker_open\""),
+        "{}",
+        lines[4]
+    );
+    assert!(
+        lines[5].contains("\"id\":\"other\"") && lines[5].contains("\"status\":\"ok\""),
+        "{}",
+        lines[5]
+    );
+    assert!(
+        lines[6].contains("\"id\":\"probe\"") && lines[6].contains("\"status\":\"ok\""),
+        "{}",
+        lines[6]
+    );
+    assert!(lines[7].contains("\"rejected\":1"), "{}", lines[7]);
+    assert!(
+        lines[8].contains("\"id\":\"closed\"") && lines[8].contains("\"status\":\"ok\""),
+        "{}",
+        lines[8]
+    );
+}
+
+#[test]
+fn shutdown_control_line_drains_acks_and_stops_reading() {
+    let input = "\
+{\"id\":\"a\",\"tenant\":\"t0\",\"model\":\"alex\"}\n\
+{\"cmd\":\"shutdown\",\"id\":\"bye\"}\n\
+{\"id\":\"never\",\"tenant\":\"t0\",\"model\":\"lstm\"}\n";
+    let (lines, _) = serve(&small_cfg(), &MemStore::default(), input);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].contains("\"id\":\"a\"") && lines[0].contains("\"status\":\"ok\""));
+    assert_eq!(
+        lines[1],
+        "{\"id\":\"bye\",\"status\":\"ok\",\"shutdown\":true}"
+    );
+
+    // Without an id the ack renders a null id.
+    let (lines, _) = serve(
+        &small_cfg(),
+        &MemStore::default(),
+        "{\"cmd\":\"shutdown\"}\n",
+    );
+    assert_eq!(lines, ["{\"id\":null,\"status\":\"ok\",\"shutdown\":true}"]);
 }
 
 #[test]

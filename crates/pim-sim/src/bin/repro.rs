@@ -54,9 +54,10 @@ const USAGE: &str = "usage: repro [SECTION | all | config | csv]
        repro bench [--json <path>] [--models a,b,..] [--iters N] [--steps N]
                    [--repro-all <runs> --baseline <median_ms>,<min_ms>]
        repro bench --compare <a.json> <b.json>
-       repro serve [--tcp PORT [--conns N]]
+       repro serve [--tcp PORT [--conns N]] [--journal <path>] [--max-line-bytes N]
        repro serve --load N [--seed S] [--tenants T] [--sample K]
        repro serve --emit-trace N [--seed S] [--tenants T]
+       repro chaos [--seed S] [--ops N]
 
 sections: table1 fig2 fig8 fig10 fig11 fig12 fig13 fig16 ablations
 models:   alex vgg dcgan resnet inception lstm w2v";
@@ -99,6 +100,7 @@ fn main() {
         "isa" => run_isa_cli(),
         "search" => run_search_cli(),
         "serve" => run_serve_cli(),
+        "chaos" => run_chaos_cli(),
         "csv" => match pim_sim::report::evaluation_grid(3) {
             Ok(rows) => print!("{}", pim_sim::report::to_csv(&rows)),
             Err(e) => {
@@ -492,7 +494,7 @@ fn run_search_cli() {
 /// for replaying by hand. Worker count follows `PIM_RUN_THREADS`.
 fn run_serve_cli() {
     use pim_common::cli::parse_value;
-    use pim_serve::{serve_lines, serve_tcp, ServeConfig};
+    use pim_serve::{serve_lines, serve_tcp, ServeConfig, ServeControl};
     use pim_sim::cache::SharedStore;
     use pim_sim::serve::{verify_samples, SimRunner};
 
@@ -504,6 +506,8 @@ fn run_serve_cli() {
     let mut seed = 1u64;
     let mut tenants = 4usize;
     let mut sample = 25usize;
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut max_line_bytes: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1).map(String::as_str);
@@ -535,12 +539,29 @@ fn run_serve_cli() {
                     usage_error("--sample must be at least 1");
                 }
             }
+            ("--journal", Some(v)) => {
+                journal = Some(std::path::PathBuf::from(v));
+            }
+            ("--max-line-bytes", Some(v)) => {
+                let n: usize =
+                    parse_value("--max-line-bytes", v).unwrap_or_else(|e| usage_error(&e));
+                if n == 0 {
+                    usage_error("--max-line-bytes must be at least 1");
+                }
+                max_line_bytes = Some(n);
+            }
             (flag, _) => usage_error(&format!("unknown or incomplete serve flag `{flag}`")),
         }
         i += 2;
     }
 
-    let cfg = ServeConfig::default();
+    let mut cfg = ServeConfig::default();
+    if let Some(n) = max_line_bytes {
+        cfg.max_line_bytes = n;
+    }
+    // The journal is a single-stream facility: it applies to the stdin
+    // daemon only (serve_tcp clears it per connection).
+    cfg.journal = journal;
     if let Some(jobs) = emit {
         for line in pim_serve::loadgen::generate(jobs, seed, tenants) {
             println!("{line}");
@@ -609,7 +630,14 @@ fn run_serve_cli() {
             .local_addr()
             .expect("bound listener has an address");
         eprintln!("serve: listening on {addr}");
-        if let Err(e) = serve_tcp(&cfg, &SimRunner, &SharedStore, &listener, conns) {
+        if let Err(e) = serve_tcp(
+            &cfg,
+            &SimRunner,
+            &SharedStore,
+            &listener,
+            conns,
+            &ServeControl::new(),
+        ) {
             eprintln!("serve: accept failed: {e}");
             std::process::exit(1);
         }
@@ -627,6 +655,58 @@ fn run_serve_cli() {
         }
         Err(e) => {
             eprintln!("serve: I/O error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Chaos/soak harness: `repro chaos [--seed S] [--ops N]` expands the
+/// seed into an adversarial request schedule (failing runs, duplicates,
+/// malformed/oversized/non-UTF-8 lines, kill-restart recovery cycles,
+/// mid-line disconnects) and checks the daemon's resilience invariants;
+/// any violation exits 1. The schedule injects worker panics by design,
+/// so the panic hook stays quiet for those.
+fn run_chaos_cli() {
+    use pim_common::cli::parse_value;
+
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut seed = 1u64;
+    let mut ops = 500usize;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        match (args[i].as_str(), value) {
+            ("--seed", Some(v)) => {
+                seed = parse_value("--seed", v).unwrap_or_else(|e| usage_error(&e));
+            }
+            ("--ops", Some(v)) => {
+                ops = parse_value("--ops", v).unwrap_or_else(|e| usage_error(&e));
+                if ops == 0 {
+                    usage_error("--ops must be at least 1");
+                }
+            }
+            (flag, _) => usage_error(&format!("unknown or incomplete chaos flag `{flag}`")),
+        }
+        i += 2;
+    }
+
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("chaos: injected runner panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    match pim_serve::chaos::run_chaos(seed, ops) {
+        Ok(summary) => println!("{summary}"),
+        Err(violation) => {
+            eprintln!("chaos: invariant violated: {violation}");
             std::process::exit(1);
         }
     }

@@ -18,13 +18,23 @@
 //! than the shared store: publishing them mid-run would let worker
 //! timing decide whether a later fault-free request hits or misses,
 //! breaking the daemon's byte-replay determinism.
+//!
+//! Deadlines: a request's `deadline_ms` is mapped onto a deterministic
+//! engine fuel budget ([`FUEL_PER_DEADLINE_MS`] retired events per
+//! millisecond), never a wall clock, so whether a deadlined run is cut
+//! off — surfaced as a `deadline_exceeded` job error — is a pure
+//! function of the request. A deadlined run is a distinct cache cell
+//! from the undeadlined one (the budget changes what the cell can
+//! produce), so `cache_key` suffixes the deadline like it does the
+//! fault spec.
 
 use crate::cache;
 use crate::orders::parse_preset;
 use pim_common::units::Seconds;
+use pim_common::PimError;
 use pim_hw::faults::FaultPlan;
 use pim_models::{Model, ModelKind};
-use pim_runtime::{Engine, EngineConfig, RunOptions, RunRequest, WorkloadSpec};
+use pim_runtime::{Engine, EngineConfig, RunLimits, RunOptions, RunRequest, WorkloadSpec};
 use pim_serve::protocol::{render_report, Op, Request};
 use pim_serve::{JobError, JobRunner, StoredResult};
 use std::collections::HashMap;
@@ -51,6 +61,12 @@ pub fn model_kind(name: &str) -> Result<ModelKind, JobError> {
         ))),
     }
 }
+
+/// Fuel granted per millisecond of a request's `deadline_ms`: the wire
+/// deadline buys this many retired engine events. The unit is simulated
+/// work, not wall clock — the trip point byte-replays across processes
+/// and worker counts.
+pub const FUEL_PER_DEADLINE_MS: u64 = 1_000;
 
 /// The engine-backed job runner.
 #[derive(Debug, Default, Clone, Copy)]
@@ -145,6 +161,11 @@ impl JobRunner for SimRunner {
                 f.rate.to_bits()
             );
         }
+        if let Some(ms) = req.deadline_ms {
+            // A deadlined run may be cut off, so it must never share a
+            // cell with the undeadlined (or differently-deadlined) run.
+            let _ = write!(canon, ";deadline_ms={ms}");
+        }
         Ok(pim_common::fingerprint::debug_hash(&canon))
     }
 
@@ -160,10 +181,19 @@ impl JobRunner for SimRunner {
                 job.engine.config().ff_units,
             ));
         }
-        let out = job
-            .engine
-            .execute(&request)
-            .map_err(|e| JobError::execution(e.to_string()))?;
+        if let Some(ms) = req.deadline_ms {
+            // Applied after the fault horizon is derived: the horizon is
+            // a property of the cell and must come from an unbounded run.
+            request = request.with_limits(
+                RunLimits::none().with_max_events(ms.saturating_mul(FUEL_PER_DEADLINE_MS)),
+            );
+        }
+        let out = job.engine.execute(&request).map_err(|e| match e {
+            PimError::BudgetExhausted { .. } | PimError::Cancelled { .. } => {
+                JobError::deadline(e.to_string())
+            }
+            other => JobError::execution(other.to_string()),
+        })?;
         Ok(StoredResult {
             reports: out.reports,
             degraded: out.degraded.map(str::to_string),
@@ -267,6 +297,7 @@ mod tests {
             r#"{"id":"7","model":"alex","faults":{"seed":1,"rate":0.5}}"#,
             r#"{"id":"8","model":"alex","batch":8}"#,
             r#"{"id":"9","models":["alex","alex"]}"#,
+            r#"{"id":"10","model":"alex","deadline_ms":5}"#,
         ] {
             assert_ne!(
                 SimRunner.cache_key(&base).unwrap(),
@@ -308,6 +339,31 @@ mod tests {
                 degraded: None,
             })
         );
+    }
+
+    #[test]
+    fn tight_deadlines_cut_runs_off_and_loose_ones_change_nothing() {
+        let unlimited = SimRunner
+            .execute(&run_req(r#"{"id":"1","model":"alex","steps":2}"#))
+            .unwrap();
+        // A completed run is budget-independent: a deadline the run fits
+        // under yields byte-identical reports to the unbounded run.
+        let loose = SimRunner
+            .execute(&run_req(
+                r#"{"id":"2","model":"alex","steps":2,"deadline_ms":1000000}"#,
+            ))
+            .unwrap();
+        assert_eq!(unlimited.reports, loose.reports);
+        // A heavyweight model under a 1 ms budget (1000 events) trips at
+        // a deterministic check site — long before the run would finish,
+        // so the failing path is also the cheap one.
+        let e = SimRunner
+            .execute(&run_req(
+                r#"{"id":"3","model":"resnet","steps":3,"deadline_ms":1}"#,
+            ))
+            .unwrap_err();
+        assert_eq!(e.kind, "deadline_exceeded");
+        assert!(e.message.contains("budget"), "{}", e.message);
     }
 
     #[test]

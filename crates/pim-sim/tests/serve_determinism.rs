@@ -89,6 +89,36 @@ fn warm_shared_store_flips_hit_flags_but_never_report_bytes() {
 }
 
 #[test]
+fn runaway_deadline_is_cut_off_without_touching_other_tenants() {
+    // A greedy tenant submits a heavyweight run under a 1 ms fuel budget
+    // (it would run orders of magnitude longer); a bystander tenant's
+    // job in the same window must be completely unaffected, and the
+    // whole exchange must replay byte-identically.
+    let trace = "\
+{\"id\":\"greedy\",\"tenant\":\"hog\",\"model\":\"resnet\",\"steps\":3,\"deadline_ms\":1}\n\
+{\"id\":\"calm\",\"tenant\":\"bystander\",\"model\":\"dcgan\",\"preset\":\"hetero\",\"steps\":2}\n\
+{\"id\":\"s\",\"op\":\"stats\"}\n";
+    let lines = serve(&MemStore::default(), trace);
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"status\":\"error\""), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"error\":\"deadline_exceeded\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"status\":\"ok\""), "{}", lines[1]);
+
+    // The bystander's report is byte-identical to the direct engine run.
+    let direct = SimRunner
+        .execute(&pim_serve::parse_request(trace.lines().nth(1).unwrap()).unwrap())
+        .unwrap();
+    assert_eq!(reports_payload(&lines[1]), render_reports(&direct));
+
+    let replay = serve(&MemStore::default(), trace);
+    assert_eq!(lines, replay);
+}
+
+#[test]
 fn load_trace_replays_byte_identically_with_and_without_warm_store() {
     let trace = loadgen::generate(40, 3, 2).join("\n") + "\n";
     let cold_a = serve(&MemStore::default(), &trace);
